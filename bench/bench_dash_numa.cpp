@@ -1,0 +1,75 @@
+// §7.2 — MPEG-2 on distributed shared memory (the paper's Stanford DASH
+// experiments): improved-slice and GOP versions on a clustered machine with
+// remote-access penalties. The paper reports the improved slice version
+// running 1.8x / 3.4x / 5.2x faster on 8 / 16 / 32 processors relative to
+// one 4-processor cluster, with remote-miss latency the main impediment,
+// and suggests per-node task queues with stealing for the GOP version.
+#include "bench/common.h"
+#include "sched/sim.h"
+
+using namespace pmp2;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Section 7.2: DASH-style NUMA experiments",
+                      "Bilas et al., §7.2");
+  const int cluster = static_cast<int>(flags.get_int("cluster-size", 4));
+  const double penalty = flags.get_double("remote-penalty", 1.6);
+  const auto proc_list = flags.get_int_list("procs", {4, 8, 16, 32});
+
+  streamgen::StreamSpec spec;
+  spec.width = static_cast<int>(flags.get_int("width", 704));
+  spec.height = spec.width * 480 / 704;
+  spec.bit_rate = 5'000'000;
+  spec.gop_size = static_cast<int>(flags.get_int("gop", 13));
+  spec = bench::apply_scale(spec, flags);
+  const auto profile = bench::sim_profile(spec, flags);
+
+  std::cout << "\n--- " << spec.width << "x" << spec.height
+            << ", cluster size " << cluster << ", remote penalty x"
+            << penalty << " ---\n";
+  Series series("processors",
+                {"improved slice (vs 4)", "GOP shared queue (vs 4)",
+                 "GOP local queues (vs 4)", "UMA improved (vs 4)"});
+  double base_slice = 0, base_gop = 0, base_gop_local = 0, base_uma = 0;
+  for (const int procs : proc_list) {
+    sched::SimConfig numa;
+    numa.workers = procs;
+    numa.cluster_size = cluster;
+    numa.remote_penalty = penalty;
+    const double slice_pps =
+        sched::simulate_slice(profile, numa, parallel::SlicePolicy::kImproved)
+            .pictures_per_second();
+    const double gop_pps =
+        sched::simulate_gop(profile, numa).pictures_per_second();
+    auto local = numa;
+    local.numa_local_queues = true;
+    const double gop_local_pps =
+        sched::simulate_gop(profile, local).pictures_per_second();
+    sched::SimConfig uma;
+    uma.workers = procs;
+    const double uma_pps =
+        sched::simulate_slice(profile, uma, parallel::SlicePolicy::kImproved)
+            .pictures_per_second();
+    if (procs == proc_list.front()) {
+      base_slice = slice_pps;
+      base_gop = gop_pps;
+      base_gop_local = gop_local_pps;
+      base_uma = uma_pps;
+    }
+    series.add_point(procs, {slice_pps / base_slice, gop_pps / base_gop,
+                             gop_local_pps / base_gop_local,
+                             uma_pps / base_uma});
+  }
+  series.print(std::cout, 2);
+
+  std::cout << "\nPaper reference (§7.2, DASH, 704x480): improved slice 1.8x"
+               " / 3.4x / 5.2x at 8 / 16 / 32 procs vs one 4-proc cluster;"
+               " GOP version slightly worse; remote-miss latency (not"
+               " contention or sync) the main impediment; round-robin GOP"
+               " placement + per-node queues with stealing proposed as the"
+               " remedy."
+               "\nShape to check: NUMA curves well below the UMA curve;"
+               " local queues recover part of the GOP version's loss.\n";
+  return bench::finish(flags);
+}

@@ -1,0 +1,87 @@
+// Figure 14 — read miss rate versus per-processor cache size (64-byte
+// lines) for 1-way / 2-way / fully-associative caches. Left panel: GOP
+// version on 1 processor; right panel: simple slice version on 8
+// processors. The knee at 16-32 KB locates the working set.
+#include "bench/common.h"
+#include "simcache/cache.h"
+#include "simcache/trace_gen.h"
+
+using namespace pmp2;
+
+namespace {
+
+void run_panel(const std::vector<std::uint8_t>& stream, int procs,
+               int trace_pics, const std::vector<int>& sizes_kb) {
+  std::vector<std::unique_ptr<simcache::MultiCacheSim>> sims;
+  simcache::TraceTee tee;
+  const int assocs[] = {1, 2, 0};  // 1-way, 2-way, fully associative
+  for (const int kb : sizes_kb) {
+    for (const int assoc : assocs) {
+      simcache::CacheConfig cfg;
+      cfg.size_bytes = static_cast<std::int64_t>(kb) << 10;
+      cfg.line_bytes = 64;
+      cfg.associativity = assoc;
+      sims.push_back(std::make_unique<simcache::MultiCacheSim>(procs, cfg));
+      tee.add(sims.back().get());
+    }
+  }
+  simcache::TraceOptions topt;
+  topt.procs = procs;
+  topt.max_pictures = trace_pics;
+  // 1 processor = the GOP decoder's execution (fresh buffers per picture);
+  // multi-processor = the slice decoder's (pooled, ~3 pictures live).
+  topt.pooled_buffers = procs > 1;
+  if (!simcache::generate_decode_trace(stream, tee, topt)) {
+    std::cerr << "trace generation failed\n";
+    return;
+  }
+  pmp2::Series series("cache KB",
+                      {"miss rate 1-way", "miss rate 2-way",
+                       "miss rate full"});
+  for (std::size_t i = 0; i < sizes_kb.size(); ++i) {
+    std::vector<double> ys;
+    for (int a = 0; a < 3; ++a) {
+      ys.push_back(sims[i * 3 + static_cast<std::size_t>(a)]
+                       ->total_stats()
+                       .read_miss_rate());
+    }
+    series.add_point(sizes_kb[i], ys);
+  }
+  series.print(std::cout, 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Figure 14: read miss rate vs cache size",
+                      "Bilas et al., Fig. 14 (64-byte lines)");
+  const int trace_pics = static_cast<int>(flags.get_int("trace-pictures", 13));
+  const auto sizes_kb =
+      flags.get_int_list("sizes-kb", {4, 8, 16, 32, 64, 128, 256, 1024});
+  const int width = static_cast<int>(flags.get_int("width", 352));
+
+  streamgen::StreamSpec spec;
+  spec.width = width;
+  spec.height = width == 352 ? 240 : width * 240 / 352;
+  spec.bit_rate = width >= 704 ? 5'000'000 : (width >= 352 ? 5'000'000
+                                                           : 1'500'000);
+  spec = bench::apply_scale(spec, flags);
+  const auto stream = bench::load_or_generate(spec);
+
+  std::cout << "\n--- GOP version trace: 1 processor, " << width << "x"
+            << spec.height << " ---\n";
+  run_panel(stream, 1, trace_pics, sizes_kb);
+
+  std::cout << "\n--- Simple slice version trace: 8 processors ---\n";
+  run_panel(stream, 8, trace_pics, sizes_kb);
+
+  std::cout << "\nPaper reference (Fig. 14): miss rate drops sharply once"
+               " caches exceed 16-32 KB given some associativity;"
+               " direct-mapped caches need >= 64 KB. Working set sized by"
+               " macroblock reconstruction, independent of picture size and"
+               " processor count."
+               "\nShape to check: knee at small cache sizes; 1-way curve"
+               " shifted right of 2-way/full; flat beyond the knee.\n";
+  return bench::finish(flags);
+}

@@ -1,0 +1,119 @@
+// Figure 7 — ideal versus actual execution time for the GOP approach.
+//
+// The paper compared pixie's "ideal" time (every memory reference = 1
+// cycle) with prof's measured time; the gap (10-30%, avg ~20%) is memory
+// stall. Substitution here: "ideal" is the decoder's deterministic
+// work-unit count scaled by the *best-case* ns/unit observed across the
+// stream set (pixie's ideal is likewise a lower-bound model); "actual" is
+// measured wall time. The cache simulator independently estimates the
+// stall fraction from the decode trace's miss counts with an effective
+// miss penalty (--miss-ns, default 15 ns: most of the decoder's misses are
+// sequential streams that hardware prefetchers largely hide; use ~80 ns
+// for a no-prefetch 1997-style memory system).
+#include "bench/common.h"
+#include "util/timer.h"
+#include "simcache/cache.h"
+#include "simcache/trace_gen.h"
+
+using namespace pmp2;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Figure 7: ideal vs actual time (GOP approach)",
+                      "Bilas et al., Fig. 7");
+  const double miss_ns = flags.get_double("miss-ns", 15.0);
+  const int gop = static_cast<int>(flags.get_int("gop", 13));
+
+  struct Row {
+    int width, height;
+    double ideal_units = 0;
+    double actual_ns = 0;
+    double stall_pct = 0;
+    double misses_per_mb = 0;
+  };
+  std::vector<Row> rows;
+
+  // Pass 1: gather per-stream work units and measured time; find the
+  // best-case ns/unit to serve as the "ideal machine" calibration.
+  double best_ns_per_unit = 1e18;
+  for (const auto& res : bench::resolutions(flags)) {
+    streamgen::StreamSpec spec;
+    spec.width = res.width;
+    spec.height = res.height;
+    spec.bit_rate = res.bit_rate;
+    spec.gop_size = gop;
+    spec = bench::apply_scale(spec, flags);
+    const auto& profile = bench::cached_profile(spec);
+    Row row;
+    row.width = res.width;
+    row.height = res.height;
+    for (const auto& g : profile.gops) {
+      for (const auto& pic : g.pictures) {
+        for (const auto& s : pic.slices) {
+          row.ideal_units += static_cast<double>(s.units);
+        }
+      }
+    }
+    // Time several whole-stream decodes and keep the fastest: scheduling
+    // noise only ever makes a run slower, so the minimum is the cleanest
+    // estimate of the machine's actual decode time.
+    const auto stream0 = bench::load_or_generate(spec);
+    const int repeats = static_cast<int>(flags.get_int("repeats", 5));
+    double best_ns = 1e18;
+    for (int rep = 0; rep < repeats; ++rep) {
+      mpeg2::Decoder dec;
+      WallTimer timer;
+      const auto st = dec.decode_stream(stream0, [](mpeg2::FramePtr) {});
+      if (!st.ok) break;
+      best_ns = std::min(best_ns, static_cast<double>(timer.elapsed_ns()));
+    }
+    row.actual_ns = best_ns;
+    best_ns_per_unit =
+        std::min(best_ns_per_unit, row.actual_ns / row.ideal_units);
+
+    // Cache-sim stall estimate on a short trace.
+    const auto& stream = stream0;
+    simcache::CacheConfig ccfg;
+    ccfg.size_bytes = 1 << 20;
+    ccfg.line_bytes = 64;
+    ccfg.associativity = 2;
+    simcache::MultiCacheSim sim(1, ccfg);
+    const int trace_pics = std::min(profile.total_pictures(), 13);
+    simcache::TraceOptions topt;
+    topt.procs = 1;
+    topt.max_pictures = trace_pics;
+    topt.pooled_buffers = false;  // GOP-decoder buffer behaviour
+    simcache::generate_decode_trace(stream, sim, topt);
+    const auto& stats = sim.stats(0);
+    const double misses =
+        static_cast<double>(stats.read_misses + stats.write_misses);
+    const double stall_ns = misses * miss_ns;
+    const double compute_ns =
+        row.actual_ns * trace_pics / profile.total_pictures();
+    row.stall_pct = 100.0 * stall_ns / (stall_ns + compute_ns);
+    const double mbs_per_pic =
+        ((res.width + 15) / 16) * ((res.height + 15) / 16);
+    row.misses_per_mb = misses / (mbs_per_pic * trace_pics);
+    rows.push_back(row);
+  }
+
+  Table t({"Picture size", "Ideal ms", "Actual ms", "Actual/Ideal",
+           "Misses/MB", "Stall % (sim)"});
+  for (const auto& row : rows) {
+    const double ideal_ns = row.ideal_units * best_ns_per_unit;
+    t.add_row({std::to_string(row.width) + "x" + std::to_string(row.height),
+               Table::fmt(ideal_ns / 1e6, 1),
+               Table::fmt(row.actual_ns / 1e6, 1),
+               Table::fmt(row.actual_ns / ideal_ns, 2),
+               Table::fmt(row.misses_per_mb, 1),
+               Table::fmt(row.stall_pct, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper reference (Fig. 7): actual time 10-30% above ideal"
+               " (avg ~20%), attributed to the memory system."
+               "\nShape to check: Actual/Ideal >= 1, growing with picture"
+               " size (frames stop fitting in cache); with --miss-ns=80"
+               " (1997-style latency, no prefetch) the simulated stall"
+               " fraction lands in the paper's band.\n";
+  return bench::finish(flags);
+}

@@ -1,0 +1,109 @@
+// §7.3 (future work, implemented) — interlaced video: "it will be
+// necessary to explore the parallelization of both these extensions to
+// provide a complete multiprocessor solution." Two questions answered:
+//
+//  1. What do the interlace coding tools (field/frame DCT + field/frame
+//     motion selection) buy on interlaced content?
+//  2. Does slice-level parallelism survive interlaced coding? (It should:
+//     slices remain the independent unit regardless of per-MB field modes.)
+#include "bench/common.h"
+#include "mpeg2/decoder.h"
+#include "mpeg2/encoder.h"
+#include "sched/sim.h"
+#include "streamgen/scene.h"
+
+using namespace pmp2;
+
+namespace {
+
+std::vector<std::uint8_t> encode(int width, int height, int pictures,
+                                 double pan, bool tools,
+                                 mpeg2::EncoderStats* stats) {
+  streamgen::SceneConfig sc;
+  sc.width = width;
+  sc.height = height;
+  sc.interlaced = true;
+  sc.pan_pels_per_picture = pan;
+  const streamgen::SceneGenerator scene(sc);
+  mpeg2::EncoderConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  cfg.gop_size = 13;
+  cfg.interlaced_tools = tools;
+  cfg.rate_control = false;
+  cfg.base_qscale_code = 6;
+  mpeg2::Encoder enc(cfg);
+  for (int i = 0; i < pictures; ++i) enc.push_frame(scene.render(i));
+  auto out = enc.finish();
+  *stats = enc.stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Section 7.3: interlaced video tools",
+                      "Bilas et al., §7.3 future work (no figure)");
+  const int width = static_cast<int>(flags.get_int("width", 352));
+  const int height = width * 240 / 352;
+  const int pictures = static_cast<int>(flags.get_int("il-pictures", 13));
+
+  // --- 1. Coding-tool gains vs motion speed ---
+  std::cout << "\n--- field tools vs frame-only coding (" << width << "x"
+            << height << ", quantizer fixed) ---\n";
+  Table t({"pan pels/pic", "bytes (frame-only)", "bytes (field tools)",
+           "bit saving %", "field-MC MBs %", "field-DCT MBs %"});
+  for (const double pan : {2.4, 6.0, 12.0}) {
+    mpeg2::EncoderStats with_stats, without_stats;
+    const auto without =
+        encode(width, height, pictures, pan, false, &without_stats);
+    const auto with = encode(width, height, pictures, pan, true, &with_stats);
+    const double total_mbs =
+        static_cast<double>(with_stats.intra_mbs + with_stats.inter_mbs +
+                            with_stats.skipped_mbs);
+    t.add_row({Table::fmt(pan, 1), std::to_string(without.size()),
+               std::to_string(with.size()),
+               Table::fmt(100.0 * (1.0 - static_cast<double>(with.size()) /
+                                             without.size()),
+                          1),
+               Table::fmt(100.0 * with_stats.field_motion_mbs / total_mbs, 1),
+               Table::fmt(100.0 * with_stats.field_dct_mbs / total_mbs, 1)});
+  }
+  t.print(std::cout);
+
+  // --- 2. Parallel behaviour on the interlaced stream ---
+  {
+    mpeg2::EncoderStats stats;
+    const auto stream = encode(width, height, pictures, 6.0, true, &stats);
+    const auto profile =
+        sched::replicate_profile(sched::profile_stream(stream),
+                                 static_cast<int>(flags.get_int(
+                                     "sim-pictures", 1120)));
+    std::cout << "\n--- slice-parallel speedup on the interlaced stream ---\n";
+    Series series("workers", {"speedup (improved slice)", "speedup (GOP)"});
+    double base_slice = 0, base_gop = 0;
+    for (const int workers : {1, 2, 4, 8, 12, 14}) {
+      sched::SimConfig cfg;
+      cfg.workers = workers;
+      const double slice =
+          sched::simulate_slice(profile, cfg,
+                                parallel::SlicePolicy::kImproved)
+              .pictures_per_second();
+      const double gop =
+          sched::simulate_gop(profile, cfg).pictures_per_second();
+      if (workers == 1) {
+        base_slice = slice;
+        base_gop = gop;
+      }
+      series.add_point(workers, {slice / base_slice, gop / base_gop});
+    }
+    series.print(std::cout, 2);
+  }
+  std::cout << "\nPaper reference (§7.3): interlaced support named as the"
+               " step toward 'a complete multiprocessor solution'."
+               "\nShape to check: bit savings grow with motion speed (comb"
+               " amplitude); parallel speedups match the progressive-stream"
+               " curves — slices stay the unit of parallelism.\n";
+  return bench::finish(flags);
+}

@@ -1,0 +1,204 @@
+// Supporting micro-benchmarks (google-benchmark): throughput of the decode
+// kernels the paper's costs decompose into — IDCT, VLC block decode, motion
+// compensation, SAD — plus startcode scanning.
+#include <benchmark/benchmark.h>
+
+#include "bitstream/startcode.h"
+#include "mpeg2/dct.h"
+#include "mpeg2/decoder.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/motion_est.h"
+#include "mpeg2/vlc_tables.h"
+#include "streamgen/scene.h"
+#include "streamgen/stream_factory.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pmp2;
+using namespace pmp2::mpeg2;
+
+void BM_IdctInt(benchmark::State& state) {
+  Rng rng(1);
+  Block base{};
+  for (int i = 0; i < 16; ++i) {
+    base[rng.next_below(64)] = static_cast<std::int16_t>(rng.next_in(-500, 500));
+  }
+  for (auto _ : state) {
+    Block b = base;
+    idct_int(b);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdctInt);
+
+void BM_IdctIntDcOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    Block b{};
+    b[0] = 1024;
+    idct_int(b);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdctIntDcOnly);
+
+void BM_VlcDctDecode(benchmark::State& state) {
+  // Encode a representative coefficient block once; decode it repeatedly.
+  BitWriter bw;
+  const auto& scan = zigzag_scan();
+  Block q{};
+  Rng rng(2);
+  for (int i = 0; i < 12; ++i) {
+    q[scan[1 + i * 5]] = static_cast<std::int16_t>(rng.next_in(1, 12));
+  }
+  int run = 0;
+  bool first = true;
+  for (int i = 0; i < 64; ++i) {
+    const int level = q[scan[i]];
+    if (!level) {
+      ++run;
+      continue;
+    }
+    if (first && run == 0 && level == 1) {
+      bw.put_bit(1);
+      bw.put_bit(0);
+    } else {
+      const Code c = encode_dct_run_level(false, run, level);
+      c.put(bw);
+      bw.put_bit(0);
+    }
+    first = false;
+    run = 0;
+  }
+  dct_eob_code(false).put(bw);
+  bw.put(0, 24);
+  const auto bytes = bw.take();
+
+  SequenceHeader seq;
+  seq.intra_matrix = default_intra_matrix();
+  seq.non_intra_matrix = default_non_intra_matrix();
+  PictureContext pic;
+  pic.seq = &seq;
+  for (auto _ : state) {
+    BitReader br(bytes);
+    Block out;
+    WorkMeter work;
+    const bool ok = BlockDecoder::decode_non_intra(br, pic, 8, out, work);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VlcDctDecode);
+
+void BM_MotionCompensate(benchmark::State& state) {
+  streamgen::SceneConfig sc;
+  sc.width = 352;
+  sc.height = 240;
+  const streamgen::SceneGenerator scene(sc);
+  auto ref = scene.render(0);
+  auto dst = scene.render(1);
+  const MotionVector mv{3, -3};  // half-pel in both axes (worst case)
+  int mb = 0;
+  for (auto _ : state) {
+    const int mb_x = 1 + (mb % 18);
+    const int mb_y = 1 + (mb / 18) % 12;
+    mc_macroblock(*ref, 0, *dst, 1, mb_x, mb_y, mv, McMode::kCopy);
+    ++mb;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MotionCompensate);
+
+void BM_Sad16x16(benchmark::State& state) {
+  streamgen::SceneConfig sc;
+  sc.width = 352;
+  sc.height = 240;
+  const streamgen::SceneGenerator scene(sc);
+  auto ref = scene.render(0);
+  auto cur = scene.render(1);
+  int i = 0;
+  for (auto _ : state) {
+    const MotionVector mv{static_cast<std::int16_t>((i % 5) - 2), 1};
+    benchmark::DoNotOptimize(mb_sad(*ref, *cur, 5, 5, mv));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sad16x16);
+
+void BM_VlcLookupFlat(benchmark::State& state) {
+  const VlcDecoder& dec = dct_table_decoder(false);
+  Rng rng(11);
+  std::vector<std::uint32_t> patterns(4096);
+  for (auto& p : patterns) {
+    p = static_cast<std::uint32_t>(rng.next_u64()) &
+        ((1u << dec.max_len()) - 1);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.lookup(patterns[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VlcLookupFlat);
+
+void BM_VlcLookupTwoLevel(benchmark::State& state) {
+  static const TwoLevelVlcDecoder dec(dct_table_zero_entries(), 8);
+  Rng rng(11);
+  std::vector<std::uint32_t> patterns(4096);
+  for (auto& p : patterns) {
+    p = static_cast<std::uint32_t>(rng.next_u64()) &
+        ((1u << dec.max_len()) - 1);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.lookup(patterns[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VlcLookupTwoLevel);
+
+void BM_StartcodeScan(benchmark::State& state) {
+  static const std::vector<std::uint8_t> stream = [] {
+    streamgen::StreamSpec spec;
+    spec.width = 176;
+    spec.height = 120;
+    spec.pictures = 26;
+    spec.bit_rate = 1'500'000;
+    return streamgen::generate_stream(spec);
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmp2::scan_all_startcodes(stream));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_StartcodeScan);
+
+void BM_DecodePicture(benchmark::State& state) {
+  static const std::vector<std::uint8_t> stream = [] {
+    streamgen::StreamSpec spec;
+    spec.width = 352;
+    spec.height = 240;
+    spec.pictures = 13;
+    spec.bit_rate = 5'000'000;
+    return streamgen::generate_stream(spec);
+  }();
+  for (auto _ : state) {
+    Decoder dec;
+    int frames = 0;
+    const auto st =
+        dec.decode_stream(stream, [&](FramePtr) { ++frames; });
+    benchmark::DoNotOptimize(st.ok);
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(state.iterations() * 13);
+}
+BENCHMARK(BM_DecodePicture)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// §7.3 (future work, implemented) — "shared virtual memory in which
+// coherence is maintained at page granularity": rerun the slice-parallel
+// decode trace through the coherence simulator with coherence units from
+// 64-byte cache lines up to 4 KB pages, and watch sharing misses — false
+// sharing especially — explode as neighbouring slices' rows land on shared
+// pages. This quantifies the paper's hunch about SVM systems.
+#include "bench/common.h"
+#include "simcache/cache.h"
+#include "simcache/trace_gen.h"
+
+using namespace pmp2;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header(
+      "Section 7.3: page-granularity (SVM) coherence",
+      "Bilas et al., §7.3 future work (no figure)");
+  const int trace_pics = static_cast<int>(flags.get_int("trace-pictures", 13));
+  const auto units = flags.get_int_list("units", {64, 256, 1024, 4096});
+  const auto procs_list = flags.get_int_list("procs", {2, 4, 8});
+
+  streamgen::StreamSpec spec;
+  spec.width = static_cast<int>(flags.get_int("width", 352));
+  spec.height = spec.width * 240 / 352;
+  spec.bit_rate = 5'000'000;
+  spec = bench::apply_scale(spec, flags);
+  const auto stream = bench::load_or_generate(spec);
+
+  for (const int procs : procs_list) {
+    std::cout << "\n--- " << procs << " processors, slice-parallel trace ("
+              << spec.width << "x" << spec.height << ") ---\n";
+    std::vector<std::unique_ptr<simcache::MultiCacheSim>> sims;
+    simcache::TraceTee tee;
+    for (const int unit : units) {
+      simcache::CacheConfig cfg;
+      // Keep capacity fixed; vary only the coherence/transfer unit.
+      cfg.size_bytes = 4 << 20;
+      cfg.line_bytes = unit;
+      cfg.associativity = 0;
+      sims.push_back(std::make_unique<simcache::MultiCacheSim>(procs, cfg));
+      tee.add(sims.back().get());
+    }
+    if (!simcache::generate_decode_trace(stream, procs, tee, trace_pics)) {
+      std::cerr << "trace generation failed\n";
+      return 1;
+    }
+    Series series("coherence unit B",
+                  {"true sharing", "false sharing", "false/true",
+                   "sharing per MB"});
+    const double mbs =
+        ((spec.width + 15) / 16) * ((spec.height + 15) / 16) *
+        static_cast<double>(trace_pics);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      const auto total = sims[i]->total_stats();
+      const double ts = static_cast<double>(total.true_sharing);
+      const double fs = static_cast<double>(total.false_sharing);
+      series.add_point(units[i],
+                       {ts, fs, ts > 0 ? fs / ts : 0.0, (ts + fs) / mbs});
+    }
+    series.print(std::cout, 2);
+  }
+  std::cout << "\nPaper reference (§7.3): page-granularity SVM named as"
+               " future work; §5.3 found true sharing small and false"
+               " sharing negligible at cache-line granularity."
+               "\nShape to check: sharing misses per macroblock low and"
+               " mostly true at 64 B, then false sharing grows by orders of"
+               " magnitude toward 4 KB pages (adjacent slices' rows share"
+               " pages), and grows with processor count — the cost an SVM"
+               " port would pay.\n";
+  return bench::finish(flags);
+}

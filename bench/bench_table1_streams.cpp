@@ -1,0 +1,49 @@
+// Table 1 — "Description of test streams": regenerates the paper's 16-test
+// stream matrix (4 resolutions x 4 GOP sizes) with the synthetic scene and
+// reports their characteristics next to the paper's.
+#include "bench/common.h"
+#include "mpeg2/decoder.h"
+
+using namespace pmp2;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Table 1: test stream characteristics",
+                      "Bilas et al., Table 1 (streams 1-16)");
+
+  const auto gop_sizes = flags.get_int_list("gops", {4, 13, 16, 31});
+  Table t({"Stream", "Resolution", "GOP size", "Pictures", "Target Mb/s",
+           "Actual Mb/s", "File KB", "KB/picture", "Slices/pic"});
+  int index = 1;
+  for (const auto& res : bench::resolutions(flags)) {
+    for (const int gop : gop_sizes) {
+      streamgen::StreamSpec spec;
+      spec.width = res.width;
+      spec.height = res.height;
+      spec.bit_rate = res.bit_rate;
+      spec.gop_size = gop;
+      spec = bench::apply_scale(spec, flags);
+      const auto stream = bench::load_or_generate(spec);
+      const auto structure = mpeg2::scan_structure(stream);
+      const double seconds = spec.pictures / 30.0;
+      const double mbps =
+          static_cast<double>(stream.size()) * 8 / seconds / 1e6;
+      t.add_row({std::to_string(index++),
+                 std::to_string(res.width) + "x" + std::to_string(res.height),
+                 std::to_string(gop), std::to_string(spec.pictures),
+                 Table::fmt(res.bit_rate / 1e6, 1), Table::fmt(mbps, 2),
+                 Table::fmt(stream.size() / 1024.0, 1),
+                 Table::fmt(stream.size() / 1024.0 / spec.pictures, 1),
+                 std::to_string(structure.valid
+                                    ? static_cast<int>(structure.gops[0]
+                                                           .pictures[0]
+                                                           .slices.size())
+                                    : -1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper reference (Table 1): picture sizes 22K / 82.5K / 530K"
+               " / 1320K bytes decoded; 8 / 15 / 30 / 60 slices per picture;"
+               " 5-7 Mb/s; 1120 pictures, 30 pics/s, I/P distance 3.\n";
+  return bench::finish(flags);
+}

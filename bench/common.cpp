@@ -1,0 +1,109 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pmp2::bench {
+
+namespace fs = std::filesystem;
+
+int default_pictures(int width) {
+  if (width >= 1408) return 8;
+  if (width >= 704) return 26;
+  if (width >= 352) return 39;
+  return 52;
+}
+
+streamgen::StreamSpec apply_scale(streamgen::StreamSpec spec,
+                                  const Flags& flags) {
+  const auto pictures = flags.get_int("pictures", 0);
+  const auto scale = flags.get_double("scale", 1.0);
+  spec.pictures = pictures > 0
+                      ? static_cast<int>(pictures)
+                      : static_cast<int>(default_pictures(spec.width) * scale);
+  if (spec.pictures < spec.gop_size) spec.pictures = spec.gop_size;
+  return spec;
+}
+
+namespace {
+
+std::string cache_key(const streamgen::StreamSpec& spec) {
+  std::ostringstream os;
+  os << "v2_" << spec.name() << "_n" << spec.pictures << "_r" << spec.bit_rate << "_s"
+     << spec.seed << "_sr" << spec.search_range << "_rc" << spec.rate_control
+     << "_iv" << spec.intra_vlc_format << "_as" << spec.alternate_scan
+     << "_m1" << spec.mpeg1 << "_spr" << spec.slices_per_row << ".m2v";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> load_or_generate(const streamgen::StreamSpec& spec) {
+  const fs::path dir = "bench_streams";
+  const fs::path path = dir / cache_key(spec);
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(fs::file_size(path)));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (in) return data;
+  }
+  std::fprintf(stderr, "[bench] encoding %s (%d pictures)...\n",
+               spec.name().c_str(), spec.pictures);
+  auto data = streamgen::generate_stream(spec);
+  fs::create_directories(dir, ec);
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return data;
+}
+
+const sched::StreamProfile& cached_profile(
+    const streamgen::StreamSpec& spec) {
+  static std::map<std::string, sched::StreamProfile> cache;
+  const std::string key = cache_key(spec);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const auto stream = load_or_generate(spec);
+    it = cache.emplace(key, sched::profile_stream(stream)).first;
+  }
+  return it->second;
+}
+
+sched::StreamProfile sim_profile(const streamgen::StreamSpec& spec,
+                                 const Flags& flags) {
+  const auto target = static_cast<int>(flags.get_int("sim-pictures", 1120));
+  return sched::replicate_profile(cached_profile(spec), target);
+}
+
+std::vector<streamgen::Resolution> resolutions(const Flags& flags) {
+  const auto max_res = flags.get_int("max-res", 1408);
+  std::vector<streamgen::Resolution> out;
+  for (const auto& r : streamgen::paper_resolutions()) {
+    if (r.width <= max_res) out.push_back(r);
+  }
+  return out;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "(reduced default scale; use --pictures=1120 for paper scale)\n"
+            << "==========================================================\n";
+}
+
+int finish(const Flags& flags) {
+  for (const auto& f : flags.unused()) {
+    std::cerr << "[bench] warning: unused flag --" << f << "\n";
+  }
+  std::cout.flush();
+  return 0;
+}
+
+}  // namespace pmp2::bench

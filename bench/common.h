@@ -1,0 +1,53 @@
+// Shared infrastructure for the benchmark harnesses (one binary per table /
+// figure of the paper). Provides the default reduced-scale workload (the
+// full 1120-picture streams are reproducible with --pictures=1120), a disk
+// cache for generated streams so the suite doesn't re-encode per binary,
+// and profile helpers.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sched/profile.h"
+#include "streamgen/stream_factory.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace pmp2::bench {
+
+/// Default picture counts per resolution, sized so the whole bench suite
+/// completes in minutes on one core. Scaled by --pictures (absolute) or
+/// --scale (multiplier).
+int default_pictures(int width);
+
+/// Resolves the stream spec's picture count from flags.
+streamgen::StreamSpec apply_scale(streamgen::StreamSpec spec,
+                                  const Flags& flags);
+
+/// Loads the stream from the on-disk cache (./bench_streams) or generates
+/// and stores it. Cache key covers all generation parameters.
+std::vector<std::uint8_t> load_or_generate(const streamgen::StreamSpec& spec);
+
+/// Profile with in-process memoization (several benches sweep the same
+/// stream at many worker counts).
+const sched::StreamProfile& cached_profile(
+    const streamgen::StreamSpec& spec);
+
+/// Profile replicated to paper scale for the scheduler simulations:
+/// --sim-pictures (default 1120, the paper's stream length) pictures, built
+/// by tiling the measured GOP costs, as the paper tiled its source clip.
+sched::StreamProfile sim_profile(const streamgen::StreamSpec& spec,
+                                 const Flags& flags);
+
+/// The paper's resolutions, largest optionally dropped via --max-res.
+std::vector<streamgen::Resolution> resolutions(const Flags& flags);
+
+/// Prints the standard bench header.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+/// Warns about unknown flags at the end of main().
+int finish(const Flags& flags);
+
+}  // namespace pmp2::bench

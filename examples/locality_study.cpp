@@ -1,0 +1,77 @@
+// Locality study (paper §5.3 in miniature): generate a decode trace and run
+// it through the cache simulator at a few geometries, printing the miss
+// breakdown — a ready-made template for exploring other cache designs with
+// the library.
+//
+//   ./locality_study [--width=352 --pictures=13 --procs=4
+//                     --cache-kb=64 --line=64 --assoc=2]
+#include <iostream>
+
+#include "simcache/cache.h"
+#include "simcache/trace_gen.h"
+#include "streamgen/stream_factory.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace pmp2;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  streamgen::StreamSpec spec;
+  spec.width = static_cast<int>(flags.get_int("width", 352));
+  spec.height = spec.width * 240 / 352;
+  spec.pictures = static_cast<int>(flags.get_int("pictures", 13));
+  spec.gop_size = 13;
+  spec.bit_rate = 5'000'000;
+  const int procs = static_cast<int>(flags.get_int("procs", 4));
+
+  std::cout << "Encoding " << spec.pictures << " pictures at " << spec.width
+            << "x" << spec.height << " and tracing a " << procs
+            << "-processor slice-parallel decode...\n";
+  const auto stream = streamgen::generate_stream(spec);
+
+  simcache::CacheConfig cfg;
+  cfg.size_bytes = flags.get_int("cache-kb", 64) << 10;
+  cfg.line_bytes = static_cast<int>(flags.get_int("line", 64));
+  cfg.associativity = static_cast<int>(flags.get_int("assoc", 2));
+  simcache::MultiCacheSim sim(procs, cfg);
+  if (!simcache::generate_decode_trace(stream, procs, sim)) {
+    std::cerr << "trace generation failed\n";
+    return 1;
+  }
+
+  std::cout << "Cache: " << (cfg.size_bytes >> 10) << " KB, "
+            << cfg.line_bytes << "-byte lines, "
+            << (cfg.associativity == 0
+                    ? std::string("fully associative")
+                    : std::to_string(cfg.associativity) + "-way")
+            << ", MSI snooping coherence\n\n";
+
+  Table t({"Proc", "Reads", "Read miss %", "Cold", "Capacity", "Conflict",
+           "True share", "False share"});
+  for (int p = 0; p < procs; ++p) {
+    const auto& s = sim.stats(p);
+    t.add_row({std::to_string(p), std::to_string(s.reads),
+               Table::fmt(100.0 * s.read_miss_rate(), 3),
+               std::to_string(s.read_cold), std::to_string(s.read_capacity),
+               std::to_string(s.read_conflict),
+               std::to_string(s.true_sharing),
+               std::to_string(s.false_sharing)});
+  }
+  const auto total = sim.total_stats();
+  t.add_row({"all", std::to_string(total.reads),
+             Table::fmt(100.0 * total.read_miss_rate(), 3),
+             std::to_string(total.read_cold),
+             std::to_string(total.read_capacity),
+             std::to_string(total.read_conflict),
+             std::to_string(total.true_sharing),
+             std::to_string(total.false_sharing)});
+  t.print(std::cout);
+
+  std::cout << "\nThings to try (as in the paper's §5.3): sweep --line to"
+               " see spatial locality (miss rate halves per doubling);"
+               " sweep --cache-kb to find the macroblock-sized working set;"
+               " raise --procs to see that sharing misses stay far below"
+               " cold misses.\n";
+  return 0;
+}

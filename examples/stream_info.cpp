@@ -1,0 +1,90 @@
+// Stream inspector: dumps the structure of an MPEG-2 elementary stream —
+// sequence parameters, GOPs, picture types/sizes, slices — the same view
+// the parallel decoders' scan process builds.
+//
+//   ./stream_info clip.m2v          inspect a file
+//   ./stream_info                   inspect a freshly generated demo stream
+#include <fstream>
+#include <iostream>
+
+#include "bitstream/startcode.h"
+#include "mpeg2/decoder.h"
+#include "streamgen/stream_factory.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace pmp2;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  std::vector<std::uint8_t> stream;
+  if (!flags.positional().empty()) {
+    std::ifstream in(flags.positional()[0], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << flags.positional()[0] << "\n";
+      return 1;
+    }
+    stream.assign(std::istreambuf_iterator<char>(in), {});
+  } else {
+    streamgen::StreamSpec spec;
+    spec.width = 352;
+    spec.height = 240;
+    spec.pictures = 26;
+    spec.gop_size = 13;
+    std::cout << "(no file given; generating a demo stream)\n";
+    stream = streamgen::generate_stream(spec);
+  }
+
+  const mpeg2::StreamStructure s = mpeg2::scan_structure(stream);
+  if (!s.valid) {
+    std::cerr << "not a valid MPEG-2 elementary stream\n";
+    return 1;
+  }
+
+  std::cout << "Sequence: " << s.seq.horizontal_size << "x"
+            << s.seq.vertical_size << " @ " << s.seq.frame_rate()
+            << " pics/s, " << s.seq.bit_rate / 1e6 << " Mb/s coded rate, "
+            << (s.ext.progressive_sequence ? "progressive" : "interlaced")
+            << ", profile/level 0x" << std::hex << s.ext.profile_and_level
+            << std::dec << "\n";
+  std::cout << "Macroblocks: " << s.mb_width() << "x" << s.mb_height()
+            << " (" << s.mb_width() * s.mb_height() << " per picture)\n";
+  std::cout << "Stream: " << stream.size() << " bytes, " << s.gops.size()
+            << " GOPs, " << s.total_pictures() << " pictures\n\n";
+
+  Table t({"GOP", "Offset", "Closed", "Pictures", "Coded order",
+           "KB", "Slices/pic"});
+  for (std::size_t g = 0; g < s.gops.size(); ++g) {
+    const auto& gop = s.gops[g];
+    std::string order;
+    for (const auto& pic : gop.pictures) {
+      order += mpeg2::picture_type_char(pic.type);
+    }
+    if (order.size() > 20) order = order.substr(0, 20) + "...";
+    t.add_row({std::to_string(g), std::to_string(gop.offset),
+               gop.closed ? "yes" : "no",
+               std::to_string(gop.pictures.size()), order,
+               Table::fmt((gop.end_offset - gop.offset) / 1024.0, 1),
+               gop.pictures.empty()
+                   ? "-"
+                   : std::to_string(gop.pictures[0].slices.size())});
+  }
+  t.print(std::cout);
+
+  // Startcode census.
+  std::size_t counts[256] = {};
+  for (const auto& sc : scan_all_startcodes(stream)) ++counts[sc.code];
+  std::cout << "\nStartcode census:\n";
+  std::size_t slices = 0;
+  for (int c = 0; c < 256; ++c) {
+    if (!counts[c]) continue;
+    if (is_slice_code(static_cast<std::uint8_t>(c))) {
+      slices += counts[c];
+      continue;
+    }
+    std::cout << "  " << startcode_name(static_cast<std::uint8_t>(c)) << ": "
+              << counts[c] << "\n";
+  }
+  std::cout << "  slice: " << slices << "\n";
+  return 0;
+}

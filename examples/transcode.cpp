@@ -1,0 +1,161 @@
+// Command-line transcoder: the file-level tool a codec release ships.
+//
+//   ./transcode encode in.y4m out.m2v [--gop=13 --bitrate=5000000 --mpeg1]
+//   ./transcode decode in.m2v out.y4m [--workers=N]
+//   ./transcode demo   out.y4m        generate a synthetic source clip
+//   ./transcode frame  in.m2v out.ppm [--index=0]   export one picture
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "io/image.h"
+#include "io/program_stream.h"
+#include "io/y4m.h"
+#include "mpeg2/decoder.h"
+#include "mpeg2/encoder.h"
+#include "parallel/slice_parallel.h"
+#include "streamgen/scene.h"
+#include "util/flags.h"
+
+using namespace pmp2;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+int cmd_encode(const std::string& in_path, const std::string& out_path,
+               const Flags& flags) {
+  std::ifstream in(in_path, std::ios::binary);
+  io::Y4mReader reader(in);
+  if (!reader.valid()) {
+    std::cerr << "not a 4:2:0 Y4M file: " << in_path << "\n";
+    return 1;
+  }
+  mpeg2::EncoderConfig cfg;
+  cfg.width = reader.width();
+  cfg.height = reader.height();
+  cfg.gop_size = static_cast<int>(flags.get_int("gop", 13));
+  cfg.bit_rate = flags.get_int("bitrate", 5'000'000);
+  cfg.mpeg1 = flags.get_bool("mpeg1", false);
+  mpeg2::Encoder encoder(cfg);
+  int frames = 0;
+  while (auto frame = reader.read()) {
+    encoder.push_frame(std::move(frame));
+    ++frames;
+  }
+  if (frames == 0) {
+    std::cerr << "no frames in " << in_path << "\n";
+    return 1;
+  }
+  auto stream = encoder.finish();
+  if (flags.get_bool("ps", false)) {
+    stream = io::ps_mux(stream);  // wrap in a program-stream container
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(stream.data()),
+            static_cast<std::streamsize>(stream.size()));
+  std::cout << "encoded " << frames << " frames -> " << stream.size()
+            << " bytes (" << (cfg.mpeg1 ? "MPEG-1" : "MPEG-2")
+            << (flags.get_bool("ps", false) ? ", program stream" : "")
+            << ")\n";
+  return 0;
+}
+
+int cmd_decode(const std::string& in_path, const std::string& out_path,
+               const Flags& flags) {
+  auto stream = read_file(in_path);
+  if (io::looks_like_program_stream(stream)) {
+    auto demuxed = io::ps_demux(stream);
+    if (!demuxed.ok) {
+      std::cerr << "broken program stream: " << in_path << "\n";
+      return 1;
+    }
+    std::cout << "demuxed " << demuxed.pes_packets << " PES packets\n";
+    stream = std::move(demuxed.video);
+  }
+  const auto structure = mpeg2::scan_structure(stream);
+  if (!structure.valid) {
+    std::cerr << "not an MPEG elementary stream: " << in_path << "\n";
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  io::Y4mWriter writer(out, structure.seq.horizontal_size,
+                       structure.seq.vertical_size);
+  parallel::SliceDecoderConfig cfg;
+  cfg.workers = static_cast<int>(flags.get_int(
+      "workers", std::max(1u, std::thread::hardware_concurrency())));
+  parallel::SliceParallelDecoder decoder(cfg);
+  const auto result = decoder.decode(
+      stream, [&](mpeg2::FramePtr f) { writer.write(*f); });
+  if (!result.ok) {
+    std::cerr << "decode failed\n";
+    return 1;
+  }
+  std::cout << "decoded " << result.pictures << " pictures ("
+            << (structure.mpeg1 ? "MPEG-1" : "MPEG-2") << ") at "
+            << result.pictures_per_second() << " pics/s -> " << out_path
+            << "\n";
+  return 0;
+}
+
+int cmd_demo(const std::string& out_path, const Flags& flags) {
+  streamgen::SceneConfig sc;
+  sc.width = static_cast<int>(flags.get_int("width", 352));
+  sc.height = static_cast<int>(flags.get_int("height", 240));
+  const int pictures = static_cast<int>(flags.get_int("pictures", 30));
+  const streamgen::SceneGenerator scene(sc);
+  std::ofstream out(out_path, std::ios::binary);
+  io::Y4mWriter writer(out, sc.width, sc.height);
+  for (int i = 0; i < pictures; ++i) writer.write(*scene.render(i));
+  std::cout << "wrote " << pictures << " synthetic frames -> " << out_path
+            << "\n";
+  return 0;
+}
+
+int cmd_frame(const std::string& in_path, const std::string& out_path,
+              const Flags& flags) {
+  const auto stream = read_file(in_path);
+  const int index = static_cast<int>(flags.get_int("index", 0));
+  mpeg2::Decoder dec;
+  mpeg2::FramePtr wanted;
+  int seen = 0;
+  (void)dec.decode_stream(stream, [&](mpeg2::FramePtr f) {
+    if (seen++ == index) wanted = std::move(f);
+  });
+  if (!wanted) {
+    std::cerr << "stream has only " << seen << " pictures\n";
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  io::write_ppm(out, *wanted);
+  std::cout << "wrote picture " << index << " -> " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto& args = flags.positional();
+  if (args.size() >= 3 && args[0] == "encode") {
+    return cmd_encode(args[1], args[2], flags);
+  }
+  if (args.size() >= 3 && args[0] == "decode") {
+    return cmd_decode(args[1], args[2], flags);
+  }
+  if (args.size() >= 2 && args[0] == "demo") {
+    return cmd_demo(args[1], flags);
+  }
+  if (args.size() >= 3 && args[0] == "frame") {
+    return cmd_frame(args[1], args[2], flags);
+  }
+  std::cerr << "usage:\n"
+               "  transcode encode in.y4m out.m2v [--gop --bitrate --mpeg1]\n"
+               "  transcode decode in.m2v out.y4m [--workers]\n"
+               "  transcode demo   out.y4m [--width --height --pictures]\n"
+               "  transcode frame  in.m2v out.ppm [--index]\n";
+  return 2;
+}

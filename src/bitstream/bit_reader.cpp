@@ -1,0 +1,53 @@
+#include "bitstream/bit_reader.h"
+
+namespace pmp2 {
+
+std::uint32_t BitReader::peek(int n) const {
+  if (n == 0) return 0;
+  // Gather up to 8 bytes around the current position into a 64-bit window
+  // so any 32-bit peek is a shift+mask. Bits past the end of the buffer
+  // read as zero (a decoder peeking a wide window at the last code of a
+  // stream is normal); only *consuming* past the end sets the overrun flag
+  // (see skip()).
+  const std::uint64_t byte = bitpos_ >> 3;
+  std::uint64_t window = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t idx = byte + static_cast<std::uint64_t>(i);
+    const std::uint8_t b = idx < data_.size() ? data_[idx] : 0;
+    window = (window << 8) | b;
+  }
+  const int shift = 64 - offset_in_byte() - n;
+  return static_cast<std::uint32_t>((window >> shift) &
+                                    ((n == 32) ? 0xFFFFFFFFULL
+                                               : ((1ULL << n) - 1)));
+}
+
+void BitReader::skip(int n) {
+  bitpos_ += static_cast<std::uint64_t>(n);
+  if (bitpos_ > static_cast<std::uint64_t>(data_.size()) * 8) {
+    overrun_ = true;
+  }
+}
+
+bool BitReader::align_to_next_startcode() {
+  byte_align();
+  std::uint64_t byte = bitpos_ >> 3;
+  // Scan for 0x00 0x00 0x01; need one more byte for the code itself.
+  while (byte + 3 < data_.size()) {
+    if (data_[byte] == 0 && data_[byte + 1] == 0 && data_[byte + 2] == 1) {
+      bitpos_ = byte * 8;
+      return true;
+    }
+    // Skip ahead: if data_[byte+2] != 0 and != 1, no prefix can start at
+    // byte or byte+1 or byte+2.
+    if (data_[byte + 2] > 1) {
+      byte += 3;
+    } else {
+      ++byte;
+    }
+  }
+  bitpos_ = static_cast<std::uint64_t>(data_.size()) * 8;
+  return false;
+}
+
+}  // namespace pmp2

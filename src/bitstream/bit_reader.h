@@ -1,0 +1,86 @@
+// MSB-first bit reader over an in-memory byte buffer.
+//
+// This is the decoder's only access path to the elementary stream, so it is
+// designed for the access pattern of MPEG VLC decoding: cheap peek of up to
+// 24 bits (to index Huffman tables) followed by a skip of the consumed code
+// length. Reads past the end of the buffer return zero bits and set an
+// overrun flag rather than throwing, matching how a real decoder treats a
+// truncated stream (it notices at the next startcode check).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pmp2 {
+
+class BitReader {
+ public:
+  BitReader() = default;
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Returns the next `n` bits (0 <= n <= 32) without consuming them,
+  /// MSB-aligned to the low bits of the result.
+  [[nodiscard]] std::uint32_t peek(int n) const;
+
+  /// Consumes `n` bits (0 <= n <= 32).
+  void skip(int n);
+
+  /// Reads and consumes `n` bits.
+  std::uint32_t get(int n) {
+    const std::uint32_t v = peek(n);
+    skip(n);
+    return v;
+  }
+
+  /// Reads one bit.
+  std::uint32_t get_bit() { return get(1); }
+
+  /// Discards bits up to the next byte boundary.
+  void byte_align() {
+    if (offset_in_byte() != 0) bitpos_ = (bitpos_ & ~std::uint64_t{7}) + 8;
+  }
+
+  [[nodiscard]] bool byte_aligned() const { return offset_in_byte() == 0; }
+
+  /// Absolute position in bits from the start of the buffer.
+  [[nodiscard]] std::uint64_t bit_position() const { return bitpos_; }
+
+  /// Repositions to an absolute bit offset.
+  void seek_bits(std::uint64_t bitpos) { bitpos_ = bitpos; }
+
+  /// Repositions to an absolute byte offset.
+  void seek_bytes(std::uint64_t byte) { bitpos_ = byte * 8; }
+
+  /// Number of bits remaining before the end of the buffer.
+  [[nodiscard]] std::uint64_t bits_left() const {
+    const std::uint64_t total = static_cast<std::uint64_t>(data_.size()) * 8;
+    return bitpos_ >= total ? 0 : total - bitpos_;
+  }
+
+  /// True once reads have *consumed* bits past the end of the buffer
+  /// (peeks past the end read as zero and are not an error).
+  [[nodiscard]] bool overrun() const { return overrun_; }
+
+  /// True iff the next 24 bits (byte aligned) are the startcode prefix
+  /// 0x000001. Does not consume anything.
+  [[nodiscard]] bool at_startcode_prefix() const {
+    return byte_aligned() && bits_left() >= 32 && peek(24) == 0x000001;
+  }
+
+  /// Advances to the next byte-aligned startcode prefix at or after the
+  /// current position and returns true, or returns false at end of stream.
+  bool align_to_next_startcode();
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const { return data_; }
+
+ private:
+  [[nodiscard]] int offset_in_byte() const {
+    return static_cast<int>(bitpos_ & 7);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::uint64_t bitpos_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace pmp2

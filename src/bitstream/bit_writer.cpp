@@ -1,0 +1,34 @@
+#include "bitstream/bit_writer.h"
+
+namespace pmp2 {
+
+void BitWriter::put(std::uint32_t value, int n) {
+  while (n > 0) {
+    const int room = 8 - pending_bits_;
+    const int take = n < room ? n : room;
+    const std::uint32_t chunk =
+        (n >= 32 && take == 32)
+            ? value
+            : (value >> (n - take)) & ((1u << take) - 1);
+    pending_ = (pending_ << take) | chunk;
+    pending_bits_ += take;
+    n -= take;
+    if (pending_bits_ == 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(pending_));
+      pending_ = 0;
+      pending_bits_ = 0;
+    }
+  }
+}
+
+void BitWriter::byte_align() {
+  if (pending_bits_ != 0) put(0, 8 - pending_bits_);
+}
+
+void BitWriter::put_startcode(std::uint8_t code) {
+  byte_align();
+  put(0x000001, 24);
+  put(code, 8);
+}
+
+}  // namespace pmp2

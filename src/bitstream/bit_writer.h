@@ -1,0 +1,52 @@
+// MSB-first bit writer used by the encoder and by header/VLC round-trip
+// tests. Appends to an internal byte vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pmp2 {
+
+class BitWriter {
+ public:
+  /// Appends the low `n` bits of `value` (0 <= n <= 32), MSB first.
+  void put(std::uint32_t value, int n);
+
+  void put_bit(std::uint32_t bit) { put(bit, 1); }
+
+  /// Pads with zero bits to the next byte boundary.
+  void byte_align();
+
+  /// Pads to byte alignment and appends the 32-bit startcode
+  /// 0x000001'code'.
+  void put_startcode(std::uint8_t code);
+
+  [[nodiscard]] bool byte_aligned() const { return pending_bits_ == 0; }
+
+  /// Total bits written so far.
+  [[nodiscard]] std::uint64_t bit_count() const {
+    return static_cast<std::uint64_t>(bytes_.size()) * 8 + pending_bits_;
+  }
+
+  /// Finishes the current partial byte (zero padding) and returns the
+  /// buffer. The writer remains usable.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() {
+    byte_align();
+    return bytes_;
+  }
+
+  /// Moves the buffer out, resetting the writer.
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    byte_align();
+    auto out = std::move(bytes_);
+    bytes_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t pending_ = 0;  // bits accumulated in the current byte, MSB side
+  int pending_bits_ = 0;       // 0..7
+};
+
+}  // namespace pmp2

@@ -1,0 +1,44 @@
+#include "bitstream/startcode.h"
+
+namespace pmp2 {
+
+std::string_view startcode_name(std::uint8_t code) {
+  if (is_slice_code(code)) return "slice";
+  switch (static_cast<StartcodeKind>(code)) {
+    case StartcodeKind::kPicture: return "picture";
+    case StartcodeKind::kUserData: return "user_data";
+    case StartcodeKind::kSequenceHeader: return "sequence_header";
+    case StartcodeKind::kSequenceError: return "sequence_error";
+    case StartcodeKind::kExtension: return "extension";
+    case StartcodeKind::kSequenceEnd: return "sequence_end";
+    case StartcodeKind::kGroup: return "group";
+    default: return "reserved";
+  }
+}
+
+bool StartcodeScanner::next(Startcode& out) {
+  std::uint64_t i = pos_;
+  while (i + 3 < data_.size()) {
+    if (data_[i] == 0 && data_[i + 1] == 0 && data_[i + 2] == 1) {
+      out.byte_offset = i;
+      out.code = data_[i + 3];
+      pos_ = i + 4;
+      return true;
+    }
+    // data_[i+2] > 1 rules out a prefix starting at i, i+1, or i+2.
+    i += (data_[i + 2] > 1) ? 3 : 1;
+  }
+  pos_ = data_.size();
+  return false;
+}
+
+std::vector<Startcode> scan_all_startcodes(
+    std::span<const std::uint8_t> data) {
+  std::vector<Startcode> out;
+  StartcodeScanner scanner(data);
+  Startcode sc;
+  while (scanner.next(sc)) out.push_back(sc);
+  return out;
+}
+
+}  // namespace pmp2

@@ -1,0 +1,70 @@
+// Byte-aligned MPEG-2 startcode identification and scanning.
+//
+// The scan process of both parallel decoders (paper Fig. 4) is built on
+// StartcodeScanner: it walks the elementary stream once, emitting the byte
+// offset and kind of every startcode, from which GOP and picture/slice task
+// boundaries are derived without doing any VLC decoding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace pmp2 {
+
+/// MPEG-2 startcode values (the byte following the 0x000001 prefix).
+enum class StartcodeKind : std::uint8_t {
+  kPicture = 0x00,          // picture_start_code
+  kSliceFirst = 0x01,       // slice_start_code range begin
+  kSliceLast = 0xAF,        // slice_start_code range end
+  kUserData = 0xB2,         // user_data_start_code
+  kSequenceHeader = 0xB3,   // sequence_header_code
+  kSequenceError = 0xB4,    // sequence_error_code
+  kExtension = 0xB5,        // extension_start_code
+  kSequenceEnd = 0xB7,      // sequence_end_code
+  kGroup = 0xB8,            // group_start_code
+};
+
+/// True for any slice_start_code (0x01..0xAF).
+[[nodiscard]] constexpr bool is_slice_code(std::uint8_t code) {
+  return code >= 0x01 && code <= 0xAF;
+}
+
+/// Human-readable name for diagnostics (e.g. the stream_info example).
+[[nodiscard]] std::string_view startcode_name(std::uint8_t code);
+
+/// One located startcode: byte offset of the 0x000001 prefix plus the code.
+struct Startcode {
+  std::uint64_t byte_offset = 0;
+  std::uint8_t code = 0;
+
+  friend bool operator==(const Startcode&, const Startcode&) = default;
+};
+
+/// Forward-only scanner over an in-memory stream.
+class StartcodeScanner {
+ public:
+  explicit StartcodeScanner(std::span<const std::uint8_t> data)
+      : data_(data) {}
+
+  /// Finds the next startcode at or after `from` (byte offset). Returns
+  /// false at end of stream. On success the scanner's position is just past
+  /// the returned startcode's 4 bytes.
+  bool next(Startcode& out);
+
+  /// Current byte position of the scanner.
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+
+  void seek(std::uint64_t byte_offset) { pos_ = byte_offset; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Scans the whole stream and returns every startcode, in order.
+[[nodiscard]] std::vector<Startcode> scan_all_startcodes(
+    std::span<const std::uint8_t> data);
+
+}  // namespace pmp2

@@ -1,0 +1,77 @@
+#include "io/image.h"
+
+#include <ostream>
+
+#include "mpeg2/types.h"
+
+namespace pmp2::io {
+
+std::vector<std::uint8_t> to_rgb(const mpeg2::Frame& frame) {
+  const int w = frame.width();
+  const int h = frame.height();
+  std::vector<std::uint8_t> rgb(static_cast<std::size_t>(w) * h * 3);
+  const std::uint8_t* yp = frame.y();
+  const std::uint8_t* cbp = frame.cb();
+  const std::uint8_t* crp = frame.cr();
+  const int ys = frame.y_stride();
+  const int cs = frame.c_stride();
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      // BT.601 studio-range conversion.
+      const double y = (yp[row * ys + col] - 16) * (255.0 / 219.0);
+      const double cb = crp ? cbp[(row / 2) * cs + col / 2] - 128.0 : 0.0;
+      const double cr = crp[(row / 2) * cs + col / 2] - 128.0;
+      const int r = static_cast<int>(y + 1.402 * cr + 0.5);
+      const int g = static_cast<int>(y - 0.344136 * cb - 0.714136 * cr + 0.5);
+      const int b = static_cast<int>(y + 1.772 * cb + 0.5);
+      std::uint8_t* px =
+          rgb.data() + (static_cast<std::size_t>(row) * w + col) * 3;
+      px[0] = mpeg2::clamp_pel(r);
+      px[1] = mpeg2::clamp_pel(g);
+      px[2] = mpeg2::clamp_pel(b);
+    }
+  }
+  return rgb;
+}
+
+void write_ppm(std::ostream& os, const mpeg2::Frame& frame) {
+  const auto rgb = to_rgb(frame);
+  os << "P6\n" << frame.width() << " " << frame.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(rgb.data()),
+           static_cast<std::streamsize>(rgb.size()));
+}
+
+std::vector<std::uint8_t> dither_rgb332(const mpeg2::Frame& frame) {
+  // Bayer 4x4 threshold matrix, scaled to the quantization step.
+  static constexpr int kBayer[4][4] = {
+      {0, 8, 2, 10}, {12, 4, 14, 6}, {3, 11, 1, 9}, {15, 7, 13, 5}};
+  const auto rgb = to_rgb(frame);
+  const int w = frame.width();
+  const int h = frame.height();
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::uint8_t* px =
+          rgb.data() + (static_cast<std::size_t>(y) * w + x) * 3;
+      // Classic ordered dither: add a threshold spanning one quantizer
+      // step before flooring, so the level mix averages to the input.
+      const int t = kBayer[y & 3][x & 3];  // 0..15
+      auto q3 = [&](int v) { return (v * 7 + t * 16) / 255; };
+      auto q2 = [&](int v) { return (v * 3 + t * 16) / 255; };
+      out[static_cast<std::size_t>(y) * w + x] = static_cast<std::uint8_t>(
+          (q3(px[0]) << 5) | (q3(px[1]) << 2) | q2(px[2]));
+    }
+  }
+  return out;
+}
+
+double mean_luma(const mpeg2::Frame& frame) {
+  double sum = 0;
+  for (int row = 0; row < frame.height(); ++row) {
+    const std::uint8_t* p = frame.y() + row * frame.y_stride();
+    for (int col = 0; col < frame.width(); ++col) sum += p[col];
+  }
+  return sum / (static_cast<double>(frame.width()) * frame.height());
+}
+
+}  // namespace pmp2::io

@@ -1,0 +1,38 @@
+// Color conversion and still-image export: the "further processing before
+// display" the paper mentions (dithering excluded from its measurements,
+// provided here for completeness and visual inspection of decoder output).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "mpeg2/frame.h"
+
+namespace pmp2::io {
+
+/// BT.601 YCbCr (studio range) -> interleaved 8-bit RGB of the display
+/// area. Chroma is upsampled by pixel replication.
+[[nodiscard]] std::vector<std::uint8_t> to_rgb(const mpeg2::Frame& frame);
+
+/// Writes the frame as a binary PPM (P6).
+void write_ppm(std::ostream& os, const mpeg2::Frame& frame);
+
+/// Mean luma value of the display area (cheap sanity metric for tests).
+[[nodiscard]] double mean_luma(const mpeg2::Frame& frame);
+
+/// Ordered (Bayer 4x4) dithering to RGB332 — the display process's
+/// palette-reduction step on 1997-era 8-bit displays (the paper's display
+/// process dithers; its measurements exclude the cost, and so do ours).
+/// Returns one palette index byte per display pel.
+[[nodiscard]] std::vector<std::uint8_t> dither_rgb332(
+    const mpeg2::Frame& frame);
+
+/// Expands an RGB332 index back to 24-bit RGB (for inspecting dithers).
+constexpr void rgb332_to_rgb(std::uint8_t index, std::uint8_t rgb[3]) {
+  rgb[0] = static_cast<std::uint8_t>(((index >> 5) & 7) * 255 / 7);
+  rgb[1] = static_cast<std::uint8_t>(((index >> 2) & 7) * 255 / 7);
+  rgb[2] = static_cast<std::uint8_t>((index & 3) * 255 / 3);
+}
+
+}  // namespace pmp2::io

@@ -1,0 +1,162 @@
+#include "io/program_stream.h"
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+
+namespace pmp2::io {
+
+namespace {
+
+constexpr std::uint32_t kPackStart = 0x000001BA;
+constexpr std::uint32_t kSystemStart = 0x000001BB;
+constexpr std::uint32_t kProgramEnd = 0x000001B9;
+constexpr std::uint8_t kVideoStreamId = 0xE0;
+
+/// Writes an MPEG-2 pack_header with the given 27 MHz SCR (split into
+/// 90 kHz base + 300-tick extension).
+void write_pack_header(BitWriter& bw, std::uint64_t scr_27mhz,
+                       std::uint32_t mux_rate) {
+  const std::uint64_t base = (scr_27mhz / 300) & ((1ull << 33) - 1);
+  const std::uint32_t ext = static_cast<std::uint32_t>(scr_27mhz % 300);
+  bw.put(kPackStart, 32);
+  bw.put(0b01, 2);
+  bw.put(static_cast<std::uint32_t>(base >> 30), 3);
+  bw.put_bit(1);
+  bw.put(static_cast<std::uint32_t>(base >> 15) & 0x7FFF, 15);
+  bw.put_bit(1);
+  bw.put(static_cast<std::uint32_t>(base) & 0x7FFF, 15);
+  bw.put_bit(1);
+  bw.put(ext, 9);
+  bw.put_bit(1);
+  bw.put(mux_rate, 22);
+  bw.put_bit(1);
+  bw.put_bit(1);
+  bw.put(0b11111, 5);  // reserved
+  bw.put(0, 3);        // pack_stuffing_length
+}
+
+/// Parses a pack_header positioned just after its startcode; returns false
+/// on marker errors. Consumes any stuffing bytes.
+bool skip_pack_header(BitReader& br) {
+  if (br.get(2) != 0b01) return false;
+  br.skip(3);
+  if (br.get_bit() != 1) return false;
+  br.skip(15);
+  if (br.get_bit() != 1) return false;
+  br.skip(15);
+  if (br.get_bit() != 1) return false;
+  br.skip(9);
+  if (br.get_bit() != 1) return false;
+  br.skip(22);
+  if (br.get_bit() != 1 || br.get_bit() != 1) return false;
+  br.skip(5);
+  const int stuffing = static_cast<int>(br.get(3));
+  br.skip(8 * stuffing);
+  return !br.overrun();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ps_mux(std::span<const std::uint8_t> elementary,
+                                 const PsMuxConfig& config) {
+  BitWriter bw;
+  std::size_t pos = 0;
+  int packet_in_pack = 0;
+  std::uint64_t pts_90k = 90'000 / 2;  // arbitrary half-second start offset
+  while (pos < elementary.size()) {
+    if (packet_in_pack == 0) {
+      // SCR: bytes delivered so far at mux_rate x 50 bytes/s, in 27 MHz.
+      const double seconds =
+          static_cast<double>(pos) / (config.mux_rate * 50.0);
+      write_pack_header(bw, static_cast<std::uint64_t>(seconds * 27e6),
+                        config.mux_rate);
+    }
+    packet_in_pack = (packet_in_pack + 1) % config.packets_per_pack;
+
+    const std::size_t chunk =
+        std::min(config.pes_payload, elementary.size() - pos);
+    // PES header: '10' + flags (PTS on the first packet), header data.
+    const bool with_pts = pos == 0;
+    const int header_data = with_pts ? 5 : 0;
+    bw.put(0x000001, 24);
+    bw.put(kVideoStreamId, 8);
+    bw.put(static_cast<std::uint32_t>(3 + header_data + chunk), 16);
+    bw.put(0b10, 2);
+    bw.put(0, 6);  // scrambling, priority, alignment, copyright, original
+    bw.put(with_pts ? 0b10 : 0b00, 2);  // PTS_DTS_flags
+    bw.put(0, 6);  // ESCR, ES_rate, DSM, additional, CRC, extension
+    bw.put(static_cast<std::uint32_t>(header_data), 8);
+    if (with_pts) {
+      bw.put(0b0010, 4);
+      bw.put(static_cast<std::uint32_t>(pts_90k >> 30) & 0x7, 3);
+      bw.put_bit(1);
+      bw.put(static_cast<std::uint32_t>(pts_90k >> 15) & 0x7FFF, 15);
+      bw.put_bit(1);
+      bw.put(static_cast<std::uint32_t>(pts_90k) & 0x7FFF, 15);
+      bw.put_bit(1);
+    }
+    for (std::size_t i = 0; i < chunk; ++i) {
+      bw.put(elementary[pos + i], 8);
+    }
+    pos += chunk;
+  }
+  bw.put(kProgramEnd, 32);
+  return bw.take();
+}
+
+PsDemuxResult ps_demux(std::span<const std::uint8_t> ps) {
+  PsDemuxResult out;
+  BitReader br(ps);
+  for (;;) {
+    if (br.bits_left() < 32) break;
+    const std::uint32_t code = br.get(32);
+    if (code == kProgramEnd) {
+      out.ok = true;
+      return out;
+    }
+    if (code == kPackStart) {
+      if (!skip_pack_header(br)) return out;
+      ++out.packs;
+      continue;
+    }
+    if (code == kSystemStart) {
+      const int len = static_cast<int>(br.get(16));
+      br.skip(8 * len);
+      continue;
+    }
+    const std::uint8_t stream_id = static_cast<std::uint8_t>(code & 0xFF);
+    if ((code >> 8) == 0x000001 && stream_id >= 0xBC) {
+      // A PES packet of some stream.
+      const int len = static_cast<int>(br.get(16));
+      if (stream_id != kVideoStreamId) {
+        br.skip(8 * len);
+        continue;
+      }
+      // MPEG-2 PES header.
+      if (br.get(2) != 0b10) return out;
+      br.skip(6);
+      br.skip(2);  // PTS_DTS_flags (header_data_length covers the payload)
+      br.skip(6);
+      const int header_data = static_cast<int>(br.get(8));
+      br.skip(8 * header_data);
+      const int payload = len - 3 - header_data;
+      if (payload < 0 || br.overrun()) return out;
+      for (int i = 0; i < payload; ++i) {
+        out.video.push_back(static_cast<std::uint8_t>(br.get(8)));
+      }
+      ++out.pes_packets;
+      continue;
+    }
+    return out;  // garbage
+  }
+  // No explicit end code: accept if we parsed anything.
+  out.ok = out.pes_packets > 0;
+  return out;
+}
+
+bool looks_like_program_stream(std::span<const std::uint8_t> data) {
+  return data.size() >= 4 && data[0] == 0x00 && data[1] == 0x00 &&
+         data[2] == 0x01 && data[3] == 0xBA;
+}
+
+}  // namespace pmp2::io

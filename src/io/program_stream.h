@@ -1,0 +1,47 @@
+// Minimal MPEG-2 program-stream (ISO/IEC 13818-1) mux and demux for a
+// single video elementary stream — enough to read and write the ".mpg"
+// container wrapping the paper's ".m2v" elementary streams.
+//
+// Mux: packs with SCR + program_mux_rate, one video PES packet (stream id
+// 0xE0) per chunk, optional PTS on picture-aligned packets, MPEG_program_end.
+// Demux: walks pack/system/PES headers by their length fields (no
+// pattern-matching inside payloads, so startcode emulation in the ES is
+// harmless) and concatenates the video payloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pmp2::io {
+
+struct PsMuxConfig {
+  /// Payload bytes per PES packet.
+  std::size_t pes_payload = 2028;
+  /// PES packets per pack.
+  int packets_per_pack = 1;
+  /// program_mux_rate in 50-byte/s units (22 bits); default ~ 8 Mb/s.
+  std::uint32_t mux_rate = 20'000;
+};
+
+/// Wraps a video elementary stream into a program stream.
+[[nodiscard]] std::vector<std::uint8_t> ps_mux(
+    std::span<const std::uint8_t> elementary,
+    const PsMuxConfig& config = {});
+
+struct PsDemuxResult {
+  bool ok = false;
+  std::vector<std::uint8_t> video;  // concatenated stream-0xE0 payloads
+  int packs = 0;
+  int pes_packets = 0;
+};
+
+/// Extracts the video elementary stream from a program stream.
+[[nodiscard]] PsDemuxResult ps_demux(std::span<const std::uint8_t> ps);
+
+/// True iff the buffer starts with a pack_start_code (0x000001BA) — the
+/// cheap "is this a program stream or an elementary stream?" probe.
+[[nodiscard]] bool looks_like_program_stream(
+    std::span<const std::uint8_t> data);
+
+}  // namespace pmp2::io

@@ -1,0 +1,76 @@
+#include "io/y4m.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pmp2::io {
+
+Y4mWriter::Y4mWriter(std::ostream& os, int width, int height, int fps_num,
+                     int fps_den)
+    : os_(os), width_(width), height_(height) {
+  os_ << "YUV4MPEG2 W" << width << " H" << height << " F" << fps_num << ":"
+      << fps_den << " Ip A1:1 C420jpeg\n";
+}
+
+void Y4mWriter::write(const mpeg2::Frame& frame) {
+  os_ << "FRAME\n";
+  for (int p = 0; p < 3; ++p) {
+    const int w = p == 0 ? width_ : width_ / 2;
+    const int h = p == 0 ? height_ : height_ / 2;
+    const int stride = frame.stride(p);
+    const std::uint8_t* pl = frame.plane(p);
+    for (int y = 0; y < h; ++y) {
+      os_.write(reinterpret_cast<const char*>(pl + y * stride), w);
+    }
+  }
+  ++frames_;
+}
+
+Y4mReader::Y4mReader(std::istream& is) : is_(is) {
+  std::string header;
+  if (!std::getline(is_, header) || header.rfind("YUV4MPEG2", 0) != 0) {
+    return;
+  }
+  std::istringstream tokens(header.substr(9));
+  std::string tok;
+  int fn = 30, fd = 1;
+  bool c420 = true;  // C420 is the default when the tag is absent
+  while (tokens >> tok) {
+    switch (tok[0]) {
+      case 'W': width_ = std::atoi(tok.c_str() + 1); break;
+      case 'H': height_ = std::atoi(tok.c_str() + 1); break;
+      case 'F': {
+        if (std::sscanf(tok.c_str() + 1, "%d:%d", &fn, &fd) != 2) return;
+        break;
+      }
+      case 'C': c420 = tok.rfind("C420", 0) == 0; break;
+      default: break;  // interlacing/aspect tags ignored
+    }
+  }
+  if (width_ <= 0 || height_ <= 0 || !c420 || fd <= 0) return;
+  fps_ = static_cast<double>(fn) / fd;
+  valid_ = true;
+}
+
+mpeg2::FramePtr Y4mReader::read(mpeg2::MemoryTracker* tracker) {
+  if (!valid_) return nullptr;
+  std::string line;
+  if (!std::getline(is_, line) || line.rfind("FRAME", 0) != 0) {
+    return nullptr;
+  }
+  auto frame = std::make_shared<mpeg2::Frame>(width_, height_, tracker);
+  for (int p = 0; p < 3; ++p) {
+    const int w = p == 0 ? width_ : width_ / 2;
+    const int h = p == 0 ? height_ : height_ / 2;
+    const int stride = frame->stride(p);
+    std::uint8_t* pl = frame->plane(p);
+    for (int y = 0; y < h; ++y) {
+      is_.read(reinterpret_cast<char*>(pl + y * stride), w);
+      if (!is_) return nullptr;
+    }
+  }
+  return frame;
+}
+
+}  // namespace pmp2::io

@@ -1,0 +1,53 @@
+// YUV4MPEG2 (.y4m) reading and writing — the interchange format that makes
+// the codec usable with external tools (ffmpeg, mplayer, x264 all speak
+// it). 4:2:0 only, matching the codec.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "mpeg2/frame.h"
+
+namespace pmp2::io {
+
+/// Writes a Y4M stream: header on first frame, then FRAME records.
+class Y4mWriter {
+ public:
+  /// `fps_num/fps_den`: frame rate (e.g. 30/1).
+  Y4mWriter(std::ostream& os, int width, int height, int fps_num = 30,
+            int fps_den = 1);
+
+  /// Writes one frame (display area only; coded padding is stripped).
+  void write(const mpeg2::Frame& frame);
+
+  [[nodiscard]] int frames_written() const { return frames_; }
+
+ private:
+  std::ostream& os_;
+  int width_, height_;
+  int frames_ = 0;
+};
+
+/// Reads a Y4M stream. Only C420 variants are accepted.
+class Y4mReader {
+ public:
+  explicit Y4mReader(std::istream& is);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] double fps() const { return fps_; }
+
+  /// Reads the next frame; returns nullptr at end of stream or on error.
+  [[nodiscard]] mpeg2::FramePtr read(
+      mpeg2::MemoryTracker* tracker = nullptr);
+
+ private:
+  std::istream& is_;
+  bool valid_ = false;
+  int width_ = 0, height_ = 0;
+  double fps_ = 30.0;
+};
+
+}  // namespace pmp2::io

@@ -1,0 +1,93 @@
+#include "model/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmp2::model {
+
+double MemoryModel::decoded_at(double t) const {
+  // Workers decode at P x R_d pictures/sec, but can never outrun the scan
+  // process (tasks appear as GOPs are scanned).
+  const double by_workers = params_.workers * params_.decode_pics_per_s * t;
+  const double scanned_pics =
+      params_.coded_bytes_per_pic > 0
+          ? params_.scan_bytes_per_s * t / params_.coded_bytes_per_pic
+          : static_cast<double>(params_.total_pictures);
+  return std::min({by_workers, scanned_pics,
+                   static_cast<double>(params_.total_pictures)});
+}
+
+double MemoryModel::displayed_at(double t) const {
+  // Display emits complete GOPs in order, no faster than the display rate.
+  const double complete_prefix =
+      std::floor(decoded_at(t) / params_.gop_size) * params_.gop_size;
+  return std::min(params_.display_pics_per_s * t, complete_prefix);
+}
+
+MemoryPoint MemoryModel::at(double t) const {
+  MemoryPoint p;
+  p.t_s = t;
+  const double decoded = decoded_at(t);
+  const double displayed = displayed_at(t);
+  const double total = static_cast<double>(params_.total_pictures);
+
+  // scan(t): coded bytes read ahead of decoding.
+  const double scanned_bytes =
+      std::min(params_.scan_bytes_per_s * t,
+               params_.coded_bytes_per_pic * total);
+  const double consumed_bytes = decoded * params_.coded_bytes_per_pic;
+  p.scan_bytes = std::max(0.0, scanned_bytes - consumed_bytes);
+
+  // frames(t): each active worker owns a full GOP's frame buffers while its
+  // task runs (allocation is per GOP), plus the backlog of decoded GOPs the
+  // display process has not yet emitted.
+  const double n = params_.gop_size;
+  const double total_gops = total / n;
+  const double scanned_gops =
+      params_.coded_bytes_per_pic > 0
+          ? std::min(total_gops, params_.scan_bytes_per_s * t /
+                                     (params_.coded_bytes_per_pic * n))
+          : total_gops;
+  const double finished_gops = std::floor(decoded / n);
+  const double started_gops =
+      std::min({total_gops, scanned_gops, finished_gops + params_.workers});
+  const double active_gops = std::max(0.0, started_gops - finished_gops);
+  const double backlog_pics = std::max(0.0, finished_gops * n - displayed);
+  p.frame_bytes = (active_gops * n + backlog_pics) *
+                  static_cast<double>(params_.frame_bytes);
+  return p;
+}
+
+std::vector<MemoryPoint> MemoryModel::timeline(double dt, double t_max) const {
+  std::vector<MemoryPoint> out;
+  const double end = std::min(t_max, run_length_s());
+  for (double t = 0; t <= end + dt / 2; t += dt) out.push_back(at(t));
+  return out;
+}
+
+std::int64_t MemoryModel::peak_bytes(double dt) const {
+  double peak = 0;
+  for (const auto& p : timeline(dt, run_length_s())) {
+    peak = std::max(peak, p.total());
+  }
+  return static_cast<std::int64_t>(peak);
+}
+
+double MemoryModel::run_length_s() const {
+  // The run ends when the last picture is displayed: decoding takes
+  // total / min(P x R_d, scan rate in pics); display adds pacing.
+  const double decode_rate =
+      std::min(params_.workers * params_.decode_pics_per_s,
+               params_.coded_bytes_per_pic > 0
+                   ? params_.scan_bytes_per_s / params_.coded_bytes_per_pic
+                   : 1e18);
+  const double decode_end =
+      decode_rate > 0 ? params_.total_pictures / decode_rate : 0;
+  const double display_end =
+      params_.display_pics_per_s > 0
+          ? params_.total_pictures / params_.display_pics_per_s
+          : decode_end;
+  return std::max(decode_end, display_end);
+}
+
+}  // namespace pmp2::model

@@ -1,0 +1,60 @@
+// The paper's Fig. 9 analytical memory model for the GOP-parallel decoder:
+//
+//   mem(t) = scan(t) + frames(t)
+//
+// where scan(t) is the coded bytes the scan process has read ahead of the
+// workers and frames(t) is the decoded-picture memory not yet released by
+// the (frame-rate-paced) display process. The model is driven by four
+// rates — scan rate, per-worker decode rate, worker count and display
+// rate — exactly the quantities the paper identifies, and reproduces the
+// paper's observation that the 1408x960 / 31-pictures / 11-processor
+// configuration exceeds the machine's memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pmp2::model {
+
+struct MemoryModelParams {
+  double scan_bytes_per_s = 0;    // scan-process throughput
+  double decode_pics_per_s = 0;   // one worker's decode rate
+  int workers = 1;
+  int gop_size = 13;              // pictures per GOP
+  double display_pics_per_s = 30; // display pacing
+  std::int64_t frame_bytes = 0;   // decoded picture size
+  double coded_bytes_per_pic = 0; // average coded picture size
+  int total_pictures = 0;
+};
+
+struct MemoryPoint {
+  double t_s = 0;
+  double scan_bytes = 0;    // scan(t)
+  double frame_bytes = 0;   // frames(t)
+  [[nodiscard]] double total() const { return scan_bytes + frame_bytes; }
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(const MemoryModelParams& params) : params_(params) {}
+
+  /// Evaluates the model at time t (seconds from decode start).
+  [[nodiscard]] MemoryPoint at(double t) const;
+
+  /// Samples the model until all pictures are displayed (or t_max).
+  [[nodiscard]] std::vector<MemoryPoint> timeline(double dt,
+                                                  double t_max) const;
+
+  /// Peak of mem(t) over the run.
+  [[nodiscard]] std::int64_t peak_bytes(double dt = 0.05) const;
+
+  /// Time at which the last picture has been displayed.
+  [[nodiscard]] double run_length_s() const;
+
+ private:
+  [[nodiscard]] double decoded_at(double t) const;
+  [[nodiscard]] double displayed_at(double t) const;
+  MemoryModelParams params_;
+};
+
+}  // namespace pmp2::model

@@ -1,0 +1,197 @@
+#include "mpeg2/dct.h"
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace pmp2::mpeg2 {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+double basis_c(int u) { return u == 0 ? 1.0 / std::sqrt(2.0) : 1.0; }
+
+}  // namespace
+
+void fdct_reference(const std::array<double, 64>& in,
+                    std::array<double, 64>& out) {
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      double sum = 0.0;
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          sum += in[y * 8 + x] * std::cos((2 * x + 1) * u * kPi / 16.0) *
+                 std::cos((2 * y + 1) * v * kPi / 16.0);
+        }
+      }
+      out[v * 8 + u] = 0.25 * basis_c(u) * basis_c(v) * sum;
+    }
+  }
+}
+
+void idct_reference(const std::array<double, 64>& in,
+                    std::array<double, 64>& out) {
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double sum = 0.0;
+      for (int v = 0; v < 8; ++v) {
+        for (int u = 0; u < 8; ++u) {
+          sum += basis_c(u) * basis_c(v) * in[v * 8 + u] *
+                 std::cos((2 * x + 1) * u * kPi / 16.0) *
+                 std::cos((2 * y + 1) * v * kPi / 16.0);
+        }
+      }
+      out[y * 8 + x] = 0.25 * sum;
+    }
+  }
+}
+
+namespace {
+
+// Fixed-point constants: FIX(x) = round(x * 2^13).
+constexpr int kConstBits = 13;
+constexpr int kPass1Bits = 2;
+
+constexpr std::int32_t kFix_0_298631336 = 2446;
+constexpr std::int32_t kFix_0_390180644 = 3196;
+constexpr std::int32_t kFix_0_541196100 = 4433;
+constexpr std::int32_t kFix_0_765366865 = 6270;
+constexpr std::int32_t kFix_0_899976223 = 7373;
+constexpr std::int32_t kFix_1_175875602 = 9633;
+constexpr std::int32_t kFix_1_501321110 = 12299;
+constexpr std::int32_t kFix_1_847759065 = 15137;
+constexpr std::int32_t kFix_1_961570560 = 16069;
+constexpr std::int32_t kFix_2_053119869 = 16819;
+constexpr std::int32_t kFix_2_562915447 = 20995;
+constexpr std::int32_t kFix_3_072711026 = 25172;
+
+constexpr std::int32_t descale(std::int64_t x, int n) {
+  return static_cast<std::int32_t>((x + (std::int64_t{1} << (n - 1))) >> n);
+}
+
+constexpr std::int64_t mul(std::int64_t a, std::int32_t b) { return a * b; }
+
+}  // namespace
+
+void idct_int(Block& block) {
+  std::int32_t workspace[64];
+
+  // Pass 1: columns, results scaled up by 2^kPass1Bits.
+  for (int col = 0; col < 8; ++col) {
+    const std::int16_t* in = block.data() + col;
+    std::int32_t* ws = workspace + col;
+
+    if (in[8 * 1] == 0 && in[8 * 2] == 0 && in[8 * 3] == 0 &&
+        in[8 * 4] == 0 && in[8 * 5] == 0 && in[8 * 6] == 0 &&
+        in[8 * 7] == 0) {
+      const std::int32_t dc = static_cast<std::int32_t>(in[0]) << kPass1Bits;
+      for (int row = 0; row < 8; ++row) ws[8 * row] = dc;
+      continue;
+    }
+
+    // Even part.
+    std::int64_t z2 = in[8 * 2];
+    std::int64_t z3 = in[8 * 6];
+    std::int64_t z1 = mul(z2 + z3, kFix_0_541196100);
+    const std::int64_t tmp2e = z1 + mul(z3, -kFix_1_847759065);
+    const std::int64_t tmp3e = z1 + mul(z2, kFix_0_765366865);
+    z2 = in[8 * 0];
+    z3 = in[8 * 4];
+    const std::int64_t tmp0e = (z2 + z3) << kConstBits;
+    const std::int64_t tmp1e = (z2 - z3) << kConstBits;
+    const std::int64_t tmp10 = tmp0e + tmp3e;
+    const std::int64_t tmp13 = tmp0e - tmp3e;
+    const std::int64_t tmp11 = tmp1e + tmp2e;
+    const std::int64_t tmp12 = tmp1e - tmp2e;
+
+    // Odd part.
+    std::int64_t tmp0 = in[8 * 7];
+    std::int64_t tmp1 = in[8 * 5];
+    std::int64_t tmp2 = in[8 * 3];
+    std::int64_t tmp3 = in[8 * 1];
+    z1 = tmp0 + tmp3;
+    z2 = tmp1 + tmp2;
+    z3 = tmp0 + tmp2;
+    std::int64_t z4 = tmp1 + tmp3;
+    const std::int64_t z5 = mul(z3 + z4, kFix_1_175875602);
+    tmp0 = mul(tmp0, kFix_0_298631336);
+    tmp1 = mul(tmp1, kFix_2_053119869);
+    tmp2 = mul(tmp2, kFix_3_072711026);
+    tmp3 = mul(tmp3, kFix_1_501321110);
+    z1 = mul(z1, -kFix_0_899976223);
+    z2 = mul(z2, -kFix_2_562915447);
+    z3 = mul(z3, -kFix_1_961570560) + z5;
+    z4 = mul(z4, -kFix_0_390180644) + z5;
+    tmp0 += z1 + z3;
+    tmp1 += z2 + z4;
+    tmp2 += z2 + z3;
+    tmp3 += z1 + z4;
+
+    ws[8 * 0] = descale(tmp10 + tmp3, kConstBits - kPass1Bits);
+    ws[8 * 7] = descale(tmp10 - tmp3, kConstBits - kPass1Bits);
+    ws[8 * 1] = descale(tmp11 + tmp2, kConstBits - kPass1Bits);
+    ws[8 * 6] = descale(tmp11 - tmp2, kConstBits - kPass1Bits);
+    ws[8 * 2] = descale(tmp12 + tmp1, kConstBits - kPass1Bits);
+    ws[8 * 5] = descale(tmp12 - tmp1, kConstBits - kPass1Bits);
+    ws[8 * 3] = descale(tmp13 + tmp0, kConstBits - kPass1Bits);
+    ws[8 * 4] = descale(tmp13 - tmp0, kConstBits - kPass1Bits);
+  }
+
+  // Pass 2: rows, final descale by kConstBits + kPass1Bits + 3 (the +3 is
+  // the 1/8 normalization of the 2-D transform).
+  for (int row = 0; row < 8; ++row) {
+    const std::int32_t* ws = workspace + row * 8;
+    std::int16_t* out = block.data() + row * 8;
+
+    // Even part.
+    std::int64_t z2 = ws[2];
+    std::int64_t z3 = ws[6];
+    std::int64_t z1 = mul(z2 + z3, kFix_0_541196100);
+    const std::int64_t tmp2e = z1 + mul(z3, -kFix_1_847759065);
+    const std::int64_t tmp3e = z1 + mul(z2, kFix_0_765366865);
+    z2 = ws[0];
+    z3 = ws[4];
+    const std::int64_t tmp0e = (z2 + z3) << kConstBits;
+    const std::int64_t tmp1e = (z2 - z3) << kConstBits;
+    const std::int64_t tmp10 = tmp0e + tmp3e;
+    const std::int64_t tmp13 = tmp0e - tmp3e;
+    const std::int64_t tmp11 = tmp1e + tmp2e;
+    const std::int64_t tmp12 = tmp1e - tmp2e;
+
+    // Odd part.
+    std::int64_t tmp0 = ws[7];
+    std::int64_t tmp1 = ws[5];
+    std::int64_t tmp2 = ws[3];
+    std::int64_t tmp3 = ws[1];
+    z1 = tmp0 + tmp3;
+    z2 = tmp1 + tmp2;
+    z3 = tmp0 + tmp2;
+    std::int64_t z4 = tmp1 + tmp3;
+    const std::int64_t z5 = mul(z3 + z4, kFix_1_175875602);
+    tmp0 = mul(tmp0, kFix_0_298631336);
+    tmp1 = mul(tmp1, kFix_2_053119869);
+    tmp2 = mul(tmp2, kFix_3_072711026);
+    tmp3 = mul(tmp3, kFix_1_501321110);
+    z1 = mul(z1, -kFix_0_899976223);
+    z2 = mul(z2, -kFix_2_562915447);
+    z3 = mul(z3, -kFix_1_961570560) + z5;
+    z4 = mul(z4, -kFix_0_390180644) + z5;
+    tmp0 += z1 + z3;
+    tmp1 += z2 + z4;
+    tmp2 += z2 + z3;
+    tmp3 += z1 + z4;
+
+    constexpr int kFinal = kConstBits + kPass1Bits + 3;
+    out[0] = static_cast<std::int16_t>(descale(tmp10 + tmp3, kFinal));
+    out[7] = static_cast<std::int16_t>(descale(tmp10 - tmp3, kFinal));
+    out[1] = static_cast<std::int16_t>(descale(tmp11 + tmp2, kFinal));
+    out[6] = static_cast<std::int16_t>(descale(tmp11 - tmp2, kFinal));
+    out[2] = static_cast<std::int16_t>(descale(tmp12 + tmp1, kFinal));
+    out[5] = static_cast<std::int16_t>(descale(tmp12 - tmp1, kFinal));
+    out[3] = static_cast<std::int16_t>(descale(tmp13 + tmp0, kFinal));
+    out[4] = static_cast<std::int16_t>(descale(tmp13 - tmp0, kFinal));
+  }
+}
+
+}  // namespace pmp2::mpeg2

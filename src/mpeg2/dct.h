@@ -1,0 +1,31 @@
+// 8x8 forward and inverse discrete cosine transforms.
+//
+// The decode path (decoder and the encoder's reference-picture
+// reconstruction) uses the fixed-point inverse transform `idct_int` so that
+// every decoder variant reconstructs identical pels. `fdct_reference` /
+// `idct_reference` are double-precision implementations of the defining
+// equations, used by the encoder's forward transform and as the accuracy
+// oracle in tests (IEEE-1180-style comparison).
+#pragma once
+
+#include <array>
+
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+/// Forward DCT of the defining equation, spatial -> frequency.
+void fdct_reference(const std::array<double, 64>& in,
+                    std::array<double, 64>& out);
+
+/// Inverse DCT of the defining equation, frequency -> spatial.
+void idct_reference(const std::array<double, 64>& in,
+                    std::array<double, 64>& out);
+
+/// Fixed-point inverse DCT (Loeffler-Ligtenberg-Moshovitz 11-multiply
+/// factorization, 13-bit constants — the jpeglib "islow" variant). Operates
+/// in place on the coefficient block; results are spatial values, which may
+/// be negative for prediction-error blocks.
+void idct_int(Block& block);
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,252 @@
+#include "mpeg2/decoder.h"
+
+#include <algorithm>
+
+#include "bitstream/startcode.h"
+
+namespace pmp2::mpeg2 {
+
+StreamStructure scan_structure(std::span<const std::uint8_t> stream) {
+  StreamStructure out;
+  StartcodeScanner scanner(stream);
+  Startcode sc;
+  bool have_seq = false;
+  bool have_seq_ext = false;
+  GopInfo* gop = nullptr;
+  PictureInfo* pic = nullptr;
+
+  auto close_gop = [&](std::uint64_t end) {
+    if (gop) gop->end_offset = end;
+    gop = nullptr;
+    pic = nullptr;
+  };
+
+  while (scanner.next(sc)) {
+    BitReader br(stream);
+    br.seek_bytes(sc.byte_offset + 4);
+    switch (sc.code) {
+      case 0xB3: {  // sequence header
+        close_gop(sc.byte_offset);
+        if (!parse_sequence_header(br, out.seq)) return out;
+        have_seq = true;
+        break;
+      }
+      case 0xB5: {  // extension: only the sequence extension matters here
+        if (br.peek(4) == 1) have_seq_ext = true;
+        parse_extension(br, &out.ext, nullptr);
+        break;
+      }
+      case 0xB8: {  // group start
+        close_gop(sc.byte_offset);
+        GopHeader gh;
+        if (!parse_gop_header(br, gh)) return out;
+        out.gops.push_back({});
+        gop = &out.gops.back();
+        gop->offset = sc.byte_offset;
+        gop->closed = gh.closed_gop;
+        break;
+      }
+      case 0x00: {  // picture start
+        if (!gop) return out;  // pictures must live inside a GOP here
+        PictureHeader ph;
+        if (!parse_picture_header(br, ph)) return out;
+        gop->pictures.push_back({});
+        pic = &gop->pictures.back();
+        pic->offset = sc.byte_offset;
+        pic->type = ph.type;
+        pic->temporal_reference = ph.temporal_reference;
+        break;
+      }
+      case 0xB7: {  // sequence end
+        close_gop(sc.byte_offset);
+        break;
+      }
+      default: {
+        if (is_slice_code(sc.code)) {
+          if (!pic) return out;
+          pic->slices.push_back({sc.byte_offset, sc.code - 1});
+        }
+        break;
+      }
+    }
+  }
+  close_gop(stream.size());
+  out.valid = have_seq && !out.gops.empty();
+  out.mpeg1 = out.valid && !have_seq_ext;
+  // Scope check: only 4:2:0 is implemented (the paper's configuration).
+  if (have_seq_ext && out.ext.chroma_format != 1) out.valid = false;
+  return out;
+}
+
+bool parse_picture_headers(BitReader& br, PictureHeader& ph,
+                           PictureCodingExtension& pce) {
+  if (!br.at_startcode_prefix() || br.peek(32) != 0x00000100) return false;
+  br.skip(32);
+  if (!parse_picture_header(br, ph)) return false;
+  if (!br.align_to_next_startcode()) return false;
+  if (br.peek(32) == 0x000001B5) {
+    // MPEG-2: picture coding extension follows.
+    br.skip(32);
+    if (!parse_extension(br, nullptr, &pce)) return false;
+    // Scope check: frame pictures only — progressive or interlaced
+    // (frame_pred_frame_dct = 0 with field prediction / field DCT is
+    // supported); field pictures are out of scope. Reject cleanly rather
+    // than decode garbage.
+    if (pce.picture_structure != 3) return false;
+    return br.align_to_next_startcode();
+  }
+  // MPEG-1: synthesize the equivalent extension state from the header.
+  pce = PictureCodingExtension{};
+  if (ph.type != PictureType::kI) {
+    if (ph.forward_f_code < 1) return false;
+    pce.f_code[0][0] = pce.f_code[0][1] = ph.forward_f_code;
+  }
+  if (ph.type == PictureType::kB) {
+    if (ph.backward_f_code < 1) return false;
+    pce.f_code[1][0] = pce.f_code[1][1] = ph.backward_f_code;
+  }
+  return true;
+}
+
+void conceal_slice(const PictureContext& pic, int slice_row) {
+  if (slice_row < 0 || slice_row >= pic.mb_height) return;
+  for (int p = 0; p < 3; ++p) {
+    const int rows = p == 0 ? kMacroblockSize : kMacroblockSize / 2;
+    const int y0 = slice_row * rows;
+    const int stride = pic.dst->stride(p);
+    for (int r = 0; r < rows; ++r) {
+      std::uint8_t* dst = pic.dst->plane(p) + (y0 + r) * stride;
+      if (pic.fwd_ref) {
+        const std::uint8_t* src =
+            pic.fwd_ref->plane(p) + (y0 + r) * stride;
+        std::copy(src, src + stride, dst);
+      } else {
+        std::fill(dst, dst + stride, static_cast<std::uint8_t>(128));
+      }
+    }
+  }
+}
+
+bool decode_picture_slices(std::span<const std::uint8_t> stream,
+                           const PictureInfo& info, const PictureContext& pic,
+                           WorkMeter& work, TraceSink* sink, int proc) {
+  for (const auto& slice : info.slices) {
+    BitReader br(stream);
+    br.seek_bytes(slice.offset + 4);
+    const SliceResult r = decode_slice(br, slice.row, pic, sink, proc);
+    if (!r.ok) return false;
+    work += r.work;
+  }
+  return true;
+}
+
+void DisplayReorder::push(FramePtr frame, std::vector<FramePtr>& out) {
+  if (frame->type == PictureType::kB) {
+    frame->display_index = next_display_index_++;
+    out.push_back(std::move(frame));
+    return;
+  }
+  if (pending_ref_) {
+    pending_ref_->display_index = next_display_index_++;
+    out.push_back(std::move(pending_ref_));
+  }
+  pending_ref_ = std::move(frame);
+}
+
+void DisplayReorder::flush(std::vector<FramePtr>& out) {
+  if (pending_ref_) {
+    pending_ref_->display_index = next_display_index_++;
+    out.push_back(std::move(pending_ref_));
+  }
+}
+
+Decoder::Status Decoder::decode_stream(std::span<const std::uint8_t> stream,
+                                       const FrameCallback& on_frame,
+                                       TraceSink* sink, int proc) {
+  Status out;
+  const StreamStructure structure = scan_structure(stream);
+  if (!structure.valid) return out;
+  out.seq = structure.seq;
+
+  FramePool pool(structure.seq.horizontal_size, structure.seq.vertical_size,
+                 tracker_);
+  DisplayReorder reorder;
+  FramePtr fwd_ref, bwd_ref;  // older / newer reference
+  std::vector<FramePtr> ready;
+
+  for (const auto& gop : structure.gops) {
+    for (const auto& info : gop.pictures) {
+      BitReader br(stream);
+      br.seek_bytes(info.offset);
+      PictureContext pic;
+      pic.seq = &structure.seq;
+      pic.mpeg1 = structure.mpeg1;
+      if (!parse_picture_headers(br, pic.header, pic.ext)) return out;
+      pic.mb_width = structure.mb_width();
+      pic.mb_height = structure.mb_height();
+
+      FramePtr dst = pool.acquire();
+      dst->type = pic.header.type;
+      dst->temporal_reference = pic.header.temporal_reference;
+      pic.dst = dst.get();
+      pic.dst_id = dst->trace_id();
+      if (pic.header.type != PictureType::kI) {
+        // P predicts from the most recent reference; B from both.
+        const FramePtr& past =
+            pic.header.type == PictureType::kP ? bwd_ref : fwd_ref;
+        if (!past) return out;
+        pic.fwd_ref = past.get();
+        pic.fwd_id = past->trace_id();
+        if (pic.header.type == PictureType::kB) {
+          if (!bwd_ref) return out;
+          pic.bwd_ref = bwd_ref.get();
+          pic.bwd_id = bwd_ref->trace_id();
+        }
+      }
+
+      if (conceal_errors_) {
+        for (const auto& slice : info.slices) {
+          pmp2::BitReader sbr(stream);
+          sbr.seek_bytes(slice.offset + 4);
+          const SliceResult r = decode_slice(sbr, slice.row, pic, sink, proc);
+          if (r.ok) {
+            out.work += r.work;
+          } else {
+            conceal_slice(pic, slice.row);
+            ++out.concealed_slices;
+          }
+        }
+      } else if (!decode_picture_slices(stream, info, pic, out.work, sink,
+                                        proc)) {
+        return out;
+      }
+
+      if (pic.header.type != PictureType::kB) {
+        fwd_ref = bwd_ref;
+        bwd_ref = dst;
+      }
+      reorder.push(std::move(dst), ready);
+      for (auto& f : ready) on_frame(std::move(f));
+      ready.clear();
+    }
+  }
+  reorder.flush(ready);
+  for (auto& f : ready) on_frame(std::move(f));
+  out.ok = true;
+  return out;
+}
+
+DecodedStream Decoder::decode(std::span<const std::uint8_t> stream,
+                              TraceSink* sink, int proc) {
+  DecodedStream out;
+  const Status st = decode_stream(
+      stream, [&out](FramePtr f) { out.frames.push_back(std::move(f)); },
+      sink, proc);
+  out.ok = st.ok;
+  out.work = st.work;
+  out.seq = st.seq;
+  out.concealed_slices = st.concealed_slices;
+  return out;
+}
+
+}  // namespace pmp2::mpeg2

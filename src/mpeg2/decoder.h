@@ -1,0 +1,152 @@
+// Stream-level MPEG-2 decoding: structure scan (the "scan process" of the
+// paper's Fig. 4), picture decoding, display reordering, and the sequential
+// reference decoder against which both parallel decoders are verified
+// bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "mpeg2/frame.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/slice_decode.h"
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+/// One slice located by the scan pass.
+struct SliceInfo {
+  std::uint64_t offset = 0;  // byte offset of the slice startcode
+  int row = 0;               // macroblock row (slice_vertical_position - 1)
+};
+
+/// One picture located by the scan pass.
+struct PictureInfo {
+  std::uint64_t offset = 0;  // byte offset of the picture startcode
+  PictureType type = PictureType::kI;
+  int temporal_reference = 0;
+  std::vector<SliceInfo> slices;
+};
+
+/// One GOP located by the scan pass.
+struct GopInfo {
+  std::uint64_t offset = 0;  // byte offset of the group startcode
+  std::uint64_t end_offset = 0;  // one past the last byte of the GOP's data
+  bool closed = true;
+  std::vector<PictureInfo> pictures;
+};
+
+/// Output of the scan pass over a whole elementary stream.
+struct StreamStructure {
+  SequenceHeader seq;
+  SequenceExtension ext;
+  std::vector<GopInfo> gops;
+  bool valid = false;
+  /// True when the stream carries no sequence extension: an MPEG-1 stream
+  /// (ISO 11172-2). Motion vectors may then be full-pel and DCT escapes
+  /// use the MPEG-1 fixed-length level coding.
+  bool mpeg1 = false;
+
+  [[nodiscard]] int mb_width() const {
+    return (seq.horizontal_size + 15) / 16;
+  }
+  [[nodiscard]] int mb_height() const {
+    return (seq.vertical_size + 15) / 16;
+  }
+  [[nodiscard]] int total_pictures() const {
+    int n = 0;
+    for (const auto& g : gops) n += static_cast<int>(g.pictures.size());
+    return n;
+  }
+};
+
+/// Scans the stream once — startcodes plus the few header fields task
+/// creation needs (GOP closedness, picture type). This is exactly the work
+/// the scan process performs; Table 2 benches its rate.
+[[nodiscard]] StreamStructure scan_structure(
+    std::span<const std::uint8_t> stream);
+
+/// Parses picture_header and (for MPEG-2) picture_coding_extension with
+/// `br` positioned at the picture startcode. For MPEG-1 streams (no
+/// extension follows) an equivalent extension state is synthesized from the
+/// picture header's f_codes. On return `br` rests at the first slice
+/// startcode (or wherever parsing failed).
+bool parse_picture_headers(BitReader& br, PictureHeader& ph,
+                           PictureCodingExtension& pce);
+
+/// Decodes all slices of one picture sequentially. `pic` must be fully
+/// populated (dst + refs). Returns false on any slice error.
+bool decode_picture_slices(std::span<const std::uint8_t> stream,
+                           const PictureInfo& info, const PictureContext& pic,
+                           WorkMeter& work, TraceSink* sink = nullptr,
+                           int proc = 0);
+
+/// Error concealment: overwrites the macroblock rows of one slice with the
+/// co-located pels of the forward reference (mid-gray when the picture has
+/// none), the standard temporal-concealment fallback for a corrupt slice.
+void conceal_slice(const PictureContext& pic, int slice_row);
+
+/// A decoded stream in display order.
+struct DecodedStream {
+  std::vector<FramePtr> frames;  // display order
+  WorkMeter work;
+  SequenceHeader seq;
+  bool ok = false;
+  int concealed_slices = 0;
+};
+
+/// Reference sequential decoder. One instance per stream decode.
+class Decoder {
+ public:
+  /// With `conceal_errors`, a corrupt slice is concealed (see
+  /// conceal_slice) instead of aborting the decode; the error count is
+  /// reported in Status/DecodedStream.
+  explicit Decoder(MemoryTracker* tracker = nullptr,
+                   bool conceal_errors = false)
+      : tracker_(tracker), conceal_errors_(conceal_errors) {}
+
+  /// Streaming decode: frames are delivered in display order through
+  /// `on_frame` and can be released immediately (long benchmark runs must
+  /// not retain 1120 frames). Returns ok + accumulated work.
+  struct Status {
+    bool ok = false;
+    WorkMeter work;
+    SequenceHeader seq;
+    int concealed_slices = 0;
+  };
+  using FrameCallback = std::function<void(FramePtr)>;
+  Status decode_stream(std::span<const std::uint8_t> stream,
+                       const FrameCallback& on_frame,
+                       TraceSink* sink = nullptr, int proc = 0);
+
+  /// Convenience: decodes a whole elementary stream into display-order
+  /// frames (small streams / tests).
+  [[nodiscard]] DecodedStream decode(std::span<const std::uint8_t> stream,
+                                     TraceSink* sink = nullptr, int proc = 0);
+
+ private:
+  MemoryTracker* tracker_;
+  bool conceal_errors_;
+};
+
+/// Display reordering helper shared by every decoder variant: feed frames
+/// in decode order, emit() yields them in display order. (B frames pass
+/// through; reference frames are held until the next reference arrives.)
+class DisplayReorder {
+ public:
+  /// Adds a frame in decode order; appends 0..2 display-order frames to
+  /// `out`.
+  void push(FramePtr frame, std::vector<FramePtr>& out);
+
+  /// Flushes the pending reference at end of stream.
+  void flush(std::vector<FramePtr>& out);
+
+ private:
+  FramePtr pending_ref_;
+  int next_display_index_ = 0;
+};
+
+}  // namespace pmp2::mpeg2

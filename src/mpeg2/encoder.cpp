@@ -1,0 +1,769 @@
+#include "mpeg2/encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "mpeg2/dct.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/motion_est.h"
+#include "mpeg2/scan_quant.h"
+#include "mpeg2/slice_decode.h"
+#include "mpeg2/vlc_tables.h"
+
+namespace pmp2::mpeg2 {
+
+void pad_coded_border(Frame& frame) {
+  for (int p = 0; p < 3; ++p) {
+    const int stride = frame.stride(p);
+    const int dw = p == 0 ? frame.width() : frame.width() / 2;
+    const int dh = p == 0 ? frame.height() : frame.height() / 2;
+    const int cw = stride;
+    const int ch = p == 0 ? frame.coded_height() : frame.coded_height() / 2;
+    std::uint8_t* pl = frame.plane(p);
+    for (int y = 0; y < dh; ++y) {
+      std::uint8_t* row = pl + y * stride;
+      for (int x = dw; x < cw; ++x) row[x] = row[dw - 1];
+    }
+    for (int y = dh; y < ch; ++y) {
+      std::memcpy(pl + y * stride, pl + (dh - 1) * stride,
+                  static_cast<std::size_t>(stride));
+    }
+  }
+}
+
+namespace {
+
+/// Per-slice encoding state; mirrors the decoder's SliceState transitions
+/// exactly (that is what keeps differential coding consistent).
+struct SliceEncState {
+  int dc_pred[3];
+  int pmv[2][2][2];  // [vector r][fwd/bwd s][x/y t], as in the decoder
+  std::uint8_t prev_b_flags = 0;  // previous B macroblock's motion flags
+  MotionVector prev_fwd{}, prev_bwd{};
+  int skip_run = 0;
+
+  explicit SliceEncState(int intra_dc_precision_coded) {
+    reset_dc(intra_dc_precision_coded);
+    reset_pmv();
+  }
+  void reset_dc(int prec) {
+    dc_pred[0] = dc_pred[1] = dc_pred[2] = 128 << prec;
+  }
+  void reset_pmv() {
+    for (auto& r : pmv) {
+      for (auto& sv : r) sv[0] = sv[1] = 0;
+    }
+  }
+};
+
+/// 8x8 source pels (or residual vs a prediction) as doubles for the FDCT.
+void load_block(const std::uint8_t* src, int src_stride,
+                const std::uint8_t* pred, int pred_stride,
+                std::array<double, 64>& out) {
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      const int s = src[r * src_stride + c];
+      out[r * 8 + c] =
+          pred ? s - static_cast<int>(pred[r * pred_stride + c]) : s;
+    }
+  }
+}
+
+/// Adds (non-intra) or stores (intra) an IDCT block into the recon frame —
+/// identical arithmetic to the decoder's store_block. `dst` points at the
+/// block's first pel; `stride` includes any field-line doubling.
+void recon_block(std::uint8_t* dst, int stride, const Block& b, bool add) {
+  for (int r = 0; r < 8; ++r) {
+    std::uint8_t* row = dst + r * stride;
+    const std::int16_t* src = b.data() + r * 8;
+    for (int c = 0; c < 8; ++c) {
+      row[c] = clamp_pel(add ? row[c] + src[c] : src[c]);
+    }
+  }
+}
+
+/// Emits the AC run/level sequence of a quantized block plus EOB.
+/// `start_idx` is 1 for intra (DC handled separately) and 0 for non-intra;
+/// `first_special` enables the non-intra first-coefficient short form.
+void emit_ac(BitWriter& bw, const Block& q,
+             const std::array<std::uint8_t, 64>& scan, bool table_one,
+             int start_idx, bool first_special, bool mpeg1 = false) {
+  int run = 0;
+  bool first = first_special;
+  for (int i = start_idx; i < 64; ++i) {
+    const int level = q[scan[i]];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    const int mag = level < 0 ? -level : level;
+    if (first && run == 0 && mag == 1) {
+      bw.put_bit(1);
+      bw.put_bit(level < 0);
+    } else {
+      const Code code = encode_dct_run_level(table_one, run, mag);
+      if (code.len != 0) {
+        code.put(bw);
+        bw.put_bit(level < 0);
+      } else {
+        dct_escape_code().put(bw);
+        bw.put(static_cast<std::uint32_t>(run), 6);
+        if (mpeg1) {
+          // MPEG-1 escape levels: 8-bit two's complement, or the 0x00 /
+          // 0x80 marker plus 8 bits for |level| >= 128 (level <= 255).
+          if (level > 0 && level < 128) {
+            bw.put(static_cast<std::uint32_t>(level), 8);
+          } else if (level < 0 && level > -128) {
+            bw.put(static_cast<std::uint32_t>(level) & 0xFF, 8);
+          } else if (level >= 128) {
+            bw.put(0, 8);
+            bw.put(static_cast<std::uint32_t>(level), 8);
+          } else {
+            bw.put(128, 8);
+            bw.put(static_cast<std::uint32_t>(level + 256), 8);
+          }
+        } else {
+          bw.put(static_cast<std::uint32_t>(level) & 0xFFF, 12);
+        }
+      }
+    }
+    first = false;
+    run = 0;
+  }
+  dct_eob_code(table_one).put(bw);
+}
+
+/// MPEG-1 limits quantized levels to [-255, 255] (8/16-bit escapes).
+void clamp_levels_mpeg1(Block& q) {
+  for (auto& v : q) {
+    if (v > 255) v = 255;
+    if (v < -255) v = -255;
+  }
+}
+
+/// Emits dct_dc_size + dc_differential and updates the predictor.
+void emit_intra_dc(BitWriter& bw, bool luma, int qf_dc, int& pred) {
+  int diff = qf_dc - pred;
+  pred = qf_dc;
+  int size = 0;
+  for (int mag = diff < 0 ? -diff : diff; mag != 0; mag >>= 1) ++size;
+  assert(size <= 11);
+  encode_dct_dc_size(luma, size).put(bw);
+  if (size > 0) {
+    const int bits = diff > 0 ? diff : diff + (1 << size) - 1;
+    bw.put(static_cast<std::uint32_t>(bits), size);
+  }
+}
+
+/// Emits macroblock_address_increment for (skip_run skipped MBs + this MB).
+void emit_addr_increment(BitWriter& bw, int& skip_run) {
+  int increment = skip_run + 1;
+  skip_run = 0;
+  while (increment > 33) {
+    bw.put(0b00000001000, 11);  // macroblock_escape: adds 33
+    increment -= 33;
+  }
+  encode_mb_addr_inc(increment).put(bw);
+}
+
+/// Luma SAD of the averaged (bidirectional) prediction.
+int bi_sad(const Frame& fwd, const Frame& bwd, const Frame& cur, int mb_x,
+           int mb_y, MotionVector mvf, MotionVector mvb) {
+  std::uint8_t pf[256], pb[256];
+  form_prediction(fwd.y(), fwd.y_stride(), pf, 16, mb_x * 16, mb_y * 16, 16,
+                  16, mvf.x, mvf.y, McMode::kCopy);
+  form_prediction(bwd.y(), bwd.y_stride(), pb, 16, mb_x * 16, mb_y * 16, 16,
+                  16, mvb.x, mvb.y, McMode::kCopy);
+  const int cs = cur.y_stride();
+  const std::uint8_t* c = cur.y() + mb_y * 16 * cs + mb_x * 16;
+  int sad = 0;
+  for (int r = 0; r < 16; ++r) {
+    for (int col = 0; col < 16; ++col) {
+      const int pel = (pf[r * 16 + col] + pb[r * 16 + col] + 1) >> 1;
+      const int d = pel - c[r * cs + col];
+      sad += d < 0 ? -d : d;
+    }
+  }
+  return sad;
+}
+
+}  // namespace
+
+Encoder::Encoder(const EncoderConfig& config)
+    : config_(config),
+      f_code_(f_code_for_range(2 * config.search_range + 1)),
+      pool_(config.width, config.height) {
+  if (config_.mpeg1) {
+    // MPEG-1 has none of these MPEG-2 coding options.
+    config_.intra_vlc_format = false;
+    config_.alternate_scan = false;
+    config_.q_scale_type = false;
+    config_.intra_dc_precision = 0;
+    config_.interlaced_tools = false;
+  }
+  SequenceHeader sh;
+  sh.horizontal_size = config_.width;
+  sh.vertical_size = config_.height;
+  sh.frame_rate_code = config_.frame_rate_code;
+  sh.bit_rate = config_.bit_rate;
+  write_sequence_header(bw_, sh);
+  if (!config_.mpeg1) {
+    SequenceExtension ext;
+    ext.progressive_sequence = !config_.interlaced_tools;
+    write_sequence_extension(bw_, sh, ext);
+  }
+}
+
+void Encoder::push_frame(FramePtr frame) {
+  assert(!finished_);
+  assert(frame->width() == config_.width &&
+         frame->height() == config_.height);
+  pad_coded_border(*frame);
+  gop_.push_back(std::move(frame));
+  if (static_cast<int>(gop_.size()) == config_.gop_size) encode_gop();
+}
+
+std::vector<std::uint8_t> Encoder::finish() {
+  assert(!finished_);
+  if (!gop_.empty()) encode_gop();
+  bw_.put_startcode(0xB7);  // sequence_end_code
+  finished_ = true;
+  return bw_.take();
+}
+
+int Encoder::current_qscale_code() const {
+  if (!config_.rate_control) return config_.base_qscale_code;
+  const int code = static_cast<int>(
+      std::lround(config_.base_qscale_code * rate_ratio_));
+  return std::clamp(code, 2, 31);
+}
+
+void Encoder::update_rate_control(std::int64_t picture_bits) {
+  stats_.bits_total += picture_bits;
+  if (!config_.rate_control) return;
+  SequenceHeader sh;
+  sh.frame_rate_code = config_.frame_rate_code;
+  const double target_per_pic =
+      static_cast<double>(config_.bit_rate) / sh.frame_rate();
+  const double target_cum = target_per_pic * stats_.pictures;
+  if (target_cum <= 0) return;
+  const double ratio = static_cast<double>(stats_.bits_total) / target_cum;
+  rate_ratio_ = std::clamp(0.5 * rate_ratio_ + 0.5 * ratio, 0.25, 8.0);
+}
+
+void Encoder::encode_gop() {
+  const int n = static_cast<int>(gop_.size());
+  const int m = config_.ip_distance;
+  GopHeader gh;
+  gh.closed_gop = true;
+  // SMPTE-ish time code from the first display index of this GOP.
+  {
+    const int fps = 30;
+    const int idx = stats_.pictures;
+    const int pic = idx % fps;
+    const int total_s = idx / fps;
+    const int s = total_s % 60;
+    const int min = (total_s / 60) % 60;
+    const int h = (total_s / 3600) % 24;
+    gh.time_code = (static_cast<std::uint32_t>(h) << 19) |
+                   (static_cast<std::uint32_t>(min) << 13) | (1u << 12) |
+                   (static_cast<std::uint32_t>(s) << 6) |
+                   static_cast<std::uint32_t>(pic);
+  }
+  write_gop_header(bw_, gh);
+
+  FramePtr recon_scratch = pool_.acquire();  // reused for every B picture
+  FramePtr prev_ref;
+  int prev_pos = 0;
+
+  auto encode_one = [&](int pos, PictureType type, const Frame* fwd,
+                        const Frame* bwd, Frame& recon) {
+    encode_picture(*gop_[pos], type, pos, fwd, bwd, recon);
+  };
+
+  // I picture at display position 0.
+  FramePtr recon_i = pool_.acquire();
+  encode_one(0, PictureType::kI, nullptr, nullptr, *recon_i);
+  prev_ref = recon_i;
+
+  // Reference pictures at positions M, 2M, ...; B pictures in between are
+  // emitted after their future reference (coded order).
+  int r = m;
+  for (; r < n; r += m) {
+    FramePtr recon_p = pool_.acquire();
+    encode_one(r, PictureType::kP, prev_ref.get(), nullptr, *recon_p);
+    for (int b = prev_pos + 1; b < r; ++b) {
+      encode_one(b, PictureType::kB, prev_ref.get(), recon_p.get(),
+                 *recon_scratch);
+    }
+    prev_ref = recon_p;
+    prev_pos = r;
+  }
+  // Tail pictures after the last reference (only when N % M != 1):
+  // encoded as a chain of P pictures.
+  for (int pos = prev_pos + 1; pos < n; ++pos) {
+    FramePtr recon_p = pool_.acquire();
+    encode_one(pos, PictureType::kP, prev_ref.get(), nullptr, *recon_p);
+    prev_ref = recon_p;
+  }
+
+  gop_.clear();
+  ++stats_.gops;
+}
+
+void Encoder::encode_picture(const Frame& src, PictureType type,
+                             int temporal_ref, const Frame* fwd,
+                             const Frame* bwd, Frame& recon) {
+  const std::uint64_t bits_before = bw_.bit_count();
+
+  PictureHeader ph;
+  ph.temporal_reference = temporal_ref & 1023;
+  ph.type = type;
+  if (config_.mpeg1) {
+    // MPEG-1 carries the f_codes in the picture header (half-pel units:
+    // full_pel flags stay false).
+    if (type != PictureType::kI) ph.forward_f_code = f_code_;
+    if (type == PictureType::kB) ph.backward_f_code = f_code_;
+  }
+  write_picture_header(bw_, ph);
+
+  if (!config_.mpeg1) {
+    PictureCodingExtension pce;
+    if (type != PictureType::kI) {
+      pce.f_code[0][0] = pce.f_code[0][1] = f_code_;
+    }
+    if (type == PictureType::kB) {
+      pce.f_code[1][0] = pce.f_code[1][1] = f_code_;
+    }
+    pce.intra_dc_precision = config_.intra_dc_precision;
+    pce.intra_vlc_format = config_.intra_vlc_format;
+    pce.alternate_scan = config_.alternate_scan;
+    pce.q_scale_type = config_.q_scale_type;
+    if (config_.interlaced_tools) {
+      pce.frame_pred_frame_dct = false;
+      pce.progressive_frame = false;
+      pce.top_field_first = config_.top_field_first;
+    }
+    write_picture_coding_extension(bw_, pce);
+  }
+
+  const int mb_w = src.mb_width();
+  const int mb_h = src.mb_height();
+  const int qscale_code = current_qscale_code();
+  const auto& scan = scan_order(config_.alternate_scan);
+
+  QuantContext qintra, qinter;
+  static const auto intra_matrix = default_intra_matrix();
+  static const auto non_intra_matrix = default_non_intra_matrix();
+  qintra.matrix = intra_matrix.data();
+  qinter.matrix = non_intra_matrix.data();
+  qintra.quantiser_scale = qinter.quantiser_scale =
+      quantiser_scale(qscale_code, config_.q_scale_type);
+  qintra.intra_dc_mult = intra_dc_mult(8 + config_.intra_dc_precision);
+
+  // Block geometry within a macroblock: {plane, x offset, y offset, luma}.
+  struct BlockGeom {
+    int plane, dx, dy;
+    bool luma;
+  };
+  static constexpr BlockGeom kGeom[6] = {
+      {0, 0, 0, true}, {0, 8, 0, true}, {0, 0, 8, true},
+      {0, 8, 8, true}, {1, 0, 0, false}, {2, 0, 0, false},
+  };
+  // Resolves one block's position: with field DCT, luma blocks cover the
+  // macroblock's top/bottom field lines (line step 2), mirroring the
+  // decoder's mapping.
+  struct BlockPos {
+    int plane, x, y, step;
+    bool luma;
+  };
+  auto block_pos = [&](int b, int mb_x, int mb_y, bool field_dct) {
+    const auto& g = kGeom[b];
+    BlockPos p;
+    p.plane = g.plane;
+    p.luma = g.luma;
+    if (g.luma) {
+      p.x = mb_x * 16 + g.dx;
+      if (field_dct) {
+        p.y = mb_y * 16 + (b >> 1);
+        p.step = 2;
+      } else {
+        p.y = mb_y * 16 + g.dy;
+        p.step = 1;
+      }
+    } else {
+      p.x = mb_x * 8;
+      p.y = mb_y * 8;
+      p.step = 1;
+    }
+    return p;
+  };
+  const bool interlaced = config_.interlaced_tools;
+
+  // Encodes the six blocks of an *intra* macroblock: quantize, emit, and
+  // reconstruct.
+  auto encode_intra_mb = [&](int mb_x, int mb_y, SliceEncState& st) {
+    emit_addr_increment(bw_, st.skip_run);
+    encode_mb_type(static_cast<int>(type), MbFlags::kIntra).put(bw_);
+    const bool field_dct = interlaced && prefer_field_dct(src, mb_x, mb_y);
+    if (interlaced) {
+      bw_.put_bit(field_dct);  // dct_type
+      if (field_dct) ++stats_.field_dct_mbs;
+    }
+    st.reset_pmv();
+    std::array<double, 64> dct_in, dct_out;
+    Block q;
+    for (int b = 0; b < 6; ++b) {
+      const auto bp = block_pos(b, mb_x, mb_y, field_dct);
+      const int stride = src.stride(bp.plane);
+      load_block(src.plane(bp.plane) + bp.y * stride + bp.x,
+                 stride * bp.step, nullptr, 0, dct_in);
+      fdct_reference(dct_in, dct_out);
+      quantize_intra(dct_out, q, qintra);
+      const int cc = bp.luma ? 0 : bp.plane;
+      if (config_.mpeg1) clamp_levels_mpeg1(q);
+      emit_intra_dc(bw_, bp.luma, q[0], st.dc_pred[cc]);
+      emit_ac(bw_, q, scan, config_.intra_vlc_format, 1, false,
+              config_.mpeg1);
+      // Reconstruct through the decoder's arithmetic.
+      Block d = q;
+      dequantize_intra(d, qintra);
+      idct_int(d);
+      recon_block(recon.plane(bp.plane) + bp.y * stride + bp.x,
+                  stride * bp.step, d, /*add=*/false);
+    }
+    if (type == PictureType::kB) st.prev_b_flags = 0;
+    ++stats_.intra_mbs;
+  };
+
+  // Quantizes the residual blocks of an inter MB whose prediction is
+  // already in `recon`; returns cbp and fills `qblocks`.
+  auto quantize_residuals = [&](int mb_x, int mb_y, bool field_dct,
+                                std::array<Block, 6>& qblocks) {
+    int cbp = 0;
+    std::array<double, 64> dct_in, dct_out;
+    for (int b = 0; b < 6; ++b) {
+      const auto bp = block_pos(b, mb_x, mb_y, field_dct);
+      const int stride = src.stride(bp.plane);
+      load_block(src.plane(bp.plane) + bp.y * stride + bp.x,
+                 stride * bp.step,
+                 recon.plane(bp.plane) + bp.y * stride + bp.x,
+                 stride * bp.step, dct_in);
+      // Skip bias: a residual this small is quantization noise from the
+      // reference — coding it chases the error around (and costs bits).
+      double res_sad = 0;
+      for (const double v : dct_in) res_sad += v < 0 ? -v : v;
+      if (res_sad < 2.5 * 64) {
+        qblocks[b].fill(0);
+        continue;
+      }
+      fdct_reference(dct_in, dct_out);
+      quantize_non_intra(dct_out, qblocks[b], qinter);
+      if (config_.mpeg1) clamp_levels_mpeg1(qblocks[b]);
+      bool any = false;
+      for (const auto v : qblocks[b]) {
+        if (v != 0) {
+          any = true;
+          break;
+        }
+      }
+      if (any) cbp |= 1 << (5 - b);
+    }
+    return cbp;
+  };
+
+  // Emits coefficients and reconstructs the coded blocks of an inter MB.
+  auto emit_and_recon_inter_blocks = [&](int mb_x, int mb_y, int cbp,
+                                         bool field_dct,
+                                         const std::array<Block, 6>& qblocks) {
+    for (int b = 0; b < 6; ++b) {
+      if ((cbp & (1 << (5 - b))) == 0) continue;
+      const auto bp = block_pos(b, mb_x, mb_y, field_dct);
+      const int stride = src.stride(bp.plane);
+      emit_ac(bw_, qblocks[b], scan, /*table_one=*/false, 0,
+              /*first_special=*/true, config_.mpeg1);
+      Block d = qblocks[b];
+      dequantize_non_intra(d, qinter);
+      idct_int(d);
+      recon_block(recon.plane(bp.plane) + bp.y * stride + bp.x,
+                  stride * bp.step, d, /*add=*/true);
+    }
+  };
+
+  // Emits a frame motion vector (both PMV rows updated, as the decoder
+  // does) or a field vector (vertical predictor at frame scale: /2 on
+  // predict, x2 on store).
+  auto emit_frame_mv = [&](SliceEncState& st, int s, MotionVector mv) {
+    encode_mv_component(bw_, f_code_, mv.x, st.pmv[0][s][0]);
+    encode_mv_component(bw_, f_code_, mv.y, st.pmv[0][s][1]);
+    st.pmv[1][s][0] = st.pmv[0][s][0];
+    st.pmv[1][s][1] = st.pmv[0][s][1];
+  };
+  auto emit_field_mv = [&](SliceEncState& st, int r, int s, int select,
+                           MotionVector mv) {
+    bw_.put_bit(select);
+    encode_mv_component(bw_, f_code_, mv.x, st.pmv[r][s][0]);
+    int vert = st.pmv[r][s][1] >> 1;
+    encode_mv_component(bw_, f_code_, mv.y, vert);
+    st.pmv[r][s][1] = mv.y * 2;
+  };
+
+  const int segments = std::clamp(config_.slices_per_row, 1, mb_w);
+  for (int mb_y = 0; mb_y < mb_h; ++mb_y) {
+    for (int seg = 0; seg < segments; ++seg) {
+    const int seg_begin = seg * mb_w / segments;
+    const int seg_end = (seg + 1) * mb_w / segments;
+    bw_.put_startcode(static_cast<std::uint8_t>(mb_y + 1));
+    bw_.put(static_cast<std::uint32_t>(qscale_code), 5);
+    bw_.put_bit(0);  // extra_bit_slice
+    SliceEncState st(config_.intra_dc_precision);
+    // The first macroblock's address increment positions the slice within
+    // the row (§6.3.16); seed the pending run with the column offset.
+    st.skip_run = seg_begin;
+
+    for (int mb_x = seg_begin; mb_x < seg_end; ++mb_x) {
+      const bool edge = (mb_x == seg_begin) || (mb_x == seg_end - 1);
+
+      if (type == PictureType::kI) {
+        encode_intra_mb(mb_x, mb_y, st);
+        continue;
+      }
+
+      if (type == PictureType::kP) {
+        const MeResult me = estimate_motion(
+            *fwd, src, mb_x, mb_y, config_.search_range,
+            {static_cast<std::int16_t>(st.pmv[0][0][0]),
+             static_cast<std::int16_t>(st.pmv[0][0][1])});
+        // Field prediction candidate (interlaced tools): best reference
+        // field for each destination field.
+        MeResult field_me[2];
+        int field_sel[2] = {0, 0};
+        int field_total = std::numeric_limits<int>::max();
+        if (interlaced) {
+          field_total = 0;
+          for (int r = 0; r < 2; ++r) {
+            for (int sel = 0; sel < 2; ++sel) {
+              const MeResult cand = estimate_motion_field(
+                  *fwd, src, mb_x, mb_y, r, sel, config_.search_range);
+              if (sel == 0 || cand.sad < field_me[r].sad) {
+                field_me[r] = cand;
+                field_sel[r] = sel;
+              }
+            }
+            field_total += field_me[r].sad;
+          }
+        }
+        // ~40 extra header bits for field mode; bias keeps ties on frame.
+        const bool use_field = interlaced && field_total + 64 < me.sad;
+        const int inter_sad = use_field ? field_total : me.sad;
+        if (intra_activity(src, mb_x, mb_y) < inter_sad) {
+          encode_intra_mb(mb_x, mb_y, st);
+          continue;
+        }
+        const MotionVector mv = me.mv;
+        if (use_field) {
+          for (int r = 0; r < 2; ++r) {
+            mc_field_macroblock(*fwd, 0, recon, 0, mb_x, mb_y, r,
+                                field_sel[r], field_me[r].mv, McMode::kCopy);
+          }
+        } else {
+          mc_macroblock(*fwd, 0, recon, 0, mb_x, mb_y, mv, McMode::kCopy);
+        }
+        const bool field_dct =
+            interlaced && prefer_field_dct(src, mb_x, mb_y);
+        if (use_field) ++stats_.field_motion_mbs;
+        if (field_dct) ++stats_.field_dct_mbs;
+        std::array<Block, 6> qblocks;
+        const int cbp = quantize_residuals(mb_x, mb_y, field_dct, qblocks);
+        const bool zero_mv = !use_field && mv.x == 0 && mv.y == 0;
+        if (cbp == 0 && zero_mv && !edge) {
+          ++st.skip_run;
+          st.reset_dc(config_.intra_dc_precision);
+          st.reset_pmv();
+          ++stats_.skipped_mbs;
+          continue;
+        }
+        std::uint8_t flags;
+        if (cbp != 0) {
+          flags = (zero_mv && !use_field)
+                      ? MbFlags::kPattern
+                      : (MbFlags::kMotionForward | MbFlags::kPattern);
+        } else {
+          flags = MbFlags::kMotionForward;
+        }
+        emit_addr_increment(bw_, st.skip_run);
+        encode_mb_type(static_cast<int>(type), flags).put(bw_);
+        if (interlaced && (flags & MbFlags::kMotionForward)) {
+          bw_.put(use_field ? 0b01 : 0b10, 2);  // frame_motion_type
+        }
+        if (interlaced && (flags & MbFlags::kPattern)) {
+          bw_.put_bit(field_dct);  // dct_type
+        }
+        if (flags & MbFlags::kMotionForward) {
+          if (use_field) {
+            emit_field_mv(st, 0, 0, field_sel[0], field_me[0].mv);
+            emit_field_mv(st, 1, 0, field_sel[1], field_me[1].mv);
+          } else {
+            emit_frame_mv(st, 0, mv);
+          }
+        } else {
+          st.reset_pmv();  // "no MC" P macroblock resets predictors
+        }
+        if (flags & MbFlags::kPattern) {
+          encode_coded_block_pattern(cbp).put(bw_);
+        }
+        st.reset_dc(config_.intra_dc_precision);
+        emit_and_recon_inter_blocks(mb_x, mb_y, cbp, field_dct, qblocks);
+        ++stats_.inter_mbs;
+        continue;
+      }
+
+      // B picture: frame motion only (field B prediction is left to the
+      // decoder's generality; the encoder keeps B pictures simple).
+      const MeResult mef = estimate_motion(
+          *fwd, src, mb_x, mb_y, config_.search_range,
+          {static_cast<std::int16_t>(st.pmv[0][0][0]),
+           static_cast<std::int16_t>(st.pmv[0][0][1])});
+      const MeResult meb = estimate_motion(
+          *bwd, src, mb_x, mb_y, config_.search_range,
+          {static_cast<std::int16_t>(st.pmv[0][1][0]),
+           static_cast<std::int16_t>(st.pmv[0][1][1])});
+      const int sad_bi =
+          bi_sad(*fwd, *bwd, src, mb_x, mb_y, mef.mv, meb.mv);
+      // Field candidates (interlaced tools): single-direction field
+      // prediction, per destination field with the best reference field.
+      MeResult f_fwd[2], f_bwd[2];
+      int sel_fwd[2] = {0, 0}, sel_bwd[2] = {0, 0};
+      int sad_field_fwd = std::numeric_limits<int>::max();
+      int sad_field_bwd = std::numeric_limits<int>::max();
+      if (interlaced) {
+        sad_field_fwd = sad_field_bwd = 0;
+        for (int r = 0; r < 2; ++r) {
+          for (int sel = 0; sel < 2; ++sel) {
+            const MeResult cf = estimate_motion_field(
+                *fwd, src, mb_x, mb_y, r, sel, config_.search_range);
+            if (sel == 0 || cf.sad < f_fwd[r].sad) {
+              f_fwd[r] = cf;
+              sel_fwd[r] = sel;
+            }
+            const MeResult cb = estimate_motion_field(
+                *bwd, src, mb_x, mb_y, r, sel, config_.search_range);
+            if (sel == 0 || cb.sad < f_bwd[r].sad) {
+              f_bwd[r] = cb;
+              sel_bwd[r] = sel;
+            }
+          }
+          sad_field_fwd += f_fwd[r].sad;
+          sad_field_bwd += f_bwd[r].sad;
+        }
+        sad_field_fwd += 64;  // extra header bits bias
+        sad_field_bwd += 64;
+      }
+      std::uint8_t mode;
+      bool use_field = false;
+      int best_sad;
+      if (sad_bi <= mef.sad && sad_bi <= meb.sad) {
+        mode = MbFlags::kMotionForward | MbFlags::kMotionBackward;
+        best_sad = sad_bi;
+      } else if (mef.sad <= meb.sad) {
+        mode = MbFlags::kMotionForward;
+        best_sad = mef.sad;
+      } else {
+        mode = MbFlags::kMotionBackward;
+        best_sad = meb.sad;
+      }
+      if (interlaced && std::min(sad_field_fwd, sad_field_bwd) < best_sad) {
+        use_field = true;
+        if (sad_field_fwd <= sad_field_bwd) {
+          mode = MbFlags::kMotionForward;
+          best_sad = sad_field_fwd;
+        } else {
+          mode = MbFlags::kMotionBackward;
+          best_sad = sad_field_bwd;
+        }
+      }
+      if (intra_activity(src, mb_x, mb_y) < best_sad) {
+        encode_intra_mb(mb_x, mb_y, st);
+        continue;
+      }
+      // Build the prediction in recon via the decoder's own MC path.
+      if (use_field) {
+        const bool forward = (mode & MbFlags::kMotionForward) != 0;
+        const MeResult* fme = forward ? f_fwd : f_bwd;
+        const int* fsel = forward ? sel_fwd : sel_bwd;
+        const Frame* ref = forward ? fwd : bwd;
+        for (int r = 0; r < 2; ++r) {
+          mc_field_macroblock(*ref, 0, recon, 0, mb_x, mb_y, r, fsel[r],
+                              fme[r].mv, McMode::kCopy);
+        }
+        ++stats_.field_motion_mbs;
+      } else {
+        if (mode & MbFlags::kMotionForward) {
+          mc_macroblock(*fwd, 0, recon, 0, mb_x, mb_y, mef.mv,
+                        McMode::kCopy);
+        }
+        if (mode & MbFlags::kMotionBackward) {
+          mc_macroblock(*bwd, 0, recon, 0, mb_x, mb_y, meb.mv,
+                        (mode & MbFlags::kMotionForward) ? McMode::kAverage
+                                                         : McMode::kCopy);
+        }
+      }
+      const bool field_dct = interlaced && prefer_field_dct(src, mb_x, mb_y);
+      std::array<Block, 6> qblocks;
+      const int cbp = quantize_residuals(mb_x, mb_y, field_dct, qblocks);
+      const bool same_as_prev =
+          !use_field && st.prev_b_flags == mode &&
+          (!(mode & MbFlags::kMotionForward) || mef.mv == st.prev_fwd) &&
+          (!(mode & MbFlags::kMotionBackward) || meb.mv == st.prev_bwd);
+      if (cbp == 0 && same_as_prev && !edge) {
+        ++st.skip_run;
+        st.reset_dc(config_.intra_dc_precision);
+        ++stats_.skipped_mbs;
+        continue;
+      }
+      const std::uint8_t flags =
+          static_cast<std::uint8_t>(mode | (cbp != 0 ? MbFlags::kPattern : 0));
+      emit_addr_increment(bw_, st.skip_run);
+      encode_mb_type(static_cast<int>(type), flags).put(bw_);
+      if (interlaced) {
+        bw_.put(use_field ? 0b01 : 0b10, 2);  // frame_motion_type
+        if (flags & MbFlags::kPattern) bw_.put_bit(field_dct);
+      }
+      if (use_field) {
+        const bool forward = (mode & MbFlags::kMotionForward) != 0;
+        const int s_dir = forward ? 0 : 1;
+        const MeResult* fme = forward ? f_fwd : f_bwd;
+        const int* fsel = forward ? sel_fwd : sel_bwd;
+        emit_field_mv(st, 0, s_dir, fsel[0], fme[0].mv);
+        emit_field_mv(st, 1, s_dir, fsel[1], fme[1].mv);
+      } else {
+        if (mode & MbFlags::kMotionForward) emit_frame_mv(st, 0, mef.mv);
+        if (mode & MbFlags::kMotionBackward) emit_frame_mv(st, 1, meb.mv);
+      }
+      if (flags & MbFlags::kPattern) {
+        encode_coded_block_pattern(cbp).put(bw_);
+      }
+      // Field MBs disable the next skip (the frame-vector equality check
+      // cannot represent them); the decoder replays any mode on skip, but
+      // the encoder only ever skips after frame-motion MBs.
+      st.prev_b_flags = use_field ? 0 : mode;
+      st.prev_fwd = mef.mv;
+      st.prev_bwd = meb.mv;
+      st.reset_dc(config_.intra_dc_precision);
+      emit_and_recon_inter_blocks(mb_x, mb_y, cbp, field_dct, qblocks);
+      ++stats_.inter_mbs;
+    }
+    }
+  }
+
+  ++stats_.pictures;
+  ++stats_.pictures_by_type[static_cast<int>(type)];
+  const auto bits = static_cast<std::int64_t>(bw_.bit_count() - bits_before);
+  stats_.bits_by_type[static_cast<int>(type)] += bits;
+  update_rate_control(bits);
+}
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,105 @@
+// MPEG-2 main-profile encoder.
+//
+// Produces the test streams of the paper's Table 1: progressive frame
+// pictures, 4:2:0, one slice per macroblock row (as the MSSG encoder did),
+// GOP structure I (B B P)* with configurable N (pictures/GOP) and M = 3
+// (I/P distance), closed GOPs, and a simple proportional rate controller
+// toward the target bit rate.
+//
+// Reference pictures are reconstructed through the *decoder's* own
+// dequantize/IDCT/motion-compensation routines, so encoder and decoder
+// never drift: a stream decoded by any decoder variant reproduces exactly
+// the encoder's reconstruction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_writer.h"
+#include "mpeg2/frame.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+struct EncoderConfig {
+  int width = 352;
+  int height = 240;
+  int gop_size = 13;     // N: pictures per GOP (display order)
+  int ip_distance = 3;   // M: distance between reference pictures
+  int frame_rate_code = 5;  // 30 pictures/s
+  std::int64_t bit_rate = 5'000'000;  // target bits/s
+  bool rate_control = true;
+  int base_qscale_code = 8;  // quantiser_scale_code when rate_control off
+  int search_range = 7;      // full-pel motion search radius
+  bool intra_vlc_format = false;  // use Table B-15 for intra blocks
+  bool alternate_scan = false;
+  int intra_dc_precision = 0;  // coded value 0..3 (8..11 bits)
+  bool q_scale_type = false;   // non-linear quantiser_scale mapping
+  /// Emit an MPEG-1 (ISO 11172-2) stream: no sequence/picture extensions,
+  /// f_codes in the picture header, MPEG-1 escape-level coding, and the
+  /// MPEG-2-only options above forced off.
+  bool mpeg1 = false;
+  /// Interlace coding tools (frame pictures with frame_pred_frame_dct = 0):
+  /// per-macroblock field/frame DCT, and field/frame motion selection in P
+  /// pictures. Use with an interlaced source (SceneConfig::interlaced).
+  /// Forced off in MPEG-1 mode.
+  bool interlaced_tools = false;
+  bool top_field_first = true;
+  /// Slices per macroblock row (>= 1). The paper's streams — like most —
+  /// use one slice per row; more slices raise the fine-grained decoder's
+  /// parallelism ceiling (Fig. 11's knees move right) at a small bit cost
+  /// (headers + predictor resets).
+  int slices_per_row = 1;
+};
+
+struct EncoderStats {
+  int pictures = 0;
+  int gops = 0;
+  std::int64_t bits_total = 0;
+  std::int64_t bits_by_type[4] = {0, 0, 0, 0};  // indexed by PictureType
+  int pictures_by_type[4] = {0, 0, 0, 0};
+  int intra_mbs = 0;
+  int inter_mbs = 0;
+  int skipped_mbs = 0;
+  int field_motion_mbs = 0;  // interlaced tools: field-predicted MBs
+  int field_dct_mbs = 0;     // interlaced tools: field-DCT MBs
+};
+
+class Encoder {
+ public:
+  explicit Encoder(const EncoderConfig& config);
+
+  /// Appends one source frame in display order. The encoder pads the
+  /// frame's coded border (edge replication) in place.
+  void push_frame(FramePtr frame);
+
+  /// Flushes the final (possibly partial) GOP, writes sequence_end_code
+  /// and returns the elementary stream.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  [[nodiscard]] const EncoderStats& stats() const { return stats_; }
+  [[nodiscard]] const EncoderConfig& config() const { return config_; }
+
+ private:
+  void encode_gop();
+  void encode_picture(const Frame& src, PictureType type, int temporal_ref,
+                      const Frame* fwd, const Frame* bwd, Frame& recon);
+  int current_qscale_code() const;
+  void update_rate_control(std::int64_t picture_bits);
+
+  EncoderConfig config_;
+  int f_code_ = 1;
+  BitWriter bw_;
+  std::vector<FramePtr> gop_;  // pending display-order frames
+  FramePool pool_;             // reconstruction frames
+  EncoderStats stats_;
+  double rate_ratio_ = 1.0;  // running produced/target bits ratio
+  bool finished_ = false;
+};
+
+/// Replicates the right-most display column and bottom display row into the
+/// coded (macroblock-padded) border of all three planes.
+void pad_coded_border(Frame& frame);
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,87 @@
+#include "mpeg2/frame.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace pmp2::mpeg2 {
+
+namespace {
+constexpr int mb_ceil(int pels) {
+  return (pels + kMacroblockSize - 1) / kMacroblockSize;
+}
+
+std::atomic<int> g_next_trace_id{0};
+}  // namespace
+
+Frame::Frame(int width, int height, MemoryTracker* tracker)
+    : width_(width),
+      height_(height),
+      mb_width_(mb_ceil(width)),
+      mb_height_(mb_ceil(height)),
+      y_(static_cast<std::size_t>(mb_width_ * 16) * (mb_height_ * 16)),
+      cb_(y_.size() / 4),
+      cr_(y_.size() / 4),
+      tracker_(tracker),
+      trace_id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)) {
+  if (tracker_) tracker_->add(bytes());
+}
+
+Frame::~Frame() {
+  if (tracker_) tracker_->sub(bytes());
+}
+
+bool Frame::same_pels(const Frame& other) const {
+  return width_ == other.width_ && height_ == other.height_ &&
+         std::memcmp(y_.data(), other.y_.data(), y_.size()) == 0 &&
+         std::memcmp(cb_.data(), other.cb_.data(), cb_.size()) == 0 &&
+         std::memcmp(cr_.data(), other.cr_.data(), cr_.size()) == 0;
+}
+
+FramePtr FramePool::acquire() {
+  std::unique_ptr<Frame> frame;
+  {
+    const std::scoped_lock lock(impl_->mutex);
+    if (!impl_->free.empty()) {
+      frame = std::move(impl_->free.back());
+      impl_->free.pop_back();
+    }
+  }
+  if (!frame) {
+    frame = std::make_unique<Frame>(impl_->width, impl_->height,
+                                    impl_->tracker);
+  }
+  // The deleter returns the frame to the pool if the pool is still alive,
+  // and destroys it otherwise (handles may outlive the pool).
+  return FramePtr(frame.release(),
+                  [weak = std::weak_ptr<Impl>(impl_)](Frame* f) {
+                    if (auto impl = weak.lock()) {
+                      const std::scoped_lock lock(impl->mutex);
+                      impl->free.emplace_back(f);
+                    } else {
+                      delete f;
+                    }
+                  });
+}
+
+std::size_t FramePool::idle_count() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->free.size();
+}
+
+double psnr_y(const Frame& a, const Frame& b) {
+  double sse = 0.0;
+  for (int row = 0; row < a.height(); ++row) {
+    const std::uint8_t* pa = a.y() + row * a.y_stride();
+    const std::uint8_t* pb = b.y() + row * b.y_stride();
+    for (int col = 0; col < a.width(); ++col) {
+      const double d = static_cast<double>(pa[col]) - pb[col];
+      sse += d * d;
+    }
+  }
+  if (sse == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse = sse / (static_cast<double>(a.width()) * a.height());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace pmp2::mpeg2

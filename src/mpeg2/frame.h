@@ -1,0 +1,145 @@
+// Decoded-picture buffers (4:2:0 planar) with byte-accurate allocation
+// tracking.
+//
+// The paper's Fig. 8/9 experiments measure decoder memory as a function of
+// processors, GOP size and resolution; MemoryTracker provides the live /
+// high-water byte accounting those benches report. Every Frame registers
+// its plane bytes with the tracker it was created under.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+/// Thread-safe live/peak byte accounting.
+class MemoryTracker {
+ public:
+  void add(std::int64_t bytes) {
+    const std::int64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Lock-free high-water update.
+    std::int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset_peak() { peak_.store(current_bytes(), std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> current_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// One decoded picture: planar 4:2:0, dimensions padded up to whole
+/// macroblocks (the coded size); `width`/`height` are the display size.
+class Frame {
+ public:
+  /// Creates a frame; if `tracker` is non-null the plane bytes are
+  /// registered with it for the frame's lifetime.
+  Frame(int width, int height, MemoryTracker* tracker = nullptr);
+  ~Frame();
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int mb_width() const { return mb_width_; }
+  [[nodiscard]] int mb_height() const { return mb_height_; }
+  /// Luma stride in bytes (== coded width).
+  [[nodiscard]] int y_stride() const { return mb_width_ * kMacroblockSize; }
+  /// Chroma stride in bytes.
+  [[nodiscard]] int c_stride() const { return y_stride() / 2; }
+  [[nodiscard]] int coded_height() const {
+    return mb_height_ * kMacroblockSize;
+  }
+
+  [[nodiscard]] std::uint8_t* y() { return y_.data(); }
+  [[nodiscard]] std::uint8_t* cb() { return cb_.data(); }
+  [[nodiscard]] std::uint8_t* cr() { return cr_.data(); }
+  [[nodiscard]] const std::uint8_t* y() const { return y_.data(); }
+  [[nodiscard]] const std::uint8_t* cb() const { return cb_.data(); }
+  [[nodiscard]] const std::uint8_t* cr() const { return cr_.data(); }
+
+  /// Plane accessor: 0 = Y, 1 = Cb, 2 = Cr.
+  [[nodiscard]] std::uint8_t* plane(int i) {
+    return i == 0 ? y() : (i == 1 ? cb() : cr());
+  }
+  [[nodiscard]] const std::uint8_t* plane(int i) const {
+    return i == 0 ? y() : (i == 1 ? cb() : cr());
+  }
+  [[nodiscard]] int stride(int i) const {
+    return i == 0 ? y_stride() : c_stride();
+  }
+
+  [[nodiscard]] std::int64_t bytes() const {
+    return static_cast<std::int64_t>(y_.size() + cb_.size() + cr_.size());
+  }
+
+  /// True iff every pel of every plane matches (bit-exactness checks).
+  [[nodiscard]] bool same_pels(const Frame& other) const;
+
+  // Decode-order metadata, filled by the decoders.
+  PictureType type = PictureType::kI;
+  int temporal_reference = 0;  // within its GOP
+  int display_index = 0;       // global display order
+
+  /// Stable logical identity for trace generation: frames recycled through
+  /// a pool keep their id, mirroring buffer reuse in a real decoder.
+  [[nodiscard]] int trace_id() const { return trace_id_; }
+
+ private:
+  int width_, height_, mb_width_, mb_height_;
+  std::vector<std::uint8_t> y_, cb_, cr_;
+  MemoryTracker* tracker_;
+  int trace_id_;
+};
+
+using FramePtr = std::shared_ptr<Frame>;
+
+/// Recycles frames of one size. shared_ptr handles return frames to the
+/// pool automatically, which keeps reference-picture lifetime management in
+/// the parallel decoders simple (CP.32). Handles may outlive the pool: once
+/// the pool is gone, released frames are simply destroyed.
+class FramePool {
+ public:
+  FramePool(int width, int height, MemoryTracker* tracker = nullptr)
+      : impl_(std::make_shared<Impl>(width, height, tracker)) {}
+
+  /// Returns a frame (recycled or new) whose pels are unspecified.
+  [[nodiscard]] FramePtr acquire();
+
+  /// Frames currently in the free list (for tests).
+  [[nodiscard]] std::size_t idle_count() const;
+
+ private:
+  struct Impl {
+    Impl(int w, int h, MemoryTracker* t) : width(w), height(h), tracker(t) {}
+    int width, height;
+    MemoryTracker* tracker;
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Frame>> free;  // guarded by mutex
+  };
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Luma PSNR in dB between two equally sized frames; returns +inf for
+/// identical planes.
+[[nodiscard]] double psnr_y(const Frame& a, const Frame& b);
+
+}  // namespace pmp2::mpeg2

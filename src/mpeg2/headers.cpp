@@ -1,0 +1,216 @@
+#include "mpeg2/headers.h"
+
+#include "mpeg2/scan_quant.h"
+
+namespace pmp2::mpeg2 {
+
+namespace {
+
+constexpr int kExtIdSequence = 1;
+constexpr int kExtIdPictureCoding = 8;
+
+/// Reads a 64-entry quantizer matrix (transmitted zig-zag, stored raster).
+void read_matrix(BitReader& br, std::array<std::uint8_t, 64>& m) {
+  const auto& scan = zigzag_scan();
+  for (int i = 0; i < 64; ++i) {
+    m[scan[i]] = static_cast<std::uint8_t>(br.get(8));
+  }
+}
+
+void write_matrix(BitWriter& bw, const std::array<std::uint8_t, 64>& m) {
+  const auto& scan = zigzag_scan();
+  for (int i = 0; i < 64; ++i) bw.put(m[scan[i]], 8);
+}
+
+}  // namespace
+
+double SequenceHeader::frame_rate() const {
+  switch (frame_rate_code) {
+    case 1: return 24000.0 / 1001.0;
+    case 2: return 24.0;
+    case 3: return 25.0;
+    case 4: return 30000.0 / 1001.0;
+    case 5: return 30.0;
+    case 6: return 50.0;
+    case 7: return 60000.0 / 1001.0;
+    case 8: return 60.0;
+    default: return 30.0;
+  }
+}
+
+bool parse_sequence_header(BitReader& br, SequenceHeader& out) {
+  out.horizontal_size = static_cast<int>(br.get(12));
+  out.vertical_size = static_cast<int>(br.get(12));
+  out.aspect_ratio_code = static_cast<int>(br.get(4));
+  out.frame_rate_code = static_cast<int>(br.get(4));
+  const std::int64_t bit_rate_value = br.get(18);
+  if (br.get_bit() != 1) return false;  // marker
+  out.bit_rate = bit_rate_value * 400;
+  out.vbv_buffer_size_value = static_cast<int>(br.get(10));
+  out.constrained_parameters = br.get_bit() != 0;
+  out.load_intra_matrix = br.get_bit() != 0;
+  if (out.load_intra_matrix) {
+    read_matrix(br, out.intra_matrix);
+  } else {
+    out.intra_matrix = default_intra_matrix();
+  }
+  out.load_non_intra_matrix = br.get_bit() != 0;
+  if (out.load_non_intra_matrix) {
+    read_matrix(br, out.non_intra_matrix);
+  } else {
+    out.non_intra_matrix = default_non_intra_matrix();
+  }
+  return !br.overrun();
+}
+
+bool parse_gop_header(BitReader& br, GopHeader& out) {
+  out.time_code = br.get(25);
+  out.closed_gop = br.get_bit() != 0;
+  out.broken_link = br.get_bit() != 0;
+  return !br.overrun();
+}
+
+bool parse_picture_header(BitReader& br, PictureHeader& out) {
+  out.temporal_reference = static_cast<int>(br.get(10));
+  const int type = static_cast<int>(br.get(3));
+  if (type < 1 || type > 3) return false;  // D-pictures unsupported (MPEG-2)
+  out.type = static_cast<PictureType>(type);
+  out.vbv_delay = static_cast<int>(br.get(16));
+  // MPEG-1 motion fields; MPEG-2 streams fix them to 0 / '111'.
+  if (out.type == PictureType::kP || out.type == PictureType::kB) {
+    out.full_pel_forward = br.get_bit() != 0;
+    out.forward_f_code = static_cast<int>(br.get(3));
+  }
+  if (out.type == PictureType::kB) {
+    out.full_pel_backward = br.get_bit() != 0;
+    out.backward_f_code = static_cast<int>(br.get(3));
+  }
+  while (br.get_bit() == 1) br.skip(8);  // extra_information_picture
+  return !br.overrun();
+}
+
+bool parse_extension(BitReader& br, SequenceExtension* seq,
+                     PictureCodingExtension* pce) {
+  const int id = static_cast<int>(br.get(4));
+  if (id == kExtIdSequence && seq) {
+    seq->profile_and_level = static_cast<int>(br.get(8));
+    seq->progressive_sequence = br.get_bit() != 0;
+    seq->chroma_format = static_cast<int>(br.get(2));
+    const int h_ext = static_cast<int>(br.get(2));
+    const int v_ext = static_cast<int>(br.get(2));
+    const int rate_ext = static_cast<int>(br.get(12));
+    if (br.get_bit() != 1) return false;  // marker
+    br.skip(8);                           // vbv_buffer_size_extension
+    seq->low_delay = br.get_bit() != 0;
+    seq->frame_rate_ext_n = static_cast<int>(br.get(2));
+    seq->frame_rate_ext_d = static_cast<int>(br.get(5));
+    // The size/bit-rate extensions carry the high-order bits; the caller's
+    // SequenceHeader was parsed first, so fold them in via out-params is
+    // not possible here — extensions with non-zero values are rejected
+    // instead (our encoder never emits them; sizes fit in 12 bits).
+    if (h_ext != 0 || v_ext != 0 || rate_ext != 0) return false;
+    return !br.overrun();
+  }
+  if (id == kExtIdPictureCoding && pce) {
+    for (auto& row : pce->f_code) {
+      for (auto& f : row) f = static_cast<int>(br.get(4));
+    }
+    pce->intra_dc_precision = static_cast<int>(br.get(2));
+    pce->picture_structure = static_cast<int>(br.get(2));
+    pce->top_field_first = br.get_bit() != 0;
+    pce->frame_pred_frame_dct = br.get_bit() != 0;
+    pce->concealment_motion_vectors = br.get_bit() != 0;
+    pce->q_scale_type = br.get_bit() != 0;
+    pce->intra_vlc_format = br.get_bit() != 0;
+    pce->alternate_scan = br.get_bit() != 0;
+    pce->repeat_first_field = br.get_bit() != 0;
+    pce->chroma_420_type = br.get_bit() != 0;
+    pce->progressive_frame = br.get_bit() != 0;
+    if (br.get_bit() != 0) br.skip(20);  // composite display information
+    return !br.overrun();
+  }
+  // Unknown extension: skip to the next startcode.
+  br.align_to_next_startcode();
+  return true;
+}
+
+void write_sequence_header(BitWriter& bw, const SequenceHeader& h) {
+  bw.put_startcode(0xB3);
+  bw.put(static_cast<std::uint32_t>(h.horizontal_size), 12);
+  bw.put(static_cast<std::uint32_t>(h.vertical_size), 12);
+  bw.put(static_cast<std::uint32_t>(h.aspect_ratio_code), 4);
+  bw.put(static_cast<std::uint32_t>(h.frame_rate_code), 4);
+  const std::int64_t units = (h.bit_rate + 399) / 400;
+  bw.put(static_cast<std::uint32_t>(units & 0x3FFFF), 18);
+  bw.put_bit(1);  // marker
+  bw.put(static_cast<std::uint32_t>(h.vbv_buffer_size_value), 10);
+  bw.put_bit(h.constrained_parameters);
+  bw.put_bit(h.load_intra_matrix);
+  if (h.load_intra_matrix) write_matrix(bw, h.intra_matrix);
+  bw.put_bit(h.load_non_intra_matrix);
+  if (h.load_non_intra_matrix) write_matrix(bw, h.non_intra_matrix);
+}
+
+void write_sequence_extension(BitWriter& bw, const SequenceHeader& h,
+                              const SequenceExtension& e) {
+  (void)h;  // sizes/bit rate fit the base header fields in this library
+  bw.put_startcode(0xB5);
+  bw.put(kExtIdSequence, 4);
+  bw.put(static_cast<std::uint32_t>(e.profile_and_level), 8);
+  bw.put_bit(e.progressive_sequence);
+  bw.put(static_cast<std::uint32_t>(e.chroma_format), 2);
+  bw.put(0, 2);   // horizontal_size_extension
+  bw.put(0, 2);   // vertical_size_extension
+  bw.put(0, 12);  // bit_rate_extension
+  bw.put_bit(1);  // marker
+  bw.put(0, 8);   // vbv_buffer_size_extension
+  bw.put_bit(e.low_delay);
+  bw.put(static_cast<std::uint32_t>(e.frame_rate_ext_n), 2);
+  bw.put(static_cast<std::uint32_t>(e.frame_rate_ext_d), 5);
+}
+
+void write_gop_header(BitWriter& bw, const GopHeader& h) {
+  bw.put_startcode(0xB8);
+  bw.put(h.time_code, 25);
+  bw.put_bit(h.closed_gop);
+  bw.put_bit(h.broken_link);
+}
+
+void write_picture_header(BitWriter& bw, const PictureHeader& h) {
+  bw.put_startcode(0x00);
+  bw.put(static_cast<std::uint32_t>(h.temporal_reference), 10);
+  bw.put(static_cast<std::uint32_t>(h.type), 3);
+  bw.put(static_cast<std::uint32_t>(h.vbv_delay), 16);
+  if (h.type == PictureType::kP || h.type == PictureType::kB) {
+    bw.put_bit(h.full_pel_forward);
+    bw.put(static_cast<std::uint32_t>(h.forward_f_code), 3);
+  }
+  if (h.type == PictureType::kB) {
+    bw.put_bit(h.full_pel_backward);
+    bw.put(static_cast<std::uint32_t>(h.backward_f_code), 3);
+  }
+  bw.put_bit(0);  // no extra_information_picture
+}
+
+void write_picture_coding_extension(BitWriter& bw,
+                                    const PictureCodingExtension& e) {
+  bw.put_startcode(0xB5);
+  bw.put(kExtIdPictureCoding, 4);
+  for (const auto& row : e.f_code) {
+    for (const int f : row) bw.put(static_cast<std::uint32_t>(f), 4);
+  }
+  bw.put(static_cast<std::uint32_t>(e.intra_dc_precision), 2);
+  bw.put(static_cast<std::uint32_t>(e.picture_structure), 2);
+  bw.put_bit(e.top_field_first);
+  bw.put_bit(e.frame_pred_frame_dct);
+  bw.put_bit(e.concealment_motion_vectors);
+  bw.put_bit(e.q_scale_type);
+  bw.put_bit(e.intra_vlc_format);
+  bw.put_bit(e.alternate_scan);
+  bw.put_bit(e.repeat_first_field);
+  bw.put_bit(e.chroma_420_type);
+  bw.put_bit(e.progressive_frame);
+  bw.put_bit(0);  // composite_display_flag
+}
+
+}  // namespace pmp2::mpeg2

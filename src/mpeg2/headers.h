@@ -1,0 +1,105 @@
+// MPEG-2 sequence / GOP / picture headers and their extensions
+// (ISO/IEC 13818-2 §6.2–6.3): typed structs plus parse and write functions.
+//
+// Quantizer matrices are transmitted in zig-zag order in the stream but are
+// stored raster-order in these structs (ready for dequantization).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+/// sequence_header() — §6.2.2.1.
+struct SequenceHeader {
+  int horizontal_size = 0;  // full value (header 12 bits + extension 2)
+  int vertical_size = 0;
+  int aspect_ratio_code = 1;      // 1 = square pels
+  int frame_rate_code = 5;        // 5 = 30 pictures/sec
+  std::int64_t bit_rate = 5'000'000;  // bits/sec (coded in 400 bit/s units)
+  int vbv_buffer_size_value = 112;
+  bool constrained_parameters = false;
+  bool load_intra_matrix = false;
+  bool load_non_intra_matrix = false;
+  std::array<std::uint8_t, 64> intra_matrix{};      // raster order
+  std::array<std::uint8_t, 64> non_intra_matrix{};  // raster order
+
+  /// Frames/sec for the standard frame_rate_code values.
+  [[nodiscard]] double frame_rate() const;
+};
+
+/// sequence_extension() — §6.2.2.3. Always emitted (this is MPEG-2, not
+/// MPEG-1).
+struct SequenceExtension {
+  int profile_and_level = 0x44;  // Main profile @ High level, as the paper
+  bool progressive_sequence = true;
+  int chroma_format = 1;  // 4:2:0
+  bool low_delay = false;
+  int frame_rate_ext_n = 0;
+  int frame_rate_ext_d = 0;
+};
+
+/// group_of_pictures_header() — §6.2.2.6.
+struct GopHeader {
+  std::uint32_t time_code = 0;  // 25-bit SMPTE time code (opaque here)
+  bool closed_gop = true;       // the GOP-parallel decoder requires this
+  bool broken_link = false;
+};
+
+/// picture_header() — §6.2.3. The full_pel/f_code fields are MPEG-1
+/// syntax; MPEG-2 streams code them as 0 and '111' and use the picture
+/// coding extension instead.
+struct PictureHeader {
+  int temporal_reference = 0;
+  PictureType type = PictureType::kI;
+  int vbv_delay = 0xFFFF;
+  bool full_pel_forward = false;
+  int forward_f_code = 7;
+  bool full_pel_backward = false;
+  int backward_f_code = 7;
+};
+
+/// picture_coding_extension() — §6.2.3.1.
+struct PictureCodingExtension {
+  // f_code[s][t]: s = 0 forward / 1 backward, t = 0 horizontal / 1 vertical.
+  // 15 means "unused".
+  int f_code[2][2] = {{15, 15}, {15, 15}};
+  int intra_dc_precision = 0;  // coded 0..3 => precision 8..11
+  int picture_structure = 3;   // 3 = frame picture
+  bool top_field_first = false;
+  bool frame_pred_frame_dct = true;
+  bool concealment_motion_vectors = false;
+  bool q_scale_type = false;
+  bool intra_vlc_format = false;
+  bool alternate_scan = false;
+  bool repeat_first_field = false;
+  bool chroma_420_type = true;
+  bool progressive_frame = true;
+};
+
+// --- Parsing. Readers are positioned just AFTER the 32-bit startcode.
+// Each returns false on malformed syntax (bad marker bits etc.). ----------
+bool parse_sequence_header(BitReader& br, SequenceHeader& out);
+bool parse_gop_header(BitReader& br, GopHeader& out);
+bool parse_picture_header(BitReader& br, PictureHeader& out);
+
+/// Parses an extension_start_code payload. Peeks the 4-bit extension id and
+/// fills the matching member; unknown extensions are skipped (up to the next
+/// startcode). `seq`/`pce` may each be null if not expected.
+bool parse_extension(BitReader& br, SequenceExtension* seq,
+                     PictureCodingExtension* pce);
+
+// --- Writing. Each emits its startcode and payload, byte aligned. --------
+void write_sequence_header(BitWriter& bw, const SequenceHeader& h);
+void write_sequence_extension(BitWriter& bw, const SequenceHeader& h,
+                              const SequenceExtension& e);
+void write_gop_header(BitWriter& bw, const GopHeader& h);
+void write_picture_header(BitWriter& bw, const PictureHeader& h);
+void write_picture_coding_extension(BitWriter& bw,
+                                    const PictureCodingExtension& e);
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,226 @@
+#include "mpeg2/motion.h"
+
+#include <cassert>
+
+#include "mpeg2/vlc_tables.h"
+
+namespace pmp2::mpeg2 {
+
+bool decode_mv_component(BitReader& br, int f_code, int& pred) {
+  std::int16_t code;
+  if (!motion_code_decoder().decode(br, code)) return false;
+  const int r_size = f_code - 1;
+  const int f = 1 << r_size;
+  int delta;
+  if (code == 0) {
+    delta = 0;
+  } else {
+    const int mag = code > 0 ? code : -code;
+    int residual = 0;
+    if (r_size > 0) residual = static_cast<int>(br.get(r_size));
+    delta = ((mag - 1) * f) + residual + 1;
+    if (code < 0) delta = -delta;
+  }
+  // §7.6.3.1 wraparound reconstruction.
+  const int high = 16 * f - 1;
+  const int low = -16 * f;
+  const int range = 32 * f;
+  int v = pred + delta;
+  if (v > high) v -= range;
+  if (v < low) v += range;
+  pred = v;
+  return true;
+}
+
+void encode_mv_component(BitWriter& bw, int f_code, int value, int& pred) {
+  const int r_size = f_code - 1;
+  const int f = 1 << r_size;
+  const int high = 16 * f - 1;
+  const int low = -16 * f;
+  const int range = 32 * f;
+  assert(value >= low && value <= high);
+  int delta = value - pred;
+  // Choose the representative of delta (mod range) inside [low, high]; the
+  // decoder's wraparound recovers `value` from it.
+  if (delta > high) delta -= range;
+  if (delta < low) delta += range;
+  int code = 0;
+  int residual = 0;
+  if (delta != 0) {
+    const int mag = delta > 0 ? delta : -delta;
+    code = (mag - 1) / f + 1;
+    residual = (mag - 1) % f;
+    if (delta < 0) code = -code;
+  }
+  assert(code >= -16 && code <= 16);
+  const Code vlc = encode_motion_code(code);
+  assert(vlc.len != 0);
+  vlc.put(bw);
+  if (code != 0 && r_size > 0) {
+    bw.put(static_cast<std::uint32_t>(residual), r_size);
+  }
+  pred = value;
+}
+
+int f_code_for_range(int bound) {
+  for (int f_code = 1; f_code <= 9; ++f_code) {
+    const int f = 1 << (f_code - 1);
+    if (bound <= 16 * f - 1) return f_code;
+  }
+  return 9;
+}
+
+void form_prediction(const std::uint8_t* ref, int ref_stride,
+                     std::uint8_t* dst, int dst_stride, int x, int y, int w,
+                     int h, int vx, int vy, McMode mode) {
+  const int sx = x + (vx >> 1);
+  const int sy = y + (vy >> 1);
+  const bool hx = (vx & 1) != 0;
+  const bool hy = (vy & 1) != 0;
+  const std::uint8_t* src = ref + sy * ref_stride + sx;
+
+  auto store = [&](std::uint8_t* d, int pel) {
+    if (mode == McMode::kAverage) {
+      *d = static_cast<std::uint8_t>((*d + pel + 1) >> 1);
+    } else {
+      *d = static_cast<std::uint8_t>(pel);
+    }
+  };
+
+  if (!hx && !hy) {
+    for (int r = 0; r < h; ++r) {
+      for (int c = 0; c < w; ++c) {
+        store(dst + r * dst_stride + c, src[r * ref_stride + c]);
+      }
+    }
+  } else if (hx && !hy) {
+    for (int r = 0; r < h; ++r) {
+      const std::uint8_t* s = src + r * ref_stride;
+      for (int c = 0; c < w; ++c) {
+        store(dst + r * dst_stride + c, (s[c] + s[c + 1] + 1) >> 1);
+      }
+    }
+  } else if (!hx && hy) {
+    for (int r = 0; r < h; ++r) {
+      const std::uint8_t* s0 = src + r * ref_stride;
+      const std::uint8_t* s1 = s0 + ref_stride;
+      for (int c = 0; c < w; ++c) {
+        store(dst + r * dst_stride + c, (s0[c] + s1[c] + 1) >> 1);
+      }
+    }
+  } else {
+    for (int r = 0; r < h; ++r) {
+      const std::uint8_t* s0 = src + r * ref_stride;
+      const std::uint8_t* s1 = s0 + ref_stride;
+      for (int c = 0; c < w; ++c) {
+        store(dst + r * dst_stride + c,
+              (s0[c] + s0[c + 1] + s1[c] + s1[c + 1] + 2) >> 2);
+      }
+    }
+  }
+}
+
+void mc_macroblock(const Frame& ref, int ref_frame_id, Frame& dst,
+                   int dst_frame_id, int mb_x, int mb_y, MotionVector mv,
+                   McMode mode, TraceSink* sink, int proc) {
+  // Luma: 16x16.
+  {
+    const int x = mb_x * 16;
+    const int y = mb_y * 16;
+    form_prediction(ref.y(), ref.y_stride(),
+                    dst.y() + y * dst.y_stride() + x, dst.y_stride(), x, y,
+                    16, 16, mv.x, mv.y, mode);
+    if (sink) {
+      const int rx = x + (mv.x >> 1);
+      const int ry = y + (mv.y >> 1);
+      const int rw = 16 + ((mv.x & 1) ? 1 : 0);
+      const int rh = 16 + ((mv.y & 1) ? 1 : 0);
+      emit_region(sink, proc, false,
+                  trace_layout::frame_addr(ref_frame_id, 0, 0),
+                  ref.y_stride(), rx, ry, rw, rh);
+      if (mode == McMode::kCopy) {
+        emit_region(sink, proc, true,
+                    trace_layout::frame_addr(dst_frame_id, 0, 0),
+                    dst.y_stride(), x, y, 16, 16);
+      } else {
+        // Average: read-modify-write of the destination.
+        emit_region(sink, proc, false,
+                    trace_layout::frame_addr(dst_frame_id, 0, 0),
+                    dst.y_stride(), x, y, 16, 16);
+        emit_region(sink, proc, true,
+                    trace_layout::frame_addr(dst_frame_id, 0, 0),
+                    dst.y_stride(), x, y, 16, 16);
+      }
+    }
+  }
+  // Chroma: two 8x8 planes with the derived vector.
+  const int cvx = chroma_mv(mv.x);
+  const int cvy = chroma_mv(mv.y);
+  for (int plane = 1; plane <= 2; ++plane) {
+    const int x = mb_x * 8;
+    const int y = mb_y * 8;
+    form_prediction(ref.plane(plane), ref.c_stride(),
+                    dst.plane(plane) + y * dst.c_stride() + x,
+                    dst.c_stride(), x, y, 8, 8, cvx, cvy, mode);
+    if (sink) {
+      const int rx = x + (cvx >> 1);
+      const int ry = y + (cvy >> 1);
+      const int rw = 8 + ((cvx & 1) ? 1 : 0);
+      const int rh = 8 + ((cvy & 1) ? 1 : 0);
+      emit_region(sink, proc, false,
+                  trace_layout::frame_addr(ref_frame_id, plane, 0),
+                  ref.c_stride(), rx, ry, rw, rh);
+      emit_region(sink, proc, true,
+                  trace_layout::frame_addr(dst_frame_id, plane, 0),
+                  dst.c_stride(), x, y, 8, 8);
+    }
+  }
+}
+
+void mc_field_macroblock(const Frame& ref, int ref_frame_id, Frame& dst,
+                         int dst_frame_id, int mb_x, int mb_y,
+                         int dest_parity, int src_parity, MotionVector mv,
+                         McMode mode, TraceSink* sink, int proc) {
+  // Luma: 16 wide x 8 field lines.
+  {
+    const int stride = dst.y_stride();
+    const int x = mb_x * 16;
+    const int yf = mb_y * 8;  // field-row origin of this macroblock
+    std::uint8_t* d =
+        dst.y() + (2 * yf + dest_parity) * stride + x;
+    const std::uint8_t* r = ref.y() + src_parity * stride;
+    form_prediction(r, 2 * stride, d, 2 * stride, x, yf, 16, 8, mv.x, mv.y,
+                    mode);
+    if (sink) {
+      const int rx = x + (mv.x >> 1);
+      const int ry = 2 * (yf + (mv.y >> 1)) + src_parity;
+      emit_region(sink, proc, false,
+                  trace_layout::frame_addr(ref_frame_id, 0, 0), stride, rx,
+                  ry, 16 + ((mv.x & 1) ? 1 : 0),
+                  2 * (8 + ((mv.y & 1) ? 1 : 0)));
+      emit_region(sink, proc, mode == McMode::kCopy,
+                  trace_layout::frame_addr(dst_frame_id, 0, 0), stride, x,
+                  2 * yf + dest_parity, 16, 16);
+    }
+  }
+  // Chroma: 8 wide x 4 field lines per plane, derived vector.
+  const int cvx = chroma_mv(mv.x);
+  const int cvy = chroma_mv(mv.y);
+  for (int plane = 1; plane <= 2; ++plane) {
+    const int stride = dst.c_stride();
+    const int x = mb_x * 8;
+    const int yf = mb_y * 4;
+    std::uint8_t* d =
+        dst.plane(plane) + (2 * yf + dest_parity) * stride + x;
+    const std::uint8_t* r = ref.plane(plane) + src_parity * stride;
+    form_prediction(r, 2 * stride, d, 2 * stride, x, yf, 8, 4, cvx, cvy,
+                    mode);
+    if (sink) {
+      emit_region(sink, proc, true,
+                  trace_layout::frame_addr(dst_frame_id, plane, 0), stride,
+                  x, 2 * yf + dest_parity, 8, 8);
+    }
+  }
+}
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,77 @@
+// Motion-vector arithmetic and motion compensation (ISO/IEC 13818-2 §7.6).
+//
+// Scope: frame pictures with frame_pred_frame_dct = 1 (frame-based
+// prediction), 4:2:0. Vectors are in half-pel units; chroma vectors are the
+// luma vector with each component divided by two (truncation toward zero),
+// interpreted in chroma half-pel units, as in §7.6.3.7.
+//
+// The encoder and every decoder variant share these routines, which is what
+// makes encoder reconstruction and all parallel decoders bit-identical.
+#pragma once
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/frame.h"
+#include "mpeg2/trace.h"
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+// --- Motion-vector coding (§7.6.3) ---------------------------------------
+
+/// Decodes one vector component: reads motion_code (+ residual when
+/// f_code > 1), applies the prediction and the wraparound rule. Returns
+/// false on an invalid code. `pred` is updated to the new value.
+bool decode_mv_component(BitReader& br, int f_code, int& pred);
+
+/// Encoder side: emits the motion_code VLC and residual encoding
+/// `value - pred` (after wraparound). `value` must lie in the decodable
+/// range [-16f, 16f-1]. Updates `pred` exactly as the decoder will.
+void encode_mv_component(BitWriter& bw, int f_code, int value, int& pred);
+
+/// Smallest f_code (1..9) whose range [-16f, 16f-1] covers every delta the
+/// encoder may emit for vectors bounded by |v| <= bound half-pels.
+[[nodiscard]] int f_code_for_range(int bound);
+
+/// Chroma vector component for 4:2:0 (truncation toward zero).
+[[nodiscard]] constexpr int chroma_mv(int v) { return v / 2; }
+
+// --- Motion compensation (§7.6.4, §7.6.7) ---------------------------------
+
+/// Prediction modes for form_prediction.
+enum class McMode {
+  kCopy,     // dst = prediction
+  kAverage,  // dst = (dst + prediction + 1) >> 1   (bidirectional 2nd pass)
+};
+
+/// Forms the half-pel interpolated prediction of a w x h region of one
+/// plane. `dst` points directly at the destination block (the caller adds
+/// any offset); (x, y) is the block's position in `ref`'s coordinate space
+/// and (vx, vy) the vector in half-pel units relative to it. The caller
+/// guarantees the referenced area lies inside the coded picture (the
+/// encoder clamps its search accordingly).
+void form_prediction(const std::uint8_t* ref, int ref_stride,
+                     std::uint8_t* dst, int dst_stride, int x, int y, int w,
+                     int h, int vx, int vy, McMode mode);
+
+/// Motion-compensates a full macroblock (luma + both chroma planes) of
+/// `dst` at macroblock coordinates (mb_x, mb_y) from `ref` with luma vector
+/// `mv`. Optionally emits the reference-picture reads and destination
+/// writes to `sink` (writes only when mode == kCopy to avoid double
+/// counting; the bidirectional second pass re-reads and rewrites dst).
+void mc_macroblock(const Frame& ref, int ref_frame_id, Frame& dst,
+                   int dst_frame_id, int mb_x, int mb_y, MotionVector mv,
+                   McMode mode, TraceSink* sink = nullptr, int proc = 0);
+
+/// Field prediction within a frame picture (§7.6.4, mv_format = field):
+/// predicts the `dest_parity` field lines (0 = top, 1 = bottom) of the
+/// macroblock at (mb_x, mb_y) — a 16x8 luma region on every other line —
+/// from the `src_parity` field of `ref`, with `mv` in field coordinates
+/// (vertical component in field lines, half-pel units).
+void mc_field_macroblock(const Frame& ref, int ref_frame_id, Frame& dst,
+                         int dst_frame_id, int mb_x, int mb_y,
+                         int dest_parity, int src_parity, MotionVector mv,
+                         McMode mode, TraceSink* sink = nullptr,
+                         int proc = 0);
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,289 @@
+#include "mpeg2/motion_est.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "mpeg2/motion.h"
+
+namespace pmp2::mpeg2 {
+
+namespace {
+
+/// True iff every sample the half-pel vector needs lies inside the coded
+/// picture.
+bool mv_in_bounds(const Frame& ref, int mb_x, int mb_y, MotionVector mv) {
+  const int x = mb_x * 16 + (mv.x >> 1);
+  const int y = mb_y * 16 + (mv.y >> 1);
+  const int extra_x = (mv.x & 1) ? 1 : 0;
+  const int extra_y = (mv.y & 1) ? 1 : 0;
+  return x >= 0 && y >= 0 && x + 16 + extra_x <= ref.y_stride() &&
+         y + 16 + extra_y <= ref.coded_height();
+}
+
+}  // namespace
+
+int mb_sad(const Frame& ref, const Frame& cur, int mb_x, int mb_y,
+           MotionVector mv) {
+  const int x = mb_x * 16;
+  const int y = mb_y * 16;
+  const int sx = x + (mv.x >> 1);
+  const int sy = y + (mv.y >> 1);
+  const bool hx = (mv.x & 1) != 0;
+  const bool hy = (mv.y & 1) != 0;
+  const int rs = ref.y_stride();
+  const int cs = cur.y_stride();
+  const std::uint8_t* r = ref.y() + sy * rs + sx;
+  const std::uint8_t* c = cur.y() + y * cs + x;
+  int sad = 0;
+  for (int row = 0; row < 16; ++row) {
+    const std::uint8_t* rr = r + row * rs;
+    const std::uint8_t* cc = c + row * cs;
+    for (int col = 0; col < 16; ++col) {
+      int pel;
+      if (!hx && !hy) {
+        pel = rr[col];
+      } else if (hx && !hy) {
+        pel = (rr[col] + rr[col + 1] + 1) >> 1;
+      } else if (!hx && hy) {
+        pel = (rr[col] + rr[col + rs] + 1) >> 1;
+      } else {
+        pel = (rr[col] + rr[col + 1] + rr[col + rs] + rr[col + rs + 1] + 2) >>
+              2;
+      }
+      sad += pel > cc[col] ? pel - cc[col] : cc[col] - pel;
+    }
+  }
+  return sad;
+}
+
+namespace {
+
+/// Evaluates a full-pel candidate (vector in half-pel units, even
+/// components), keeping the best.
+void try_candidate(const Frame& ref, const Frame& cur, int mb_x, int mb_y,
+                   MotionVector mv, MeResult& best) {
+  if (!mv_in_bounds(ref, mb_x, mb_y, mv)) return;
+  const int sad = mb_sad(ref, cur, mb_x, mb_y, mv);
+  // Strict improvement plus a mild zero bias keeps vectors stable.
+  if (sad < best.sad) {
+    best.sad = sad;
+    best.mv = mv;
+  }
+}
+
+MeResult half_pel_refine(const Frame& ref, const Frame& cur, int mb_x,
+                         int mb_y, MeResult best) {
+  const MotionVector center = best.mv;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector mv{static_cast<std::int16_t>(center.x + dx),
+                            static_cast<std::int16_t>(center.y + dy)};
+      try_candidate(ref, cur, mb_x, mb_y, mv, best);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MeResult estimate_motion(const Frame& ref, const Frame& cur, int mb_x,
+                         int mb_y, int range, MotionVector seed) {
+  MeResult best;
+  best.mv = {};
+  best.sad = std::numeric_limits<int>::max();
+  try_candidate(ref, cur, mb_x, mb_y, {}, best);
+  // Clamp the seed to the search window and full-pel grid.
+  MotionVector s{
+      static_cast<std::int16_t>(std::clamp<int>(seed.x & ~1, -2 * range,
+                                                2 * range)),
+      static_cast<std::int16_t>(std::clamp<int>(seed.y & ~1, -2 * range,
+                                                2 * range))};
+  try_candidate(ref, cur, mb_x, mb_y, s, best);
+
+  for (int step = range >= 4 ? 4 : (range >= 2 ? 2 : 1); step >= 1;
+       step /= 2) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      const MotionVector center = best.mv;
+      for (int dy = -step; dy <= step; dy += step) {
+        for (int dx = -step; dx <= step; dx += step) {
+          if (dx == 0 && dy == 0) continue;
+          const int nx = center.x + 2 * dx;
+          const int ny = center.y + 2 * dy;
+          if (nx < -2 * range || nx > 2 * range || ny < -2 * range ||
+              ny > 2 * range) {
+            continue;
+          }
+          const int before = best.sad;
+          try_candidate(ref, cur, mb_x, mb_y,
+                        {static_cast<std::int16_t>(nx),
+                         static_cast<std::int16_t>(ny)},
+                        best);
+          if (best.sad < before) improved = true;
+        }
+      }
+    }
+  }
+  return half_pel_refine(ref, cur, mb_x, mb_y, best);
+}
+
+MeResult estimate_motion_exhaustive(const Frame& ref, const Frame& cur,
+                                    int mb_x, int mb_y, int range) {
+  MeResult best;
+  best.mv = {};
+  best.sad = std::numeric_limits<int>::max();
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      try_candidate(ref, cur, mb_x, mb_y,
+                    {static_cast<std::int16_t>(2 * dx),
+                     static_cast<std::int16_t>(2 * dy)},
+                    best);
+    }
+  }
+  return half_pel_refine(ref, cur, mb_x, mb_y, best);
+}
+
+namespace {
+
+/// SAD of a 16x8 field region against a half-pel position in the
+/// reference field.
+int field_sad(const Frame& ref, const Frame& cur, int mb_x, int mb_y,
+              int dest_parity, int src_parity, MotionVector mv) {
+  const int stride = ref.y_stride();
+  const int x = mb_x * 16;
+  const int yf = mb_y * 8;
+  const std::uint8_t* c = cur.y() + (2 * yf + dest_parity) * stride + x;
+  const int sx = x + (mv.x >> 1);
+  const int sy = yf + (mv.y >> 1);
+  const bool hx = (mv.x & 1) != 0;
+  const bool hy = (mv.y & 1) != 0;
+  const std::uint8_t* r =
+      ref.y() + src_parity * stride + sy * 2 * stride + sx;
+  const int rs = 2 * stride;
+  int sad = 0;
+  for (int row = 0; row < 8; ++row) {
+    const std::uint8_t* rr = r + row * rs;
+    const std::uint8_t* cc = c + row * rs;
+    for (int col = 0; col < 16; ++col) {
+      int pel;
+      if (!hx && !hy) {
+        pel = rr[col];
+      } else if (hx && !hy) {
+        pel = (rr[col] + rr[col + 1] + 1) >> 1;
+      } else if (!hx && hy) {
+        pel = (rr[col] + rr[col + rs] + 1) >> 1;
+      } else {
+        pel = (rr[col] + rr[col + 1] + rr[col + rs] + rr[col + rs + 1] + 2) >>
+              2;
+      }
+      sad += pel > cc[col] ? pel - cc[col] : cc[col] - pel;
+    }
+  }
+  return sad;
+}
+
+bool field_mv_in_bounds(const Frame& ref, int mb_x, int mb_y,
+                        MotionVector mv) {
+  const int x = mb_x * 16 + (mv.x >> 1);
+  const int yf = mb_y * 8 + (mv.y >> 1);
+  return x >= 0 && yf >= 0 &&
+         x + 16 + ((mv.x & 1) ? 1 : 0) <= ref.y_stride() &&
+         yf + 8 + ((mv.y & 1) ? 1 : 0) <= ref.coded_height() / 2;
+}
+
+}  // namespace
+
+MeResult estimate_motion_field(const Frame& ref, const Frame& cur, int mb_x,
+                               int mb_y, int dest_parity, int src_parity,
+                               int range) {
+  MeResult best;
+  best.mv = {};
+  best.sad = std::numeric_limits<int>::max();
+  auto try_mv = [&](MotionVector mv) {
+    if (!field_mv_in_bounds(ref, mb_x, mb_y, mv)) return;
+    const int sad = field_sad(ref, cur, mb_x, mb_y, dest_parity, src_parity,
+                              mv);
+    if (sad < best.sad) {
+      best.sad = sad;
+      best.mv = mv;
+    }
+  };
+  try_mv({});
+  for (int step = range >= 4 ? 4 : (range >= 2 ? 2 : 1); step >= 1;
+       step /= 2) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      const MotionVector center = best.mv;
+      for (int dy = -step; dy <= step; dy += step) {
+        for (int dx = -step; dx <= step; dx += step) {
+          if (dx == 0 && dy == 0) continue;
+          const int nx = center.x + 2 * dx;
+          const int ny = center.y + 2 * dy;
+          if (nx < -2 * range || nx > 2 * range || ny < -2 * range ||
+              ny > 2 * range) {
+            continue;
+          }
+          const int before = best.sad;
+          try_mv({static_cast<std::int16_t>(nx),
+                  static_cast<std::int16_t>(ny)});
+          if (best.sad < before) improved = true;
+        }
+      }
+    }
+  }
+  const MotionVector center = best.mv;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      try_mv({static_cast<std::int16_t>(center.x + dx),
+              static_cast<std::int16_t>(center.y + dy)});
+    }
+  }
+  return best;
+}
+
+int intra_activity(const Frame& cur, int mb_x, int mb_y) {
+  const int x = mb_x * 16;
+  const int y = mb_y * 16;
+  const int cs = cur.y_stride();
+  const std::uint8_t* c = cur.y() + y * cs + x;
+  int sum = 0;
+  for (int row = 0; row < 16; ++row) {
+    for (int col = 0; col < 16; ++col) sum += c[row * cs + col];
+  }
+  const int mean = (sum + 128) >> 8;
+  int sad = 0;
+  for (int row = 0; row < 16; ++row) {
+    for (int col = 0; col < 16; ++col) {
+      const int d = c[row * cs + col] - mean;
+      sad += d < 0 ? -d : d;
+    }
+  }
+  return sad;
+}
+
+bool prefer_field_dct(const Frame& cur, int mb_x, int mb_y) {
+  const int stride = cur.y_stride();
+  const std::uint8_t* c = cur.y() + mb_y * 16 * stride + mb_x * 16;
+  long frame_diff = 0, field_diff = 0;
+  for (int row = 0; row < 15; ++row) {
+    for (int col = 0; col < 16; ++col) {
+      frame_diff += std::abs(static_cast<int>(c[row * stride + col]) -
+                             c[(row + 1) * stride + col]);
+    }
+  }
+  for (int row = 0; row < 14; ++row) {
+    for (int col = 0; col < 16; ++col) {
+      field_diff += std::abs(static_cast<int>(c[row * stride + col]) -
+                             c[(row + 2) * stride + col]);
+    }
+  }
+  // Scale to the same comparison count.
+  return field_diff * 15 < frame_diff * 14;
+}
+
+}  // namespace pmp2::mpeg2

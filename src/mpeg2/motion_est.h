@@ -1,0 +1,56 @@
+// Block-matching motion estimation for the encoder.
+//
+// Full-pel three-step search seeded with the zero vector and the caller's
+// predictor, followed by half-pel refinement — the classic structure of the
+// MSSG encoder, sized for the paper's streams (search range a few pels; the
+// synthetic scene pans slowly). Exhaustive search is also provided for
+// tests and ablations.
+#pragma once
+
+#include "mpeg2/frame.h"
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+struct MeResult {
+  MotionVector mv;  // half-pel units
+  int sad = 0;      // luma SAD at mv
+};
+
+/// Sum of absolute differences of the 16x16 luma block at (mb_x, mb_y) in
+/// `cur` against the half-pel position `mv` in `ref`.
+[[nodiscard]] int mb_sad(const Frame& ref, const Frame& cur, int mb_x,
+                         int mb_y, MotionVector mv);
+
+/// Three-step + half-pel search. `range` is the full-pel search radius;
+/// candidates are clamped so all (half-pel) samples lie inside the coded
+/// picture. `seed` is an optional starting vector (e.g. the PMV).
+[[nodiscard]] MeResult estimate_motion(const Frame& ref, const Frame& cur,
+                                       int mb_x, int mb_y, int range,
+                                       MotionVector seed = {});
+
+/// Exhaustive full-pel search over the clamped window plus half-pel
+/// refinement; reference implementation for tests/ablation.
+[[nodiscard]] MeResult estimate_motion_exhaustive(const Frame& ref,
+                                                  const Frame& cur, int mb_x,
+                                                  int mb_y, int range);
+
+/// Field-prediction search (interlaced frame pictures): SAD over the
+/// macroblock's `dest_parity` field lines (16x8) against the `src_parity`
+/// field of `ref`; vectors in field coordinates. Three-step + half-pel,
+/// like estimate_motion.
+[[nodiscard]] MeResult estimate_motion_field(const Frame& ref,
+                                             const Frame& cur, int mb_x,
+                                             int mb_y, int dest_parity,
+                                             int src_parity, int range);
+
+/// Intra activity measure: SAD of the block against its own mean; used for
+/// the intra/inter mode decision.
+[[nodiscard]] int intra_activity(const Frame& cur, int mb_x, int mb_y);
+
+/// dct_type decision heuristic (§interlace tools): returns true when the
+/// macroblock's luma rows correlate better within fields than across them
+/// (sum of |row_i - row_{i+2}| < sum of |row_i - row_{i+1}|).
+[[nodiscard]] bool prefer_field_dct(const Frame& cur, int mb_x, int mb_y);
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,135 @@
+#include "mpeg2/scan_quant.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pmp2::mpeg2 {
+
+namespace {
+
+// ISO 13818-2 figure 7-2: zig-zag scan.
+constexpr std::array<std::uint8_t, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+// ISO 13818-2 figure 7-3: alternate scan.
+constexpr std::array<std::uint8_t, 64> kAlternate = {
+    0,  8,  16, 24, 1,  9,  2,  10, 17, 25, 32, 40, 48, 56, 57, 49,
+    41, 33, 26, 18, 3,  11, 4,  12, 19, 27, 34, 42, 50, 58, 35, 43,
+    51, 59, 20, 28, 5,  13, 6,  14, 21, 29, 36, 44, 52, 60, 37, 45,
+    53, 61, 22, 30, 7,  15, 23, 31, 38, 46, 54, 62, 39, 47, 55, 63,
+};
+
+// ISO 13818-2 §6.3.11 default intra quantizer matrix, raster order.
+constexpr std::array<std::uint8_t, 64> kDefaultIntra = {
+    8,  16, 19, 22, 26, 27, 29, 34, 16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38, 22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48, 26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69, 27, 29, 35, 38, 46, 56, 69, 83,
+};
+
+constexpr std::array<std::uint8_t, 64> kDefaultNonIntra = [] {
+  std::array<std::uint8_t, 64> m{};
+  for (auto& v : m) v = 16;
+  return m;
+}();
+
+// ISO table 7-6, q_scale_type = 1 (non-linear).
+constexpr int kNonLinearScale[32] = {
+    0,  1,  2,  3,  4,  5,  6,  7,  8,  10, 12,  14,  16,  18,  20, 22,
+    24, 28, 32, 36, 40, 44, 48, 52, 56, 64, 72,  80,  88,  96,  104, 112,
+};
+
+/// Integer division truncating toward zero, the standard's "/" operator.
+constexpr int div_trunc(int num, int den) { return num / den; }
+
+}  // namespace
+
+const std::array<std::uint8_t, 64>& zigzag_scan() { return kZigzag; }
+const std::array<std::uint8_t, 64>& alternate_scan() { return kAlternate; }
+const std::array<std::uint8_t, 64>& default_intra_matrix() {
+  return kDefaultIntra;
+}
+const std::array<std::uint8_t, 64>& default_non_intra_matrix() {
+  return kDefaultNonIntra;
+}
+
+int quantiser_scale(int code, bool q_scale_type) {
+  assert(code >= 1 && code <= 31);
+  return q_scale_type ? kNonLinearScale[code] : 2 * code;
+}
+
+namespace {
+
+/// Applies §7.4.4 mismatch control after all 64 coefficients are final.
+void mismatch_control(Block& coeffs, int sum) {
+  if ((sum & 1) == 0) {
+    coeffs[63] = static_cast<std::int16_t>(coeffs[63] ^ 1);
+  }
+}
+
+}  // namespace
+
+void dequantize_intra(Block& coeffs, const QuantContext& ctx) {
+  int sum = 0;
+  coeffs[0] = static_cast<std::int16_t>(coeffs[0] * ctx.intra_dc_mult);
+  sum += coeffs[0];
+  for (int i = 1; i < 64; ++i) {
+    if (coeffs[i] == 0) continue;
+    const int v = div_trunc(
+        coeffs[i] * 2 * ctx.quantiser_scale * ctx.matrix[i], 32);
+    coeffs[i] = static_cast<std::int16_t>(clamp_coeff(v));
+    sum += coeffs[i];
+  }
+  mismatch_control(coeffs, sum);
+}
+
+void dequantize_non_intra(Block& coeffs, const QuantContext& ctx) {
+  int sum = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (coeffs[i] == 0) continue;
+    const int qf = coeffs[i];
+    const int sign = qf > 0 ? 1 : -1;
+    const int v =
+        div_trunc((2 * qf + sign) * ctx.matrix[i] * ctx.quantiser_scale, 32);
+    coeffs[i] = static_cast<std::int16_t>(clamp_coeff(v));
+    sum += coeffs[i];
+  }
+  mismatch_control(coeffs, sum);
+}
+
+void quantize_intra(const std::array<double, 64>& dct, Block& out,
+                    const QuantContext& ctx) {
+  // DC: quantized with the fixed precision multiplier.
+  int dc = static_cast<int>(std::lround(dct[0] / ctx.intra_dc_mult));
+  const int dc_max = 2048 / ctx.intra_dc_mult - 1;
+  if (dc > dc_max) dc = dc_max;
+  if (dc < 0) dc = 0;  // intra DC of pel data in [0,255] is non-negative
+  out[0] = static_cast<std::int16_t>(dc);
+  // AC: rounded uniform quantizer, inverse of dequantize_intra.
+  for (int i = 1; i < 64; ++i) {
+    const double den = 2.0 * ctx.matrix[i] * ctx.quantiser_scale;
+    int level = static_cast<int>(std::lround(32.0 * dct[i] / den));
+    if (level > 2047) level = 2047;
+    if (level < -2047) level = -2047;
+    out[i] = static_cast<std::int16_t>(level);
+  }
+}
+
+void quantize_non_intra(const std::array<double, 64>& dct, Block& out,
+                        const QuantContext& ctx) {
+  // Dead-zone quantizer (truncation), conventional for inter blocks.
+  for (int i = 0; i < 64; ++i) {
+    const double den = 2.0 * ctx.matrix[i] * ctx.quantiser_scale;
+    const double v = 32.0 * dct[i] / den;
+    int level = static_cast<int>(v);  // trunc toward zero
+    if (level > 2047) level = 2047;
+    if (level < -2047) level = -2047;
+    out[i] = static_cast<std::int16_t>(level);
+  }
+}
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,67 @@
+// Coefficient scan orders and (inverse) quantization, ISO/IEC 13818-2 §7.3
+// and §7.4.
+//
+// The decoder's inverse-quantization arithmetic — including saturation to
+// [-2048, 2047] and the §7.4.4 mismatch-control LSB toggle — is implemented
+// exactly per the standard so that the encoder (which reconstructs reference
+// pictures through this same path) and all decoder variants agree bit for
+// bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+/// Zig-zag scan order (ISO figure 7-2): kZigzagScan[n] is the raster index
+/// of the n-th transmitted coefficient.
+[[nodiscard]] const std::array<std::uint8_t, 64>& zigzag_scan();
+
+/// Alternate scan order (ISO figure 7-3), selected by alternate_scan = 1.
+[[nodiscard]] const std::array<std::uint8_t, 64>& alternate_scan();
+
+[[nodiscard]] inline const std::array<std::uint8_t, 64>& scan_order(
+    bool alternate) {
+  return alternate ? alternate_scan() : zigzag_scan();
+}
+
+/// Default intra quantizer matrix (ISO §6.3.11), raster order.
+[[nodiscard]] const std::array<std::uint8_t, 64>& default_intra_matrix();
+
+/// Default non-intra matrix: all 16.
+[[nodiscard]] const std::array<std::uint8_t, 64>& default_non_intra_matrix();
+
+/// Maps quantiser_scale_code (1..31) to quantiser_scale per q_scale_type
+/// (ISO table 7-6).
+[[nodiscard]] int quantiser_scale(int code, bool q_scale_type);
+
+/// DC multiplier for the given intra_dc_precision (8..11) -> 8,4,2,1.
+[[nodiscard]] constexpr int intra_dc_mult(int intra_dc_precision) {
+  return 8 >> (intra_dc_precision - 8);
+}
+
+/// Parameters needed to dequantize one block.
+struct QuantContext {
+  const std::uint8_t* matrix;  // 64 weights, raster order
+  int quantiser_scale = 2;     // already mapped through table 7-6
+  int intra_dc_mult = 8;       // intra blocks only
+};
+
+/// Inverse-quantizes `coeffs` (raster order, as produced by inverse scan) in
+/// place, applying saturation and mismatch control. For intra blocks the DC
+/// term uses intra_dc_mult instead of the weighted formula.
+void dequantize_intra(Block& coeffs, const QuantContext& ctx);
+void dequantize_non_intra(Block& coeffs, const QuantContext& ctx);
+
+/// Forward quantization (encoder side). Produces quantized levels in raster
+/// order from DCT coefficients; inverse of the formulas above with rounding.
+/// DC of intra blocks: level = coeff / intra_dc_mult (coeff is the DCT DC,
+/// range fits the chosen precision).
+void quantize_intra(const std::array<double, 64>& dct, Block& out,
+                    const QuantContext& ctx);
+void quantize_non_intra(const std::array<double, 64>& dct, Block& out,
+                        const QuantContext& ctx);
+
+}  // namespace pmp2::mpeg2

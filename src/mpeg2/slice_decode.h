@@ -1,0 +1,81 @@
+// Slice, macroblock and block decoding (ISO/IEC 13818-2 §6.2.4–§6.2.6,
+// §7.1–§7.6).
+//
+// A slice is the unit of parallel work in the paper's fine-grained decoder:
+// the standard resets all predictors (DC, motion-vector) at each slice
+// start, so slices of one picture are independently decodable given the
+// picture's reference frames and header state. SliceDecoder is therefore
+// stateless across slices and safe to run concurrently on disjoint slices;
+// the sequential decoder, the GOP-parallel decoder and the slice-parallel
+// decoder all funnel through it, which is what makes their outputs
+// bit-identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bitstream/bit_reader.h"
+#include "mpeg2/frame.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/scan_quant.h"
+#include "mpeg2/trace.h"
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+
+/// Everything a worker needs to decode any slice of one picture.
+struct PictureContext {
+  const SequenceHeader* seq = nullptr;
+  PictureHeader header;
+  PictureCodingExtension ext;  // synthesized from the header for MPEG-1
+  bool mpeg1 = false;          // MPEG-1 escape coding + full-pel vectors
+  int mb_width = 0;
+  int mb_height = 0;
+
+  Frame* dst = nullptr;
+  const Frame* fwd_ref = nullptr;  // past reference (P and B)
+  const Frame* bwd_ref = nullptr;  // future reference (B only)
+
+  // Logical frame ids for trace emission.
+  int dst_id = 0;
+  int fwd_id = -1;
+  int bwd_id = -1;
+};
+
+/// Decodes intra-DC differential coding state plus one 8x8 coefficient
+/// block; exposed separately for unit tests.
+class BlockDecoder {
+ public:
+  /// Decodes an intra block: dct_dc_size/differential then AC coefficients,
+  /// inverse scan + dequantization included. Returns false on bad syntax.
+  /// `dc_pred` is the caller-maintained predictor (QF domain).
+  static bool decode_intra(BitReader& br, const PictureContext& pic,
+                           int quantiser_scale_code, bool luma, int& dc_pred,
+                           Block& out, WorkMeter& work);
+
+  /// Decodes a non-intra block (table B-14 with the first-coefficient
+  /// special case), inverse scan + dequantization included.
+  static bool decode_non_intra(BitReader& br, const PictureContext& pic,
+                               int quantiser_scale_code, Block& out,
+                               WorkMeter& work);
+};
+
+/// Result of decoding one slice.
+struct SliceResult {
+  bool ok = false;
+  int macroblocks = 0;  // decoded + skipped
+  WorkMeter work;
+};
+
+/// Decodes the slice whose startcode has just been consumed from `br`
+/// (i.e. `br` is positioned at quantiser_scale_code). `slice_row` is the
+/// macroblock row encoded in the startcode (slice_vertical_position - 1).
+///
+/// Thread-safety: concurrent calls must target distinct slices; each call
+/// writes only the destination macroblocks addressed by its own slice.
+[[nodiscard]] SliceResult decode_slice(BitReader& br, int slice_row,
+                                       const PictureContext& pic,
+                                       TraceSink* sink = nullptr,
+                                       int proc = 0);
+
+}  // namespace pmp2::mpeg2

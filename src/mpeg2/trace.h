@@ -1,0 +1,89 @@
+// Memory-reference trace hooks: the TangoLite substitute.
+//
+// The paper characterized locality by attaching a memory-system simulator to
+// an execution-driven reference generator. Here the decoder itself emits
+// logical memory references (frame pels, bitstream bytes, per-processor
+// scratch) when a TraceSink is attached; `simcache` consumes them. Logical
+// addresses — not raw pointers — are used so traces are identical across
+// runs and hosts.
+//
+// Granularity: references are emitted in up-to-8-byte units (one 64-bit
+// access), which is how the decode kernels touch memory; the cache
+// simulator splits them across line boundaries.
+#pragma once
+
+#include <cstdint>
+
+namespace pmp2::mpeg2 {
+
+/// One logical memory reference.
+struct MemRef {
+  std::uint64_t addr = 0;
+  std::uint16_t size = 0;
+  std::uint16_t proc = 0;  // processor id of the accessing worker
+  bool write = false;
+};
+
+/// Receives the decoder's reference stream. Implementations must be
+/// thread-compatible: the parallel decoders attach one sink per worker or
+/// an internally synchronized sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_ref(const MemRef& ref) = 0;
+};
+
+/// Logical address-space layout for traces. Each region is far larger than
+/// any real object so regions never collide.
+namespace trace_layout {
+/// Base of the coded-stream buffer.
+constexpr std::uint64_t kStreamBase = 0x1000'0000;
+/// Base of frame-plane space; each frame gets a 16 MiB window.
+constexpr std::uint64_t kFrameBase = 0x1'0000'0000;
+constexpr std::uint64_t kFrameWindow = 16ull << 20;
+/// Per-processor scratch (coefficient blocks, IDCT workspace); 64 KiB each.
+constexpr std::uint64_t kScratchBase = 0x8000'0000;
+constexpr std::uint64_t kScratchWindow = 64ull << 10;
+
+[[nodiscard]] constexpr std::uint64_t frame_addr(int frame_id, int plane,
+                                                 std::uint64_t offset) {
+  // Planes are laid out consecutively within the frame window at ~4 MiB
+  // spacing. A per-frame/per-plane line-granular skew keeps buffers from
+  // aliasing to identical cache sets — power-of-2-aligned buffers would
+  // fabricate conflict misses no real allocator produces.
+  const auto skew = static_cast<std::uint64_t>(
+      (frame_id * 147 + plane * 59) % 512);
+  return kFrameBase + static_cast<std::uint64_t>(frame_id) * kFrameWindow +
+         static_cast<std::uint64_t>(plane) * (4ull << 20) + skew * 64 +
+         offset;
+}
+
+[[nodiscard]] constexpr std::uint64_t scratch_addr(int proc,
+                                                   std::uint64_t offset) {
+  return kScratchBase + static_cast<std::uint64_t>(proc) * kScratchWindow +
+         offset;
+}
+}  // namespace trace_layout
+
+/// Convenience emitter: walks a rectangular pel region in row-major order,
+/// one <=8-byte reference per run. Used for block reads/writes.
+inline void emit_region(TraceSink* sink, int proc, bool write,
+                        std::uint64_t base, int stride, int x, int y, int w,
+                        int h) {
+  if (!sink) return;
+  for (int row = 0; row < h; ++row) {
+    const std::uint64_t line =
+        base + static_cast<std::uint64_t>(y + row) * stride + x;
+    int remaining = w;
+    std::uint64_t addr = line;
+    while (remaining > 0) {
+      const int chunk = remaining > 8 ? 8 : remaining;
+      sink->on_ref({addr, static_cast<std::uint16_t>(chunk),
+                    static_cast<std::uint16_t>(proc), write});
+      addr += chunk;
+      remaining -= chunk;
+    }
+  }
+}
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,102 @@
+// Core MPEG-2 value types shared by the decoder, encoder and parallel
+// runtimes.
+//
+// Scope of this implementation (documented in DESIGN.md): MPEG-2 main
+// profile, 4:2:0, progressive frame pictures with frame_pred_frame_dct = 1 —
+// the configuration used by the paper's test streams ("main profile, high
+// level"). The syntax elements below still carry the full field widths of
+// the standard so headers round-trip exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pmp2::mpeg2 {
+
+/// picture_coding_type values (ISO 13818-2 table 6-12).
+enum class PictureType : std::uint8_t {
+  kI = 1,
+  kP = 2,
+  kB = 3,
+};
+
+[[nodiscard]] constexpr char picture_type_char(PictureType t) {
+  switch (t) {
+    case PictureType::kI: return 'I';
+    case PictureType::kP: return 'P';
+    case PictureType::kB: return 'B';
+  }
+  return '?';
+}
+
+/// macroblock_type flag bits, the decoded form of tables B-2/B-3/B-4.
+struct MbFlags {
+  static constexpr std::uint8_t kQuant = 0x01;           // macroblock_quant
+  static constexpr std::uint8_t kMotionForward = 0x02;   // forward MC
+  static constexpr std::uint8_t kMotionBackward = 0x04;  // backward MC
+  static constexpr std::uint8_t kPattern = 0x08;         // coded block pattern
+  static constexpr std::uint8_t kIntra = 0x10;           // intra coded
+};
+
+/// A full-pel*2 motion vector: units of half pels, as decoded.
+struct MotionVector {
+  std::int16_t x = 0;
+  std::int16_t y = 0;
+
+  friend bool operator==(const MotionVector&, const MotionVector&) = default;
+};
+
+/// One 8x8 block of DCT coefficients (decode: after inverse scan, before
+/// inverse quantization they live in the same buffer).
+using Block = std::array<std::int16_t, 64>;
+
+constexpr int kBlockSize = 8;
+constexpr int kMacroblockSize = 16;
+/// Blocks per macroblock in 4:2:0: 4 luma + 2 chroma.
+constexpr int kBlocksPerMb420 = 6;
+
+/// Counts abstract work performed by the decoder. Two uses:
+///  * the "ideal time" axis of Fig. 7 (a pixie-like basic-block proxy), and
+///  * deterministic per-task costs for the virtual-time scheduler simulator,
+///    so speedup experiments are reproducible on any host.
+struct WorkMeter {
+  std::uint64_t macroblocks = 0;
+  std::uint64_t intra_blocks = 0;
+  std::uint64_t coded_blocks = 0;   // blocks with coefficient data
+  std::uint64_t coefficients = 0;   // non-zero coefficients decoded
+  std::uint64_t escapes = 0;        // escape-coded coefficients
+  std::uint64_t mc_blocks = 0;      // motion-compensated 8x8 predictions
+  std::uint64_t bits = 0;           // bitstream bits consumed
+  std::uint64_t skipped_mbs = 0;
+
+  WorkMeter& operator+=(const WorkMeter& o) {
+    macroblocks += o.macroblocks;
+    intra_blocks += o.intra_blocks;
+    coded_blocks += o.coded_blocks;
+    coefficients += o.coefficients;
+    escapes += o.escapes;
+    mc_blocks += o.mc_blocks;
+    bits += o.bits;
+    skipped_mbs += o.skipped_mbs;
+    return *this;
+  }
+
+  /// Scalar work units: a fixed linear model of the decode kernels
+  /// (weights chosen once from a calibration run; see sched::CostModel).
+  [[nodiscard]] std::uint64_t units() const {
+    return 60 * macroblocks + 25 * coded_blocks + 2 * coefficients +
+           6 * escapes + 30 * mc_blocks + bits / 2 + 20 * skipped_mbs;
+  }
+};
+
+/// Saturates to the 8-bit pel range.
+[[nodiscard]] constexpr std::uint8_t clamp_pel(int v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+/// Saturates a dequantized coefficient to [-2048, 2047] (ISO 7.4.3).
+[[nodiscard]] constexpr int clamp_coeff(int v) {
+  return v < -2048 ? -2048 : (v > 2047 ? 2047 : v);
+}
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,574 @@
+#include "mpeg2/vlc_tables.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <vector>
+
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table B-1: macroblock_address_increment
+// ---------------------------------------------------------------------------
+constexpr VlcEntry kMbAddrInc[] = {
+    {0b1, 1, 1},
+    {0b011, 3, 2},
+    {0b010, 3, 3},
+    {0b0011, 4, 4},
+    {0b0010, 4, 5},
+    {0b00011, 5, 6},
+    {0b00010, 5, 7},
+    {0b0000111, 7, 8},
+    {0b0000110, 7, 9},
+    {0b00001011, 8, 10},
+    {0b00001010, 8, 11},
+    {0b00001001, 8, 12},
+    {0b00001000, 8, 13},
+    {0b00000111, 8, 14},
+    {0b00000110, 8, 15},
+    {0b0000010110, 10, 16},
+    {0b0000010101, 10, 17},
+    {0b0000010100, 10, 18},
+    {0b0000010011, 10, 19},
+    {0b0000010010, 10, 20},
+    {0b00000100011, 11, 21},
+    {0b00000100010, 11, 22},
+    {0b00000100001, 11, 23},
+    {0b00000100000, 11, 24},
+    {0b00000011111, 11, 25},
+    {0b00000011110, 11, 26},
+    {0b00000011101, 11, 27},
+    {0b00000011100, 11, 28},
+    {0b00000011011, 11, 29},
+    {0b00000011010, 11, 30},
+    {0b00000011001, 11, 31},
+    {0b00000011000, 11, 32},
+    {0b00000010111, 11, 33},
+    {0b00000001000, 11, kVlcEscape},    // macroblock_escape (+33)
+    {0b00000001111, 11, kVlcStuffing},  // macroblock_stuffing (MPEG-1 only)
+};
+
+// ---------------------------------------------------------------------------
+// Tables B-2/B-3/B-4: macroblock_type. Values are MbFlags bit combinations.
+// ---------------------------------------------------------------------------
+constexpr std::int16_t kIntra = MbFlags::kIntra;
+constexpr std::int16_t kQuant = MbFlags::kQuant;
+constexpr std::int16_t kMf = MbFlags::kMotionForward;
+constexpr std::int16_t kMb = MbFlags::kMotionBackward;
+constexpr std::int16_t kPat = MbFlags::kPattern;
+
+constexpr VlcEntry kMbTypeI[] = {
+    {0b1, 1, kIntra},
+    {0b01, 2, static_cast<std::int16_t>(kQuant | kIntra)},
+};
+
+constexpr VlcEntry kMbTypeP[] = {
+    {0b1, 1, static_cast<std::int16_t>(kMf | kPat)},
+    {0b01, 2, kPat},
+    {0b001, 3, kMf},
+    {0b00011, 5, kIntra},
+    {0b00010, 5, static_cast<std::int16_t>(kQuant | kMf | kPat)},
+    {0b00001, 5, static_cast<std::int16_t>(kQuant | kPat)},
+    {0b000001, 6, static_cast<std::int16_t>(kQuant | kIntra)},
+};
+
+constexpr VlcEntry kMbTypeB[] = {
+    {0b10, 2, static_cast<std::int16_t>(kMf | kMb)},
+    {0b11, 2, static_cast<std::int16_t>(kMf | kMb | kPat)},
+    {0b010, 3, kMb},
+    {0b011, 3, static_cast<std::int16_t>(kMb | kPat)},
+    {0b0010, 4, kMf},
+    {0b0011, 4, static_cast<std::int16_t>(kMf | kPat)},
+    {0b00011, 5, kIntra},
+    {0b00010, 5, static_cast<std::int16_t>(kQuant | kMf | kMb | kPat)},
+    {0b000011, 6, static_cast<std::int16_t>(kQuant | kMf | kPat)},
+    {0b000010, 6, static_cast<std::int16_t>(kQuant | kMb | kPat)},
+    {0b000001, 6, static_cast<std::int16_t>(kQuant | kIntra)},
+};
+
+// ---------------------------------------------------------------------------
+// Table B-9: coded_block_pattern (4:2:0; cbp 0 is 4:2:2/4:4:4-only but is
+// kept so the table is complete).
+// ---------------------------------------------------------------------------
+constexpr VlcEntry kCodedBlockPattern[] = {
+    {0b111, 3, 60},       {0b1101, 4, 4},       {0b1100, 4, 8},
+    {0b1011, 4, 16},      {0b1010, 4, 32},      {0b10011, 5, 12},
+    {0b10010, 5, 48},     {0b10001, 5, 20},     {0b10000, 5, 40},
+    {0b01111, 5, 28},     {0b01110, 5, 44},     {0b01101, 5, 52},
+    {0b01100, 5, 56},     {0b01011, 5, 1},      {0b01010, 5, 61},
+    {0b01001, 5, 2},      {0b01000, 5, 62},     {0b001111, 6, 24},
+    {0b001110, 6, 36},    {0b001101, 6, 3},     {0b001100, 6, 63},
+    {0b0010111, 7, 5},    {0b0010110, 7, 9},    {0b0010101, 7, 17},
+    {0b0010100, 7, 33},   {0b0010011, 7, 6},    {0b0010010, 7, 10},
+    {0b0010001, 7, 18},   {0b0010000, 7, 34},   {0b00011111, 8, 7},
+    {0b00011110, 8, 11},  {0b00011101, 8, 19},  {0b00011100, 8, 35},
+    {0b00011011, 8, 13},  {0b00011010, 8, 49},  {0b00011001, 8, 21},
+    {0b00011000, 8, 41},  {0b00010111, 8, 14},  {0b00010110, 8, 50},
+    {0b00010101, 8, 22},  {0b00010100, 8, 42},  {0b00010011, 8, 15},
+    {0b00010010, 8, 51},  {0b00010001, 8, 23},  {0b00010000, 8, 43},
+    {0b00001111, 8, 25},  {0b00001110, 8, 37},  {0b00001101, 8, 26},
+    {0b00001100, 8, 38},  {0b00001011, 8, 29},  {0b00001010, 8, 45},
+    {0b00001001, 8, 53},  {0b00001000, 8, 57},  {0b00000111, 8, 30},
+    {0b00000110, 8, 46},  {0b00000101, 8, 54},  {0b00000100, 8, 58},
+    {0b000000111, 9, 31}, {0b000000110, 9, 47}, {0b000000101, 9, 55},
+    {0b000000100, 9, 59}, {0b000000011, 9, 27}, {0b000000010, 9, 39},
+    {0b000000001, 9, 0},
+};
+
+// ---------------------------------------------------------------------------
+// Table B-10: motion_code, fully signed (last bit of each non-zero code is
+// the sign: 0 positive, 1 negative).
+// ---------------------------------------------------------------------------
+constexpr VlcEntry kMotionCode[] = {
+    {0b1, 1, 0},
+    {0b010, 3, 1},           {0b011, 3, -1},
+    {0b0010, 4, 2},          {0b0011, 4, -2},
+    {0b00010, 5, 3},         {0b00011, 5, -3},
+    {0b0000110, 7, 4},       {0b0000111, 7, -4},
+    {0b00001010, 8, 5},      {0b00001011, 8, -5},
+    {0b00001000, 8, 6},      {0b00001001, 8, -6},
+    {0b00000110, 8, 7},      {0b00000111, 8, -7},
+    {0b0000010110, 10, 8},   {0b0000010111, 10, -8},
+    {0b0000010100, 10, 9},   {0b0000010101, 10, -9},
+    {0b0000010010, 10, 10},  {0b0000010011, 10, -10},
+    {0b00000100010, 11, 11}, {0b00000100011, 11, -11},
+    {0b00000100000, 11, 12}, {0b00000100001, 11, -12},
+    {0b00000011110, 11, 13}, {0b00000011111, 11, -13},
+    {0b00000011100, 11, 14}, {0b00000011101, 11, -14},
+    {0b00000011010, 11, 15}, {0b00000011011, 11, -15},
+    {0b00000011000, 11, 16}, {0b00000011001, 11, -16},
+};
+
+// ---------------------------------------------------------------------------
+// Tables B-12 / B-13: dct_dc_size
+// ---------------------------------------------------------------------------
+constexpr VlcEntry kDctDcSizeLuma[] = {
+    {0b100, 3, 0},        {0b00, 2, 1},          {0b01, 2, 2},
+    {0b101, 3, 3},        {0b110, 3, 4},         {0b1110, 4, 5},
+    {0b11110, 5, 6},      {0b111110, 6, 7},      {0b1111110, 7, 8},
+    {0b11111110, 8, 9},   {0b111111110, 9, 10},  {0b111111111, 9, 11},
+};
+
+constexpr VlcEntry kDctDcSizeChroma[] = {
+    {0b00, 2, 0},          {0b01, 2, 1},           {0b10, 2, 2},
+    {0b110, 3, 3},         {0b1110, 4, 4},         {0b11110, 5, 5},
+    {0b111110, 6, 6},      {0b1111110, 7, 7},      {0b11111110, 8, 8},
+    {0b111111110, 9, 9},   {0b1111111110, 10, 10}, {0b1111111111, 10, 11},
+};
+
+// ---------------------------------------------------------------------------
+// Table B-14: DCT coefficients, table zero. Sign bit excluded. The special
+// "first coefficient" form of run 0 / level 1 ('1s') is handled in the block
+// decoder, not here.
+// ---------------------------------------------------------------------------
+constexpr std::int16_t RL(int run, int level) {
+  return pack_run_level(run, level);
+}
+
+constexpr VlcEntry kDctTableZero[] = {
+    {0b10, 2, kVlcEob},
+    {0b11, 2, RL(0, 1)},
+    {0b011, 3, RL(1, 1)},
+    {0b0100, 4, RL(0, 2)},
+    {0b0101, 4, RL(2, 1)},
+    {0b00101, 5, RL(0, 3)},
+    {0b00111, 5, RL(3, 1)},
+    {0b00110, 5, RL(4, 1)},
+    {0b000110, 6, RL(1, 2)},
+    {0b000111, 6, RL(5, 1)},
+    {0b000101, 6, RL(6, 1)},
+    {0b000100, 6, RL(7, 1)},
+    {0b000001, 6, kVlcEscape},
+    {0b0000110, 7, RL(0, 4)},
+    {0b0000100, 7, RL(2, 2)},
+    {0b0000111, 7, RL(8, 1)},
+    {0b0000101, 7, RL(9, 1)},
+    {0b00100110, 8, RL(0, 5)},
+    {0b00100001, 8, RL(0, 6)},
+    {0b00100101, 8, RL(1, 3)},
+    {0b00100100, 8, RL(3, 2)},
+    {0b00100111, 8, RL(10, 1)},
+    {0b00100011, 8, RL(11, 1)},
+    {0b00100010, 8, RL(12, 1)},
+    {0b00100000, 8, RL(13, 1)},
+    {0b0000001010, 10, RL(0, 7)},
+    {0b0000001100, 10, RL(1, 4)},
+    {0b0000001011, 10, RL(2, 3)},
+    {0b0000001111, 10, RL(4, 2)},
+    {0b0000001001, 10, RL(5, 2)},
+    {0b0000001110, 10, RL(14, 1)},
+    {0b0000001101, 10, RL(15, 1)},
+    {0b0000001000, 10, RL(16, 1)},
+    {0b000000011101, 12, RL(0, 8)},
+    {0b000000011000, 12, RL(0, 9)},
+    {0b000000010011, 12, RL(0, 10)},
+    {0b000000010000, 12, RL(0, 11)},
+    {0b000000011011, 12, RL(1, 5)},
+    {0b000000010100, 12, RL(2, 4)},
+    {0b000000011100, 12, RL(3, 3)},
+    {0b000000010010, 12, RL(4, 3)},
+    {0b000000011110, 12, RL(6, 2)},
+    {0b000000010101, 12, RL(7, 2)},
+    {0b000000010001, 12, RL(8, 2)},
+    {0b000000011111, 12, RL(17, 1)},
+    {0b000000011010, 12, RL(18, 1)},
+    {0b000000011001, 12, RL(19, 1)},
+    {0b000000010111, 12, RL(20, 1)},
+    {0b000000010110, 12, RL(21, 1)},
+    {0b0000000011010, 13, RL(0, 12)},
+    {0b0000000011001, 13, RL(0, 13)},
+    {0b0000000011000, 13, RL(0, 14)},
+    {0b0000000010111, 13, RL(0, 15)},
+    {0b0000000010110, 13, RL(1, 6)},
+    {0b0000000010101, 13, RL(1, 7)},
+    {0b0000000010100, 13, RL(2, 5)},
+    {0b0000000010011, 13, RL(3, 4)},
+    {0b0000000010010, 13, RL(5, 3)},
+    {0b0000000010001, 13, RL(9, 2)},
+    {0b0000000010000, 13, RL(10, 2)},
+    {0b0000000011111, 13, RL(22, 1)},
+    {0b0000000011110, 13, RL(23, 1)},
+    {0b0000000011101, 13, RL(24, 1)},
+    {0b0000000011100, 13, RL(25, 1)},
+    {0b0000000011011, 13, RL(26, 1)},
+    {0b00000000011111, 14, RL(0, 16)},
+    {0b00000000011110, 14, RL(0, 17)},
+    {0b00000000011101, 14, RL(0, 18)},
+    {0b00000000011100, 14, RL(0, 19)},
+    {0b00000000011011, 14, RL(0, 20)},
+    {0b00000000011010, 14, RL(0, 21)},
+    {0b00000000011001, 14, RL(0, 22)},
+    {0b00000000011000, 14, RL(0, 23)},
+    {0b00000000010111, 14, RL(0, 24)},
+    {0b00000000010110, 14, RL(0, 25)},
+    {0b00000000010101, 14, RL(0, 26)},
+    {0b00000000010100, 14, RL(0, 27)},
+    {0b00000000010011, 14, RL(0, 28)},
+    {0b00000000010010, 14, RL(0, 29)},
+    {0b00000000010001, 14, RL(0, 30)},
+    {0b00000000010000, 14, RL(0, 31)},
+    {0b000000000011000, 15, RL(0, 32)},
+    {0b000000000010111, 15, RL(0, 33)},
+    {0b000000000010110, 15, RL(0, 34)},
+    {0b000000000010101, 15, RL(0, 35)},
+    {0b000000000010100, 15, RL(0, 36)},
+    {0b000000000010011, 15, RL(0, 37)},
+    {0b000000000010010, 15, RL(0, 38)},
+    {0b000000000010001, 15, RL(0, 39)},
+    {0b000000000010000, 15, RL(0, 40)},
+    {0b000000000011111, 15, RL(1, 8)},
+    {0b000000000011110, 15, RL(1, 9)},
+    {0b000000000011101, 15, RL(1, 10)},
+    {0b000000000011100, 15, RL(1, 11)},
+    {0b000000000011011, 15, RL(1, 12)},
+    {0b000000000011010, 15, RL(1, 13)},
+    {0b000000000011001, 15, RL(1, 14)},
+    {0b0000000000010011, 16, RL(1, 15)},
+    {0b0000000000010010, 16, RL(1, 16)},
+    {0b0000000000010001, 16, RL(1, 17)},
+    {0b0000000000010000, 16, RL(1, 18)},
+    {0b0000000000010100, 16, RL(6, 3)},
+    {0b0000000000011010, 16, RL(11, 2)},
+    {0b0000000000011001, 16, RL(12, 2)},
+    {0b0000000000011000, 16, RL(13, 2)},
+    {0b0000000000010111, 16, RL(14, 2)},
+    {0b0000000000010110, 16, RL(15, 2)},
+    {0b0000000000010101, 16, RL(16, 2)},
+    {0b0000000000011111, 16, RL(27, 1)},
+    {0b0000000000011110, 16, RL(28, 1)},
+    {0b0000000000011101, 16, RL(29, 1)},
+    {0b0000000000011100, 16, RL(30, 1)},
+    {0b0000000000011011, 16, RL(31, 1)},
+};
+
+// ---------------------------------------------------------------------------
+// Table B-15: DCT coefficients, table one (intra_vlc_format = 1).
+// Short codes reconstructed (see header note); codes of length >= 10 that
+// are not reassigned below are inherited from Table B-14, as in the
+// standard.
+// ---------------------------------------------------------------------------
+constexpr VlcEntry kDctTableOneShort[] = {
+    {0b0110, 4, kVlcEob},
+    {0b10, 2, RL(0, 1)},
+    {0b110, 3, RL(0, 2)},
+    {0b0111, 4, RL(0, 3)},
+    {0b11100, 5, RL(0, 4)},
+    {0b11101, 5, RL(0, 5)},
+    {0b000101, 6, RL(0, 6)},
+    {0b000100, 6, RL(0, 7)},
+    {0b1111011, 7, RL(0, 8)},
+    {0b1111100, 7, RL(0, 9)},
+    {0b00100011, 8, RL(0, 10)},
+    {0b00100010, 8, RL(0, 11)},
+    {0b11111010, 8, RL(0, 12)},
+    {0b11111011, 8, RL(0, 13)},
+    {0b11111110, 8, RL(0, 14)},
+    {0b11111111, 8, RL(0, 15)},
+    {0b010, 3, RL(1, 1)},
+    {0b00110, 5, RL(1, 2)},
+    {0b1111001, 7, RL(1, 3)},
+    {0b00100111, 8, RL(1, 4)},
+    {0b00100000, 8, RL(1, 5)},
+    {0b00101, 5, RL(2, 1)},
+    {0b0000111, 7, RL(2, 2)},
+    {0b11111100, 8, RL(2, 3)},
+    {0b00111, 5, RL(3, 1)},
+    {0b00100110, 8, RL(3, 2)},
+    {0b000110, 6, RL(4, 1)},
+    {0b11111101, 8, RL(4, 2)},
+    {0b000111, 6, RL(5, 1)},
+    {0b0000110, 7, RL(6, 1)},
+    {0b0000100, 7, RL(7, 1)},
+    {0b0000101, 7, RL(8, 1)},
+    {0b1111000, 7, RL(9, 1)},
+    {0b1111010, 7, RL(10, 1)},
+    {0b00100001, 8, RL(11, 1)},
+    {0b00100101, 8, RL(12, 1)},
+    {0b00100100, 8, RL(13, 1)},
+    {0b000001, 6, kVlcEscape},
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VlcDecoder
+// ---------------------------------------------------------------------------
+VlcDecoder::VlcDecoder(std::span<const VlcEntry> entries) {
+  max_len_ = 0;
+  for (const auto& e : entries) {
+    if (e.len > max_len_) max_len_ = e.len;
+  }
+  const std::size_t size = std::size_t{1} << max_len_;
+  table_ = new Result[size];
+  for (std::size_t i = 0; i < size; ++i) table_[i] = {0, 0};
+  for (const auto& e : entries) {
+    const int shift = max_len_ - e.len;
+    const std::size_t base = static_cast<std::size_t>(e.code) << shift;
+    const std::size_t count = std::size_t{1} << shift;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Overlap here would mean the table is not prefix-free — a build-time
+      // data error, so fail loudly even in release builds.
+      if (table_[base + i].len != 0) {
+        assert(false && "VLC table is not prefix-free");
+        std::abort();
+      }
+      table_[base + i] = {e.value, e.len};
+    }
+  }
+}
+
+VlcDecoder::~VlcDecoder() { delete[] table_; }
+
+// ---------------------------------------------------------------------------
+// Entry-list accessors
+// ---------------------------------------------------------------------------
+namespace {
+
+// Table one = reconstructed short codes + inherited B-14 long codes for
+// every (run, level) not reassigned. Built once.
+const std::vector<VlcEntry>& dct_table_one_storage() {
+  static const std::vector<VlcEntry> table = [] {
+    std::vector<VlcEntry> out(std::begin(kDctTableOneShort),
+                              std::end(kDctTableOneShort));
+    auto has_value = [&out](std::int16_t v) {
+      for (const auto& e : out) {
+        if (e.value == v) return true;
+      }
+      return false;
+    };
+    for (const auto& e : kDctTableZero) {
+      if (e.len >= 10 && !has_value(e.value)) out.push_back(e);
+    }
+    return out;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::span<const VlcEntry> mb_addr_inc_entries() { return kMbAddrInc; }
+std::span<const VlcEntry> mb_type_i_entries() { return kMbTypeI; }
+std::span<const VlcEntry> mb_type_p_entries() { return kMbTypeP; }
+std::span<const VlcEntry> mb_type_b_entries() { return kMbTypeB; }
+std::span<const VlcEntry> coded_block_pattern_entries() {
+  return kCodedBlockPattern;
+}
+std::span<const VlcEntry> motion_code_entries() { return kMotionCode; }
+std::span<const VlcEntry> dct_dc_size_luma_entries() { return kDctDcSizeLuma; }
+std::span<const VlcEntry> dct_dc_size_chroma_entries() {
+  return kDctDcSizeChroma;
+}
+std::span<const VlcEntry> dct_table_zero_entries() { return kDctTableZero; }
+std::span<const VlcEntry> dct_table_one_entries() {
+  return dct_table_one_storage();
+}
+
+// ---------------------------------------------------------------------------
+// Shared decoder instances
+// ---------------------------------------------------------------------------
+const VlcDecoder& mb_addr_inc_decoder() {
+  static const VlcDecoder d(mb_addr_inc_entries());
+  return d;
+}
+
+const VlcDecoder& mb_type_decoder(int picture_coding_type) {
+  static const VlcDecoder di(mb_type_i_entries());
+  static const VlcDecoder dp(mb_type_p_entries());
+  static const VlcDecoder db(mb_type_b_entries());
+  switch (static_cast<PictureType>(picture_coding_type)) {
+    case PictureType::kI: return di;
+    case PictureType::kP: return dp;
+    case PictureType::kB: return db;
+  }
+  assert(false && "bad picture_coding_type");
+  return di;
+}
+
+const VlcDecoder& coded_block_pattern_decoder() {
+  static const VlcDecoder d(coded_block_pattern_entries());
+  return d;
+}
+
+const VlcDecoder& motion_code_decoder() {
+  static const VlcDecoder d(motion_code_entries());
+  return d;
+}
+
+const VlcDecoder& dct_dc_size_luma_decoder() {
+  static const VlcDecoder d(dct_dc_size_luma_entries());
+  return d;
+}
+
+const VlcDecoder& dct_dc_size_chroma_decoder() {
+  static const VlcDecoder d(dct_dc_size_chroma_entries());
+  return d;
+}
+
+const VlcDecoder& dct_table_decoder(bool table_one) {
+  static const VlcDecoder zero(dct_table_zero_entries());
+  static const VlcDecoder one(dct_table_one_entries());
+  return table_one ? one : zero;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder-side maps
+// ---------------------------------------------------------------------------
+namespace {
+
+Code find_code(std::span<const VlcEntry> entries, std::int16_t value) {
+  for (const auto& e : entries) {
+    if (e.value == value) return {e.code, e.len};
+  }
+  return {};
+}
+
+}  // namespace
+
+Code encode_mb_addr_inc(int increment) {
+  assert(increment >= 1 && increment <= 33);
+  return find_code(mb_addr_inc_entries(), static_cast<std::int16_t>(increment));
+}
+
+Code encode_mb_type(int picture_coding_type, std::uint8_t flags) {
+  std::span<const VlcEntry> entries;
+  switch (static_cast<PictureType>(picture_coding_type)) {
+    case PictureType::kI: entries = mb_type_i_entries(); break;
+    case PictureType::kP: entries = mb_type_p_entries(); break;
+    case PictureType::kB: entries = mb_type_b_entries(); break;
+  }
+  return find_code(entries, flags);
+}
+
+Code encode_coded_block_pattern(int cbp) {
+  assert(cbp >= 0 && cbp <= 63);
+  return find_code(coded_block_pattern_entries(),
+                   static_cast<std::int16_t>(cbp));
+}
+
+Code encode_motion_code(int code) {
+  assert(code >= -16 && code <= 16);
+  return find_code(motion_code_entries(), static_cast<std::int16_t>(code));
+}
+
+Code encode_dct_dc_size(bool luma, int size) {
+  assert(size >= 0 && size <= 11);
+  return find_code(luma ? dct_dc_size_luma_entries()
+                        : dct_dc_size_chroma_entries(),
+                   static_cast<std::int16_t>(size));
+}
+
+Code encode_dct_run_level(bool table_one, int run, int level) {
+  if (run < 0 || run > 31 || level < 1 || level > 40) return {};
+  return find_code(table_one ? dct_table_one_entries()
+                             : dct_table_zero_entries(),
+                   pack_run_level(run, level));
+}
+
+Code dct_eob_code(bool table_one) {
+  return table_one ? Code{0b0110, 4} : Code{0b10, 2};
+}
+
+Code dct_escape_code() { return {0b000001, 6}; }
+
+}  // namespace pmp2::mpeg2
+
+// ---------------------------------------------------------------------------
+// TwoLevelVlcDecoder
+// ---------------------------------------------------------------------------
+namespace pmp2::mpeg2 {
+
+TwoLevelVlcDecoder::TwoLevelVlcDecoder(std::span<const VlcEntry> entries,
+                                       int primary_bits)
+    : primary_bits_(primary_bits) {
+  max_len_ = 0;
+  for (const auto& e : entries) {
+    if (e.len > max_len_) max_len_ = e.len;
+  }
+  if (primary_bits_ > max_len_) primary_bits_ = max_len_;
+  primary_.assign(std::size_t{1} << primary_bits_, Slot{});
+
+  // Short codes fill primary slots directly.
+  for (const auto& e : entries) {
+    if (e.len > primary_bits_) continue;
+    const int shift = primary_bits_ - e.len;
+    const std::size_t base = static_cast<std::size_t>(e.code) << shift;
+    for (std::size_t i = 0; i < (std::size_t{1} << shift); ++i) {
+      assert(primary_[base + i].len == 0 && "VLC table is not prefix-free");
+      primary_[base + i] = {e.value, e.len, -1};
+    }
+  }
+  // Long codes share per-prefix secondary tables.
+  const int rest_bits = max_len_ - primary_bits_;
+  for (const auto& e : entries) {
+    if (e.len <= primary_bits_) continue;
+    const std::uint32_t prefix =
+        static_cast<std::uint32_t>(e.code) >> (e.len - primary_bits_);
+    Slot& slot = primary_[prefix];
+    assert(slot.len == 0 && "short code is a prefix of a long code");
+    if (slot.secondary < 0) {
+      slot.secondary = static_cast<std::int32_t>(secondary_.size());
+      secondary_.resize(secondary_.size() + (std::size_t{1} << rest_bits),
+                        Result{0, 0});
+    }
+    // The code's remaining bits, left-aligned within rest_bits.
+    const int sec_len = e.len - primary_bits_;
+    const std::uint32_t sec_code =
+        static_cast<std::uint32_t>(e.code) & ((1u << sec_len) - 1);
+    const int shift = rest_bits - sec_len;
+    const std::size_t base =
+        static_cast<std::size_t>(slot.secondary) +
+        (static_cast<std::size_t>(sec_code) << shift);
+    for (std::size_t i = 0; i < (std::size_t{1} << shift); ++i) {
+      assert(secondary_[base + i].len == 0 && "VLC table is not prefix-free");
+      secondary_[base + i] = {e.value, static_cast<std::uint8_t>(e.len)};
+    }
+  }
+}
+
+std::size_t TwoLevelVlcDecoder::table_bytes() const {
+  return primary_.size() * sizeof(Slot) + secondary_.size() * sizeof(Result);
+}
+
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,184 @@
+// Variable-length-code tables of ISO/IEC 13818-2 Annex B, plus a generic
+// table-driven Huffman decoder used for all of them.
+//
+// Tables provided:
+//   B-1   macroblock_address_increment
+//   B-2/3/4  macroblock_type for I/P/B pictures
+//   B-9   coded_block_pattern (4:2:0)
+//   B-10  motion_code
+//   B-12  dct_dc_size_luminance
+//   B-13  dct_dc_size_chrominance
+//   B-14  DCT coefficients, table zero
+//   B-15  DCT coefficients, table one (intra_vlc_format = 1)
+//
+// Note on Table B-15: the short-code assignments are a reconstruction (see
+// DESIGN.md); prefix-freeness and encoder/decoder agreement are enforced by
+// construction-time checks and unit tests, and the encoder falls back to
+// escape coding for any (run, level) pair without a code, so generated
+// streams always round-trip. Table B-14 follows the standard exactly.
+//
+// Sign bits: DCT-coefficient and motion-code signs are separate bits in the
+// syntax; the entries here describe codes *without* the sign bit except for
+// Table B-10, which stores fully signed motion codes (-16..16).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+
+namespace pmp2::mpeg2 {
+
+/// One Huffman code: `len` bits, value `code` (MSB-first, right-aligned).
+struct VlcEntry {
+  std::uint16_t code;
+  std::uint8_t len;
+  std::int16_t value;
+};
+
+/// Special `value`s used by the DCT tables and B-1.
+constexpr std::int16_t kVlcEob = -1;       // end_of_block
+constexpr std::int16_t kVlcEscape = -2;    // escape
+constexpr std::int16_t kVlcStuffing = -3;  // macroblock_stuffing (MPEG-1)
+
+/// Packs a DCT (run, level) pair into a VlcEntry value. level is 1..40.
+[[nodiscard]] constexpr std::int16_t pack_run_level(int run, int level) {
+  return static_cast<std::int16_t>(run * 64 + level);
+}
+[[nodiscard]] constexpr int unpack_run(std::int16_t v) { return v >> 6; }
+[[nodiscard]] constexpr int unpack_level(std::int16_t v) { return v & 63; }
+
+/// Table-driven prefix-code decoder. Builds a flat lookup of size
+/// 2^max_len at construction; every slot covered by a code stores
+/// (value, len), uncovered slots store len = 0 (invalid code).
+class VlcDecoder {
+ public:
+  explicit VlcDecoder(std::span<const VlcEntry> entries);
+  ~VlcDecoder();
+  VlcDecoder(const VlcDecoder&) = delete;
+  VlcDecoder& operator=(const VlcDecoder&) = delete;
+
+  struct Result {
+    std::int16_t value;
+    std::uint8_t len;  // 0 => invalid bit pattern
+  };
+
+  /// Looks up `max_len()` peeked bits.
+  [[nodiscard]] Result lookup(std::uint32_t peeked) const {
+    return table_[peeked];
+  }
+
+  [[nodiscard]] int max_len() const { return max_len_; }
+
+  /// Decodes one symbol from the reader. Returns false on an invalid code
+  /// (reader position is then unspecified; callers abort the slice, as a
+  /// real decoder does on a corrupt stream).
+  bool decode(BitReader& br, std::int16_t& value) const {
+    const Result r = lookup(br.peek(max_len_));
+    if (r.len == 0) return false;
+    br.skip(r.len);
+    value = r.value;
+    return true;
+  }
+
+ private:
+  Result* table_;  // owned, size 1 << max_len_
+  int max_len_;
+};
+
+/// Two-level prefix-code decoder: an N-bit primary table resolves all short
+/// codes directly and points long-code prefixes at per-prefix secondary
+/// tables. Far smaller than the flat table for the 16-bit DCT tables
+/// (~3 KB vs 256 KB) at the cost of a second lookup on long codes; decode
+/// results are bit-identical to VlcDecoder (tested exhaustively).
+class TwoLevelVlcDecoder {
+ public:
+  explicit TwoLevelVlcDecoder(std::span<const VlcEntry> entries,
+                              int primary_bits = 8);
+
+  using Result = VlcDecoder::Result;
+
+  /// Looks up `max_len()` peeked bits (same contract as VlcDecoder).
+  [[nodiscard]] Result lookup(std::uint32_t peeked) const {
+    const std::uint32_t p =
+        max_len_ > primary_bits_ ? peeked >> (max_len_ - primary_bits_)
+                                 : peeked << (primary_bits_ - max_len_);
+    const Slot slot = primary_[p];
+    if (slot.len != 0 || slot.secondary < 0) {
+      return {slot.value, slot.len};
+    }
+    const std::uint32_t rest =
+        peeked & ((1u << (max_len_ - primary_bits_)) - 1);
+    return secondary_[static_cast<std::size_t>(slot.secondary) + rest];
+  }
+
+  [[nodiscard]] int max_len() const { return max_len_; }
+
+  bool decode(BitReader& br, std::int16_t& value) const {
+    const Result r = lookup(br.peek(max_len_));
+    if (r.len == 0) return false;
+    br.skip(r.len);
+    value = r.value;
+    return true;
+  }
+
+  /// Total bytes of lookup storage (for the memory ablation).
+  [[nodiscard]] std::size_t table_bytes() const;
+
+ private:
+  struct Slot {
+    std::int16_t value = 0;
+    std::uint8_t len = 0;      // > 0: direct hit
+    std::int32_t secondary = -1;  // >= 0: offset into secondary_
+  };
+  std::vector<Slot> primary_;
+  std::vector<Result> secondary_;
+  int primary_bits_;
+  int max_len_;
+};
+
+// --- Entry lists (exposed for exhaustive round-trip tests) ---------------
+[[nodiscard]] std::span<const VlcEntry> mb_addr_inc_entries();     // B-1
+[[nodiscard]] std::span<const VlcEntry> mb_type_i_entries();       // B-2
+[[nodiscard]] std::span<const VlcEntry> mb_type_p_entries();       // B-3
+[[nodiscard]] std::span<const VlcEntry> mb_type_b_entries();       // B-4
+[[nodiscard]] std::span<const VlcEntry> coded_block_pattern_entries();  // B-9
+[[nodiscard]] std::span<const VlcEntry> motion_code_entries();     // B-10
+[[nodiscard]] std::span<const VlcEntry> dct_dc_size_luma_entries();    // B-12
+[[nodiscard]] std::span<const VlcEntry> dct_dc_size_chroma_entries();  // B-13
+[[nodiscard]] std::span<const VlcEntry> dct_table_zero_entries();  // B-14
+[[nodiscard]] std::span<const VlcEntry> dct_table_one_entries();   // B-15
+
+// --- Shared decoder instances (built on first use, immutable after) ------
+[[nodiscard]] const VlcDecoder& mb_addr_inc_decoder();
+[[nodiscard]] const VlcDecoder& mb_type_decoder(int picture_coding_type);
+[[nodiscard]] const VlcDecoder& coded_block_pattern_decoder();
+[[nodiscard]] const VlcDecoder& motion_code_decoder();
+[[nodiscard]] const VlcDecoder& dct_dc_size_luma_decoder();
+[[nodiscard]] const VlcDecoder& dct_dc_size_chroma_decoder();
+[[nodiscard]] const VlcDecoder& dct_table_decoder(bool table_one);
+
+// --- Encoder-side code maps ----------------------------------------------
+/// A code to emit: low `len` bits of `bits`, MSB-first. len == 0 means "no
+/// code exists" (DCT tables: use escape coding).
+struct Code {
+  std::uint32_t bits = 0;
+  std::uint8_t len = 0;
+
+  void put(BitWriter& bw) const { bw.put(bits, len); }
+};
+
+[[nodiscard]] Code encode_mb_addr_inc(int increment);     // 1..33
+[[nodiscard]] Code encode_mb_type(int picture_coding_type,
+                                  std::uint8_t flags);
+[[nodiscard]] Code encode_coded_block_pattern(int cbp);   // 0..63
+[[nodiscard]] Code encode_motion_code(int code);          // -16..16
+[[nodiscard]] Code encode_dct_dc_size(bool luma, int size);  // 0..11
+/// Returns the (run, level) code *without* sign; len == 0 => escape needed.
+[[nodiscard]] Code encode_dct_run_level(bool table_one, int run, int level);
+[[nodiscard]] Code dct_eob_code(bool table_one);
+[[nodiscard]] Code dct_escape_code();
+
+}  // namespace pmp2::mpeg2

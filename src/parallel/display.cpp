@@ -1,0 +1,32 @@
+#include "parallel/display.h"
+
+namespace pmp2::parallel {
+
+void DisplaySink::push(mpeg2::FramePtr frame) {
+  std::unique_lock lock(mutex_);
+  pending_.emplace(frame->display_index, std::move(frame));
+  max_buffered_ = std::max(max_buffered_, pending_.size());
+  if (emitting_) return;  // the active emitter will drain what we added
+  emitting_ = true;
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    mpeg2::FramePtr f = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    checksum_ = chain_frame_checksum(checksum_, *f);
+    ++next_;
+    // Emit without the lock (the callback may be slow). The emitting_ flag
+    // guarantees a single emitter, so callbacks stay in display order.
+    lock.unlock();
+    if (on_frame_) on_frame_(std::move(f));
+    f.reset();
+    lock.lock();
+  }
+  emitting_ = false;
+  if (next_ >= total_) done_cv_.notify_all();
+}
+
+void DisplaySink::wait_done() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return next_ >= total_; });
+}
+
+}  // namespace pmp2::parallel

@@ -1,0 +1,53 @@
+// The display process of the paper's Fig. 4: receives decoded pictures in
+// completion order (possibly out of display order), reorders them by
+// display index, and emits them in order. Dithering is excluded, as in the
+// paper's measurements.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "mpeg2/frame.h"
+#include "parallel/stats.h"
+
+namespace pmp2::parallel {
+
+using FrameCallback = std::function<void(mpeg2::FramePtr)>;
+
+class DisplaySink {
+ public:
+  /// `on_frame` may be empty; frames are then just checksummed + released.
+  DisplaySink(int total_pictures, FrameCallback on_frame)
+      : total_(total_pictures), on_frame_(std::move(on_frame)) {}
+
+  /// Thread-safe: inserts a completed picture (display_index must be set)
+  /// and emits every picture that is now next in display order. Emission
+  /// happens on the calling thread while holding no lock on the reorder
+  /// map's entries beyond removal.
+  void push(mpeg2::FramePtr frame);
+
+  /// Blocks until all pictures have been emitted.
+  void wait_done();
+
+  /// Final digest over the emitted sequence (valid after wait_done()).
+  [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+
+  /// Maximum number of pictures that were buffered waiting for reordering.
+  [[nodiscard]] std::size_t max_buffered() const { return max_buffered_; }
+
+ private:
+  const int total_;
+  FrameCallback on_frame_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::map<int, mpeg2::FramePtr> pending_;  // guarded by mutex_
+  int next_ = 0;                            // guarded by mutex_
+  bool emitting_ = false;                   // guarded by mutex_
+  std::uint64_t checksum_ = 0;              // guarded by mutex_
+  std::size_t max_buffered_ = 0;            // guarded by mutex_
+};
+
+}  // namespace pmp2::parallel

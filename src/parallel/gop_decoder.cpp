@@ -1,0 +1,135 @@
+#include "parallel/gop_decoder.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "parallel/task_queue.h"
+#include "util/timer.h"
+
+namespace pmp2::parallel {
+
+namespace {
+
+struct GopTask {
+  const mpeg2::GopInfo* info = nullptr;
+  int display_base = 0;  // global display index of this GOP's first picture
+};
+
+/// Decodes one closed GOP with private reference state. Frames come from
+/// the shared pool; finished pictures go straight to the display sink.
+bool decode_gop(std::span<const std::uint8_t> stream,
+                const mpeg2::StreamStructure& structure, const GopTask& task,
+                mpeg2::FramePool& pool, DisplaySink& display,
+                WorkerStats& stats) {
+  mpeg2::FramePtr fwd_ref, bwd_ref;
+  for (const auto& info : task.info->pictures) {
+    pmp2::BitReader br(stream);
+    br.seek_bytes(info.offset);
+    mpeg2::PictureContext pic;
+    pic.seq = &structure.seq;
+    pic.mpeg1 = structure.mpeg1;
+    if (!mpeg2::parse_picture_headers(br, pic.header, pic.ext)) return false;
+    pic.mb_width = structure.mb_width();
+    pic.mb_height = structure.mb_height();
+
+    mpeg2::FramePtr dst = pool.acquire();
+    dst->type = pic.header.type;
+    dst->temporal_reference = pic.header.temporal_reference;
+    dst->display_index = task.display_base + pic.header.temporal_reference;
+    pic.dst = dst.get();
+    pic.dst_id = dst->trace_id();
+    if (pic.header.type != mpeg2::PictureType::kI) {
+      const mpeg2::FramePtr& past =
+          pic.header.type == mpeg2::PictureType::kP ? bwd_ref : fwd_ref;
+      if (!past) return false;  // GOP not closed/self-contained
+      pic.fwd_ref = past.get();
+      pic.fwd_id = past->trace_id();
+      if (pic.header.type == mpeg2::PictureType::kB) {
+        if (!bwd_ref) return false;
+        pic.bwd_ref = bwd_ref.get();
+        pic.bwd_id = bwd_ref->trace_id();
+      }
+    }
+    if (!mpeg2::decode_picture_slices(stream, info, pic, stats.work)) {
+      return false;
+    }
+    if (pic.header.type != mpeg2::PictureType::kB) {
+      fwd_ref = bwd_ref;
+      bwd_ref = dst;
+    }
+    display.push(std::move(dst));
+  }
+  return true;
+}
+
+}  // namespace
+
+RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
+                                     const FrameCallback& on_frame) {
+  RunResult result;
+  WallTimer total_timer;
+
+  // --- Scan process: locate GOPs and pictures. ---
+  WallTimer scan_timer;
+  const mpeg2::StreamStructure structure = mpeg2::scan_structure(stream);
+  result.scan_s = scan_timer.elapsed_s();
+  if (!structure.valid) return result;
+  for (const auto& gop : structure.gops) {
+    if (!gop.closed) return result;  // this decoder requires closed GOPs
+  }
+
+  const int total_pictures = structure.total_pictures();
+  result.pictures = total_pictures;
+  DisplaySink display(total_pictures, on_frame);
+  mpeg2::FramePool pool(structure.seq.horizontal_size,
+                        structure.seq.vertical_size, config_.tracker);
+  TaskQueue<GopTask> queue(config_.max_queued_gops);
+
+  result.workers.resize(static_cast<std::size_t>(config_.workers));
+  std::atomic<bool> failed{false};
+
+  std::vector<std::jthread> workers;
+  workers.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
+      for (;;) {
+        auto task = queue.pop(&stats.sync_ns);
+        if (!task) break;
+        ThreadCpuTimer cpu;
+        if (!decode_gop(stream, structure, *task, pool, display, stats)) {
+          failed.store(true, std::memory_order_relaxed);
+          queue.close();
+          break;
+        }
+        stats.compute_ns += cpu.elapsed_ns();
+        ++stats.tasks;
+      }
+    });
+  }
+
+  // --- Scan process (continued): enqueue GOP tasks in stream order. ---
+  {
+    int display_base = 0;
+    for (const auto& gop : structure.gops) {
+      queue.push(GopTask{&gop, display_base});
+      display_base += static_cast<int>(gop.pictures.size());
+    }
+    queue.close();
+  }
+
+  workers.clear();  // join
+  if (failed.load(std::memory_order_relaxed)) return result;
+  display.wait_done();
+
+  result.wall_s = total_timer.elapsed_s();
+  result.checksum = display.checksum();
+  if (config_.tracker) {
+    result.peak_frame_bytes = config_.tracker->peak_bytes();
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pmp2::parallel

@@ -1,0 +1,47 @@
+// Coarse-grained parallel decoder: one task per closed GOP (paper §5.1).
+//
+// Architecture (paper Fig. 4): a scan process locates GOP boundaries by
+// startcode scanning and enqueues GOP tasks; worker processes each dequeue
+// a GOP and decode it end to end with private reference frames; a display
+// process reorders finished pictures into display order. There is no
+// inter-worker communication other than the task queue — the paper's reason
+// for this design — at the cost of memory that grows with workers x GOP
+// size x picture size and poor random-access latency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpeg2/decoder.h"
+#include "mpeg2/frame.h"
+#include "parallel/display.h"
+#include "parallel/stats.h"
+
+namespace pmp2::parallel {
+
+struct GopDecoderConfig {
+  int workers = 4;
+  /// Maximum GOP tasks queued ahead of the workers; 0 = unbounded (the
+  /// paper's configuration — see Figs. 8/9 for the memory consequence).
+  std::size_t max_queued_gops = 0;
+  /// Tracks frame-buffer bytes (for the Fig. 8 memory measurements).
+  mpeg2::MemoryTracker* tracker = nullptr;
+};
+
+class GopParallelDecoder {
+ public:
+  explicit GopParallelDecoder(const GopDecoderConfig& config)
+      : config_(config) {}
+
+  /// Decodes the elementary stream with `config_.workers` worker threads
+  /// plus a scan and a display role. Requires closed GOPs (the encoder's
+  /// output); returns ok = false otherwise. Frames are delivered in display
+  /// order through `on_frame` (may be empty).
+  [[nodiscard]] RunResult decode(std::span<const std::uint8_t> stream,
+                                 const FrameCallback& on_frame = {});
+
+ private:
+  GopDecoderConfig config_;
+};
+
+}  // namespace pmp2::parallel

@@ -1,0 +1,305 @@
+#include "parallel/slice_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace pmp2::parallel {
+
+namespace {
+
+/// One picture of the 2-D task structure, in decode order.
+struct Pic {
+  const mpeg2::PictureInfo* info = nullptr;
+  int display_index = 0;
+  int deps[2] = {-1, -1};  // decode-order indices that must complete first
+
+  // Runtime state; scheduling fields are guarded by the coordinator mutex.
+  mpeg2::PictureContext ctx;
+  mpeg2::FramePtr dst, fwd, bwd;
+  bool open = false;
+  bool complete = false;
+  int next_slice = 0;
+  int remaining = 0;
+};
+
+/// Shared scheduling state: the coordinator implements the paper's 2-D
+/// picture/slice task queue plus the policy's synchronization rule.
+class Coordinator {
+ public:
+  Coordinator(std::span<const std::uint8_t> stream,
+              const mpeg2::StreamStructure& structure, std::vector<Pic> pics,
+              mpeg2::FramePool& pool, DisplaySink& display)
+      : stream_(stream),
+        structure_(structure),
+        pics_(std::move(pics)),
+        pool_(pool),
+        display_(display) {}
+
+  /// A claimed unit of work: picture index + slice index.
+  struct Claim {
+    Pic* pic = nullptr;
+    int slice = -1;
+  };
+
+  /// Blocks until a slice is available, all work is done (returns false),
+  /// or the run was aborted (returns false). Accumulates blocked time into
+  /// `sync_ns`.
+  bool claim(Claim& out, std::int64_t& sync_ns) {
+    WallTimer timer;
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (aborted_) break;
+      open_eligible_pictures();
+      if (Pic* pic = find_slice_source()) {
+        out.pic = pic;
+        out.slice = pic->next_slice++;
+        sync_ns += timer.elapsed_ns();
+        return true;
+      }
+      if (completed_ == static_cast<int>(pics_.size())) break;
+      cv_.wait(lock);
+    }
+    sync_ns += timer.elapsed_ns();
+    return false;
+  }
+
+  /// Reports a finished slice; completes the picture when it was the last.
+  void finish_slice(const Claim& claim, bool ok) {
+    std::unique_lock lock(mutex_);
+    if (!ok) {
+      aborted_ = true;
+      cv_.notify_all();
+      return;
+    }
+    Pic& pic = *claim.pic;
+    if (--pic.remaining == 0) {
+      pic.complete = true;
+      ++completed_;
+      mpeg2::FramePtr done = std::move(pic.dst);
+      pic.fwd.reset();
+      pic.bwd.reset();
+      --open_count_;
+      lock.unlock();
+      display_.push(std::move(done));
+      lock.lock();
+      cv_.notify_all();
+    } else if (pic.next_slice < static_cast<int>(pic.info->slices.size())) {
+      // More slices of this picture remain; other waiting workers can help.
+      cv_.notify_all();
+    }
+  }
+
+  [[nodiscard]] bool aborted() const {
+    const std::scoped_lock lock(mutex_);
+    return aborted_;
+  }
+
+  void set_max_open(int n) { max_open_ = n; }
+
+ private:
+  /// Opens pictures (in decode order) whose dependencies are satisfied.
+  /// Called with the mutex held.
+  void open_eligible_pictures() {
+    while (next_to_open_ < static_cast<int>(pics_.size()) &&
+           open_count_ < max_open_) {
+      Pic& pic = pics_[static_cast<std::size_t>(next_to_open_)];
+      for (const int dep : pic.deps) {
+        if (dep >= 0 && !pics_[static_cast<std::size_t>(dep)].complete) {
+          return;  // strict decode-order opening
+        }
+      }
+      pmp2::BitReader br(stream_);
+      br.seek_bytes(pic.info->offset);
+      pic.ctx.seq = &structure_.seq;
+      pic.ctx.mpeg1 = structure_.mpeg1;
+      if (!mpeg2::parse_picture_headers(br, pic.ctx.header, pic.ctx.ext)) {
+        aborted_ = true;
+        cv_.notify_all();
+        return;
+      }
+      pic.ctx.mb_width = structure_.mb_width();
+      pic.ctx.mb_height = structure_.mb_height();
+      pic.dst = pool_.acquire();
+      pic.dst->type = pic.ctx.header.type;
+      pic.dst->temporal_reference = pic.ctx.header.temporal_reference;
+      pic.dst->display_index = pic.display_index;
+      pic.ctx.dst = pic.dst.get();
+      pic.ctx.dst_id = pic.dst->trace_id();
+      if (pic.ctx.header.type != mpeg2::PictureType::kI) {
+        const mpeg2::FramePtr& past =
+            pic.ctx.header.type == mpeg2::PictureType::kP ? newest_ref_
+                                                          : older_ref_;
+        if (!past) {
+          aborted_ = true;
+          cv_.notify_all();
+          return;
+        }
+        pic.fwd = past;
+        pic.ctx.fwd_ref = past.get();
+        pic.ctx.fwd_id = past->trace_id();
+        if (pic.ctx.header.type == mpeg2::PictureType::kB) {
+          pic.bwd = newest_ref_;
+          pic.ctx.bwd_ref = newest_ref_.get();
+          pic.ctx.bwd_id = newest_ref_->trace_id();
+        }
+      }
+      if (pic.ctx.header.type != mpeg2::PictureType::kB) {
+        older_ref_ = newest_ref_;
+        newest_ref_ = pic.dst;
+      }
+      pic.remaining = static_cast<int>(pic.info->slices.size());
+      pic.open = true;
+      ++open_count_;
+      ++next_to_open_;
+      cv_.notify_all();
+    }
+  }
+
+  /// Lowest decode-order open picture with unclaimed slices. Called with
+  /// the mutex held.
+  Pic* find_slice_source() {
+    for (int i = first_active_; i < next_to_open_; ++i) {
+      Pic& pic = pics_[static_cast<std::size_t>(i)];
+      if (pic.complete && i == first_active_) {
+        ++first_active_;
+        continue;
+      }
+      if (pic.open && !pic.complete &&
+          pic.next_slice < static_cast<int>(pic.info->slices.size())) {
+        return &pic;
+      }
+    }
+    return nullptr;
+  }
+
+  std::span<const std::uint8_t> stream_;
+  const mpeg2::StreamStructure& structure_;
+  std::vector<Pic> pics_;
+  mpeg2::FramePool& pool_;
+  DisplaySink& display_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int next_to_open_ = 0;
+  int first_active_ = 0;
+  int open_count_ = 0;
+  int max_open_ = 1;
+  int completed_ = 0;
+  bool aborted_ = false;
+  mpeg2::FramePtr older_ref_, newest_ref_;
+};
+
+}  // namespace
+
+RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
+                                       const FrameCallback& on_frame) {
+  RunResult result;
+  WallTimer total_timer;
+
+  WallTimer scan_timer;
+  const mpeg2::StreamStructure structure = mpeg2::scan_structure(stream);
+  result.scan_s = scan_timer.elapsed_s();
+  if (!structure.valid) return result;
+
+  // Build the decode-order picture list with dependencies.
+  std::vector<Pic> pics;
+  {
+    int display_base = 0;
+    int older = -1, newest = -1;
+    for (const auto& gop : structure.gops) {
+      for (const auto& info : gop.pictures) {
+        Pic pic;
+        pic.info = &info;
+        pic.display_index = display_base + info.temporal_reference;
+        const int index = static_cast<int>(pics.size());
+        if (config_.policy == SlicePolicy::kSimple) {
+          // Barrier at every picture: depend on the predecessor.
+          pic.deps[0] = index - 1;
+        } else {
+          switch (info.type) {
+            case mpeg2::PictureType::kI:
+              break;  // no dependency
+            case mpeg2::PictureType::kP:
+              pic.deps[0] = newest;
+              break;
+            case mpeg2::PictureType::kB:
+              pic.deps[0] = older;
+              pic.deps[1] = newest;
+              break;
+          }
+        }
+        if (info.type != mpeg2::PictureType::kB) {
+          older = newest;
+          newest = index;
+        }
+        pics.push_back(pic);
+      }
+      display_base += static_cast<int>(gop.pictures.size());
+    }
+  }
+  const int total_pictures = static_cast<int>(pics.size());
+  result.pictures = total_pictures;
+
+  DisplaySink display(total_pictures, on_frame);
+  mpeg2::FramePool pool(structure.seq.horizontal_size,
+                        structure.seq.vertical_size, config_.tracker);
+  Coordinator coord(stream, structure, std::move(pics), pool, display);
+  coord.set_max_open(config_.policy == SlicePolicy::kSimple
+                         ? 1
+                         : std::max(1, config_.max_open_pictures));
+
+  result.workers.resize(static_cast<std::size_t>(config_.workers));
+  std::atomic<int> concealed{0};
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(static_cast<std::size_t>(config_.workers));
+    for (int w = 0; w < config_.workers; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
+        Coordinator::Claim claim;
+        while (coord.claim(claim, stats.sync_ns)) {
+          const auto& slice_info =
+              claim.pic->info->slices[static_cast<std::size_t>(claim.slice)];
+          pmp2::BitReader br(stream);
+          br.seek_bytes(slice_info.offset + 4);
+          ThreadCpuTimer cpu;
+          mpeg2::SliceResult r = mpeg2::decode_slice(
+              br, slice_info.row, claim.pic->ctx, nullptr, w);
+          stats.compute_ns += cpu.elapsed_ns();
+          stats.work += r.work;
+          ++stats.tasks;
+          if (!r.ok && config_.conceal_errors) {
+            // Patch the damaged rows from the forward reference and keep
+            // the pipeline running.
+            mpeg2::conceal_slice(claim.pic->ctx, slice_info.row);
+            concealed.fetch_add(1, std::memory_order_relaxed);
+            r.ok = true;
+          }
+          coord.finish_slice(claim, r.ok);
+          if (!r.ok) break;
+        }
+      });
+    }
+  }  // join
+  result.concealed_slices = concealed.load(std::memory_order_relaxed);
+
+  if (coord.aborted()) return result;
+  display.wait_done();
+
+  result.wall_s = total_timer.elapsed_s();
+  result.checksum = display.checksum();
+  if (config_.tracker) {
+    result.peak_frame_bytes = config_.tracker->peak_bytes();
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pmp2::parallel

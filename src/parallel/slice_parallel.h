@@ -1,0 +1,61 @@
+// Fine-grained parallel decoder: one task per slice (paper §5.2).
+//
+// A 2-D task structure (pictures -> slices) feeds the workers, as in the
+// paper. Two scheduling policies:
+//
+//  * kSimple   — all workers decode slices of the current picture and
+//    synchronize at *every* picture boundary. Speedup is limited by
+//    ceil(slices / P) steps per picture (the "knees" of Fig. 11; 352x240 has
+//    15 slices, so no gain past 8 workers).
+//  * kImproved — workers synchronize only where a data dependency exists:
+//    a picture may open as soon as its reference pictures are complete, so
+//    consecutive B pictures (and the next reference) decode concurrently.
+//    This is the paper's "synchronize only at the end of I/P pictures".
+//
+// Correctness relies on the standard's slice independence: predictors reset
+// at slice start, and distinct slices write disjoint macroblock rows.
+// Memory stays at a handful of pictures regardless of worker count or GOP
+// size — the paper's headline advantage over the GOP decoder — and closed
+// GOPs are NOT required.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpeg2/decoder.h"
+#include "mpeg2/frame.h"
+#include "parallel/display.h"
+#include "parallel/stats.h"
+
+namespace pmp2::parallel {
+
+enum class SlicePolicy {
+  kSimple,    // barrier at every picture
+  kImproved,  // dependency-based: sync only at reference pictures
+};
+
+struct SliceDecoderConfig {
+  int workers = 4;
+  SlicePolicy policy = SlicePolicy::kImproved;
+  /// Maximum pictures open (being decoded) at once in the improved policy;
+  /// bounds memory. The simple policy always has exactly 1.
+  int max_open_pictures = 3;
+  /// Conceal corrupt slices (copy from the forward reference) instead of
+  /// aborting — keeps real-time playback going through bitstream damage.
+  bool conceal_errors = false;
+  mpeg2::MemoryTracker* tracker = nullptr;
+};
+
+class SliceParallelDecoder {
+ public:
+  explicit SliceParallelDecoder(const SliceDecoderConfig& config)
+      : config_(config) {}
+
+  [[nodiscard]] RunResult decode(std::span<const std::uint8_t> stream,
+                                 const FrameCallback& on_frame = {});
+
+ private:
+  SliceDecoderConfig config_;
+};
+
+}  // namespace pmp2::parallel

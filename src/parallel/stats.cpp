@@ -1,0 +1,26 @@
+#include "parallel/stats.h"
+
+#include "mpeg2/frame.h"
+
+namespace pmp2::parallel {
+
+std::uint64_t chain_frame_checksum(std::uint64_t digest,
+                                   const mpeg2::Frame& frame) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  auto mix = [&](std::uint8_t byte) {
+    digest ^= byte;
+    digest *= kPrime;
+  };
+  for (int p = 0; p < 3; ++p) {
+    const int w = p == 0 ? frame.width() : frame.width() / 2;
+    const int h = p == 0 ? frame.height() : frame.height() / 2;
+    const int stride = frame.stride(p);
+    const std::uint8_t* pl = frame.plane(p);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) mix(pl[y * stride + x]);
+    }
+  }
+  return digest;
+}
+
+}  // namespace pmp2::parallel

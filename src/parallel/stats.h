@@ -1,0 +1,41 @@
+// Per-worker and per-run statistics for the parallel decoders, matching the
+// quantities the paper reports: compute time, synchronization/queue wait
+// time, per-worker task counts, decoded pictures/sec, and peak memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpeg2/frame.h"
+#include "mpeg2/types.h"
+
+namespace pmp2::parallel {
+
+struct WorkerStats {
+  std::int64_t compute_ns = 0;  // thread CPU time spent decoding
+  std::int64_t sync_ns = 0;     // wall time blocked on queues/dependencies
+  std::uint64_t tasks = 0;      // GOPs or slices completed
+  mpeg2::WorkMeter work;
+};
+
+struct RunResult {
+  bool ok = false;
+  double wall_s = 0.0;      // total decode wall time (excluding nothing)
+  double scan_s = 0.0;      // time the scan pass took
+  int pictures = 0;
+  std::uint64_t checksum = 0;  // order-sensitive digest of display output
+  std::int64_t peak_frame_bytes = 0;  // high-water frame memory
+  int concealed_slices = 0;  // slices patched by error concealment
+  std::vector<WorkerStats> workers;
+
+  [[nodiscard]] double pictures_per_second() const {
+    return wall_s > 0 ? pictures / wall_s : 0.0;
+  }
+};
+
+/// Order-sensitive FNV-1a over a frame's display-area pels, chained with a
+/// running digest. Every decoder variant must produce the same final value.
+[[nodiscard]] std::uint64_t chain_frame_checksum(std::uint64_t digest,
+                                                 const mpeg2::Frame& frame);
+
+}  // namespace pmp2::parallel

@@ -1,0 +1,79 @@
+// Blocking MPMC task queue — the shared work queue of the paper's Fig. 4.
+//
+// Producers push tasks; consumers pop, blocking until a task arrives or the
+// queue is closed and drained. An optional capacity bound provides
+// backpressure (the paper's decoder was unbounded, which is precisely what
+// causes the Fig. 8/9 memory growth; the bound exists for ablations).
+// Waiting time is reported so callers can account synchronization overhead
+// the way the paper does.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/timer.h"
+
+namespace pmp2::parallel {
+
+template <typename T>
+class TaskQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit TaskQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Pushes a task; blocks while the queue is at capacity. Returns the
+  /// nanoseconds spent blocked.
+  std::int64_t push(T task) {
+    WallTimer timer;
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return capacity_ == 0 || queue_.size() < capacity_ || closed_;
+    });
+    if (!closed_) {
+      queue_.push_back(std::move(task));
+      not_empty_.notify_one();
+    }
+    return timer.elapsed_ns();
+  }
+
+  /// Pops a task, blocking until one is available. Returns nullopt once the
+  /// queue is closed and empty. `wait_ns`, if given, accumulates blocked
+  /// time.
+  std::optional<T> pop(std::int64_t* wait_ns = nullptr) {
+    WallTimer timer;
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (wait_ns) *wait_ns += timer.elapsed_ns();
+    if (queue_.empty()) return std::nullopt;
+    T task = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return task;
+  }
+
+  /// Marks the queue closed: pending tasks drain, then pops return nullopt.
+  void close() {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;   // guarded by mutex_
+  bool closed_ = false;   // guarded by mutex_
+};
+
+}  // namespace pmp2::parallel

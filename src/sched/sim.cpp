@@ -1,0 +1,529 @@
+#include "sched/sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace pmp2::sched {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Builds the display-order emission times from per-picture completion
+/// times: picture i displays when complete and all earlier pictures have
+/// displayed (optionally paced at the frame rate).
+std::vector<std::int64_t> display_times(
+    const std::vector<std::int64_t>& completion_by_display,
+    const SimConfig& config, double frame_rate) {
+  std::vector<std::int64_t> out(completion_by_display.size());
+  const auto period = static_cast<std::int64_t>(1e9 / frame_rate);
+  std::int64_t prev = -period;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::int64_t t = std::max(completion_by_display[i], prev);
+    if (config.paced_display) t = std::max(t, prev + period);
+    out[i] = t;
+    prev = t;
+  }
+  return out;
+}
+
+/// Turns (time, delta) events into a sampled timeline plus peak.
+void build_timeline(std::vector<std::pair<std::int64_t, std::int64_t>> events,
+                    SimResult& result) {
+  std::sort(events.begin(), events.end());
+  std::int64_t bytes = 0;
+  result.memory_timeline.clear();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    bytes += events[i].second;
+    // Collapse simultaneous events into one sample.
+    if (i + 1 < events.size() && events[i + 1].first == events[i].first) {
+      continue;
+    }
+    result.memory_timeline.push_back({events[i].first, bytes});
+    result.peak_memory = std::max(result.peak_memory, bytes);
+  }
+}
+
+double scan_rate(const StreamProfile& profile, const SimConfig& config) {
+  if (config.scan_bytes_per_ns > 0) return config.scan_bytes_per_ns;
+  if (profile.scan_ns <= 0) return 1e9;  // effectively instant
+  // The scan processor slows down with the workers (cost_scale).
+  return static_cast<double>(profile.stream_bytes) /
+         (static_cast<double>(profile.scan_ns) * config.cost_scale);
+}
+
+std::int64_t task_cost(const StreamProfile& profile, const SliceCost& s,
+                       const SimConfig& config) {
+  return static_cast<std::int64_t>(
+      static_cast<double>(profile.slice_cost_ns(s, config.measured_costs)) *
+      config.cost_scale);
+}
+
+}  // namespace
+
+std::int64_t SimResult::min_busy_ns() const {
+  std::int64_t v = kInf;
+  for (const auto& w : workers) v = std::min(v, w.busy_ns);
+  return workers.empty() ? 0 : v;
+}
+
+std::int64_t SimResult::max_busy_ns() const {
+  std::int64_t v = 0;
+  for (const auto& w : workers) v = std::max(v, w.busy_ns);
+  return v;
+}
+
+double SimResult::avg_busy_ns() const {
+  if (workers.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& w : workers) sum += static_cast<double>(w.busy_ns);
+  return sum / static_cast<double>(workers.size());
+}
+
+double SimResult::sync_ratio() const {
+  if (workers.empty()) return 0.0;
+  double sum = 0;
+  int counted = 0;
+  for (const auto& w : workers) {
+    const double total = static_cast<double>(w.sync_ns + w.busy_ns);
+    if (total > 0) {
+      sum += static_cast<double>(w.sync_ns) / total;
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// GOP-level simulation
+// ---------------------------------------------------------------------------
+SimResult simulate_gop(const StreamProfile& profile, const SimConfig& config) {
+  SimResult result;
+  result.workers.resize(static_cast<std::size_t>(config.workers));
+  const double rate = scan_rate(profile, config);
+  const int n_clusters =
+      config.cluster_size > 0
+          ? (config.workers + config.cluster_size - 1) / config.cluster_size
+          : 1;
+  auto cluster_of = [&](int w) {
+    return config.cluster_size > 0 ? w / config.cluster_size : 0;
+  };
+
+  struct Task {
+    int gop;
+    std::int64_t ready;
+    int display_base;
+    int home;
+  };
+  std::vector<Task> tasks;
+  {
+    std::uint64_t scanned = 0;
+    int display_base = 0;
+    for (std::size_t g = 0; g < profile.gops.size(); ++g) {
+      scanned += profile.gops[g].stream_bytes;
+      Task t;
+      t.gop = static_cast<int>(g);
+      t.ready = config.model_scan
+                    ? static_cast<std::int64_t>(scanned / rate)
+                    : 0;
+      t.display_base = display_base;
+      t.home = static_cast<int>(g) % n_clusters;
+      display_base += static_cast<int>(profile.gops[g].pictures.size());
+      tasks.push_back(t);
+    }
+    result.pictures = display_base;
+  }
+
+  // Per-cluster FIFO queues (one queue when UMA).
+  std::vector<std::deque<int>> queues(
+      config.numa_local_queues ? static_cast<std::size_t>(n_clusters) : 1);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::size_t q =
+        config.numa_local_queues ? static_cast<std::size_t>(tasks[i].home) : 0;
+    queues[q].push_back(static_cast<int>(i));
+  }
+
+  std::vector<std::int64_t> free_time(
+      static_cast<std::size_t>(config.workers), 0);
+  std::vector<std::int64_t> completion_by_display(
+      static_cast<std::size_t>(result.pictures), 0);
+  // Memory bookkeeping per picture.
+  struct PicMem {
+    std::int64_t alloc = 0;
+    std::int64_t gop_finish = 0;
+    bool is_ref = false;
+  };
+  std::vector<PicMem> pic_mem(static_cast<std::size_t>(result.pictures));
+
+  int remaining = static_cast<int>(tasks.size());
+  std::vector<std::pair<std::int64_t, std::int64_t>> mem_events;
+  std::vector<std::pair<std::int64_t, std::int64_t>> stream_events;
+  std::vector<std::int64_t> start_times;  // per started task, in order
+  while (remaining > 0) {
+    // The earliest-free worker takes the next task it may run.
+    int w = 0;
+    for (int i = 1; i < config.workers; ++i) {
+      if (free_time[static_cast<std::size_t>(i)] <
+          free_time[static_cast<std::size_t>(w)]) {
+        w = i;
+      }
+    }
+    const std::int64_t now = free_time[static_cast<std::size_t>(w)];
+    // Pick a task: own-cluster queue first, then steal the task that is
+    // ready soonest.
+    int chosen_q = -1;
+    if (config.numa_local_queues) {
+      const int own = cluster_of(w);
+      if (!queues[static_cast<std::size_t>(own)].empty()) {
+        chosen_q = own;
+      } else {
+        std::int64_t best_ready = kInf;
+        for (std::size_t q = 0; q < queues.size(); ++q) {
+          if (queues[q].empty()) continue;
+          const std::int64_t r = tasks[static_cast<std::size_t>(
+                                           queues[q].front())].ready;
+          if (r < best_ready) {
+            best_ready = r;
+            chosen_q = static_cast<int>(q);
+          }
+        }
+      }
+    } else {
+      chosen_q = 0;
+    }
+    assert(chosen_q >= 0);
+    const Task task =
+        tasks[static_cast<std::size_t>(queues[static_cast<std::size_t>(
+                                                  chosen_q)].front())];
+    queues[static_cast<std::size_t>(chosen_q)].pop_front();
+    --remaining;
+
+    // Bounded queue: the scan may only have pushed this task once fewer
+    // than max_queued_gops tasks sat unstarted, i.e. after task
+    // (i - bound) started.
+    std::int64_t ready = task.ready;
+    if (config.max_queued_gops > 0) {
+      const int idx = static_cast<int>(start_times.size());
+      const int gate = idx - config.max_queued_gops;
+      if (gate >= 0) {
+        ready = std::max(ready,
+                         start_times[static_cast<std::size_t>(gate)]);
+      }
+    }
+    const std::int64_t start =
+        std::max(now, ready) + config.queue_overhead_ns;
+    start_times.push_back(start);
+    const bool remote =
+        config.cluster_size > 0 && cluster_of(w) != task.home;
+    const double penalty = remote ? config.remote_penalty : 1.0;
+
+    auto& stats = result.workers[static_cast<std::size_t>(w)];
+    stats.sync_ns += start - now;
+    if (remote) ++stats.remote_tasks;
+
+    const GopCost& gop = profile.gops[static_cast<std::size_t>(task.gop)];
+    std::int64_t t = start;
+    for (std::size_t p = 0; p < gop.pictures.size(); ++p) {
+      const PictureCost& pic = gop.pictures[p];
+      std::int64_t cost = 0;
+      for (const auto& s : pic.slices) {
+        cost += task_cost(profile, s, config);
+      }
+      cost = static_cast<std::int64_t>(static_cast<double>(cost) * penalty);
+      const std::int64_t alloc = t;
+      t += cost;
+      stats.busy_ns += cost;
+      const int display_index = task.display_base + pic.temporal_reference;
+      completion_by_display[static_cast<std::size_t>(display_index)] = t;
+      auto& pm = pic_mem[static_cast<std::size_t>(display_index)];
+      pm.alloc = alloc;
+      pm.is_ref = pic.type != mpeg2::PictureType::kB;
+    }
+    ++stats.tasks;
+    free_time[static_cast<std::size_t>(w)] = t;
+    for (std::size_t p = 0; p < gop.pictures.size(); ++p) {
+      pic_mem[static_cast<std::size_t>(
+                  task.display_base +
+                  gop.pictures[p].temporal_reference)].gop_finish = t;
+    }
+    // Stream buffer: the GOP's bytes live from scan-push until decode
+    // finish.
+    mem_events.emplace_back(ready,
+                            static_cast<std::int64_t>(gop.stream_bytes));
+    mem_events.emplace_back(t, -static_cast<std::int64_t>(gop.stream_bytes));
+    stream_events.emplace_back(ready,
+                               static_cast<std::int64_t>(gop.stream_bytes));
+    stream_events.emplace_back(t,
+                               -static_cast<std::int64_t>(gop.stream_bytes));
+  }
+
+  const auto displays =
+      display_times(completion_by_display, config, profile.frame_rate);
+  result.makespan_ns = displays.empty() ? 0 : displays.back();
+
+  // A worker owns its GOP's frame buffers for the whole task (the paper's
+  // decoder allocates per-GOP; Fig. 8 shows memory linear in workers x GOP
+  // size): each picture's buffer lives from its decode to
+  // max(display, GOP decode end).
+  const std::int64_t fb = profile.frame_bytes();
+  for (std::size_t i = 0; i < pic_mem.size(); ++i) {
+    const auto& pm = pic_mem[i];
+    const std::int64_t freed = std::max(displays[i], pm.gop_finish);
+    mem_events.emplace_back(pm.alloc, fb);
+    mem_events.emplace_back(freed, -fb);
+  }
+  build_timeline(std::move(mem_events), result);
+  // Scan-ahead buffer peak (the scan(t) term of the paper's Fig. 9).
+  {
+    std::sort(stream_events.begin(), stream_events.end());
+    std::int64_t bytes = 0;
+    for (const auto& [t, delta] : stream_events) {
+      bytes += delta;
+      result.peak_stream_bytes = std::max(result.peak_stream_bytes, bytes);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Slice-level simulation
+// ---------------------------------------------------------------------------
+SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
+                         parallel::SlicePolicy policy) {
+  SimResult result;
+  result.workers.resize(static_cast<std::size_t>(config.workers));
+  const double rate = scan_rate(profile, config);
+
+  struct SPic {
+    const PictureCost* cost = nullptr;
+    int display_index = 0;
+    int deps[2] = {-1, -1};  // scheduling dependencies (policy-specific)
+    int refs[2] = {-1, -1};  // actual reference pictures (for memory)
+    std::int64_t scan_ready = 0;
+    // Runtime:
+    bool open = false;
+    bool complete = false;
+    int next_slice = 0;
+    int remaining = 0;
+    std::int64_t open_time = 0;
+    std::int64_t completion = 0;
+    std::int64_t last_ref_use = 0;
+  };
+  std::vector<SPic> pics;
+  {
+    int display_base = 0;
+    int older = -1, newest = -1;
+    std::uint64_t scanned = 0;
+    for (const auto& gop : profile.gops) {
+      // Scan position advances GOP by GOP; pictures within a GOP become
+      // available in proportion to their share of its bytes (approximate:
+      // equal shares).
+      const std::uint64_t per_pic =
+          gop.pictures.empty() ? 0 : gop.stream_bytes / gop.pictures.size();
+      for (std::size_t p = 0; p < gop.pictures.size(); ++p) {
+        const auto& pc = gop.pictures[p];
+        SPic pic;
+        pic.cost = &pc;
+        pic.display_index = display_base + pc.temporal_reference;
+        const int index = static_cast<int>(pics.size());
+        scanned += per_pic;
+        pic.scan_ready = config.model_scan
+                             ? static_cast<std::int64_t>(scanned / rate)
+                             : 0;
+        switch (pc.type) {
+          case mpeg2::PictureType::kI:
+            break;
+          case mpeg2::PictureType::kP:
+            pic.refs[0] = newest;
+            break;
+          case mpeg2::PictureType::kB:
+            pic.refs[0] = older;
+            pic.refs[1] = newest;
+            break;
+        }
+        if (policy == parallel::SlicePolicy::kSimple) {
+          pic.deps[0] = index - 1;
+        } else {
+          pic.deps[0] = pic.refs[0];
+          pic.deps[1] = pic.refs[1];
+        }
+        if (pc.type != mpeg2::PictureType::kB) {
+          older = newest;
+          newest = index;
+        }
+        pics.push_back(pic);
+      }
+      display_base += static_cast<int>(gop.pictures.size());
+    }
+    result.pictures = display_base;
+  }
+  const int n = static_cast<int>(pics.size());
+  const int max_open = policy == parallel::SlicePolicy::kSimple
+                           ? 1
+                           : std::max(1, config.max_open_pictures);
+
+  // Event-driven simulation.
+  struct Event {
+    std::int64_t finish;
+    int worker;
+    int pic;
+    bool operator>(const Event& o) const { return finish > o.finish; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  struct IdleWorker {
+    std::int64_t since;
+    int id;
+  };
+  std::vector<IdleWorker> idle;
+  for (int w = 0; w < config.workers; ++w) idle.push_back({0, w});
+
+  const int n_clusters =
+      config.cluster_size > 0
+          ? (config.workers + config.cluster_size - 1) / config.cluster_size
+          : 1;
+  auto cluster_of = [&](int w) {
+    return config.cluster_size > 0 ? w / config.cluster_size : 0;
+  };
+  auto pic_home = [&](int p) { return p % n_clusters; };
+
+  std::int64_t now = 0;
+  int next_to_open = 0;
+  int open_count = 0;
+  int completed = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> mem_events;
+  const std::int64_t fb = profile.frame_bytes();
+
+  auto deps_complete = [&](const SPic& pic) {
+    for (const int d : pic.deps) {
+      if (d >= 0 && !pics[static_cast<std::size_t>(d)].complete) return false;
+    }
+    return true;
+  };
+
+  // Opens pictures eligible at time `t`; returns the earliest future scan
+  // time blocking an otherwise-eligible open (kInf if none).
+  auto open_eligible = [&](std::int64_t t) {
+    std::int64_t blocked_until = kInf;
+    while (next_to_open < n && open_count < max_open) {
+      SPic& pic = pics[static_cast<std::size_t>(next_to_open)];
+      if (!deps_complete(pic)) break;
+      if (pic.scan_ready > t) {
+        blocked_until = pic.scan_ready;
+        break;
+      }
+      pic.open = true;
+      pic.open_time = t;
+      pic.remaining = static_cast<int>(pic.cost->slices.size());
+      mem_events.emplace_back(t, fb);
+      ++open_count;
+      ++next_to_open;
+    }
+    return blocked_until;
+  };
+
+  int first_active = 0;
+  auto find_slice = [&]() -> int {
+    for (int i = first_active; i < next_to_open; ++i) {
+      SPic& pic = pics[static_cast<std::size_t>(i)];
+      if (pic.complete && i == first_active) {
+        ++first_active;
+        continue;
+      }
+      if (pic.open && !pic.complete &&
+          pic.next_slice < static_cast<int>(pic.cost->slices.size())) {
+        return i;
+      }
+    }
+    return -1;
+  };
+
+  while (completed < n) {
+    const std::int64_t scan_block = open_eligible(now);
+    bool assigned = false;
+    while (!idle.empty()) {
+      const int p = find_slice();
+      if (p < 0) break;
+      // Earliest-idle worker takes the slice (FIFO fairness).
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < idle.size(); ++i) {
+        if (idle[i].since < idle[best].since) best = i;
+      }
+      const IdleWorker w = idle[best];
+      idle.erase(idle.begin() + static_cast<std::ptrdiff_t>(best));
+      SPic& pic = pics[static_cast<std::size_t>(p)];
+      const int s = pic.next_slice++;
+      std::int64_t cost = task_cost(
+          profile, pic.cost->slices[static_cast<std::size_t>(s)], config);
+      if (s == 0) cost += config.picture_overhead_ns;
+      const bool remote =
+          config.cluster_size > 0 && cluster_of(w.id) != pic_home(p);
+      if (remote) {
+        cost = static_cast<std::int64_t>(static_cast<double>(cost) *
+                                         config.remote_penalty);
+      }
+      const std::int64_t start = now + config.queue_overhead_ns;
+      auto& stats = result.workers[static_cast<std::size_t>(w.id)];
+      stats.sync_ns += now - w.since;
+      stats.busy_ns += cost + config.queue_overhead_ns;
+      ++stats.tasks;
+      if (remote) ++stats.remote_tasks;
+      events.push({start + cost, w.id, p});
+      assigned = true;
+    }
+    if (assigned) continue;
+
+    // Nothing to assign: advance time to the next completion or scan point.
+    if (!events.empty() &&
+        (scan_block == kInf || events.top().finish <= scan_block)) {
+      const Event e = events.top();
+      events.pop();
+      now = std::max(now, e.finish);
+      SPic& pic = pics[static_cast<std::size_t>(e.pic)];
+      if (--pic.remaining == 0) {
+        pic.complete = true;
+        pic.completion = e.finish;
+        ++completed;
+        --open_count;
+        for (const int r : pic.refs) {
+          if (r >= 0) {
+            pics[static_cast<std::size_t>(r)].last_ref_use = std::max(
+                pics[static_cast<std::size_t>(r)].last_ref_use, e.finish);
+          }
+        }
+      }
+      idle.push_back({e.finish, e.worker});
+    } else if (scan_block != kInf) {
+      now = scan_block;
+    } else {
+      // No events, no scan progress possible, yet work remains: the
+      // dependency graph is stuck (malformed stream profile).
+      assert(events.empty());
+      break;
+    }
+  }
+
+  std::vector<std::int64_t> completion_by_display(
+      static_cast<std::size_t>(result.pictures), 0);
+  for (const auto& pic : pics) {
+    completion_by_display[static_cast<std::size_t>(pic.display_index)] =
+        pic.completion;
+  }
+  const auto displays =
+      display_times(completion_by_display, config, profile.frame_rate);
+  result.makespan_ns = displays.empty() ? 0 : displays.back();
+
+  for (int i = 0; i < n; ++i) {
+    const SPic& pic = pics[static_cast<std::size_t>(i)];
+    const std::int64_t display =
+        displays[static_cast<std::size_t>(pic.display_index)];
+    const std::int64_t freed = std::max(display, pic.last_ref_use);
+    mem_events.emplace_back(freed, -fb);
+  }
+  build_timeline(std::move(mem_events), result);
+  return result;
+}
+
+}  // namespace pmp2::sched

@@ -1,0 +1,103 @@
+// Virtual-time multiprocessor simulator.
+//
+// Replays the two parallel-decoder scheduling policies (GOP-level and
+// slice-level, simple/improved) over a StreamProfile on a simulated
+// P-processor shared-memory machine: a scan process feeding a task queue,
+// P worker processes, and a display process, exactly the paper's Fig. 4
+// pipeline. Produces the quantities of the paper's evaluation — speedup,
+// per-worker compute/sync time, load balance, memory-over-time — for any
+// processor count, deterministically.
+//
+// An optional NUMA extension models the paper's §7.2 DASH experiments:
+// clustered processors, a cost penalty for operating on remote data, and
+// optional per-cluster task queues with stealing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/slice_parallel.h"
+#include "sched/profile.h"
+
+namespace pmp2::sched {
+
+struct SimConfig {
+  int workers = 4;
+  /// false (default): deterministic work-unit costs scaled by the profile's
+  /// calibration constant; true: raw measured per-slice nanoseconds.
+  bool measured_costs = false;
+  /// Multiplies every task cost: > 1 slows the virtual processors down.
+  /// The memory experiments (Figs. 8/9) set this so one virtual worker
+  /// decodes at the paper's per-processor rate (~5 pics/s at 704x480 on a
+  /// 150 MHz R4400); otherwise a modern core outruns the 30 pics/s display
+  /// so completely that the display backlog hides the workers x GOP-size
+  /// effect the paper measured.
+  double cost_scale = 1.0;
+  /// Cost of one task-queue access (lock + dequeue). The paper measured
+  /// this to be negligible; it is modelled anyway.
+  std::int64_t queue_overhead_ns = 1'000;
+  /// Per-picture overhead in the slice decoders (re-reading picture
+  /// headers, §5.2.1), charged to the worker that opens the picture.
+  std::int64_t picture_overhead_ns = 20'000;
+  /// Model the scan process: a task only becomes available once its bytes
+  /// have been scanned. When false all tasks are ready at t = 0.
+  bool model_scan = true;
+  /// GOP simulation only: bound on GOP tasks sitting in the queue
+  /// unstarted (the scan process blocks when full). 0 = unbounded, the
+  /// paper's configuration.
+  int max_queued_gops = 0;
+  /// Scan throughput; 0 derives it from the profile's measured scan time.
+  double scan_bytes_per_ns = 0.0;
+  /// Pace the display process at the stream frame rate (used by the memory
+  /// timeline experiments; throughput experiments leave it off).
+  bool paced_display = false;
+  /// Maximum pictures concurrently open in the improved slice policy.
+  int max_open_pictures = 3;
+
+  // --- NUMA extension (§7.2) ---
+  int cluster_size = 0;         // 0 = centralized memory (UMA)
+  double remote_penalty = 1.0;  // cost multiplier for remote-homed tasks
+  bool numa_local_queues = false;  // per-cluster queues + stealing
+};
+
+struct SimWorkerStats {
+  std::int64_t busy_ns = 0;  // simulated compute
+  std::int64_t sync_ns = 0;  // simulated waiting (queue empty, barrier)
+  int tasks = 0;
+  int remote_tasks = 0;  // NUMA: tasks executed away from their home
+};
+
+struct MemSample {
+  std::int64_t t_ns = 0;
+  std::int64_t bytes = 0;
+};
+
+struct SimResult {
+  std::int64_t makespan_ns = 0;  // until the last picture is displayed
+  int pictures = 0;
+  std::vector<SimWorkerStats> workers;
+  std::vector<MemSample> memory_timeline;  // stream buffer + frame bytes
+  std::int64_t peak_memory = 0;
+  std::int64_t peak_stream_bytes = 0;  // scan-ahead buffer alone (scan(t))
+
+  [[nodiscard]] double pictures_per_second() const {
+    return makespan_ns > 0 ? pictures * 1e9 / static_cast<double>(makespan_ns)
+                           : 0.0;
+  }
+  [[nodiscard]] std::int64_t min_busy_ns() const;
+  [[nodiscard]] std::int64_t max_busy_ns() const;
+  [[nodiscard]] double avg_busy_ns() const;
+  /// Average over workers of sync / (sync + busy), the paper's Fig. 12.
+  [[nodiscard]] double sync_ratio() const;
+};
+
+/// Simulates the GOP-level decoder (one task per closed GOP).
+[[nodiscard]] SimResult simulate_gop(const StreamProfile& profile,
+                                     const SimConfig& config);
+
+/// Simulates the slice-level decoder under the given policy.
+[[nodiscard]] SimResult simulate_slice(const StreamProfile& profile,
+                                       const SimConfig& config,
+                                       parallel::SlicePolicy policy);
+
+}  // namespace pmp2::sched

@@ -1,0 +1,255 @@
+#include "simcache/cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmp2::simcache {
+
+MissStats& MissStats::operator+=(const MissStats& o) {
+  reads += o.reads;
+  writes += o.writes;
+  read_misses += o.read_misses;
+  write_misses += o.write_misses;
+  cold += o.cold;
+  read_cold += o.read_cold;
+  read_capacity += o.read_capacity;
+  read_conflict += o.read_conflict;
+  true_sharing += o.true_sharing;
+  false_sharing += o.false_sharing;
+  return *this;
+}
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config),
+      fa_(config.associativity == 0),
+      ways_per_set_(config.associativity == 0 ? config.num_lines()
+                                              : config.associativity) {
+  assert((config.line_bytes & (config.line_bytes - 1)) == 0);
+  if (!fa_) {
+    ways_.resize(static_cast<std::size_t>(config_.num_sets()) *
+                 static_cast<std::size_t>(ways_per_set_));
+  }
+}
+
+bool Cache::contains(std::uint64_t line_addr) const {
+  const std::uint64_t line = line_addr / config_.line_bytes;
+  if (fa_) return shadow_map_.count(line) != 0;
+  const int set =
+      static_cast<int>(line % static_cast<std::uint64_t>(config_.num_sets()));
+  const std::size_t base =
+      static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_per_set_);
+  for (int w = 0; w < ways_per_set_; ++w) {
+    if (ways_[base + static_cast<std::size_t>(w)].valid &&
+        ways_[base + static_cast<std::size_t>(w)].line == line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::shadow_touch(std::uint64_t line, bool& was_present) {
+  auto it = shadow_map_.find(line);
+  if (it != shadow_map_.end()) {
+    was_present = true;
+    shadow_lru_.erase(it->second);
+  } else {
+    was_present = false;
+    if (static_cast<int>(shadow_map_.size()) >= config_.num_lines()) {
+      shadow_map_.erase(shadow_lru_.back());
+      shadow_lru_.pop_back();
+    }
+  }
+  shadow_lru_.push_front(line);
+  shadow_map_[line] = shadow_lru_.begin();
+}
+
+void Cache::touch_line(std::uint64_t line_addr, std::uint64_t addr, int size,
+                       bool write) {
+  const std::uint64_t line = line_addr / config_.line_bytes;
+  ++tick_;
+
+  if (fa_) {
+    // Fully associative: the LRU map IS the cache (conflict misses are
+    // impossible by definition).
+    bool was_present = false;
+    shadow_touch(line, was_present);
+    if (was_present) return;  // hit
+    if (write) {
+      ++stats_.write_misses;
+    } else {
+      ++stats_.read_misses;
+    }
+    const bool cold = seen_.insert(line).second;
+    const auto inv = invalidated_.find(line);
+    if (cold) {
+      ++stats_.cold;
+      if (!write) ++stats_.read_cold;
+    } else if (inv != invalidated_.end()) {
+      const std::uint64_t w_lo = inv->second.write_addr;
+      const std::uint64_t w_hi =
+          w_lo + static_cast<std::uint64_t>(inv->second.write_size);
+      const std::uint64_t a_lo = addr;
+      const std::uint64_t a_hi = addr + static_cast<std::uint64_t>(size);
+      if (a_lo < w_hi && w_lo < a_hi) {
+        ++stats_.true_sharing;
+      } else {
+        ++stats_.false_sharing;
+      }
+    } else if (!write) {
+      ++stats_.read_capacity;
+    }
+    if (inv != invalidated_.end()) invalidated_.erase(inv);
+    return;
+  }
+
+  const int set =
+      static_cast<int>(line % static_cast<std::uint64_t>(config_.num_sets()));
+  const std::size_t base =
+      static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_per_set_);
+
+  // Look for a hit.
+  for (int w = 0; w < ways_per_set_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.line == line) {
+      way.lru = tick_;
+      bool unused;
+      shadow_touch(line, unused);
+      return;
+    }
+  }
+
+  // Miss: classify.
+  if (write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+  const bool cold = seen_.insert(line).second;
+  bool in_shadow = false;
+  shadow_touch(line, in_shadow);
+  const auto inv = invalidated_.find(line);
+  if (cold) {
+    ++stats_.cold;
+    if (!write) ++stats_.read_cold;
+  } else if (inv != invalidated_.end()) {
+    // Coherence miss: true sharing iff the reload touches bytes the remote
+    // writer wrote.
+    const std::uint64_t w_lo = inv->second.write_addr;
+    const std::uint64_t w_hi = w_lo + static_cast<std::uint64_t>(
+                                          inv->second.write_size);
+    const std::uint64_t a_lo = addr;
+    const std::uint64_t a_hi = addr + static_cast<std::uint64_t>(size);
+    if (a_lo < w_hi && w_lo < a_hi) {
+      ++stats_.true_sharing;
+    } else {
+      ++stats_.false_sharing;
+    }
+  } else if (!write) {
+    if (in_shadow) {
+      ++stats_.read_conflict;
+    } else {
+      ++stats_.read_capacity;
+    }
+  }
+  if (inv != invalidated_.end()) invalidated_.erase(inv);
+
+  // Fill: evict LRU way.
+  std::size_t victim = base;
+  for (int w = 1; w < ways_per_set_; ++w) {
+    const Way& cand = ways_[base + static_cast<std::size_t>(w)];
+    if (!cand.valid) {
+      victim = base + static_cast<std::size_t>(w);
+      break;
+    }
+    if (cand.lru < ways_[victim].lru) {
+      victim = base + static_cast<std::size_t>(w);
+    }
+  }
+  if (!ways_[base].valid) victim = base;
+  ways_[victim] = {line, tick_, true};
+}
+
+int Cache::access(std::uint64_t addr, int size, bool write) {
+  if (write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  const std::uint64_t mask = ~static_cast<std::uint64_t>(config_.line_bytes - 1);
+  const std::uint64_t first = addr & mask;
+  const std::uint64_t last =
+      (addr + static_cast<std::uint64_t>(size) - 1) & mask;
+  const std::uint64_t misses_before = stats_.read_misses + stats_.write_misses;
+  for (std::uint64_t la = first; la <= last;
+       la += static_cast<std::uint64_t>(config_.line_bytes)) {
+    // Byte range of this access within this line.
+    const std::uint64_t lo = std::max(addr, la);
+    const std::uint64_t hi = std::min(
+        addr + static_cast<std::uint64_t>(size),
+        la + static_cast<std::uint64_t>(config_.line_bytes));
+    touch_line(la, lo, static_cast<int>(hi - lo), write);
+  }
+  return static_cast<int>(stats_.read_misses + stats_.write_misses -
+                          misses_before);
+}
+
+void Cache::invalidate(std::uint64_t line_addr, std::uint64_t write_addr,
+                       int write_size) {
+  const std::uint64_t line = line_addr / config_.line_bytes;
+  if (fa_) {
+    const auto it = shadow_map_.find(line);
+    if (it != shadow_map_.end()) {
+      shadow_lru_.erase(it->second);
+      shadow_map_.erase(it);
+      invalidated_[line] = {write_addr, write_size};
+    }
+    return;
+  }
+  const int set =
+      static_cast<int>(line % static_cast<std::uint64_t>(config_.num_sets()));
+  const std::size_t base =
+      static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_per_set_);
+  for (int w = 0; w < ways_per_set_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.line == line) {
+      way.valid = false;
+      invalidated_[line] = {write_addr, write_size};
+      return;
+    }
+  }
+}
+
+MultiCacheSim::MultiCacheSim(int processors, const CacheConfig& config)
+    : line_bytes_(config.line_bytes) {
+  caches_.reserve(static_cast<std::size_t>(processors));
+  for (int p = 0; p < processors; ++p) caches_.emplace_back(config);
+}
+
+void MultiCacheSim::on_ref(const mpeg2::MemRef& ref) {
+  assert(ref.proc < caches_.size());
+  Cache& own = caches_[ref.proc];
+  own.access(ref.addr, ref.size, ref.write);
+  if (ref.write) {
+    // MSI snoop: a write invalidates every other copy.
+    const std::uint64_t mask =
+        ~static_cast<std::uint64_t>(line_bytes_ - 1);
+    const std::uint64_t first = ref.addr & mask;
+    const std::uint64_t last =
+        (ref.addr + static_cast<std::uint64_t>(ref.size) - 1) & mask;
+    for (std::size_t p = 0; p < caches_.size(); ++p) {
+      if (p == ref.proc) continue;
+      for (std::uint64_t la = first; la <= last;
+           la += static_cast<std::uint64_t>(line_bytes_)) {
+        caches_[p].invalidate(la, ref.addr, ref.size);
+      }
+    }
+  }
+}
+
+MissStats MultiCacheSim::total_stats() const {
+  MissStats out;
+  for (const auto& c : caches_) out += c.stats();
+  return out;
+}
+
+}  // namespace pmp2::simcache

@@ -1,0 +1,155 @@
+// Memory-system simulator: set-associative LRU caches with full miss
+// classification, and a snooping MSI multi-cache with sharing-miss
+// classification. Substitute for the paper's TangoLite + memory-system
+// simulator (§5.3); consumes the decoder's logical reference traces.
+//
+// Miss taxonomy (per processor):
+//   cold      — first access to the line by this cache
+//   coherence — line was invalidated by another processor's write;
+//               split into true sharing (the reload touches bytes the
+//               writer wrote) and false sharing (it does not)
+//   capacity  — misses in a fully-associative LRU cache of equal size
+//   conflict  — hits in the fully-associative shadow but missed here
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mpeg2/trace.h"
+
+namespace pmp2::simcache {
+
+struct CacheConfig {
+  std::int64_t size_bytes = 1 << 20;
+  int line_bytes = 64;
+  /// Ways per set; 0 = fully associative.
+  int associativity = 1;
+
+  [[nodiscard]] int num_lines() const {
+    return static_cast<int>(size_bytes / line_bytes);
+  }
+  [[nodiscard]] int num_sets() const {
+    return associativity == 0 ? 1 : num_lines() / associativity;
+  }
+};
+
+struct MissStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t cold = 0;        // read+write cold misses
+  std::uint64_t read_cold = 0;
+  std::uint64_t read_capacity = 0;
+  std::uint64_t read_conflict = 0;
+  std::uint64_t true_sharing = 0;
+  std::uint64_t false_sharing = 0;
+
+  [[nodiscard]] double read_miss_rate() const {
+    return reads ? static_cast<double>(read_misses) / static_cast<double>(reads)
+                 : 0.0;
+  }
+  MissStats& operator+=(const MissStats& o);
+};
+
+/// One processor's cache: set-associative LRU with a fully-associative
+/// shadow directory for capacity/conflict classification.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Accesses [addr, addr+size); may span lines. Returns the number of
+  /// missing lines touched.
+  int access(std::uint64_t addr, int size, bool write);
+
+  /// Invalidates a line if present (coherence). Records the writer's byte
+  /// range for sharing classification.
+  void invalidate(std::uint64_t line_addr, std::uint64_t write_addr,
+                  int write_size);
+
+  [[nodiscard]] bool contains(std::uint64_t line_addr) const;
+  [[nodiscard]] const MissStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t line = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+  struct Invalidation {
+    std::uint64_t write_addr = 0;
+    int write_size = 0;
+  };
+
+  void touch_line(std::uint64_t line_addr, std::uint64_t addr, int size,
+                  bool write);
+  void shadow_touch(std::uint64_t line_addr, bool& was_present);
+
+  CacheConfig config_;
+  bool fa_;                // fully associative: LRU map is the cache itself
+  std::vector<Way> ways_;  // num_sets x associativity (set-assoc mode only)
+  int ways_per_set_;
+  std::uint64_t tick_ = 0;
+  MissStats stats_;
+  std::unordered_set<std::uint64_t> seen_;  // cold-miss tracking
+  // Pending invalidations: line -> writer's byte range.
+  std::unordered_map<std::uint64_t, Invalidation> invalidated_;
+  // Fully-associative LRU shadow (same capacity) for capacity vs conflict.
+  std::list<std::uint64_t> shadow_lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      shadow_map_;
+};
+
+/// Snooping MSI multi-processor cache system; implements TraceSink so it
+/// can be attached directly to a decoder.
+class MultiCacheSim : public mpeg2::TraceSink {
+ public:
+  MultiCacheSim(int processors, const CacheConfig& config);
+
+  void on_ref(const mpeg2::MemRef& ref) override;
+
+  [[nodiscard]] const MissStats& stats(int proc) const {
+    return caches_[static_cast<std::size_t>(proc)].stats();
+  }
+  [[nodiscard]] MissStats total_stats() const;
+  [[nodiscard]] int processors() const {
+    return static_cast<int>(caches_.size());
+  }
+
+ private:
+  std::vector<Cache> caches_;
+  int line_bytes_;
+};
+
+/// Buffers a trace for replay against many cache geometries.
+class TraceRecorder : public mpeg2::TraceSink {
+ public:
+  void on_ref(const mpeg2::MemRef& ref) override { refs_.push_back(ref); }
+  [[nodiscard]] const std::vector<mpeg2::MemRef>& refs() const {
+    return refs_;
+  }
+  void replay(mpeg2::TraceSink& sink) const {
+    for (const auto& r : refs_) sink.on_ref(r);
+  }
+
+ private:
+  std::vector<mpeg2::MemRef> refs_;
+};
+
+/// Fans one trace out to several sinks in a single pass.
+class TraceTee : public mpeg2::TraceSink {
+ public:
+  void add(mpeg2::TraceSink* sink) { sinks_.push_back(sink); }
+  void on_ref(const mpeg2::MemRef& ref) override {
+    for (auto* s : sinks_) s->on_ref(ref);
+  }
+
+ private:
+  std::vector<mpeg2::TraceSink*> sinks_;
+};
+
+}  // namespace pmp2::simcache

@@ -1,0 +1,119 @@
+#include "simcache/trace_gen.h"
+
+#include <unordered_map>
+
+#include "bitstream/bit_reader.h"
+#include "mpeg2/decoder.h"
+
+namespace pmp2::simcache {
+
+bool generate_decode_trace(std::span<const std::uint8_t> stream, int procs,
+                           mpeg2::TraceSink& sink, int max_pictures) {
+  TraceOptions options;
+  options.procs = procs;
+  options.max_pictures = max_pictures;
+  return generate_decode_trace(stream, sink, options);
+}
+
+bool generate_decode_trace(std::span<const std::uint8_t> stream,
+                           mpeg2::TraceSink& sink,
+                           const TraceOptions& options) {
+  const int procs = options.procs;
+  const int max_pictures = options.max_pictures;
+  const SliceAssignment assignment = options.assignment;
+  const mpeg2::StreamStructure structure = mpeg2::scan_structure(stream);
+  if (!structure.valid || procs < 1) return false;
+
+  mpeg2::FramePool pool(structure.seq.horizontal_size,
+                        structure.seq.vertical_size);
+  mpeg2::FramePtr fwd_ref, bwd_ref;
+  int pictures = 0;
+  // Run-local frame ids so traces are identical across runs regardless of
+  // how many frames the process has allocated before. Fresh buffers get a
+  // fresh id at allocation (the heap may reuse pointers, so lookups by
+  // pointer are only valid while the frame is alive).
+  std::unordered_map<const mpeg2::Frame*, int> local_ids;
+  int next_id = 0;
+  auto register_frame = [&](const mpeg2::Frame* f) {
+    local_ids[f] = next_id;
+    return next_id++;
+  };
+  // Pooled frames keep their id across reuse (same physical buffer).
+  auto id_of_pooled = [&](const mpeg2::Frame* f) {
+    const auto it = local_ids.find(f);
+    if (it != local_ids.end()) return it->second;
+    return register_frame(f);
+  };
+  auto id_of = [&local_ids](const mpeg2::Frame* f) {
+    return local_ids.at(f);
+  };
+
+  for (const auto& gop : structure.gops) {
+    for (const auto& info : gop.pictures) {
+      if (max_pictures > 0 && pictures >= max_pictures) return true;
+      pmp2::BitReader br(stream);
+      br.seek_bytes(info.offset);
+      mpeg2::PictureContext pic;
+      pic.seq = &structure.seq;
+      pic.mpeg1 = structure.mpeg1;
+      if (!mpeg2::parse_picture_headers(br, pic.header, pic.ext)) {
+        return false;
+      }
+      pic.mb_width = structure.mb_width();
+      pic.mb_height = structure.mb_height();
+
+      // Buffer policy: see TraceOptions::pooled_buffers.
+      mpeg2::FramePtr dst;
+      if (options.pooled_buffers) {
+        dst = pool.acquire();
+      } else {
+        dst = std::make_shared<mpeg2::Frame>(structure.seq.horizontal_size,
+                                             structure.seq.vertical_size);
+      }
+      pic.dst = dst.get();
+      pic.dst_id = options.pooled_buffers ? id_of_pooled(dst.get())
+                                          : register_frame(dst.get());
+      if (pic.header.type != mpeg2::PictureType::kI) {
+        const mpeg2::FramePtr& past =
+            pic.header.type == mpeg2::PictureType::kP ? bwd_ref : fwd_ref;
+        if (!past) return false;
+        pic.fwd_ref = past.get();
+        pic.fwd_id = id_of(past.get());
+        if (pic.header.type == mpeg2::PictureType::kB) {
+          pic.bwd_ref = bwd_ref.get();
+          pic.bwd_id = id_of(bwd_ref.get());
+        }
+      }
+
+      int slice_index = 0;
+      for (const auto& slice : info.slices) {
+        pmp2::BitReader sbr(stream);
+        sbr.seek_bytes(slice.offset + 4);
+        int proc;
+        if (assignment == SliceAssignment::kRoundRobin) {
+          proc = slice_index % procs;
+        } else {
+          // Deterministic hash: de-correlates the writer of a reference
+          // row from its later readers, like the real dynamic queue.
+          const std::uint32_t h =
+              static_cast<std::uint32_t>(pictures) * 2654435761u +
+              static_cast<std::uint32_t>(slice_index) * 2246822519u;
+          proc = static_cast<int>((h >> 16) % static_cast<std::uint32_t>(procs));
+        }
+        const mpeg2::SliceResult r =
+            mpeg2::decode_slice(sbr, slice.row, pic, &sink, proc);
+        if (!r.ok) return false;
+        ++slice_index;
+      }
+
+      if (pic.header.type != mpeg2::PictureType::kB) {
+        fwd_ref = bwd_ref;
+        bwd_ref = dst;
+      }
+      ++pictures;
+    }
+  }
+  return true;
+}
+
+}  // namespace pmp2::simcache

@@ -1,0 +1,56 @@
+// Deterministic decode-trace generation for the locality study (§5.3).
+//
+// The paper drove its memory-system simulator from TangoLite-simulated
+// executions: the GOP version on one processor, the slice version on eight.
+// Here the decoder runs once per stream, emitting its logical reference
+// trace with a deterministic processor assignment: `procs == 1` assigns
+// everything to processor 0 (the GOP-version trace — a worker decoding its
+// own GOP sees exactly a sequential decode); `procs > 1` deals slices of
+// each picture round-robin across processors (the slice-version dynamic
+// assignment, which is what creates inter-processor communication on
+// reference-picture reads).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpeg2/trace.h"
+
+namespace pmp2::simcache {
+
+/// How slices map to processors in the generated trace.
+enum class SliceAssignment {
+  /// Deterministic hash of (picture, slice): models the dynamic task queue,
+  /// where a slice lands on whichever worker is free — so reference-picture
+  /// reads regularly hit rows another processor wrote (the communication
+  /// the paper describes in §5.2). Default.
+  kDynamic,
+  /// slice % procs: perfectly aligned across pictures; readers mostly re-read
+  /// their own writes. Useful as a locality-aware-assignment ablation
+  /// (the §7.2 discussion).
+  kRoundRobin,
+};
+
+struct TraceOptions {
+  int procs = 1;
+  int max_pictures = 0;  // 0 = whole stream
+  SliceAssignment assignment = SliceAssignment::kDynamic;
+  /// true: recycle a small pool of frame buffers, the slice decoder's
+  /// behaviour ("at most three pictures in memory") — required to observe
+  /// coherence misses, which need a processor to re-touch lines it cached
+  /// before. false: fresh buffers per picture, the GOP decoder's behaviour
+  /// (its Fig. 8 memory growth), making first writes cold misses.
+  bool pooled_buffers = true;
+};
+
+/// Decodes the stream, emitting all references to `sink`. Returns false on
+/// a malformed stream.
+bool generate_decode_trace(std::span<const std::uint8_t> stream,
+                           mpeg2::TraceSink& sink,
+                           const TraceOptions& options);
+
+/// Convenience overload: `procs` workers, defaults otherwise.
+bool generate_decode_trace(std::span<const std::uint8_t> stream, int procs,
+                           mpeg2::TraceSink& sink, int max_pictures = 0);
+
+}  // namespace pmp2::simcache

@@ -1,0 +1,119 @@
+#include "streamgen/scene.h"
+
+#include <cmath>
+
+namespace pmp2::streamgen {
+
+namespace {
+
+/// Deterministic lattice hash -> [0, 1).
+double lattice(std::uint64_t seed, std::int64_t x, std::int64_t y) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4FULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smooth(double t) { return t * t * (3.0 - 2.0 * t); }
+
+/// One octave of value noise at lattice spacing `cell` (in normalized
+/// scene units).
+double value_noise(std::uint64_t seed, double u, double v, double cell) {
+  const double fx = u / cell;
+  const double fy = v / cell;
+  const auto x0 = static_cast<std::int64_t>(std::floor(fx));
+  const auto y0 = static_cast<std::int64_t>(std::floor(fy));
+  const double tx = smooth(fx - static_cast<double>(x0));
+  const double ty = smooth(fy - static_cast<double>(y0));
+  const double a = lattice(seed, x0, y0);
+  const double b = lattice(seed, x0 + 1, y0);
+  const double c = lattice(seed, x0, y0 + 1);
+  const double d = lattice(seed, x0 + 1, y0 + 1);
+  return (a * (1 - tx) + b * tx) * (1 - ty) + (c * (1 - tx) + d * tx) * ty;
+}
+
+/// Four octaves, result in [0, 1). The finest octave (~2-pel lattice at
+/// 352-wide scale) supplies the flower-garden-like high-frequency detail
+/// that keeps the encoded bit rate in the paper's regime; it pans at a
+/// slightly different rate (`fine_pan`) than the coarse octaves, the
+/// parallax shimmer of real foliage, so block motion estimation cannot
+/// cancel the residual completely.
+double fbm(std::uint64_t seed, double u, double v, double pan,
+           double fine_pan) {
+  return 0.42 * value_noise(seed, u + pan, v, 0.11) +
+         0.24 * value_noise(seed + 1, u + pan, v, 0.043) +
+         0.18 * value_noise(seed + 2, u + pan, v, 0.017) +
+         0.16 * value_noise(seed + 3, u + fine_pan, v, 0.006);
+}
+
+}  // namespace
+
+mpeg2::FramePtr SceneGenerator::render(int index,
+                                       mpeg2::MemoryTracker* tracker) const {
+  auto frame = std::make_shared<mpeg2::Frame>(config_.width, config_.height,
+                                              tracker);
+  const int cw = frame->y_stride();
+  const int ch = frame->coded_height();
+  // Normalized scene coordinates: 1.0 == 352 source pels, so content is
+  // identical across resolutions (the paper's interpolation-scaling).
+  const double scale = 352.0 / config_.width;
+
+  // Luma.
+  for (int y = 0; y < ch; ++y) {
+    std::uint8_t* row = frame->y() + y * cw;
+    const double v = y * scale / 352.0;
+    // Interlaced capture: odd (bottom-field) lines are half a period later.
+    const double t = index + (config_.interlaced && (y & 1) ? 0.5 : 0.0);
+    const double pan_bg = config_.pan_pels_per_picture * t / 352.0;
+    const double pan_fg = pan_bg * config_.parallax_factor;
+    const double fine_bg = pan_bg * 1.15;
+    const double fine_fg = pan_fg * 1.15;
+    // Foreground band occupies the lower third (the "flower bed").
+    const bool fg_band = 3 * y >= 2 * ch;
+    for (int x = 0; x < cw; ++x) {
+      const double u = x * scale / 352.0;
+      double val;
+      if (fg_band) {
+        val = fbm(config_.seed + 100, u, v, pan_fg, fine_fg);
+        val = 0.25 + 0.65 * val;  // brighter, busier texture
+      } else {
+        val = fbm(config_.seed, u, v, pan_bg, fine_bg);
+        // Sky gradient toward the top.
+        val = 0.18 + 0.62 * val + 0.20 * (1.0 - v);
+      }
+      row[x] = mpeg2::clamp_pel(static_cast<int>(16.0 + 219.0 * val));
+    }
+  }
+  // Chroma (half resolution).
+  const int ccw = frame->c_stride();
+  const int cch = ch / 2;
+  for (int y = 0; y < cch; ++y) {
+    std::uint8_t* cb = frame->cb() + y * ccw;
+    std::uint8_t* cr = frame->cr() + y * ccw;
+    const double v = 2.0 * y * scale / 352.0;
+    const bool fg_band = 3 * y >= 2 * cch;
+    const double t = index + (config_.interlaced && (y & 1) ? 0.5 : 0.0);
+    const double pan_bg = config_.pan_pels_per_picture * t / 352.0;
+    const double pan_fg = pan_bg * config_.parallax_factor;
+    const double fine_bg = pan_bg * 1.15;
+    const double fine_fg = pan_fg * 1.15;
+    for (int x = 0; x < ccw; ++x) {
+      const double u = 2.0 * x * scale / 352.0;
+      const double pan = fg_band ? pan_fg : pan_bg;
+      const double fine = fg_band ? fine_fg : fine_bg;
+      const double t = fbm(config_.seed + 200, u, v, pan, fine);
+      // Greens/earth tones in the garden, blue cast in the sky band.
+      const double sky = fg_band ? 0.0 : (1.0 - v) * 0.5;
+      cb[x] = mpeg2::clamp_pel(
+          static_cast<int>(128.0 - 30.0 * t + 40.0 * sky));
+      cr[x] = mpeg2::clamp_pel(
+          static_cast<int>(128.0 + 24.0 * (t - 0.5) - 20.0 * sky));
+    }
+  }
+  return frame;
+}
+
+}  // namespace pmp2::streamgen

@@ -1,0 +1,46 @@
+// Synthetic video source for the test streams.
+//
+// The paper built its streams from a panning "flower garden" clip, repeated
+// and rescaled by interpolation so every resolution shows the same content.
+// This generator reproduces those properties synthetically: a multi-octave
+// value-noise landscape (textured, like foliage) plus a faster-panning
+// foreground band (parallax, like the tree/flower bed), both sampled in
+// resolution-independent normalized coordinates. Pans are a few pels per
+// picture at 352x240 scale, so P/B motion estimation finds real vectors and
+// the bit-rate profile resembles natural video rather than noise.
+#pragma once
+
+#include <cstdint>
+
+#include "mpeg2/frame.h"
+
+namespace pmp2::streamgen {
+
+struct SceneConfig {
+  int width = 352;
+  int height = 240;
+  std::uint64_t seed = 7;
+  double pan_pels_per_picture = 2.4;   // background pan at 352-wide scale
+  double parallax_factor = 2.0;        // foreground pans this much faster
+  /// Interlaced capture: the bottom field is sampled half a picture period
+  /// later than the top field (camera pans between fields), producing the
+  /// comb artefacts interlace coding tools exist for.
+  bool interlaced = false;
+};
+
+class SceneGenerator {
+ public:
+  explicit SceneGenerator(const SceneConfig& config) : config_(config) {}
+
+  /// Renders picture `index` of the sequence. Pels cover the full coded
+  /// (macroblock-padded) area. Deterministic in (config, index).
+  [[nodiscard]] mpeg2::FramePtr render(
+      int index, mpeg2::MemoryTracker* tracker = nullptr) const;
+
+  [[nodiscard]] const SceneConfig& config() const { return config_; }
+
+ private:
+  SceneConfig config_;
+};
+
+}  // namespace pmp2::streamgen

@@ -1,0 +1,71 @@
+#include "streamgen/stream_factory.h"
+
+#include <sstream>
+
+#include "streamgen/scene.h"
+
+namespace pmp2::streamgen {
+
+std::string StreamSpec::name() const {
+  std::ostringstream os;
+  os << width << "x" << height << "_gop" << gop_size;
+  return os.str();
+}
+
+std::vector<std::uint8_t> generate_stream(const StreamSpec& spec,
+                                          mpeg2::EncoderStats* stats) {
+  mpeg2::EncoderConfig cfg;
+  cfg.width = spec.width;
+  cfg.height = spec.height;
+  cfg.gop_size = spec.gop_size;
+  cfg.bit_rate = spec.bit_rate;
+  cfg.rate_control = spec.rate_control;
+  cfg.search_range = spec.search_range;
+  cfg.intra_vlc_format = spec.intra_vlc_format;
+  cfg.alternate_scan = spec.alternate_scan;
+  cfg.mpeg1 = spec.mpeg1;
+  cfg.slices_per_row = spec.slices_per_row;
+  mpeg2::Encoder encoder(cfg);
+
+  SceneConfig scene_cfg;
+  scene_cfg.width = spec.width;
+  scene_cfg.height = spec.height;
+  scene_cfg.seed = spec.seed;
+  const SceneGenerator scene(scene_cfg);
+
+  for (int i = 0; i < spec.pictures; ++i) {
+    encoder.push_frame(scene.render(i));
+  }
+  auto stream = encoder.finish();
+  if (stats) *stats = encoder.stats();
+  return stream;
+}
+
+const std::vector<Resolution>& paper_resolutions() {
+  static const std::vector<Resolution> r = {
+      {176, 120, 1'500'000},
+      {352, 240, 5'000'000},
+      {704, 480, 5'000'000},
+      {1408, 960, 7'000'000},
+  };
+  return r;
+}
+
+std::vector<StreamSpec> table1_specs(int pictures_override) {
+  static constexpr int kGopSizes[] = {4, 13, 16, 31};
+  std::vector<StreamSpec> out;
+  for (const auto& res : paper_resolutions()) {
+    for (const int gop : kGopSizes) {
+      StreamSpec spec;
+      spec.width = res.width;
+      spec.height = res.height;
+      spec.bit_rate = res.bit_rate;
+      spec.gop_size = gop;
+      spec.pictures = pictures_override;
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace pmp2::streamgen

@@ -1,0 +1,50 @@
+// Minimal command-line flag parser shared by the benchmark harnesses and
+// example programs.
+//
+// Syntax: --name=value or --name value; bare --name sets a bool flag true.
+// Unrecognized flags are collected so a harness can report them instead of
+// silently ignoring typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pmp2 {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// True if --name was present at all.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --workers=1,2,4,8.
+  [[nodiscard]] std::vector<int> get_int_list(
+      const std::string& name, const std::vector<int>& fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Flags seen on the command line but never queried via get_*/has.
+  /// Call at the end of main() to warn about typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pmp2

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic workloads (scene textures, property-test inputs, simulated
+// task-cost jitter) must be reproducible across runs and platforms, so the
+// library uses this fixed xoshiro256** implementation rather than
+// std::mt19937 with unspecified seeding or std::uniform_* distributions whose
+// algorithms are implementation-defined.
+#pragma once
+
+#include <cstdint>
+
+namespace pmp2 {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic across platforms for a given seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    auto splitmix = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = splitmix();
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound) {
+    // Lemire's multiply-shift rejection-free reduction (slight bias is
+    // irrelevant for workload synthesis; determinism is what matters).
+    return static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(next_u64() >> 32) * bound) >> 32);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int32_t next_in(std::int32_t lo, std::int32_t hi) {
+    return lo + static_cast<std::int32_t>(
+                    next_below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace pmp2

@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pmp2 {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " | ";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (const auto w : widths) os << std::string(w + 2, '-') << "-+";
+    os << "\n";
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+Series::Series(std::string x_label, std::vector<std::string> y_labels)
+    : x_label_(std::move(x_label)), y_labels_(std::move(y_labels)) {}
+
+void Series::add_point(double x, std::vector<double> ys) {
+  ys.resize(y_labels_.size());
+  points_.emplace_back(x, std::move(ys));
+}
+
+void Series::print(std::ostream& os, int precision) const {
+  Table t([&] {
+    std::vector<std::string> header{x_label_};
+    header.insert(header.end(), y_labels_.begin(), y_labels_.end());
+    return header;
+  }());
+  for (const auto& [x, ys] : points_) {
+    std::vector<std::string> row{Table::fmt(x, x == static_cast<int>(x) ? 0 : precision)};
+    for (const double y : ys) row.push_back(Table::fmt(y, precision));
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+}
+
+}  // namespace pmp2

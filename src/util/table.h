@@ -1,0 +1,53 @@
+// Fixed-width ASCII table printer used by every benchmark harness so the
+// reproduced tables/figures print in a consistent, paper-like format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmp2 {
+
+/// Collects rows of cells and prints them column-aligned.
+///
+///   Table t({"Picture size", "352x240", "704x480"});
+///   t.add_row({"Max pictures/sec", "69.9", "26.6"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for cell values).
+  static std::string fmt(double value, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+  /// Prints as comma-separated values (for scripting/plotting).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "figure" as a labelled data series: one line per x with aligned
+/// y columns, suitable for eyeballing curve shape and for CSV capture.
+class Series {
+ public:
+  Series(std::string x_label, std::vector<std::string> y_labels);
+
+  void add_point(double x, std::vector<double> ys);
+
+  void print(std::ostream& os, int precision = 3) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> y_labels_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+}  // namespace pmp2

@@ -1,0 +1,90 @@
+// Timing utilities: monotonic wall-clock and per-thread CPU timers.
+//
+// All parallel-decoder statistics in this library (compute time, sync time,
+// queue time) are accumulated with these timers, so they are kept minimal and
+// allocation-free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace pmp2 {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// Used to separate compute time from time spent blocked on queues and
+/// barriers: blocked threads do not accumulate CPU time.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now_ns()) {}
+
+  void reset() { start_ = now_ns(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const { return now_ns() - start_; }
+
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  static std::int64_t now_ns() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+  std::int64_t start_;
+};
+
+/// Accumulates intervals; RAII helper `Scope` adds the enclosed duration.
+class TimeAccumulator {
+ public:
+  class Scope {
+   public:
+    explicit Scope(TimeAccumulator& acc) : acc_(acc) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { acc_.total_ns_ += timer_.elapsed_ns(); }
+
+   private:
+    TimeAccumulator& acc_;
+    WallTimer timer_;
+  };
+
+  void add_ns(std::int64_t ns) { total_ns_ += ns; }
+  [[nodiscard]] std::int64_t total_ns() const { return total_ns_; }
+  [[nodiscard]] double total_s() const {
+    return static_cast<double>(total_ns_) * 1e-9;
+  }
+  void reset() { total_ns_ = 0; }
+
+ private:
+  std::int64_t total_ns_ = 0;
+};
+
+}  // namespace pmp2

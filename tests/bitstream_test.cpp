@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "bitstream/startcode.h"
+#include "util/rng.h"
+
+namespace pmp2 {
+namespace {
+
+TEST(BitWriter, EmitsMsbFirst) {
+  BitWriter bw;
+  bw.put(0b1, 1);
+  bw.put(0b01, 2);
+  bw.put(0b10110, 5);
+  const auto& bytes = bw.bytes();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110110);
+}
+
+TEST(BitWriter, ByteAlignPadsWithZeros) {
+  BitWriter bw;
+  bw.put(0b111, 3);
+  bw.byte_align();
+  EXPECT_TRUE(bw.byte_aligned());
+  EXPECT_EQ(bw.bytes()[0], 0b11100000);
+}
+
+TEST(BitWriter, StartcodeIsByteAligned) {
+  BitWriter bw;
+  bw.put(0b1, 1);
+  bw.put_startcode(0xB3);
+  const auto& b = bw.bytes();
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[1], 0x00);
+  EXPECT_EQ(b[2], 0x00);
+  EXPECT_EQ(b[3], 0x01);
+  EXPECT_EQ(b[4], 0xB3);
+}
+
+TEST(BitReader, ReadsBackWriterOutput) {
+  BitWriter bw;
+  bw.put(0xAB, 8);
+  bw.put(0x3, 2);
+  bw.put(0x1234, 16);
+  bw.put(1, 1);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(8), 0xABu);
+  EXPECT_EQ(br.get(2), 0x3u);
+  EXPECT_EQ(br.get(16), 0x1234u);
+  EXPECT_EQ(br.get(1), 1u);
+}
+
+TEST(BitReader, PeekDoesNotConsume) {
+  const std::vector<std::uint8_t> data{0xDE, 0xAD};
+  BitReader br(data);
+  EXPECT_EQ(br.peek(8), 0xDEu);
+  EXPECT_EQ(br.peek(16), 0xDEADu);
+  EXPECT_EQ(br.bit_position(), 0u);
+  br.skip(4);
+  EXPECT_EQ(br.peek(8), 0xEAu);
+}
+
+TEST(BitReader, ThirtyTwoBitReads) {
+  const std::vector<std::uint8_t> data{0x12, 0x34, 0x56, 0x78, 0x9A};
+  BitReader br(data);
+  EXPECT_EQ(br.get(32), 0x12345678u);
+  EXPECT_EQ(br.get(8), 0x9Au);
+}
+
+TEST(BitReader, OverrunFlagSetOnReadPastEnd) {
+  const std::vector<std::uint8_t> data{0xFF};
+  BitReader br(data);
+  EXPECT_EQ(br.get(8), 0xFFu);
+  EXPECT_FALSE(br.overrun());
+  (void)br.get(8);
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitReader, RandomRoundTrip) {
+  Rng rng(42);
+  std::vector<std::pair<std::uint32_t, int>> fields;
+  BitWriter bw;
+  for (int i = 0; i < 5000; ++i) {
+    const int n = rng.next_in(1, 32);
+    const std::uint32_t v =
+        n == 32 ? static_cast<std::uint32_t>(rng.next_u64())
+                : static_cast<std::uint32_t>(rng.next_u64()) & ((1u << n) - 1);
+    fields.emplace_back(v, n);
+    bw.put(v, n);
+  }
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  for (const auto& [v, n] : fields) {
+    EXPECT_EQ(br.get(n), v) << "field width " << n;
+  }
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitReader, ByteAlignFromAllOffsets) {
+  const std::vector<std::uint8_t> data{0x00, 0xFF, 0x00};
+  for (int off = 0; off < 16; ++off) {
+    BitReader br(data);
+    br.skip(off);
+    br.byte_align();
+    EXPECT_EQ(br.bit_position() % 8, 0u);
+    EXPECT_GE(br.bit_position(), static_cast<std::uint64_t>(off));
+    EXPECT_LT(br.bit_position(), static_cast<std::uint64_t>(off) + 8);
+  }
+}
+
+TEST(Startcode, ScannerFindsAllCodes) {
+  BitWriter bw;
+  bw.put_startcode(0xB3);
+  bw.put(0xFFFF, 16);
+  bw.put_startcode(0xB8);
+  bw.put_startcode(0x00);
+  bw.put(0xABCD, 16);
+  bw.put_startcode(0x01);  // slice
+  bw.put_startcode(0xB7);
+  auto bytes = bw.take();
+  const auto codes = scan_all_startcodes(bytes);
+  ASSERT_EQ(codes.size(), 5u);
+  EXPECT_EQ(codes[0].code, 0xB3);
+  EXPECT_EQ(codes[0].byte_offset, 0u);
+  EXPECT_EQ(codes[1].code, 0xB8);
+  EXPECT_EQ(codes[2].code, 0x00);
+  EXPECT_EQ(codes[3].code, 0x01);
+  EXPECT_EQ(codes[4].code, 0xB7);
+}
+
+TEST(Startcode, NoFalsePositiveInsideData) {
+  // 0x000002 and 0x0000 0000 01 variants must not trip the scanner except
+  // at real 000001 prefixes.
+  const std::vector<std::uint8_t> data{0x00, 0x00, 0x02, 0x00, 0x00,
+                                       0x00, 0x01, 0xB3, 0x00};
+  const auto codes = scan_all_startcodes(data);
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(codes[0].byte_offset, 4u);
+  EXPECT_EQ(codes[0].code, 0xB3);
+}
+
+TEST(Startcode, SliceCodeRange) {
+  EXPECT_FALSE(is_slice_code(0x00));
+  EXPECT_TRUE(is_slice_code(0x01));
+  EXPECT_TRUE(is_slice_code(0xAF));
+  EXPECT_FALSE(is_slice_code(0xB0));
+  EXPECT_EQ(startcode_name(0x05), "slice");
+  EXPECT_EQ(startcode_name(0xB3), "sequence_header");
+}
+
+TEST(BitReader, AlignToNextStartcode) {
+  BitWriter bw;
+  bw.put(0x7F, 7);  // unaligned garbage
+  bw.put_startcode(0x42);
+  bw.put(0x00, 8);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  br.skip(3);
+  ASSERT_TRUE(br.align_to_next_startcode());
+  EXPECT_TRUE(br.at_startcode_prefix());
+  EXPECT_EQ(br.get(32), 0x00000142u);
+}
+
+TEST(BitReader, RandomDataScannerAgreesWithNaive) {
+  Rng rng(7);
+  std::vector<std::uint8_t> data(4096);
+  for (auto& b : data) {
+    // Skew toward zeros to generate many near-miss patterns.
+    b = rng.next_below(4) == 0 ? static_cast<std::uint8_t>(rng.next_below(3))
+                               : static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  std::vector<std::uint64_t> naive;
+  for (std::size_t i = 0; i + 3 < data.size(); ++i) {
+    if (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1) {
+      naive.push_back(i);
+    }
+  }
+  const auto scanned = scan_all_startcodes(data);
+  ASSERT_EQ(scanned.size(), naive.size());
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(scanned[i].byte_offset, naive[i]);
+    EXPECT_EQ(scanned[i].code, data[naive[i] + 3]);
+  }
+}
+
+}  // namespace
+}  // namespace pmp2

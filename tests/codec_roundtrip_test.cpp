@@ -1,0 +1,230 @@
+// End-to-end encoder -> decoder integration tests: stream structure,
+// reconstruction fidelity, and the encoder/decoder agreement invariant
+// (decoded output == encoder reconstruction bit-for-bit is implied by PSNR
+// stability across GOPs; drift would compound and tank late-GOP PSNR).
+#include <gtest/gtest.h>
+
+#include "mpeg2/decoder.h"
+#include "mpeg2/encoder.h"
+#include "streamgen/scene.h"
+#include "streamgen/stream_factory.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+using streamgen::SceneConfig;
+using streamgen::SceneGenerator;
+using streamgen::StreamSpec;
+using streamgen::generate_stream;
+
+StreamSpec small_spec() {
+  StreamSpec spec;
+  spec.width = 176;
+  spec.height = 120;
+  spec.gop_size = 13;
+  spec.pictures = 26;
+  spec.bit_rate = 1'500'000;
+  return spec;
+}
+
+TEST(CodecRoundTrip, StreamHasExpectedStructure) {
+  const auto spec = small_spec();
+  const auto stream = generate_stream(spec);
+  ASSERT_FALSE(stream.empty());
+  const StreamStructure s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  EXPECT_EQ(s.seq.horizontal_size, 176);
+  EXPECT_EQ(s.seq.vertical_size, 120);
+  EXPECT_EQ(s.gops.size(), 2u);
+  EXPECT_EQ(s.total_pictures(), 26);
+  for (const auto& gop : s.gops) {
+    EXPECT_TRUE(gop.closed);
+    ASSERT_EQ(gop.pictures.size(), 13u);
+    // Coded order: I first, temporal_reference 0.
+    EXPECT_EQ(gop.pictures[0].type, PictureType::kI);
+    EXPECT_EQ(gop.pictures[0].temporal_reference, 0);
+    // One slice per macroblock row.
+    for (const auto& pic : gop.pictures) {
+      EXPECT_EQ(pic.slices.size(), 8u);  // 120 -> 8 MB rows
+      for (std::size_t i = 0; i < pic.slices.size(); ++i) {
+        EXPECT_EQ(pic.slices[i].row, static_cast<int>(i));
+      }
+    }
+  }
+}
+
+TEST(CodecRoundTrip, GopPictureTypePattern) {
+  const auto spec = small_spec();
+  const auto stream = generate_stream(spec);
+  const StreamStructure s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  // Coded order for N=13, M=3: I P B B P B B P B B P B B.
+  const char expect[] = "IPBBPBBPBBPBB";
+  for (const auto& gop : s.gops) {
+    ASSERT_EQ(gop.pictures.size(), 13u);
+    for (int i = 0; i < 13; ++i) {
+      EXPECT_EQ(picture_type_char(gop.pictures[i].type), expect[i]) << i;
+    }
+  }
+}
+
+TEST(CodecRoundTrip, DecodeProducesAllFramesInDisplayOrder) {
+  const auto spec = small_spec();
+  const auto stream = generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.frames.size(), 26u);
+  for (std::size_t i = 0; i < out.frames.size(); ++i) {
+    EXPECT_EQ(out.frames[i]->display_index, static_cast<int>(i));
+  }
+  // Display order per GOP: I B B P B B P ... (temporal refs ascending).
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 13; ++i) {
+      EXPECT_EQ(out.frames[g * 13 + i]->temporal_reference, i);
+    }
+  }
+}
+
+TEST(CodecRoundTrip, ReconstructionQualityReasonable) {
+  const auto spec = small_spec();
+  const auto stream = generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+
+  SceneConfig sc;
+  sc.width = spec.width;
+  sc.height = spec.height;
+  sc.seed = spec.seed;
+  const SceneGenerator scene(sc);
+  double min_psnr = 1e9;
+  for (int i = 0; i < spec.pictures; ++i) {
+    auto src = scene.render(i);
+    const double p = psnr_y(*src, *out.frames[i]);
+    min_psnr = std::min(min_psnr, p);
+  }
+  // Lossy codec at ~1.5 Mb/s on a small picture: comfortably above 25 dB;
+  // drift between encoder reconstruction and decoder would push late
+  // pictures far below this.
+  EXPECT_GT(min_psnr, 25.0) << "possible encoder/decoder drift";
+}
+
+TEST(CodecRoundTrip, PsnrDoesNotDegradeAcrossGop) {
+  // Drift detector: last P picture of a GOP must not be much worse than
+  // the first P picture.
+  const auto spec = small_spec();
+  const auto stream = generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  SceneConfig sc;
+  sc.width = spec.width;
+  sc.height = spec.height;
+  const SceneGenerator scene(sc);
+  auto psnr_at = [&](int i) {
+    auto src = scene.render(i);
+    return psnr_y(*src, *out.frames[i]);
+  };
+  const double first_p = psnr_at(3);
+  const double last_p = psnr_at(12);
+  EXPECT_GT(last_p, first_p - 6.0);
+}
+
+TEST(CodecRoundTrip, IntraVlcFormatTableOne) {
+  auto spec = small_spec();
+  spec.pictures = 13;
+  spec.intra_vlc_format = true;
+  const auto stream = generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 13u);
+}
+
+TEST(CodecRoundTrip, AlternateScan) {
+  auto spec = small_spec();
+  spec.pictures = 13;
+  spec.alternate_scan = true;
+  const auto stream = generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 13u);
+}
+
+TEST(CodecRoundTrip, TinyGop) {
+  auto spec = small_spec();
+  spec.gop_size = 4;
+  spec.pictures = 12;
+  const auto stream = generate_stream(spec);
+  const StreamStructure s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  EXPECT_EQ(s.gops.size(), 3u);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 12u);
+}
+
+TEST(CodecRoundTrip, PartialFinalGop) {
+  auto spec = small_spec();
+  spec.gop_size = 13;
+  spec.pictures = 17;  // 13 + partial GOP of 4
+  const auto stream = generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 17u);
+}
+
+TEST(CodecRoundTrip, RateControlApproachesTarget) {
+  // Use a *binding* target (well below the scene's entropy at the finest
+  // quantizer, ~250 kb/s at 176x120) so the controller must coarsen.
+  auto spec = small_spec();
+  spec.pictures = 39;
+  spec.bit_rate = 120'000;
+  EncoderStats stats;
+  const auto stream = generate_stream(spec, &stats);
+  const double seconds = spec.pictures / 30.0;
+  const double actual_rate = stats.bits_total / seconds;
+  EXPECT_GT(actual_rate, spec.bit_rate * 0.4);
+  EXPECT_LT(actual_rate, spec.bit_rate * 1.7);
+
+  // And the controller must produce fewer bits than the encoder at the
+  // finest quantizer (~250 kb/s on this content), i.e. it actually
+  // coarsened quantization to meet the target.
+  EXPECT_LT(actual_rate, 200'000.0);
+}
+
+TEST(CodecRoundTrip, WorkMeterCountsArePlausible) {
+  const auto spec = small_spec();
+  const auto stream = generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  const int mbs_per_pic = 11 * 8;
+  EXPECT_EQ(out.work.macroblocks,
+            static_cast<std::uint64_t>(mbs_per_pic * spec.pictures));
+  EXPECT_GT(out.work.coefficients, 0u);
+  EXPECT_GT(out.work.mc_blocks, 0u);
+  EXPECT_GT(out.work.bits, 8u * stream.size() / 2);  // most bits are slices
+}
+
+TEST(CodecRoundTrip, StreamingCallbackMatchesBatchDecode) {
+  const auto spec = small_spec();
+  const auto stream = generate_stream(spec);
+  Decoder d1, d2;
+  const DecodedStream batch = d1.decode(stream);
+  std::vector<FramePtr> streamed;
+  const auto st = d2.decode_stream(
+      stream, [&](FramePtr f) { streamed.push_back(std::move(f)); });
+  ASSERT_TRUE(st.ok);
+  ASSERT_EQ(streamed.size(), batch.frames.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_TRUE(streamed[i]->same_pels(*batch.frames[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

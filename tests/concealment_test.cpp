@@ -1,0 +1,169 @@
+// Error-concealment tests: a decoder with conceal_errors keeps playing
+// through corrupt slices, patching them from the forward reference.
+#include <gtest/gtest.h>
+
+#include "bitstream/startcode.h"
+#include "mpeg2/decoder.h"
+#include "parallel/slice_parallel.h"
+#include "streamgen/scene.h"
+#include "streamgen/stream_factory.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+streamgen::StreamSpec spec_26() {
+  streamgen::StreamSpec spec;
+  spec.width = 176;
+  spec.height = 120;
+  spec.gop_size = 13;
+  spec.pictures = 26;
+  spec.bit_rate = 1'500'000;
+  return spec;
+}
+
+/// Stomps the whole payload of one slice (startcode kept) with 0xFF: the
+/// all-ones bit pattern decodes as an endless run of small coefficients,
+/// overflowing the 64-coefficient block — a guaranteed syntax error, with
+/// no startcode emulation and no other slice touched.
+void corrupt_slice(std::vector<std::uint8_t>& stream, int gop, int pic,
+                   int slice) {
+  const auto s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  const auto& info = s.gops[static_cast<std::size_t>(gop)]
+                         .pictures[static_cast<std::size_t>(pic)];
+  const auto offset = info.slices[static_cast<std::size_t>(slice)].offset;
+  // Find the next startcode after this slice's.
+  std::uint64_t end = stream.size();
+  for (const auto& sc : pmp2::scan_all_startcodes(stream)) {
+    if (sc.byte_offset > offset) {
+      end = sc.byte_offset;
+      break;
+    }
+  }
+  for (std::uint64_t i = offset + 5; i < end; ++i) stream[i] = 0xFF;
+}
+
+TEST(Concealment, OffByDefault) {
+  auto stream = streamgen::generate_stream(spec_26());
+  corrupt_slice(stream, 0, 3, 4);
+  Decoder dec;  // conceal_errors = false
+  const auto out = dec.decode(stream);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(Concealment, KeepsPlayingThroughCorruptSlice) {
+  auto stream = streamgen::generate_stream(spec_26());
+  corrupt_slice(stream, 0, 3, 4);
+  Decoder dec(nullptr, /*conceal_errors=*/true);
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 26u);
+  EXPECT_GE(out.concealed_slices, 1);
+}
+
+TEST(Concealment, CleanStreamConcealsNothing) {
+  const auto stream = streamgen::generate_stream(spec_26());
+  Decoder dec(nullptr, true);
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.concealed_slices, 0);
+  // Concealment mode must not change the output of a clean decode.
+  Decoder plain;
+  const auto want = plain.decode(stream);
+  ASSERT_TRUE(want.ok);
+  for (std::size_t i = 0; i < want.frames.size(); ++i) {
+    EXPECT_TRUE(out.frames[i]->same_pels(*want.frames[i])) << i;
+  }
+}
+
+TEST(Concealment, QualityDegradesGracefully) {
+  auto stream = streamgen::generate_stream(spec_26());
+  corrupt_slice(stream, 0, 3, 4);  // a P picture: damage propagates
+  Decoder dec(nullptr, true);
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  streamgen::SceneConfig sc;
+  sc.width = 176;
+  sc.height = 120;
+  const streamgen::SceneGenerator scene(sc);
+  // Even the damaged pictures stay recognizable (well above garbage).
+  for (int i = 0; i < 26; i += 6) {
+    const auto src = scene.render(i);
+    EXPECT_GT(psnr_y(*src, *out.frames[static_cast<std::size_t>(i)]), 15.0)
+        << i;
+  }
+  // And the next GOP's I picture fully recovers.
+  const auto src = scene.render(13);
+  EXPECT_GT(psnr_y(*src, *out.frames[13]), 28.0);
+}
+
+TEST(Concealment, IntraPictureWithoutReferenceFillsGray) {
+  auto stream = streamgen::generate_stream(spec_26());
+  corrupt_slice(stream, 0, 0, 2);  // slice of the very first I picture
+  Decoder dec(nullptr, true);
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  ASSERT_GE(out.concealed_slices, 1);
+  // Concealed rows of the first picture are mid-gray.
+  const auto& f = *out.frames[0];
+  int gray = 0;
+  for (int x = 0; x < f.width(); ++x) {
+    if (f.y()[(2 * 16 + 8) * f.y_stride() + x] == 128) ++gray;
+  }
+  EXPECT_GT(gray, f.width() / 2);
+}
+
+TEST(Concealment, ManyCorruptSlicesStillCompletes) {
+  auto stream = streamgen::generate_stream(spec_26());
+  for (int pic = 1; pic < 13; pic += 2) corrupt_slice(stream, 0, pic, 3);
+  Decoder dec(nullptr, true);
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 26u);
+  EXPECT_GE(out.concealed_slices, 3);
+}
+
+TEST(Concealment, SliceParallelDecoderConceals) {
+  auto stream = streamgen::generate_stream(spec_26());
+  corrupt_slice(stream, 0, 3, 4);
+  parallel::SliceDecoderConfig cfg;
+  cfg.workers = 3;
+  cfg.conceal_errors = true;
+  int frames = 0;
+  const auto r = parallel::SliceParallelDecoder(cfg).decode(
+      stream, [&](FramePtr) { ++frames; });
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(frames, 26);
+  EXPECT_GE(r.concealed_slices, 1);
+}
+
+TEST(Concealment, SliceParallelMatchesSequentialConcealment) {
+  auto stream = streamgen::generate_stream(spec_26());
+  corrupt_slice(stream, 0, 3, 4);
+  Decoder seq(nullptr, true);
+  const auto want = seq.decode(stream);
+  ASSERT_TRUE(want.ok);
+  parallel::SliceDecoderConfig cfg;
+  cfg.workers = 4;
+  cfg.conceal_errors = true;
+  std::vector<FramePtr> got;
+  const auto r = parallel::SliceParallelDecoder(cfg).decode(
+      stream, [&](FramePtr f) { got.push_back(std::move(f)); });
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(got.size(), want.frames.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i]->same_pels(*want.frames[i])) << i;
+  }
+}
+
+TEST(Concealment, SliceParallelWithoutConcealmentStillFails) {
+  auto stream = streamgen::generate_stream(spec_26());
+  corrupt_slice(stream, 0, 3, 4);
+  parallel::SliceDecoderConfig cfg;
+  cfg.workers = 3;
+  const auto r = parallel::SliceParallelDecoder(cfg).decode(stream);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

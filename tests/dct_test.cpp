@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpeg2/dct.h"
+#include "util/rng.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+TEST(Dct, ForwardInverseReferenceIsIdentity) {
+  Rng rng(1);
+  std::array<double, 64> in, freq, back;
+  for (auto& v : in) v = rng.next_in(0, 255);
+  fdct_reference(in, freq);
+  idct_reference(freq, back);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(back[i], in[i], 1e-9) << i;
+}
+
+TEST(Dct, DcOnlyBlock) {
+  std::array<double, 64> in{}, freq;
+  for (auto& v : in) v = 128.0;
+  fdct_reference(in, freq);
+  EXPECT_NEAR(freq[0], 8.0 * 128.0, 1e-9);  // DC = 8 x mean
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(freq[i], 0.0, 1e-9);
+}
+
+TEST(Dct, IntIdctMatchesReferenceOnDcOnly) {
+  Block b{};
+  b[0] = 1024;  // flat 128 block
+  idct_int(b);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(b[i], 128) << i;
+}
+
+TEST(Dct, IntIdctNegativeDc) {
+  Block b{};
+  b[0] = -1024;
+  idct_int(b);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(b[i], -128) << i;
+}
+
+TEST(Dct, IntIdctSingleAcCoefficient) {
+  // One AC coefficient: compare against the reference transform.
+  for (const int pos : {1, 8, 9, 27, 63}) {
+    Block b{};
+    b[pos] = 500;
+    std::array<double, 64> in{}, want;
+    in[pos] = 500.0;
+    idct_reference(in, want);
+    idct_int(b);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(b[i], want[i], 1.0) << "pos " << pos << " i " << i;
+    }
+  }
+}
+
+/// IEEE-1180-style accuracy test: random coefficient blocks (bounded like
+/// dequantized MPEG coefficients), integer IDCT vs. double reference.
+TEST(Dct, IntIdctAccuracyIeee1180Style) {
+  Rng rng(1180);
+  constexpr int kTrials = 2000;
+  double max_err = 0.0;
+  double sum_sq_err = 0.0;
+  long count = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Block b{};
+    std::array<double, 64> in{}, want;
+    // Sparse blocks, as produced by dequantization.
+    const int ncoef = rng.next_in(1, 16);
+    for (int k = 0; k < ncoef; ++k) {
+      const int pos = static_cast<int>(rng.next_below(64));
+      const int val = rng.next_in(-2048, 2047) / (1 + pos / 8);
+      b[pos] = static_cast<std::int16_t>(val);
+      in[pos] = val;
+    }
+    idct_reference(in, want);
+    idct_int(b);
+    for (int i = 0; i < 64; ++i) {
+      // IEEE 1180 compares against the *rounded* reference transform.
+      const double err = std::abs(b[i] - std::round(want[i]));
+      max_err = std::max(max_err, err);
+      sum_sq_err += err * err;
+      ++count;
+    }
+  }
+  // IEEE 1180 limits: peak error <= 1, mean square error <= 0.06 per pel.
+  EXPECT_LE(max_err, 1.0);
+  EXPECT_LE(sum_sq_err / count, 0.06);
+}
+
+TEST(Dct, IntIdctLinearityInDc) {
+  // IDCT(a+b) == IDCT(a) + IDCT(b) when one block is DC-only (exercises
+  // the fast DC path against the general path).
+  Rng rng(9);
+  for (int t = 0; t < 50; ++t) {
+    Block ac{};
+    for (int k = 0; k < 5; ++k) {
+      ac[rng.next_below(64)] = static_cast<std::int16_t>(rng.next_in(-300, 300));
+    }
+    Block with_dc = ac;
+    with_dc[0] = static_cast<std::int16_t>(ac[0] + 512);
+    Block dc_only{};
+    dc_only[0] = 512;
+    idct_int(ac);
+    idct_int(with_dc);
+    idct_int(dc_only);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(with_dc[i], ac[i] + dc_only[i], 1) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,304 @@
+// Edge-case and robustness tests across the codec: pathological block
+// content, extreme quantizer settings, stream truncation/corruption
+// handling, minimum-size pictures, and encoder parameter sweeps.
+#include <gtest/gtest.h>
+
+#include "mpeg2/decoder.h"
+#include "mpeg2/encoder.h"
+#include "streamgen/scene.h"
+#include "streamgen/stream_factory.h"
+#include "util/rng.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+FramePtr flat_frame(int w, int h, std::uint8_t y, std::uint8_t cb,
+                    std::uint8_t cr) {
+  auto f = std::make_shared<Frame>(w, h);
+  std::fill_n(f->y(), f->y_stride() * f->coded_height(), y);
+  std::fill_n(f->cb(), f->c_stride() * f->coded_height() / 2, cb);
+  std::fill_n(f->cr(), f->c_stride() * f->coded_height() / 2, cr);
+  return f;
+}
+
+FramePtr noise_frame(int w, int h, std::uint64_t seed) {
+  auto f = std::make_shared<Frame>(w, h);
+  Rng rng(seed);
+  for (int p = 0; p < 3; ++p) {
+    const int bytes = f->stride(p) * (p == 0 ? f->coded_height()
+                                             : f->coded_height() / 2);
+    for (int i = 0; i < bytes; ++i) {
+      f->plane(p)[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  return f;
+}
+
+DecodedStream encode_decode(std::vector<FramePtr> frames,
+                            EncoderConfig cfg) {
+  cfg.width = frames[0]->width();
+  cfg.height = frames[0]->height();
+  Encoder enc(cfg);
+  for (auto& f : frames) enc.push_frame(std::move(f));
+  const auto stream = enc.finish();
+  Decoder dec;
+  return dec.decode(stream);
+}
+
+TEST(EdgeCases, FlatBlackVideo) {
+  std::vector<FramePtr> frames;
+  for (int i = 0; i < 7; ++i) frames.push_back(flat_frame(64, 48, 16, 128, 128));
+  EncoderConfig cfg;
+  cfg.gop_size = 7;
+  const auto out = encode_decode(std::move(frames), cfg);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.frames.size(), 7u);
+  for (const auto& f : out.frames) {
+    EXPECT_TRUE(f->same_pels(*flat_frame(64, 48, 16, 128, 128)));
+  }
+}
+
+TEST(EdgeCases, FlatWhiteVideoSaturatesCleanly) {
+  std::vector<FramePtr> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(flat_frame(64, 48, 235, 128, 128));
+  EncoderConfig cfg;
+  cfg.gop_size = 4;
+  const auto out = encode_decode(std::move(frames), cfg);
+  ASSERT_TRUE(out.ok);
+  for (const auto& f : out.frames) {
+    EXPECT_NEAR(f->y()[0], 235, 2);
+  }
+}
+
+TEST(EdgeCases, RandomNoiseSurvivesRoundTrip) {
+  // Noise is the worst case for the codec: every block escapes to high
+  // coefficient counts. The stream must still parse and decode.
+  std::vector<FramePtr> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(noise_frame(64, 48, 10 + i));
+  EncoderConfig cfg;
+  cfg.gop_size = 4;
+  cfg.rate_control = false;
+  cfg.base_qscale_code = 2;
+  const auto out = encode_decode(std::move(frames), cfg);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 4u);
+}
+
+TEST(EdgeCases, SingleMacroblockPicture) {
+  std::vector<FramePtr> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(noise_frame(16, 16, i));
+  EncoderConfig cfg;
+  cfg.gop_size = 4;
+  const auto out = encode_decode(std::move(frames), cfg);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames.size(), 4u);
+}
+
+TEST(EdgeCases, NonMultipleOf16Dimensions) {
+  // 90x60: coded 96x64, display cropped.
+  streamgen::SceneConfig sc;
+  sc.width = 90;
+  sc.height = 60;
+  const streamgen::SceneGenerator scene(sc);
+  std::vector<FramePtr> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(scene.render(i));
+  EncoderConfig cfg;
+  cfg.gop_size = 4;
+  const auto out = encode_decode(std::move(frames), cfg);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.frames[0]->width(), 90);
+  EXPECT_EQ(out.frames[0]->height(), 60);
+  EXPECT_EQ(out.frames[0]->mb_width(), 6);
+  EXPECT_EQ(out.frames[0]->mb_height(), 4);
+}
+
+TEST(EdgeCases, GopSizeOneIsAllIntra) {
+  streamgen::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  const streamgen::SceneGenerator scene(sc);
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.gop_size = 1;
+  Encoder enc(cfg);
+  for (int i = 0; i < 5; ++i) enc.push_frame(scene.render(i));
+  const auto stream = enc.finish();
+  const auto structure = scan_structure(stream);
+  ASSERT_TRUE(structure.valid);
+  EXPECT_EQ(structure.gops.size(), 5u);
+  for (const auto& g : structure.gops) {
+    ASSERT_EQ(g.pictures.size(), 1u);
+    EXPECT_EQ(g.pictures[0].type, PictureType::kI);
+  }
+  Decoder dec;
+  EXPECT_TRUE(dec.decode(stream).ok);
+}
+
+TEST(EdgeCases, GopSizeTwoUsesTailPPictures) {
+  // N=2, M=3: position 1 has no ref at +3, so it is coded as a trailing P.
+  streamgen::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  const streamgen::SceneGenerator scene(sc);
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.gop_size = 2;
+  Encoder enc(cfg);
+  for (int i = 0; i < 6; ++i) enc.push_frame(scene.render(i));
+  const auto stream = enc.finish();
+  const auto structure = scan_structure(stream);
+  ASSERT_TRUE(structure.valid);
+  for (const auto& g : structure.gops) {
+    ASSERT_EQ(g.pictures.size(), 2u);
+    EXPECT_EQ(g.pictures[0].type, PictureType::kI);
+    EXPECT_EQ(g.pictures[1].type, PictureType::kP);
+  }
+  Decoder dec;
+  EXPECT_TRUE(dec.decode(stream).ok);
+}
+
+TEST(EdgeCases, ExtremeQuantizerStillDecodes) {
+  streamgen::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  const streamgen::SceneGenerator scene(sc);
+  for (const int q : {2, 16, 31}) {
+    EncoderConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.gop_size = 4;
+    cfg.rate_control = false;
+    cfg.base_qscale_code = q;
+    Encoder enc(cfg);
+    for (int i = 0; i < 4; ++i) enc.push_frame(scene.render(i));
+    const auto stream = enc.finish();
+    Decoder dec;
+    EXPECT_TRUE(dec.decode(stream).ok) << "qscale " << q;
+  }
+}
+
+TEST(EdgeCases, QScaleTypeNonLinear) {
+  streamgen::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  const streamgen::SceneGenerator scene(sc);
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.gop_size = 4;
+  cfg.q_scale_type = true;
+  Encoder enc(cfg);
+  for (int i = 0; i < 4; ++i) enc.push_frame(scene.render(i));
+  const auto stream = enc.finish();
+  Decoder dec;
+  EXPECT_TRUE(dec.decode(stream).ok);
+}
+
+class DcPrecisionRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DcPrecisionRoundTrip, Decodes) {
+  streamgen::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  const streamgen::SceneGenerator scene(sc);
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.gop_size = 4;
+  cfg.intra_dc_precision = GetParam();
+  Encoder enc(cfg);
+  std::vector<FramePtr> src;
+  for (int i = 0; i < 4; ++i) {
+    src.push_back(scene.render(i));
+    enc.push_frame(scene.render(i));
+  }
+  const auto stream = enc.finish();
+  Decoder dec;
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  // Higher DC precision should not make quality worse.
+  EXPECT_GT(psnr_y(*src[0], *out.frames[0]), 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, DcPrecisionRoundTrip,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(EdgeCases, TruncatedStreamFailsGracefully) {
+  streamgen::StreamSpec spec;
+  spec.width = 64;
+  spec.height = 48;
+  spec.pictures = 4;
+  spec.gop_size = 4;
+  auto stream = streamgen::generate_stream(spec);
+  for (const double keep : {0.9, 0.5, 0.1}) {
+    auto cut = stream;
+    cut.resize(static_cast<std::size_t>(stream.size() * keep));
+    Decoder dec;
+    const auto out = dec.decode(cut);
+    // Must not crash; ok may be false or frames partial.
+    EXPECT_LE(out.frames.size(), 4u) << keep;
+  }
+}
+
+TEST(EdgeCases, BitFlipsDoNotCrash) {
+  streamgen::StreamSpec spec;
+  spec.width = 64;
+  spec.height = 48;
+  spec.pictures = 8;
+  spec.gop_size = 4;
+  const auto stream = streamgen::generate_stream(spec);
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto corrupt = stream;
+    for (int flips = 0; flips < 4; ++flips) {
+      const auto pos = rng.next_below(static_cast<std::uint32_t>(corrupt.size()));
+      corrupt[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    Decoder dec;
+    (void)dec.decode(corrupt);  // must terminate without crashing
+  }
+  SUCCEED();
+}
+
+TEST(EdgeCases, EmptyAndHeaderOnlyStreams) {
+  Decoder dec;
+  EXPECT_FALSE(dec.decode({}).ok);
+  // Sequence header only, no GOPs.
+  BitWriter bw;
+  SequenceHeader h;
+  h.horizontal_size = 64;
+  h.vertical_size = 48;
+  write_sequence_header(bw, h);
+  bw.put_startcode(0xB7);
+  const auto bytes = bw.take();
+  EXPECT_FALSE(dec.decode(bytes).ok);
+}
+
+TEST(EdgeCases, LargeSearchRangeUsesWiderFCode) {
+  streamgen::SceneConfig sc;
+  sc.width = 96;
+  sc.height = 64;
+  sc.pan_pels_per_picture = 20.0;  // fast pan needs a wide search
+  const streamgen::SceneGenerator scene(sc);
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.gop_size = 4;
+  cfg.search_range = 24;
+  Encoder enc(cfg);
+  std::vector<FramePtr> src;
+  for (int i = 0; i < 4; ++i) {
+    src.push_back(scene.render(i));
+    enc.push_frame(scene.render(i));
+  }
+  const auto stream = enc.finish();
+  Decoder dec;
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_GT(psnr_y(*src[3], *out.frames[3]), 22.0);
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

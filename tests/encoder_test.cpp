@@ -1,0 +1,211 @@
+// Direct encoder tests: GOP structure across sizes, skip efficiency on
+// static content, rate-control monotonicity, f_code selection, statistics
+// accounting, and padding behaviour.
+#include <gtest/gtest.h>
+
+#include "mpeg2/decoder.h"
+#include "mpeg2/encoder.h"
+#include "mpeg2/motion.h"
+#include "streamgen/scene.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+std::vector<FramePtr> scene_frames(int w, int h, int n, double pan = 2.4) {
+  streamgen::SceneConfig sc;
+  sc.width = w;
+  sc.height = h;
+  sc.pan_pels_per_picture = pan;
+  const streamgen::SceneGenerator scene(sc);
+  std::vector<FramePtr> out;
+  for (int i = 0; i < n; ++i) out.push_back(scene.render(i));
+  return out;
+}
+
+class GopStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(GopStructure, CodedOrderIsValid) {
+  const int n = GetParam();
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.gop_size = n;
+  Encoder enc(cfg);
+  streamgen::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  const streamgen::SceneGenerator scene(sc);
+  for (int i = 0; i < 2 * n; ++i) enc.push_frame(scene.render(i));
+  const auto stream = enc.finish();
+  const auto s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  ASSERT_EQ(s.gops.size(), 2u);
+  for (const auto& gop : s.gops) {
+    ASSERT_EQ(static_cast<int>(gop.pictures.size()), n);
+    // First coded picture is I with temporal_reference 0; every B's
+    // references (nearest I/P before and after in display order) are
+    // inside the GOP; temporal references are a permutation of 0..n-1.
+    EXPECT_EQ(gop.pictures[0].type, PictureType::kI);
+    EXPECT_EQ(gop.pictures[0].temporal_reference, 0);
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    int last_ref_tr = -1;
+    for (const auto& pic : gop.pictures) {
+      ASSERT_GE(pic.temporal_reference, 0);
+      ASSERT_LT(pic.temporal_reference, n);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(pic.temporal_reference)]);
+      seen[static_cast<std::size_t>(pic.temporal_reference)] = true;
+      if (pic.type == PictureType::kB) {
+        // A B picture must appear after a future reference (closed GOP
+        // coded order): its temporal ref lies before the latest reference.
+        EXPECT_LT(pic.temporal_reference, last_ref_tr);
+      } else {
+        last_ref_tr = pic.temporal_reference;
+      }
+    }
+    for (const bool b : seen) EXPECT_TRUE(b);
+  }
+  // And it must decode.
+  Decoder dec;
+  EXPECT_TRUE(dec.decode(stream).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GopStructure,
+                         ::testing::Values(1, 2, 3, 4, 7, 13, 16, 31));
+
+TEST(Encoder, StaticSceneSkipsMostMacroblocks) {
+  // Identical frames: after the I picture, P/B macroblocks should be
+  // skipped or not-coded almost everywhere.
+  auto frames = scene_frames(176, 120, 13, /*pan=*/0.0);
+  EncoderConfig cfg;
+  cfg.width = 176;
+  cfg.height = 120;
+  cfg.gop_size = 13;
+  Encoder enc(cfg);
+  for (auto& f : frames) enc.push_frame(std::move(f));
+  const auto stream = enc.finish();
+  const auto& st = enc.stats();
+  const int total = st.intra_mbs + st.inter_mbs + st.skipped_mbs;
+  EXPECT_GT(st.skipped_mbs, total / 2) << "static scene barely skipped";
+  Decoder dec;
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  // No temporal drift: every picture stays close to the first (the
+  // skip-bias prevents quantization-noise chasing; B-picture rounding and
+  // above-threshold texture noise keep this from being exact).
+  for (std::size_t i = 1; i < out.frames.size(); ++i) {
+    EXPECT_GT(psnr_y(*out.frames[0], *out.frames[i]), 32.0) << i;
+  }
+  // And the stream is far cheaper than coding a moving scene.
+  auto moving = scene_frames(176, 120, 13, /*pan=*/2.4);
+  Encoder enc2(cfg);
+  for (auto& f : moving) enc2.push_frame(std::move(f));
+  (void)enc2.finish();
+  EXPECT_LT(st.bits_total, enc2.stats().bits_total / 2);
+}
+
+TEST(Encoder, FasterPanCostsMoreBits) {
+  std::int64_t bits[3];
+  int k = 0;
+  for (const double pan : {0.0, 2.4, 8.0}) {
+    auto frames = scene_frames(176, 120, 13, pan);
+    EncoderConfig cfg;
+    cfg.width = 176;
+    cfg.height = 120;
+    cfg.gop_size = 13;
+    cfg.rate_control = false;
+    Encoder enc(cfg);
+    for (auto& f : frames) enc.push_frame(std::move(f));
+    (void)enc.finish();
+    bits[k++] = enc.stats().bits_total;
+  }
+  EXPECT_LT(bits[0], bits[1]);
+  EXPECT_LT(bits[1], bits[2]);
+}
+
+TEST(Encoder, RateControlMonotoneInTarget) {
+  std::int64_t produced[3];
+  int k = 0;
+  for (const std::int64_t target : {60'000, 150'000, 400'000}) {
+    auto frames = scene_frames(176, 120, 26);
+    EncoderConfig cfg;
+    cfg.width = 176;
+    cfg.height = 120;
+    cfg.gop_size = 13;
+    cfg.bit_rate = target;
+    Encoder enc(cfg);
+    for (auto& f : frames) enc.push_frame(std::move(f));
+    (void)enc.finish();
+    produced[k++] = enc.stats().bits_total;
+  }
+  EXPECT_LT(produced[0], produced[1]);
+  EXPECT_LE(produced[1], produced[2]);
+}
+
+TEST(Encoder, StatsAccountEveryMacroblock) {
+  auto frames = scene_frames(176, 120, 13);
+  EncoderConfig cfg;
+  cfg.width = 176;
+  cfg.height = 120;
+  cfg.gop_size = 13;
+  Encoder enc(cfg);
+  for (auto& f : frames) enc.push_frame(std::move(f));
+  (void)enc.finish();
+  const auto& st = enc.stats();
+  EXPECT_EQ(st.pictures, 13);
+  EXPECT_EQ(st.gops, 1);
+  EXPECT_EQ(st.intra_mbs + st.inter_mbs + st.skipped_mbs, 13 * 11 * 8);
+  EXPECT_EQ(st.pictures_by_type[1] + st.pictures_by_type[2] +
+                st.pictures_by_type[3],
+            13);
+  EXPECT_EQ(st.bits_by_type[1] + st.bits_by_type[2] + st.bits_by_type[3] +
+                /* headers outside pictures: */ 0,
+            st.bits_total);
+}
+
+TEST(Encoder, SearchRangeSelectsFCode) {
+  // f_code must cover 2*range+1 half-pels.
+  for (const auto& [range, want] :
+       std::vector<std::pair<int, int>>{{4, 1}, {7, 1}, {8, 2}, {15, 2},
+                                        {16, 3}}) {
+    EXPECT_EQ(f_code_for_range(2 * range + 1), want) << range;
+  }
+}
+
+TEST(Encoder, PushPadsBorders) {
+  auto frame = std::make_shared<Frame>(90, 60);  // coded 96x64
+  for (int y = 0; y < 60; ++y) {
+    for (int x = 0; x < 90; ++x) {
+      frame->y()[y * frame->y_stride() + x] = 77;
+    }
+  }
+  EncoderConfig cfg;
+  cfg.width = 90;
+  cfg.height = 60;
+  cfg.gop_size = 1;
+  Encoder enc(cfg);
+  Frame* raw = frame.get();
+  enc.push_frame(std::move(frame));
+  // push_frame pads in place: padding columns/rows replicate edges.
+  EXPECT_EQ(raw->y()[10 * raw->y_stride() + 95], 77);
+  EXPECT_EQ(raw->y()[63 * raw->y_stride() + 3], 77);
+  (void)enc.finish();
+}
+
+TEST(Encoder, BitstreamEndsWithSequenceEnd) {
+  auto frames = scene_frames(64, 48, 4);
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.gop_size = 4;
+  Encoder enc(cfg);
+  for (auto& f : frames) enc.push_frame(std::move(f));
+  const auto stream = enc.finish();
+  ASSERT_GE(stream.size(), 4u);
+  EXPECT_EQ(stream[stream.size() - 4], 0x00);
+  EXPECT_EQ(stream[stream.size() - 3], 0x00);
+  EXPECT_EQ(stream[stream.size() - 2], 0x01);
+  EXPECT_EQ(stream[stream.size() - 1], 0xB7);
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

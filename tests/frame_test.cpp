@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpeg2/encoder.h"
+#include "mpeg2/frame.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+TEST(Frame, PadsToMacroblockMultiples) {
+  Frame f(176, 120);
+  EXPECT_EQ(f.width(), 176);
+  EXPECT_EQ(f.height(), 120);
+  EXPECT_EQ(f.mb_width(), 11);
+  EXPECT_EQ(f.mb_height(), 8);  // 120 -> 128 coded
+  EXPECT_EQ(f.y_stride(), 176);
+  EXPECT_EQ(f.coded_height(), 128);
+  EXPECT_EQ(f.c_stride(), 88);
+}
+
+TEST(Frame, BytesAccountsAllPlanes) {
+  Frame f(352, 240);
+  EXPECT_EQ(f.bytes(), 352 * 240 + 2 * (176 * 120));
+}
+
+TEST(Frame, MemoryTrackerFollowsLifetime) {
+  MemoryTracker t;
+  {
+    Frame a(352, 240, &t);
+    EXPECT_EQ(t.current_bytes(), a.bytes());
+    {
+      Frame b(352, 240, &t);
+      EXPECT_EQ(t.current_bytes(), a.bytes() + b.bytes());
+      EXPECT_EQ(t.peak_bytes(), a.bytes() + b.bytes());
+    }
+    EXPECT_EQ(t.current_bytes(), a.bytes());
+    EXPECT_EQ(t.peak_bytes(), 2 * a.bytes());  // peak persists
+  }
+  EXPECT_EQ(t.current_bytes(), 0);
+}
+
+TEST(Frame, TrackerResetPeak) {
+  MemoryTracker t;
+  { Frame a(64, 48, &t); }
+  EXPECT_GT(t.peak_bytes(), 0);
+  t.reset_peak();
+  EXPECT_EQ(t.peak_bytes(), 0);
+}
+
+TEST(FramePool, RecyclesFrames) {
+  MemoryTracker t;
+  FramePool pool(64, 48, &t);
+  Frame* raw;
+  {
+    FramePtr f = pool.acquire();
+    raw = f.get();
+    EXPECT_EQ(pool.idle_count(), 0u);
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  FramePtr g = pool.acquire();
+  EXPECT_EQ(g.get(), raw);  // same buffer reused
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(FramePool, TrackerSeesPooledFramesAsLive) {
+  MemoryTracker t;
+  FramePool pool(64, 48, &t);
+  { FramePtr f = pool.acquire(); }
+  // Frame returned to the pool still owns its buffers.
+  EXPECT_GT(t.current_bytes(), 0);
+}
+
+TEST(Frame, TraceIdsAreUniqueAndStable) {
+  FramePool pool(32, 32);
+  FramePtr a = pool.acquire();
+  const int id_a = a->trace_id();
+  FramePtr b = pool.acquire();
+  EXPECT_NE(id_a, b->trace_id());
+  a.reset();
+  FramePtr c = pool.acquire();  // recycled 'a'
+  EXPECT_EQ(c->trace_id(), id_a);
+}
+
+TEST(Frame, SamePelsDetectsDifference) {
+  Frame a(48, 32), b(48, 32);
+  std::fill_n(a.y(), a.y_stride() * a.coded_height(), 10);
+  std::fill_n(b.y(), b.y_stride() * b.coded_height(), 10);
+  std::fill_n(a.cb(), a.c_stride() * a.coded_height() / 2, 20);
+  std::fill_n(b.cb(), b.c_stride() * b.coded_height() / 2, 20);
+  std::fill_n(a.cr(), a.c_stride() * a.coded_height() / 2, 30);
+  std::fill_n(b.cr(), b.c_stride() * b.coded_height() / 2, 30);
+  EXPECT_TRUE(a.same_pels(b));
+  b.cr()[5] ^= 1;
+  EXPECT_FALSE(a.same_pels(b));
+}
+
+TEST(Frame, PsnrInfinityForIdentical) {
+  Frame a(48, 32), b(48, 32);
+  std::fill_n(a.y(), a.y_stride() * a.coded_height(), 99);
+  std::fill_n(b.y(), b.y_stride() * b.coded_height(), 99);
+  EXPECT_TRUE(std::isinf(psnr_y(a, b)));
+}
+
+TEST(Frame, PsnrKnownValue) {
+  Frame a(48, 32), b(48, 32);
+  std::fill_n(a.y(), a.y_stride() * a.coded_height(), 100);
+  std::fill_n(b.y(), b.y_stride() * b.coded_height(), 110);
+  // MSE = 100 -> PSNR = 10 log10(255^2/100) = 28.13 dB.
+  EXPECT_NEAR(psnr_y(a, b), 28.13, 0.01);
+}
+
+TEST(Frame, PadCodedBorderReplicatesEdges) {
+  Frame f(176, 120);  // coded 176x128
+  for (int y = 0; y < 120; ++y) {
+    for (int x = 0; x < 176; ++x) {
+      f.y()[y * f.y_stride() + x] = static_cast<std::uint8_t>(y);
+    }
+  }
+  pad_coded_border(f);
+  for (int y = 120; y < 128; ++y) {
+    for (int x = 0; x < 176; ++x) {
+      EXPECT_EQ(f.y()[y * f.y_stride() + x], 119) << y << "," << x;
+    }
+  }
+  // Chroma bottom rows replicate row 59.
+  for (int x = 0; x < f.c_stride(); ++x) f.cb()[59 * f.c_stride() + x] = 42;
+  pad_coded_border(f);
+  for (int y = 60; y < 64; ++y) {
+    EXPECT_EQ(f.cb()[y * f.c_stride() + 3], 42);
+  }
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

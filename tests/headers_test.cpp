@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/scan_quant.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+TEST(Headers, SequenceHeaderRoundTrip) {
+  SequenceHeader h;
+  h.horizontal_size = 704;
+  h.vertical_size = 480;
+  h.aspect_ratio_code = 2;
+  h.frame_rate_code = 5;
+  h.bit_rate = 5'000'000;
+  h.vbv_buffer_size_value = 112;
+  BitWriter bw;
+  write_sequence_header(bw, h);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(32), 0x000001B3u);
+  SequenceHeader got;
+  ASSERT_TRUE(parse_sequence_header(br, got));
+  EXPECT_EQ(got.horizontal_size, 704);
+  EXPECT_EQ(got.vertical_size, 480);
+  EXPECT_EQ(got.aspect_ratio_code, 2);
+  EXPECT_EQ(got.frame_rate_code, 5);
+  EXPECT_EQ(got.bit_rate, 5'000'000);
+  EXPECT_EQ(got.vbv_buffer_size_value, 112);
+  // Default matrices installed when not loaded.
+  EXPECT_EQ(got.intra_matrix, default_intra_matrix());
+  EXPECT_EQ(got.non_intra_matrix, default_non_intra_matrix());
+}
+
+TEST(Headers, SequenceHeaderCustomMatrices) {
+  SequenceHeader h;
+  h.horizontal_size = 176;
+  h.vertical_size = 120;
+  h.load_intra_matrix = true;
+  h.load_non_intra_matrix = true;
+  for (int i = 0; i < 64; ++i) {
+    h.intra_matrix[i] = static_cast<std::uint8_t>(i + 1);
+    h.non_intra_matrix[i] = static_cast<std::uint8_t>(64 - i);
+  }
+  BitWriter bw;
+  write_sequence_header(bw, h);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  br.skip(32);
+  SequenceHeader got;
+  ASSERT_TRUE(parse_sequence_header(br, got));
+  EXPECT_EQ(got.intra_matrix, h.intra_matrix);
+  EXPECT_EQ(got.non_intra_matrix, h.non_intra_matrix);
+}
+
+TEST(Headers, SequenceExtensionRoundTrip) {
+  SequenceHeader h;
+  SequenceExtension e;
+  e.profile_and_level = 0x44;
+  e.progressive_sequence = true;
+  e.chroma_format = 1;
+  BitWriter bw;
+  write_sequence_extension(bw, h, e);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(32), 0x000001B5u);
+  SequenceExtension got;
+  ASSERT_TRUE(parse_extension(br, &got, nullptr));
+  EXPECT_EQ(got.profile_and_level, 0x44);
+  EXPECT_TRUE(got.progressive_sequence);
+  EXPECT_EQ(got.chroma_format, 1);
+  EXPECT_FALSE(got.low_delay);
+}
+
+TEST(Headers, GopHeaderRoundTrip) {
+  GopHeader h;
+  h.time_code = (3u << 19) | (25u << 13) | (1u << 12) | (59u << 6) | 14u;
+  h.closed_gop = true;
+  h.broken_link = false;
+  BitWriter bw;
+  write_gop_header(bw, h);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(32), 0x000001B8u);
+  GopHeader got;
+  ASSERT_TRUE(parse_gop_header(br, got));
+  EXPECT_EQ(got.time_code, h.time_code);
+  EXPECT_TRUE(got.closed_gop);
+  EXPECT_FALSE(got.broken_link);
+}
+
+class PictureHeaderRoundTrip : public ::testing::TestWithParam<PictureType> {};
+
+TEST_P(PictureHeaderRoundTrip, RoundTrips) {
+  PictureHeader h;
+  h.temporal_reference = 517;
+  h.type = GetParam();
+  h.vbv_delay = 0xFFFF;
+  BitWriter bw;
+  write_picture_header(bw, h);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(32), 0x00000100u);
+  PictureHeader got;
+  ASSERT_TRUE(parse_picture_header(br, got));
+  EXPECT_EQ(got.temporal_reference, 517);
+  EXPECT_EQ(got.type, GetParam());
+  EXPECT_EQ(got.vbv_delay, 0xFFFF);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, PictureHeaderRoundTrip,
+                         ::testing::Values(PictureType::kI, PictureType::kP,
+                                           PictureType::kB));
+
+TEST(Headers, PictureCodingExtensionRoundTrip) {
+  PictureCodingExtension e;
+  e.f_code[0][0] = 3;
+  e.f_code[0][1] = 2;
+  e.f_code[1][0] = 4;
+  e.f_code[1][1] = 4;
+  e.intra_dc_precision = 2;
+  e.q_scale_type = true;
+  e.intra_vlc_format = true;
+  e.alternate_scan = true;
+  BitWriter bw;
+  write_picture_coding_extension(bw, e);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  br.skip(32);
+  PictureCodingExtension got;
+  ASSERT_TRUE(parse_extension(br, nullptr, &got));
+  EXPECT_EQ(got.f_code[0][0], 3);
+  EXPECT_EQ(got.f_code[0][1], 2);
+  EXPECT_EQ(got.f_code[1][0], 4);
+  EXPECT_EQ(got.f_code[1][1], 4);
+  EXPECT_EQ(got.intra_dc_precision, 2);
+  EXPECT_TRUE(got.q_scale_type);
+  EXPECT_TRUE(got.intra_vlc_format);
+  EXPECT_TRUE(got.alternate_scan);
+  EXPECT_EQ(got.picture_structure, 3);
+  EXPECT_TRUE(got.frame_pred_frame_dct);
+}
+
+TEST(Headers, FrameRateCodes) {
+  SequenceHeader h;
+  h.frame_rate_code = 5;
+  EXPECT_DOUBLE_EQ(h.frame_rate(), 30.0);
+  h.frame_rate_code = 3;
+  EXPECT_DOUBLE_EQ(h.frame_rate(), 25.0);
+  h.frame_rate_code = 4;
+  EXPECT_NEAR(h.frame_rate(), 29.97, 0.01);
+}
+
+TEST(Headers, BitRateRoundsUpTo400Units) {
+  SequenceHeader h;
+  h.horizontal_size = 16;
+  h.vertical_size = 16;
+  h.bit_rate = 5'000'100;  // not a multiple of 400
+  BitWriter bw;
+  write_sequence_header(bw, h);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  br.skip(32);
+  SequenceHeader got;
+  ASSERT_TRUE(parse_sequence_header(br, got));
+  EXPECT_EQ(got.bit_rate, 5'000'400);  // ceil to next unit
+}
+
+TEST(Headers, ParseRejectsBadMarker) {
+  // Corrupt the marker bit after bit_rate in a sequence header.
+  SequenceHeader h;
+  h.horizontal_size = 352;
+  h.vertical_size = 240;
+  BitWriter bw;
+  write_sequence_header(bw, h);
+  auto bytes = bw.take();
+  // Payload bits before the marker: 12+12+4+4+18 = 50; bit 50 lives in
+  // payload byte 6 at in-byte offset 2 (MSB-first -> mask 0x20).
+  bytes[4 + 6] &= ~0x20;
+  BitReader br(bytes);
+  br.skip(32);
+  SequenceHeader got;
+  EXPECT_FALSE(parse_sequence_header(br, got));
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

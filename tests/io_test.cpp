@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "io/image.h"
+#include "io/y4m.h"
+#include "streamgen/scene.h"
+
+namespace pmp2::io {
+namespace {
+
+mpeg2::FramePtr scene_frame(int w, int h, int index) {
+  streamgen::SceneConfig sc;
+  sc.width = w;
+  sc.height = h;
+  return streamgen::SceneGenerator(sc).render(index);
+}
+
+TEST(Y4m, WriterEmitsHeaderAndFrames) {
+  std::ostringstream os;
+  Y4mWriter writer(os, 64, 48);
+  writer.write(*scene_frame(64, 48, 0));
+  writer.write(*scene_frame(64, 48, 1));
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("YUV4MPEG2 W64 H48 F30:1", 0), 0u);
+  EXPECT_EQ(writer.frames_written(), 2);
+  // Header line + 2 x (FRAME\n + 64*48*1.5 bytes).
+  const std::size_t frame_bytes = 64 * 48 * 3 / 2;
+  EXPECT_GT(out.size(), 2 * frame_bytes);
+}
+
+TEST(Y4m, RoundTripPreservesPels) {
+  std::stringstream ss;
+  {
+    Y4mWriter writer(ss, 64, 48);
+    writer.write(*scene_frame(64, 48, 3));
+  }
+  Y4mReader reader(ss);
+  ASSERT_TRUE(reader.valid());
+  EXPECT_EQ(reader.width(), 64);
+  EXPECT_EQ(reader.height(), 48);
+  EXPECT_DOUBLE_EQ(reader.fps(), 30.0);
+  auto got = reader.read();
+  ASSERT_NE(got, nullptr);
+  auto want = scene_frame(64, 48, 3);
+  for (int p = 0; p < 3; ++p) {
+    const int w = p == 0 ? 64 : 32;
+    const int h = p == 0 ? 48 : 24;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        ASSERT_EQ(got->plane(p)[y * got->stride(p) + x],
+                  want->plane(p)[y * want->stride(p) + x])
+            << p << " " << x << "," << y;
+      }
+    }
+  }
+  EXPECT_EQ(reader.read(), nullptr);  // end of stream
+}
+
+TEST(Y4m, RejectsNonY4m) {
+  std::istringstream is("not a y4m file");
+  Y4mReader reader(is);
+  EXPECT_FALSE(reader.valid());
+}
+
+TEST(Y4m, Rejects422) {
+  std::istringstream is("YUV4MPEG2 W64 H48 F30:1 C422\nFRAME\n");
+  Y4mReader reader(is);
+  EXPECT_FALSE(reader.valid());
+}
+
+TEST(Y4m, TruncatedFrameReturnsNull) {
+  std::stringstream ss;
+  ss << "YUV4MPEG2 W64 H48 F30:1 C420\nFRAME\n";
+  ss << std::string(100, 'x');  // far fewer than 4608 bytes
+  Y4mReader reader(ss);
+  ASSERT_TRUE(reader.valid());
+  EXPECT_EQ(reader.read(), nullptr);
+}
+
+TEST(Y4m, FractionalFrameRate) {
+  std::istringstream is("YUV4MPEG2 W16 H16 F30000:1001 C420jpeg\n");
+  Y4mReader reader(is);
+  ASSERT_TRUE(reader.valid());
+  EXPECT_NEAR(reader.fps(), 29.97, 0.01);
+}
+
+TEST(Image, GrayFrameConvertsToGrayRgb) {
+  auto f = std::make_shared<mpeg2::Frame>(16, 16);
+  std::fill_n(f->y(), 16 * 16, 126);  // (126-16)*255/219 = 128.08
+  std::fill_n(f->cb(), 8 * 8, 128);
+  std::fill_n(f->cr(), 8 * 8, 128);
+  const auto rgb = to_rgb(*f);
+  ASSERT_EQ(rgb.size(), 16u * 16 * 3);
+  for (std::size_t i = 0; i < rgb.size(); ++i) {
+    EXPECT_NEAR(rgb[i], 128, 1) << i;
+  }
+}
+
+TEST(Image, RedCastFromCr) {
+  auto f = std::make_shared<mpeg2::Frame>(16, 16);
+  std::fill_n(f->y(), 16 * 16, 126);
+  std::fill_n(f->cb(), 8 * 8, 128);
+  std::fill_n(f->cr(), 8 * 8, 200);  // strong +Cr -> red
+  const auto rgb = to_rgb(*f);
+  EXPECT_GT(rgb[0], rgb[1]);  // R > G
+  EXPECT_GT(rgb[0], rgb[2]);  // R > B
+}
+
+TEST(Image, PpmHeaderAndSize) {
+  auto f = scene_frame(32, 16, 0);
+  std::ostringstream os;
+  write_ppm(os, *f);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("P6\n32 16\n255\n", 0), 0u);
+  EXPECT_EQ(out.size(), 13 + 32u * 16 * 3);
+}
+
+TEST(Image, DitherOutputShapeAndDeterminism) {
+  auto f = scene_frame(64, 48, 2);
+  const auto a = dither_rgb332(*f);
+  const auto b = dither_rgb332(*f);
+  EXPECT_EQ(a.size(), 64u * 48);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Image, DitherPreservesAverageBetterThanTruncation) {
+  // A mid-gray that falls between RGB332 levels: the dithered average must
+  // land nearer the true value than uniform truncation does.
+  auto f = std::make_shared<mpeg2::Frame>(64, 64);
+  std::fill_n(f->y(), 64 * 64, 120);  // between 3-bit levels
+  std::fill_n(f->cb(), 32 * 32, 128);
+  std::fill_n(f->cr(), 32 * 32, 128);
+  const auto idx = dither_rgb332(*f);
+  double dith_avg = 0;
+  for (const auto i : idx) {
+    std::uint8_t rgb[3];
+    rgb332_to_rgb(i, rgb);
+    dith_avg += rgb[1];  // green channel
+  }
+  dith_avg /= static_cast<double>(idx.size());
+  const auto true_rgb = to_rgb(*f);
+  const double want = true_rgb[1];
+  // Truncation error for this value is ~15+ levels; dither averages out.
+  EXPECT_NEAR(dith_avg, want, 8.0);
+}
+
+TEST(Image, DitherUsesMultiplePaletteEntriesOnGradients) {
+  auto f = scene_frame(64, 48, 0);
+  const auto idx = dither_rgb332(*f);
+  std::set<std::uint8_t> palette(idx.begin(), idx.end());
+  EXPECT_GT(palette.size(), 8u);
+  EXPECT_LE(palette.size(), 256u);
+}
+
+TEST(Image, MeanLumaOfFlatFrame) {
+  auto f = std::make_shared<mpeg2::Frame>(16, 16);
+  std::fill_n(f->y(), 16 * 16, 99);
+  EXPECT_DOUBLE_EQ(mean_luma(*f), 99.0);
+}
+
+}  // namespace
+}  // namespace pmp2::io

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/motion_est.h"
+#include "util/rng.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+TEST(MotionVectors, FCodeForRange) {
+  EXPECT_EQ(f_code_for_range(15), 1);   // f=1: [-16, 15]
+  EXPECT_EQ(f_code_for_range(16), 2);   // needs f=2: [-32, 31]
+  EXPECT_EQ(f_code_for_range(31), 2);
+  EXPECT_EQ(f_code_for_range(32), 3);
+  EXPECT_EQ(f_code_for_range(600), 7);
+}
+
+TEST(MotionVectors, ChromaDerivationTruncatesTowardZero) {
+  EXPECT_EQ(chroma_mv(3), 1);
+  EXPECT_EQ(chroma_mv(-3), -1);
+  EXPECT_EQ(chroma_mv(4), 2);
+  EXPECT_EQ(chroma_mv(-4), -2);
+  EXPECT_EQ(chroma_mv(0), 0);
+  EXPECT_EQ(chroma_mv(1), 0);
+  EXPECT_EQ(chroma_mv(-1), 0);
+}
+
+class MvRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MvRoundTrip, EncodeDecodeAllValuesInRange) {
+  const int f_code = GetParam();
+  const int f = 1 << (f_code - 1);
+  const int low = -16 * f;
+  const int high = 16 * f - 1;
+  // Every (pred, value) pair over a subsample of the range must round-trip.
+  Rng rng(f_code);
+  for (int t = 0; t < 2000; ++t) {
+    const int pred0 = rng.next_in(low, high);
+    const int value = rng.next_in(low, high);
+    BitWriter bw;
+    int enc_pred = pred0;
+    encode_mv_component(bw, f_code, value, enc_pred);
+    EXPECT_EQ(enc_pred, value);
+    bw.put(0, 16);  // padding
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    int dec_pred = pred0;
+    ASSERT_TRUE(decode_mv_component(br, f_code, dec_pred));
+    EXPECT_EQ(dec_pred, value) << "f_code " << f_code << " pred " << pred0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FCodes, MvRoundTrip, ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(MotionVectors, ZeroDeltaIsOneBit) {
+  BitWriter bw;
+  int pred = 5;
+  encode_mv_component(bw, 2, 5, pred);
+  EXPECT_EQ(bw.bit_count(), 1u);  // motion_code 0 = '1'
+}
+
+TEST(MotionVectors, WraparoundUsed) {
+  // Delta beyond +high wraps to a small negative code.
+  const int f_code = 1;  // range [-16, 15]
+  BitWriter bw;
+  int pred = 15;
+  encode_mv_component(bw, f_code, -16, pred);  // delta -31 -> wraps to +1
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  int dec_pred = 15;
+  ASSERT_TRUE(decode_mv_component(br, f_code, dec_pred));
+  EXPECT_EQ(dec_pred, -16);
+}
+
+// --- form_prediction -------------------------------------------------------
+
+FramePtr make_gradient_ptr(int w, int h) {
+  auto fp = std::make_shared<Frame>(w, h);
+  Frame& f = *fp;
+  for (int y = 0; y < f.coded_height(); ++y) {
+    for (int x = 0; x < f.y_stride(); ++x) {
+      f.y()[y * f.y_stride() + x] =
+          static_cast<std::uint8_t>((x * 3 + y * 7) & 0xFF);
+    }
+  }
+  for (int p = 1; p <= 2; ++p) {
+    for (int y = 0; y < f.coded_height() / 2; ++y) {
+      for (int x = 0; x < f.c_stride(); ++x) {
+        f.plane(p)[y * f.c_stride() + x] =
+            static_cast<std::uint8_t>((x * 5 + y * 11 + p) & 0xFF);
+      }
+    }
+  }
+  return fp;
+}
+
+TEST(FormPrediction, FullPelCopy) {
+  FramePtr ref_p = make_gradient_ptr(64, 48);
+  Frame& ref = *ref_p;
+  std::uint8_t dst[64];
+  form_prediction(ref.y(), ref.y_stride(), dst, 8, 16, 16, 8, 8, 2 * 3,
+                  2 * -2, McMode::kCopy);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(dst[r * 8 + c],
+                ref.y()[(16 - 2 + r) * ref.y_stride() + 16 + 3 + c]);
+    }
+  }
+}
+
+TEST(FormPrediction, HalfPelHorizontalAveraging) {
+  FramePtr ref_p = make_gradient_ptr(64, 48);
+  Frame& ref = *ref_p;
+  std::uint8_t dst[64];
+  form_prediction(ref.y(), ref.y_stride(), dst, 8, 8, 8, 8, 8, 1, 0,
+                  McMode::kCopy);
+  const int rs = ref.y_stride();
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      const int a = ref.y()[(8 + r) * rs + 8 + c];
+      const int b = ref.y()[(8 + r) * rs + 8 + c + 1];
+      EXPECT_EQ(dst[r * 8 + c], (a + b + 1) >> 1);
+    }
+  }
+}
+
+TEST(FormPrediction, HalfPelDiagonalAveraging) {
+  FramePtr ref_p = make_gradient_ptr(64, 48);
+  Frame& ref = *ref_p;
+  std::uint8_t dst[64];
+  form_prediction(ref.y(), ref.y_stride(), dst, 8, 8, 8, 8, 8, -1, -1,
+                  McMode::kCopy);
+  const int rs = ref.y_stride();
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      // -1 half-pel = integer offset -1 with half bit set.
+      const int a = ref.y()[(7 + r) * rs + 7 + c];
+      const int b = ref.y()[(7 + r) * rs + 8 + c];
+      const int cc = ref.y()[(8 + r) * rs + 7 + c];
+      const int d = ref.y()[(8 + r) * rs + 8 + c];
+      EXPECT_EQ(dst[r * 8 + c], (a + b + cc + d + 2) >> 2);
+    }
+  }
+}
+
+TEST(FormPrediction, AverageModeMatchesBidirectionalFormula) {
+  FramePtr ref_p = make_gradient_ptr(64, 48);
+  Frame& ref = *ref_p;
+  std::uint8_t dst[64];
+  // First pass: copy from one position.
+  form_prediction(ref.y(), ref.y_stride(), dst, 8, 0, 0, 8, 8, 0, 0,
+                  McMode::kCopy);
+  std::uint8_t first[64];
+  std::copy(std::begin(dst), std::end(dst), std::begin(first));
+  // Second pass: average with another position.
+  form_prediction(ref.y(), ref.y_stride(), dst, 8, 16, 8, 8, 8, 0, 0,
+                  McMode::kAverage);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      const int other = ref.y()[(8 + r) * ref.y_stride() + 16 + c];
+      EXPECT_EQ(dst[r * 8 + c], (first[r * 8 + c] + other + 1) >> 1);
+    }
+  }
+}
+
+TEST(McMacroblock, CopiesWholeMacroblockAtZeroMv) {
+  FramePtr ref_p = make_gradient_ptr(64, 48);
+  Frame& ref = *ref_p;
+  Frame dst(64, 48);
+  mc_macroblock(ref, 0, dst, 1, 1, 1, {0, 0}, McMode::kCopy);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_EQ(dst.y()[(16 + r) * dst.y_stride() + 16 + c],
+                ref.y()[(16 + r) * ref.y_stride() + 16 + c]);
+    }
+  }
+  for (int p = 1; p <= 2; ++p) {
+    for (int r = 0; r < 8; ++r) {
+      for (int c = 0; c < 8; ++c) {
+        EXPECT_EQ(dst.plane(p)[(8 + r) * dst.c_stride() + 8 + c],
+                  ref.plane(p)[(8 + r) * ref.c_stride() + 8 + c]);
+      }
+    }
+  }
+}
+
+// --- motion estimation -----------------------------------------------------
+
+TEST(MotionEstimation, FindsKnownShift) {
+  // cur = ref shifted right by 3 full pels: ME must find mv = (+6, 0)
+  // in half-pel units (prediction at cur position samples ref at +3).
+  FramePtr ref_p = make_gradient_ptr(96, 64);
+  Frame& ref = *ref_p;
+  Frame cur(96, 64);
+  const int rs = ref.y_stride();
+  for (int y = 0; y < cur.coded_height(); ++y) {
+    for (int x = 0; x < cur.y_stride(); ++x) {
+      const int sx = std::min(x + 3, cur.y_stride() - 1);
+      cur.y()[y * rs + x] = ref.y()[y * rs + sx];
+    }
+  }
+  const MeResult me = estimate_motion(ref, cur, 2, 2, 7);
+  EXPECT_EQ(me.mv.x, 6);
+  EXPECT_EQ(me.mv.y, 0);
+  EXPECT_EQ(me.sad, 0);
+}
+
+TEST(MotionEstimation, ExhaustiveAtLeastAsGoodAsFast) {
+  Rng rng(5);
+  FramePtr ref_p = make_gradient_ptr(96, 64);
+  Frame& ref = *ref_p;
+  Frame cur(96, 64);
+  for (int y = 0; y < cur.coded_height(); ++y) {
+    for (int x = 0; x < cur.y_stride(); ++x) {
+      cur.y()[y * cur.y_stride() + x] =
+          static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  for (int mb = 0; mb < 6; ++mb) {
+    const MeResult fast = estimate_motion(ref, cur, mb, 1, 4);
+    const MeResult full = estimate_motion_exhaustive(ref, cur, mb, 1, 4);
+    EXPECT_LE(full.sad, fast.sad);
+  }
+}
+
+TEST(MotionEstimation, ZeroSadOnIdenticalFrames) {
+  FramePtr ref_p = make_gradient_ptr(64, 48);
+  Frame& ref = *ref_p;
+  FramePtr cur_p = make_gradient_ptr(64, 48);
+  Frame& cur = *cur_p;
+  const MeResult me = estimate_motion(ref, cur, 1, 1, 7);
+  EXPECT_EQ(me.sad, 0);
+  EXPECT_EQ(me.mv.x, 0);
+  EXPECT_EQ(me.mv.y, 0);
+}
+
+TEST(MotionEstimation, IntraActivityOfFlatBlockIsZero) {
+  Frame f(64, 48);
+  std::fill_n(f.y(), f.y_stride() * f.coded_height(), 77);
+  EXPECT_EQ(intra_activity(f, 1, 1), 0);
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

@@ -1,0 +1,172 @@
+// MPEG-1 compatibility-mode tests: the paper parallelizes "the MPEG
+// standard" (both MPEG-1 and MPEG-2); this library decodes MPEG-1 streams
+// (no extensions, picture-header f_codes, MPEG-1 escape coding) through the
+// same slice core and both parallel decoders.
+#include <gtest/gtest.h>
+
+#include "bitstream/startcode.h"
+#include "mpeg2/decoder.h"
+#include "mpeg2/encoder.h"
+#include "parallel/gop_decoder.h"
+#include "parallel/slice_parallel.h"
+#include "streamgen/scene.h"
+#include "streamgen/stream_factory.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+streamgen::StreamSpec mpeg1_spec(int pictures = 26) {
+  streamgen::StreamSpec spec;
+  spec.width = 176;
+  spec.height = 120;
+  spec.gop_size = 13;
+  spec.pictures = pictures;
+  spec.bit_rate = 1'200'000;
+  spec.mpeg1 = true;
+  return spec;
+}
+
+TEST(Mpeg1, StreamHasNoExtensions) {
+  const auto stream = streamgen::generate_stream(mpeg1_spec(13));
+  const StreamStructure s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  EXPECT_TRUE(s.mpeg1);
+  // No 0xB5 extension startcodes anywhere.
+  for (const auto& sc : pmp2::scan_all_startcodes(stream)) {
+    EXPECT_NE(sc.code, 0xB5);
+  }
+}
+
+TEST(Mpeg1, Mpeg2StreamDetectedAsMpeg2) {
+  auto spec = mpeg1_spec(13);
+  spec.mpeg1 = false;
+  const auto stream = streamgen::generate_stream(spec);
+  const StreamStructure s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  EXPECT_FALSE(s.mpeg1);
+}
+
+TEST(Mpeg1, DecodesWithGoodQuality) {
+  const auto spec = mpeg1_spec();
+  const auto stream = streamgen::generate_stream(spec);
+  Decoder dec;
+  const DecodedStream out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.frames.size(), 26u);
+
+  streamgen::SceneConfig sc;
+  sc.width = spec.width;
+  sc.height = spec.height;
+  const streamgen::SceneGenerator scene(sc);
+  for (int i = 0; i < 26; i += 5) {
+    const auto src = scene.render(i);
+    EXPECT_GT(psnr_y(*src, *out.frames[static_cast<std::size_t>(i)]), 25.0)
+        << i;
+  }
+}
+
+TEST(Mpeg1, PictureHeaderCarriesFCodes) {
+  const auto stream = streamgen::generate_stream(mpeg1_spec(13));
+  const StreamStructure s = scan_structure(stream);
+  ASSERT_TRUE(s.valid);
+  // Parse the first P picture's headers: f_code must come from the header.
+  for (const auto& info : s.gops[0].pictures) {
+    if (info.type != PictureType::kP) continue;
+    BitReader br(stream);
+    br.seek_bytes(info.offset);
+    PictureHeader ph;
+    PictureCodingExtension pce;
+    ASSERT_TRUE(parse_picture_headers(br, ph, pce));
+    EXPECT_GE(ph.forward_f_code, 1);
+    EXPECT_LE(ph.forward_f_code, 7);
+    EXPECT_EQ(pce.f_code[0][0], ph.forward_f_code);
+    EXPECT_FALSE(ph.full_pel_forward);
+    return;
+  }
+  FAIL() << "no P picture found";
+}
+
+TEST(Mpeg1, EscapeLevelsRoundTrip) {
+  // Noise at the finest quantizer forces escape coding; MPEG-1 uses the
+  // 8/16-bit level form, which must round-trip through the decoder.
+  streamgen::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  const streamgen::SceneGenerator scene(sc);
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.gop_size = 4;
+  cfg.mpeg1 = true;
+  cfg.rate_control = false;
+  cfg.base_qscale_code = 2;
+  Encoder enc(cfg);
+  std::vector<FramePtr> src;
+  for (int i = 0; i < 4; ++i) {
+    src.push_back(scene.render(i));
+    enc.push_frame(scene.render(i));
+  }
+  const auto stream = enc.finish();
+  Decoder dec;
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  EXPECT_GT(psnr_y(*src[0], *out.frames[0]), 30.0);
+}
+
+TEST(Mpeg1, Mpeg2OnlyOptionsForcedOff) {
+  EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.mpeg1 = true;
+  cfg.intra_vlc_format = true;   // must be ignored
+  cfg.alternate_scan = true;     // must be ignored
+  cfg.q_scale_type = true;       // must be ignored
+  cfg.intra_dc_precision = 3;    // must be ignored
+  Encoder enc(cfg);
+  EXPECT_FALSE(enc.config().intra_vlc_format);
+  EXPECT_FALSE(enc.config().alternate_scan);
+  EXPECT_FALSE(enc.config().q_scale_type);
+  EXPECT_EQ(enc.config().intra_dc_precision, 0);
+}
+
+TEST(Mpeg1, ParallelDecodersBitExact) {
+  const auto stream = streamgen::generate_stream(mpeg1_spec(26));
+  Decoder dec;
+  std::uint64_t want = 0;
+  const auto st = dec.decode_stream(stream, [&](FramePtr f) {
+    want = parallel::chain_frame_checksum(want, *f);
+  });
+  ASSERT_TRUE(st.ok);
+
+  parallel::GopDecoderConfig gcfg;
+  gcfg.workers = 3;
+  const auto g = parallel::GopParallelDecoder(gcfg).decode(stream);
+  ASSERT_TRUE(g.ok);
+  EXPECT_EQ(g.checksum, want);
+
+  for (const auto policy :
+       {parallel::SlicePolicy::kSimple, parallel::SlicePolicy::kImproved}) {
+    parallel::SliceDecoderConfig scfg;
+    scfg.workers = 3;
+    scfg.policy = policy;
+    const auto s = parallel::SliceParallelDecoder(scfg).decode(stream);
+    ASSERT_TRUE(s.ok);
+    EXPECT_EQ(s.checksum, want);
+  }
+}
+
+TEST(Mpeg1, SmallerThanMpeg2ForSameContent) {
+  // Same content, same quantizer: the MPEG-1 stream should be comparable
+  // in size (slightly smaller: no extension headers).
+  auto spec1 = mpeg1_spec(13);
+  spec1.rate_control = false;
+  auto spec2 = spec1;
+  spec2.mpeg1 = false;
+  const auto s1 = streamgen::generate_stream(spec1);
+  const auto s2 = streamgen::generate_stream(spec2);
+  EXPECT_LT(s1.size(), s2.size());
+  EXPECT_GT(s1.size(), s2.size() / 2);
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2

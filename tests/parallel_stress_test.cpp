@@ -1,0 +1,150 @@
+// Stress and configuration-sweep tests for the threaded parallel decoders:
+// oversubscription, bounded queues, open-picture windows, repeated runs
+// (scheduling nondeterminism must never change the output), and
+// interleaved concurrent decoders.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mpeg2/decoder.h"
+#include "parallel/gop_decoder.h"
+#include "parallel/slice_parallel.h"
+#include "streamgen/stream_factory.h"
+
+namespace pmp2::parallel {
+namespace {
+
+const std::vector<std::uint8_t>& stress_stream() {
+  static const std::vector<std::uint8_t> s = [] {
+    streamgen::StreamSpec spec;
+    spec.width = 176;
+    spec.height = 120;
+    spec.gop_size = 4;
+    spec.pictures = 32;
+    spec.bit_rate = 1'500'000;
+    return streamgen::generate_stream(spec);
+  }();
+  return s;
+}
+
+std::uint64_t reference_checksum() {
+  static const std::uint64_t want = [] {
+    mpeg2::Decoder dec;
+    std::uint64_t digest = 0;
+    (void)dec.decode_stream(stress_stream(), [&](mpeg2::FramePtr f) {
+      digest = chain_frame_checksum(digest, *f);
+    });
+    return digest;
+  }();
+  return want;
+}
+
+TEST(ParallelStress, MassiveOversubscription) {
+  // 32 threads on (probably) 1 core: heavy preemption, still bit-exact.
+  GopDecoderConfig gcfg;
+  gcfg.workers = 32;
+  const RunResult g = GopParallelDecoder(gcfg).decode(stress_stream());
+  ASSERT_TRUE(g.ok);
+  EXPECT_EQ(g.checksum, reference_checksum());
+
+  SliceDecoderConfig scfg;
+  scfg.workers = 32;
+  const RunResult s = SliceParallelDecoder(scfg).decode(stress_stream());
+  ASSERT_TRUE(s.ok);
+  EXPECT_EQ(s.checksum, reference_checksum());
+}
+
+TEST(ParallelStress, RepeatedRunsIdenticalOutput) {
+  SliceDecoderConfig cfg;
+  cfg.workers = 4;
+  for (int run = 0; run < 5; ++run) {
+    const RunResult r = SliceParallelDecoder(cfg).decode(stress_stream());
+    ASSERT_TRUE(r.ok) << run;
+    EXPECT_EQ(r.checksum, reference_checksum()) << run;
+  }
+}
+
+TEST(ParallelStress, BoundedGopQueue) {
+  for (const std::size_t bound : {1u, 2u, 4u}) {
+    GopDecoderConfig cfg;
+    cfg.workers = 3;
+    cfg.max_queued_gops = bound;
+    const RunResult r = GopParallelDecoder(cfg).decode(stress_stream());
+    ASSERT_TRUE(r.ok) << bound;
+    EXPECT_EQ(r.checksum, reference_checksum()) << bound;
+  }
+}
+
+TEST(ParallelStress, OpenWindowSweep) {
+  for (const int window : {1, 2, 3, 6, 16}) {
+    SliceDecoderConfig cfg;
+    cfg.workers = 4;
+    cfg.policy = SlicePolicy::kImproved;
+    cfg.max_open_pictures = window;
+    const RunResult r = SliceParallelDecoder(cfg).decode(stress_stream());
+    ASSERT_TRUE(r.ok) << window;
+    EXPECT_EQ(r.checksum, reference_checksum()) << window;
+  }
+}
+
+TEST(ParallelStress, ConcurrentIndependentDecoders) {
+  // Two decoders running simultaneously in one process must not interfere
+  // (CP.2: no shared mutable state between instances).
+  std::uint64_t sum_a = 0, sum_b = 0;
+  std::jthread a([&] {
+    GopDecoderConfig cfg;
+    cfg.workers = 2;
+    sum_a = GopParallelDecoder(cfg).decode(stress_stream()).checksum;
+  });
+  std::jthread b([&] {
+    SliceDecoderConfig cfg;
+    cfg.workers = 2;
+    sum_b = SliceParallelDecoder(cfg).decode(stress_stream()).checksum;
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(sum_a, reference_checksum());
+  EXPECT_EQ(sum_b, reference_checksum());
+}
+
+TEST(ParallelStress, CallbackThrottlingDoesNotDeadlock) {
+  // A slow consumer must only slow things down, never wedge the pipeline.
+  SliceDecoderConfig cfg;
+  cfg.workers = 4;
+  int frames = 0;
+  const RunResult r =
+      SliceParallelDecoder(cfg).decode(stress_stream(), [&](mpeg2::FramePtr) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++frames;
+      });
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(frames, 32);
+}
+
+TEST(ParallelStress, SingleWorkerDegenerate) {
+  GopDecoderConfig gcfg;
+  gcfg.workers = 1;
+  EXPECT_EQ(GopParallelDecoder(gcfg).decode(stress_stream()).checksum,
+            reference_checksum());
+  SliceDecoderConfig scfg;
+  scfg.workers = 1;
+  scfg.policy = SlicePolicy::kSimple;
+  EXPECT_EQ(SliceParallelDecoder(scfg).decode(stress_stream()).checksum,
+            reference_checksum());
+}
+
+TEST(ParallelStress, SyncPlusComputeBounded) {
+  // Wall-clock sanity of the stats: no worker reports more busy+sync time
+  // than ~the whole run (with generous slack for timer granularity).
+  SliceDecoderConfig cfg;
+  cfg.workers = 3;
+  const RunResult r = SliceParallelDecoder(cfg).decode(stress_stream());
+  ASSERT_TRUE(r.ok);
+  const auto wall_ns = static_cast<std::int64_t>(r.wall_s * 1e9);
+  for (const auto& w : r.workers) {
+    EXPECT_LE(w.sync_ns, 2 * wall_ns + 10'000'000);
+  }
+}
+
+}  // namespace
+}  // namespace pmp2::parallel

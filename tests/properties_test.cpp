@@ -1,0 +1,169 @@
+// Cross-cutting property tests: transform identities (Parseval, DC shift,
+// linearity), quantizer monotonicity, motion-vector algebra, and a
+// parameterized whole-codec sweep across resolutions and GOP sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "mpeg2/dct.h"
+#include "mpeg2/decoder.h"
+#include "mpeg2/scan_quant.h"
+#include "streamgen/scene.h"
+#include "streamgen/stream_factory.h"
+#include "util/rng.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+TEST(Properties, DctParseval) {
+  // The DCT is orthonormal up to the defined scaling: energy in == energy
+  // out for the reference transform.
+  Rng rng(21);
+  for (int t = 0; t < 50; ++t) {
+    std::array<double, 64> in, out;
+    double e_in = 0;
+    for (auto& v : in) {
+      v = rng.next_in(-255, 255);
+      e_in += v * v;
+    }
+    fdct_reference(in, out);
+    double e_out = 0;
+    for (const auto v : out) e_out += v * v;
+    EXPECT_NEAR(e_out, e_in, 1e-6 * e_in + 1e-9);
+  }
+}
+
+TEST(Properties, DctDcShift) {
+  // Adding a constant c to all pels adds 8c to the DC and nothing else.
+  Rng rng(22);
+  std::array<double, 64> a, b, fa, fb;
+  for (int i = 0; i < 64; ++i) {
+    a[i] = rng.next_in(0, 200);
+    b[i] = a[i] + 31;
+  }
+  fdct_reference(a, fa);
+  fdct_reference(b, fb);
+  EXPECT_NEAR(fb[0] - fa[0], 8.0 * 31, 1e-9);
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(fb[i], fa[i], 1e-9) << i;
+}
+
+TEST(Properties, DctLinearity) {
+  Rng rng(23);
+  std::array<double, 64> a, b, sum, fa, fb, fsum;
+  for (int i = 0; i < 64; ++i) {
+    a[i] = rng.next_in(-100, 100);
+    b[i] = rng.next_in(-100, 100);
+    sum[i] = a[i] + b[i];
+  }
+  fdct_reference(a, fa);
+  fdct_reference(b, fb);
+  fdct_reference(sum, fsum);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(fsum[i], fa[i] + fb[i], 1e-9);
+}
+
+TEST(Properties, CoarserQuantizerNeverIncreasesLevels) {
+  Rng rng(24);
+  QuantContext fine, coarse;
+  fine.matrix = coarse.matrix = default_non_intra_matrix().data();
+  fine.quantiser_scale = quantiser_scale(4, false);
+  coarse.quantiser_scale = quantiser_scale(24, false);
+  for (int t = 0; t < 100; ++t) {
+    std::array<double, 64> dct;
+    for (auto& v : dct) v = rng.next_in(-700, 700);
+    Block qf, qc;
+    quantize_non_intra(dct, qf, fine);
+    quantize_non_intra(dct, qc, coarse);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_LE(std::abs(qc[i]), std::abs(qf[i])) << i;
+    }
+  }
+}
+
+TEST(Properties, DequantizeMagnitudeMonotoneInLevel) {
+  QuantContext q;
+  q.matrix = default_non_intra_matrix().data();
+  q.quantiser_scale = quantiser_scale(8, false);
+  int prev = 0;
+  for (int level = 1; level <= 40; ++level) {
+    Block b{};
+    b[5] = static_cast<std::int16_t>(level);
+    dequantize_non_intra(b, q);
+    EXPECT_GT(b[5], prev) << level;
+    prev = b[5];
+  }
+}
+
+TEST(Properties, DequantizeOddSymmetry) {
+  // dequant(-q) == -dequant(q) for non-intra AC (before mismatch control,
+  // which only touches coefficient 63).
+  Rng rng(25);
+  QuantContext q;
+  q.matrix = default_non_intra_matrix().data();
+  q.quantiser_scale = quantiser_scale(11, false);
+  for (int t = 0; t < 100; ++t) {
+    const int pos = 1 + static_cast<int>(rng.next_below(62));
+    const int level = rng.next_in(1, 40);
+    Block a{}, b{};
+    a[pos] = static_cast<std::int16_t>(level);
+    b[pos] = static_cast<std::int16_t>(-level);
+    dequantize_non_intra(a, q);
+    dequantize_non_intra(b, q);
+    EXPECT_EQ(a[pos], -b[pos]);
+  }
+}
+
+TEST(Properties, ScanInverseIsConsistent) {
+  // Writing levels through a scan and reading them back through the same
+  // scan recovers the sequence, for both scans.
+  Rng rng(26);
+  for (const bool alt : {false, true}) {
+    const auto& scan = scan_order(alt);
+    std::array<std::int16_t, 64> seq;
+    for (auto& v : seq) v = static_cast<std::int16_t>(rng.next_in(-99, 99));
+    Block raster{};
+    for (int i = 0; i < 64; ++i) raster[scan[i]] = seq[i];
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(raster[scan[i]], seq[i]);
+  }
+}
+
+// --- whole-codec sweep -------------------------------------------------------
+
+struct SweepParam {
+  int width, height, gop;
+};
+
+class CodecSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CodecSweep, EncodesDecodesWithSaneQuality) {
+  const auto p = GetParam();
+  streamgen::StreamSpec spec;
+  spec.width = p.width;
+  spec.height = p.height;
+  spec.gop_size = p.gop;
+  spec.pictures = 2 * p.gop;
+  spec.bit_rate = 2'000'000;
+  const auto stream = streamgen::generate_stream(spec);
+  Decoder dec;
+  const auto out = dec.decode(stream);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.frames.size(), static_cast<std::size_t>(spec.pictures));
+  streamgen::SceneConfig sc;
+  sc.width = p.width;
+  sc.height = p.height;
+  const streamgen::SceneGenerator scene(sc);
+  for (int i = 0; i < spec.pictures; i += p.gop / 2 + 1) {
+    const auto src = scene.render(i);
+    EXPECT_GT(psnr_y(*src, *out.frames[static_cast<std::size_t>(i)]), 24.0)
+        << p.width << "x" << p.height << " gop " << p.gop << " pic " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CodecSweep,
+    ::testing::Values(SweepParam{64, 48, 4}, SweepParam{64, 48, 13},
+                      SweepParam{90, 60, 4}, SweepParam{176, 120, 7},
+                      SweepParam{176, 120, 16}, SweepParam{112, 80, 31}));
+
+}  // namespace
+}  // namespace pmp2::mpeg2

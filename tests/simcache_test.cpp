@@ -1,0 +1,289 @@
+// Cache-simulator tests: hit/miss mechanics, LRU, miss classification
+// (cold/capacity/conflict, true/false sharing), and the decoder-trace
+// properties the paper's §5.3 relies on.
+#include <gtest/gtest.h>
+
+#include "simcache/cache.h"
+#include "simcache/trace_gen.h"
+#include "streamgen/stream_factory.h"
+
+namespace pmp2::simcache {
+namespace {
+
+CacheConfig small_cache(int line = 64, int assoc = 1,
+                        std::int64_t size = 4096) {
+  CacheConfig c;
+  c.size_bytes = size;
+  c.line_bytes = line;
+  c.associativity = assoc;
+  return c;
+}
+
+TEST(Cache, FirstAccessIsColdMiss) {
+  Cache c(small_cache());
+  EXPECT_EQ(c.access(0x1000, 8, false), 1);
+  EXPECT_EQ(c.stats().read_misses, 1u);
+  EXPECT_EQ(c.stats().read_cold, 1u);
+  EXPECT_EQ(c.access(0x1000, 8, false), 0);  // now hits
+  EXPECT_EQ(c.stats().read_misses, 1u);
+  EXPECT_EQ(c.stats().reads, 2u);
+}
+
+TEST(Cache, AccessSpanningTwoLines) {
+  Cache c(small_cache(64));
+  EXPECT_EQ(c.access(0x103C, 8, false), 2);  // crosses the 0x1040 boundary
+  EXPECT_EQ(c.access(0x103C, 8, false), 0);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // Two lines mapping to the same set of a direct-mapped cache evict each
+  // other: second round of accesses are conflict misses (they fit in the
+  // fully associative shadow).
+  const auto cfg = small_cache(64, 1, 4096);  // 64 sets
+  Cache c(cfg);
+  const std::uint64_t a = 0x0000;
+  const std::uint64_t b = a + 4096;  // same set, different tag
+  c.access(a, 4, false);
+  c.access(b, 4, false);
+  c.access(a, 4, false);
+  c.access(b, 4, false);
+  EXPECT_EQ(c.stats().read_misses, 4u);
+  EXPECT_EQ(c.stats().read_cold, 2u);
+  EXPECT_EQ(c.stats().read_conflict, 2u);
+  EXPECT_EQ(c.stats().read_capacity, 0u);
+}
+
+TEST(Cache, TwoWaySetFixesThatConflict) {
+  Cache c(small_cache(64, 2, 4096));
+  const std::uint64_t a = 0x0000;
+  const std::uint64_t b = a + 4096;
+  c.access(a, 4, false);
+  c.access(b, 4, false);
+  c.access(a, 4, false);
+  c.access(b, 4, false);
+  EXPECT_EQ(c.stats().read_misses, 2u);  // only the cold pair
+}
+
+TEST(Cache, CapacityMissesWhenWorkingSetExceedsCache) {
+  // Fully associative 4 KB cache, 64 lines; stream 128 distinct lines
+  // twice: second pass is all capacity misses.
+  Cache c(small_cache(64, 0, 4096));
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 128; ++i) {
+      c.access(static_cast<std::uint64_t>(i) * 64, 4, false);
+    }
+  }
+  EXPECT_EQ(c.stats().read_cold, 128u);
+  EXPECT_EQ(c.stats().read_capacity, 128u);
+  EXPECT_EQ(c.stats().read_conflict, 0u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-line fully associative cache: A B A C -> C evicts B, not A.
+  Cache c(small_cache(64, 0, 128));
+  c.access(0x000, 4, false);  // A cold
+  c.access(0x040, 4, false);  // B cold
+  c.access(0x000, 4, false);  // A hit
+  c.access(0x080, 4, false);  // C cold, evicts B (LRU)
+  c.access(0x000, 4, false);  // A must still hit
+  EXPECT_EQ(c.stats().read_misses, 3u);
+}
+
+TEST(MultiCache, WriteInvalidatesOtherCaches) {
+  MultiCacheSim sim(2, small_cache());
+  sim.on_ref({0x1000, 8, 0, false});  // P0 reads
+  sim.on_ref({0x1000, 8, 1, false});  // P1 reads
+  sim.on_ref({0x1000, 8, 1, true});   // P1 writes -> invalidates P0
+  sim.on_ref({0x1000, 8, 0, false});  // P0 re-reads: coherence miss
+  EXPECT_EQ(sim.stats(0).read_misses, 2u);
+  EXPECT_EQ(sim.stats(0).true_sharing, 1u);  // same bytes written
+  EXPECT_EQ(sim.stats(0).false_sharing, 0u);
+}
+
+TEST(MultiCache, FalseSharingDetected) {
+  MultiCacheSim sim(2, small_cache(64));
+  sim.on_ref({0x1000, 8, 0, false});  // P0 reads bytes 0..7
+  sim.on_ref({0x1020, 8, 1, true});   // P1 writes bytes 32..39 (same line)
+  sim.on_ref({0x1000, 8, 0, false});  // P0 re-reads bytes 0..7: false share
+  EXPECT_EQ(sim.stats(0).false_sharing, 1u);
+  EXPECT_EQ(sim.stats(0).true_sharing, 0u);
+}
+
+TEST(MultiCache, NoInvalidationOnOwnWrite) {
+  MultiCacheSim sim(2, small_cache());
+  sim.on_ref({0x2000, 8, 0, false});
+  sim.on_ref({0x2000, 8, 0, true});
+  sim.on_ref({0x2000, 8, 0, false});
+  EXPECT_EQ(sim.stats(0).read_misses, 1u);
+}
+
+// --- Decoder traces ---------------------------------------------------------
+
+const std::vector<std::uint8_t>& tiny_stream() {
+  static const std::vector<std::uint8_t> s = [] {
+    streamgen::StreamSpec spec;
+    spec.width = 176;
+    spec.height = 120;
+    spec.gop_size = 13;
+    spec.pictures = 13;
+    spec.bit_rate = 1'500'000;
+    return streamgen::generate_stream(spec);
+  }();
+  return s;
+}
+
+TEST(TraceGen, ProducesReferences) {
+  TraceRecorder rec;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 1, rec));
+  EXPECT_GT(rec.refs().size(), 100'000u);
+  for (const auto& r : rec.refs()) EXPECT_EQ(r.proc, 0u);
+}
+
+TEST(TraceGen, DynamicAssignmentCoversAllProcs) {
+  TraceRecorder rec;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 4, rec));
+  bool seen[4] = {};
+  for (const auto& r : rec.refs()) {
+    ASSERT_LT(r.proc, 4u);
+    seen[r.proc] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(TraceGen, RoundRobinAssignmentIsPeriodic) {
+  TraceRecorder rec;
+  TraceOptions opt;
+  opt.procs = 4;
+  opt.assignment = SliceAssignment::kRoundRobin;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), rec, opt));
+  bool seen[4] = {};
+  for (const auto& r : rec.refs()) seen[r.proc] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(TraceGen, PooledBuffersReuseAddresses) {
+  // Pooled: few distinct frame windows; fresh: one window per picture.
+  auto distinct_windows = [](const TraceRecorder& rec) {
+    std::set<std::uint64_t> windows;
+    for (const auto& r : rec.refs()) {
+      if (r.addr >= mpeg2::trace_layout::kFrameBase) {
+        windows.insert((r.addr - mpeg2::trace_layout::kFrameBase) /
+                       mpeg2::trace_layout::kFrameWindow);
+      }
+    }
+    return windows.size();
+  };
+  TraceRecorder pooled, fresh;
+  TraceOptions opt;
+  opt.procs = 1;
+  opt.pooled_buffers = true;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), pooled, opt));
+  opt.pooled_buffers = false;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), fresh, opt));
+  EXPECT_LE(distinct_windows(pooled), 6u);
+  EXPECT_EQ(distinct_windows(fresh), 13u);  // one per picture
+}
+
+TEST(TraceGen, PooledSliceTraceShowsCoherenceMisses) {
+  // The slice decoder's buffer reuse is what makes sharing observable.
+  TraceOptions opt;
+  opt.procs = 4;
+  opt.pooled_buffers = true;
+  CacheConfig cfg;
+  cfg.size_bytes = 4 << 20;
+  cfg.line_bytes = 64;
+  cfg.associativity = 0;
+  MultiCacheSim sim(4, cfg);
+  simcache::TraceTee tee;
+  tee.add(&sim);
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), tee, opt));
+  const auto total = sim.total_stats();
+  EXPECT_GT(total.true_sharing + total.false_sharing, 0u);
+}
+
+TEST(TraceGen, Deterministic) {
+  TraceRecorder a, b;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 2, a));
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 2, b));
+  ASSERT_EQ(a.refs().size(), b.refs().size());
+  for (std::size_t i = 0; i < a.refs().size(); i += 997) {
+    EXPECT_EQ(a.refs()[i].addr, b.refs()[i].addr);
+    EXPECT_EQ(a.refs()[i].proc, b.refs()[i].proc);
+    EXPECT_EQ(a.refs()[i].write, b.refs()[i].write);
+  }
+}
+
+TEST(TraceGen, SpatialLocalityMissRateHalvesWithLineSize) {
+  // The paper's Fig. 13: with a large cache, read miss rate halves as the
+  // line size doubles.
+  TraceRecorder rec;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 1, rec));
+  double prev_rate = 1.0;
+  for (const int line : {16, 32, 64, 128}) {
+    CacheConfig cfg;
+    cfg.size_bytes = 1 << 20;
+    cfg.line_bytes = line;
+    cfg.associativity = 0;  // fully associative, as in the paper
+    MultiCacheSim sim(1, cfg);
+    rec.replay(sim);
+    const double rate = sim.stats(0).read_miss_rate();
+    if (line > 16) {
+      EXPECT_LT(rate, prev_rate * 0.65) << "line " << line;
+      EXPECT_GT(rate, prev_rate * 0.30) << "line " << line;
+    }
+    prev_rate = rate;
+  }
+}
+
+TEST(TraceGen, ColdDominatesAtLargeCache) {
+  // Fig. 15: with a 1 MB cache the miss rate is dominated by cold misses.
+  TraceRecorder rec;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 1, rec));
+  CacheConfig cfg;
+  cfg.size_bytes = 1 << 20;
+  cfg.line_bytes = 64;
+  cfg.associativity = 2;
+  MultiCacheSim sim(1, cfg);
+  rec.replay(sim);
+  const auto& s = sim.stats(0);
+  EXPECT_LT(s.read_capacity, s.read_cold);
+}
+
+TEST(TraceGen, WorkingSetFitsInSmallCache) {
+  // Fig. 14: the working set is macroblock-reconstruction-sized; going
+  // from 64 KB to 1 MB barely improves the miss rate.
+  TraceRecorder rec;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 1, rec));
+  auto rate_at = [&](std::int64_t size) {
+    CacheConfig cfg;
+    cfg.size_bytes = size;
+    cfg.line_bytes = 64;
+    cfg.associativity = 2;
+    MultiCacheSim sim(1, cfg);
+    rec.replay(sim);
+    return sim.stats(0).read_miss_rate();
+  };
+  const double rate_4k = rate_at(4 << 10);
+  const double rate_64k = rate_at(64 << 10);
+  const double rate_1m = rate_at(1 << 20);
+  EXPECT_GT(rate_4k, rate_64k);
+  // Beyond the working set, larger caches help little (<25% relative).
+  EXPECT_LT((rate_64k - rate_1m) / rate_64k, 0.25);
+}
+
+TEST(TraceGen, SharedDecodeHasLowCommunication) {
+  // §5.3: even at 8 processors, sharing misses are small relative to cold.
+  TraceRecorder rec;
+  ASSERT_TRUE(generate_decode_trace(tiny_stream(), 8, rec));
+  CacheConfig cfg;
+  cfg.size_bytes = 1 << 20;
+  cfg.line_bytes = 64;
+  cfg.associativity = 2;
+  MultiCacheSim sim(8, cfg);
+  rec.replay(sim);
+  const MissStats total = sim.total_stats();
+  EXPECT_LT(total.true_sharing + total.false_sharing, total.cold);
+}
+
+}  // namespace
+}  // namespace pmp2::simcache

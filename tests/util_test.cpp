@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace pmp2 {
+namespace {
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  // Space form binds the next non-flag token as the value, so positionals
+  // must precede flags (or flags must use the = form).
+  const char* argv[] = {"prog", "pos1", "--alpha=3", "--beta", "7",
+                        "--gamma", "--delta=x,y"};
+  const Flags flags(7, argv);
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_EQ(flags.get_int("beta", 0), 7);
+  EXPECT_TRUE(flags.get_bool("gamma", false));  // bare flag -> true
+  EXPECT_EQ(flags.get_string("delta", ""), "x,y");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Flags flags(1, argv);
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.get_string("missing", "d"), "d");
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, IntListParsing) {
+  const char* argv[] = {"prog", "--workers=1,2,4,8"};
+  const Flags flags(2, argv);
+  EXPECT_EQ(flags.get_int_list("workers", {}),
+            (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(flags.get_int_list("absent", {3}), (std::vector<int>{3}));
+}
+
+TEST(Flags, UnusedReportsUnqueried) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  const Flags flags(3, argv);
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=no", "--d=true"};
+  const Flags flags(5, argv);
+  EXPECT_FALSE(flags.get_bool("a", true));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_FALSE(flags.get_bool("c", true));
+  EXPECT_TRUE(flags.get_bool("d", false));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long header"});
+  t.add_row({"xxxxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a      | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxxxx | 1           |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(10.0, 0), "10");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; row padded to 3 cells
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Series, PrintsPointsInOrder) {
+  Series s("x", {"y1", "y2"});
+  s.add_point(1, {0.5, 1.5});
+  s.add_point(2, {0.25, 2.5});
+  std::ostringstream os;
+  s.print(os, 2);
+  const std::string out = os.str();
+  EXPECT_LT(out.find("0.50"), out.find("0.25"));
+}
+
+TEST(Timer, WallTimerAdvances) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(t.elapsed_ns(), 4'000'000);
+  t.reset();
+  EXPECT_LT(t.elapsed_ns(), 4'000'000);
+}
+
+TEST(Timer, ThreadCpuTimerIgnoresSleep) {
+  ThreadCpuTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Sleeping burns (almost) no CPU time.
+  EXPECT_LT(t.elapsed_ns(), 10'000'000);
+}
+
+TEST(Timer, AccumulatorSumsScopes) {
+  TimeAccumulator acc;
+  {
+    TimeAccumulator::Scope scope(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  {
+    TimeAccumulator::Scope scope(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  EXPECT_GE(acc.total_ns(), 5'000'000);
+  acc.reset();
+  EXPECT_EQ(acc.total_ns(), 0);
+}
+
+}  // namespace
+}  // namespace pmp2

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/types.h"
+#include "mpeg2/vlc_tables.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+/// Checks pairwise prefix-freeness of an entry list.
+void expect_prefix_free(std::span<const VlcEntry> entries,
+                        const char* table_name) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (i == j) continue;
+      const auto& a = entries[i];
+      const auto& b = entries[j];
+      if (a.len > b.len) continue;
+      const std::uint32_t b_prefix = b.code >> (b.len - a.len);
+      EXPECT_NE(a.code, b_prefix)
+          << table_name << ": code of value " << a.value
+          << " is a prefix of code of value " << b.value;
+    }
+  }
+}
+
+/// Checks no two entries share a value (encode map would be ambiguous).
+void expect_unique_values(std::span<const VlcEntry> entries,
+                          const char* table_name) {
+  std::set<std::int16_t> seen;
+  for (const auto& e : entries) {
+    EXPECT_TRUE(seen.insert(e.value).second)
+        << table_name << ": duplicate value " << e.value;
+  }
+}
+
+/// Every entry must decode back to its own value through the VlcDecoder.
+void expect_decoder_roundtrip(std::span<const VlcEntry> entries,
+                              const VlcDecoder& dec, const char* table_name) {
+  for (const auto& e : entries) {
+    BitWriter bw;
+    bw.put(e.code, e.len);
+    bw.put(0, 24);  // padding so peek() has bits
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    std::int16_t value;
+    ASSERT_TRUE(dec.decode(br, value)) << table_name;
+    EXPECT_EQ(value, e.value) << table_name;
+    EXPECT_EQ(br.bit_position(), e.len) << table_name;
+  }
+}
+
+struct NamedTable {
+  const char* name;
+  std::span<const VlcEntry> entries;
+  const VlcDecoder* decoder;
+};
+
+std::vector<NamedTable> all_tables() {
+  return {
+      {"B-1 mb_addr_inc", mb_addr_inc_entries(), &mb_addr_inc_decoder()},
+      {"B-2 mb_type I", mb_type_i_entries(), &mb_type_decoder(1)},
+      {"B-3 mb_type P", mb_type_p_entries(), &mb_type_decoder(2)},
+      {"B-4 mb_type B", mb_type_b_entries(), &mb_type_decoder(3)},
+      {"B-9 cbp", coded_block_pattern_entries(),
+       &coded_block_pattern_decoder()},
+      {"B-10 motion", motion_code_entries(), &motion_code_decoder()},
+      {"B-12 dc size luma", dct_dc_size_luma_entries(),
+       &dct_dc_size_luma_decoder()},
+      {"B-13 dc size chroma", dct_dc_size_chroma_entries(),
+       &dct_dc_size_chroma_decoder()},
+      {"B-14 dct zero", dct_table_zero_entries(), &dct_table_decoder(false)},
+      {"B-15 dct one", dct_table_one_entries(), &dct_table_decoder(true)},
+  };
+}
+
+TEST(VlcTables, AllTablesPrefixFree) {
+  for (const auto& t : all_tables()) expect_prefix_free(t.entries, t.name);
+}
+
+TEST(VlcTables, AllTablesUniqueValues) {
+  for (const auto& t : all_tables()) expect_unique_values(t.entries, t.name);
+}
+
+TEST(VlcTables, AllTablesDecoderRoundTrip) {
+  for (const auto& t : all_tables()) {
+    expect_decoder_roundtrip(t.entries, *t.decoder, t.name);
+  }
+}
+
+TEST(VlcTables, MbAddrIncrementCoversOneTo33) {
+  std::set<int> values;
+  for (const auto& e : mb_addr_inc_entries()) values.insert(e.value);
+  for (int i = 1; i <= 33; ++i) {
+    EXPECT_TRUE(values.count(i)) << "missing increment " << i;
+  }
+  EXPECT_TRUE(values.count(kVlcEscape));
+}
+
+TEST(VlcTables, CbpCoversAll64Values) {
+  std::set<int> values;
+  for (const auto& e : coded_block_pattern_entries()) values.insert(e.value);
+  for (int i = 0; i <= 63; ++i) EXPECT_TRUE(values.count(i)) << i;
+}
+
+TEST(VlcTables, MotionCodeCoversFullRange) {
+  std::set<int> values;
+  for (const auto& e : motion_code_entries()) values.insert(e.value);
+  for (int i = -16; i <= 16; ++i) EXPECT_TRUE(values.count(i)) << i;
+  // Sign structure: the negative code is the positive code with the last
+  // bit set.
+  std::map<int, const VlcEntry*> by_value;
+  for (const auto& e : motion_code_entries()) by_value[e.value] = &e;
+  for (int i = 1; i <= 16; ++i) {
+    const auto* pos = by_value[i];
+    const auto* neg = by_value[-i];
+    EXPECT_EQ(pos->len, neg->len);
+    EXPECT_EQ(pos->code | 1u, neg->code);
+    EXPECT_EQ(pos->code & 1u, 0u);
+  }
+}
+
+TEST(VlcTables, WellKnownCodes) {
+  // Spot-check against the published tables.
+  EXPECT_EQ(encode_mb_addr_inc(1).bits, 0b1u);
+  EXPECT_EQ(encode_mb_addr_inc(1).len, 1);
+  EXPECT_EQ(encode_mb_addr_inc(8).bits, 0b0000111u);
+  EXPECT_EQ(encode_mb_addr_inc(8).len, 7);
+  EXPECT_EQ(encode_mb_addr_inc(33).len, 11);
+
+  EXPECT_EQ(encode_mb_type(1, MbFlags::kIntra).len, 1);
+  EXPECT_EQ(
+      encode_mb_type(2, MbFlags::kMotionForward | MbFlags::kPattern).len, 1);
+  EXPECT_EQ(
+      encode_mb_type(3, MbFlags::kMotionForward | MbFlags::kMotionBackward)
+          .len,
+      2);
+
+  EXPECT_EQ(encode_coded_block_pattern(60).bits, 0b111u);
+  EXPECT_EQ(encode_coded_block_pattern(60).len, 3);
+  EXPECT_EQ(encode_coded_block_pattern(0).len, 9);
+
+  EXPECT_EQ(encode_motion_code(0).len, 1);
+  EXPECT_EQ(encode_motion_code(1).bits, 0b010u);
+  EXPECT_EQ(encode_motion_code(-1).bits, 0b011u);
+
+  EXPECT_EQ(encode_dct_dc_size(true, 0).bits, 0b100u);
+  EXPECT_EQ(encode_dct_dc_size(false, 0).bits, 0b00u);
+
+  // B-14: EOB = '10', 0/1 = '11', 1/1 = '011'.
+  EXPECT_EQ(dct_eob_code(false).bits, 0b10u);
+  EXPECT_EQ(dct_eob_code(false).len, 2);
+  EXPECT_EQ(encode_dct_run_level(false, 0, 1).bits, 0b11u);
+  EXPECT_EQ(encode_dct_run_level(false, 1, 1).bits, 0b011u);
+  EXPECT_EQ(encode_dct_run_level(false, 0, 40).len, 15);
+  EXPECT_EQ(encode_dct_run_level(false, 31, 1).len, 16);
+  // B-15: EOB = '0110', 0/1 = '10'.
+  EXPECT_EQ(dct_eob_code(true).bits, 0b0110u);
+  EXPECT_EQ(encode_dct_run_level(true, 0, 1).bits, 0b10u);
+  EXPECT_EQ(dct_escape_code().bits, 0b000001u);
+  EXPECT_EQ(dct_escape_code().len, 6);
+}
+
+TEST(VlcTables, MissingRunLevelFallsBackToEscape) {
+  // (run, level) pairs with no code return len 0 -> escape coding.
+  EXPECT_EQ(encode_dct_run_level(false, 31, 2).len, 0);
+  EXPECT_EQ(encode_dct_run_level(false, 5, 40).len, 0);
+  EXPECT_EQ(encode_dct_run_level(false, 40, 1).len, 0);
+  EXPECT_EQ(encode_dct_run_level(false, 0, 41).len, 0);
+}
+
+TEST(VlcTables, TableOneInheritsLongCodesFromTableZero) {
+  // Every (run, level) with a B-14 code must also have a B-15 code
+  // (reassigned short or inherited long).
+  for (const auto& e : dct_table_zero_entries()) {
+    if (e.value < 0) continue;  // EOB/escape handled separately
+    const Code c = encode_dct_run_level(true, unpack_run(e.value),
+                                        unpack_level(e.value));
+    EXPECT_NE(c.len, 0) << "run " << unpack_run(e.value) << " level "
+                        << unpack_level(e.value);
+  }
+}
+
+TEST(TwoLevelVlcDecoder, ExhaustivelyMatchesFlatDecoder) {
+  // Every possible max_len-bit pattern must resolve identically in the
+  // flat and two-level decoders, for every table and several split points.
+  for (const auto& t : all_tables()) {
+    for (const int primary_bits : {4, 8, 12}) {
+      const TwoLevelVlcDecoder two(t.entries, primary_bits);
+      ASSERT_EQ(two.max_len(), t.decoder->max_len()) << t.name;
+      const std::uint32_t patterns = 1u << two.max_len();
+      for (std::uint32_t p = 0; p < patterns; ++p) {
+        const auto a = t.decoder->lookup(p);
+        const auto b = two.lookup(p);
+        ASSERT_EQ(a.len, b.len) << t.name << " split " << primary_bits
+                                << " pattern " << p;
+        if (a.len != 0) {
+          ASSERT_EQ(a.value, b.value)
+              << t.name << " split " << primary_bits << " pattern " << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(TwoLevelVlcDecoder, MuchSmallerForDctTables) {
+  const TwoLevelVlcDecoder two(dct_table_zero_entries(), 8);
+  // Flat table: 2^16 x 4 bytes = 256 KB. Two-level: a few KB.
+  EXPECT_LT(two.table_bytes(), 24u << 10);
+}
+
+TEST(TwoLevelVlcDecoder, DecodeFromBitReader) {
+  const TwoLevelVlcDecoder two(dct_table_zero_entries(), 8);
+  BitWriter bw;
+  encode_dct_run_level(false, 31, 1).put(bw);  // a 16-bit code
+  bw.put(0, 16);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  std::int16_t value;
+  ASSERT_TRUE(two.decode(br, value));
+  EXPECT_EQ(unpack_run(value), 31);
+  EXPECT_EQ(unpack_level(value), 1);
+  EXPECT_EQ(br.bit_position(), 16u);
+}
+
+TEST(VlcDecoder, InvalidCodeRejected) {
+  // All-zero bits of max length are not a valid mb_addr_inc code.
+  const std::vector<std::uint8_t> zeros(8, 0);
+  BitReader br(zeros);
+  std::int16_t value;
+  EXPECT_FALSE(mb_addr_inc_decoder().decode(br, value));
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2
