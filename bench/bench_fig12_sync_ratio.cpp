@@ -2,6 +2,10 @@
 // number of workers, for the simple and improved slice versions. The ratio
 // generally rises with workers and dips where slices/P divides evenly
 // (the reversed knees of Fig. 11).
+//
+// The ratio comes from the shared parallel::summarize_load() derivation
+// (via SimResult::load_summary), and --report-out=PATH emits the full
+// per-policy load summaries as a structured JSON report.
 #include "bench/common.h"
 #include "sched/sim.h"
 
@@ -14,6 +18,10 @@ int main(int argc, char** argv) {
   const auto worker_list =
       flags.get_int_list("workers", {2, 3, 4, 5, 6, 7, 8, 10, 12, 14});
   const int gop = static_cast<int>(flags.get_int("gop", 13));
+
+  obs::RunReport report("bench_fig12_sync_ratio",
+                        "Slice-version sync/exec ratio vs workers (Fig. 12)");
+  report.set_meta("gop_size", gop);
 
   for (const auto& res : bench::resolutions(flags)) {
     if (res.width < 352) continue;
@@ -30,14 +38,24 @@ int main(int argc, char** argv) {
     for (const int workers : worker_list) {
       sched::SimConfig cfg;
       cfg.workers = workers;
-      const double simple =
+      const auto simple_load =
           sched::simulate_slice(profile, cfg, parallel::SlicePolicy::kSimple)
-              .sync_ratio();
-      const double improved =
+              .load_summary();
+      const auto improved_load =
           sched::simulate_slice(profile, cfg,
                                 parallel::SlicePolicy::kImproved)
-              .sync_ratio();
-      series.add_point(workers, {simple, improved});
+              .load_summary();
+      series.add_point(workers,
+                       {simple_load.sync_ratio, improved_load.sync_ratio});
+      for (const auto* policy_load : {&simple_load, &improved_load}) {
+        auto& row = report.add_row();
+        row.set("width", res.width)
+            .set("height", res.height)
+            .set("slices_per_picture", profile.slices_per_picture)
+            .set("policy",
+                 policy_load == &simple_load ? "simple" : "improved");
+        bench::append_load_summary(row, *policy_load);
+      }
     }
     series.print(std::cout, 3);
   }
@@ -45,5 +63,5 @@ int main(int argc, char** argv) {
                " ratio increases (or stays flat) with workers, dropping"
                " whenever slices/workers divides more evenly. Task-queue"
                " time itself is negligible vs barrier waiting.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

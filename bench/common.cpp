@@ -78,7 +78,18 @@ const sched::StreamProfile& cached_profile(
 sched::StreamProfile sim_profile(const streamgen::StreamSpec& spec,
                                  const Flags& flags) {
   const auto target = static_cast<int>(flags.get_int("sim-pictures", 1120));
-  return sched::replicate_profile(cached_profile(spec), target);
+  auto profile = sched::replicate_profile(cached_profile(spec), target);
+  // --ns-per-unit=X pins the calibration constant and the scan rate
+  // (1 byte/ns) instead of the values measured on this host, making two
+  // invocations of a sim-driven bench produce byte-identical traces and
+  // reports. Shapes (imbalance, sync ratio, speedup) are unaffected: only
+  // the absolute time scale moves.
+  const double npu = flags.get_double("ns-per-unit", 0.0);
+  if (npu > 0) {
+    profile.ns_per_unit = npu;
+    profile.scan_ns = static_cast<std::int64_t>(profile.stream_bytes);
+  }
+  return profile;
 }
 
 std::vector<streamgen::Resolution> resolutions(const Flags& flags) {
@@ -98,12 +109,40 @@ void print_header(const std::string& title, const std::string& paper_ref) {
             << "==========================================================\n";
 }
 
+void append_load_summary(obs::RunReport::Row& row,
+                         const parallel::WorkerLoadSummary& load) {
+  row.set("workers", load.workers)
+      .set("tasks", load.tasks)
+      .set("min_busy_ns", load.min_busy_ns)
+      .set("avg_busy_ns", load.avg_busy_ns)
+      .set("max_busy_ns", load.max_busy_ns)
+      .set("imbalance", load.imbalance)
+      .set("sync_ratio", load.sync_ratio)
+      .set("utilization", load.utilization);
+}
+
 int finish(const Flags& flags) {
   for (const auto& f : flags.unused()) {
     std::cerr << "[bench] warning: unused flag --" << f << "\n";
   }
   std::cout.flush();
   return 0;
+}
+
+int finish(const Flags& flags, const obs::RunReport& report) {
+  int rc = 0;
+  const std::string path = flags.get_string("report-out", "");
+  if (!path.empty()) {
+    if (report.write_file(path)) {
+      std::cerr << "[bench] wrote report: " << path << " (" << report.rows()
+                << " rows)\n";
+    } else {
+      std::cerr << "[bench] error: cannot write report to " << path << "\n";
+      rc = 1;
+    }
+  }
+  const int unused_rc = finish(flags);
+  return rc != 0 ? rc : unused_rc;
 }
 
 }  // namespace pmp2::bench

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
+#include "parallel/stats.h"
 #include "sched/profile.h"
 #include "streamgen/stream_factory.h"
 #include "util/flags.h"
@@ -47,7 +49,16 @@ std::vector<streamgen::Resolution> resolutions(const Flags& flags);
 /// Prints the standard bench header.
 void print_header(const std::string& title, const std::string& paper_ref);
 
+/// Appends the shared load-balance/sync fields (parallel/stats.cpp
+/// definitions) to a report row, so every harness emits the same schema.
+void append_load_summary(obs::RunReport::Row& row,
+                         const parallel::WorkerLoadSummary& load);
+
 /// Warns about unknown flags at the end of main().
 int finish(const Flags& flags);
+
+/// finish() plus the structured JSON run report: when --report-out=PATH was
+/// passed, writes `report` there (errors go to stderr and the exit code).
+int finish(const Flags& flags, const obs::RunReport& report);
 
 }  // namespace pmp2::bench

@@ -1,13 +1,26 @@
 // Real-time playback scenario (the paper's motivating application): decode
 // a stream with the sequential decoder, the GOP-parallel decoder and both
 // slice-parallel decoders, report pictures/sec against the 30 pics/s
-// real-time bar, and verify all four outputs are bit-identical.
+// real-time bar, and verify all four outputs are bit-identical. Exits
+// nonzero if any decode fails or diverges from the sequential reference.
 //
 //   ./parallel_playback [--width=352 --pictures=52 --gop=13 --workers=N]
+//                       [--trace-out=trace.json]
+//                       [--trace-decoder=gop|slice-simple|slice-improved]
+//                       [--report-out=report.json] [--metrics]
+//
+// --trace-out captures a Chrome trace_event timeline (open in Perfetto /
+// chrome://tracing) of the decoder named by --trace-decoder; --report-out
+// writes the table as a structured JSON run report with the counter
+// registry attached; --metrics dumps the registry as text to stdout.
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "mpeg2/decoder.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/tracer.h"
 #include "parallel/gop_decoder.h"
 #include "parallel/slice_parallel.h"
 #include "streamgen/stream_factory.h"
@@ -28,13 +41,34 @@ int main(int argc, char** argv) {
   spec.bit_rate = flags.get_int("bitrate", 5'000'000);
   const int workers = static_cast<int>(flags.get_int(
       "workers", std::max(2u, std::thread::hardware_concurrency())));
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string trace_decoder =
+      flags.get_string("trace-decoder", "slice-improved");
+  const std::string report_out = flags.get_string("report-out", "");
+  const bool dump_metrics = flags.get_bool("metrics", false);
 
   std::cout << "Encoding " << spec.pictures << " pictures at " << spec.width
             << "x" << spec.height << "...\n";
   const auto stream = streamgen::generate_stream(spec);
 
+  // Track `workers` is the scan process; tracks [0, workers) are workers.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>(workers + 1);
+    tracer->track(workers).set_name("scan");
+  }
+  obs::Registry metrics;
+
   Table t({"Decoder", "Workers", "Pictures/s", "Real-time (30/s)?",
            "Sync time %", "Output"});
+  obs::RunReport report("parallel_playback",
+                        "Playback of all decoders vs the real-time bar");
+  report.set_meta("width", spec.width)
+      .set_meta("height", spec.height)
+      .set_meta("pictures", spec.pictures)
+      .set_meta("gop_size", spec.gop_size)
+      .set_meta("workers", workers);
+  report.attach_metrics(&metrics);
 
   // Sequential reference.
   std::uint64_t want = 0;
@@ -53,40 +87,113 @@ int main(int argc, char** argv) {
     }
     t.add_row({"sequential", "1", Table::fmt(pps, 1),
                pps >= 30 ? "yes" : "no", "-", "reference"});
+    report.add_row()
+        .set("decoder", "sequential")
+        .set("workers", 1)
+        .set("pictures_per_second", pps)
+        .set("bit_exact", true);
   }
 
-  auto report = [&](const char* name, const parallel::RunResult& r) {
-    double sync = 0, busy = 0;
-    for (const auto& w : r.workers) {
-      sync += static_cast<double>(w.sync_ns);
-      busy += static_cast<double>(w.compute_ns);
-    }
+  int divergences = 0;
+  auto record = [&](const char* name, const parallel::RunResult& r) {
+    const auto load = parallel::summarize_load(r);
+    const bool bit_exact = r.ok && r.checksum == want;
+    if (!bit_exact) ++divergences;
     const double pps = r.pictures_per_second();
     t.add_row({name, std::to_string(workers), Table::fmt(pps, 1),
                pps >= 30 ? "yes" : "no",
-               Table::fmt(100 * sync / (sync + busy), 1),
-               r.checksum == want ? "bit-exact" : "MISMATCH"});
+               Table::fmt(100 * load.sync_ratio, 1),
+               !r.ok ? "DECODE FAILED"
+                     : (bit_exact ? "bit-exact" : "MISMATCH")});
+    auto& row = report.add_row();
+    row.set("decoder", name)
+        .set("pictures_per_second", pps)
+        .set("bit_exact", bit_exact)
+        .set("pictures", r.pictures)
+        .set("concealed_slices", r.concealed_slices)
+        .set("scan_s", r.scan_s)
+        .set("peak_frame_bytes", r.peak_frame_bytes)
+        .set("megabytes_per_second", r.megabytes_per_second());
+    // Same load-summary schema as the bench harnesses.
+    row.set("workers", workers)
+        .set("tasks", load.tasks)
+        .set("imbalance", load.imbalance)
+        .set("sync_ratio", load.sync_ratio)
+        .set("utilization", load.utilization);
   };
 
   {
+    mpeg2::MemoryTracker tracker;
     parallel::GopDecoderConfig cfg;
     cfg.workers = workers;
-    report("GOP-parallel", parallel::GopParallelDecoder(cfg).decode(stream));
+    cfg.tracker = &tracker;
+    if (trace_decoder == "gop") {
+      cfg.tracer = tracer.get();
+      cfg.metrics = &metrics;
+    }
+    record("GOP-parallel", parallel::GopParallelDecoder(cfg).decode(stream));
   }
   {
     parallel::SliceDecoderConfig cfg;
     cfg.workers = workers;
     cfg.policy = parallel::SlicePolicy::kSimple;
-    report("slice (simple)",
-           parallel::SliceParallelDecoder(cfg).decode(stream));
-    cfg.policy = parallel::SlicePolicy::kImproved;
-    report("slice (improved)",
-           parallel::SliceParallelDecoder(cfg).decode(stream));
+    {
+      mpeg2::MemoryTracker tracker;
+      cfg.tracker = &tracker;
+      if (trace_decoder == "slice-simple") {
+        cfg.tracer = tracer.get();
+        cfg.metrics = &metrics;
+      }
+      record("slice (simple)",
+             parallel::SliceParallelDecoder(cfg).decode(stream));
+    }
+    {
+      mpeg2::MemoryTracker tracker;
+      cfg.tracker = &tracker;
+      cfg.policy = parallel::SlicePolicy::kImproved;
+      cfg.tracer = trace_decoder == "slice-improved" ? tracer.get() : nullptr;
+      cfg.metrics = trace_decoder == "slice-improved" ? &metrics : nullptr;
+      record("slice (improved)",
+             parallel::SliceParallelDecoder(cfg).decode(stream));
+    }
   }
 
   t.print(std::cout);
   std::cout << "\nNote: on a single-core host the threaded decoders cannot"
                " beat the sequential one; see the bench_* harnesses for the"
                " virtual-time multiprocessor results.\n";
-  return 0;
+
+  int rc = divergences > 0 ? 1 : 0;
+  if (divergences > 0) {
+    std::cerr << "error: " << divergences
+              << " decoder(s) failed or diverged from the sequential"
+                 " reference\n";
+  }
+  if (tracer) {
+    if (tracer->write_chrome_trace_file(trace_out)) {
+      std::cout << "wrote " << trace_out << " (" << tracer->total_spans()
+                << " spans, decoder: " << trace_decoder
+                << "); open in Perfetto or chrome://tracing\n";
+    } else {
+      std::cerr << "error: cannot write trace to " << trace_out << "\n";
+      rc = 1;
+    }
+  }
+  if (dump_metrics) {
+    std::cout << "\n";
+    metrics.write_text(std::cout);
+  }
+  if (!report_out.empty()) {
+    if (report.write_file(report_out)) {
+      std::cout << "wrote " << report_out << " (" << report.rows()
+                << " rows)\n";
+    } else {
+      std::cerr << "error: cannot write report to " << report_out << "\n";
+      rc = 1;
+    }
+  }
+  for (const auto& f : flags.unused()) {
+    std::cerr << "warning: unused flag --" << f << "\n";
+  }
+  return rc;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitstream/startcode.h"
+#include "obs/tracer.h"
 
 namespace pmp2::mpeg2 {
 
@@ -129,15 +130,47 @@ void conceal_slice(const PictureContext& pic, int slice_row) {
 
 bool decode_picture_slices(std::span<const std::uint8_t> stream,
                            const PictureInfo& info, const PictureContext& pic,
-                           WorkMeter& work, TraceSink* sink, int proc) {
+                           WorkMeter& work, const PictureDecodeOptions& opts) {
+  int slice_ordinal = 0;
   for (const auto& slice : info.slices) {
     BitReader br(stream);
     br.seek_bytes(slice.offset + 4);
-    const SliceResult r = decode_slice(br, slice.row, pic, sink, proc);
-    if (!r.ok) return false;
-    work += r.work;
+    const std::int64_t begin_ns =
+        opts.tracer ? opts.tracer->now_ns() : 0;
+    const SliceResult r = decode_slice(br, slice.row, pic, opts.sink,
+                                       opts.proc);
+    if (opts.tracer) {
+      opts.tracer->emit(opts.track, obs::SpanKind::kSliceTask, begin_ns,
+                        opts.tracer->now_ns(), opts.picture_id,
+                        slice_ordinal);
+    }
+    if (r.ok) {
+      work += r.work;
+    } else if (opts.conceal_errors) {
+      const std::int64_t conceal_begin =
+          opts.tracer ? opts.tracer->now_ns() : 0;
+      conceal_slice(pic, slice.row);
+      if (opts.concealed) ++*opts.concealed;
+      if (opts.tracer) {
+        opts.tracer->emit(opts.track, obs::SpanKind::kConceal, conceal_begin,
+                          opts.tracer->now_ns(), opts.picture_id,
+                          slice_ordinal);
+      }
+    } else {
+      return false;
+    }
+    ++slice_ordinal;
   }
   return true;
+}
+
+bool decode_picture_slices(std::span<const std::uint8_t> stream,
+                           const PictureInfo& info, const PictureContext& pic,
+                           WorkMeter& work, TraceSink* sink, int proc) {
+  PictureDecodeOptions opts;
+  opts.sink = sink;
+  opts.proc = proc;
+  return decode_picture_slices(stream, info, pic, work, opts);
 }
 
 void DisplayReorder::push(FramePtr frame, std::vector<FramePtr>& out) {
@@ -204,20 +237,12 @@ Decoder::Status Decoder::decode_stream(std::span<const std::uint8_t> stream,
         }
       }
 
-      if (conceal_errors_) {
-        for (const auto& slice : info.slices) {
-          pmp2::BitReader sbr(stream);
-          sbr.seek_bytes(slice.offset + 4);
-          const SliceResult r = decode_slice(sbr, slice.row, pic, sink, proc);
-          if (r.ok) {
-            out.work += r.work;
-          } else {
-            conceal_slice(pic, slice.row);
-            ++out.concealed_slices;
-          }
-        }
-      } else if (!decode_picture_slices(stream, info, pic, out.work, sink,
-                                        proc)) {
+      PictureDecodeOptions opts;
+      opts.sink = sink;
+      opts.proc = proc;
+      opts.conceal_errors = conceal_errors_;
+      opts.concealed = &out.concealed_slices;
+      if (!decode_picture_slices(stream, info, pic, out.work, opts)) {
         return out;
       }
 

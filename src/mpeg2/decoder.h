@@ -15,6 +15,10 @@
 #include "mpeg2/slice_decode.h"
 #include "mpeg2/types.h"
 
+namespace pmp2::obs {
+class Tracer;
+}
+
 namespace pmp2::mpeg2 {
 
 /// One slice located by the scan pass.
@@ -77,8 +81,27 @@ struct StreamStructure {
 bool parse_picture_headers(BitReader& br, PictureHeader& ph,
                            PictureCodingExtension& pce);
 
+/// Observability / recovery options for one picture's slice loop (shared by
+/// the sequential decoder and the GOP-parallel workers).
+struct PictureDecodeOptions {
+  TraceSink* sink = nullptr;      // memory-reference trace (TangoLite hook)
+  int proc = 0;                   // worker/processor id for the sink
+  obs::Tracer* tracer = nullptr;  // per-slice span emission (may be null)
+  int track = 0;                  // tracer track (the worker's track)
+  int picture_id = -1;            // decode-order picture id stamped on spans
+  bool conceal_errors = false;    // conceal corrupt slices instead of failing
+  int* concealed = nullptr;       // incremented once per concealed slice
+};
+
 /// Decodes all slices of one picture sequentially. `pic` must be fully
-/// populated (dst + refs). Returns false on any slice error.
+/// populated (dst + refs). Returns false on any slice error (unless
+/// `opts.conceal_errors`, which patches the slice and keeps going).
+bool decode_picture_slices(std::span<const std::uint8_t> stream,
+                           const PictureInfo& info, const PictureContext& pic,
+                           WorkMeter& work,
+                           const PictureDecodeOptions& opts);
+
+/// Back-compat overload without observability options.
 bool decode_picture_slices(std::span<const std::uint8_t> stream,
                            const PictureInfo& info, const PictureContext& pic,
                            WorkMeter& work, TraceSink* sink = nullptr,

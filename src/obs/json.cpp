@@ -1,0 +1,158 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pmp2::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+void JsonWriter::pre_value() {
+  assert(!root_done_ && "value after completed root");
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    assert(have_key_ && "object value requires a preceding key()");
+    have_key_ = false;
+  } else {
+    if (top.has_items) os_ << ',';
+    top.has_items = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  os_ << '{';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().is_object && !have_key_);
+  os_ << '}';
+  stack_.pop_back();
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  os_ << '[';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && !stack_.back().is_object);
+  os_ << ']';
+  stack_.pop_back();
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back().is_object && !have_key_);
+  Frame& top = stack_.back();
+  if (top.has_items) os_ << ',';
+  top.has_items = true;
+  os_ << '"' << json_escape(k) << "\":";
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  os_ << '"' << json_escape(v) << '"';
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  os_ << v;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  os_ << v;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  os_ << json_double(v);
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  os_ << "null";
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_raw(std::string_view raw) {
+  pre_value();
+  os_ << raw;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+}  // namespace pmp2::obs

@@ -1,0 +1,79 @@
+// Minimal streaming JSON writer shared by the observability layer (Chrome
+// trace exporter, metrics registry dumps, structured run reports).
+//
+// Deterministic by construction: no timestamps, no locale, fixed number
+// formatting — two writes of the same logical document are byte-identical,
+// which the sched-sim trace/report determinism guarantee relies on.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmp2::obs {
+
+/// Escapes `s` per RFC 8259 (quote, backslash, control characters as \uXXXX
+/// or the short forms) without adding the surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Formats a double deterministically ("%.12g", with NaN/Inf mapped to null
+/// since JSON has no representation for them).
+[[nodiscard]] std::string json_double(double value);
+
+/// Emits well-formed compact JSON to an ostream. Usage:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("pictures").value(39);
+///   w.key("workers").begin_array();
+///   w.value(1.5).value("two");
+///   w.end_array();
+///   w.end_object();
+///
+/// Misuse (value without key inside an object, unbalanced end) is a
+/// programming error and asserts in debug builds.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value (or
+  /// begin_object/begin_array).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// Emits `raw` verbatim as one value — caller guarantees it is valid JSON
+  /// (used for pre-formatted fixed-point numbers in the trace exporter).
+  JsonWriter& value_raw(std::string_view raw);
+
+  /// True once the root value is complete and all scopes are closed.
+  [[nodiscard]] bool done() const { return root_done_ && stack_.empty(); }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool has_items = false;
+  };
+  void pre_value();
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool have_key_ = false;
+  bool root_done_ = false;
+};
+
+}  // namespace pmp2::obs

@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace pmp2::obs {
+
+namespace {
+
+/// Bucket index: 0 holds value 0, bucket b holds [2^(b-1), 2^b).
+int bucket_of(std::int64_t value) {
+  if (value <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(value));
+}
+
+std::int64_t bucket_low(int b) {
+  return b <= 0 ? 0 : std::int64_t{1} << (b - 1);
+}
+
+std::int64_t bucket_high(int b) {
+  return b <= 0 ? 1 : std::int64_t{1} << b;
+}
+
+void update_min(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void update_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  // First sample seeds min/max; the count_ increment is the publication.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    update_min(min_, value);
+    update_max(max_, value);
+  }
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0;
+}
+
+std::int64_t Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double q) const {
+  const std::int64_t n = count();
+  if (n <= 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(n);
+  double seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[b].load(std::memory_order_relaxed));
+    if (in_bucket <= 0) continue;
+    if (seen + in_bucket >= target) {
+      const double frac = in_bucket > 0 ? (target - seen) / in_bucket : 0.0;
+      const double lo = static_cast<double>(bucket_low(b));
+      const double hi = static_cast<double>(bucket_high(b));
+      double v = lo + frac * (hi - lo);
+      // Clamp to the observed range: the top/bottom buckets overshoot it.
+      v = std::max(v, static_cast<double>(min()));
+      v = std::min(v, static_cast<double>(max()));
+      return v;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::write_text(std::ostream& os) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ": count=" << h->count() << " min=" << h->min()
+       << " mean=" << json_double(h->mean())
+       << " p50=" << json_double(h->percentile(0.50))
+       << " p95=" << json_double(h->percentile(0.95))
+       << " p99=" << json_double(h->percentile(0.99)) << " max=" << h->max()
+       << " sum=" << h->sum() << "\n";
+  }
+}
+
+void Registry::append_json(JsonWriter& w) const {
+  const std::scoped_lock lock(mutex_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("min").value(h->min());
+    w.key("mean").value(h->mean());
+    w.key("p50").value(h->percentile(0.50));
+    w.key("p95").value(h->percentile(0.95));
+    w.key("p99").value(h->percentile(0.99));
+    w.key("max").value(h->max());
+    w.key("sum").value(h->sum());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  append_json(w);
+}
+
+}  // namespace pmp2::obs

@@ -1,0 +1,93 @@
+// Counter / histogram registry for decoder run statistics: tasks per kind,
+// queue-wait and task-latency distributions (p50/p95/p99), concealed
+// slices, bytes decoded.
+//
+// Counters and histogram buckets are relaxed atomics, so workers record
+// concurrently without locks; the registry map itself is mutex-guarded and
+// decoders resolve their instruments once before spawning workers. With no
+// registry attached the decoders skip every record (null pointer test), the
+// same discipline as the tracer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pmp2::obs {
+
+class JsonWriter;
+
+/// Monotonic counter (int64, relaxed).
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative int64 samples (nanoseconds,
+/// bytes). 64 power-of-two buckets cover the full range; percentiles
+/// interpolate linearly within a bucket, so they are exact to within one
+/// octave — plenty for the p50/p95/p99 latency reporting it serves.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t value);
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t min() const;  // 0 when empty
+  [[nodiscard]] std::int64_t max() const;  // 0 when empty
+  [[nodiscard]] double mean() const;
+
+  /// Estimated value at quantile `q` in [0, 1].
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Named counters + histograms. Lookup interns the instrument on first use;
+/// dumps iterate in name order (std::map), so output is deterministic for
+/// deterministic inputs.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Plain-text dump (one instrument per line) for terminal inspection.
+  void write_text(std::ostream& os) const;
+
+  /// Standalone JSON document: {"counters":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+
+  /// Same content appended as one value inside an enclosing document.
+  void append_json(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pmp2::obs

@@ -1,0 +1,65 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace pmp2::obs {
+
+void ReportValue::write(JsonWriter& w) const {
+  switch (kind_) {
+    case Kind::kInt:
+      w.value(int_);
+      break;
+    case Kind::kDouble:
+      w.value(double_);
+      break;
+    case Kind::kBool:
+      w.value(bool_);
+      break;
+    case Kind::kString:
+      w.value(string_);
+      break;
+  }
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("tool").value(tool_);
+  w.key("description").value(description_);
+  w.key("meta").begin_object();
+  for (const auto& [key, value] : meta_) {
+    w.key(key);
+    value.write(w);
+  }
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    for (const auto& [key, value] : row.fields_) {
+      w.key(key);
+      value.write(w);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (metrics_) {
+    w.key("metrics");
+    metrics_->append_json(w);
+  }
+  w.end_object();
+  os << "\n";
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_json(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace pmp2::obs

@@ -1,0 +1,100 @@
+// Structured JSON run reports: the machine-readable output of the bench
+// harnesses and examples (--report-out=...), replacing ad-hoc printf tables
+// as the source of record for the EXPERIMENTS.md figures.
+//
+// Shape:
+//   {
+//     "tool": "bench_fig6_gop_load_balance",
+//     "description": "...",
+//     "meta": { ... run-wide configuration ... },
+//     "rows": [ { ... one data point ... }, ... ],
+//     "metrics": { counters/histograms, when a Registry is attached }
+//   }
+//
+// Field order is insertion order and numbers are formatted
+// deterministically, so identical runs serialize byte-identically (no
+// timestamps by design — stamp files externally if needed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmp2::obs {
+
+class JsonWriter;
+class Registry;
+
+/// Small tagged value for report fields.
+class ReportValue {
+ public:
+  ReportValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  ReportValue(int v) : ReportValue(static_cast<std::int64_t>(v)) {}
+  ReportValue(std::uint64_t v)
+      : ReportValue(static_cast<std::int64_t>(v)) {}
+  ReportValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  ReportValue(bool v) : kind_(Kind::kBool), bool_(v) {}
+  ReportValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+  ReportValue(const char* v) : ReportValue(std::string(v)) {}
+
+  void write(JsonWriter& w) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  Kind kind_;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  bool bool_ = false;
+  std::string string_;
+};
+
+class RunReport {
+ public:
+  /// One data point: an ordered list of named fields.
+  class Row {
+   public:
+    Row& set(std::string key, ReportValue value) {
+      fields_.emplace_back(std::move(key), std::move(value));
+      return *this;
+    }
+
+   private:
+    friend class RunReport;
+    std::vector<std::pair<std::string, ReportValue>> fields_;
+  };
+
+  RunReport(std::string tool, std::string description)
+      : tool_(std::move(tool)), description_(std::move(description)) {}
+
+  /// Run-wide configuration (workers, resolution, flags...).
+  RunReport& set_meta(std::string key, ReportValue value) {
+    meta_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Appends a data point; the reference stays valid (deque storage).
+  Row& add_row() { return rows_.emplace_back(); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Serializes the registry under "metrics"; the registry must outlive
+  /// the report's write calls.
+  void attach_metrics(const Registry* registry) { metrics_ = registry; }
+
+  void write_json(std::ostream& os) const;
+
+  /// Writes the JSON document to `path`; false on I/O error.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  std::string description_;
+  std::vector<std::pair<std::string, ReportValue>> meta_;
+  std::deque<Row> rows_;
+  const Registry* metrics_ = nullptr;
+};
+
+}  // namespace pmp2::obs

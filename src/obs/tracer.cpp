@@ -1,0 +1,156 @@
+#include "obs/tracer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace pmp2::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kScan:
+      return "scan";
+    case SpanKind::kGopTask:
+      return "gop";
+    case SpanKind::kSliceTask:
+      return "slice";
+    case SpanKind::kPicture:
+      return "picture";
+    case SpanKind::kSyncWait:
+      return "wait";
+    case SpanKind::kDisplay:
+      return "display";
+    case SpanKind::kConceal:
+      return "conceal";
+  }
+  return "span";
+}
+
+std::vector<Span> TraceTrack::spans() const {
+  if (emitted_ <= capacity_) return ring_;
+  std::vector<Span> out;
+  out.reserve(capacity_);
+  const auto head = static_cast<std::size_t>(emitted_ % capacity_);
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+Tracer::Tracer(int tracks, std::size_t capacity_per_track) {
+  tracks_.reserve(static_cast<std::size_t>(tracks));
+  for (int i = 0; i < tracks; ++i) tracks_.emplace_back(capacity_per_track);
+}
+
+std::uint64_t Tracer::total_spans() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t.emitted();
+  return n;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t.dropped();
+  return n;
+}
+
+namespace {
+
+/// Nanoseconds as a fixed-point microsecond literal ("12.345"): Chrome's
+/// "ts"/"dur" unit is microseconds, and integer math keeps the formatting
+/// deterministic.
+std::string us_fixed(std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+std::string span_name(const Span& span) {
+  char buf[64];
+  switch (span.kind) {
+    case SpanKind::kSliceTask:
+      std::snprintf(buf, sizeof buf, "slice p%d s%d", span.picture,
+                    span.slice);
+      return buf;
+    case SpanKind::kGopTask:
+      std::snprintf(buf, sizeof buf, "gop %d", span.gop);
+      return buf;
+    case SpanKind::kPicture:
+      std::snprintf(buf, sizeof buf, "picture %d", span.picture);
+      return buf;
+    case SpanKind::kConceal:
+      std::snprintf(buf, sizeof buf, "conceal p%d s%d", span.picture,
+                    span.slice);
+      return buf;
+    default:
+      return span_kind_name(span.kind);
+  }
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // Metadata: process name plus one named thread per track.
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(0);
+  w.key("tid").value(0);
+  w.key("args").begin_object().key("name").value("pmp2").end_object();
+  w.end_object();
+  for (int i = 0; i < tracks(); ++i) {
+    const TraceTrack& t = track(i);
+    std::string name = t.name();
+    if (name.empty()) name = "worker " + std::to_string(i);
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(0);
+    w.key("tid").value(i);
+    w.key("args").begin_object().key("name").value(name).end_object();
+    w.end_object();
+  }
+
+  for (int i = 0; i < tracks(); ++i) {
+    for (const Span& span : track(i).spans()) {
+      w.begin_object();
+      w.key("name").value(span_name(span));
+      w.key("cat").value(span_kind_name(span.kind));
+      w.key("ph").value("X");
+      w.key("ts").value_raw(us_fixed(span.begin_ns));
+      w.key("dur").value_raw(us_fixed(span.end_ns - span.begin_ns));
+      w.key("pid").value(0);
+      w.key("tid").value(i);
+      w.key("args").begin_object();
+      if (span.picture >= 0) w.key("picture").value(span.picture);
+      if (span.slice >= 0) w.key("slice").value(span.slice);
+      if (span.gop >= 0) w.key("gop").value(span.gop);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("droppedSpans").value(total_dropped());
+  w.end_object();
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace pmp2::obs

@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "parallel/task_queue.h"
 #include "util/timer.h"
 
@@ -11,9 +13,22 @@ namespace pmp2::parallel {
 
 namespace {
 
+/// Sync waits shorter than this are not worth a trace span; they still
+/// count toward sync_ns.
+constexpr std::int64_t kMinWaitSpanNs = 1'000;
+
 struct GopTask {
   const mpeg2::GopInfo* info = nullptr;
+  int index = 0;         // GOP ordinal within the stream
   int display_base = 0;  // global display index of this GOP's first picture
+  int decode_base = 0;   // global decode index of this GOP's first picture
+};
+
+/// Per-run observability context shared by the GOP workers.
+struct GopObs {
+  obs::Tracer* tracer = nullptr;
+  bool conceal_errors = false;
+  std::atomic<int>* concealed = nullptr;
 };
 
 /// Decodes one closed GOP with private reference state. Frames come from
@@ -21,8 +36,9 @@ struct GopTask {
 bool decode_gop(std::span<const std::uint8_t> stream,
                 const mpeg2::StreamStructure& structure, const GopTask& task,
                 mpeg2::FramePool& pool, DisplaySink& display,
-                WorkerStats& stats) {
+                WorkerStats& stats, const GopObs& gobs, int worker) {
   mpeg2::FramePtr fwd_ref, bwd_ref;
+  int pic_index = task.decode_base;
   for (const auto& info : task.info->pictures) {
     pmp2::BitReader br(stream);
     br.seek_bytes(info.offset);
@@ -51,14 +67,33 @@ bool decode_gop(std::span<const std::uint8_t> stream,
         pic.bwd_id = bwd_ref->trace_id();
       }
     }
-    if (!mpeg2::decode_picture_slices(stream, info, pic, stats.work)) {
-      return false;
+    int concealed_here = 0;
+    mpeg2::PictureDecodeOptions opts;
+    opts.tracer = gobs.tracer;
+    opts.track = worker;
+    opts.picture_id = pic_index;
+    opts.conceal_errors = gobs.conceal_errors;
+    opts.concealed = &concealed_here;
+    {
+      const std::int64_t pic_begin =
+          gobs.tracer ? gobs.tracer->now_ns() : 0;
+      const bool ok =
+          mpeg2::decode_picture_slices(stream, info, pic, stats.work, opts);
+      if (gobs.tracer) {
+        gobs.tracer->emit(worker, obs::SpanKind::kPicture, pic_begin,
+                          gobs.tracer->now_ns(), pic_index, -1, task.index);
+      }
+      if (!ok) return false;
+    }
+    if (concealed_here > 0 && gobs.concealed) {
+      gobs.concealed->fetch_add(concealed_here, std::memory_order_relaxed);
     }
     if (pic.header.type != mpeg2::PictureType::kB) {
       fwd_ref = bwd_ref;
       bwd_ref = dst;
     }
     display.push(std::move(dst));
+    ++pic_index;
   }
   return true;
 }
@@ -68,12 +103,19 @@ bool decode_gop(std::span<const std::uint8_t> stream,
 RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
                                      const FrameCallback& on_frame) {
   RunResult result;
+  result.stream_bytes = stream.size();
   WallTimer total_timer;
+  obs::Tracer* const tracer = config_.tracer;
 
   // --- Scan process: locate GOPs and pictures. ---
   WallTimer scan_timer;
+  const std::int64_t scan_begin = tracer ? tracer->now_ns() : 0;
   const mpeg2::StreamStructure structure = mpeg2::scan_structure(stream);
   result.scan_s = scan_timer.elapsed_s();
+  if (tracer) {
+    tracer->emit(config_.workers, obs::SpanKind::kScan, scan_begin,
+                 tracer->now_ns());
+  }
   if (!structure.valid) return result;
   for (const auto& gop : structure.gops) {
     if (!gop.closed) return result;  // this decoder requires closed GOPs
@@ -86,8 +128,26 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
                         structure.seq.vertical_size, config_.tracker);
   TaskQueue<GopTask> queue(config_.max_queued_gops);
 
+  // Resolve metric instruments once; workers then only touch atomics.
+  obs::Counter* m_tasks = nullptr;
+  obs::Histogram* h_task = nullptr;
+  obs::Histogram* h_wait = nullptr;
+  if (config_.metrics) {
+    m_tasks = &config_.metrics->counter("gop.tasks");
+    h_task = &config_.metrics->histogram("gop.task_ns");
+    h_wait = &config_.metrics->histogram("gop.queue_wait_ns");
+    config_.metrics->counter("decode.bytes")
+        .add(static_cast<std::int64_t>(stream.size()));
+    config_.metrics->counter("decode.pictures").add(total_pictures);
+  }
+
   result.workers.resize(static_cast<std::size_t>(config_.workers));
   std::atomic<bool> failed{false};
+  std::atomic<int> concealed{0};
+  GopObs gobs;
+  gobs.tracer = tracer;
+  gobs.conceal_errors = config_.conceal_errors;
+  gobs.concealed = &concealed;
 
   std::vector<std::jthread> workers;
   workers.reserve(static_cast<std::size_t>(config_.workers));
@@ -95,32 +155,63 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
     workers.emplace_back([&, w] {
       WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
       for (;;) {
+        const std::int64_t wait_begin = tracer ? tracer->now_ns() : 0;
+        const std::int64_t sync_before = stats.sync_ns;
         auto task = queue.pop(&stats.sync_ns);
+        if (tracer) {
+          const std::int64_t wait_end = tracer->now_ns();
+          if (wait_end - wait_begin >= kMinWaitSpanNs) {
+            tracer->emit(w, obs::SpanKind::kSyncWait, wait_begin, wait_end);
+          }
+        }
         if (!task) break;
+        if (h_wait) h_wait->record(stats.sync_ns - sync_before);
+        const std::int64_t task_begin = tracer ? tracer->now_ns() : 0;
         ThreadCpuTimer cpu;
-        if (!decode_gop(stream, structure, *task, pool, display, stats)) {
+        const bool ok = decode_gop(stream, structure, *task, pool, display,
+                                   stats, gobs, w);
+        const std::int64_t task_ns = cpu.elapsed_ns();
+        if (tracer) {
+          tracer->emit(w, obs::SpanKind::kGopTask, task_begin,
+                       tracer->now_ns(), -1, -1, task->index);
+        }
+        if (!ok) {
           failed.store(true, std::memory_order_relaxed);
           queue.close();
           break;
         }
-        stats.compute_ns += cpu.elapsed_ns();
+        stats.compute_ns += task_ns;
         ++stats.tasks;
+        if (h_task) h_task->record(task_ns);
+        if (m_tasks) m_tasks->add();
       }
     });
   }
 
   // --- Scan process (continued): enqueue GOP tasks in stream order. ---
   {
+    int index = 0;
     int display_base = 0;
     for (const auto& gop : structure.gops) {
-      queue.push(GopTask{&gop, display_base});
+      queue.push(GopTask{&gop, index, display_base, display_base});
       display_base += static_cast<int>(gop.pictures.size());
+      ++index;
     }
     queue.close();
   }
 
   workers.clear();  // join
-  if (failed.load(std::memory_order_relaxed)) return result;
+  result.concealed_slices = concealed.load(std::memory_order_relaxed);
+  if (failed.load(std::memory_order_relaxed)) {
+    // Failed runs still report their timing/memory so harnesses can log
+    // something consistent.
+    result.wall_s = total_timer.elapsed_s();
+    if (config_.tracker) {
+      result.peak_frame_bytes = config_.tracker->peak_bytes();
+    }
+    derive_idle(result);
+    return result;
+  }
   display.wait_done();
 
   result.wall_s = total_timer.elapsed_s();
@@ -128,6 +219,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   if (config_.tracker) {
     result.peak_frame_bytes = config_.tracker->peak_bytes();
   }
+  derive_idle(result);
   result.ok = true;
   return result;
 }

@@ -17,6 +17,11 @@
 #include "parallel/display.h"
 #include "parallel/stats.h"
 
+namespace pmp2::obs {
+class Registry;
+class Tracer;
+}
+
 namespace pmp2::parallel {
 
 struct GopDecoderConfig {
@@ -24,8 +29,17 @@ struct GopDecoderConfig {
   /// Maximum GOP tasks queued ahead of the workers; 0 = unbounded (the
   /// paper's configuration — see Figs. 8/9 for the memory consequence).
   std::size_t max_queued_gops = 0;
+  /// Conceal corrupt slices (copy from the forward reference) instead of
+  /// aborting, as in the slice decoder; reported in
+  /// RunResult::concealed_slices.
+  bool conceal_errors = false;
   /// Tracks frame-buffer bytes (for the Fig. 8 memory measurements).
   mpeg2::MemoryTracker* tracker = nullptr;
+  /// Optional span tracer: needs `workers + 1` tracks (track w = worker w,
+  /// track `workers` = the scan process). Null = zero-cost no-op.
+  obs::Tracer* tracer = nullptr;
+  /// Optional counter/histogram registry ("gop.*" instruments).
+  obs::Registry* metrics = nullptr;
 };
 
 class GopParallelDecoder {

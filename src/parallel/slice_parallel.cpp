@@ -8,11 +8,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/timer.h"
 
 namespace pmp2::parallel {
 
 namespace {
+
+/// Sync waits shorter than this are not worth a trace span (an uncontended
+/// claim takes well under a microsecond); they still count toward sync_ns.
+constexpr std::int64_t kMinWaitSpanNs = 1'000;
 
 /// One picture of the 2-D task structure, in decode order.
 struct Pic {
@@ -45,6 +51,7 @@ class Coordinator {
   /// A claimed unit of work: picture index + slice index.
   struct Claim {
     Pic* pic = nullptr;
+    int pic_index = -1;  // decode-order picture index (for tracing)
     int slice = -1;
   };
 
@@ -57,8 +64,10 @@ class Coordinator {
     for (;;) {
       if (aborted_) break;
       open_eligible_pictures();
-      if (Pic* pic = find_slice_source()) {
+      if (const int index = find_slice_source(); index >= 0) {
+        Pic* pic = &pics_[static_cast<std::size_t>(index)];
         out.pic = pic;
+        out.pic_index = index;
         out.slice = pic->next_slice++;
         sync_ns += timer.elapsed_ns();
         return true;
@@ -162,9 +171,9 @@ class Coordinator {
     }
   }
 
-  /// Lowest decode-order open picture with unclaimed slices. Called with
-  /// the mutex held.
-  Pic* find_slice_source() {
+  /// Lowest decode-order open picture with unclaimed slices (-1 if none).
+  /// Called with the mutex held.
+  int find_slice_source() {
     for (int i = first_active_; i < next_to_open_; ++i) {
       Pic& pic = pics_[static_cast<std::size_t>(i)];
       if (pic.complete && i == first_active_) {
@@ -173,10 +182,10 @@ class Coordinator {
       }
       if (pic.open && !pic.complete &&
           pic.next_slice < static_cast<int>(pic.info->slices.size())) {
-        return &pic;
+        return i;
       }
     }
-    return nullptr;
+    return -1;
   }
 
   std::span<const std::uint8_t> stream_;
@@ -201,11 +210,18 @@ class Coordinator {
 RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
                                        const FrameCallback& on_frame) {
   RunResult result;
+  result.stream_bytes = stream.size();
   WallTimer total_timer;
+  obs::Tracer* const tracer = config_.tracer;
 
   WallTimer scan_timer;
+  const std::int64_t scan_begin = tracer ? tracer->now_ns() : 0;
   const mpeg2::StreamStructure structure = mpeg2::scan_structure(stream);
   result.scan_s = scan_timer.elapsed_s();
+  if (tracer) {
+    tracer->emit(config_.workers, obs::SpanKind::kScan, scan_begin,
+                 tracer->now_ns());
+  }
   if (!structure.valid) return result;
 
   // Build the decode-order picture list with dependencies.
@@ -255,6 +271,21 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
                          ? 1
                          : std::max(1, config_.max_open_pictures));
 
+  // Resolve metric instruments once; workers then only touch atomics.
+  obs::Counter* m_tasks = nullptr;
+  obs::Counter* m_concealed = nullptr;
+  obs::Histogram* h_task = nullptr;
+  obs::Histogram* h_wait = nullptr;
+  if (config_.metrics) {
+    m_tasks = &config_.metrics->counter("slice.tasks");
+    m_concealed = &config_.metrics->counter("slice.concealed");
+    h_task = &config_.metrics->histogram("slice.task_ns");
+    h_wait = &config_.metrics->histogram("slice.queue_wait_ns");
+    config_.metrics->counter("decode.bytes")
+        .add(static_cast<std::int64_t>(stream.size()));
+    config_.metrics->counter("decode.pictures").add(total_pictures);
+  }
+
   result.workers.resize(static_cast<std::size_t>(config_.workers));
   std::atomic<int> concealed{0};
   {
@@ -264,22 +295,48 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
       workers.emplace_back([&, w] {
         WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
         Coordinator::Claim claim;
-        while (coord.claim(claim, stats.sync_ns)) {
+        for (;;) {
+          const std::int64_t wait_begin = tracer ? tracer->now_ns() : 0;
+          const std::int64_t sync_before = stats.sync_ns;
+          const bool claimed = coord.claim(claim, stats.sync_ns);
+          if (tracer) {
+            const std::int64_t wait_end = tracer->now_ns();
+            if (wait_end - wait_begin >= kMinWaitSpanNs) {
+              tracer->emit(w, obs::SpanKind::kSyncWait, wait_begin, wait_end);
+            }
+          }
+          if (!claimed) break;
+          if (h_wait) h_wait->record(stats.sync_ns - sync_before);
           const auto& slice_info =
               claim.pic->info->slices[static_cast<std::size_t>(claim.slice)];
           pmp2::BitReader br(stream);
           br.seek_bytes(slice_info.offset + 4);
+          const std::int64_t task_begin = tracer ? tracer->now_ns() : 0;
           ThreadCpuTimer cpu;
           mpeg2::SliceResult r = mpeg2::decode_slice(
               br, slice_info.row, claim.pic->ctx, nullptr, w);
-          stats.compute_ns += cpu.elapsed_ns();
+          const std::int64_t task_ns = cpu.elapsed_ns();
+          stats.compute_ns += task_ns;
           stats.work += r.work;
           ++stats.tasks;
+          if (tracer) {
+            tracer->emit(w, obs::SpanKind::kSliceTask, task_begin,
+                         tracer->now_ns(), claim.pic_index, claim.slice);
+          }
+          if (h_task) h_task->record(task_ns);
+          if (m_tasks) m_tasks->add();
           if (!r.ok && config_.conceal_errors) {
             // Patch the damaged rows from the forward reference and keep
             // the pipeline running.
+            const std::int64_t conceal_begin =
+                tracer ? tracer->now_ns() : 0;
             mpeg2::conceal_slice(claim.pic->ctx, slice_info.row);
             concealed.fetch_add(1, std::memory_order_relaxed);
+            if (tracer) {
+              tracer->emit(w, obs::SpanKind::kConceal, conceal_begin,
+                           tracer->now_ns(), claim.pic_index, claim.slice);
+            }
+            if (m_concealed) m_concealed->add();
             r.ok = true;
           }
           coord.finish_slice(claim, r.ok);
@@ -290,7 +347,16 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   }  // join
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
 
-  if (coord.aborted()) return result;
+  if (coord.aborted()) {
+    // Failed runs still report their timing/memory so harnesses can log
+    // something consistent.
+    result.wall_s = total_timer.elapsed_s();
+    if (config_.tracker) {
+      result.peak_frame_bytes = config_.tracker->peak_bytes();
+    }
+    derive_idle(result);
+    return result;
+  }
   display.wait_done();
 
   result.wall_s = total_timer.elapsed_s();
@@ -298,6 +364,7 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   if (config_.tracker) {
     result.peak_frame_bytes = config_.tracker->peak_bytes();
   }
+  derive_idle(result);
   result.ok = true;
   return result;
 }

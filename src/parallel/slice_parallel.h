@@ -27,6 +27,11 @@
 #include "parallel/display.h"
 #include "parallel/stats.h"
 
+namespace pmp2::obs {
+class Registry;
+class Tracer;
+}
+
 namespace pmp2::parallel {
 
 enum class SlicePolicy {
@@ -44,6 +49,11 @@ struct SliceDecoderConfig {
   /// aborting — keeps real-time playback going through bitstream damage.
   bool conceal_errors = false;
   mpeg2::MemoryTracker* tracker = nullptr;
+  /// Optional span tracer: needs `workers + 1` tracks (track w = worker w,
+  /// track `workers` = the scan process). Null = zero-cost no-op.
+  obs::Tracer* tracer = nullptr;
+  /// Optional counter/histogram registry ("slice.*" instruments).
+  obs::Registry* metrics = nullptr;
 };
 
 class SliceParallelDecoder {

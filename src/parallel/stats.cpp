@@ -1,8 +1,73 @@
 #include "parallel/stats.h"
 
+#include <algorithm>
+
 #include "mpeg2/frame.h"
 
 namespace pmp2::parallel {
+
+WorkerLoadSummary summarize_load(std::span<const std::int64_t> busy_ns,
+                                 std::span<const std::int64_t> sync_ns,
+                                 std::span<const std::int64_t> idle_ns,
+                                 std::span<const std::uint64_t> tasks) {
+  WorkerLoadSummary out;
+  out.workers = static_cast<int>(busy_ns.size());
+  if (busy_ns.empty()) return out;
+
+  double sync_ratio_sum = 0.0;
+  int sync_ratio_counted = 0;
+  out.min_busy_ns = busy_ns[0];
+  for (std::size_t i = 0; i < busy_ns.size(); ++i) {
+    const std::int64_t busy = busy_ns[i];
+    const std::int64_t sync = i < sync_ns.size() ? sync_ns[i] : 0;
+    out.min_busy_ns = std::min(out.min_busy_ns, busy);
+    out.max_busy_ns = std::max(out.max_busy_ns, busy);
+    out.total_busy_ns += busy;
+    out.total_sync_ns += sync;
+    if (i < idle_ns.size()) out.total_idle_ns += idle_ns[i];
+    if (i < tasks.size()) out.tasks += tasks[i];
+    const double denom = static_cast<double>(sync + busy);
+    if (denom > 0) {
+      sync_ratio_sum += static_cast<double>(sync) / denom;
+      ++sync_ratio_counted;
+    }
+  }
+  out.avg_busy_ns = static_cast<double>(out.total_busy_ns) /
+                    static_cast<double>(out.workers);
+  out.imbalance = out.avg_busy_ns > 0
+                      ? static_cast<double>(out.max_busy_ns) / out.avg_busy_ns
+                      : 0.0;
+  out.sync_ratio =
+      sync_ratio_counted > 0 ? sync_ratio_sum / sync_ratio_counted : 0.0;
+  const double occupied = static_cast<double>(
+      out.total_busy_ns + out.total_sync_ns + out.total_idle_ns);
+  out.utilization =
+      occupied > 0 ? static_cast<double>(out.total_busy_ns) / occupied : 0.0;
+  return out;
+}
+
+WorkerLoadSummary summarize_load(const RunResult& result) {
+  std::vector<std::int64_t> busy, sync, idle;
+  std::vector<std::uint64_t> tasks;
+  busy.reserve(result.workers.size());
+  sync.reserve(result.workers.size());
+  idle.reserve(result.workers.size());
+  tasks.reserve(result.workers.size());
+  for (const auto& w : result.workers) {
+    busy.push_back(w.compute_ns);
+    sync.push_back(w.sync_ns);
+    idle.push_back(w.idle_ns);
+    tasks.push_back(w.tasks);
+  }
+  return summarize_load(busy, sync, idle, tasks);
+}
+
+void derive_idle(RunResult& result) {
+  const auto wall_ns = static_cast<std::int64_t>(result.wall_s * 1e9);
+  for (auto& w : result.workers) {
+    w.idle_ns = std::max<std::int64_t>(0, wall_ns - w.compute_ns - w.sync_ns);
+  }
+}
 
 std::uint64_t chain_frame_checksum(std::uint64_t digest,
                                    const mpeg2::Frame& frame) {

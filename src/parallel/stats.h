@@ -1,9 +1,16 @@
 // Per-worker and per-run statistics for the parallel decoders, matching the
 // quantities the paper reports: compute time, synchronization/queue wait
 // time, per-worker task counts, decoded pictures/sec, and peak memory.
+//
+// WorkerLoadSummary is the single place load-balance and synchronization
+// metrics (Figs. 6/12) are derived: both the real decoders (WorkerStats)
+// and the virtual-time simulator (SimWorkerStats) feed their per-worker
+// busy/sync vectors through summarize_load() instead of re-deriving
+// max/mean imbalance ad hoc in each bench binary.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mpeg2/frame.h"
@@ -14,6 +21,8 @@ namespace pmp2::parallel {
 struct WorkerStats {
   std::int64_t compute_ns = 0;  // thread CPU time spent decoding
   std::int64_t sync_ns = 0;     // wall time blocked on queues/dependencies
+  std::int64_t idle_ns = 0;     // run wall time minus compute minus sync
+                                // (derived once the run finishes)
   std::uint64_t tasks = 0;      // GOPs or slices completed
   mpeg2::WorkMeter work;
 };
@@ -24,6 +33,7 @@ struct RunResult {
   double scan_s = 0.0;      // time the scan pass took
   int pictures = 0;
   std::uint64_t checksum = 0;  // order-sensitive digest of display output
+  std::uint64_t stream_bytes = 0;         // coded bytes decoded
   std::int64_t peak_frame_bytes = 0;  // high-water frame memory
   int concealed_slices = 0;  // slices patched by error concealment
   std::vector<WorkerStats> workers;
@@ -31,7 +41,48 @@ struct RunResult {
   [[nodiscard]] double pictures_per_second() const {
     return wall_s > 0 ? pictures / wall_s : 0.0;
   }
+  [[nodiscard]] double megabytes_per_second() const {
+    return wall_s > 0 ? static_cast<double>(stream_bytes) / 1e6 / wall_s
+                      : 0.0;
+  }
 };
+
+/// Load-balance / synchronization metrics over one run's workers. Derived
+/// in exactly one place (summarize_load) so every bench and report agrees
+/// on the definitions:
+///   imbalance   = max worker busy time / mean worker busy time
+///   sync_ratio  = mean over workers of sync / (sync + busy)  (Fig. 12)
+///   utilization = total busy / (total busy + sync + idle)
+struct WorkerLoadSummary {
+  int workers = 0;
+  std::uint64_t tasks = 0;
+  std::int64_t min_busy_ns = 0;
+  std::int64_t max_busy_ns = 0;
+  double avg_busy_ns = 0.0;
+  std::int64_t total_busy_ns = 0;
+  std::int64_t total_sync_ns = 0;
+  std::int64_t total_idle_ns = 0;
+  double imbalance = 0.0;
+  double sync_ratio = 0.0;
+  double utilization = 0.0;
+};
+
+/// Core derivation over parallel per-worker vectors. `idle_ns` and `tasks`
+/// may be empty (treated as all-zero); the spans must otherwise share one
+/// length.
+[[nodiscard]] WorkerLoadSummary summarize_load(
+    std::span<const std::int64_t> busy_ns,
+    std::span<const std::int64_t> sync_ns,
+    std::span<const std::int64_t> idle_ns = {},
+    std::span<const std::uint64_t> tasks = {});
+
+/// Convenience over a real-decoder run (busy = compute_ns).
+[[nodiscard]] WorkerLoadSummary summarize_load(const RunResult& result);
+
+/// Fills each worker's idle_ns from the run wall time:
+/// idle = wall - compute - sync, clamped at zero. Called by both parallel
+/// decoders after joining their workers.
+void derive_idle(RunResult& result);
 
 /// Order-sensitive FNV-1a over a frame's display-area pels, chained with a
 /// running digest. Every decoder variant must produce the same final value.

@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/tracer.h"
+
 namespace pmp2::sched {
 
 namespace {
@@ -95,6 +97,23 @@ double SimResult::sync_ratio() const {
     }
   }
   return counted > 0 ? sum / counted : 0.0;
+}
+
+parallel::WorkerLoadSummary SimResult::load_summary() const {
+  std::vector<std::int64_t> busy, sync, idle;
+  std::vector<std::uint64_t> tasks;
+  busy.reserve(workers.size());
+  sync.reserve(workers.size());
+  idle.reserve(workers.size());
+  tasks.reserve(workers.size());
+  for (const auto& w : workers) {
+    busy.push_back(w.busy_ns);
+    sync.push_back(w.sync_ns);
+    idle.push_back(
+        std::max<std::int64_t>(0, makespan_ns - w.busy_ns - w.sync_ns));
+    tasks.push_back(static_cast<std::uint64_t>(w.tasks));
+  }
+  return parallel::summarize_load(busy, sync, idle, tasks);
 }
 
 // ---------------------------------------------------------------------------
@@ -223,6 +242,9 @@ SimResult simulate_gop(const StreamProfile& profile, const SimConfig& config) {
     auto& stats = result.workers[static_cast<std::size_t>(w)];
     stats.sync_ns += start - now;
     if (remote) ++stats.remote_tasks;
+    if (config.tracer && start > now) {
+      config.tracer->emit(w, obs::SpanKind::kSyncWait, now, start);
+    }
 
     const GopCost& gop = profile.gops[static_cast<std::size_t>(task.gop)];
     std::int64_t t = start;
@@ -241,8 +263,16 @@ SimResult simulate_gop(const StreamProfile& profile, const SimConfig& config) {
       auto& pm = pic_mem[static_cast<std::size_t>(display_index)];
       pm.alloc = alloc;
       pm.is_ref = pic.type != mpeg2::PictureType::kB;
+      if (config.tracer) {
+        config.tracer->emit(w, obs::SpanKind::kPicture, alloc, t,
+                            display_index, -1, task.gop);
+      }
     }
     ++stats.tasks;
+    if (config.tracer) {
+      config.tracer->emit(w, obs::SpanKind::kGopTask, start, t, -1, -1,
+                          task.gop);
+    }
     free_time[static_cast<std::size_t>(w)] = t;
     for (std::size_t p = 0; p < gop.pictures.size(); ++p) {
       pic_mem[static_cast<std::size_t>(
@@ -470,6 +500,13 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
       stats.busy_ns += cost + config.queue_overhead_ns;
       ++stats.tasks;
       if (remote) ++stats.remote_tasks;
+      if (config.tracer) {
+        if (now > w.since) {
+          config.tracer->emit(w.id, obs::SpanKind::kSyncWait, w.since, now);
+        }
+        config.tracer->emit(w.id, obs::SpanKind::kSliceTask, start,
+                            start + cost, p, s);
+      }
       events.push({start + cost, w.id, p});
       assigned = true;
     }

@@ -19,6 +19,10 @@
 #include "parallel/slice_parallel.h"
 #include "sched/profile.h"
 
+namespace pmp2::obs {
+class Tracer;
+}
+
 namespace pmp2::sched {
 
 struct SimConfig {
@@ -58,6 +62,11 @@ struct SimConfig {
   int cluster_size = 0;         // 0 = centralized memory (UMA)
   double remote_penalty = 1.0;  // cost multiplier for remote-homed tasks
   bool numa_local_queues = false;  // per-cluster queues + stealing
+
+  /// Optional span tracer (needs `workers` tracks). The simulator records
+  /// every task and wait with its *virtual* timestamps, so two runs with
+  /// identical config export byte-identical Chrome JSON.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct SimWorkerStats {
@@ -89,6 +98,9 @@ struct SimResult {
   [[nodiscard]] double avg_busy_ns() const;
   /// Average over workers of sync / (sync + busy), the paper's Fig. 12.
   [[nodiscard]] double sync_ratio() const;
+  /// Shared load-balance/sync summary (same derivation as the real
+  /// decoders, parallel::summarize_load); idle = makespan - busy - sync.
+  [[nodiscard]] parallel::WorkerLoadSummary load_summary() const;
 };
 
 /// Simulates the GOP-level decoder (one task per closed GOP).
