@@ -1,32 +1,33 @@
 #include "bitstream/bit_reader.h"
 
+#include <bit>
+#include <cstring>
+
 namespace pmp2 {
 
-std::uint32_t BitReader::peek(int n) const {
-  if (n == 0) return 0;
-  // Gather up to 8 bytes around the current position into a 64-bit window
-  // so any 32-bit peek is a shift+mask. Bits past the end of the buffer
-  // read as zero (a decoder peeking a wide window at the last code of a
-  // stream is normal); only *consuming* past the end sets the overrun flag
-  // (see skip()).
+void BitReader::refill() const {
   const std::uint64_t byte = bitpos_ >> 3;
-  std::uint64_t window = 0;
-  for (int i = 0; i < 8; ++i) {
-    const std::uint64_t idx = byte + static_cast<std::uint64_t>(i);
-    const std::uint8_t b = idx < data_.size() ? data_[idx] : 0;
-    window = (window << 8) | b;
+  std::uint64_t w;
+  if (byte + 8 <= data_.size()) {
+    // Fast path: one unaligned 8-byte load, swapped to stream bit order.
+    std::memcpy(&w, data_.data() + byte, 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      w = __builtin_bswap64(w);
+    }
+  } else {
+    // Within 8 bytes of the tail (or past it): gather what exists, reading
+    // missing bytes as zero. A decoder peeking a wide window at the last
+    // code of a stream is normal; only consuming past the end is an error
+    // (see skip()).
+    w = 0;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t idx = byte + static_cast<std::uint64_t>(i);
+      const std::uint8_t b = idx < data_.size() ? data_[idx] : 0;
+      w = (w << 8) | b;
+    }
   }
-  const int shift = 64 - offset_in_byte() - n;
-  return static_cast<std::uint32_t>((window >> shift) &
-                                    ((n == 32) ? 0xFFFFFFFFULL
-                                               : ((1ULL << n) - 1)));
-}
-
-void BitReader::skip(int n) {
-  bitpos_ += static_cast<std::uint64_t>(n);
-  if (bitpos_ > static_cast<std::uint64_t>(data_.size()) * 8) {
-    overrun_ = true;
-  }
+  window_ = w;
+  window_start_ = byte * 8;
 }
 
 bool BitReader::align_to_next_startcode() {

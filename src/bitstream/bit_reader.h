@@ -2,10 +2,29 @@
 //
 // This is the decoder's only access path to the elementary stream, so it is
 // designed for the access pattern of MPEG VLC decoding: cheap peek of up to
-// 24 bits (to index Huffman tables) followed by a skip of the consumed code
+// 32 bits (to index Huffman tables) followed by a skip of the consumed code
 // length. Reads past the end of the buffer return zero bits and set an
 // overrun flag rather than throwing, matching how a real decoder treats a
 // truncated stream (it notices at the next startcode check).
+//
+// Hot-path design: the reader caches a 64-bit window of the stream starting
+// at the byte containing the current position. While the window covers the
+// requested bits, peek() is a shift and a mask; the window is refilled with
+// a single 8-byte load when at least 8 bytes remain (a byte-wise gather with
+// zero fill runs only within 8 bytes of the buffer tail). skip() and the
+// seek_* functions just move the bit position — window validity is
+// re-checked against the position on the next peek, so seeking in either
+// direction is always safe.
+//
+// Bit-extraction edge cases (tested in bitstream_test.cpp), handled here
+// once so callers and table builders never re-derive them:
+//  * n == 0  returns 0 without touching the window (a 64-bit shift by
+//    64 - offset - 0 could be a shift by 64, which is undefined).
+//  * n == 32 is the widest peek; the mask (1ULL << n) - 1 is computed in
+//    64 bits, so it is exactly 0xFFFFFFFF rather than the zero that a
+//    32-bit 1u << 32 would produce.
+//  * Peeks straddling the final byte (or entirely past the end) read the
+//    missing bytes as zero; only *consuming* past the end sets overrun().
 #pragma once
 
 #include <cstdint>
@@ -20,10 +39,27 @@ class BitReader {
 
   /// Returns the next `n` bits (0 <= n <= 32) without consuming them,
   /// MSB-aligned to the low bits of the result.
-  [[nodiscard]] std::uint32_t peek(int n) const;
+  [[nodiscard]] std::uint32_t peek(int n) const {
+    if (n == 0) return 0;
+    if (bitpos_ < window_start_ || bitpos_ + static_cast<unsigned>(n) >
+                                       window_start_ + 64) {
+      refill();
+    }
+    // After refill the window starts at the current byte, so
+    // offset <= 7 and offset + n <= 39 < 64: the shift is never negative.
+    const int shift =
+        64 - static_cast<int>(bitpos_ - window_start_) - n;
+    return static_cast<std::uint32_t>((window_ >> shift) &
+                                      ((1ULL << n) - 1));
+  }
 
   /// Consumes `n` bits (0 <= n <= 32).
-  void skip(int n);
+  void skip(int n) {
+    bitpos_ += static_cast<std::uint64_t>(n);
+    if (bitpos_ > static_cast<std::uint64_t>(data_.size()) * 8) {
+      overrun_ = true;
+    }
+  }
 
   /// Reads and consumes `n` bits.
   std::uint32_t get(int n) {
@@ -78,9 +114,18 @@ class BitReader {
     return static_cast<int>(bitpos_ & 7);
   }
 
+  /// Loads the 8 bytes starting at the byte containing bitpos_ into
+  /// window_ (big-endian bit order), zero-filling past the buffer end.
+  void refill() const;
+
   std::span<const std::uint8_t> data_;
   std::uint64_t bitpos_ = 0;
   bool overrun_ = false;
+  // Cached stream window: 64 bits starting at absolute bit window_start_,
+  // MSB first. The sentinel start makes the very first peek refill.
+  // Mutable: the cache is logically const state (peek is observably pure).
+  mutable std::uint64_t window_ = 0;
+  mutable std::uint64_t window_start_ = ~std::uint64_t{0};
 };
 
 }  // namespace pmp2

@@ -1,7 +1,10 @@
 #include "mpeg2/dct.h"
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <numbers>
 
 namespace pmp2::mpeg2 {
@@ -70,11 +73,218 @@ constexpr std::int32_t descale(std::int64_t x, int n) {
   return static_cast<std::int32_t>((x + (std::int64_t{1} << (n - 1))) >> n);
 }
 
+/// Shift without the rounding add: used where the rounding constant has
+/// already been folded into the accumulator (descale(a + b, n) ==
+/// rshift(a + r + b, n) with r = 2^(n-1) — the kernels fold r into the
+/// even-part terms once instead of adding it in every one of the eight
+/// output descales).
+constexpr std::int32_t rshift(std::int64_t x, int n) {
+  return static_cast<std::int32_t>(x >> n);
+}
+
 constexpr std::int64_t mul(std::int64_t a, std::int32_t b) { return a * b; }
+
+// Sparse dispatch groups rows (pass 1) and columns (pass 2) into four lane
+// sets {1}, {2,3}, {4,5,6}, {7} — index 0 (the DC lane) is always live. A
+// 4-bit group mask selects one of 16 kernel instantiations in which the
+// loads of guaranteed-zero lanes constant-fold to 0 and the multiplies on
+// them vanish. The surviving arithmetic is identical to the full kernel's,
+// keeping every instantiation bit-exact; group masks are conservative the
+// same way the sparsity masks are. Group granularity (not per-lane, 256
+// variants) keeps the generated code icache-resident, and the lane sets
+// follow the measured occupancy of decoded coefficient blocks: real
+// content concentrates in rows/cols 0-3, lanes 4-6 are nearly always
+// empty, and lane 7 gets its own group because the mismatch-control
+// coefficient (ISO 13818-2 7.4.4 toggles position 63) plants a lone value
+// at row 7 / col 7 in most non-intra blocks — pairing lane 7 with lane 6
+// would drag the even-part work for never-occupied lane 6 into two thirds
+// of all blocks.
+constexpr unsigned kGroup1 = 1u;    // row/col 1
+constexpr unsigned kGroup23 = 2u;   // rows/cols 2-3
+constexpr unsigned kGroup456 = 4u;  // rows/cols 4-6
+constexpr unsigned kGroup7 = 8u;    // row/col 7
+constexpr unsigned kGroupAll = 15u;
+
+/// Maps an 8-bit occupancy mask to its 4-bit lane-group mask.
+constexpr std::array<std::uint8_t, 256> make_group_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned m = 0; m < 256; ++m) {
+    unsigned g = 0;
+    if (m & 0x02u) g |= kGroup1;
+    if (m & 0x0Cu) g |= kGroup23;
+    if (m & 0x70u) g |= kGroup456;
+    if (m & 0x80u) g |= kGroup7;
+    t[m] = static_cast<std::uint8_t>(g);
+  }
+  return t;
+}
+constexpr std::array<std::uint8_t, 256> kGroupOf = make_group_table();
+
+/// Columns the pass-2 kernel for group `g` actually reads: column 0 plus
+/// both members of every live pair. Pass 1 skips the workspace stores for
+/// any column outside this set — such a column has no coefficients at all
+/// (the read set is a superset of col_mask's expansion), so its workspace
+/// value is zero and pass 2's instantiation folds it away without loading.
+constexpr std::array<std::uint8_t, 16> make_group_read_cols() {
+  std::array<std::uint8_t, 16> t{};
+  for (unsigned g = 0; g < 16; ++g) {
+    unsigned m = 0x01u;
+    if (g & kGroup1) m |= 0x02u;
+    if (g & kGroup23) m |= 0x0Cu;
+    if (g & kGroup456) m |= 0x70u;
+    if (g & kGroup7) m |= 0x80u;
+    t[g] = static_cast<std::uint8_t>(m);
+  }
+  return t;
+}
+constexpr std::array<std::uint8_t, 16> kGroupReadCols = make_group_read_cols();
+
+/// Odd stage of the LLM butterfly, shared by both passes. Takes the lane
+/// values for rows/columns 1, 3, 5, 7 (literal zero where the group mask
+/// folds a lane away) and produces the four accumulator terms: o3 pairs
+/// with tmp10 (outputs 0/7), o2 with tmp11, o1 with tmp12, o0 with tmp13.
+///
+/// Each lane group holds exactly one odd lane (g1->1, g23->3, g456->5,
+/// g7->7), so when a single group is live the whole stage collapses to four
+/// multiplies by pre-combined constants. The fold is bit-identical to the
+/// general chain: every surviving product shares the same lane value, and
+/// int64 distributivity (c1*x + c2*x == (c1+c2)*x) is exact.
+template <unsigned kG>
+inline void idct_odd_stage(std::int64_t x1, std::int64_t x3, std::int64_t x5,
+                           std::int64_t x7, std::int64_t& o0, std::int64_t& o1,
+                           std::int64_t& o2, std::int64_t& o3) {
+  constexpr int kLive = ((kG & kGroup1) ? 1 : 0) + ((kG & kGroup23) ? 1 : 0) +
+                        ((kG & kGroup456) ? 1 : 0) + ((kG & kGroup7) ? 1 : 0);
+  if constexpr (kLive == 1) {
+    if constexpr ((kG & kGroup1) != 0) {
+      o0 = mul(x1, kFix_1_175875602 - kFix_0_899976223);
+      o1 = mul(x1, kFix_1_175875602 - kFix_0_390180644);
+      o2 = mul(x1, kFix_1_175875602);
+      o3 = mul(x1, kFix_1_501321110 - kFix_0_899976223 - kFix_0_390180644 +
+                       kFix_1_175875602);
+    } else if constexpr ((kG & kGroup23) != 0) {
+      o0 = mul(x3, kFix_1_175875602 - kFix_1_961570560);
+      o1 = mul(x3, kFix_1_175875602 - kFix_2_562915447);
+      o2 = mul(x3, kFix_3_072711026 - kFix_2_562915447 - kFix_1_961570560 +
+                       kFix_1_175875602);
+      o3 = mul(x3, kFix_1_175875602);
+    } else if constexpr ((kG & kGroup456) != 0) {
+      o0 = mul(x5, kFix_1_175875602);
+      o1 = mul(x5, kFix_2_053119869 - kFix_2_562915447 - kFix_0_390180644 +
+                       kFix_1_175875602);
+      o2 = mul(x5, kFix_1_175875602 - kFix_2_562915447);
+      o3 = mul(x5, kFix_1_175875602 - kFix_0_390180644);
+    } else {
+      o0 = mul(x7, kFix_0_298631336 - kFix_0_899976223 - kFix_1_961570560 +
+                       kFix_1_175875602);
+      o1 = mul(x7, kFix_1_175875602);
+      o2 = mul(x7, kFix_1_175875602 - kFix_1_961570560);
+      o3 = mul(x7, kFix_1_175875602 - kFix_0_899976223);
+    }
+  } else {
+    std::int64_t z1 = x7 + x1;
+    std::int64_t z2 = x5 + x3;
+    std::int64_t z3 = x7 + x3;
+    std::int64_t z4 = x5 + x1;
+    const std::int64_t z5 = mul(z3 + z4, kFix_1_175875602);
+    o0 = mul(x7, kFix_0_298631336);
+    o1 = mul(x5, kFix_2_053119869);
+    o2 = mul(x3, kFix_3_072711026);
+    o3 = mul(x1, kFix_1_501321110);
+    z1 = mul(z1, -kFix_0_899976223);
+    z2 = mul(z2, -kFix_2_562915447);
+    z3 = mul(z3, -kFix_1_961570560) + z5;
+    z4 = mul(z4, -kFix_0_390180644) + z5;
+    o0 += z1 + z3;
+    o1 += z2 + z4;
+    o2 += z2 + z3;
+    o3 += z1 + z4;
+  }
+}
+
+/// Pass 1 for one column with at least one nonzero AC coefficient: `in` and
+/// `ws` point at the column's first element, stride 8. Results scaled up by
+/// 2^kPass1Bits. `kG` is the row pair-group mask.
+template <unsigned kG>
+inline void idct_pass1_column(const std::int16_t* in, std::int32_t* ws) {
+  // Even part.
+  std::int64_t z2 = (kG & kGroup23) ? in[8 * 2] : 0;
+  std::int64_t z3 = (kG & kGroup456) ? in[8 * 6] : 0;
+  std::int64_t z1 = mul(z2 + z3, kFix_0_541196100);
+  const std::int64_t tmp2e = z1 + mul(z3, -kFix_1_847759065);
+  const std::int64_t tmp3e = z1 + mul(z2, kFix_0_765366865);
+  z2 = in[8 * 0];
+  z3 = (kG & kGroup456) ? in[8 * 4] : 0;
+  // Rounding for the final >> of this pass, folded in once (see rshift).
+  constexpr std::int64_t kRound = std::int64_t{1}
+                                  << (kConstBits - kPass1Bits - 1);
+  const std::int64_t tmp0e = ((z2 + z3) << kConstBits) + kRound;
+  const std::int64_t tmp1e = ((z2 - z3) << kConstBits) + kRound;
+  const std::int64_t tmp10 = tmp0e + tmp3e;
+  const std::int64_t tmp13 = tmp0e - tmp3e;
+  const std::int64_t tmp11 = tmp1e + tmp2e;
+  const std::int64_t tmp12 = tmp1e - tmp2e;
+
+  // Odd part.
+  std::int64_t tmp0, tmp1, tmp2, tmp3;
+  idct_odd_stage<kG>((kG & kGroup1) ? in[8 * 1] : 0,
+                     (kG & kGroup23) ? in[8 * 3] : 0,
+                     (kG & kGroup456) ? in[8 * 5] : 0,
+                     (kG & kGroup7) ? in[8 * 7] : 0, tmp0, tmp1, tmp2, tmp3);
+
+  ws[8 * 0] = rshift(tmp10 + tmp3, kConstBits - kPass1Bits);
+  ws[8 * 7] = rshift(tmp10 - tmp3, kConstBits - kPass1Bits);
+  ws[8 * 1] = rshift(tmp11 + tmp2, kConstBits - kPass1Bits);
+  ws[8 * 6] = rshift(tmp11 - tmp2, kConstBits - kPass1Bits);
+  ws[8 * 2] = rshift(tmp12 + tmp1, kConstBits - kPass1Bits);
+  ws[8 * 5] = rshift(tmp12 - tmp1, kConstBits - kPass1Bits);
+  ws[8 * 3] = rshift(tmp13 + tmp0, kConstBits - kPass1Bits);
+  ws[8 * 4] = rshift(tmp13 - tmp0, kConstBits - kPass1Bits);
+}
+
+/// Pass 2 for one row: final descale by kConstBits + kPass1Bits + 3 (the +3
+/// is the 1/8 normalization of the 2-D transform). `kG` is the column
+/// pair-group mask, exactly as the row groups bound pass 1.
+template <unsigned kG>
+inline void idct_pass2_row(const std::int32_t* ws, std::int16_t* out) {
+  // Even part.
+  std::int64_t z2 = (kG & kGroup23) ? ws[2] : 0;
+  std::int64_t z3 = (kG & kGroup456) ? ws[6] : 0;
+  std::int64_t z1 = mul(z2 + z3, kFix_0_541196100);
+  const std::int64_t tmp2e = z1 + mul(z3, -kFix_1_847759065);
+  const std::int64_t tmp3e = z1 + mul(z2, kFix_0_765366865);
+  z2 = ws[0];
+  z3 = (kG & kGroup456) ? ws[4] : 0;
+  // Rounding for the final >> of this pass, folded in once (see rshift).
+  constexpr std::int64_t kRound = std::int64_t{1}
+                                  << (kConstBits + kPass1Bits + 3 - 1);
+  const std::int64_t tmp0e = ((z2 + z3) << kConstBits) + kRound;
+  const std::int64_t tmp1e = ((z2 - z3) << kConstBits) + kRound;
+  const std::int64_t tmp10 = tmp0e + tmp3e;
+  const std::int64_t tmp13 = tmp0e - tmp3e;
+  const std::int64_t tmp11 = tmp1e + tmp2e;
+  const std::int64_t tmp12 = tmp1e - tmp2e;
+
+  // Odd part.
+  std::int64_t tmp0, tmp1, tmp2, tmp3;
+  idct_odd_stage<kG>((kG & kGroup1) ? ws[1] : 0, (kG & kGroup23) ? ws[3] : 0,
+                     (kG & kGroup456) ? ws[5] : 0, (kG & kGroup7) ? ws[7] : 0,
+                     tmp0, tmp1, tmp2, tmp3);
+
+  constexpr int kFinal = kConstBits + kPass1Bits + 3;
+  out[0] = static_cast<std::int16_t>(rshift(tmp10 + tmp3, kFinal));
+  out[7] = static_cast<std::int16_t>(rshift(tmp10 - tmp3, kFinal));
+  out[1] = static_cast<std::int16_t>(rshift(tmp11 + tmp2, kFinal));
+  out[6] = static_cast<std::int16_t>(rshift(tmp11 - tmp2, kFinal));
+  out[2] = static_cast<std::int16_t>(rshift(tmp12 + tmp1, kFinal));
+  out[5] = static_cast<std::int16_t>(rshift(tmp12 - tmp1, kFinal));
+  out[3] = static_cast<std::int16_t>(rshift(tmp13 + tmp0, kFinal));
+  out[4] = static_cast<std::int16_t>(rshift(tmp13 - tmp0, kFinal));
+}
 
 }  // namespace
 
-void idct_int(Block& block) {
+void idct_int_dense(Block& block) {
   std::int32_t workspace[64];
 
   // Pass 1: columns, results scaled up by 2^kPass1Bits.
@@ -89,109 +299,145 @@ void idct_int(Block& block) {
       for (int row = 0; row < 8; ++row) ws[8 * row] = dc;
       continue;
     }
-
-    // Even part.
-    std::int64_t z2 = in[8 * 2];
-    std::int64_t z3 = in[8 * 6];
-    std::int64_t z1 = mul(z2 + z3, kFix_0_541196100);
-    const std::int64_t tmp2e = z1 + mul(z3, -kFix_1_847759065);
-    const std::int64_t tmp3e = z1 + mul(z2, kFix_0_765366865);
-    z2 = in[8 * 0];
-    z3 = in[8 * 4];
-    const std::int64_t tmp0e = (z2 + z3) << kConstBits;
-    const std::int64_t tmp1e = (z2 - z3) << kConstBits;
-    const std::int64_t tmp10 = tmp0e + tmp3e;
-    const std::int64_t tmp13 = tmp0e - tmp3e;
-    const std::int64_t tmp11 = tmp1e + tmp2e;
-    const std::int64_t tmp12 = tmp1e - tmp2e;
-
-    // Odd part.
-    std::int64_t tmp0 = in[8 * 7];
-    std::int64_t tmp1 = in[8 * 5];
-    std::int64_t tmp2 = in[8 * 3];
-    std::int64_t tmp3 = in[8 * 1];
-    z1 = tmp0 + tmp3;
-    z2 = tmp1 + tmp2;
-    z3 = tmp0 + tmp2;
-    std::int64_t z4 = tmp1 + tmp3;
-    const std::int64_t z5 = mul(z3 + z4, kFix_1_175875602);
-    tmp0 = mul(tmp0, kFix_0_298631336);
-    tmp1 = mul(tmp1, kFix_2_053119869);
-    tmp2 = mul(tmp2, kFix_3_072711026);
-    tmp3 = mul(tmp3, kFix_1_501321110);
-    z1 = mul(z1, -kFix_0_899976223);
-    z2 = mul(z2, -kFix_2_562915447);
-    z3 = mul(z3, -kFix_1_961570560) + z5;
-    z4 = mul(z4, -kFix_0_390180644) + z5;
-    tmp0 += z1 + z3;
-    tmp1 += z2 + z4;
-    tmp2 += z2 + z3;
-    tmp3 += z1 + z4;
-
-    ws[8 * 0] = descale(tmp10 + tmp3, kConstBits - kPass1Bits);
-    ws[8 * 7] = descale(tmp10 - tmp3, kConstBits - kPass1Bits);
-    ws[8 * 1] = descale(tmp11 + tmp2, kConstBits - kPass1Bits);
-    ws[8 * 6] = descale(tmp11 - tmp2, kConstBits - kPass1Bits);
-    ws[8 * 2] = descale(tmp12 + tmp1, kConstBits - kPass1Bits);
-    ws[8 * 5] = descale(tmp12 - tmp1, kConstBits - kPass1Bits);
-    ws[8 * 3] = descale(tmp13 + tmp0, kConstBits - kPass1Bits);
-    ws[8 * 4] = descale(tmp13 - tmp0, kConstBits - kPass1Bits);
+    idct_pass1_column<kGroupAll>(in, ws);
   }
 
-  // Pass 2: rows, final descale by kConstBits + kPass1Bits + 3 (the +3 is
-  // the 1/8 normalization of the 2-D transform).
+  // Pass 2: rows.
   for (int row = 0; row < 8; ++row) {
-    const std::int32_t* ws = workspace + row * 8;
-    std::int16_t* out = block.data() + row * 8;
-
-    // Even part.
-    std::int64_t z2 = ws[2];
-    std::int64_t z3 = ws[6];
-    std::int64_t z1 = mul(z2 + z3, kFix_0_541196100);
-    const std::int64_t tmp2e = z1 + mul(z3, -kFix_1_847759065);
-    const std::int64_t tmp3e = z1 + mul(z2, kFix_0_765366865);
-    z2 = ws[0];
-    z3 = ws[4];
-    const std::int64_t tmp0e = (z2 + z3) << kConstBits;
-    const std::int64_t tmp1e = (z2 - z3) << kConstBits;
-    const std::int64_t tmp10 = tmp0e + tmp3e;
-    const std::int64_t tmp13 = tmp0e - tmp3e;
-    const std::int64_t tmp11 = tmp1e + tmp2e;
-    const std::int64_t tmp12 = tmp1e - tmp2e;
-
-    // Odd part.
-    std::int64_t tmp0 = ws[7];
-    std::int64_t tmp1 = ws[5];
-    std::int64_t tmp2 = ws[3];
-    std::int64_t tmp3 = ws[1];
-    z1 = tmp0 + tmp3;
-    z2 = tmp1 + tmp2;
-    z3 = tmp0 + tmp2;
-    std::int64_t z4 = tmp1 + tmp3;
-    const std::int64_t z5 = mul(z3 + z4, kFix_1_175875602);
-    tmp0 = mul(tmp0, kFix_0_298631336);
-    tmp1 = mul(tmp1, kFix_2_053119869);
-    tmp2 = mul(tmp2, kFix_3_072711026);
-    tmp3 = mul(tmp3, kFix_1_501321110);
-    z1 = mul(z1, -kFix_0_899976223);
-    z2 = mul(z2, -kFix_2_562915447);
-    z3 = mul(z3, -kFix_1_961570560) + z5;
-    z4 = mul(z4, -kFix_0_390180644) + z5;
-    tmp0 += z1 + z3;
-    tmp1 += z2 + z4;
-    tmp2 += z2 + z3;
-    tmp3 += z1 + z4;
-
-    constexpr int kFinal = kConstBits + kPass1Bits + 3;
-    out[0] = static_cast<std::int16_t>(descale(tmp10 + tmp3, kFinal));
-    out[7] = static_cast<std::int16_t>(descale(tmp10 - tmp3, kFinal));
-    out[1] = static_cast<std::int16_t>(descale(tmp11 + tmp2, kFinal));
-    out[6] = static_cast<std::int16_t>(descale(tmp11 - tmp2, kFinal));
-    out[2] = static_cast<std::int16_t>(descale(tmp12 + tmp1, kFinal));
-    out[5] = static_cast<std::int16_t>(descale(tmp12 - tmp1, kFinal));
-    out[3] = static_cast<std::int16_t>(descale(tmp13 + tmp0, kFinal));
-    out[4] = static_cast<std::int16_t>(descale(tmp13 - tmp0, kFinal));
+    idct_pass2_row<kGroupAll>(workspace + row * 8, block.data() + row * 8);
   }
+}
+
+namespace {
+
+/// Pass 1 over all 8 columns: active columns (AC mask bit set) get the
+/// group-bounded kernel, DC-only columns in pass 2's read set propagate
+/// in[col] << kPass1Bits, and columns pass 2 never reads are skipped
+/// outright (they are coefficient-free, so their workspace value is zero).
+template <unsigned kG>
+void idct_pass1_all(const Block& block, std::int32_t* workspace,
+                    unsigned ac_cols, unsigned store_cols) {
+  for (int col = 0; col < 8; ++col) {
+    const std::int16_t* in = block.data() + col;
+    std::int32_t* ws = workspace + col;
+    if ((ac_cols >> col) & 1u) {
+      idct_pass1_column<kG>(in, ws);
+    } else if ((store_cols >> col) & 1u) {
+      const std::int32_t dc = static_cast<std::int32_t>(in[0]) << kPass1Bits;
+      for (int row = 0; row < 8; ++row) ws[8 * row] = dc;
+    }
+  }
+}
+
+template <unsigned kG>
+void idct_pass2_all(std::int32_t* workspace, Block& block) {
+  for (int row = 0; row < 8; ++row) {
+    idct_pass2_row<kG>(workspace + row * 8, block.data() + row * 8);
+  }
+}
+
+using Pass1AllFn = void (*)(const Block&, std::int32_t*, unsigned, unsigned);
+using Pass2AllFn = void (*)(std::int32_t*, Block&);
+
+constexpr Pass1AllFn kPass1All[16] = {
+    idct_pass1_all<0>,  idct_pass1_all<1>,  idct_pass1_all<2>,
+    idct_pass1_all<3>,  idct_pass1_all<4>,  idct_pass1_all<5>,
+    idct_pass1_all<6>,  idct_pass1_all<7>,  idct_pass1_all<8>,
+    idct_pass1_all<9>,  idct_pass1_all<10>, idct_pass1_all<11>,
+    idct_pass1_all<12>, idct_pass1_all<13>, idct_pass1_all<14>,
+    idct_pass1_all<15>};
+
+constexpr Pass2AllFn kPass2All[16] = {
+    idct_pass2_all<0>,  idct_pass2_all<1>,  idct_pass2_all<2>,
+    idct_pass2_all<3>,  idct_pass2_all<4>,  idct_pass2_all<5>,
+    idct_pass2_all<6>,  idct_pass2_all<7>,  idct_pass2_all<8>,
+    idct_pass2_all<9>,  idct_pass2_all<10>, idct_pass2_all<11>,
+    idct_pass2_all<12>, idct_pass2_all<13>, idct_pass2_all<14>,
+    idct_pass2_all<15>};
+
+}  // namespace
+
+void idct_int(Block& block, BlockSparsity s) {
+  // One branch guards both collapse paths: a clear ac_col_mask guarantees
+  // rows 1..7 are all zero (clear bits are guarantees), which is the only
+  // property either path needs — cheaper than testing dc_only and row_mask
+  // separately on the hot path.
+  if (s.ac_col_mask == 0) {
+    if (s.dc_only) {
+      // Both passes collapse: with only coeffs[0] nonzero every output pel
+      // is descale((dc << kPass1Bits) << kConstBits,
+      // kConstBits + kPass1Bits + 3) = (dc + 4) >> 3, identical to running
+      // the dense transform.
+      const auto v = static_cast<std::int16_t>((block[0] + 4) >> 3);
+      block.fill(v);
+      return;
+    }
+    // All coefficients live in row 0: every pass-1 column is DC-only, so
+    // all eight workspace rows are identical (in[c] << kPass1Bits). Run
+    // pass 2 once and replicate its output row — bit-identical to running
+    // it eight times on identical input.
+    std::int32_t ws[8];
+    for (int col = 0; col < 8; ++col) {
+      ws[col] = static_cast<std::int32_t>(block[col]) << kPass1Bits;
+    }
+    idct_pass2_row<kGroupAll>(ws, block.data());
+    for (int row = 1; row < 8; ++row) {
+      std::memcpy(block.data() + row * 8, block.data(),
+                  8 * sizeof(std::int16_t));
+    }
+    return;
+  }
+
+  // Pair-group dispatch, one table lookup per pass. The dense kernel
+  // discovers DC-only columns by reading rows 1..7; here one mask bit per
+  // column decides, and the group masks select kernel instantiations with
+  // the guaranteed-zero butterfly pairs folded away. A column flagged AC
+  // whose values happen to all be zero is harmless: the full pass on a
+  // DC-only column produces exactly the propagated-DC result (odd part
+  // cancels, descale(dc << kConstBits, kConstBits - kPass1Bits) ==
+  // dc << 2), and the reduced kernels only drop terms the masks guarantee
+  // are zero.
+  std::int32_t workspace[64];
+  const unsigned col_group = kGroupOf[s.col_mask];
+  kPass1All[kGroupOf[s.row_mask]](block, workspace, s.ac_col_mask,
+                                  kGroupReadCols[col_group]);
+  kPass2All[col_group](workspace, block);
+}
+
+void idct_int(Block& block) {
+  // Derive the sparsity from the values: two 8-byte loads per row decide
+  // row occupancy; only occupied AC rows are scanned for column bits.
+  BlockSparsity s = BlockSparsity::none();
+  std::uint64_t lo, hi;
+  std::memcpy(&lo, block.data(), 8);
+  std::memcpy(&hi, block.data() + 4, 8);
+  if ((lo | hi) != 0) {
+    s.row_mask |= 1u;
+    for (int c = 0; c < 8; ++c) {
+      if (block[c] != 0) s.col_mask |= static_cast<std::uint8_t>(1u << c);
+    }
+  }
+  for (int r = 1; r < 8; ++r) {
+    const std::int16_t* row = block.data() + r * 8;
+    std::memcpy(&lo, row, 8);
+    std::memcpy(&hi, row + 4, 8);
+    if ((lo | hi) == 0) continue;
+    s.row_mask |= static_cast<std::uint8_t>(1u << r);
+    s.dc_only = false;
+    for (int c = 0; c < 8; ++c) {
+      if (row[c] != 0) s.ac_col_mask |= static_cast<std::uint8_t>(1u << c);
+    }
+  }
+  s.col_mask |= s.ac_col_mask;
+  if (s.dc_only) {
+    for (int i = 1; i < 8; ++i) {
+      if (block[i] != 0) {
+        s.dc_only = false;
+        break;
+      }
+    }
+  }
+  idct_int(block, s);
 }
 
 }  // namespace pmp2::mpeg2

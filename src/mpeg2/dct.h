@@ -26,6 +26,22 @@ void idct_reference(const std::array<double, 64>& in,
 /// factorization, 13-bit constants — the jpeglib "islow" variant). Operates
 /// in place on the coefficient block; results are spatial values, which may
 /// be negative for prediction-error blocks.
+///
+/// Computes the block's sparsity itself (two 64-bit loads per row) and
+/// dispatches to the sparsity-aware transform below. Bit-identical to
+/// idct_int_dense for every input.
 void idct_int(Block& block);
+
+/// Sparsity-aware variant: `s` is the caller-tracked summary (the slice
+/// decoder gets it for free from VLC decode + dequantization). A DC-only
+/// block collapses to one rounded fill; otherwise rows absent from
+/// s.row_mask are skipped in the column pass. `s` must be conservative
+/// (see BlockSparsity); output is bit-identical to idct_int_dense.
+void idct_int(Block& block, BlockSparsity s);
+
+/// The pre-sparsity two-pass implementation (with its original per-column
+/// zero test only). Kept as the equivalence oracle for tests and the
+/// before/after baseline in bench_micro_kernels.
+void idct_int_dense(Block& block);
 
 }  // namespace pmp2::mpeg2

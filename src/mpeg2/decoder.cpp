@@ -214,6 +214,7 @@ Decoder::Status Decoder::decode_stream(std::span<const std::uint8_t> stream,
       PictureContext pic;
       pic.seq = &structure.seq;
       pic.mpeg1 = structure.mpeg1;
+      pic.block_observer = block_observer_;
       if (!parse_picture_headers(br, pic.header, pic.ext)) return out;
       pic.mb_width = structure.mb_width();
       pic.mb_height = structure.mb_height();

@@ -145,6 +145,13 @@ class Decoder {
                        const FrameCallback& on_frame,
                        TraceSink* sink = nullptr, int proc = 0);
 
+  /// Optional hook receiving every coded block after dequantization and
+  /// before the IDCT (see BlockObserver). bench_micro_kernels uses it to
+  /// harvest a realistic coefficient-block corpus from decoded streams.
+  void set_block_observer(BlockObserver* observer) {
+    block_observer_ = observer;
+  }
+
   /// Convenience: decodes a whole elementary stream into display-order
   /// frames (small streams / tests).
   [[nodiscard]] DecodedStream decode(std::span<const std::uint8_t> stream,
@@ -153,6 +160,7 @@ class Decoder {
  private:
   MemoryTracker* tracker_;
   bool conceal_errors_;
+  BlockObserver* block_observer_ = nullptr;
 };
 
 /// Display reordering helper shared by every decoder variant: feed frames

@@ -1,6 +1,7 @@
 #include "mpeg2/motion.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "mpeg2/vlc_tables.h"
 
@@ -70,9 +71,10 @@ int f_code_for_range(int bound) {
   return 9;
 }
 
-void form_prediction(const std::uint8_t* ref, int ref_stride,
-                     std::uint8_t* dst, int dst_stride, int x, int y, int w,
-                     int h, int vx, int vy, McMode mode) {
+void form_prediction_reference(const std::uint8_t* ref, int ref_stride,
+                               std::uint8_t* dst, int dst_stride, int x,
+                               int y, int w, int h, int vx, int vy,
+                               McMode mode) {
   const int sx = x + (vx >> 1);
   const int sy = y + (vy >> 1);
   const bool hx = (vx & 1) != 0;
@@ -117,6 +119,173 @@ void form_prediction(const std::uint8_t* ref, int ref_stride,
               (s0[c] + s0[c + 1] + s1[c] + s1[c + 1] + 2) >> 2);
       }
     }
+  }
+}
+
+// --- SWAR motion-compensation kernels --------------------------------------
+//
+// form_prediction is specialized on (interpolation mode x copy/average), 8
+// pels per step on uint64_t. Half-pel interpolation uses the carry-free
+// byte average (a | b) - (((a ^ b) >> 1) & 0x7f..7f) == per-byte
+// (a + b + 1) >> 1, which matches the standard's rounding exactly; the
+// diagonal case widens to 16-bit lanes (max lane sum 4*255 + 2 < 2^16).
+// The kAverage (bidirectional second pass) destination blend is the same
+// byte average applied on top — the scalar reference composes the two
+// roundings the same way, so results are bit-identical. Widths that are not
+// a multiple of 8 (not produced by any caller, but allowed by the contract)
+// fall through to a scalar tail; no byte beyond the w+1 columns the scalar
+// code reads is ever touched.
+
+namespace {
+
+inline std::uint64_t load8(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void store8(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, 8);
+}
+
+constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7fULL;
+constexpr std::uint64_t kLanes16 = 0x00ff00ff00ff00ffULL;
+constexpr std::uint64_t kRound2 = 0x0002000200020002ULL;
+
+/// Per-byte (a + b + 1) >> 1 without carries across lanes.
+inline std::uint64_t avg8(std::uint64_t a, std::uint64_t b) {
+  return (a | b) - (((a ^ b) >> 1) & kLow7);
+}
+
+/// Eight diagonal half-pel pels: (s0[c] + s0[c+1] + s1[c] + s1[c+1] + 2)
+/// >> 2 per output byte, via even/odd 16-bit lanes.
+inline std::uint64_t interp_hv8(const std::uint8_t* s0,
+                                const std::uint8_t* s1) {
+  const std::uint64_t a = load8(s0);
+  const std::uint64_t a1 = load8(s0 + 1);
+  const std::uint64_t b = load8(s1);
+  const std::uint64_t b1 = load8(s1 + 1);
+  const std::uint64_t lo = (((a & kLanes16) + (a1 & kLanes16) +
+                             (b & kLanes16) + (b1 & kLanes16) + kRound2) >>
+                            2) &
+                           kLanes16;
+  const std::uint64_t hi = ((((a >> 8) & kLanes16) + ((a1 >> 8) & kLanes16) +
+                             ((b >> 8) & kLanes16) + ((b1 >> 8) & kLanes16) +
+                             kRound2) >>
+                            2) &
+                           kLanes16;
+  return lo | (hi << 8);
+}
+
+template <bool Avg>
+inline void store_span(std::uint8_t* d, std::uint64_t pels) {
+  if constexpr (Avg) {
+    store8(d, avg8(load8(d), pels));
+  } else {
+    store8(d, pels);
+  }
+}
+
+template <bool Avg>
+inline void store_tail(std::uint8_t* d, int pel) {
+  if constexpr (Avg) {
+    *d = static_cast<std::uint8_t>((*d + pel + 1) >> 1);
+  } else {
+    *d = static_cast<std::uint8_t>(pel);
+  }
+}
+
+template <bool Avg>
+void mc_rows_full(const std::uint8_t* src, int ref_stride, std::uint8_t* dst,
+                  int dst_stride, int w, int h) {
+  const int w8 = w & ~7;
+  for (int r = 0; r < h; ++r) {
+    const std::uint8_t* s = src + r * ref_stride;
+    std::uint8_t* d = dst + r * dst_stride;
+    for (int c = 0; c < w8; c += 8) store_span<Avg>(d + c, load8(s + c));
+    for (int c = w8; c < w; ++c) store_tail<Avg>(d + c, s[c]);
+  }
+}
+
+template <bool Avg>
+void mc_rows_hx(const std::uint8_t* src, int ref_stride, std::uint8_t* dst,
+                int dst_stride, int w, int h) {
+  const int w8 = w & ~7;
+  for (int r = 0; r < h; ++r) {
+    const std::uint8_t* s = src + r * ref_stride;
+    std::uint8_t* d = dst + r * dst_stride;
+    for (int c = 0; c < w8; c += 8) {
+      store_span<Avg>(d + c, avg8(load8(s + c), load8(s + c + 1)));
+    }
+    for (int c = w8; c < w; ++c) {
+      store_tail<Avg>(d + c, (s[c] + s[c + 1] + 1) >> 1);
+    }
+  }
+}
+
+template <bool Avg>
+void mc_rows_hy(const std::uint8_t* src, int ref_stride, std::uint8_t* dst,
+                int dst_stride, int w, int h) {
+  const int w8 = w & ~7;
+  for (int r = 0; r < h; ++r) {
+    const std::uint8_t* s0 = src + r * ref_stride;
+    const std::uint8_t* s1 = s0 + ref_stride;
+    std::uint8_t* d = dst + r * dst_stride;
+    for (int c = 0; c < w8; c += 8) {
+      store_span<Avg>(d + c, avg8(load8(s0 + c), load8(s1 + c)));
+    }
+    for (int c = w8; c < w; ++c) {
+      store_tail<Avg>(d + c, (s0[c] + s1[c] + 1) >> 1);
+    }
+  }
+}
+
+template <bool Avg>
+void mc_rows_hv(const std::uint8_t* src, int ref_stride, std::uint8_t* dst,
+                int dst_stride, int w, int h) {
+  const int w8 = w & ~7;
+  for (int r = 0; r < h; ++r) {
+    const std::uint8_t* s0 = src + r * ref_stride;
+    const std::uint8_t* s1 = s0 + ref_stride;
+    std::uint8_t* d = dst + r * dst_stride;
+    for (int c = 0; c < w8; c += 8) {
+      store_span<Avg>(d + c, interp_hv8(s0 + c, s1 + c));
+    }
+    for (int c = w8; c < w; ++c) {
+      store_tail<Avg>(d + c,
+                      (s0[c] + s0[c + 1] + s1[c] + s1[c + 1] + 2) >> 2);
+    }
+  }
+}
+
+template <bool Avg>
+void form_prediction_impl(const std::uint8_t* src, int ref_stride,
+                          std::uint8_t* dst, int dst_stride, int w, int h,
+                          bool hx, bool hy) {
+  if (!hx && !hy) {
+    mc_rows_full<Avg>(src, ref_stride, dst, dst_stride, w, h);
+  } else if (hx && !hy) {
+    mc_rows_hx<Avg>(src, ref_stride, dst, dst_stride, w, h);
+  } else if (!hx && hy) {
+    mc_rows_hy<Avg>(src, ref_stride, dst, dst_stride, w, h);
+  } else {
+    mc_rows_hv<Avg>(src, ref_stride, dst, dst_stride, w, h);
+  }
+}
+
+}  // namespace
+
+void form_prediction(const std::uint8_t* ref, int ref_stride,
+                     std::uint8_t* dst, int dst_stride, int x, int y, int w,
+                     int h, int vx, int vy, McMode mode) {
+  const std::uint8_t* src = ref + (y + (vy >> 1)) * ref_stride + x + (vx >> 1);
+  const bool hx = (vx & 1) != 0;
+  const bool hy = (vy & 1) != 0;
+  if (mode == McMode::kAverage) {
+    form_prediction_impl<true>(src, ref_stride, dst, dst_stride, w, h, hx, hy);
+  } else {
+    form_prediction_impl<false>(src, ref_stride, dst, dst_stride, w, h, hx,
+                                hy);
   }
 }
 

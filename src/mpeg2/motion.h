@@ -54,6 +54,15 @@ void form_prediction(const std::uint8_t* ref, int ref_stride,
                      std::uint8_t* dst, int dst_stride, int x, int y, int w,
                      int h, int vx, int vy, McMode mode);
 
+/// The straightforward scalar implementation of form_prediction. Kept as
+/// the bit-exactness oracle for the specialized SWAR kernels behind
+/// form_prediction (tests compare the two exhaustively) and as the
+/// before/after baseline in bench_micro_kernels.
+void form_prediction_reference(const std::uint8_t* ref, int ref_stride,
+                               std::uint8_t* dst, int dst_stride, int x,
+                               int y, int w, int h, int vx, int vy,
+                               McMode mode);
+
 /// Motion-compensates a full macroblock (luma + both chroma planes) of
 /// `dst` at macroblock coordinates (mb_x, mb_y) from `ref` with luma vector
 /// `mv`. Optionally emits the reference-picture reads and destination

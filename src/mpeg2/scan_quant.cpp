@@ -101,6 +101,18 @@ void dequantize_non_intra(Block& coeffs, const QuantContext& ctx) {
   mismatch_control(coeffs, sum);
 }
 
+void dequantize_intra(Block& coeffs, const QuantContext& ctx,
+                      BlockSparsity& s) {
+  dequantize_intra(coeffs, ctx);
+  if (coeffs[63] != 0) s.mark(63);
+}
+
+void dequantize_non_intra(Block& coeffs, const QuantContext& ctx,
+                          BlockSparsity& s) {
+  dequantize_non_intra(coeffs, ctx);
+  if (coeffs[63] != 0) s.mark(63);
+}
+
 void quantize_intra(const std::array<double, 64>& dct, Block& out,
                     const QuantContext& ctx) {
   // DC: quantized with the fixed precision multiplier.

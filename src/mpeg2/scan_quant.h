@@ -55,6 +55,15 @@ struct QuantContext {
 void dequantize_intra(Block& coeffs, const QuantContext& ctx);
 void dequantize_non_intra(Block& coeffs, const QuantContext& ctx);
 
+/// Sparsity-tracking overloads: identical arithmetic, but keep `s` correct
+/// across the one way dequantization can create a nonzero coefficient the
+/// VLC decode never stored — the §7.4.4 mismatch-control toggle of
+/// coeffs[63]. (Values may also *become* zero; the mask stays conservative.)
+void dequantize_intra(Block& coeffs, const QuantContext& ctx,
+                      BlockSparsity& s);
+void dequantize_non_intra(Block& coeffs, const QuantContext& ctx,
+                          BlockSparsity& s);
+
 /// Forward quantization (encoder side). Produces quantized levels in raster
 /// order from DCT coefficients; inverse of the formulas above with rounding.
 /// DC of intra blocks: level = coeff / intra_dc_mult (coeff is the DCT DC,

@@ -26,8 +26,13 @@ QuantContext make_quant(const PictureContext& pic, int quantiser_scale_code,
 /// non-intra). Returns false on bad syntax.
 bool decode_coefficients(BitReader& br, bool table_one, bool first_special,
                          bool mpeg1, const std::array<std::uint8_t, 64>& scan,
-                         int idx, Block& q, WorkMeter& work) {
-  const VlcDecoder& dec = dct_table_decoder(table_one);
+                         int idx, Block& q, WorkMeter& work,
+                         BlockSparsity& sparsity) {
+  // Sign-folded tables: one lookup yields run, level and sign (the old path
+  // was lookup + a separate get_bit for the sign). Escape and EOB codes are
+  // unchanged, and a folded hit consumes len+1 bits exactly as lookup+sign
+  // did, so the bit positions visited are identical.
+  const DctCoeffDecoder& dec = dct_coeff_decoder(table_one);
   bool first = first_special;
   for (;;) {
     int run;
@@ -64,15 +69,15 @@ bool decode_coefficients(BitReader& br, bool table_one, bool first_special,
         }
         ++work.escapes;
       } else {
-        run = unpack_run(value);
-        level = unpack_level(value);
-        if (br.get_bit()) level = -level;
+        run = unpack_signed_run(value);
+        level = unpack_signed_level(value);
       }
     }
     first = false;
     idx += run;
     if (idx > 63) return false;
     q[scan[idx]] = static_cast<std::int16_t>(level);
+    sparsity.mark(scan[idx]);
     ++idx;
     ++work.coefficients;
   }
@@ -83,7 +88,8 @@ bool decode_coefficients(BitReader& br, bool table_one, bool first_special,
 
 bool BlockDecoder::decode_intra(BitReader& br, const PictureContext& pic,
                                 int quantiser_scale_code, bool luma,
-                                int& dc_pred, Block& out, WorkMeter& work) {
+                                int& dc_pred, Block& out, WorkMeter& work,
+                                BlockSparsity* sparsity) {
   out.fill(0);
   std::int16_t size;
   const VlcDecoder& dc_dec =
@@ -99,13 +105,16 @@ bool BlockDecoder::decode_intra(BitReader& br, const PictureContext& pic,
   out[0] = static_cast<std::int16_t>(dc_pred);
   ++work.coefficients;
 
+  BlockSparsity s = BlockSparsity::none();
+  s.mark(0);  // DC always counts as present (predictor may be nonzero)
   const auto& scan = scan_order(pic.ext.alternate_scan);
   if (!decode_coefficients(br, pic.ext.intra_vlc_format,
                            /*first_special=*/false, pic.mpeg1, scan, 1, out,
-                           work)) {
+                           work, s)) {
     return false;
   }
-  dequantize_intra(out, make_quant(pic, quantiser_scale_code, true));
+  dequantize_intra(out, make_quant(pic, quantiser_scale_code, true), s);
+  if (sparsity) *sparsity = s;
   ++work.intra_blocks;
   ++work.coded_blocks;
   return true;
@@ -113,14 +122,16 @@ bool BlockDecoder::decode_intra(BitReader& br, const PictureContext& pic,
 
 bool BlockDecoder::decode_non_intra(BitReader& br, const PictureContext& pic,
                                     int quantiser_scale_code, Block& out,
-                                    WorkMeter& work) {
+                                    WorkMeter& work, BlockSparsity* sparsity) {
   out.fill(0);
+  BlockSparsity s = BlockSparsity::none();
   const auto& scan = scan_order(pic.ext.alternate_scan);
   if (!decode_coefficients(br, /*table_one=*/false, /*first_special=*/true,
-                           pic.mpeg1, scan, 0, out, work)) {
+                           pic.mpeg1, scan, 0, out, work, s)) {
     return false;
   }
-  dequantize_non_intra(out, make_quant(pic, quantiser_scale_code, false));
+  dequantize_non_intra(out, make_quant(pic, quantiser_scale_code, false), s);
+  if (sparsity) *sparsity = s;
   ++work.coded_blocks;
   return true;
 }
@@ -213,16 +224,18 @@ bool decode_blocks(BitReader& br, const PictureContext& pic, SliceState& st,
     const int cc = luma ? 0 : (b == 4 ? 1 : 2);
     const std::uint64_t coef_before = work.coefficients;
     bool ok;
+    BlockSparsity sparsity;
     if (intra) {
       ok = BlockDecoder::decode_intra(br, pic, st.qscale_code, luma,
-                                      st.dc_pred[cc], block, work);
+                                      st.dc_pred[cc], block, work, &sparsity);
     } else {
       ok = BlockDecoder::decode_non_intra(br, pic, st.qscale_code, block,
-                                          work);
+                                          work, &sparsity);
     }
     if (!ok) return false;
     const int ncoef = static_cast<int>(work.coefficients - coef_before);
-    idct_int(block);
+    if (pic.block_observer) pic.block_observer->on_block(block, intra);
+    idct_int(block, sparsity);
     int x, y, plane, stride;
     int line_step = 1;
     std::uint8_t* pels;

@@ -23,6 +23,15 @@
 
 namespace pmp2::mpeg2 {
 
+/// Optional hook observing every coded block right after dequantization
+/// (before the IDCT). Used by bench_micro_kernels to harvest a realistic
+/// coefficient-block corpus from decoded streams; not used in production
+/// decode paths. Must be thread-safe if slices are decoded concurrently.
+struct BlockObserver {
+  virtual ~BlockObserver() = default;
+  virtual void on_block(const Block& coeffs, bool intra) = 0;
+};
+
 /// Everything a worker needs to decode any slice of one picture.
 struct PictureContext {
   const SequenceHeader* seq = nullptr;
@@ -40,6 +49,8 @@ struct PictureContext {
   int dst_id = 0;
   int fwd_id = -1;
   int bwd_id = -1;
+
+  BlockObserver* block_observer = nullptr;
 };
 
 /// Decodes intra-DC differential coding state plus one 8x8 coefficient
@@ -48,16 +59,21 @@ class BlockDecoder {
  public:
   /// Decodes an intra block: dct_dc_size/differential then AC coefficients,
   /// inverse scan + dequantization included. Returns false on bad syntax.
-  /// `dc_pred` is the caller-maintained predictor (QF domain).
+  /// `dc_pred` is the caller-maintained predictor (QF domain). When
+  /// `sparsity` is non-null it receives a conservative summary of the
+  /// block's nonzero structure, tracked for free during the VLC loop and
+  /// consumed by the sparsity-aware idct_int overload.
   static bool decode_intra(BitReader& br, const PictureContext& pic,
                            int quantiser_scale_code, bool luma, int& dc_pred,
-                           Block& out, WorkMeter& work);
+                           Block& out, WorkMeter& work,
+                           BlockSparsity* sparsity = nullptr);
 
   /// Decodes a non-intra block (table B-14 with the first-coefficient
   /// special case), inverse scan + dequantization included.
   static bool decode_non_intra(BitReader& br, const PictureContext& pic,
                                int quantiser_scale_code, Block& out,
-                               WorkMeter& work);
+                               WorkMeter& work,
+                               BlockSparsity* sparsity = nullptr);
 };
 
 /// Result of decoding one slice.

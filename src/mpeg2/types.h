@@ -50,6 +50,42 @@ struct MotionVector {
 /// inverse quantization they live in the same buffer).
 using Block = std::array<std::int16_t, 64>;
 
+/// Sparsity summary of one coefficient block, tracked for free while the
+/// block is filled (VLC decode + dequantization) and consumed by the
+/// sparsity-aware IDCT. All masks are conservative: a set bit means the
+/// row/column MAY hold a nonzero value; a clear bit is a guarantee of
+/// zeros. `dc_only` asserts positions 1..63 are all zero. `ac_col_mask`
+/// bit c means column c may have a nonzero coefficient in rows 1..7 — the
+/// exact condition under which the IDCT's column pass cannot take its
+/// DC-propagation shortcut — while `col_mask` covers all rows and bounds
+/// which workspace columns the IDCT's row pass must read.
+struct BlockSparsity {
+  std::uint8_t row_mask = 0xFF;     // bit r => row r may be nonzero
+  std::uint8_t col_mask = 0xFF;     // bit c => col c may be nonzero
+  std::uint8_t ac_col_mask = 0xFF;  // bit c => col c may have AC (rows 1..7)
+  bool dc_only = false;
+
+  /// Dense (no information): every row/column may be nonzero. Safe default.
+  [[nodiscard]] static constexpr BlockSparsity dense() {
+    return {0xFF, 0xFF, 0xFF, false};
+  }
+  /// Empty block: tracking starts here and marks as coefficients land.
+  [[nodiscard]] static constexpr BlockSparsity none() {
+    return {0, 0, 0, true};
+  }
+
+  /// Records a (possibly) nonzero coefficient at raster position `pos`.
+  constexpr void mark(int pos) {
+    const auto col_bit = static_cast<std::uint8_t>(1u << (pos & 7));
+    row_mask = static_cast<std::uint8_t>(row_mask | (1u << (pos >> 3)));
+    col_mask = static_cast<std::uint8_t>(col_mask | col_bit);
+    if (pos != 0) dc_only = false;
+    if (pos >= 8) {
+      ac_col_mask = static_cast<std::uint8_t>(ac_col_mask | col_bit);
+    }
+  }
+};
+
 constexpr int kBlockSize = 8;
 constexpr int kMacroblockSize = 16;
 /// Blocks per macroblock in 4:2:0: 4 luma + 2 chroma.

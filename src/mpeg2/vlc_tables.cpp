@@ -386,6 +386,28 @@ const std::vector<VlcEntry>& dct_table_one_storage() {
   return table;
 }
 
+// Expands an unsigned DCT table into its sign-folded form. Prefix-freeness
+// is preserved: appending one bit to every (run, level) code cannot create a
+// prefix relation that did not already exist between the unsigned codes, and
+// the unchanged EOB/escape codes were already prefix-free against them. The
+// decoder constructors re-verify this at build time.
+std::vector<VlcEntry> make_signed(std::span<const VlcEntry> entries) {
+  std::vector<VlcEntry> out;
+  out.reserve(entries.size() * 2);
+  for (const auto& e : entries) {
+    if (e.value < 0) {  // EOB / escape: no sign bit follows
+      out.push_back(e);
+      continue;
+    }
+    const int run = unpack_run(e.value);
+    const int level = unpack_level(e.value);
+    const auto len = static_cast<std::uint8_t>(e.len + 1);
+    out.push_back({e.code << 1, len, pack_signed_run_level(run, level)});
+    out.push_back({(e.code << 1) | 1u, len, pack_signed_run_level(run, -level)});
+  }
+  return out;
+}
+
 }  // namespace
 
 std::span<const VlcEntry> mb_addr_inc_entries() { return kMbAddrInc; }
@@ -403,6 +425,14 @@ std::span<const VlcEntry> dct_dc_size_chroma_entries() {
 std::span<const VlcEntry> dct_table_zero_entries() { return kDctTableZero; }
 std::span<const VlcEntry> dct_table_one_entries() {
   return dct_table_one_storage();
+}
+
+std::span<const VlcEntry> dct_signed_entries(bool table_one) {
+  static const std::vector<VlcEntry> zero =
+      make_signed(dct_table_zero_entries());
+  static const std::vector<VlcEntry> one =
+      make_signed(dct_table_one_entries());
+  return table_one ? one : zero;
 }
 
 // ---------------------------------------------------------------------------
@@ -449,6 +479,12 @@ const VlcDecoder& dct_dc_size_chroma_decoder() {
 const VlcDecoder& dct_table_decoder(bool table_one) {
   static const VlcDecoder zero(dct_table_zero_entries());
   static const VlcDecoder one(dct_table_one_entries());
+  return table_one ? one : zero;
+}
+
+const DctCoeffDecoder& dct_coeff_decoder(bool table_one) {
+  static const DctCoeffDecoder zero(dct_signed_entries(false));
+  static const DctCoeffDecoder one(dct_signed_entries(true));
   return table_one ? one : zero;
 }
 

@@ -32,8 +32,10 @@
 namespace pmp2::mpeg2 {
 
 /// One Huffman code: `len` bits, value `code` (MSB-first, right-aligned).
+/// `code` is 32-bit so sign-folded DCT entries (17 bits, see
+/// dct_signed_entries) fit alongside the standard's 16-bit codes.
 struct VlcEntry {
-  std::uint16_t code;
+  std::uint32_t code;
   std::uint8_t len;
   std::int16_t value;
 };
@@ -49,6 +51,21 @@ constexpr std::int16_t kVlcStuffing = -3;  // macroblock_stuffing (MPEG-1)
 }
 [[nodiscard]] constexpr int unpack_run(std::int16_t v) { return v >> 6; }
 [[nodiscard]] constexpr int unpack_level(std::int16_t v) { return v & 63; }
+
+/// Packs a *signed* DCT (run, level) pair, for the sign-folded coefficient
+/// tables (dct_signed_entries): run 0..31, level -40..40 and nonzero. The
+/// +64 bias keeps the packed value positive, clear of the negative
+/// kVlcEob/kVlcEscape markers.
+[[nodiscard]] constexpr std::int16_t pack_signed_run_level(int run,
+                                                           int level) {
+  return static_cast<std::int16_t>(run * 128 + level + 64);
+}
+[[nodiscard]] constexpr int unpack_signed_run(std::int16_t v) {
+  return v >> 7;
+}
+[[nodiscard]] constexpr int unpack_signed_level(std::int16_t v) {
+  return (v & 127) - 64;
+}
 
 /// Table-driven prefix-code decoder. Builds a flat lookup of size
 /// 2^max_len at construction; every slot covered by a code stores
@@ -151,6 +168,14 @@ class TwoLevelVlcDecoder {
 [[nodiscard]] std::span<const VlcEntry> dct_table_zero_entries();  // B-14
 [[nodiscard]] std::span<const VlcEntry> dct_table_one_entries();   // B-15
 
+/// Sign-folded DCT coefficient tables: every (run, level) entry of B-14/B-15
+/// is expanded into two codes with the sign bit appended ({code·0, len+1,
+/// +level} and {code·1, len+1, -level}, values packed with
+/// pack_signed_run_level), so the hot block-decode loop resolves run, level
+/// *and* sign in a single lookup. EOB/escape entries are unchanged, so the
+/// set accepts exactly the same bitstrings as table + explicit sign bit.
+[[nodiscard]] std::span<const VlcEntry> dct_signed_entries(bool table_one);
+
 // --- Shared decoder instances (built on first use, immutable after) ------
 [[nodiscard]] const VlcDecoder& mb_addr_inc_decoder();
 [[nodiscard]] const VlcDecoder& mb_type_decoder(int picture_coding_type);
@@ -159,6 +184,14 @@ class TwoLevelVlcDecoder {
 [[nodiscard]] const VlcDecoder& dct_dc_size_luma_decoder();
 [[nodiscard]] const VlcDecoder& dct_dc_size_chroma_decoder();
 [[nodiscard]] const VlcDecoder& dct_table_decoder(bool table_one);
+
+/// Decoder over dct_signed_entries used by the slice decoder's coefficient
+/// loop. The flat table won the bench_micro_kernels VLC shoot-out (single
+/// load vs the two-level decoder's dependent second load on long codes), so
+/// the alias picks VlcDecoder; flip it to TwoLevelVlcDecoder to trade the
+/// 2^17-slot table (512 KB) for ~5 KB at a small decode cost.
+using DctCoeffDecoder = VlcDecoder;
+[[nodiscard]] const DctCoeffDecoder& dct_coeff_decoder(bool table_one);
 
 // --- Encoder-side code maps ----------------------------------------------
 /// A code to emit: low `len` bits of `bits`, MSB-first. len == 0 means "no

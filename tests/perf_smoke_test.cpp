@@ -1,0 +1,45 @@
+// CI perf smoke: decode one 352x240 stream end to end (scan + sequential
+// decode) and assert it finishes inside a generous wall-clock bound. Run
+// via `ctest -L perfsmoke`. The bound is deliberately loose — an order of
+// magnitude above the expected time on one slow core — so it only trips on
+// a catastrophic kernel regression (e.g. a hot path falling off its fast
+// case), not on machine noise.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "mpeg2/decoder.h"
+#include "streamgen/stream_factory.h"
+
+namespace pmp2::mpeg2 {
+namespace {
+
+TEST(PerfSmoke, ScanAndDecode352x240UnderBound) {
+  streamgen::StreamSpec spec;  // 352x240 defaults
+  spec.gop_size = 13;
+  spec.pictures = 39;
+  const auto stream = streamgen::generate_stream(spec);
+  ASSERT_FALSE(stream.empty());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const StreamStructure structure = scan_structure(stream);
+  ASSERT_TRUE(structure.valid);
+  ASSERT_EQ(structure.total_pictures(), 39);
+
+  Decoder dec;
+  int frames = 0;
+  const auto status =
+      dec.decode_stream(stream, [&frames](FramePtr) { ++frames; });
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ASSERT_TRUE(status.ok);
+  EXPECT_EQ(frames, 39);
+  // 39 SIF pictures decode in well under a second on any machine this runs
+  // on; 20 s only catches pathological regressions.
+  EXPECT_LT(secs, 20.0);
+}
+
+}  // namespace
+}  // namespace pmp2::mpeg2
