@@ -28,6 +28,13 @@ int main(int argc, char** argv) {
   const auto profile = bench::sim_profile(spec, flags);
   const int workers = static_cast<int>(flags.get_int("workers", 8));
 
+  obs::RunReport report("bench_ablations",
+                        "Queue overhead, backpressure, and window ablations");
+  report.set_meta("width", spec.width)
+      .set_meta("height", spec.height)
+      .set_meta("gop_size", spec.gop_size)
+      .set_meta("workers", workers);
+
   // --- 1. Task-queue overhead sweep --------------------------------------
   {
     std::cout << "\n--- queue overhead per task (P=" << workers << ") ---\n";
@@ -44,6 +51,11 @@ int main(int argc, char** argv) {
                                 parallel::SlicePolicy::kImproved)
               .pictures_per_second();
       series.add_point(us, {gop, slice, slice / gop});
+      report.add_row()
+          .set("study", "queue_overhead")
+          .set("us_per_task", us)
+          .set("gop_pictures_per_second", gop)
+          .set("slice_pictures_per_second", slice);
     }
     series.print(std::cout, 2);
     std::cout << "Expected: GOP version insensitive (tasks are whole GOPs);"
@@ -81,6 +93,12 @@ int main(int argc, char** argv) {
                        {static_cast<double>(r.peak_stream_bytes) / (1 << 20),
                         static_cast<double>(r.peak_memory) / (1 << 20),
                         r.pictures_per_second()});
+      report.add_row()
+          .set("study", "gop_queue_bound")
+          .set("max_queued_gops", bound)
+          .set("peak_stream_bytes", r.peak_stream_bytes)
+          .set("peak_memory_bytes", r.peak_memory)
+          .set("pictures_per_second", r.pictures_per_second());
     }
     series.print(std::cout, 2);
     std::cout << "Expected: unbounded (0) lets the scan buffer hold most of"
@@ -100,11 +118,16 @@ int main(int argc, char** argv) {
       const auto r = sched::simulate_slice(
           profile, cfg, parallel::SlicePolicy::kImproved);
       series.add_point(window, {r.pictures_per_second(), r.sync_ratio()});
+      report.add_row()
+          .set("study", "open_picture_window")
+          .set("max_open_pictures", window)
+          .set("pictures_per_second", r.pictures_per_second())
+          .set("sync_ratio", r.sync_ratio());
     }
     series.print(std::cout, 3);
     std::cout << "Expected: window 1 equals the simple policy; gains level"
                  " off around M (the I/P distance, 3) because only the B"
                  " run between references overlaps.\n";
   }
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

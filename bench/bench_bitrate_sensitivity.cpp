@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   const int width = static_cast<int>(flags.get_int("width", 352));
   const int workers = static_cast<int>(flags.get_int("workers", 8));
 
+  obs::RunReport report("bench_bitrate_sensitivity",
+                        "Decode-time sensitivity to bit rate (Section 3)");
+  report.set_meta("width", width).set_meta("workers", workers);
   Table t({"qscale", "Mb/s", "decode ms (min of 5)", "vs qscale 8",
            "GOP speedup@8", "improved-slice speedup@8"});
   double base_ms = 0;
@@ -74,6 +77,12 @@ int main(int argc, char** argv) {
                Table::fmt(best_ns / 1e6, 1),
                base_ms > 0 ? Table::fmt(best_ns / 1e6 / base_ms, 2) : "-",
                Table::fmt(gop_speedup, 2), Table::fmt(slice_speedup, 2)});
+    report.add_row()
+        .set("qscale", q)
+        .set("megabits_per_second_rate", mbps)
+        .set("decode_ns", best_ns)
+        .set("gop_speedup", gop_speedup)
+        .set("slice_speedup", slice_speedup);
   }
   t.print(std::cout);
   std::cout << "\nPaper reference (§3): decode times within 10-15% across"
@@ -81,5 +90,5 @@ int main(int argc, char** argv) {
                "\nShape to check: decode time varies far less than bit rate"
                " (a ~10x rate spread moves decode time a few tens of"
                " percent); speedup columns flat across quantizers.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -25,6 +25,13 @@ int main(int argc, char** argv) {
   spec = bench::apply_scale(spec, flags);
   const auto profile = bench::sim_profile(spec, flags);
 
+  obs::RunReport report("bench_dash_numa",
+                        "DASH-style NUMA speedups (Section 7.2)");
+  report.set_meta("width", spec.width)
+      .set_meta("height", spec.height)
+      .set_meta("cluster_size", cluster)
+      .set_meta("remote_penalty", penalty);
+
   std::cout << "\n--- " << spec.width << "x" << spec.height
             << ", cluster size " << cluster << ", remote penalty x"
             << penalty << " ---\n";
@@ -60,6 +67,12 @@ int main(int argc, char** argv) {
     series.add_point(procs, {slice_pps / base_slice, gop_pps / base_gop,
                              gop_local_pps / base_gop_local,
                              uma_pps / base_uma});
+    report.add_row()
+        .set("procs", procs)
+        .set("slice_speedup", slice_pps / base_slice)
+        .set("gop_speedup", gop_pps / base_gop)
+        .set("gop_local_queue_speedup", gop_local_pps / base_gop_local)
+        .set("uma_slice_speedup", uma_pps / base_uma);
   }
   series.print(std::cout, 2);
 
@@ -71,5 +84,5 @@ int main(int argc, char** argv) {
                " remedy."
                "\nShape to check: NUMA curves well below the UMA curve;"
                " local queues recover part of the GOP version's loss.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -15,6 +15,10 @@ int main(int argc, char** argv) {
   const int trace_pics = static_cast<int>(flags.get_int("trace-pictures", 13));
   const auto line_sizes = flags.get_int_list("lines", {16, 32, 64, 128, 256});
 
+  obs::RunReport report("bench_fig13_linesize",
+                        "Read miss rate vs cache line size (Fig. 13)");
+  report.set_meta("procs", procs).set_meta("trace_pictures", trace_pics);
+
   for (const auto& res : bench::resolutions(flags)) {
     if (res.width > 704) continue;  // trace volume; override with --max-res
     streamgen::StreamSpec spec;
@@ -49,6 +53,11 @@ int main(int argc, char** argv) {
       const double rate = total.read_miss_rate();
       series.add_point(line_sizes[i], {rate, prev > 0 ? rate / prev : 0.0});
       prev = rate;
+      report.add_row()
+          .set("width", res.width)
+          .set("height", res.height)
+          .set("line_size", line_sizes[i])
+          .set("read_miss_rate", rate);
     }
     series.print(std::cout, 4);
   }
@@ -56,5 +65,5 @@ int main(int argc, char** argv) {
                " line size doubles -> excellent spatial locality."
                "\nShape to check: 'ratio vs prev line' near 0.5 across the"
                " sweep.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -11,7 +11,8 @@ using namespace pmp2;
 namespace {
 
 void run_panel(const std::vector<std::uint8_t>& stream, int procs,
-               int trace_pics, const std::vector<int>& sizes_kb) {
+               int trace_pics, const std::vector<int>& sizes_kb,
+               obs::RunReport& report, const char* panel) {
   std::vector<std::unique_ptr<simcache::MultiCacheSim>> sims;
   simcache::TraceTee tee;
   const int assocs[] = {1, 2, 0};  // 1-way, 2-way, fully associative
@@ -38,12 +39,18 @@ void run_panel(const std::vector<std::uint8_t>& stream, int procs,
   pmp2::Series series("cache KB",
                       {"miss rate 1-way", "miss rate 2-way",
                        "miss rate full"});
+  const char* assoc_names[] = {"1-way", "2-way", "full"};
   for (std::size_t i = 0; i < sizes_kb.size(); ++i) {
     std::vector<double> ys;
     for (int a = 0; a < 3; ++a) {
       ys.push_back(sims[i * 3 + static_cast<std::size_t>(a)]
                        ->total_stats()
                        .read_miss_rate());
+      report.add_row()
+          .set("panel", panel)
+          .set("cache_kb", sizes_kb[i])
+          .set("associativity", assoc_names[a])
+          .set("read_miss_rate", ys.back());
     }
     series.add_point(sizes_kb[i], ys);
   }
@@ -69,12 +76,18 @@ int main(int argc, char** argv) {
   spec = bench::apply_scale(spec, flags);
   const auto stream = bench::load_or_generate(spec);
 
+  obs::RunReport report("bench_fig14_working_sets",
+                        "Read miss rate vs cache size (Fig. 14)");
+  report.set_meta("width", spec.width)
+      .set_meta("height", spec.height)
+      .set_meta("trace_pictures", trace_pics);
+
   std::cout << "\n--- GOP version trace: 1 processor, " << width << "x"
             << spec.height << " ---\n";
-  run_panel(stream, 1, trace_pics, sizes_kb);
+  run_panel(stream, 1, trace_pics, sizes_kb, report, "gop_1proc");
 
   std::cout << "\n--- Simple slice version trace: 8 processors ---\n";
-  run_panel(stream, 8, trace_pics, sizes_kb);
+  run_panel(stream, 8, trace_pics, sizes_kb, report, "slice_8proc");
 
   std::cout << "\nPaper reference (Fig. 14): miss rate drops sharply once"
                " caches exceed 16-32 KB given some associativity;"
@@ -83,5 +96,5 @@ int main(int argc, char** argv) {
                " processor count."
                "\nShape to check: knee at small cache sizes; 1-way curve"
                " shifted right of 2-way/full; flat beyond the knee.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

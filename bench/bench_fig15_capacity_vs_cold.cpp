@@ -10,7 +10,8 @@ using namespace pmp2;
 namespace {
 
 void run_panel(const std::vector<std::uint8_t>& stream, int procs,
-               int trace_pics, const std::vector<int>& sizes_kb) {
+               int trace_pics, const std::vector<int>& sizes_kb,
+               obs::RunReport& report, const char* panel) {
   std::vector<std::unique_ptr<simcache::MultiCacheSim>> sims;
   simcache::TraceTee tee;
   for (const int kb : sizes_kb) {
@@ -51,6 +52,12 @@ void run_panel(const std::vector<std::uint8_t>& stream, int procs,
                      {vs_read, vs_all, static_cast<double>(total.read_cold),
                       static_cast<double>(total.cold),
                       static_cast<double>(total.read_capacity)});
+    report.add_row()
+        .set("panel", panel)
+        .set("cache_kb", sizes_kb[i])
+        .set("capacity_over_read_cold_ratio", vs_read)
+        .set("capacity_over_all_cold_ratio", vs_all)
+        .set("read_capacity_misses", total.read_capacity);
   }
   series.print(std::cout, 3);
 }
@@ -72,10 +79,17 @@ int main(int argc, char** argv) {
   spec = bench::apply_scale(spec, flags);
   const auto stream = bench::load_or_generate(spec);
 
+  obs::RunReport report("bench_fig15_capacity_vs_cold",
+                        "Read capacity / cold miss ratio vs cache size "
+                        "(Fig. 15)");
+  report.set_meta("width", spec.width)
+      .set_meta("height", spec.height)
+      .set_meta("trace_pictures", trace_pics);
+
   std::cout << "\n--- GOP version trace: 1 processor ---\n";
-  run_panel(stream, 1, trace_pics, sizes_kb);
+  run_panel(stream, 1, trace_pics, sizes_kb, report, "gop_1proc");
   std::cout << "\n--- Simple slice version trace: 8 processors ---\n";
-  run_panel(stream, 8, trace_pics, sizes_kb);
+  run_panel(stream, 8, trace_pics, sizes_kb, report, "slice_8proc");
 
   std::cout << "\nPaper reference (Fig. 15): capacity misses small compared"
                " to cold misses once the cache holds the working set;"
@@ -83,5 +97,5 @@ int main(int argc, char** argv) {
                " performance."
                "\nShape to check: capacity/cold ratio falls toward ~0 as the"
                " cache size grows; cold misses are size-invariant.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

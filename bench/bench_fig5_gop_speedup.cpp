@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
       flags.get_int_list("workers", {1, 2, 4, 6, 8, 10, 12, 14});
   const auto gop_sizes = flags.get_int_list("gops", {4, 13, 31});
 
+  obs::RunReport report("bench_fig5_gop_speedup",
+                        "GOP-version speedup vs workers (Fig. 5)");
+
   for (const auto& res : bench::resolutions(flags)) {
     if (res.width < 352) continue;  // the paper omits 176x120
     std::cout << "\n--- " << res.width << "x" << res.height << " ---\n";
@@ -42,6 +45,13 @@ int main(int argc, char** argv) {
           base[gi] = pps;
         }
         ys.push_back(base[gi] > 0 ? pps / base[gi] : 0.0);
+        report.add_row()
+            .set("width", res.width)
+            .set("height", res.height)
+            .set("gop_size", gop_sizes[gi])
+            .set("workers", workers)
+            .set("pictures_per_second", pps)
+            .set("speedup", ys.back());
       }
       series.add_point(workers, ys);
     }
@@ -51,5 +61,5 @@ int main(int argc, char** argv) {
                " cases. Shape to check: near-linear until the number of GOP"
                " tasks in the (shortened) stream limits parallelism; small"
                " GOPs give more tasks and stay linear longer.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

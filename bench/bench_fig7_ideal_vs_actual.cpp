@@ -97,6 +97,9 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
+  obs::RunReport report("bench_fig7_ideal_vs_actual",
+                        "Ideal vs actual decode time, GOP approach (Fig. 7)");
+  report.set_meta("gop_size", gop).set_meta("miss_ns", miss_ns);
   Table t({"Picture size", "Ideal ms", "Actual ms", "Actual/Ideal",
            "Misses/MB", "Stall % (sim)"});
   for (const auto& row : rows) {
@@ -107,6 +110,14 @@ int main(int argc, char** argv) {
                Table::fmt(row.actual_ns / ideal_ns, 2),
                Table::fmt(row.misses_per_mb, 1),
                Table::fmt(row.stall_pct, 1)});
+    report.add_row()
+        .set("width", row.width)
+        .set("height", row.height)
+        .set("ideal_ns", ideal_ns)
+        .set("actual_ns", row.actual_ns)
+        .set("actual_over_ideal_ratio", row.actual_ns / ideal_ns)
+        .set("misses_per_macroblock", row.misses_per_mb)
+        .set("stall_percent", row.stall_pct);
   }
   t.print(std::cout);
   std::cout << "\nPaper reference (Fig. 7): actual time 10-30% above ideal"
@@ -115,5 +126,5 @@ int main(int argc, char** argv) {
                " size (frames stop fitting in cache); with --miss-ns=80"
                " (1997-style latency, no prefetch) the simulated stall"
                " fraction lands in the paper's band.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
   const auto worker_list = flags.get_int_list("workers", {1, 3, 7, 11, 14});
   const auto gop_sizes = flags.get_int_list("gops", {4, 13, 31});
 
+  obs::RunReport report("bench_fig8_gop_memory",
+                        "GOP-version peak memory vs workers (Fig. 8)");
+  report.set_meta("paper_speed", flags.get_bool("paper-speed", true));
+
   for (const auto& res : bench::resolutions(flags)) {
     if (res.width < 352) continue;
     std::cout << "\n--- " << res.width << "x" << res.height << " ---\n";
@@ -64,6 +68,12 @@ int main(int argc, char** argv) {
         }
         const auto r = sched::simulate_gop(profile, cfg);
         ys.push_back(static_cast<double>(r.peak_memory) / (1 << 20));
+        report.add_row()
+            .set("width", res.width)
+            .set("height", res.height)
+            .set("gop_size", gop)
+            .set("workers", workers)
+            .set("peak_memory_bytes", r.peak_memory);
       }
       series.add_point(workers, ys);
     }
@@ -74,5 +84,5 @@ int main(int argc, char** argv) {
                " largest configurations approach the machine limit."
                "\nShape to check: peak ~ workers x GOP size x frame size"
                " until the stream runs out of GOPs to hand out.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -58,6 +58,11 @@ int main(int argc, char** argv) {
       {1408, 960, 31, 11, 7'000'000},
   };
 
+  obs::RunReport report("bench_fig9_memory_model",
+                        "Analytical memory model mem(t) peaks (Fig. 9)");
+  report.set_meta("model_pictures", paper_pictures)
+      .set_meta("paper_speed", flags.get_bool("paper-speed", true));
+
   for (const auto& c : cases) {
     if (c.width > flags.get_int("max-res", 1408)) continue;
     streamgen::StreamSpec spec;
@@ -93,6 +98,14 @@ int main(int argc, char** argv) {
     series.print(std::cout, 1);
     const double peak_mb =
         static_cast<double>(m.peak_bytes()) / (1 << 20);
+    report.add_row()
+        .set("case", "model")
+        .set("width", c.width)
+        .set("height", c.height)
+        .set("gop_size", c.gop)
+        .set("workers", c.workers)
+        .set("peak_memory_bytes", m.peak_bytes())
+        .set("fits_500_mb", peak_mb <= 500);
     std::cout << "peak mem(t) = " << Table::fmt(peak_mb, 1) << " MB"
               << (peak_mb > 500 ? "  -> EXCEEDS the paper's 500 MB limit "
                                   "(cannot run, as the paper reports)"
@@ -119,6 +132,14 @@ int main(int argc, char** argv) {
     const auto params = params_from_profile(profile, 7, 13,
                                             profile.total_pictures());
     const auto model_peak = model::MemoryModel(params).peak_bytes();
+    report.add_row()
+        .set("case", "model_vs_sim")
+        .set("width", 352)
+        .set("height", 240)
+        .set("gop_size", 13)
+        .set("workers", 7)
+        .set("sim_peak_memory_bytes", sim.peak_memory)
+        .set("model_peak_memory_bytes", model_peak);
     std::cout << "simulated peak: "
               << Table::fmt(sim.peak_memory / double(1 << 20), 2)
               << " MB, model peak: "
@@ -129,5 +150,5 @@ int main(int argc, char** argv) {
                " memory ramps up while scan and P-worker decode outpace the"
                " 30 pics/s display, then drains; the 1408x960/31/11 case"
                " exceeds available memory.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

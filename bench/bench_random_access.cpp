@@ -45,6 +45,10 @@ int main(int argc, char** argv) {
   const int workers = static_cast<int>(flags.get_int("workers", 8));
   const auto gop_sizes = flags.get_int_list("gops", {4, 13, 31});
 
+  obs::RunReport report("bench_random_access",
+                        "Random-access latency after a seek (Section 5)");
+  report.set_meta("workers", workers);
+
   for (const auto& res : bench::resolutions(flags)) {
     if (res.width < 352) continue;
     std::cout << "\n--- " << res.width << "x" << res.height << " (P="
@@ -88,6 +92,12 @@ int main(int argc, char** argv) {
                  Table::fmt(static_cast<double>(first_display_ns(g)) /
                                 static_cast<double>(first_display_ns(s)),
                             2)});
+      report.add_row()
+          .set("width", res.width)
+          .set("height", res.height)
+          .set("gop_size", gop)
+          .set("gop_seek_latency_ns", first_display_ns(g))
+          .set("slice_seek_latency_ns", first_display_ns(s));
     }
     t.print(std::cout);
   }
@@ -97,5 +107,5 @@ int main(int argc, char** argv) {
                " workers start immediately."
                "\nShape to check: GOP/slice latency ratio ~P for pictures"
                " with >= P slices.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -17,6 +17,10 @@ int main(int argc, char** argv) {
   const auto spr_list = flags.get_int_list("slices-per-row", {1, 2, 4});
   const auto worker_list = flags.get_int_list("workers", {8, 14, 20, 28});
 
+  obs::RunReport report("bench_slice_granularity",
+                        "Slice granularity vs parallelism (Section 5.2)");
+  report.set_meta("width", width);
+
   Table t([&] {
     std::vector<std::string> h{"slices/row", "slices/pic", "stream KB"};
     for (const int w : worker_list) {
@@ -58,17 +62,23 @@ int main(int argc, char** argv) {
     for (const int workers : worker_list) {
       sched::SimConfig cfg;
       cfg.workers = workers;
-      row.push_back(Table::fmt(
+      const double simple_speedup =
           sched::simulate_slice(profile, cfg, parallel::SlicePolicy::kSimple)
-                  .pictures_per_second() /
-              base_simple,
-          2));
-      improved_cells.push_back(Table::fmt(
+              .pictures_per_second() /
+          base_simple;
+      const double improved_speedup =
           sched::simulate_slice(profile, cfg,
                                 parallel::SlicePolicy::kImproved)
-                  .pictures_per_second() /
-              base_improved,
-          2));
+              .pictures_per_second() /
+          base_improved;
+      row.push_back(Table::fmt(simple_speedup, 2));
+      improved_cells.push_back(Table::fmt(improved_speedup, 2));
+      report.add_row()
+          .set("slices_per_row", spr)
+          .set("workers", workers)
+          .set("stream_bytes", static_cast<std::int64_t>(stream.size()))
+          .set("simple_speedup", simple_speedup)
+          .set("improved_speedup", improved_speedup);
     }
     row.insert(row.end(), improved_cells.begin(), improved_cells.end());
     t.add_row(std::move(row));
@@ -80,5 +90,5 @@ int main(int argc, char** argv) {
                "\nShape to check: doubling slices/row roughly doubles the"
                " simple policy's worker ceiling (knee at slices/P steps)"
                " for ~1-2% more bits per extra slice/row.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -26,6 +26,12 @@ int main(int argc, char** argv) {
   spec = bench::apply_scale(spec, flags);
   const auto stream = bench::load_or_generate(spec);
 
+  obs::RunReport report("bench_svm_page_coherence",
+                        "Page-granularity coherence sharing (Section 7.3)");
+  report.set_meta("width", spec.width)
+      .set_meta("height", spec.height)
+      .set_meta("trace_pictures", trace_pics);
+
   for (const int procs : procs_list) {
     std::cout << "\n--- " << procs << " processors, slice-parallel trace ("
               << spec.width << "x" << spec.height << ") ---\n";
@@ -56,6 +62,11 @@ int main(int argc, char** argv) {
       const double fs = static_cast<double>(total.false_sharing);
       series.add_point(units[i],
                        {ts, fs, ts > 0 ? fs / ts : 0.0, (ts + fs) / mbs});
+      report.add_row()
+          .set("procs", procs)
+          .set("coherence_unit", units[i])
+          .set("true_sharing_misses", total.true_sharing)
+          .set("false_sharing_misses", total.false_sharing);
     }
     series.print(std::cout, 2);
   }
@@ -67,5 +78,5 @@ int main(int argc, char** argv) {
                " magnitude toward 4 KB pages (adjacent slices' rows share"
                " pages), and grows with processor count — the cost an SVM"
                " port would pay.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

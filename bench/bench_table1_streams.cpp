@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
                       "Bilas et al., Table 1 (streams 1-16)");
 
   const auto gop_sizes = flags.get_int_list("gops", {4, 13, 16, 31});
+  obs::RunReport report("bench_table1_streams",
+                        "Test stream characteristics (Table 1)");
   Table t({"Stream", "Resolution", "GOP size", "Pictures", "Target Mb/s",
            "Actual Mb/s", "File KB", "KB/picture", "Slices/pic"});
   int index = 1;
@@ -28,22 +30,31 @@ int main(int argc, char** argv) {
       const double seconds = spec.pictures / 30.0;
       const double mbps =
           static_cast<double>(stream.size()) * 8 / seconds / 1e6;
+      const int slices_per_pic =
+          structure.valid
+              ? static_cast<int>(structure.gops[0].pictures[0].slices.size())
+              : -1;
+      report.add_row()
+          .set("stream", index)
+          .set("width", res.width)
+          .set("height", res.height)
+          .set("gop_size", gop)
+          .set("pictures", spec.pictures)
+          .set("actual_megabits_per_second_rate", mbps)
+          .set("stream_bytes", static_cast<std::int64_t>(stream.size()))
+          .set("slices_per_picture", slices_per_pic);
       t.add_row({std::to_string(index++),
                  std::to_string(res.width) + "x" + std::to_string(res.height),
                  std::to_string(gop), std::to_string(spec.pictures),
                  Table::fmt(res.bit_rate / 1e6, 1), Table::fmt(mbps, 2),
                  Table::fmt(stream.size() / 1024.0, 1),
                  Table::fmt(stream.size() / 1024.0 / spec.pictures, 1),
-                 std::to_string(structure.valid
-                                    ? static_cast<int>(structure.gops[0]
-                                                           .pictures[0]
-                                                           .slices.size())
-                                    : -1)});
+                 std::to_string(slices_per_pic)});
     }
   }
   t.print(std::cout);
   std::cout << "\nPaper reference (Table 1): picture sizes 22K / 82.5K / 530K"
                " / 1320K bytes decoded; 8 / 15 / 30 / 60 slices per picture;"
                " 5-7 Mb/s; 1120 pictures, 30 pics/s, I/P distance 3.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -13,6 +13,9 @@ int main(int argc, char** argv) {
                       "Bilas et al., Table 2");
   const auto repeats = static_cast<int>(flags.get_int("repeats", 9));
 
+  obs::RunReport report("bench_table2_scan_rate",
+                        "Scan-process rate (Table 2)");
+  report.set_meta("repeats", repeats);
   Table t({"Picture size", "File KB", "Pictures", "Scan ms",
            "Scan rate (pics/s)", "Scan MB/s"});
   for (const auto& res : bench::resolutions(flags)) {
@@ -39,11 +42,18 @@ int main(int argc, char** argv) {
                std::to_string(pictures), Table::fmt(scan_s * 1e3, 3),
                Table::fmt(pictures / scan_s, 0),
                Table::fmt(stream.size() / scan_s / 1e6, 1)});
+    report.add_row()
+        .set("width", res.width)
+        .set("height", res.height)
+        .set("pictures", pictures)
+        .set("scan_s", scan_s)
+        .set("scan_pictures_per_second", pictures / scan_s)
+        .set("scan_megabytes_per_second", stream.size() / scan_s / 1e6);
   }
   t.print(std::cout);
   std::cout << "\nPaper reference (Table 2, SGI Challenge): 170-250 pics/s at"
                " 352x240 and 704x480; 80-100 pics/s at 1408x960 (45 MB file)."
                "\nShape to check: scan far outpaces decode at every size and"
                " slows with stream bytes, not picture count.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
   const int gop = static_cast<int>(flags.get_int("gop", 13));
   const unsigned hw = std::thread::hardware_concurrency();
 
+  obs::RunReport report("bench_table3_gop_maxfps",
+                        "Max pictures/sec, GOP-parallel decoder (Table 3)");
+  report.set_meta("workers", workers)
+      .set_meta("gop_size", gop)
+      .set_meta("host_threads", static_cast<std::int64_t>(hw));
   Table t({"Picture size", "Sim pics/s (P=" + std::to_string(workers) + ")",
            "Sim pics/s (P=1)", "Real pics/s (host, P=" +
                std::to_string(hw) + ")"});
@@ -47,6 +52,14 @@ int main(int argc, char** argv) {
     t.add_row({std::to_string(res.width) + "x" + std::to_string(res.height),
                Table::fmt(sim, 1), Table::fmt(sim1, 1),
                real.ok ? Table::fmt(real.pictures_per_second(), 1) : "fail"});
+    report.add_row()
+        .set("width", res.width)
+        .set("height", res.height)
+        .set("sim_pictures_per_second", sim)
+        .set("sim_single_worker_pictures_per_second", sim1)
+        .set("real_pictures_per_second",
+             real.ok ? real.pictures_per_second() : 0.0)
+        .set("real_ok", real.ok);
   }
   t.print(std::cout);
   std::cout << "\nPaper reference (Table 3, 150 MHz R4400s): 69.9 / 26.6 /"
@@ -54,5 +67,5 @@ int main(int argc, char** argv) {
                "\nShape to check: throughput scales ~1/pixels; 14-worker sim"
                " >> 1-worker sim; modern-core absolute numbers are much"
                " higher than 1997's.\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

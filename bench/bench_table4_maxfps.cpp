@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
   const int workers = static_cast<int>(flags.get_int("workers", 14));
   const int gop = static_cast<int>(flags.get_int("gop", 13));
 
+  obs::RunReport report("bench_table4_maxfps",
+                        "Max frames/sec by decoder version (Table 4)");
+  report.set_meta("workers", workers).set_meta("gop_size", gop);
   Table t({"Picture size", "Simple slice", "Improved slice", "GOP version",
            "Improved/GOP", "Simple/GOP"});
   for (const auto& res : bench::resolutions(flags)) {
@@ -42,6 +45,12 @@ int main(int argc, char** argv) {
                Table::fmt(simple, 1), Table::fmt(improved, 1),
                Table::fmt(gop_pps, 1), Table::fmt(improved / gop_pps, 2),
                Table::fmt(simple / gop_pps, 2)});
+    report.add_row()
+        .set("width", res.width)
+        .set("height", res.height)
+        .set("simple_pictures_per_second", simple)
+        .set("improved_pictures_per_second", improved)
+        .set("gop_pictures_per_second", gop_pps);
   }
   t.print(std::cout);
   std::cout << "\nPaper reference (Table 4): 27.4 / 54.4 / 69.9 (352x240),"
@@ -49,5 +58,5 @@ int main(int argc, char** argv) {
                " for simple / improved / GOP."
                "\nShape to check: GOP >= improved >= simple; the gap closes"
                " at large pictures (more slices per picture).\n";
-  return bench::finish(flags);
+  return bench::finish(flags, report);
 }

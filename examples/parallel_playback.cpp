@@ -5,19 +5,24 @@
 // nonzero if any decode fails or diverges from the sequential reference.
 //
 //   ./parallel_playback [--width=352 --pictures=52 --gop=13 --workers=N]
-//                       [--trace-out=trace.json]
+//                       [--trace-out=trace.json] [--journal-out=run.journal]
 //                       [--trace-decoder=gop|slice-simple|slice-improved]
-//                       [--report-out=report.json] [--metrics]
+//                       [--report-out=report.json] [--metrics] [--analyze]
 //
 // --trace-out captures a Chrome trace_event timeline (open in Perfetto /
-// chrome://tracing) of the decoder named by --trace-decoder; --report-out
-// writes the table as a structured JSON run report with the counter
-// registry attached; --metrics dumps the registry as text to stdout.
+// chrome://tracing) of the decoder named by --trace-decoder; --journal-out
+// writes the same spans as a compact binary journal for tools/pmp2_analyze;
+// --analyze runs the trace analyzer in-process and prints its report
+// (docs/ANALYSIS.md); --report-out writes the table as a structured JSON
+// run report with the counter registry attached; --metrics dumps the
+// registry as text to stdout.
 #include <iostream>
 #include <memory>
 #include <thread>
 
 #include "mpeg2/decoder.h"
+#include "obs/analysis/analyzer.h"
+#include "obs/analysis/timeline.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
@@ -42,10 +47,12 @@ int main(int argc, char** argv) {
   const int workers = static_cast<int>(flags.get_int(
       "workers", std::max(2u, std::thread::hardware_concurrency())));
   const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string journal_out = flags.get_string("journal-out", "");
   const std::string trace_decoder =
       flags.get_string("trace-decoder", "slice-improved");
   const std::string report_out = flags.get_string("report-out", "");
   const bool dump_metrics = flags.get_bool("metrics", false);
+  const bool analyze_trace = flags.get_bool("analyze", false);
 
   std::cout << "Encoding " << spec.pictures << " pictures at " << spec.width
             << "x" << spec.height << "...\n";
@@ -53,7 +60,7 @@ int main(int argc, char** argv) {
 
   // Track `workers` is the scan process; tracks [0, workers) are workers.
   std::unique_ptr<obs::Tracer> tracer;
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() || !journal_out.empty() || analyze_trace) {
     tracer = std::make_unique<obs::Tracer>(workers + 1);
     tracer->track(workers).set_name("scan");
   }
@@ -170,12 +177,53 @@ int main(int argc, char** argv) {
                  " reference\n";
   }
   if (tracer) {
+    // Lossy-ring accounting in the run report: total plus per-track drops,
+    // so a report consumer can tell an honest timeline from a truncated one
+    // without opening the trace itself.
+    report.set_meta("trace_decoder", trace_decoder)
+        .set_meta("trace_spans", static_cast<std::int64_t>(
+                                     tracer->total_spans()))
+        .set_meta("trace_dropped", static_cast<std::int64_t>(
+                                       tracer->total_dropped()));
+    for (int i = 0; i <= workers; ++i) {
+      const auto& track = tracer->track(i);
+      if (track.dropped() > 0) {
+        report.set_meta("trace_dropped_track_" + std::to_string(i),
+                        static_cast<std::int64_t>(track.dropped()));
+      }
+    }
+    if (tracer->total_dropped() > 0) {
+      std::cerr << "warning: span ring overflow dropped "
+                << tracer->total_dropped()
+                << " span(s); timeline analyses will undercount\n";
+    }
+  }
+  if (!trace_out.empty()) {
     if (tracer->write_chrome_trace_file(trace_out)) {
       std::cout << "wrote " << trace_out << " (" << tracer->total_spans()
                 << " spans, decoder: " << trace_decoder
                 << "); open in Perfetto or chrome://tracing\n";
     } else {
       std::cerr << "error: cannot write trace to " << trace_out << "\n";
+      rc = 1;
+    }
+  }
+  if (!journal_out.empty()) {
+    if (tracer->write_journal_file(journal_out)) {
+      std::cout << "wrote " << journal_out << " (" << tracer->total_spans()
+                << " spans); analyze with tools/pmp2_analyze\n";
+    } else {
+      std::cerr << "error: cannot write journal to " << journal_out << "\n";
+      rc = 1;
+    }
+  }
+  if (analyze_trace) {
+    std::cout << "\n=== trace analysis (" << trace_decoder << ") ===\n";
+    const auto analysis =
+        obs::analysis::analyze(obs::analysis::from_tracer(*tracer));
+    obs::analysis::write_analysis_text(std::cout, analysis);
+    if (!analysis.ok) {
+      std::cerr << "error: trace analysis failed: " << analysis.error << "\n";
       rc = 1;
     }
   }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Runs every bench harness with --report-out and aggregates the per-bench
+# JSON documents into one schema-versioned suite file (BENCH_parallel.json)
+# via `bench_check --merge`. The result is the baseline/candidate input for
+# `bench_check BASELINE.json CANDIDATE.json` regression gating (see
+# docs/ANALYSIS.md).
+#
+# Usage:
+#   scripts/bench_all.sh [BUILD_DIR] [OUT_JSON]
+#
+# Defaults: BUILD_DIR=build, OUT_JSON=BENCH_parallel.json. Extra knobs via
+# environment:
+#   BENCH_SCALE    stream-length multiplier   (default 0.25: quick sweep)
+#   BENCH_MAX_RES  largest resolution swept   (default 704)
+#   BENCH_NS_PER_UNIT  pinned sim calibration (default 100; makes sim-driven
+#                      reports byte-stable across hosts and runs)
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_parallel.json}"
+SCALE="${BENCH_SCALE:-0.25}"
+MAX_RES="${BENCH_MAX_RES:-704}"
+NS_PER_UNIT="${BENCH_NS_PER_UNIT:-100}"
+
+BENCH_DIR="$BUILD_DIR/bench"
+CHECK="$BUILD_DIR/tools/bench_check"
+if [[ ! -x "$CHECK" ]]; then
+  echo "bench_all: $CHECK not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+REPORT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/pmp2_bench.XXXXXX")"
+trap 'rm -rf "$REPORT_DIR"' EXIT
+
+# Every harness that emits a pmp2-bench-report/1 document. The shared flags
+# are warnings-only where a binary does not consume them.
+BENCHES=(
+  bench_micro_kernels
+  bench_table1_streams
+  bench_table2_scan_rate
+  bench_table3_gop_maxfps
+  bench_table4_maxfps
+  bench_fig5_gop_speedup
+  bench_fig6_gop_load_balance
+  bench_fig7_ideal_vs_actual
+  bench_fig8_gop_memory
+  bench_fig9_memory_model
+  bench_fig11_slice_speedup
+  bench_fig12_sync_ratio
+  bench_fig13_linesize
+  bench_fig14_working_sets
+  bench_fig15_capacity_vs_cold
+  bench_ablations
+  bench_bitrate_sensitivity
+  bench_dash_numa
+  bench_interlaced
+  bench_random_access
+  bench_slice_granularity
+  bench_svm_page_coherence
+)
+
+failed=0
+reports=()
+for bench in "${BENCHES[@]}"; do
+  bin="$BENCH_DIR/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_all: SKIP $bench (not built)" >&2
+    continue
+  fi
+  out="$REPORT_DIR/$bench.json"
+  log="$REPORT_DIR/$bench.log"
+  # bench_micro_kernels times raw kernels (no streams/sims) and rejects the
+  # stream-sweep flags rather than warning.
+  flags=(--report-out="$out")
+  if [[ "$bench" != bench_micro_kernels ]]; then
+    flags+=(--scale="$SCALE" --max-res="$MAX_RES" --ns-per-unit="$NS_PER_UNIT")
+  fi
+  echo "bench_all: running $bench ..."
+  if ! "$bin" "${flags[@]}" >"$log" 2>&1; then
+    echo "bench_all: FAIL $bench (log: $log)" >&2
+    tail -5 "$log" >&2
+    failed=1
+    continue
+  fi
+  if [[ -s "$out" ]]; then
+    reports+=("$out")
+  else
+    echo "bench_all: FAIL $bench wrote no report" >&2
+    failed=1
+  fi
+done
+
+if [[ ${#reports[@]} -eq 0 ]]; then
+  echo "bench_all: no reports produced" >&2
+  exit 1
+fi
+
+"$CHECK" --merge --out="$OUT_JSON" "${reports[@]}" || exit 1
+echo "bench_all: wrote $OUT_JSON (${#reports[@]} reports, scale=$SCALE," \
+     "max-res=$MAX_RES, ns-per-unit=$NS_PER_UNIT)"
+exit "$failed"

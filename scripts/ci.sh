@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CI pipeline: tier-1 build + full ctest, the perf smoke label, the obs
+# label (observability/analysis unit tests), and an optional ThreadSanitizer
+# job over the threaded decoders. Each stage is independently selectable:
+#
+#   scripts/ci.sh             # tier1 + perfsmoke + obs
+#   scripts/ci.sh tier1       # build + full ctest only
+#   scripts/ci.sh perfsmoke   # ctest -L perfsmoke
+#   scripts/ci.sh obs         # ctest -L obs
+#   scripts/ci.sh tsan        # TSan build of the parallel decoder tests
+#   scripts/ci.sh all         # everything including tsan
+#
+# Build dirs: build/ (tier1, reused) and build-tsan/ (tsan job).
+set -u -o pipefail
+
+STAGE="${1:-default}"
+JOBS="${CI_JOBS:-$(nproc)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+run() { echo "+ $*"; "$@"; }
+
+build_tier1() {
+  run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release || return 1
+  run cmake --build build -j "$JOBS" || return 1
+}
+
+stage_tier1() {
+  build_tier1 || return 1
+  run ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+stage_perfsmoke() {
+  build_tier1 || return 1
+  run ctest --test-dir build --output-on-failure -L perfsmoke
+}
+
+stage_obs() {
+  build_tier1 || return 1
+  run ctest --test-dir build --output-on-failure -L obs -j "$JOBS"
+}
+
+stage_tsan() {
+  # Dedicated tree: sanitizer flags poison the cache otherwise. Only the
+  # threaded targets matter under TSan; the sim and codec are single-thread.
+  run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPMP2_SANITIZE=thread || return 1
+  run cmake --build build-tsan -j "$JOBS" \
+      --target test_parallel test_parallel_stress test_obs || return 1
+  run ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R 'Parallel|Stress|Tracer|Obs'
+}
+
+rc=0
+case "$STAGE" in
+  tier1)     stage_tier1     || rc=1 ;;
+  perfsmoke) stage_perfsmoke || rc=1 ;;
+  obs)       stage_obs       || rc=1 ;;
+  tsan)      stage_tsan      || rc=1 ;;
+  default)
+    stage_tier1 || rc=1
+    # tier1 ran the full suite; the labeled stages just prove the labels
+    # select a non-empty subset.
+    run ctest --test-dir build -L perfsmoke --output-on-failure || rc=1
+    run ctest --test-dir build -L obs --output-on-failure -j "$JOBS" || rc=1
+    ;;
+  all)
+    stage_tier1 || rc=1
+    run ctest --test-dir build -L perfsmoke --output-on-failure || rc=1
+    run ctest --test-dir build -L obs --output-on-failure -j "$JOBS" || rc=1
+    stage_tsan || rc=1
+    ;;
+  *)
+    echo "ci.sh: unknown stage '$STAGE' (tier1|perfsmoke|obs|tsan|all)" >&2
+    exit 2 ;;
+esac
+exit "$rc"

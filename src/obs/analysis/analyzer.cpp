@@ -1,0 +1,466 @@
+#include "obs/analysis/analyzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace pmp2::obs::analysis {
+
+namespace {
+
+bool is_process_track(const std::string& name) {
+  return name == "scan" || name == "display";
+}
+
+/// True for spans the analyzer treats as units of work. Picture spans are
+/// excluded: they are nested inside GOP task spans and would double-count.
+bool is_task_span(const Span& s) {
+  switch (s.kind) {
+    case SpanKind::kScan:
+    case SpanKind::kGopTask:
+    case SpanKind::kSliceTask:
+    case SpanKind::kDisplay:
+    case SpanKind::kConceal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Total length of the union of [begin, end) intervals. Robust to nested
+/// and overlapping spans on one track.
+std::int64_t interval_union_ns(
+    std::vector<std::pair<std::int64_t, std::int64_t>>& iv) {
+  if (iv.empty()) return 0;
+  std::sort(iv.begin(), iv.end());
+  std::int64_t total = 0;
+  std::int64_t cur_begin = iv.front().first;
+  std::int64_t cur_end = iv.front().second;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first > cur_end) {
+      total += cur_end - cur_begin;
+      cur_begin = iv[i].first;
+      cur_end = iv[i].second;
+    } else {
+      cur_end = std::max(cur_end, iv[i].second);
+    }
+  }
+  total += cur_end - cur_begin;
+  return total;
+}
+
+struct PathSpan {
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  int track = 0;
+  bool is_wait = false;
+};
+
+/// Backward critical-path walk over worker-track spans.
+///
+/// From the last task to finish, repeatedly step to the predecessor: the
+/// latest span on the same track ending at or before the current begin.
+/// When that predecessor is a wait, the blocking dependency lived on
+/// another track — jump to the latest *task* completion anywhere that
+/// falls inside or before the wait, and continue from there. Busy time is
+/// accumulated over the task spans visited; the walk ends at the start of
+/// the trace.
+void critical_path(const std::vector<std::vector<PathSpan>>& by_track,
+                   std::vector<PathSpan>& all_tasks, std::int64_t* busy_ns,
+                   std::size_t* steps) {
+  *busy_ns = 0;
+  *steps = 0;
+  if (all_tasks.empty()) return;
+  std::sort(all_tasks.begin(), all_tasks.end(),
+            [](const PathSpan& a, const PathSpan& b) {
+              return a.end_ns < b.end_ns;
+            });
+  // Latest task completion at or before a given time, across all tracks.
+  auto latest_task_before = [&](std::int64_t t) -> const PathSpan* {
+    auto it = std::upper_bound(
+        all_tasks.begin(), all_tasks.end(), t,
+        [](std::int64_t v, const PathSpan& s) { return v < s.end_ns; });
+    if (it == all_tasks.begin()) return nullptr;
+    return &*(it - 1);
+  };
+  // Latest span (task or wait) on `track` ending at or before `t`.
+  auto pred_on_track = [&](int track, std::int64_t t) -> const PathSpan* {
+    const auto& spans = by_track[static_cast<std::size_t>(track)];
+    auto it = std::upper_bound(
+        spans.begin(), spans.end(), t,
+        [](std::int64_t v, const PathSpan& s) { return v < s.end_ns; });
+    if (it == spans.begin()) return nullptr;
+    return &*(it - 1);
+  };
+
+  const PathSpan* cur = &all_tasks.back();
+  std::size_t guard = 0;
+  const std::size_t max_steps = 4 * all_tasks.size() + 16;
+  while (cur && guard++ < max_steps) {
+    if (!cur->is_wait) {
+      *busy_ns += cur->end_ns - cur->begin_ns;
+      ++*steps;
+    }
+    const std::int64_t frontier = cur->is_wait ? cur->end_ns : cur->begin_ns;
+    const PathSpan* next = nullptr;
+    if (cur->is_wait) {
+      // The wait ended when some task elsewhere completed; walk to the
+      // latest completion not after the wait's end. A releaser may end at
+      // exactly the wait's end (virtual-time traces tie exactly), so only
+      // require its begin to precede the wait's end — that keeps the
+      // frontier strictly decreasing across every wait crossing.
+      next = latest_task_before(frontier);
+      while (next &&
+             !(next->end_ns <= frontier && next->begin_ns < frontier)) {
+        next = next == all_tasks.data() ? nullptr : next - 1;
+      }
+    } else {
+      next = pred_on_track(cur->track, frontier);
+    }
+    if (next && next->end_ns > frontier) next = nullptr;  // overlap guard
+    cur = next;
+  }
+}
+
+}  // namespace
+
+Analysis analyze(const Timeline& timeline, const AnalyzeOptions& options) {
+  Analysis a;
+  if (!timeline.ok) {
+    a.error = timeline.error.empty() ? "timeline not loaded" : timeline.error;
+    return a;
+  }
+  if (timeline.total_spans() == 0) {
+    a.error = "timeline holds no spans";
+    return a;
+  }
+  a.ok = true;
+  if (timeline.lossy()) {
+    a.warnings.push_back(
+        "lossy journal: " + std::to_string(timeline.total_dropped()) +
+        " spans were dropped by ring overflow; busy/wait totals and the "
+        "critical path under-count the dropped region");
+  }
+
+  // Pass 1: trace extent and per-track aggregation.
+  a.t0_ns = INT64_MAX;
+  a.t1_ns = INT64_MIN;
+  std::set<std::pair<int, int>> picture_ids;  // (gop, picture)
+  std::set<int> gop_ids;
+  a.tracks.reserve(timeline.tracks.size());
+  for (const TimelineTrack& t : timeline.tracks) {
+    TrackAnalysis ta;
+    ta.name = t.name;
+    ta.is_worker = !is_process_track(t.name);
+    ta.spans = t.spans.size();
+    ta.dropped = t.dropped;
+    ta.first_ns = INT64_MAX;
+    ta.last_ns = INT64_MIN;
+    std::vector<std::pair<std::int64_t, std::int64_t>> busy_iv;
+    for (const Span& s : t.spans) {
+      ta.first_ns = std::min(ta.first_ns, s.begin_ns);
+      ta.last_ns = std::max(ta.last_ns, s.end_ns);
+      const std::int64_t dur = s.end_ns - s.begin_ns;
+      if (span_kind_is_wait(s.kind)) {
+        switch (s.kind) {
+          case SpanKind::kQueueWait:
+            ta.wait.queue_ns += dur;
+            break;
+          case SpanKind::kBarrierWait:
+            ta.wait.barrier_ns += dur;
+            break;
+          case SpanKind::kBackpressure:
+            ta.wait.backpressure_ns += dur;
+            break;
+          default:
+            ta.wait.unclassified_ns += dur;
+            break;
+        }
+      } else if (is_task_span(s)) {
+        ++ta.tasks;
+        busy_iv.emplace_back(s.begin_ns, s.end_ns);
+      }
+      if (s.gop >= 0) gop_ids.insert(s.gop);
+      if (s.picture >= 0) picture_ids.emplace(s.gop, s.picture);
+    }
+    if (ta.spans == 0) {
+      ta.first_ns = 0;
+      ta.last_ns = 0;
+    }
+    ta.busy_ns = interval_union_ns(busy_iv);
+    a.t0_ns = std::min(a.t0_ns, ta.spans ? ta.first_ns : a.t0_ns);
+    a.t1_ns = std::max(a.t1_ns, ta.spans ? ta.last_ns : a.t1_ns);
+    a.tracks.push_back(std::move(ta));
+  }
+  if (a.t0_ns > a.t1_ns) {
+    a.t0_ns = 0;
+    a.t1_ns = 0;
+  }
+  a.makespan_ns = a.t1_ns - a.t0_ns;
+  a.pictures = static_cast<int>(picture_ids.size());
+  a.gops = static_cast<int>(gop_ids.size());
+
+  // Worker-track totals + the shared load summary. Idle is the makespan
+  // remainder, same definition as parallel::derive_idle.
+  std::vector<std::int64_t> busy, sync, idle;
+  std::vector<std::uint64_t> tasks;
+  for (TrackAnalysis& ta : a.tracks) {
+    if (!ta.is_worker) continue;
+    ++a.worker_tracks;
+    const std::int64_t wait_total = ta.wait.total();
+    ta.idle_ns = std::max<std::int64_t>(
+        0, a.makespan_ns - ta.busy_ns - wait_total);
+    a.total_busy_ns += ta.busy_ns;
+    a.total_wait += ta.wait;
+    a.total_idle_ns += ta.idle_ns;
+    a.tasks += ta.tasks;
+    busy.push_back(ta.busy_ns);
+    sync.push_back(wait_total);
+    idle.push_back(ta.idle_ns);
+    tasks.push_back(ta.tasks);
+  }
+  a.load = parallel::summarize_load(busy, sync, idle, tasks);
+  a.speedup_ideal = a.worker_tracks;
+  a.speedup_actual =
+      a.makespan_ns > 0
+          ? static_cast<double>(a.total_busy_ns) /
+                static_cast<double>(a.makespan_ns)
+          : 0.0;
+
+  // Critical path over worker tracks.
+  std::vector<std::vector<PathSpan>> by_track(timeline.tracks.size());
+  std::vector<PathSpan> all_tasks;
+  for (std::size_t i = 0; i < timeline.tracks.size(); ++i) {
+    if (!a.tracks[i].is_worker) continue;
+    for (const Span& s : timeline.tracks[i].spans) {
+      if (s.end_ns - s.begin_ns < options.min_span_ns) continue;
+      const bool wait = span_kind_is_wait(s.kind);
+      if (!wait && !is_task_span(s)) continue;  // skip nested pictures
+      PathSpan p;
+      p.begin_ns = s.begin_ns;
+      p.end_ns = s.end_ns;
+      p.track = static_cast<int>(i);
+      p.is_wait = wait;
+      by_track[i].push_back(p);
+      if (!wait) all_tasks.push_back(p);
+    }
+    std::sort(by_track[i].begin(), by_track[i].end(),
+              [](const PathSpan& x, const PathSpan& y) {
+                return x.end_ns < y.end_ns;
+              });
+  }
+  critical_path(by_track, all_tasks, &a.critical_busy_ns, &a.critical_spans);
+  a.parallelism = a.critical_busy_ns > 0
+                      ? static_cast<double>(a.total_busy_ns) /
+                            static_cast<double>(a.critical_busy_ns)
+                      : 0.0;
+
+  // Graham-bound what-if table: T(N) = max(T1/N, critical busy).
+  std::vector<int> counts = options.what_if_workers;
+  if (counts.empty()) counts = {1, 2, 4, 8, 12, 14, 16};
+  for (int n : counts) {
+    if (n <= 0) continue;
+    WhatIf w;
+    w.workers = n;
+    const std::int64_t even = a.total_busy_ns / n;
+    w.projected_ns = std::max(even, a.critical_busy_ns);
+    w.speedup = w.projected_ns > 0
+                    ? static_cast<double>(a.total_busy_ns) /
+                          static_cast<double>(w.projected_ns)
+                    : 0.0;
+    a.what_if.push_back(w);
+  }
+
+  // Utilization timeline: mean busy workers per bucket, via overlap of each
+  // busy task span with the bucket window.
+  if (options.utilization_buckets > 0 && a.makespan_ns > 0) {
+    const int nb = options.utilization_buckets;
+    std::vector<double> overlap(static_cast<std::size_t>(nb), 0.0);
+    const double width =
+        static_cast<double>(a.makespan_ns) / static_cast<double>(nb);
+    for (const PathSpan& s : all_tasks) {
+      const std::int64_t b = s.begin_ns - a.t0_ns;
+      const std::int64_t e = s.end_ns - a.t0_ns;
+      int first = static_cast<int>(static_cast<double>(b) / width);
+      int last = static_cast<int>(static_cast<double>(e) / width);
+      first = std::clamp(first, 0, nb - 1);
+      last = std::clamp(last, 0, nb - 1);
+      for (int k = first; k <= last; ++k) {
+        const double lo = std::max<double>(static_cast<double>(b), k * width);
+        const double hi =
+            std::min<double>(static_cast<double>(e), (k + 1) * width);
+        if (hi > lo) overlap[static_cast<std::size_t>(k)] += hi - lo;
+      }
+    }
+    a.utilization.reserve(static_cast<std::size_t>(nb));
+    for (int k = 0; k < nb; ++k) {
+      UtilSample u;
+      u.t_ns = static_cast<std::int64_t>(k * width);
+      u.busy_workers = overlap[static_cast<std::size_t>(k)] / width;
+      a.utilization.push_back(u);
+    }
+  }
+  return a;
+}
+
+namespace {
+
+double ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+double frac(std::int64_t part, std::int64_t whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole)
+                   : 0.0;
+}
+
+}  // namespace
+
+void write_analysis_text(std::ostream& os, const Analysis& a) {
+  char buf[256];
+  if (!a.ok) {
+    os << "analysis failed: " << a.error << "\n";
+    return;
+  }
+  for (const std::string& w : a.warnings) os << "WARNING: " << w << "\n";
+  std::snprintf(buf, sizeof buf,
+                "trace: %d tracks (%d workers), %llu task spans, "
+                "%d pictures, %d GOPs, makespan %.3f ms\n",
+                static_cast<int>(a.tracks.size()), a.worker_tracks,
+                static_cast<unsigned long long>(a.tasks), a.pictures, a.gops,
+                ms(a.makespan_ns));
+  os << buf;
+
+  os << "\nper-track timeline:\n";
+  std::snprintf(buf, sizeof buf, "  %-12s %10s %10s %10s %10s %10s %8s\n",
+                "track", "busy ms", "queue ms", "barrier ms", "backpr ms",
+                "idle ms", "tasks");
+  os << buf;
+  for (const TrackAnalysis& t : a.tracks) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s %10.3f %10.3f %10.3f %10.3f %10.3f %8llu%s\n",
+                  t.name.c_str(), ms(t.busy_ns), ms(t.wait.queue_ns),
+                  ms(t.wait.barrier_ns), ms(t.wait.backpressure_ns),
+                  ms(t.idle_ns), static_cast<unsigned long long>(t.tasks),
+                  t.dropped ? "  [lossy]" : "");
+    os << buf;
+  }
+
+  const std::int64_t wait_total = a.total_wait.total();
+  os << "\nblocked-time decomposition (worker tracks):\n";
+  std::snprintf(buf, sizeof buf,
+                "  queue-empty %.3f ms (%.1f%%), barrier %.3f ms (%.1f%%), "
+                "backpressure %.3f ms (%.1f%%), unclassified %.3f ms "
+                "(%.1f%%)\n",
+                ms(a.total_wait.queue_ns),
+                100 * frac(a.total_wait.queue_ns, wait_total),
+                ms(a.total_wait.barrier_ns),
+                100 * frac(a.total_wait.barrier_ns, wait_total),
+                ms(a.total_wait.backpressure_ns),
+                100 * frac(a.total_wait.backpressure_ns, wait_total),
+                ms(a.total_wait.unclassified_ns),
+                100 * frac(a.total_wait.unclassified_ns, wait_total));
+  os << buf;
+
+  std::snprintf(buf, sizeof buf,
+                "\nload summary: imbalance %.3f, sync ratio %.4f (Fig. 12), "
+                "utilization %.4f\n",
+                a.load.imbalance, a.load.sync_ratio, a.load.utilization);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "speedup: actual %.2f vs ideal %.0f (Fig. 7 pair); "
+                "critical path %.3f ms over %zu spans, avg parallelism "
+                "%.2f\n",
+                a.speedup_actual, a.speedup_ideal, ms(a.critical_busy_ns),
+                a.critical_spans, a.parallelism);
+  os << buf;
+
+  os << "\nwhat-if (Graham bound, T(N) = max(T1/N, critical path)):\n";
+  for (const WhatIf& w : a.what_if) {
+    std::snprintf(buf, sizeof buf,
+                  "  N=%-3d projected %10.3f ms  speedup %6.2f\n", w.workers,
+                  ms(w.projected_ns), w.speedup);
+    os << buf;
+  }
+}
+
+void write_analysis_json(std::ostream& os, const Analysis& a) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("pmp2-analysis/1");
+  w.key("ok").value(a.ok);
+  if (!a.ok) {
+    w.key("error").value(a.error);
+    w.end_object();
+    os << "\n";
+    return;
+  }
+  w.key("warnings").begin_array();
+  for (const std::string& s : a.warnings) w.value(s);
+  w.end_array();
+  w.key("makespan_ns").value(a.makespan_ns);
+  w.key("worker_tracks").value(a.worker_tracks);
+  w.key("pictures").value(a.pictures);
+  w.key("gops").value(a.gops);
+  w.key("tasks").value(a.tasks);
+  w.key("total_busy_ns").value(a.total_busy_ns);
+  w.key("total_idle_ns").value(a.total_idle_ns);
+  w.key("wait").begin_object();
+  w.key("queue_ns").value(a.total_wait.queue_ns);
+  w.key("barrier_ns").value(a.total_wait.barrier_ns);
+  w.key("backpressure_ns").value(a.total_wait.backpressure_ns);
+  w.key("unclassified_ns").value(a.total_wait.unclassified_ns);
+  w.end_object();
+  w.key("load").begin_object();
+  w.key("imbalance").value(a.load.imbalance);
+  w.key("sync_ratio").value(a.load.sync_ratio);
+  w.key("utilization").value(a.load.utilization);
+  w.key("min_busy_ns").value(a.load.min_busy_ns);
+  w.key("max_busy_ns").value(a.load.max_busy_ns);
+  w.key("avg_busy_ns").value(a.load.avg_busy_ns);
+  w.end_object();
+  w.key("speedup_actual").value(a.speedup_actual);
+  w.key("speedup_ideal").value(a.speedup_ideal);
+  w.key("critical_busy_ns").value(a.critical_busy_ns);
+  w.key("critical_spans").value(static_cast<std::uint64_t>(a.critical_spans));
+  w.key("parallelism").value(a.parallelism);
+  w.key("tracks").begin_array();
+  for (const TrackAnalysis& t : a.tracks) {
+    w.begin_object();
+    w.key("name").value(t.name);
+    w.key("worker").value(t.is_worker);
+    w.key("busy_ns").value(t.busy_ns);
+    w.key("queue_ns").value(t.wait.queue_ns);
+    w.key("barrier_ns").value(t.wait.barrier_ns);
+    w.key("backpressure_ns").value(t.wait.backpressure_ns);
+    w.key("unclassified_ns").value(t.wait.unclassified_ns);
+    w.key("idle_ns").value(t.idle_ns);
+    w.key("tasks").value(static_cast<std::uint64_t>(t.tasks));
+    w.key("dropped").value(t.dropped);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("what_if").begin_array();
+  for (const WhatIf& wi : a.what_if) {
+    w.begin_object();
+    w.key("workers").value(wi.workers);
+    w.key("projected_ns").value(wi.projected_ns);
+    w.key("speedup").value(wi.speedup);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("utilization").begin_array();
+  for (const UtilSample& u : a.utilization) {
+    w.begin_object();
+    w.key("t_ns").value(u.t_ns);
+    w.key("busy_workers").value(u.busy_workers);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace pmp2::obs::analysis

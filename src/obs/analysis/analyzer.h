@@ -1,0 +1,134 @@
+// Post-mortem trace analyzer: turns one recorded Timeline into the paper's
+// evaluation quantities without re-running the decode.
+//
+//   * per-track busy time (interval union of task spans, so nested picture
+//     spans inside GOP tasks are not double-counted) and a blocked-time
+//     decomposition over the classified wait kinds (queue-empty, barrier,
+//     backpressure, plus legacy unclassified waits);
+//   * the shared load summary (parallel::summarize_load) over worker
+//     tracks — the same derivation the live decoders and the simulator
+//     use, which is what makes analyzer output comparable to
+//     bench_fig7/bench_fig12 within tolerance;
+//   * the critical path through the task dependency structure (backward
+//     walk: a task's predecessor is the previous span on its own track, or
+//     — across a wait — the latest completion on any track that could have
+//     released it) and Graham-bound what-if projections
+//     T(N) = max(T1/N, critical-path busy) at other processor counts;
+//   * a bucketed utilization timeline (mean number of busy workers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/timeline.h"
+#include "parallel/stats.h"
+
+namespace pmp2::obs {
+class JsonWriter;
+}
+
+namespace pmp2::obs::analysis {
+
+/// Blocked time split by cause. `unclassified_ns` collects legacy kSyncWait
+/// spans from traces recorded before wait classification.
+struct WaitBreakdown {
+  std::int64_t queue_ns = 0;
+  std::int64_t barrier_ns = 0;
+  std::int64_t backpressure_ns = 0;
+  std::int64_t unclassified_ns = 0;
+
+  [[nodiscard]] std::int64_t total() const {
+    return queue_ns + barrier_ns + backpressure_ns + unclassified_ns;
+  }
+  WaitBreakdown& operator+=(const WaitBreakdown& o) {
+    queue_ns += o.queue_ns;
+    barrier_ns += o.barrier_ns;
+    backpressure_ns += o.backpressure_ns;
+    unclassified_ns += o.unclassified_ns;
+    return *this;
+  }
+};
+
+struct TrackAnalysis {
+  std::string name;
+  bool is_worker = false;  // false for the scan / display process tracks
+  std::size_t spans = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t tasks = 0;       // GOP/slice/scan/display task spans
+  std::int64_t busy_ns = 0;      // interval union of non-wait spans
+  std::int64_t idle_ns = 0;      // makespan - busy - wait (clamped)
+  std::int64_t first_ns = 0;     // earliest span begin on this track
+  std::int64_t last_ns = 0;      // latest span end on this track
+  WaitBreakdown wait;
+};
+
+/// Graham-bound projection at one processor count.
+struct WhatIf {
+  int workers = 0;
+  std::int64_t projected_ns = 0;  // max(T1 / N, critical-path busy)
+  double speedup = 0.0;           // T1 / projected_ns
+};
+
+struct UtilSample {
+  std::int64_t t_ns = 0;     // bucket start (relative to trace t0)
+  double busy_workers = 0.0; // mean workers busy during the bucket
+};
+
+struct AnalyzeOptions {
+  /// Processor counts for the what-if table; empty = {1,2,4,8,12,14,16}.
+  std::vector<int> what_if_workers;
+  /// Buckets in the utilization timeline (0 disables it).
+  int utilization_buckets = 64;
+  /// Spans shorter than this are ignored by the critical-path walk (noise
+  /// from sub-microsecond bookkeeping spans).
+  std::int64_t min_span_ns = 0;
+};
+
+struct Analysis {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> warnings;  // e.g. lossy-journal warning
+
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::int64_t makespan_ns = 0;
+
+  std::vector<TrackAnalysis> tracks;
+  int worker_tracks = 0;
+  std::int64_t total_busy_ns = 0;  // worker tracks only (= Graham T1)
+  WaitBreakdown total_wait;        // worker tracks only
+  std::int64_t total_idle_ns = 0;
+
+  /// Distinct pictures / GOPs / tasks seen in the trace.
+  int pictures = 0;
+  int gops = 0;
+  std::uint64_t tasks = 0;
+
+  /// Shared load summary over worker tracks (busy = interval union, sync =
+  /// wait total, idle = makespan remainder). `load.sync_ratio` is the
+  /// paper's Fig. 12 quantity; `speedup_actual` vs `speedup_ideal` is the
+  /// Fig. 7 ideal-vs-actual pair for this run.
+  parallel::WorkerLoadSummary load;
+  double speedup_actual = 0.0;  // total worker busy / makespan
+  double speedup_ideal = 0.0;   // worker track count
+
+  /// Critical path (over worker tracks' task spans).
+  std::int64_t critical_busy_ns = 0;  // busy time along the path
+  std::size_t critical_spans = 0;     // task spans on the path
+  double parallelism = 0.0;           // T1 / critical_busy (avg parallelism)
+
+  std::vector<WhatIf> what_if;
+  std::vector<UtilSample> utilization;
+};
+
+[[nodiscard]] Analysis analyze(const Timeline& timeline,
+                               const AnalyzeOptions& options = {});
+
+/// Human-readable multi-section report (what pmp2_analyze prints).
+void write_analysis_text(std::ostream& os, const Analysis& a);
+
+/// Machine-readable form, one JSON object (schema pmp2-analysis/1).
+void write_analysis_json(std::ostream& os, const Analysis& a);
+
+}  // namespace pmp2::obs::analysis

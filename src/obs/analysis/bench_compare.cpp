@@ -1,0 +1,295 @@
+#include "obs/analysis/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace pmp2::obs::analysis {
+
+namespace {
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+bool is_metric_field(const std::string& name) {
+  // Measurement-unit suffixes first (cheap and unambiguous).
+  if (ends_with(name, "_ns") || ends_with(name, "_us") ||
+      ends_with(name, "_ms") || ends_with(name, "_s") ||
+      ends_with(name, "_bytes") || ends_with(name, "_mb")) {
+    return true;
+  }
+  return contains(name, "per_second") || contains(name, "speedup") ||
+         contains(name, "ratio") || contains(name, "utilization") ||
+         contains(name, "imbalance") || contains(name, "fps") ||
+         contains(name, "pps") || contains(name, "mbps") ||
+         contains(name, "rate") || contains(name, "percent") ||
+         contains(name, "stall") || contains(name, "miss") ||
+         contains(name, "efficiency") || contains(name, "overhead");
+}
+
+bool metric_higher_is_better(const std::string& name) {
+  return contains(name, "per_second") || contains(name, "speedup") ||
+         contains(name, "utilization") || contains(name, "fps") ||
+         contains(name, "pps") || contains(name, "mbps") ||
+         contains(name, "rate") || contains(name, "efficiency") ||
+         contains(name, "throughput");
+}
+
+namespace {
+
+/// Identity key of a row: every non-metric field, in document order.
+std::string row_key(const JsonValue& row) {
+  std::string key;
+  for (const auto& [name, value] : row.members) {
+    const bool metric = value.is_number() && is_metric_field(name);
+    if (metric) continue;
+    if (!key.empty()) key += '|';
+    key += name;
+    key += '=';
+    switch (value.kind) {
+      case JsonValue::Kind::kString:
+        key += value.string;
+        break;
+      case JsonValue::Kind::kBool:
+        key += value.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::kNumber: {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.12g", value.number);
+        key += buf;
+        break;
+      }
+      default:
+        key += "?";
+        break;
+    }
+  }
+  return key;
+}
+
+void compare_rows(const std::string& tool, const JsonValue& base_row,
+                  const JsonValue& cand_row, const std::string& key,
+                  const CompareOptions& options, CompareResult& out) {
+  ++out.rows;
+  for (const auto& [name, base_val] : base_row.members) {
+    if (!base_val.is_number() || !is_metric_field(name)) continue;
+    const JsonValue* cand_val = cand_row.find(name);
+    if (!cand_val || !cand_val->is_number()) {
+      out.coverage_loss.push_back(tool + " [" + key + "]: metric '" + name +
+                                  "' missing from candidate");
+      continue;
+    }
+    ++out.metrics;
+    MetricDiff d;
+    d.tool = tool;
+    d.row_key = key;
+    d.metric = name;
+    d.baseline = base_val.number;
+    d.candidate = cand_val->number;
+    d.higher_better = metric_higher_is_better(name);
+    const double denom = std::abs(d.baseline);
+    if (denom < 1e-12) {
+      // Zero baseline: any nonzero candidate in the worse direction is a
+      // regression only if it exceeds tolerance in absolute terms too;
+      // skip — relative tolerance is meaningless here.
+      continue;
+    }
+    d.rel_delta = (d.candidate - d.baseline) / denom;
+    const double worse = d.higher_better ? -d.rel_delta : d.rel_delta;
+    const double tol = options.tolerance_for(name);
+    if (worse > tol) {
+      d.regression = true;
+      out.regressions.push_back(d);
+    } else if (options.report_improvements && -worse > tol) {
+      out.improvements.push_back(d);
+    }
+  }
+}
+
+void compare_one_report(const JsonValue& base, const JsonValue& cand,
+                        const CompareOptions& options, CompareResult& out) {
+  const std::string tool = base.get_string("tool", "?");
+  ++out.reports;
+  const JsonValue* base_rows = base.find("rows");
+  const JsonValue* cand_rows = cand.find("rows");
+  if (!base_rows || !base_rows->is_array() || !cand_rows ||
+      !cand_rows->is_array()) {
+    out.notes.push_back(tool + ": missing rows array");
+    return;
+  }
+  // Index candidate rows by identity key; duplicate keys keep the first.
+  std::map<std::string, const JsonValue*> cand_by_key;
+  for (const JsonValue& row : cand_rows->items) {
+    if (row.is_object()) cand_by_key.emplace(row_key(row), &row);
+  }
+  for (const JsonValue& row : base_rows->items) {
+    if (!row.is_object()) continue;
+    const std::string key = row_key(row);
+    auto it = cand_by_key.find(key);
+    if (it == cand_by_key.end()) {
+      out.coverage_loss.push_back(tool + ": baseline row [" + key +
+                                  "] missing from candidate");
+      continue;
+    }
+    compare_rows(tool, row, *it->second, key, options, out);
+  }
+}
+
+}  // namespace
+
+CompareResult compare_reports(const JsonValue& baseline,
+                              const JsonValue& candidate,
+                              const CompareOptions& options) {
+  CompareResult out;
+  const std::string base_schema = baseline.get_string("schema");
+  const std::string cand_schema = candidate.get_string("schema");
+  if (base_schema.empty() || base_schema != cand_schema) {
+    out.error = "schema mismatch: baseline '" + base_schema +
+                "' vs candidate '" + cand_schema + "'";
+    return out;
+  }
+  out.ok = true;
+  if (base_schema == RunReport::kSchema) {
+    compare_one_report(baseline, candidate, options, out);
+    return out;
+  }
+  if (base_schema != kSuiteSchema) {
+    out.ok = false;
+    out.error = "unknown schema '" + base_schema + "'";
+    return out;
+  }
+  const JsonValue* base_reports = baseline.find("reports");
+  const JsonValue* cand_reports = candidate.find("reports");
+  if (!base_reports || !base_reports->is_array() || !cand_reports ||
+      !cand_reports->is_array()) {
+    out.ok = false;
+    out.error = "suite document lacks a reports array";
+    return out;
+  }
+  std::map<std::string, const JsonValue*> cand_by_tool;
+  for (const JsonValue& r : cand_reports->items) {
+    if (r.is_object()) cand_by_tool.emplace(r.get_string("tool"), &r);
+  }
+  for (const JsonValue& r : base_reports->items) {
+    if (!r.is_object()) continue;
+    const std::string tool = r.get_string("tool", "?");
+    auto it = cand_by_tool.find(tool);
+    if (it == cand_by_tool.end()) {
+      out.coverage_loss.push_back("report '" + tool +
+                                  "' missing from candidate suite");
+      continue;
+    }
+    compare_one_report(r, *it->second, options, out);
+  }
+  return out;
+}
+
+CompareResult compare_report_files(const std::string& baseline_path,
+                                   const std::string& candidate_path,
+                                   const CompareOptions& options) {
+  CompareResult out;
+  auto load = [&](const std::string& path, JsonValue& doc) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      out.error = "cannot open " + path;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!json_parse(buf.str(), doc, &error)) {
+      out.error = path + ": " + error;
+      return false;
+    }
+    return true;
+  };
+  JsonValue base, cand;
+  if (!load(baseline_path, base) || !load(candidate_path, cand)) return out;
+  return compare_reports(base, cand, options);
+}
+
+void write_compare_text(std::ostream& os, const CompareResult& r) {
+  char buf[512];
+  if (!r.ok) {
+    os << "compare failed: " << r.error << "\n";
+    return;
+  }
+  std::snprintf(buf, sizeof buf,
+                "compared %d report(s), %d row(s), %d metric value(s)\n",
+                r.reports, r.rows, r.metrics);
+  os << buf;
+  for (const std::string& n : r.notes) os << "note: " << n << "\n";
+  for (const std::string& c : r.coverage_loss) os << "LOST: " << c << "\n";
+  for (const MetricDiff& d : r.regressions) {
+    std::snprintf(buf, sizeof buf,
+                  "REGRESSION %s [%s] %s: %.6g -> %.6g (%+.1f%%, %s better)\n",
+                  d.tool.c_str(), d.row_key.c_str(), d.metric.c_str(),
+                  d.baseline, d.candidate, 100 * d.rel_delta,
+                  d.higher_better ? "higher" : "lower");
+    os << buf;
+  }
+  for (const MetricDiff& d : r.improvements) {
+    std::snprintf(buf, sizeof buf,
+                  "improved %s [%s] %s: %.6g -> %.6g (%+.1f%%)\n",
+                  d.tool.c_str(), d.row_key.c_str(), d.metric.c_str(),
+                  d.baseline, d.candidate, 100 * d.rel_delta);
+    os << buf;
+  }
+  os << (r.passed() ? "bench check PASSED\n" : "bench check FAILED\n");
+}
+
+bool write_suite(std::ostream& os, const std::vector<SuiteEntry>& entries,
+                 std::string* error) {
+  // Validate everything before writing anything.
+  std::vector<std::string> trimmed;
+  trimmed.reserve(entries.size());
+  for (const SuiteEntry& e : entries) {
+    JsonValue doc;
+    std::string parse_error;
+    if (!json_parse(e.raw, doc, &parse_error)) {
+      if (error) *error = e.source + ": " + parse_error;
+      return false;
+    }
+    if (doc.get_string("schema") != RunReport::kSchema) {
+      if (error) {
+        *error = e.source + ": schema is '" + doc.get_string("schema") +
+                 "', expected '" + RunReport::kSchema + "'";
+      }
+      return false;
+    }
+    std::string t = e.raw;
+    while (!t.empty() && (t.back() == '\n' || t.back() == '\r' ||
+                          t.back() == ' ' || t.back() == '\t')) {
+      t.pop_back();
+    }
+    trimmed.push_back(std::move(t));
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value(kSuiteSchema);
+  w.key("sources").begin_array();
+  for (const SuiteEntry& e : entries) w.value(e.source);
+  w.end_array();
+  w.key("reports").begin_array();
+  for (const std::string& t : trimmed) w.value_raw(t);
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  return true;
+}
+
+}  // namespace pmp2::obs::analysis

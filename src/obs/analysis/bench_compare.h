@@ -1,0 +1,109 @@
+// Bench-report regression checking and suite aggregation (tools/bench_check
+// and scripts/bench_all.sh).
+//
+// Every bench binary emits one RunReport document tagged
+// "pmp2-bench-report/1"; bench_all.sh aggregates them into a suite document
+// tagged "pmp2-bench-suite/1" whose "reports" array embeds the per-bench
+// documents verbatim. compare_reports() diffs two documents (report vs
+// report, or suite vs suite, matched by tool name):
+//
+//   * rows are matched by their identity fields — strings, bools, and any
+//     number whose name does not look like a measurement (workers, gop,
+//     width, checksum, ...);
+//   * measurement fields (names ending in _ns/_s/_bytes or containing
+//     per_second/speedup/ratio/utilization/...) are compared with a
+//     relative tolerance; the direction (higher- or lower-is-better) is
+//     inferred from the name;
+//   * a candidate row or report missing from the baseline's set is only a
+//     note, but a baseline row missing from the candidate is a regression
+//     (coverage loss), as is any metric worse than tolerance allows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+
+namespace pmp2::obs::analysis {
+
+inline constexpr const char* kSuiteSchema = "pmp2-bench-suite/1";
+
+/// True when `name` denotes a measurement (comparable) rather than an
+/// identity field. Exposed for tests.
+[[nodiscard]] bool is_metric_field(const std::string& name);
+
+/// True when a larger value of metric `name` is better. Exposed for tests.
+[[nodiscard]] bool metric_higher_is_better(const std::string& name);
+
+struct CompareOptions {
+  /// Allowed relative change in the "worse" direction before a metric
+  /// counts as a regression.
+  double default_tolerance = 0.10;
+  /// Per-metric overrides (keyed by field name), e.g. {"wall_s": 0.25}.
+  std::map<std::string, double> tolerance;
+  /// When true, improvements beyond tolerance are also listed (as notes).
+  bool report_improvements = false;
+
+  [[nodiscard]] double tolerance_for(const std::string& metric) const {
+    auto it = tolerance.find(metric);
+    return it != tolerance.end() ? it->second : default_tolerance;
+  }
+};
+
+struct MetricDiff {
+  std::string tool;
+  std::string row_key;  // "workers=4|policy=improved|..."
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_delta = 0.0;  // (candidate - baseline) / |baseline|
+  bool higher_better = false;
+  bool regression = false;
+};
+
+struct CompareResult {
+  bool ok = false;      // comparison ran (schemas matched, JSON valid)
+  std::string error;
+  int reports = 0;      // report pairs compared
+  int rows = 0;         // row pairs compared
+  int metrics = 0;      // metric values compared
+  std::vector<MetricDiff> regressions;
+  std::vector<MetricDiff> improvements;   // only when requested
+  std::vector<std::string> notes;         // structural mismatches, etc.
+  std::vector<std::string> coverage_loss; // baseline rows/reports gone
+
+  [[nodiscard]] bool passed() const {
+    return ok && regressions.empty() && coverage_loss.empty();
+  }
+};
+
+/// Diffs candidate against baseline. Both must carry matching schema tags
+/// (two reports or two suites).
+[[nodiscard]] CompareResult compare_reports(const JsonValue& baseline,
+                                            const JsonValue& candidate,
+                                            const CompareOptions& options = {});
+
+/// Convenience: load both files, parse, compare.
+[[nodiscard]] CompareResult compare_report_files(
+    const std::string& baseline_path, const std::string& candidate_path,
+    const CompareOptions& options = {});
+
+void write_compare_text(std::ostream& os, const CompareResult& r);
+
+/// One bench document to embed in a suite.
+struct SuiteEntry {
+  std::string source;  // file path, recorded in the suite for provenance
+  std::string raw;     // the document's JSON text, embedded verbatim
+};
+
+/// Validates each entry (parses, schema == pmp2-bench-report/1) and writes
+/// the aggregate suite document. Returns false (with `error`) on the first
+/// invalid entry; nothing is written in that case.
+[[nodiscard]] bool write_suite(std::ostream& os,
+                               const std::vector<SuiteEntry>& entries,
+                               std::string* error = nullptr);
+
+}  // namespace pmp2::obs::analysis

@@ -1,0 +1,289 @@
+#include "obs/analysis/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace pmp2::obs::analysis {
+
+namespace {
+
+/// Flattened decode-order picture list: slice-task spans carry the global
+/// decode-order picture index (both the real slice decoder and the slice
+/// sim emit it that way), not a (gop, picture-in-gop) pair.
+struct FlatProfile {
+  std::vector<const sched::PictureCost*> pictures;
+  std::vector<int> gop_of;  // global picture index -> gop ordinal
+
+  explicit FlatProfile(const sched::StreamProfile& profile) {
+    for (std::size_t g = 0; g < profile.gops.size(); ++g) {
+      for (const auto& p : profile.gops[g].pictures) {
+        pictures.push_back(&p);
+        gop_of.push_back(static_cast<int>(g));
+      }
+    }
+  }
+
+  /// Model value for one slice task (work units, or measured profile ns);
+  /// 0 when the ids fall outside the profile (e.g. a concealed slice the
+  /// profiler never saw).
+  [[nodiscard]] double slice_model(int picture, int slice,
+                                   bool measured) const {
+    if (picture < 0 || picture >= static_cast<int>(pictures.size())) return 0;
+    const auto& slices = pictures[static_cast<std::size_t>(picture)]->slices;
+    if (slice < 0 || slice >= static_cast<int>(slices.size())) return 0;
+    const auto& s = slices[static_cast<std::size_t>(slice)];
+    return measured ? static_cast<double>(s.ns)
+                    : static_cast<double>(s.units);
+  }
+
+  [[nodiscard]] int gop(int picture) const {
+    return picture >= 0 && picture < static_cast<int>(gop_of.size())
+               ? gop_of[static_cast<std::size_t>(picture)]
+               : -1;
+  }
+};
+
+double gop_model(const sched::StreamProfile& profile, int gop,
+                 bool measured) {
+  if (gop < 0 || gop >= static_cast<int>(profile.gops.size())) return 0;
+  const auto& g = profile.gops[static_cast<std::size_t>(gop)];
+  return measured ? static_cast<double>(g.ns())
+                  : static_cast<double>(g.units());
+}
+
+}  // namespace
+
+DriftReport detect_drift(const Timeline& timeline,
+                         const sched::StreamProfile& profile,
+                         const DriftOptions& options) {
+  DriftReport r;
+  r.tolerance = options.tolerance;
+  if (!timeline.ok) {
+    r.error = timeline.error.empty() ? "timeline not loaded" : timeline.error;
+    return r;
+  }
+  if (!profile.ok) {
+    r.error = "stream profile not ok";
+    return r;
+  }
+
+  // Collect task spans: slices when present, whole GOP tasks otherwise.
+  struct RawTask {
+    int gop, picture, slice;
+    std::int64_t ns;
+  };
+  const FlatProfile flat(profile);
+  std::vector<RawTask> slice_tasks, gop_tasks;
+  for (const TimelineTrack& t : timeline.tracks) {
+    for (const Span& s : t.spans) {
+      if (s.kind == SpanKind::kSliceTask && s.picture >= 0 && s.slice >= 0) {
+        slice_tasks.push_back(
+            {flat.gop(s.picture), s.picture, s.slice, s.end_ns - s.begin_ns});
+      } else if (s.kind == SpanKind::kGopTask && s.gop >= 0) {
+        gop_tasks.push_back({s.gop, -1, -1, s.end_ns - s.begin_ns});
+      }
+    }
+  }
+  r.slice_granularity = !slice_tasks.empty();
+  const auto& raw = r.slice_granularity ? slice_tasks : gop_tasks;
+  if (raw.empty()) {
+    r.error = "timeline holds no slice or GOP task spans with stream ids";
+    return r;
+  }
+  r.measured = options.measured;
+  auto model_of = [&](const RawTask& t) {
+    return t.slice >= 0
+               ? flat.slice_model(t.picture, t.slice, options.measured)
+               : gop_model(profile, t.gop, options.measured);
+  };
+
+  // Fit the one free parameter: scale = median(actual_ns / model value).
+  std::vector<double> ratios;
+  ratios.reserve(raw.size());
+  for (const RawTask& t : raw) {
+    const double model = model_of(t);
+    if (model <= 0 || t.ns <= 0) continue;
+    ratios.push_back(static_cast<double>(t.ns) / model);
+  }
+  if (ratios.empty()) {
+    r.error = "no timeline task matched the profile (wrong stream?)";
+    return r;
+  }
+  const auto mid = ratios.begin() + static_cast<std::ptrdiff_t>(
+                                        ratios.size() / 2);
+  std::nth_element(ratios.begin(), mid, ratios.end());
+  r.scale = *mid;
+  if (r.scale <= 0) {
+    r.error = "degenerate fitted scale";
+    return r;
+  }
+
+  // Score every matched task; aggregate per GOP.
+  // Per-GOP score is duration-weighted: on tiny tasks (tens of µs) relative
+  // error is mostly scheduler jitter, and an unweighted mean over a small
+  // GOP lets a few such tasks flag it. Weighting by predicted cost makes
+  // the score track where the model actually spends its time.
+  struct GopAccum {
+    int tasks = 0;
+    double weight = 0.0;      // sum of predicted ns
+    double werr = 0.0;        // sum of predicted ns * |rel err|
+  };
+  std::map<int, GopAccum> per_gop;
+  std::vector<DriftTask> over;
+  std::vector<double> abs_errs;
+  double abs_sum = 0.0;
+  for (const RawTask& t : raw) {
+    const double model = model_of(t);
+    const auto predicted = static_cast<std::int64_t>(model * r.scale);
+    if (model <= 0 || predicted < options.min_predicted_ns) {
+      ++r.skipped_tasks;
+      continue;
+    }
+    DriftTask d;
+    d.gop = t.gop;
+    d.picture = t.picture;
+    d.slice = t.slice;
+    d.actual_ns = t.ns;
+    d.predicted_ns = predicted;
+    d.rel_error = static_cast<double>(t.ns - predicted) /
+                  static_cast<double>(predicted);
+    ++r.matched_tasks;
+    const double abs_err = std::abs(d.rel_error);
+    abs_errs.push_back(abs_err);
+    abs_sum += abs_err;
+    r.max_abs_rel_error = std::max(r.max_abs_rel_error, abs_err);
+    GopAccum& acc = per_gop[t.gop];
+    ++acc.tasks;
+    acc.weight += static_cast<double>(predicted);
+    acc.werr += static_cast<double>(predicted) * abs_err;
+    if (abs_err > options.tolerance) over.push_back(d);
+  }
+  if (r.matched_tasks == 0) {
+    r.error = "every matched task fell below min_predicted_ns";
+    return r;
+  }
+  r.mean_abs_rel_error = abs_sum / r.matched_tasks;
+  {
+    auto mid = abs_errs.begin() +
+               static_cast<std::ptrdiff_t>(abs_errs.size() / 2);
+    std::nth_element(abs_errs.begin(), mid, abs_errs.end());
+    r.median_abs_rel_error = *mid;
+  }
+  r.flagged_total = static_cast<int>(over.size());
+  r.allowed_outliers = static_cast<int>(options.outlier_fraction *
+                                        static_cast<double>(r.matched_tasks));
+
+  std::sort(over.begin(), over.end(), [](const DriftTask& a,
+                                         const DriftTask& b) {
+    return std::abs(a.rel_error) > std::abs(b.rel_error);
+  });
+  if (over.size() > options.max_flagged) over.resize(options.max_flagged);
+  r.flagged = std::move(over);
+
+  for (const auto& [gop, acc] : per_gop) {
+    GopDrift g;
+    g.gop = gop;
+    g.tasks = acc.tasks;
+    g.mean_abs_rel_error = acc.weight > 0 ? acc.werr / acc.weight : 0.0;
+    g.flagged = g.mean_abs_rel_error > options.gop_tolerance;
+    r.gop_drift.push_back(g);
+  }
+  r.ok = true;
+  return r;
+}
+
+void write_drift_text(std::ostream& os, const DriftReport& r) {
+  char buf[256];
+  if (!r.ok) {
+    os << "drift detection failed: " << r.error << "\n";
+    return;
+  }
+  std::snprintf(buf, sizeof buf,
+                "drift: %s granularity, %s basis, %d tasks matched "
+                "(%d skipped), fitted scale %.4g\n",
+                r.slice_granularity ? "slice" : "GOP",
+                r.measured ? "measured-ns" : "work-units", r.matched_tasks,
+                r.skipped_tasks, r.scale);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  median |rel err| %.4f, mean %.4f, max %.4f, tolerance "
+                "%.2f -> %d flagged tasks (%d allowed), %d flagged GOPs\n",
+                r.median_abs_rel_error, r.mean_abs_rel_error,
+                r.max_abs_rel_error, r.tolerance, r.flagged_total,
+                r.allowed_outliers, r.flagged_gops());
+  os << buf;
+  for (const DriftTask& d : r.flagged) {
+    std::snprintf(buf, sizeof buf,
+                  "  FLAG gop %d pic %d slice %d: actual %.3f ms vs "
+                  "predicted %.3f ms (%+.1f%%)\n",
+                  d.gop, d.picture, d.slice,
+                  static_cast<double>(d.actual_ns) / 1e6,
+                  static_cast<double>(d.predicted_ns) / 1e6,
+                  100 * d.rel_error);
+    os << buf;
+  }
+  for (const GopDrift& g : r.gop_drift) {
+    if (!g.flagged) continue;
+    std::snprintf(buf, sizeof buf,
+                  "  FLAG gop %d: mean |rel err| %.4f over %d tasks\n",
+                  g.gop, g.mean_abs_rel_error, g.tasks);
+    os << buf;
+  }
+  os << (r.passed() ? "drift check PASSED\n" : "drift check FAILED\n");
+}
+
+void write_drift_json(std::ostream& os, const DriftReport& r) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("pmp2-drift/1");
+  w.key("ok").value(r.ok);
+  if (!r.ok) {
+    w.key("error").value(r.error);
+    w.end_object();
+    os << "\n";
+    return;
+  }
+  w.key("granularity").value(r.slice_granularity ? "slice" : "gop");
+  w.key("basis").value(r.measured ? "measured_ns" : "units");
+  w.key("matched_tasks").value(r.matched_tasks);
+  w.key("skipped_tasks").value(r.skipped_tasks);
+  w.key("scale_ns_per_unit").value(r.scale);
+  w.key("tolerance").value(r.tolerance);
+  w.key("mean_abs_rel_error").value(r.mean_abs_rel_error);
+  w.key("median_abs_rel_error").value(r.median_abs_rel_error);
+  w.key("max_abs_rel_error").value(r.max_abs_rel_error);
+  w.key("flagged_total").value(r.flagged_total);
+  w.key("allowed_outliers").value(r.allowed_outliers);
+  w.key("passed").value(r.passed());
+  w.key("flagged").begin_array();
+  for (const DriftTask& d : r.flagged) {
+    w.begin_object();
+    w.key("gop").value(d.gop);
+    w.key("picture").value(d.picture);
+    w.key("slice").value(d.slice);
+    w.key("actual_ns").value(d.actual_ns);
+    w.key("predicted_ns").value(d.predicted_ns);
+    w.key("rel_error").value(d.rel_error);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gops").begin_array();
+  for (const GopDrift& g : r.gop_drift) {
+    w.begin_object();
+    w.key("gop").value(g.gop);
+    w.key("tasks").value(g.tasks);
+    w.key("mean_abs_rel_error").value(g.mean_abs_rel_error);
+    w.key("flagged").value(g.flagged);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace pmp2::obs::analysis

@@ -1,0 +1,120 @@
+// Sim-vs-real drift detector: checks that the virtual-time simulator's
+// cost model (sched::StreamProfile, units x ns_per_unit) still predicts
+// what the real threaded decoder spends per task.
+//
+// Method: take a traced real decode (slice or GOP task spans with ids) and
+// the profile of the same stream. Per task, the model predicts
+// units * scale nanoseconds; the single free parameter `scale` is fitted
+// as the median of actual/units over all tasks, which absorbs the host's
+// absolute speed (the simulator's calibration does the same via
+// ns_per_unit) while leaving the *shape* of the cost model exposed. A task
+// whose relative error |actual - predicted| / predicted exceeds the
+// tolerance is flagged; GOPs are scored by their duration-weighted mean
+// absolute error.
+//
+// Interpretation: small scatter is expected (cache state, scheduling);
+// systematic per-slice-type or per-GOP divergence means the linear
+// WorkMeter model (mpeg2/types.h) has drifted from the real kernels and
+// the simulator's figures can no longer be trusted at the flagged
+// granularity. docs/ANALYSIS.md documents the shipped tolerance.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/timeline.h"
+#include "sched/profile.h"
+
+namespace pmp2::obs::analysis {
+
+struct DriftTask {
+  int gop = -1;
+  int picture = -1;
+  int slice = -1;  // -1 for GOP-granularity tasks
+  std::int64_t actual_ns = 0;
+  std::int64_t predicted_ns = 0;
+  double rel_error = 0.0;  // signed: (actual - predicted) / predicted
+};
+
+struct GopDrift {
+  int gop = -1;
+  int tasks = 0;
+  /// Duration-weighted (by predicted cost) mean |rel_error| over the
+  /// GOP's tasks: robust to jitter on tens-of-µs tasks.
+  double mean_abs_rel_error = 0.0;
+  bool flagged = false;
+};
+
+struct DriftOptions {
+  /// Prediction basis. false (default): the simulator's default model,
+  /// units * fitted scale — checks the WorkMeter linear model itself.
+  /// true: the profile's measured per-slice nanoseconds * fitted scale —
+  /// checks that profiling still reproduces the real decode (the sim's
+  /// measured_costs mode), independent of the units model's fit.
+  bool measured = false;
+  /// Per-task relative-error threshold. The default absorbs normal
+  /// scheduling/cache scatter on a loaded single-core host (spans are
+  /// wall-clock, so any preemption lands in some task); see
+  /// docs/ANALYSIS.md for how the shipped tolerances were chosen.
+  double tolerance = 0.75;
+  /// Flag a GOP when its mean absolute error exceeds this (GOP means
+  /// average the scheduling noise out, so the bar is lower than per-task;
+  /// healthy runs on the reference container sit at 0.1-0.3 with
+  /// excursions to ~0.5 on small GOPs where one preempted span moves the
+  /// mean, while genuine model drift shows up well above 1).
+  double gop_tolerance = 0.6;
+  /// Ignore tasks predicted below this cost: relative error on
+  /// sub-5µs tasks is dominated by timer and wakeup noise.
+  std::int64_t min_predicted_ns = 5'000;
+  /// Keep at most this many flagged tasks in the report (worst first).
+  std::size_t max_flagged = 64;
+  /// Fraction of tasks allowed over tolerance before the check fails: on a
+  /// loaded host a handful of wall-clock spans always catch a preemption
+  /// spike, and single outliers say nothing about the cost model.
+  double outlier_fraction = 0.10;
+};
+
+struct DriftReport {
+  bool ok = false;
+  std::string error;
+  bool slice_granularity = false;  // false = GOP tasks were matched
+  bool measured = false;           // prediction basis used
+  int matched_tasks = 0;
+  int skipped_tasks = 0;  // below min_predicted_ns or not in the profile
+  double scale = 0.0;     // fitted scale (median actual / model value)
+  double tolerance = 0.0;
+  double max_abs_rel_error = 0.0;
+  double mean_abs_rel_error = 0.0;
+  /// Robust to preemption spikes (which inflate mean/max on a loaded
+  /// host): systematic model drift moves the median, host noise barely.
+  double median_abs_rel_error = 0.0;
+  int flagged_total = 0;            // tasks over tolerance (before truncation)
+  int allowed_outliers = 0;         // outlier_fraction * matched_tasks
+  std::vector<DriftTask> flagged;   // worst |rel_error| first (truncated)
+  std::vector<GopDrift> gop_drift;  // one entry per matched GOP
+
+  [[nodiscard]] int flagged_gops() const {
+    int n = 0;
+    for (const auto& g : gop_drift) n += g.flagged;
+    return n;
+  }
+  /// Passes when no GOP exceeds its tolerance and task outliers stay
+  /// within the allowed fraction.
+  [[nodiscard]] bool passed() const {
+    return ok && flagged_total <= allowed_outliers && flagged_gops() == 0;
+  }
+};
+
+/// Diffs the timeline's task spans against the profile's cost model.
+/// Prefers slice granularity (kSliceTask spans with gop/picture/slice ids);
+/// falls back to GOP granularity (kGopTask spans) for coarse traces.
+[[nodiscard]] DriftReport detect_drift(const Timeline& timeline,
+                                       const sched::StreamProfile& profile,
+                                       const DriftOptions& options = {});
+
+void write_drift_text(std::ostream& os, const DriftReport& r);
+void write_drift_json(std::ostream& os, const DriftReport& r);
+
+}  // namespace pmp2::obs::analysis

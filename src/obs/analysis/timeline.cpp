@@ -1,0 +1,221 @@
+#include "obs/analysis/timeline.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/json_parse.h"
+
+namespace pmp2::obs::analysis {
+
+std::uint64_t Timeline::total_spans() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks) n += t.spans.size();
+  return n;
+}
+
+std::uint64_t Timeline::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks) n += t.dropped;
+  return n;
+}
+
+Timeline from_tracer(const Tracer& tracer) {
+  Timeline tl;
+  tl.ok = true;
+  tl.tracks.resize(static_cast<std::size_t>(tracer.tracks()));
+  for (int i = 0; i < tracer.tracks(); ++i) {
+    const TraceTrack& t = tracer.track(i);
+    TimelineTrack& out = tl.tracks[static_cast<std::size_t>(i)];
+    out.name = t.name().empty() ? "worker " + std::to_string(i) : t.name();
+    out.emitted = t.emitted();
+    out.dropped = t.dropped();
+    out.spans = t.spans();
+  }
+  return tl;
+}
+
+namespace {
+
+Timeline fail(std::string message) {
+  Timeline tl;
+  tl.error = std::move(message);
+  return tl;
+}
+
+template <typename T>
+bool get_raw(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof *value);
+  return static_cast<bool>(is);
+}
+
+// Sanity bounds: a corrupt or truncated journal should produce an error,
+// not a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxTracks = 1 << 16;
+constexpr std::uint32_t kMaxNameLen = 1 << 16;
+constexpr std::uint64_t kMaxSpansPerTrack = std::uint64_t{1} << 28;
+
+}  // namespace
+
+Timeline load_journal(std::istream& is) {
+  char magic[sizeof kJournalMagic];
+  if (!is.read(magic, sizeof magic) ||
+      std::memcmp(magic, kJournalMagic, sizeof magic) != 0) {
+    return fail("not a PMP2JRNL journal (bad magic)");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t track_count = 0;
+  if (!get_raw(is, &version)) return fail("truncated journal header");
+  if (version != kJournalVersion) {
+    return fail("unsupported journal version " + std::to_string(version));
+  }
+  if (!get_raw(is, &track_count)) return fail("truncated journal header");
+  if (track_count > kMaxTracks) {
+    return fail("implausible track count " + std::to_string(track_count));
+  }
+
+  Timeline tl;
+  tl.tracks.resize(track_count);
+  for (std::uint32_t i = 0; i < track_count; ++i) {
+    TimelineTrack& t = tl.tracks[i];
+    std::uint32_t name_len = 0;
+    if (!get_raw(is, &name_len) || name_len > kMaxNameLen) {
+      return fail("bad track name in journal (track " + std::to_string(i) +
+                  ")");
+    }
+    t.name.resize(name_len);
+    if (name_len > 0 &&
+        !is.read(t.name.data(), static_cast<std::streamsize>(name_len))) {
+      return fail("truncated track name (track " + std::to_string(i) + ")");
+    }
+    // Same fallback as from_tracer / the Chrome writer: unnamed tracks are
+    // workers, so all three timeline sources agree on track naming.
+    if (t.name.empty()) t.name = "worker " + std::to_string(i);
+    std::uint64_t span_count = 0;
+    if (!get_raw(is, &t.emitted) || !get_raw(is, &t.dropped) ||
+        !get_raw(is, &span_count) || span_count > kMaxSpansPerTrack) {
+      return fail("truncated track header (track " + std::to_string(i) + ")");
+    }
+    t.spans.resize(static_cast<std::size_t>(span_count));
+    for (Span& s : t.spans) {
+      std::uint8_t kind = 0;
+      if (!get_raw(is, &s.begin_ns) || !get_raw(is, &s.end_ns) ||
+          !get_raw(is, &s.picture) || !get_raw(is, &s.slice) ||
+          !get_raw(is, &s.gop) || !get_raw(is, &kind)) {
+        return fail("truncated span data (track " + std::to_string(i) + ")");
+      }
+      s.kind = static_cast<SpanKind>(kind);
+    }
+  }
+  tl.ok = true;
+  return tl;
+}
+
+Timeline load_journal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  return load_journal(in);
+}
+
+namespace {
+
+SpanKind kind_from_category(const std::string& cat) {
+  if (cat == "scan") return SpanKind::kScan;
+  if (cat == "gop") return SpanKind::kGopTask;
+  if (cat == "slice") return SpanKind::kSliceTask;
+  if (cat == "picture") return SpanKind::kPicture;
+  if (cat == "wait") return SpanKind::kSyncWait;
+  if (cat == "display") return SpanKind::kDisplay;
+  if (cat == "conceal") return SpanKind::kConceal;
+  if (cat == "wait.queue") return SpanKind::kQueueWait;
+  if (cat == "wait.barrier") return SpanKind::kBarrierWait;
+  if (cat == "wait.backpressure") return SpanKind::kBackpressure;
+  return SpanKind::kSyncWait;
+}
+
+/// Chrome "ts"/"dur" are microseconds with three fixed decimals; llround
+/// recovers the original integer nanoseconds exactly.
+std::int64_t us_to_ns(double us) { return std::llround(us * 1000.0); }
+
+}  // namespace
+
+Timeline load_chrome_trace(std::string_view text) {
+  JsonValue root;
+  std::string error;
+  if (!json_parse(text, root, &error)) {
+    return fail("chrome trace parse error: " + error);
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (!events || !events->is_array()) {
+    return fail("chrome trace has no traceEvents array");
+  }
+
+  Timeline tl;
+  std::unordered_map<std::int64_t, std::size_t> tid_to_track;
+  auto track_for = [&](std::int64_t tid) -> TimelineTrack& {
+    auto [it, inserted] = tid_to_track.emplace(tid, tl.tracks.size());
+    if (inserted) {
+      tl.tracks.emplace_back();
+      tl.tracks.back().name = "worker " + std::to_string(tid);
+    }
+    return tl.tracks[it->second];
+  };
+
+  for (const JsonValue& ev : events->items) {
+    if (!ev.is_object()) continue;
+    const std::string ph = ev.get_string("ph");
+    const std::int64_t tid = ev.get_int("tid");
+    if (ph == "M") {
+      if (ev.get_string("name") != "thread_name") continue;
+      TimelineTrack& t = track_for(tid);
+      if (const JsonValue* args = ev.find("args")) {
+        t.name = args->get_string("name", t.name);
+        t.dropped = static_cast<std::uint64_t>(args->get_int("dropped"));
+      }
+      continue;
+    }
+    if (ph != "X") continue;
+    TimelineTrack& t = track_for(tid);
+    Span s;
+    s.begin_ns = us_to_ns(ev.get_double("ts"));
+    s.end_ns = s.begin_ns + us_to_ns(ev.get_double("dur"));
+    s.kind = kind_from_category(ev.get_string("cat"));
+    if (const JsonValue* args = ev.find("args")) {
+      s.picture = static_cast<std::int32_t>(args->get_int("picture", -1));
+      s.slice = static_cast<std::int32_t>(args->get_int("slice", -1));
+      s.gop = static_cast<std::int32_t>(args->get_int("gop", -1));
+    }
+    t.spans.push_back(s);
+  }
+  for (TimelineTrack& t : tl.tracks) {
+    t.emitted = t.spans.size() + t.dropped;
+  }
+  tl.ok = true;
+  return tl;
+}
+
+Timeline load_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load_chrome_trace(buf.str());
+}
+
+Timeline load_timeline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  const int first = in.peek();
+  if (first == EOF) return fail("empty trace file " + path);
+  if (first == '{' || first == '[') {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return load_chrome_trace(buf.str());
+  }
+  return load_journal(in);
+}
+
+}  // namespace pmp2::obs::analysis

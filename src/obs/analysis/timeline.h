@@ -1,0 +1,57 @@
+// Timeline: the analyzer's in-memory view of one recorded run — per-track
+// span lists plus drop accounting — with loaders for both on-disk trace
+// formats the Tracer writes:
+//
+//   * the compact binary journal (magic "PMP2JRNL"), lossless and cheap;
+//   * the Chrome trace_event JSON export (sniffed by its leading '{'),
+//     so traces captured for Perfetto can be analyzed without re-running.
+//
+// Both loaders produce the same Timeline; `load_timeline` sniffs the
+// format from the first byte.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace pmp2::obs::analysis {
+
+struct TimelineTrack {
+  std::string name;
+  std::uint64_t emitted = 0;  // spans ever emitted (includes overwritten)
+  std::uint64_t dropped = 0;  // spans lost to ring overflow
+  std::vector<Span> spans;    // retained spans, oldest first
+};
+
+struct Timeline {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::vector<TimelineTrack> tracks;
+
+  [[nodiscard]] std::uint64_t total_spans() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+  /// True when any track overflowed its ring: analyses over this timeline
+  /// under-count whatever the dropped spans held.
+  [[nodiscard]] bool lossy() const { return total_dropped() > 0; }
+};
+
+/// Snapshot of a live tracer (no serialization round-trip).
+[[nodiscard]] Timeline from_tracer(const Tracer& tracer);
+
+/// Binary journal (Tracer::write_journal) loaders.
+[[nodiscard]] Timeline load_journal(std::istream& is);
+[[nodiscard]] Timeline load_journal_file(const std::string& path);
+
+/// Chrome trace_event JSON (Tracer::write_chrome_trace) loaders. Only "X"
+/// complete events are reconstructed (metadata events carry names/drops);
+/// span kinds come from the "cat" field, ids from "args".
+[[nodiscard]] Timeline load_chrome_trace(std::string_view text);
+[[nodiscard]] Timeline load_chrome_trace_file(const std::string& path);
+
+/// Sniffs the format ('{' = Chrome JSON, "PMP2JRNL" = journal) and loads.
+[[nodiscard]] Timeline load_timeline(const std::string& path);
+
+}  // namespace pmp2::obs::analysis

@@ -1,0 +1,69 @@
+// Strict recursive-descent JSON reader — the read side of the obs layer's
+// JsonWriter. Parses exactly the RFC 8259 grammar into a small value tree;
+// used by the trace analyzer (loading Chrome trace_event exports), the
+// bench regression checker (loading --report-out documents) and the tests.
+//
+// Scope: documents the obs layer itself writes (reports, traces, journals'
+// JSON siblings) are at most a few MiB, so the tree representation is
+// deliberately simple — no SAX interface, no number preservation beyond
+// double (ints up to 2^53 round-trip, which covers every field we emit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pmp2::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors with fallbacks (never throw).
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? number : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number) : fallback;
+  }
+  [[nodiscard]] std::string as_string(std::string fallback = {}) const {
+    return is_string() ? string : std::move(fallback);
+  }
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+
+  /// Convenience: find(key) then the typed accessor's fallback chain.
+  [[nodiscard]] double get_double(std::string_view key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback = 0) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = {}) const;
+};
+
+/// Parses `text` into `out`. On failure returns false and, when `error` is
+/// non-null, stores a message with the byte offset of the first error.
+[[nodiscard]] bool json_parse(std::string_view text, JsonValue& out,
+                              std::string* error = nullptr);
+
+}  // namespace pmp2::obs

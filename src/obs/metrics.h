@@ -56,7 +56,12 @@ class Histogram {
   [[nodiscard]] std::int64_t max() const;  // 0 when empty
   [[nodiscard]] double mean() const;
 
-  /// Estimated value at quantile `q` in [0, 1].
+  /// Estimated value at quantile `q` (clamped to [0, 1]): finds the bucket
+  /// holding the q*count-th sample and interpolates linearly within it,
+  /// then clamps to the observed [min, max]. Defined edge behavior:
+  ///   * empty histogram   -> 0.0 for every q (matching min()/max()/mean())
+  ///   * single sample     -> exactly that sample for every q
+  ///   * q = 0 / q = 1     -> min() / max() exactly
   [[nodiscard]] double percentile(double q) const;
 
  private:

@@ -28,6 +28,7 @@ void ReportValue::write(JsonWriter& w) const {
 void RunReport::write_json(std::ostream& os) const {
   JsonWriter w(os);
   w.begin_object();
+  w.key("schema").value(kSchema);
   w.key("tool").value(tool_);
   w.key("description").value(description_);
   w.key("meta").begin_object();

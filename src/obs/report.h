@@ -53,6 +53,10 @@ class ReportValue {
 
 class RunReport {
  public:
+  /// Versioned schema tag written as the "schema" field of every report.
+  /// Bump the trailing number whenever field meaning changes incompatibly;
+  /// tools/bench_check refuses to compare documents with mismatched tags.
+  static constexpr const char* kSchema = "pmp2-bench-report/1";
   /// One data point: an ordered list of named fields.
   class Row {
    public:

@@ -24,8 +24,26 @@ const char* span_kind_name(SpanKind kind) {
       return "display";
     case SpanKind::kConceal:
       return "conceal";
+    case SpanKind::kQueueWait:
+      return "wait.queue";
+    case SpanKind::kBarrierWait:
+      return "wait.barrier";
+    case SpanKind::kBackpressure:
+      return "wait.backpressure";
   }
   return "span";
+}
+
+bool span_kind_is_wait(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSyncWait:
+    case SpanKind::kQueueWait:
+    case SpanKind::kBarrierWait:
+    case SpanKind::kBackpressure:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::vector<Span> TraceTrack::spans() const {
@@ -118,7 +136,13 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     w.key("ph").value("M");
     w.key("pid").value(0);
     w.key("tid").value(i);
-    w.key("args").begin_object().key("name").value(name).end_object();
+    w.key("args")
+        .begin_object()
+        .key("name")
+        .value(name)
+        .key("dropped")
+        .value(t.dropped())
+        .end_object();
     w.end_object();
   }
 
@@ -142,6 +166,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   }
   w.end_array();
   w.key("droppedSpans").value(total_dropped());
+  w.key("droppedByTrack").begin_array();
+  for (int i = 0; i < tracks(); ++i) w.value(track(i).dropped());
+  w.end_array();
   w.end_object();
 }
 
@@ -149,6 +176,47 @@ bool Tracer::write_chrome_trace_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   write_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+template <typename T>
+void put_raw(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+}  // namespace
+
+void Tracer::write_journal(std::ostream& os) const {
+  os.write(kJournalMagic, sizeof kJournalMagic);
+  put_raw(os, kJournalVersion);
+  put_raw(os, static_cast<std::uint32_t>(tracks()));
+  for (int i = 0; i < tracks(); ++i) {
+    const TraceTrack& t = track(i);
+    const std::string& name = t.name();
+    put_raw(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    put_raw(os, t.emitted());
+    put_raw(os, t.dropped());
+    const auto spans = t.spans();
+    put_raw(os, static_cast<std::uint64_t>(spans.size()));
+    for (const Span& s : spans) {
+      put_raw(os, s.begin_ns);
+      put_raw(os, s.end_ns);
+      put_raw(os, s.picture);
+      put_raw(os, s.slice);
+      put_raw(os, s.gop);
+      put_raw(os, static_cast<std::uint8_t>(s.kind));
+    }
+  }
+}
+
+bool Tracer::write_journal_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_journal(out);
   out.flush();
   return static_cast<bool>(out);
 }

@@ -35,14 +35,31 @@ enum class SpanKind : std::uint8_t {
   kGopTask,    // one GOP task (coarse-grained decoder)
   kSliceTask,  // one slice task (fine-grained decoder)
   kPicture,    // one picture inside a GOP task
-  kSyncWait,   // blocked on the task queue / dependency / barrier
+  kSyncWait,   // blocked, cause unknown (legacy/unclassified)
   kDisplay,    // display-order emission
   kConceal,    // error concealment of a corrupt slice
+  // Classified blocked time, the buckets of the analyzer's blocked-time
+  // decomposition (docs/ANALYSIS.md):
+  kQueueWait,     // consumer side: task queue empty (scan not ahead yet,
+                  // or the stream has fewer tasks than workers)
+  kBarrierWait,   // blocked on a data dependency / picture barrier
+  kBackpressure,  // producer side: bounded queue full, or the open-picture
+                  // bound reached (memory backpressure)
 };
 
-/// Stable lower-case name ("slice", "wait", ...) used as the event name
-/// prefix and the Chrome "cat" field.
+/// Stable lower-case name ("slice", "wait", "wait.queue", ...) used as the
+/// event name prefix and the Chrome "cat" field.
 [[nodiscard]] const char* span_kind_name(SpanKind kind);
+
+/// True for the blocked-time kinds (kSyncWait and the classified waits).
+[[nodiscard]] bool span_kind_is_wait(SpanKind kind);
+
+/// Binary journal framing (shared with the obs::analysis loader). Fields
+/// are written in host byte order; the magic doubles as the format sniffer
+/// (a Chrome trace starts with '{').
+inline constexpr char kJournalMagic[8] = {'P', 'M', 'P', '2',
+                                          'J', 'R', 'N', 'L'};
+inline constexpr std::uint32_t kJournalVersion = 1;
 
 /// One closed span. 40 bytes; a track ring of the default capacity holds
 /// the most recent ~32k spans per worker (~1.3 MiB).
@@ -133,11 +150,22 @@ class Tracer {
 
   /// Writes the whole trace as a Chrome trace_event JSON object. Output is
   /// a pure function of the recorded spans and track names — byte-identical
-  /// across runs when the spans are (the sim determinism guarantee).
+  /// across runs when the spans are (the sim determinism guarantee). Drop
+  /// accounting is exported per track ("dropped" in each thread_name
+  /// metadata event plus a top-level "droppedByTrack" array) and in total
+  /// ("droppedSpans").
   void write_chrome_trace(std::ostream& os) const;
 
   /// Convenience: writes the Chrome JSON to `path`; false on I/O error.
   [[nodiscard]] bool write_chrome_trace_file(const std::string& path) const;
+
+  /// Writes the compact binary span journal (magic "PMP2JRNL", version 1):
+  /// the lossless machine-readable twin of the Chrome export, ~29 bytes per
+  /// span. Loaded by obs::analysis::load_journal / tools/pmp2_analyze.
+  void write_journal(std::ostream& os) const;
+
+  /// Convenience: writes the journal to `path`; false on I/O error.
+  [[nodiscard]] bool write_journal_file(const std::string& path) const;
 
  private:
   std::vector<TraceTrack> tracks_;

@@ -161,7 +161,9 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
         if (tracer) {
           const std::int64_t wait_end = tracer->now_ns();
           if (wait_end - wait_begin >= kMinWaitSpanNs) {
-            tracer->emit(w, obs::SpanKind::kSyncWait, wait_begin, wait_end);
+            // A pop only blocks while the queue is empty (scan not far
+            // enough ahead, or fewer tasks than workers remain).
+            tracer->emit(w, obs::SpanKind::kQueueWait, wait_begin, wait_end);
           }
         }
         if (!task) break;
@@ -193,7 +195,15 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
     int index = 0;
     int display_base = 0;
     for (const auto& gop : structure.gops) {
-      queue.push(GopTask{&gop, index, display_base, display_base});
+      const std::int64_t push_begin = tracer ? tracer->now_ns() : 0;
+      const std::int64_t blocked_ns =
+          queue.push(GopTask{&gop, index, display_base, display_base});
+      if (tracer && blocked_ns >= kMinWaitSpanNs) {
+        // Bounded queue at capacity: the scan process is the producer, so
+        // this is backpressure charged to the scan track.
+        tracer->emit(config_.workers, obs::SpanKind::kBackpressure,
+                     push_begin, push_begin + blocked_ns);
+      }
       display_base += static_cast<int>(gop.pictures.size());
       ++index;
     }

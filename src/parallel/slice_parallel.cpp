@@ -57,8 +57,14 @@ class Coordinator {
 
   /// Blocks until a slice is available, all work is done (returns false),
   /// or the run was aborted (returns false). Accumulates blocked time into
-  /// `sync_ns`.
-  bool claim(Claim& out, std::int64_t& sync_ns) {
+  /// `sync_ns`. When `wait_kind` is non-null it is set to the classified
+  /// cause of any blocking: kBackpressure when the open-picture bound was
+  /// what stalled us (memory backpressure wins over a concurrent
+  /// dependency stall, since lifting the bound would have unblocked the
+  /// claim), kBarrierWait otherwise (unsatisfied picture dependency, or
+  /// all remaining slices claimed by other workers).
+  bool claim(Claim& out, std::int64_t& sync_ns,
+             obs::SpanKind* wait_kind = nullptr) {
     WallTimer timer;
     std::unique_lock lock(mutex_);
     for (;;) {
@@ -73,6 +79,13 @@ class Coordinator {
         return true;
       }
       if (completed_ == static_cast<int>(pics_.size())) break;
+      if (wait_kind && *wait_kind != obs::SpanKind::kBackpressure) {
+        const bool bound_stall =
+            next_to_open_ < static_cast<int>(pics_.size()) &&
+            open_count_ >= max_open_;
+        *wait_kind = bound_stall ? obs::SpanKind::kBackpressure
+                                 : obs::SpanKind::kBarrierWait;
+      }
       cv_.wait(lock);
     }
     sync_ns += timer.elapsed_ns();
@@ -298,11 +311,13 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
         for (;;) {
           const std::int64_t wait_begin = tracer ? tracer->now_ns() : 0;
           const std::int64_t sync_before = stats.sync_ns;
-          const bool claimed = coord.claim(claim, stats.sync_ns);
+          obs::SpanKind wait_kind = obs::SpanKind::kBarrierWait;
+          const bool claimed =
+              coord.claim(claim, stats.sync_ns, tracer ? &wait_kind : nullptr);
           if (tracer) {
             const std::int64_t wait_end = tracer->now_ns();
             if (wait_end - wait_begin >= kMinWaitSpanNs) {
-              tracer->emit(w, obs::SpanKind::kSyncWait, wait_begin, wait_end);
+              tracer->emit(w, wait_kind, wait_begin, wait_end);
             }
           }
           if (!claimed) break;

@@ -243,7 +243,8 @@ SimResult simulate_gop(const StreamProfile& profile, const SimConfig& config) {
     stats.sync_ns += start - now;
     if (remote) ++stats.remote_tasks;
     if (config.tracer && start > now) {
-      config.tracer->emit(w, obs::SpanKind::kSyncWait, now, start);
+      // A GOP worker only stalls for the scan process / empty task queue.
+      config.tracer->emit(w, obs::SpanKind::kQueueWait, now, start);
     }
 
     const GopCost& gop = profile.gops[static_cast<std::size_t>(task.gop)];
@@ -470,6 +471,9 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
     return -1;
   };
 
+  // Classified cause of the most recent stall, used to label idle-worker
+  // wait spans (deterministic: derived purely from scheduler state).
+  obs::SpanKind stall_kind = obs::SpanKind::kBarrierWait;
   while (completed < n) {
     const std::int64_t scan_block = open_eligible(now);
     bool assigned = false;
@@ -502,7 +506,7 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
       if (remote) ++stats.remote_tasks;
       if (config.tracer) {
         if (now > w.since) {
-          config.tracer->emit(w.id, obs::SpanKind::kSyncWait, w.since, now);
+          config.tracer->emit(w.id, stall_kind, w.since, now);
         }
         config.tracer->emit(w.id, obs::SpanKind::kSliceTask, start,
                             start + cost, p, s);
@@ -511,6 +515,15 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
       assigned = true;
     }
     if (assigned) continue;
+    if (!idle.empty()) {
+      // Workers are stalling right now; classify why, mirroring the real
+      // Coordinator: scan not far enough ahead -> queue-empty; open-picture
+      // bound reached -> backpressure; otherwise a picture dependency.
+      stall_kind = scan_block != kInf ? obs::SpanKind::kQueueWait
+                   : (next_to_open < n && open_count >= max_open)
+                       ? obs::SpanKind::kBackpressure
+                       : obs::SpanKind::kBarrierWait;
+    }
 
     // Nothing to assign: advance time to the next completion or scan point.
     if (!events.empty() &&

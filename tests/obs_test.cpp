@@ -14,6 +14,7 @@
 #include "bitstream/startcode.h"
 #include "mpeg2/decoder.h"
 #include "obs/json.h"
+#include "obs/json_parse.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
@@ -220,6 +221,51 @@ TEST(Json, WriterProducesValidCompactDocument) {
   EXPECT_TRUE(json_valid(doc));
 }
 
+// Escaped payload -> JsonWriter document -> strict obs::json_parse ->
+// original bytes. Covers every control character and multi-byte UTF-8.
+TEST(Json, ControlCharsRoundTripThroughStrictParser) {
+  for (int c = 0; c < 0x20; ++c) {
+    std::string payload = "a";
+    payload.push_back(static_cast<char>(c));
+    payload += "b";
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.key("s").value(payload);
+    w.end_object();
+    obs::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::json_parse(os.str(), doc, &err))
+        << "byte 0x" << std::hex << c << ": " << err;
+    const obs::JsonValue* s = doc.find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->as_string(), payload) << "byte 0x" << std::hex << c;
+  }
+}
+
+TEST(Json, NonAsciiBytesRoundTripThroughStrictParser) {
+  const std::string payloads[] = {
+      "\xc3\xa9",                               // 2-byte UTF-8 (e acute)
+      "\xe2\x82\xac",                           // 3-byte UTF-8 (euro sign)
+      "\xf0\x9f\x8e\xac",                       // 4-byte UTF-8 (clapper)
+      std::string("del \x7f nbsp \xc2\xa0"),    // DEL is legal unescaped
+  };
+  for (const std::string& payload : payloads) {
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.key("s").value(payload);
+    w.end_object();
+    EXPECT_TRUE(json_valid(os.str()));
+    obs::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::json_parse(os.str(), doc, &err)) << err;
+    const obs::JsonValue* s = doc.find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->as_string(), payload);
+  }
+}
+
 // --- Tracer ring ----------------------------------------------------------
 
 TEST(Tracer, RingOverflowKeepsNewestAndCountsDrops) {
@@ -287,6 +333,34 @@ TEST(Metrics, HistogramStatsAndPercentiles) {
   EXPECT_GE(h.percentile(0.99), 64.0);
   EXPECT_LE(h.percentile(0.99), 100.0);
   EXPECT_LE(h.percentile(1.0), 100.0);
+}
+
+TEST(Metrics, HistogramPercentileEmptyAndSingleSample) {
+  obs::Histogram empty;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(empty.percentile(q), 0.0) << "q=" << q;
+  }
+  obs::Histogram one;
+  one.record(42);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(one.percentile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(Metrics, HistogramPercentileEndpointsClampAndMonotone) {
+  obs::Histogram h;
+  for (const int v : {10, 20, 40, 80, 1000}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+  // Out-of-range quantiles clamp to the endpoints.
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 1000.0);
+  double prev = h.percentile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
 }
 
 TEST(Metrics, RegistryDumpsAreValidAndDeterministic) {

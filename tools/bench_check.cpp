@@ -1,0 +1,101 @@
+// bench_check — bench-report regression gate and suite aggregator.
+//
+// compare (default): diffs a candidate report/suite against a baseline;
+// exits nonzero when any measurement regresses beyond tolerance or any
+// baseline row disappears.
+//
+//   bench_check BASELINE.json CANDIDATE.json
+//   bench_check BASELINE.json CANDIDATE.json --tolerance=0.15
+//   bench_check BASELINE.json CANDIDATE.json --tolerance-wall_s=0.3
+//
+// merge: validates per-bench --report-out documents and aggregates them
+// into one pmp2-bench-suite/1 document (what scripts/bench_all.sh writes
+// as BENCH_parallel.json):
+//
+//   bench_check --merge --out=BENCH_parallel.json r1.json r2.json ...
+//
+// Exit codes: 0 passed, 1 usage/IO error, 2 regression or coverage loss.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/analysis/bench_compare.h"
+#include "util/flags.h"
+
+using namespace pmp2;
+using namespace pmp2::obs::analysis;
+
+namespace {
+
+int run_merge(const Flags& flags) {
+  const std::string out_path = flags.get_string("out", "");
+  if (out_path.empty() || flags.positional().empty()) {
+    std::cerr << "usage: bench_check --merge --out=SUITE.json "
+                 "REPORT.json...\n";
+    return 1;
+  }
+  std::vector<SuiteEntry> entries;
+  for (const std::string& path : flags.positional()) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "bench_check: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    entries.push_back({path, buf.str()});
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "bench_check: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!write_suite(out, entries, &error)) {
+    std::cerr << "bench_check: " << error << "\n";
+    return 1;
+  }
+  std::cout << "merged " << entries.size() << " report(s) into " << out_path
+            << "\n";
+  return 0;
+}
+
+int run_compare(const Flags& flags) {
+  const auto& paths = flags.positional();
+  if (paths.size() != 2) {
+    std::cerr << "usage: bench_check BASELINE.json CANDIDATE.json "
+                 "[--tolerance=F] [--tolerance-METRIC=F] "
+                 "[--improvements]\n";
+    return 1;
+  }
+  CompareOptions options;
+  options.default_tolerance =
+      flags.get_double("tolerance", options.default_tolerance);
+  options.report_improvements = flags.get_bool("improvements", false);
+  // Per-metric overrides: --tolerance-wall_s=0.3 etc.
+  for (const std::string& name : flags.unused()) {
+    constexpr const char* kPrefix = "tolerance-";
+    if (name.rfind(kPrefix, 0) == 0) {
+      const std::string metric = name.substr(std::string(kPrefix).size());
+      options.tolerance[metric] =
+          flags.get_double(name, options.default_tolerance);
+    }
+  }
+  const CompareResult result =
+      compare_report_files(paths[0], paths[1], options);
+  write_compare_text(std::cout, result);
+  if (!result.ok) return 1;
+  return result.passed() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int rc = flags.get_bool("merge", false) ? run_merge(flags)
+                                                : run_compare(flags);
+  for (const std::string& f : flags.unused()) {
+    std::cerr << "bench_check: unknown flag " << f << "\n";
+  }
+  return rc;
+}

@@ -1,0 +1,80 @@
+// pmp2_analyze — post-mortem trace analyzer (docs/ANALYSIS.md).
+//
+// Loads a span journal written by --journal-out (binary "PMP2JRNL") or a
+// Chrome trace written by --trace-out (JSON; the format is sniffed), then
+// reconstructs per-worker timelines, the blocked-time decomposition, the
+// critical path, and Graham-bound what-if speedup projections.
+//
+//   pmp2_analyze RUN.journal
+//   pmp2_analyze RUN.trace.json --json --out=analysis.json
+//   pmp2_analyze RUN.journal --what-if=1,2,4,8,16 --util-buckets=32
+//
+// Exit codes: 0 ok, 1 usage, 2 load/analysis failure. A lossy journal
+// (dropped spans) prints a warning but still analyzes.
+#include <fstream>
+#include <iostream>
+
+#include "obs/analysis/analyzer.h"
+#include "obs/analysis/timeline.h"
+#include "util/flags.h"
+
+using namespace pmp2;
+using namespace pmp2::obs::analysis;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto paths = flags.positional();
+  if (paths.size() != 1) {
+    std::cerr << "usage: pmp2_analyze <trace.journal | trace.json> "
+                 "[--json] [--out=PATH] [--what-if=N,N,...] "
+                 "[--util-buckets=N]\n";
+    return 1;
+  }
+
+  const Timeline timeline = load_timeline(paths[0]);
+  if (!timeline.ok) {
+    std::cerr << "pmp2_analyze: " << timeline.error << "\n";
+    return 2;
+  }
+
+  AnalyzeOptions options;
+  options.what_if_workers = flags.get_int_list("what-if", {});
+  options.utilization_buckets =
+      flags.get_int("util-buckets", options.utilization_buckets);
+  options.min_span_ns =
+      flags.get_int("min-span-ns", static_cast<int>(options.min_span_ns));
+
+  const Analysis analysis = analyze(timeline, options);
+  if (!analysis.ok) {
+    std::cerr << "pmp2_analyze: " << analysis.error << "\n";
+    return 2;
+  }
+  for (const std::string& w : analysis.warnings) {
+    std::cerr << "pmp2_analyze: WARNING: " << w << "\n";
+  }
+
+  const bool as_json = flags.get_bool("json", false);
+  const std::string out_path = flags.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pmp2_analyze: cannot write " << out_path << "\n";
+      return 2;
+    }
+    if (as_json) {
+      write_analysis_json(out, analysis);
+    } else {
+      write_analysis_text(out, analysis);
+    }
+    std::cout << "wrote " << out_path << "\n";
+  } else if (as_json) {
+    write_analysis_json(std::cout, analysis);
+  } else {
+    write_analysis_text(std::cout, analysis);
+  }
+
+  for (const std::string& f : flags.unused()) {
+    std::cerr << "pmp2_analyze: unknown flag " << f << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// pmp2_drift — sim-vs-real cost-model drift detector (docs/ANALYSIS.md).
+//
+// Decodes a stream with the real std::thread workers under a span tracer,
+// profiles the same stream for the virtual-time simulator's cost model
+// (sched::profile_stream), and diffs per-task measured cost against the
+// model's prediction. Tasks (and GOPs) diverging beyond tolerance are
+// flagged: that is the signal that the WorkMeter linear model behind every
+// simulated figure has drifted from the real kernels.
+//
+//   pmp2_drift --width=352 --height=240 --gop=13 --workers=4
+//   pmp2_drift --table1 --scale=0.3 --out=drift.json
+//
+// --table1 sweeps the paper's 16-stream matrix (4 resolutions x GOP sizes
+// {4,13,16,31}, Table 1). --decoder=gop diffs at GOP-task granularity.
+// Exit codes: 0 ran (see report for flags), 2 operational failure,
+// 3 drift beyond tolerance when --strict is set.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/analysis/drift.h"
+#include "obs/analysis/timeline.h"
+#include "obs/json.h"
+#include "obs/tracer.h"
+#include "parallel/gop_decoder.h"
+#include "parallel/slice_parallel.h"
+#include "util/flags.h"
+
+using namespace pmp2;
+using namespace pmp2::obs::analysis;
+
+namespace {
+
+struct StreamRun {
+  streamgen::StreamSpec spec;
+  DriftReport report;
+};
+
+bool run_one(const streamgen::StreamSpec& spec, const Flags& flags,
+             const DriftOptions& options, DriftReport& out) {
+  const auto stream = bench::load_or_generate(spec);
+  const int workers = static_cast<int>(flags.get_int("workers", 4));
+  const int warmup = static_cast<int>(flags.get_int("warmup", 1));
+  obs::Tracer tracer(workers + 1);
+
+  // Warmup decodes (untraced) take the cold-cache / page-fault hit so the
+  // traced run measures steady-state task costs — the regime the profiled
+  // cost model describes.
+  const bool use_gop = flags.get_string("decoder", "slice") == "gop";
+  auto decode = [&](obs::Tracer* t) {
+    if (use_gop) {
+      parallel::GopDecoderConfig config;
+      config.workers = workers;
+      config.tracer = t;
+      return parallel::GopParallelDecoder(config).decode(stream);
+    }
+    parallel::SliceDecoderConfig config;
+    config.workers = workers;
+    config.tracer = t;
+    return parallel::SliceParallelDecoder(config).decode(stream);
+  };
+  for (int i = 0; i < warmup; ++i) {
+    if (!decode(nullptr).ok) {
+      out.error = "warmup decode failed";
+      return false;
+    }
+  }
+  const parallel::RunResult result = decode(&tracer);
+  if (!result.ok) {
+    out.error = "real decode failed";
+    return false;
+  }
+  const sched::StreamProfile& profile = bench::cached_profile(spec);
+  if (!profile.ok) {
+    out.error = "stream profiling failed";
+    return false;
+  }
+  out = detect_drift(from_tracer(tracer), profile, options);
+  return out.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Sim-vs-real cost-model drift",
+                      "profiled cost model (src/sched/profile) vs traced "
+                      "std::thread decode");
+
+  DriftOptions options;
+  options.measured = flags.get_bool("measured", false);
+  options.tolerance = flags.get_double("tolerance", options.tolerance);
+  options.gop_tolerance =
+      flags.get_double("gop-tolerance", options.gop_tolerance);
+  options.min_predicted_ns = flags.get_int(
+      "min-predicted-ns", options.min_predicted_ns);
+
+  std::vector<StreamRun> runs;
+  if (flags.get_bool("table1", false)) {
+    const auto gop_sizes = flags.get_int_list("gops", {4, 13, 16, 31});
+    for (const auto& res : bench::resolutions(flags)) {
+      for (const int gop : gop_sizes) {
+        streamgen::StreamSpec spec;
+        spec.width = res.width;
+        spec.height = res.height;
+        spec.bit_rate = res.bit_rate;
+        spec.gop_size = gop;
+        runs.push_back({bench::apply_scale(spec, flags), {}});
+      }
+    }
+  } else {
+    streamgen::StreamSpec spec;
+    spec.width = static_cast<int>(flags.get_int("width", 352));
+    spec.height = static_cast<int>(flags.get_int("height", 240));
+    spec.bit_rate = flags.get_int("bitrate", spec.bit_rate);
+    spec.gop_size = static_cast<int>(flags.get_int("gop", 13));
+    runs.push_back({bench::apply_scale(spec, flags), {}});
+  }
+
+  bool operational_failure = false;
+  bool any_flagged = false;
+  for (StreamRun& run : runs) {
+    std::cout << "--- " << run.spec.width << "x" << run.spec.height
+              << " gop=" << run.spec.gop_size
+              << " pictures=" << run.spec.pictures << " ---\n";
+    if (!run_one(run.spec, flags, options, run.report)) {
+      std::cout << "FAILED: " << run.report.error << "\n";
+      operational_failure = true;
+      continue;
+    }
+    write_drift_text(std::cout, run.report);
+    any_flagged |= !run.report.passed();
+  }
+
+  const std::string out_path = flags.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pmp2_drift: cannot write " << out_path << "\n";
+      return 2;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("schema").value("pmp2-drift-suite/1");
+    w.key("tolerance").value(options.tolerance);
+    w.key("gop_tolerance").value(options.gop_tolerance);
+    w.key("streams").begin_array();
+    for (const StreamRun& run : runs) {
+      w.begin_object();
+      w.key("width").value(run.spec.width);
+      w.key("height").value(run.spec.height);
+      w.key("gop_size").value(run.spec.gop_size);
+      w.key("pictures").value(run.spec.pictures);
+      std::ostringstream body;
+      write_drift_json(body, run.report);
+      std::string raw = body.str();
+      while (!raw.empty() && raw.back() == '\n') raw.pop_back();
+      w.key("report").value_raw(raw);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << "\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  const int rc = bench::finish(flags);
+  if (rc != 0 || operational_failure) return 2;
+  if (any_flagged && flags.get_bool("strict", false)) return 3;
+  return 0;
+}
