@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
       spec = bench::apply_scale(spec, flags);
       const auto stream = bench::load_or_generate(spec);
       const auto structure = mpeg2::scan_structure(stream);
+      // SWAR acceptance: the fast scanner's startcode index must match the
+      // byte-wise seed loop on all 16 streams of the matrix.
+      const bool scan_identical =
+          scan_all_startcodes(stream) == bench::seed_scan_all_startcodes(stream);
       const double seconds = spec.pictures / 30.0;
       const double mbps =
           static_cast<double>(stream.size()) * 8 / seconds / 1e6;
@@ -42,7 +46,8 @@ int main(int argc, char** argv) {
           .set("pictures", spec.pictures)
           .set("actual_megabits_per_second_rate", mbps)
           .set("stream_bytes", static_cast<std::int64_t>(stream.size()))
-          .set("slices_per_picture", slices_per_pic);
+          .set("slices_per_picture", slices_per_pic)
+          .set("startcode_index_identical_to_seed", scan_identical ? 1 : 0);
       t.add_row({std::to_string(index++),
                  std::to_string(res.width) + "x" + std::to_string(res.height),
                  std::to_string(gop), std::to_string(spec.pictures),

@@ -121,6 +121,25 @@ void append_load_summary(obs::RunReport::Row& row,
       .set("utilization", load.utilization);
 }
 
+std::vector<Startcode> seed_scan_all_startcodes(
+    std::span<const std::uint8_t> data) {
+  std::vector<Startcode> out;
+  std::uint64_t i = 0;
+  while (i + 3 < data.size()) {
+    if (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1) {
+      Startcode sc;
+      sc.byte_offset = i;
+      sc.code = data[i + 3];
+      out.push_back(sc);
+      i += 4;
+      continue;
+    }
+    // data[i+2] > 1 rules out a prefix starting at i, i+1, or i+2.
+    i += (data[i + 2] > 1) ? 3 : 1;
+  }
+  return out;
+}
+
 int finish(const Flags& flags) {
   for (const auto& f : flags.unused()) {
     std::cerr << "[bench] warning: unused flag --" << f << "\n";

@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include <span>
+
+#include "bitstream/startcode.h"
 #include "obs/report.h"
 #include "parallel/stats.h"
 #include "sched/profile.h"
@@ -18,6 +21,12 @@
 #include "util/table.h"
 
 namespace pmp2::bench {
+
+/// The pre-SWAR byte-wise startcode scan, kept verbatim as the "before"
+/// half of the Table 2 before/after pair and as the identity oracle for
+/// the Table 1 stream matrix.
+std::vector<Startcode> seed_scan_all_startcodes(
+    std::span<const std::uint8_t> data);
 
 /// Default picture counts per resolution, sized so the whole bench suite
 /// completes in minutes on one core. Scaled by --pictures (absolute) or

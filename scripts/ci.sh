@@ -8,9 +8,11 @@
 #   scripts/ci.sh perfsmoke   # ctest -L perfsmoke
 #   scripts/ci.sh obs         # ctest -L obs
 #   scripts/ci.sh tsan        # TSan build of the parallel decoder tests
-#   scripts/ci.sh all         # everything including tsan
+#   scripts/ci.sh ubsan       # UBSan build of the SWAR scanner fuzz tests
+#   scripts/ci.sh all         # everything including tsan + ubsan
 #
-# Build dirs: build/ (tier1, reused) and build-tsan/ (tsan job).
+# Build dirs: build/ (tier1, reused), build-tsan/ and build-ubsan/
+# (sanitizer jobs).
 set -u -o pipefail
 
 STAGE="${1:-default}"
@@ -51,12 +53,25 @@ stage_tsan() {
       -R 'Parallel|Stress|Tracer|Obs'
 }
 
+stage_ubsan() {
+  # The SWAR scanner does unaligned 8-byte loads (via memcpy, which must
+  # stay UBSan-clean) — run the fuzz/oracle tests and the bitstream unit
+  # tests under -fsanitize=undefined to prove it.
+  run cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPMP2_SANITIZE=undefined || return 1
+  run cmake --build build-ubsan -j "$JOBS" \
+      --target test_startcode_fuzz test_bitstream || return 1
+  run ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
+      -R 'StartcodeFuzz|BitReader|BitWriter|Startcode'
+}
+
 rc=0
 case "$STAGE" in
   tier1)     stage_tier1     || rc=1 ;;
   perfsmoke) stage_perfsmoke || rc=1 ;;
   obs)       stage_obs       || rc=1 ;;
   tsan)      stage_tsan      || rc=1 ;;
+  ubsan)     stage_ubsan     || rc=1 ;;
   default)
     stage_tier1 || rc=1
     # tier1 ran the full suite; the labeled stages just prove the labels
@@ -69,9 +84,10 @@ case "$STAGE" in
     run ctest --test-dir build -L perfsmoke --output-on-failure || rc=1
     run ctest --test-dir build -L obs --output-on-failure -j "$JOBS" || rc=1
     stage_tsan || rc=1
+    stage_ubsan || rc=1
     ;;
   *)
-    echo "ci.sh: unknown stage '$STAGE' (tier1|perfsmoke|obs|tsan|all)" >&2
+    echo "ci.sh: unknown stage '$STAGE' (tier1|perfsmoke|obs|tsan|ubsan|all)" >&2
     exit 2 ;;
 esac
 exit "$rc"

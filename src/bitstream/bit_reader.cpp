@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "bitstream/startcode.h"
+
 namespace pmp2 {
 
 void BitReader::refill() const {
@@ -32,23 +34,10 @@ void BitReader::refill() const {
 
 bool BitReader::align_to_next_startcode() {
   byte_align();
-  std::uint64_t byte = bitpos_ >> 3;
-  // Scan for 0x00 0x00 0x01; need one more byte for the code itself.
-  while (byte + 3 < data_.size()) {
-    if (data_[byte] == 0 && data_[byte + 1] == 0 && data_[byte + 2] == 1) {
-      bitpos_ = byte * 8;
-      return true;
-    }
-    // Skip ahead: if data_[byte+2] != 0 and != 1, no prefix can start at
-    // byte or byte+1 or byte+2.
-    if (data_[byte + 2] > 1) {
-      byte += 3;
-    } else {
-      ++byte;
-    }
-  }
-  bitpos_ = static_cast<std::uint64_t>(data_.size()) * 8;
-  return false;
+  // Shared SWAR scan kernel (needs one more byte for the code itself).
+  const std::uint64_t byte = find_startcode_prefix(data_, bitpos_ >> 3);
+  bitpos_ = byte * 8;
+  return byte < data_.size();
 }
 
 }  // namespace pmp2

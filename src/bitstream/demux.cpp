@@ -1,0 +1,18 @@
+#include "bitstream/demux.h"
+
+namespace pmp2 {
+
+StreamDemux::StreamDemux(std::span<const std::uint8_t> data)
+    : data_(data), scanner_(data) {
+  have_lookahead_ = scanner_.next(lookahead_);
+}
+
+bool StreamDemux::next(DemuxUnit& out) {
+  if (!have_lookahead_) return false;
+  out.sc = lookahead_;
+  have_lookahead_ = scanner_.next(lookahead_);
+  out.end_offset = have_lookahead_ ? lookahead_.byte_offset : data_.size();
+  return true;
+}
+
+}  // namespace pmp2

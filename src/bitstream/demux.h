@@ -1,0 +1,49 @@
+// Incremental elementary-stream demultiplexer.
+//
+// StreamDemux yields startcode-delimited units one at a time instead of
+// materializing the whole index upfront (scan_all_startcodes). It keeps a
+// one-startcode lookahead so every unit is delivered with its byte extent:
+// the payload of unit k ends where startcode k+1 begins (or at end of
+// stream). The streaming front-end of the parallel decoders is built on
+// this: the scan process consumes units, emits GOP tasks as soon as their
+// last byte is known, and never re-walks bytes the scanner has passed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bitstream/startcode.h"
+
+namespace pmp2 {
+
+/// One demultiplexed unit: a startcode plus the extent of its payload.
+struct DemuxUnit {
+  Startcode sc;
+  std::uint64_t end_offset = 0;  // offset of the next startcode (or size())
+
+  friend bool operator==(const DemuxUnit&, const DemuxUnit&) = default;
+};
+
+/// Forward-only incremental demultiplexer over an in-memory stream.
+class StreamDemux {
+ public:
+  explicit StreamDemux(std::span<const std::uint8_t> data);
+
+  /// Yields the next unit; false at end of stream.
+  bool next(DemuxUnit& out);
+
+  /// Byte position the demux has fully consumed: everything before the
+  /// held-back lookahead startcode (stream size once drained). This is the
+  /// quantity the scan process reports as its progress.
+  [[nodiscard]] std::uint64_t position() const {
+    return have_lookahead_ ? lookahead_.byte_offset : data_.size();
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  StartcodeScanner scanner_;
+  Startcode lookahead_;
+  bool have_lookahead_ = false;
+};
+
+}  // namespace pmp2

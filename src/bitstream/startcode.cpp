@@ -1,5 +1,8 @@
 #include "bitstream/startcode.h"
 
+#include <bit>
+#include <cstring>
+
 namespace pmp2 {
 
 std::string_view startcode_name(std::uint8_t code) {
@@ -16,25 +19,64 @@ std::string_view startcode_name(std::uint8_t code) {
   }
 }
 
-bool StartcodeScanner::next(Startcode& out) {
-  std::uint64_t i = pos_;
-  while (i + 3 < data_.size()) {
-    if (data_[i] == 0 && data_[i + 1] == 0 && data_[i + 2] == 1) {
-      out.byte_offset = i;
-      out.code = data_[i + 3];
-      pos_ = i + 4;
-      return true;
+std::uint64_t find_startcode_prefix(std::span<const std::uint8_t> data,
+                                    std::uint64_t from) {
+  const std::uint8_t* const d = data.data();
+  const std::uint64_t n = data.size();
+  std::uint64_t i = from;
+  if constexpr (std::endian::native == std::endian::little) {
+    constexpr std::uint64_t kLows = 0x0101010101010101ULL;
+    constexpr std::uint64_t kHighs = 0x8080808080808080ULL;
+    while (i + 8 <= n) {
+      std::uint64_t v;
+      std::memcpy(&v, d + i, 8);  // memcpy: UBSan-clean unaligned load
+      std::uint64_t hits = (v - kLows) & ~v & kHighs;
+      if (hits == 0) {
+        // No zero byte in the window, so no prefix starts here.
+        i += 8;
+        continue;
+      }
+      // countr_zero walks candidates low-address-first (byte k of the
+      // little-endian load is d[i + k]).
+      do {
+        const std::uint64_t p =
+            i + (static_cast<std::uint64_t>(std::countr_zero(hits)) >> 3);
+        if (p + 3 < n && d[p] == 0 && d[p + 1] == 0 && d[p + 2] == 1) {
+          return p;
+        }
+        hits &= hits - 1;
+      } while (hits != 0);
+      i += 8;
     }
-    // data_[i+2] > 1 rules out a prefix starting at i, i+1, or i+2.
-    i += (data_[i + 2] > 1) ? 3 : 1;
   }
-  pos_ = data_.size();
-  return false;
+  // Head on big-endian hosts and the last < 8 bytes everywhere: the seed
+  // byte loop (d[i+2] > 1 rules out a prefix starting at i, i+1 or i+2).
+  while (i + 3 < n) {
+    if (d[i] == 0 && d[i + 1] == 0 && d[i + 2] == 1) return i;
+    i += (d[i + 2] > 1) ? 3 : 1;
+  }
+  return n;
+}
+
+bool StartcodeScanner::next(Startcode& out) {
+  const std::uint64_t i = find_startcode_prefix(data_, pos_);
+  if (i >= data_.size()) {
+    pos_ = data_.size();
+    return false;
+  }
+  out.byte_offset = i;
+  out.code = data_[i + 3];
+  pos_ = i + 4;
+  return true;
 }
 
 std::vector<Startcode> scan_all_startcodes(
     std::span<const std::uint8_t> data) {
   std::vector<Startcode> out;
+  // Coded MPEG-2 video runs a few hundred bytes per startcode (a slice of
+  // SIF at 1.5 Mb/s is ~400 bytes); reserving at 1/512 avoids the growth
+  // reallocations without overshooting on denser streams.
+  out.reserve(data.size() / 512 + 8);
   StartcodeScanner scanner(data);
   Startcode sc;
   while (scanner.next(sc)) out.push_back(sc);

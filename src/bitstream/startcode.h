@@ -42,6 +42,21 @@ struct Startcode {
   friend bool operator==(const Startcode&, const Startcode&) = default;
 };
 
+/// Finds the lowest byte offset >= `from` at which a complete startcode
+/// begins: a 00 00 01 prefix with at least one code byte after it. Returns
+/// data.size() when there is none. This is the scan kernel shared by
+/// StartcodeScanner, BitReader::align_to_next_startcode and the demux, so
+/// no caller re-walks bytes with its own byte-at-a-time loop.
+///
+/// Fast path: 8 bytes per step with the SWAR zero-byte test
+/// (v - 0x01..01) & ~v & 0x80..80, which flags every zero byte (and, via
+/// borrow propagation, occasionally a 0x01 after a zero — candidates are
+/// therefore always re-verified against all three prefix bytes, which also
+/// handles prefixes straddling the 8-byte window edge). A window with no
+/// zero byte cannot contain the start of a prefix, so it is skipped whole.
+[[nodiscard]] std::uint64_t find_startcode_prefix(
+    std::span<const std::uint8_t> data, std::uint64_t from);
+
 /// Forward-only scanner over an in-memory stream.
 class StartcodeScanner {
  public:

@@ -2,80 +2,26 @@
 
 #include <algorithm>
 
-#include "bitstream/startcode.h"
+#include "mpeg2/structure_scan.h"
 #include "obs/tracer.h"
 
 namespace pmp2::mpeg2 {
 
 StreamStructure scan_structure(std::span<const std::uint8_t> stream) {
+  // Drive the incremental scanner to completion: same index, one GOP at a
+  // time (the streaming decoders consume StructureScanner directly).
   StreamStructure out;
-  StartcodeScanner scanner(stream);
-  Startcode sc;
-  bool have_seq = false;
-  bool have_seq_ext = false;
-  GopInfo* gop = nullptr;
-  PictureInfo* pic = nullptr;
-
-  auto close_gop = [&](std::uint64_t end) {
-    if (gop) gop->end_offset = end;
-    gop = nullptr;
-    pic = nullptr;
-  };
-
-  while (scanner.next(sc)) {
-    BitReader br(stream);
-    br.seek_bytes(sc.byte_offset + 4);
-    switch (sc.code) {
-      case 0xB3: {  // sequence header
-        close_gop(sc.byte_offset);
-        if (!parse_sequence_header(br, out.seq)) return out;
-        have_seq = true;
-        break;
-      }
-      case 0xB5: {  // extension: only the sequence extension matters here
-        if (br.peek(4) == 1) have_seq_ext = true;
-        parse_extension(br, &out.ext, nullptr);
-        break;
-      }
-      case 0xB8: {  // group start
-        close_gop(sc.byte_offset);
-        GopHeader gh;
-        if (!parse_gop_header(br, gh)) return out;
-        out.gops.push_back({});
-        gop = &out.gops.back();
-        gop->offset = sc.byte_offset;
-        gop->closed = gh.closed_gop;
-        break;
-      }
-      case 0x00: {  // picture start
-        if (!gop) return out;  // pictures must live inside a GOP here
-        PictureHeader ph;
-        if (!parse_picture_header(br, ph)) return out;
-        gop->pictures.push_back({});
-        pic = &gop->pictures.back();
-        pic->offset = sc.byte_offset;
-        pic->type = ph.type;
-        pic->temporal_reference = ph.temporal_reference;
-        break;
-      }
-      case 0xB7: {  // sequence end
-        close_gop(sc.byte_offset);
-        break;
-      }
-      default: {
-        if (is_slice_code(sc.code)) {
-          if (!pic) return out;
-          pic->slices.push_back({sc.byte_offset, sc.code - 1});
-        }
-        break;
-      }
-    }
-  }
-  close_gop(stream.size());
-  out.valid = have_seq && !out.gops.empty();
-  out.mpeg1 = out.valid && !have_seq_ext;
+  StructureScanner scanner(stream);
+  GopInfo gop;
+  while (scanner.next_gop(gop)) out.gops.push_back(std::move(gop));
+  if (scanner.failed_in_gop()) out.gops.push_back(std::move(gop));
+  out.seq = scanner.seq();
+  out.ext = scanner.ext();
+  if (scanner.failed()) return out;
+  out.valid = scanner.have_seq() && !out.gops.empty();
+  out.mpeg1 = out.valid && scanner.mpeg1();
   // Scope check: only 4:2:0 is implemented (the paper's configuration).
-  if (have_seq_ext && out.ext.chroma_format != 1) out.valid = false;
+  if (!scanner.mpeg1() && out.ext.chroma_format != 1) out.valid = false;
   return out;
 }
 

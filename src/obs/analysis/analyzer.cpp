@@ -58,6 +58,7 @@ struct PathSpan {
   std::int64_t end_ns = 0;
   int track = 0;
   bool is_wait = false;
+  bool is_input = false;  // span lives on the scan (input stage) track
 };
 
 /// Backward critical-path walk over worker-track spans.
@@ -71,9 +72,10 @@ struct PathSpan {
 /// the trace.
 void critical_path(const std::vector<std::vector<PathSpan>>& by_track,
                    std::vector<PathSpan>& all_tasks, std::int64_t* busy_ns,
-                   std::size_t* steps) {
+                   std::size_t* steps, std::int64_t* input_ns) {
   *busy_ns = 0;
   *steps = 0;
+  *input_ns = 0;
   if (all_tasks.empty()) return;
   std::sort(all_tasks.begin(), all_tasks.end(),
             [](const PathSpan& a, const PathSpan& b) {
@@ -103,6 +105,7 @@ void critical_path(const std::vector<std::vector<PathSpan>>& by_track,
   while (cur && guard++ < max_steps) {
     if (!cur->is_wait) {
       *busy_ns += cur->end_ns - cur->begin_ns;
+      if (cur->is_input) *input_ns += cur->end_ns - cur->begin_ns;
       ++*steps;
     }
     const std::int64_t frontier = cur->is_wait ? cur->end_ns : cur->begin_ns;
@@ -231,11 +234,14 @@ Analysis analyze(const Timeline& timeline, const AnalyzeOptions& options) {
                 static_cast<double>(a.makespan_ns)
           : 0.0;
 
-  // Critical path over worker tracks.
+  // Critical path over worker tracks plus the scan (input stage) track, so
+  // the serial front-end contributes path time when it gates the workers.
   std::vector<std::vector<PathSpan>> by_track(timeline.tracks.size());
   std::vector<PathSpan> all_tasks;
+  std::vector<PathSpan> worker_tasks;  // utilization counts workers only
   for (std::size_t i = 0; i < timeline.tracks.size(); ++i) {
-    if (!a.tracks[i].is_worker) continue;
+    const bool is_input = timeline.tracks[i].name == "scan";
+    if (!a.tracks[i].is_worker && !is_input) continue;
     for (const Span& s : timeline.tracks[i].spans) {
       if (s.end_ns - s.begin_ns < options.min_span_ns) continue;
       const bool wait = span_kind_is_wait(s.kind);
@@ -245,15 +251,20 @@ Analysis analyze(const Timeline& timeline, const AnalyzeOptions& options) {
       p.end_ns = s.end_ns;
       p.track = static_cast<int>(i);
       p.is_wait = wait;
+      p.is_input = is_input;
       by_track[i].push_back(p);
-      if (!wait) all_tasks.push_back(p);
+      if (!wait) {
+        all_tasks.push_back(p);
+        if (!is_input) worker_tasks.push_back(p);
+      }
     }
     std::sort(by_track[i].begin(), by_track[i].end(),
               [](const PathSpan& x, const PathSpan& y) {
                 return x.end_ns < y.end_ns;
               });
   }
-  critical_path(by_track, all_tasks, &a.critical_busy_ns, &a.critical_spans);
+  critical_path(by_track, all_tasks, &a.critical_busy_ns, &a.critical_spans,
+                &a.critical_input_ns);
   a.parallelism = a.critical_busy_ns > 0
                       ? static_cast<double>(a.total_busy_ns) /
                             static_cast<double>(a.critical_busy_ns)
@@ -282,7 +293,7 @@ Analysis analyze(const Timeline& timeline, const AnalyzeOptions& options) {
     std::vector<double> overlap(static_cast<std::size_t>(nb), 0.0);
     const double width =
         static_cast<double>(a.makespan_ns) / static_cast<double>(nb);
-    for (const PathSpan& s : all_tasks) {
+    for (const PathSpan& s : worker_tasks) {
       const std::int64_t b = s.begin_ns - a.t0_ns;
       const std::int64_t e = s.end_ns - a.t0_ns;
       int first = static_cast<int>(static_cast<double>(b) / width);
@@ -376,6 +387,12 @@ void write_analysis_text(std::ostream& os, const Analysis& a) {
                 a.speedup_actual, a.speedup_ideal, ms(a.critical_busy_ns),
                 a.critical_spans, a.parallelism);
   os << buf;
+  std::snprintf(buf, sizeof buf,
+                "input stage (scan) on critical path: %.3f ms (%.1f%% of "
+                "path)\n",
+                ms(a.critical_input_ns),
+                100 * frac(a.critical_input_ns, a.critical_busy_ns));
+  os << buf;
 
   os << "\nwhat-if (Graham bound, T(N) = max(T1/N, critical path)):\n";
   for (const WhatIf& w : a.what_if) {
@@ -425,6 +442,7 @@ void write_analysis_json(std::ostream& os, const Analysis& a) {
   w.key("speedup_ideal").value(a.speedup_ideal);
   w.key("critical_busy_ns").value(a.critical_busy_ns);
   w.key("critical_spans").value(static_cast<std::uint64_t>(a.critical_spans));
+  w.key("critical_input_ns").value(a.critical_input_ns);
   w.key("parallelism").value(a.parallelism);
   w.key("tracks").begin_array();
   for (const TrackAnalysis& t : a.tracks) {

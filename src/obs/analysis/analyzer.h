@@ -113,10 +113,12 @@ struct Analysis {
   double speedup_actual = 0.0;  // total worker busy / makespan
   double speedup_ideal = 0.0;   // worker track count
 
-  /// Critical path (over worker tracks' task spans).
-  std::int64_t critical_busy_ns = 0;  // busy time along the path
-  std::size_t critical_spans = 0;     // task spans on the path
-  double parallelism = 0.0;           // T1 / critical_busy (avg parallelism)
+  /// Critical path (over worker tracks' task spans plus the scan process
+  /// track, so the serial input stage shows up as path time).
+  std::int64_t critical_busy_ns = 0;   // busy time along the path
+  std::size_t critical_spans = 0;      // task spans on the path
+  std::int64_t critical_input_ns = 0;  // path time spent in the scan stage
+  double parallelism = 0.0;            // T1 / critical_busy (avg parallelism)
 
   std::vector<WhatIf> what_if;
   std::vector<UtilSample> utilization;

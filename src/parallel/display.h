@@ -21,7 +21,18 @@ class DisplaySink {
  public:
   /// `on_frame` may be empty; frames are then just checksummed + released.
   DisplaySink(int total_pictures, FrameCallback on_frame)
-      : total_(total_pictures), on_frame_(std::move(on_frame)) {}
+      : total_(total_pictures),
+        total_known_(true),
+        on_frame_(std::move(on_frame)) {}
+
+  /// Streaming form: the picture count is unknown until the scan process
+  /// finishes. wait_done() blocks until set_total() has been called and
+  /// that many pictures were emitted.
+  explicit DisplaySink(FrameCallback on_frame)
+      : on_frame_(std::move(on_frame)) {}
+
+  /// Fixes the picture count (streaming constructor only; call once).
+  void set_total(int total_pictures);
 
   /// Thread-safe: inserts a completed picture (display_index must be set)
   /// and emits every picture that is now next in display order. Emission
@@ -39,7 +50,8 @@ class DisplaySink {
   [[nodiscard]] std::size_t max_buffered() const { return max_buffered_; }
 
  private:
-  const int total_;
+  int total_ = 0;            // guarded by mutex_ until total_known_
+  bool total_known_ = false; // guarded by mutex_
   FrameCallback on_frame_;
   std::mutex mutex_;
   std::condition_variable done_cv_;

@@ -1,9 +1,11 @@
 #include "parallel/gop_decoder.h"
 
 #include <atomic>
+#include <deque>
 #include <thread>
 #include <vector>
 
+#include "mpeg2/structure_scan.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "parallel/task_queue.h"
@@ -107,23 +109,31 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   WallTimer total_timer;
   obs::Tracer* const tracer = config_.tracer;
 
-  // --- Scan process: locate GOPs and pictures. ---
+  // --- Scan process, stage 1: the serial preamble (sequence header up to
+  // the first GOP header). Everything after it is scanned incrementally,
+  // overlapped with worker decode, by the producer loop below.
   WallTimer scan_timer;
-  const std::int64_t scan_begin = tracer ? tracer->now_ns() : 0;
-  const mpeg2::StreamStructure structure = mpeg2::scan_structure(stream);
-  result.scan_s = scan_timer.elapsed_s();
+  std::int64_t span_begin = tracer ? tracer->now_ns() : 0;
+  mpeg2::StructureScanner scanner(stream);
+  const bool preamble_ok = scanner.scan_preamble();
+  double scan_s = scan_timer.elapsed_s();
   if (tracer) {
-    tracer->emit(config_.workers, obs::SpanKind::kScan, scan_begin,
+    tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
                  tracer->now_ns());
   }
-  if (!structure.valid) return result;
-  for (const auto& gop : structure.gops) {
-    if (!gop.closed) return result;  // this decoder requires closed GOPs
+  if (!preamble_ok) {
+    result.scan_s = scan_s;
+    return result;
   }
 
-  const int total_pictures = structure.total_pictures();
-  result.pictures = total_pictures;
-  DisplaySink display(total_pictures, on_frame);
+  // Header state shared with the workers (the GOP index streams in later).
+  mpeg2::StreamStructure structure;
+  structure.seq = scanner.seq();
+  structure.ext = scanner.ext();
+  structure.mpeg1 = scanner.mpeg1();
+  structure.valid = true;
+
+  DisplaySink display(on_frame);  // picture count known once the scan ends
   mpeg2::FramePool pool(structure.seq.horizontal_size,
                         structure.seq.vertical_size, config_.tracker);
   TaskQueue<GopTask> queue(config_.max_queued_gops);
@@ -138,7 +148,6 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
     h_wait = &config_.metrics->histogram("gop.queue_wait_ns");
     config_.metrics->counter("decode.bytes")
         .add(static_cast<std::int64_t>(stream.size()));
-    config_.metrics->counter("decode.pictures").add(total_pictures);
   }
 
   result.workers.resize(static_cast<std::size_t>(config_.workers));
@@ -190,29 +199,60 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
     });
   }
 
-  // --- Scan process (continued): enqueue GOP tasks in stream order. ---
+  // --- Scan process, stage 2: stream GOPs in and enqueue each task the
+  // moment its boundary is known, so workers decode while the scan is
+  // still walking later bytes. GopInfo storage must be stable (tasks hold
+  // pointers into it), hence the deque.
+  std::deque<mpeg2::GopInfo> gops;
+  bool scan_ok = true;
+  int total_pictures = 0;
   {
     int index = 0;
-    int display_base = 0;
-    for (const auto& gop : structure.gops) {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      WallTimer gop_timer;
+      span_begin = tracer ? tracer->now_ns() : 0;
+      mpeg2::GopInfo gop;
+      const bool have = scanner.next_gop(gop);
+      scan_s += gop_timer.elapsed_s();
+      if (tracer) {
+        tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
+                     tracer->now_ns(), -1, -1, index);
+      }
+      if (!have) {
+        scan_ok = !scanner.failed() && index > 0;
+        break;
+      }
+      if (!gop.closed) {
+        scan_ok = false;  // this decoder requires closed GOPs
+        break;
+      }
+      const int display_base = total_pictures;
+      total_pictures += static_cast<int>(gop.pictures.size());
+      gops.push_back(std::move(gop));
       const std::int64_t push_begin = tracer ? tracer->now_ns() : 0;
       const std::int64_t blocked_ns =
-          queue.push(GopTask{&gop, index, display_base, display_base});
+          queue.push(GopTask{&gops.back(), index, display_base, display_base});
       if (tracer && blocked_ns >= kMinWaitSpanNs) {
         // Bounded queue at capacity: the scan process is the producer, so
         // this is backpressure charged to the scan track.
         tracer->emit(config_.workers, obs::SpanKind::kBackpressure,
                      push_begin, push_begin + blocked_ns);
       }
-      display_base += static_cast<int>(gop.pictures.size());
       ++index;
     }
     queue.close();
   }
+  result.scan_s = scan_s;
+  result.pictures = total_pictures;
+  display.set_total(total_pictures);
+  if (config_.metrics) {
+    config_.metrics->counter("decode.pictures").add(total_pictures);
+  }
 
   workers.clear();  // join
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
-  if (failed.load(std::memory_order_relaxed)) {
+  if (!scan_ok || failed.load(std::memory_order_relaxed)) {
     // Failed runs still report their timing/memory so harnesses can log
     // something consistent.
     result.wall_s = total_timer.elapsed_s();

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "mpeg2/structure_scan.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/timer.h"
@@ -40,13 +42,30 @@ struct Pic {
 class Coordinator {
  public:
   Coordinator(std::span<const std::uint8_t> stream,
-              const mpeg2::StreamStructure& structure, std::vector<Pic> pics,
-              mpeg2::FramePool& pool, DisplaySink& display)
+              const mpeg2::StreamStructure& structure, mpeg2::FramePool& pool,
+              DisplaySink& display)
       : stream_(stream),
         structure_(structure),
-        pics_(std::move(pics)),
         pool_(pool),
         display_(display) {}
+
+  /// Scan process: appends one GOP's pictures (decode order) and wakes any
+  /// workers idling for work. Returns the total picture count so far.
+  int append(std::vector<Pic> pics) {
+    const std::scoped_lock lock(mutex_);
+    for (auto& pic : pics) pics_.push_back(std::move(pic));
+    cv_.notify_all();
+    return static_cast<int>(pics_.size());
+  }
+
+  /// Scan process: no more pictures will arrive. A failed scan aborts the
+  /// run; otherwise workers drain what was appended and exit.
+  void finish_scan(bool ok) {
+    const std::scoped_lock lock(mutex_);
+    scan_done_ = true;
+    if (!ok) aborted_ = true;
+    cv_.notify_all();
+  }
 
   /// A claimed unit of work: picture index + slice index.
   struct Claim {
@@ -78,7 +97,7 @@ class Coordinator {
         sync_ns += timer.elapsed_ns();
         return true;
       }
-      if (completed_ == static_cast<int>(pics_.size())) break;
+      if (scan_done_ && completed_ == static_cast<int>(pics_.size())) break;
       if (wait_kind && *wait_kind != obs::SpanKind::kBackpressure) {
         const bool bound_stall =
             next_to_open_ < static_cast<int>(pics_.size()) &&
@@ -203,7 +222,9 @@ class Coordinator {
 
   std::span<const std::uint8_t> stream_;
   const mpeg2::StreamStructure& structure_;
-  std::vector<Pic> pics_;
+  // Deque: the scan process appends while workers hold Pic pointers, so
+  // element addresses must be stable.
+  std::deque<Pic> pics_;
   mpeg2::FramePool& pool_;
   DisplaySink& display_;
 
@@ -214,6 +235,7 @@ class Coordinator {
   int open_count_ = 0;
   int max_open_ = 1;
   int completed_ = 0;
+  bool scan_done_ = false;
   bool aborted_ = false;
   mpeg2::FramePtr older_ref_, newest_ref_;
 };
@@ -227,59 +249,34 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   WallTimer total_timer;
   obs::Tracer* const tracer = config_.tracer;
 
+  // --- Scan process, stage 1: the serial preamble (sequence header up to
+  // the first GOP header). The GOP/picture/slice index streams in below,
+  // overlapped with worker decode.
   WallTimer scan_timer;
-  const std::int64_t scan_begin = tracer ? tracer->now_ns() : 0;
-  const mpeg2::StreamStructure structure = mpeg2::scan_structure(stream);
-  result.scan_s = scan_timer.elapsed_s();
+  std::int64_t span_begin = tracer ? tracer->now_ns() : 0;
+  mpeg2::StructureScanner scanner(stream);
+  const bool preamble_ok = scanner.scan_preamble();
+  double scan_s = scan_timer.elapsed_s();
   if (tracer) {
-    tracer->emit(config_.workers, obs::SpanKind::kScan, scan_begin,
+    tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
                  tracer->now_ns());
   }
-  if (!structure.valid) return result;
-
-  // Build the decode-order picture list with dependencies.
-  std::vector<Pic> pics;
-  {
-    int display_base = 0;
-    int older = -1, newest = -1;
-    for (const auto& gop : structure.gops) {
-      for (const auto& info : gop.pictures) {
-        Pic pic;
-        pic.info = &info;
-        pic.display_index = display_base + info.temporal_reference;
-        const int index = static_cast<int>(pics.size());
-        if (config_.policy == SlicePolicy::kSimple) {
-          // Barrier at every picture: depend on the predecessor.
-          pic.deps[0] = index - 1;
-        } else {
-          switch (info.type) {
-            case mpeg2::PictureType::kI:
-              break;  // no dependency
-            case mpeg2::PictureType::kP:
-              pic.deps[0] = newest;
-              break;
-            case mpeg2::PictureType::kB:
-              pic.deps[0] = older;
-              pic.deps[1] = newest;
-              break;
-          }
-        }
-        if (info.type != mpeg2::PictureType::kB) {
-          older = newest;
-          newest = index;
-        }
-        pics.push_back(pic);
-      }
-      display_base += static_cast<int>(gop.pictures.size());
-    }
+  if (!preamble_ok) {
+    result.scan_s = scan_s;
+    return result;
   }
-  const int total_pictures = static_cast<int>(pics.size());
-  result.pictures = total_pictures;
 
-  DisplaySink display(total_pictures, on_frame);
+  // Header state shared with the workers (the GOP index streams in later).
+  mpeg2::StreamStructure structure;
+  structure.seq = scanner.seq();
+  structure.ext = scanner.ext();
+  structure.mpeg1 = scanner.mpeg1();
+  structure.valid = true;
+
+  DisplaySink display(on_frame);  // picture count known once the scan ends
   mpeg2::FramePool pool(structure.seq.horizontal_size,
                         structure.seq.vertical_size, config_.tracker);
-  Coordinator coord(stream, structure, std::move(pics), pool, display);
+  Coordinator coord(stream, structure, pool, display);
   coord.set_max_open(config_.policy == SlicePolicy::kSimple
                          ? 1
                          : std::max(1, config_.max_open_pictures));
@@ -296,13 +293,12 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
     h_wait = &config_.metrics->histogram("slice.queue_wait_ns");
     config_.metrics->counter("decode.bytes")
         .add(static_cast<std::int64_t>(stream.size()));
-    config_.metrics->counter("decode.pictures").add(total_pictures);
   }
 
   result.workers.resize(static_cast<std::size_t>(config_.workers));
   std::atomic<int> concealed{0};
+  std::vector<std::jthread> workers;
   {
-    std::vector<std::jthread> workers;
     workers.reserve(static_cast<std::size_t>(config_.workers));
     for (int w = 0; w < config_.workers; ++w) {
       workers.emplace_back([&, w] {
@@ -359,7 +355,79 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
         }
       });
     }
-  }  // join
+  }
+
+  // --- Scan process, stage 2: stream GOPs in and append their pictures
+  // (with decode-order dependencies) as each boundary is found, so the
+  // workers decode while the scan is still walking later bytes. GopInfo
+  // storage must be stable (Pic::info points into it), hence the deque.
+  std::deque<mpeg2::GopInfo> gops;
+  bool scan_ok = true;
+  int total_pictures = 0;
+  {
+    int display_base = 0;
+    int older = -1, newest = -1;
+    int gop_index = 0;
+    for (;;) {
+      if (coord.aborted()) break;
+      WallTimer gop_timer;
+      span_begin = tracer ? tracer->now_ns() : 0;
+      mpeg2::GopInfo gop;
+      const bool have = scanner.next_gop(gop);
+      scan_s += gop_timer.elapsed_s();
+      if (tracer) {
+        tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
+                     tracer->now_ns(), -1, -1, gop_index);
+      }
+      if (!have) {
+        scan_ok = !scanner.failed() && gop_index > 0;
+        break;
+      }
+      gops.push_back(std::move(gop));
+      const mpeg2::GopInfo& g = gops.back();
+      std::vector<Pic> batch;
+      batch.reserve(g.pictures.size());
+      for (const auto& info : g.pictures) {
+        Pic pic;
+        pic.info = &info;
+        pic.display_index = display_base + info.temporal_reference;
+        const int index = total_pictures + static_cast<int>(batch.size());
+        if (config_.policy == SlicePolicy::kSimple) {
+          // Barrier at every picture: depend on the predecessor.
+          pic.deps[0] = index - 1;
+        } else {
+          switch (info.type) {
+            case mpeg2::PictureType::kI:
+              break;  // no dependency
+            case mpeg2::PictureType::kP:
+              pic.deps[0] = newest;
+              break;
+            case mpeg2::PictureType::kB:
+              pic.deps[0] = older;
+              pic.deps[1] = newest;
+              break;
+          }
+        }
+        if (info.type != mpeg2::PictureType::kB) {
+          older = newest;
+          newest = index;
+        }
+        batch.push_back(pic);
+      }
+      display_base += static_cast<int>(g.pictures.size());
+      total_pictures = coord.append(std::move(batch));
+      ++gop_index;
+    }
+  }
+  coord.finish_scan(scan_ok);
+  display.set_total(total_pictures);
+  result.scan_s = scan_s;
+  result.pictures = total_pictures;
+  if (config_.metrics) {
+    config_.metrics->counter("decode.pictures").add(total_pictures);
+  }
+
+  workers.clear();  // join
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
 
   if (coord.aborted()) {

@@ -64,6 +64,47 @@ std::int64_t task_cost(const StreamProfile& profile, const SliceCost& s,
       config.cost_scale);
 }
 
+/// Scan-track helper: when the tracer has an extra track beyond the
+/// workers, record the scan process on it (per-GOP kScan spans). Names the
+/// track "scan" so the analyzer classifies it as a process track.
+class ScanTrack {
+ public:
+  ScanTrack(const SimConfig& config) : config_(config) {
+    if (config.tracer && config.model_scan &&
+        config.tracer->tracks() > config.workers) {
+      track_ = config.workers;
+      if (config.tracer->track(track_).name().empty()) {
+        config.tracer->track(track_).set_name("scan");
+      }
+    }
+  }
+
+  /// Records the scan of one GOP ending at virtual time `scan_end`.
+  void gop_scanned(int gop, std::int64_t scan_end) {
+    if (track_ >= 0 && scan_end > prev_end_) {
+      config_.tracer->emit(track_, obs::SpanKind::kScan, prev_end_, scan_end,
+                           -1, -1, gop);
+      prev_end_ = scan_end;
+    }
+  }
+
+ private:
+  const SimConfig& config_;
+  int track_ = -1;
+  std::int64_t prev_end_ = 0;
+};
+
+/// Ready time of bytes scanned so far: streaming tasks become ready as
+/// scanned; the upfront front-end holds everything until the scan finishes.
+std::int64_t scan_ready_ns(const StreamProfile& profile,
+                           const SimConfig& config, double rate,
+                           std::uint64_t scanned) {
+  if (!config.model_scan) return 0;
+  const std::uint64_t bytes =
+      config.upfront_scan ? profile.stream_bytes : scanned;
+  return static_cast<std::int64_t>(static_cast<double>(bytes) / rate);
+}
+
 }  // namespace
 
 std::int64_t SimResult::min_busy_ns() const {
@@ -139,15 +180,16 @@ SimResult simulate_gop(const StreamProfile& profile, const SimConfig& config) {
   };
   std::vector<Task> tasks;
   {
+    ScanTrack scan_track(config);
     std::uint64_t scanned = 0;
     int display_base = 0;
     for (std::size_t g = 0; g < profile.gops.size(); ++g) {
       scanned += profile.gops[g].stream_bytes;
+      scan_track.gop_scanned(static_cast<int>(g),
+                             static_cast<std::int64_t>(scanned / rate));
       Task t;
       t.gop = static_cast<int>(g);
-      t.ready = config.model_scan
-                    ? static_cast<std::int64_t>(scanned / rate)
-                    : 0;
+      t.ready = scan_ready_ns(profile, config, rate, scanned);
       t.display_base = display_base;
       t.home = static_cast<int>(g) % n_clusters;
       display_base += static_cast<int>(profile.gops[g].pictures.size());
@@ -345,15 +387,22 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
   };
   std::vector<SPic> pics;
   {
+    ScanTrack scan_track(config);
     int display_base = 0;
     int older = -1, newest = -1;
     std::uint64_t scanned = 0;
+    std::uint64_t gop_scanned = 0;
+    int gop_index = 0;
     for (const auto& gop : profile.gops) {
       // Scan position advances GOP by GOP; pictures within a GOP become
       // available in proportion to their share of its bytes (approximate:
       // equal shares).
       const std::uint64_t per_pic =
           gop.pictures.empty() ? 0 : gop.stream_bytes / gop.pictures.size();
+      gop_scanned += gop.stream_bytes;
+      scan_track.gop_scanned(gop_index,
+                             static_cast<std::int64_t>(gop_scanned / rate));
+      ++gop_index;
       for (std::size_t p = 0; p < gop.pictures.size(); ++p) {
         const auto& pc = gop.pictures[p];
         SPic pic;
@@ -361,9 +410,7 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
         pic.display_index = display_base + pc.temporal_reference;
         const int index = static_cast<int>(pics.size());
         scanned += per_pic;
-        pic.scan_ready = config.model_scan
-                             ? static_cast<std::int64_t>(scanned / rate)
-                             : 0;
+        pic.scan_ready = scan_ready_ns(profile, config, rate, scanned);
         switch (pc.type) {
           case mpeg2::PictureType::kI:
             break;

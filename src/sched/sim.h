@@ -46,6 +46,11 @@ struct SimConfig {
   /// Model the scan process: a task only becomes available once its bytes
   /// have been scanned. When false all tasks are ready at t = 0.
   bool model_scan = true;
+  /// Pre-streaming front-end: the entire stream is scanned before any task
+  /// becomes ready (the Amdahl-style upfront input stage). Default false =
+  /// streaming demux, where a task is ready as soon as its own bytes have
+  /// been scanned. Only meaningful when model_scan is set.
+  bool upfront_scan = false;
   /// GOP simulation only: bound on GOP tasks sitting in the queue
   /// unstarted (the scan process blocks when full). 0 = unbounded, the
   /// paper's configuration.
@@ -63,9 +68,11 @@ struct SimConfig {
   double remote_penalty = 1.0;  // cost multiplier for remote-homed tasks
   bool numa_local_queues = false;  // per-cluster queues + stealing
 
-  /// Optional span tracer (needs `workers` tracks). The simulator records
-  /// every task and wait with its *virtual* timestamps, so two runs with
-  /// identical config export byte-identical Chrome JSON.
+  /// Optional span tracer (needs `workers` tracks; with `workers + 1`
+  /// tracks the extra track records the scan process as per-GOP kScan
+  /// spans, mirroring the live decoders). The simulator records every task
+  /// and wait with its *virtual* timestamps, so two runs with identical
+  /// config export byte-identical Chrome JSON.
   obs::Tracer* tracer = nullptr;
 };
 

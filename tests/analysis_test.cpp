@@ -217,6 +217,52 @@ TEST(Analyzer, MatchesGopSimLoadSummaryAt14Workers) {
               0.02 * static_cast<double>(r.makespan_ns));
 }
 
+// The ISSUE 4 acceptance bar for the input stage: with the scan process
+// traced (workers + 1 tracks), the critical path reports how much serial
+// scan time gates the workers, and the streaming demux (overlapped scan)
+// must shrink that input-stage share versus the upfront front-end.
+TEST(Analyzer, OverlappedScanShrinksCriticalInputAt14Workers) {
+  const auto profile = make_profile(28, 4, 4);
+  sched::SimConfig cfg;
+  cfg.workers = 14;
+  // Slow the scan to a tenth of the default so the input stage is a
+  // visible fraction of the makespan (scan_ns = stream_bytes).
+  cfg.scan_bytes_per_ns =
+      static_cast<double>(profile.stream_bytes) /
+      (10.0 * static_cast<double>(profile.scan_ns));
+
+  auto analyze_with = [&](bool upfront, sched::SimResult* result) {
+    Tracer tracer(cfg.workers + 1);  // extra track records the scan process
+    sched::SimConfig run = cfg;
+    run.upfront_scan = upfront;
+    run.tracer = &tracer;
+    *result = sched::simulate_gop(profile, run);
+    return analysis::analyze(analysis::from_tracer(tracer));
+  };
+
+  sched::SimResult upfront_r, overlap_r;
+  const analysis::Analysis upfront = analyze_with(true, &upfront_r);
+  const analysis::Analysis overlap = analyze_with(false, &overlap_r);
+  ASSERT_TRUE(upfront.ok) << upfront.error;
+  ASSERT_TRUE(overlap.ok) << overlap.error;
+
+  // The scan track is a process track, not a worker.
+  EXPECT_EQ(upfront.worker_tracks, 14);
+  EXPECT_EQ(overlap.worker_tracks, 14);
+
+  // Upfront: no worker starts until the whole stream is scanned, so the
+  // full scan sits on the critical path. Overlapped: only the prefix up to
+  // the last task a worker actually waited for can appear.
+  EXPECT_GT(upfront.critical_input_ns, 0);
+  EXPECT_LT(overlap.critical_input_ns, upfront.critical_input_ns);
+  EXPECT_LT(overlap_r.makespan_ns, upfront_r.makespan_ns);
+
+  // The load summary over worker tracks still matches the sim's own.
+  const parallel::WorkerLoadSummary sim = overlap_r.load_summary();
+  EXPECT_NEAR(overlap.load.sync_ratio, sim.sync_ratio,
+              0.02 * sim.sync_ratio + 1e-6);
+}
+
 TEST(Analyzer, CriticalPathWalksAcrossWaits) {
   // worker 0: task A [0, 100us]. worker 1: waits for A, then task B
   // [100us, 200us]. Critical path = A -> B: all busy time is serial.

