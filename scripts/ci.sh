@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
 # CI pipeline: tier-1 build + full ctest, the perf smoke label, the obs
-# label (observability/analysis unit tests), and an optional ThreadSanitizer
-# job over the threaded decoders. Each stage is independently selectable:
+# label (observability/analysis unit tests), sanitizer jobs over the
+# threaded decoders and the fault-injection/recovery paths, the soak
+# fuzzer, the bench regression diff, and a repo hygiene lint. Each stage is
+# independently selectable (docs/CI.md):
 #
 #   scripts/ci.sh             # tier1 + perfsmoke + obs
 #   scripts/ci.sh tier1       # build + full ctest only
 #   scripts/ci.sh perfsmoke   # ctest -L perfsmoke
 #   scripts/ci.sh obs         # ctest -L obs
-#   scripts/ci.sh tsan        # TSan build of the parallel decoder tests
+#   scripts/ci.sh tsan        # TSan build of the parallel decoder + fault tests
 #   scripts/ci.sh ubsan       # UBSan build of the SWAR scanner fuzz tests
-#   scripts/ci.sh all         # everything including tsan + ubsan
+#   scripts/ci.sh asan        # ASan build of decoder/concealment/fault tests
+#   scripts/ci.sh soak        # pmp2_soak fault-injection fuzz (small budget)
+#   scripts/ci.sh bench       # quick bench suite diffed vs BENCH_parallel.json
+#   scripts/ci.sh lint        # repo hygiene (no tracked ignored files)
+#   scripts/ci.sh all         # everything
 #
-# Build dirs: build/ (tier1, reused), build-tsan/ and build-ubsan/
-# (sanitizer jobs).
+# Build dirs: build/ (tier1, reused), build-tsan/, build-ubsan/ and
+# build-asan/ (sanitizer jobs poison the object cache otherwise).
+#
+# Knobs: CI_JOBS (parallelism), CI_SOAK_BUDGET (soak stage time budget,
+# default 20s).
 set -u -o pipefail
 
 STAGE="${1:-default}"
@@ -45,12 +54,15 @@ stage_obs() {
 stage_tsan() {
   # Dedicated tree: sanitizer flags poison the cache otherwise. Only the
   # threaded targets matter under TSan; the sim and codec are single-thread.
+  # test_fault rides along: quarantine/watchdog recovery exercises the
+  # coordinator's error paths under real thread interleavings.
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPMP2_SANITIZE=thread || return 1
   run cmake --build build-tsan -j "$JOBS" \
-      --target test_parallel test_parallel_stress test_obs || return 1
+      --target test_parallel test_parallel_stress test_obs test_fault \
+      || return 1
   run ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'Parallel|Stress|Tracer|Obs'
+      -R 'Parallel|Stress|Tracer|Obs|FaultInjection|GopQuarantine'
 }
 
 stage_ubsan() {
@@ -65,6 +77,54 @@ stage_ubsan() {
       -R 'StartcodeFuzz|BitReader|BitWriter|Startcode'
 }
 
+stage_asan() {
+  # Corrupt bitstreams are exactly where out-of-bounds reads would hide:
+  # run the decoder error paths (concealment, fault injection, startcode
+  # fuzz) under AddressSanitizer.
+  run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPMP2_SANITIZE=address || return 1
+  run cmake --build build-asan -j "$JOBS" \
+      --target test_concealment test_fault test_startcode_fuzz || return 1
+  run ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -R 'Concealment|FaultInjection|GopQuarantine|SimFaultModel|StartcodeFuzz'
+}
+
+stage_soak() {
+  # Deterministic fault-injection fuzz over the Table 1 stream set: exits
+  # nonzero on any crash, hang or recovery-invariant violation. Streams are
+  # generated into bench_streams/ on first use.
+  build_tier1 || return 1
+  run build/tools/pmp2_soak --streams bench_streams \
+      --budget "${CI_SOAK_BUDGET:-20s}" --seed 1 \
+      --report-out=build/soak_report.json
+}
+
+stage_bench() {
+  # Regenerate the quick bench suite with the same pinned knobs the
+  # committed baseline was produced with and diff against it. Identity and
+  # coverage are strict (a vanished row/report fails); metric deltas are
+  # advisory — shared CI runners are too noisy for hard timing gates.
+  build_tier1 || return 1
+  local out="build/BENCH_candidate.json"
+  run env BENCH_SCALE=0.25 BENCH_MAX_RES=704 BENCH_NS_PER_UNIT=100 \
+      scripts/bench_all.sh build "$out" || return 1
+  run build/tools/bench_check BENCH_parallel.json "$out" \
+      --advisory-metrics --tolerance=0.25
+}
+
+stage_lint() {
+  # Generated artifacts must not creep back under version control: fail if
+  # any tracked file matches a .gitignore pattern.
+  local tracked_ignored
+  tracked_ignored="$(git ls-files -i -c --exclude-standard)" || return 1
+  if [[ -n "$tracked_ignored" ]]; then
+    echo "lint: tracked files match .gitignore patterns:" >&2
+    echo "$tracked_ignored" >&2
+    return 1
+  fi
+  echo "lint: OK (no tracked ignored files)"
+}
+
 rc=0
 case "$STAGE" in
   tier1)     stage_tier1     || rc=1 ;;
@@ -72,6 +132,10 @@ case "$STAGE" in
   obs)       stage_obs       || rc=1 ;;
   tsan)      stage_tsan      || rc=1 ;;
   ubsan)     stage_ubsan     || rc=1 ;;
+  asan)      stage_asan      || rc=1 ;;
+  soak)      stage_soak      || rc=1 ;;
+  bench)     stage_bench     || rc=1 ;;
+  lint)      stage_lint      || rc=1 ;;
   default)
     stage_tier1 || rc=1
     # tier1 ran the full suite; the labeled stages just prove the labels
@@ -80,14 +144,19 @@ case "$STAGE" in
     run ctest --test-dir build -L obs --output-on-failure -j "$JOBS" || rc=1
     ;;
   all)
+    stage_lint || rc=1
     stage_tier1 || rc=1
     run ctest --test-dir build -L perfsmoke --output-on-failure || rc=1
     run ctest --test-dir build -L obs --output-on-failure -j "$JOBS" || rc=1
     stage_tsan || rc=1
     stage_ubsan || rc=1
+    stage_asan || rc=1
+    stage_soak || rc=1
+    stage_bench || rc=1
     ;;
   *)
-    echo "ci.sh: unknown stage '$STAGE' (tier1|perfsmoke|obs|tsan|ubsan|all)" >&2
+    echo "ci.sh: unknown stage '$STAGE'" \
+         "(tier1|perfsmoke|obs|tsan|ubsan|asan|soak|bench|lint|all)" >&2
     exit 2 ;;
 esac
 exit "$rc"

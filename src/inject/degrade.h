@@ -1,0 +1,36 @@
+// Degradation measurement for fault-injection runs: how far a recovered
+// decode drifted from the clean decode (docs/ROBUSTNESS.md).
+#pragma once
+
+#include "mpeg2/frame.h"
+
+namespace pmp2::inject {
+
+/// Luma PSNR (dB) between two frames of identical geometry, over the
+/// display area only (the region the output checksums cover). Identical
+/// frames return kPsnrIdentical.
+inline constexpr double kPsnrIdentical = 99.0;
+[[nodiscard]] double frame_psnr(const mpeg2::Frame& a, const mpeg2::Frame& b);
+
+/// Streaming min/mean PSNR over a sequence of frame pairs.
+class PsnrAccumulator {
+ public:
+  void add(const mpeg2::Frame& a, const mpeg2::Frame& b);
+
+  [[nodiscard]] int frames() const { return frames_; }
+  [[nodiscard]] int degraded_frames() const { return degraded_; }
+  [[nodiscard]] double min_db() const {
+    return frames_ ? min_db_ : kPsnrIdentical;
+  }
+  [[nodiscard]] double mean_db() const {
+    return frames_ ? sum_db_ / frames_ : kPsnrIdentical;
+  }
+
+ private:
+  int frames_ = 0;
+  int degraded_ = 0;  // pairs below kPsnrIdentical
+  double min_db_ = kPsnrIdentical;
+  double sum_db_ = 0.0;
+};
+
+}  // namespace pmp2::inject

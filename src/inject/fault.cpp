@@ -1,0 +1,196 @@
+#include "inject/fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bitstream/startcode.h"
+#include "util/rng.h"
+
+namespace pmp2::inject {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates the per-kind RNG streams so e.g.
+/// bitflip:seed=1 and truncate:seed=1 do not damage the same offsets.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One past the last protected byte: the first GOP header plus its 8-byte
+/// payload (startcode + time_code/closed/broken fields). 0 when the stream
+/// has no GOP header (nothing safe to damage).
+std::uint64_t protected_end(std::span<const std::uint8_t> stream) {
+  StartcodeScanner scan(stream);
+  Startcode sc;
+  while (scan.next(sc)) {
+    if (sc.code == static_cast<std::uint8_t>(StartcodeKind::kGroup)) {
+      return std::min<std::uint64_t>(sc.byte_offset + 8, stream.size());
+    }
+  }
+  return 0;
+}
+
+std::uint64_t pick_offset(Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  // hi > lo; uniform in [lo, hi).
+  return lo + rng.next_u64() % (hi - lo);
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip: return "bitflip";
+    case FaultKind::kByteStomp: return "stomp";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kDropBytes: return "drop-bytes";
+    case FaultKind::kDropSlice: return "drop-slice";
+    case FaultKind::kSpuriousStartcode: return "spurious-startcode";
+    case FaultKind::kClobberStartcode: return "clobber-startcode";
+  }
+  return "unknown";
+}
+
+bool parse_fault_kind(std::string_view name, FaultKind& out) {
+  for (const FaultKind kind : kAllFaultKinds) {
+    if (fault_kind_name(kind) == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultSpec::name() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind) << ":seed=" << seed << ":count=" << count;
+  return os.str();
+}
+
+std::vector<std::uint8_t> apply_fault(std::span<const std::uint8_t> stream,
+                                      const FaultSpec& spec,
+                                      FaultReport* report) {
+  std::vector<std::uint8_t> out(stream.begin(), stream.end());
+  const std::uint64_t lo = protected_end(stream);
+  if (lo == 0 || lo >= stream.size()) return out;  // nothing safe to damage
+
+  Rng rng(mix(spec.seed ^
+              (0x9E3779B97F4A7C15ULL *
+               (static_cast<std::uint64_t>(spec.kind) + 1))));
+  auto note = [&](std::uint64_t offset, std::uint64_t length) {
+    if (report) report->events.push_back({spec.kind, offset, length});
+  };
+
+  const int count = std::max(1, spec.count);
+  switch (spec.kind) {
+    case FaultKind::kBitFlip: {
+      for (int i = 0; i < count; ++i) {
+        const std::uint64_t off = pick_offset(rng, lo, out.size());
+        out[off] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+        note(off, 1);
+      }
+      break;
+    }
+    case FaultKind::kByteStomp: {
+      for (int i = 0; i < count; ++i) {
+        const std::uint64_t off = pick_offset(rng, lo, out.size());
+        const std::uint64_t len = std::min<std::uint64_t>(
+            1 + rng.next_below(32), out.size() - off);
+        for (std::uint64_t j = 0; j < len; ++j) {
+          out[off + j] = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        note(off, len);
+      }
+      break;
+    }
+    case FaultKind::kTruncate: {
+      const std::uint64_t cut = pick_offset(rng, lo, out.size());
+      note(cut, out.size() - cut);
+      out.resize(cut);
+      break;
+    }
+    case FaultKind::kDropBytes: {
+      for (int i = 0; i < count; ++i) {
+        if (out.size() <= lo + 1) break;
+        const std::uint64_t off = pick_offset(rng, lo, out.size());
+        const std::uint64_t len = std::min<std::uint64_t>(
+            1 + rng.next_below(2048), out.size() - off);
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(off),
+                  out.begin() + static_cast<std::ptrdiff_t>(off + len));
+        note(off, len);
+      }
+      break;
+    }
+    case FaultKind::kDropSlice: {
+      for (int i = 0; i < count; ++i) {
+        // Re-scan each round: earlier drops shift every later offset.
+        const auto codes = scan_all_startcodes(out);
+        std::vector<std::size_t> slices;
+        for (std::size_t k = 0; k < codes.size(); ++k) {
+          if (codes[k].byte_offset >= lo && is_slice_code(codes[k].code)) {
+            slices.push_back(k);
+          }
+        }
+        if (slices.empty()) break;
+        const std::size_t k = slices[rng.next_below(
+            static_cast<std::uint32_t>(slices.size()))];
+        const std::uint64_t off = codes[k].byte_offset;
+        const std::uint64_t end =
+            k + 1 < codes.size() ? codes[k + 1].byte_offset : out.size();
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(off),
+                  out.begin() + static_cast<std::ptrdiff_t>(end));
+        note(off, end - off);
+      }
+      break;
+    }
+    case FaultKind::kSpuriousStartcode: {
+      for (int i = 0; i < count; ++i) {
+        if (out.size() < lo + 4) break;
+        const std::uint64_t off = pick_offset(rng, lo, out.size() - 3);
+        out[off] = 0x00;
+        out[off + 1] = 0x00;
+        out[off + 2] = 0x01;
+        // A fake slice most of the time, occasionally a fake picture —
+        // both force the scanner to see structure that is not there.
+        out[off + 3] = rng.next_below(4) == 0
+                           ? 0x00
+                           : static_cast<std::uint8_t>(1 + rng.next_below(0xAF));
+        note(off, 4);
+      }
+      break;
+    }
+    case FaultKind::kClobberStartcode: {
+      const auto codes = scan_all_startcodes(out);
+      std::vector<std::size_t> eligible;
+      for (std::size_t k = 0; k < codes.size(); ++k) {
+        if (codes[k].byte_offset >= lo) eligible.push_back(k);
+      }
+      for (int i = 0; i < count && !eligible.empty(); ++i) {
+        const std::size_t pick =
+            rng.next_below(static_cast<std::uint32_t>(eligible.size()));
+        const std::uint64_t off = codes[eligible[pick]].byte_offset +
+                                  rng.next_below(3);
+        // Any nonzero, non-one byte destroys the 00 00 01 prefix.
+        out[off] = static_cast<std::uint8_t>(2 + rng.next_below(254));
+        note(off, 1);
+        eligible.erase(eligible.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+FaultSpec plan_fault(std::uint64_t base_seed, std::uint64_t i) {
+  constexpr std::size_t kKinds =
+      sizeof(kAllFaultKinds) / sizeof(kAllFaultKinds[0]);
+  FaultSpec spec;
+  spec.kind = kAllFaultKinds[i % kKinds];
+  spec.seed = mix(base_seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+  spec.count = 1 + static_cast<int>((i / kKinds) % 4);
+  return spec;
+}
+
+}  // namespace pmp2::inject

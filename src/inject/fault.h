@@ -1,0 +1,78 @@
+// Deterministic bitstream fault injection (docs/ROBUSTNESS.md).
+//
+// A FaultSpec names one reproducible corruption of an MPEG-2 elementary
+// stream: the kind of damage, the seed driving every random choice, and a
+// repetition count. apply_fault() is a pure function of (stream, spec), so
+// any failure a fuzz run finds is replayable from the spec's name() alone.
+//
+// The corruptor is structure-aware just enough to be useful: it protects
+// the stream preamble (sequence header through the first GOP header) so a
+// fault exercises the slice/GOP recovery paths rather than trivially
+// invalidating the whole stream, and the slice/startcode kinds pick their
+// targets from a real startcode scan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmp2::inject {
+
+enum class FaultKind : std::uint8_t {
+  kBitFlip,            // flip `count` random payload bits
+  kByteStomp,          // overwrite a short random run with random bytes
+  kTruncate,           // cut the stream short at a random payload offset
+  kDropBytes,          // remove a random byte range (packet loss)
+  kDropSlice,          // remove one whole slice (startcode included)
+  kSpuriousStartcode,  // write a fake slice/picture startcode mid-payload
+  kClobberStartcode,   // damage a real startcode's 00 00 01 prefix
+};
+
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kBitFlip,          FaultKind::kByteStomp,
+    FaultKind::kTruncate,         FaultKind::kDropBytes,
+    FaultKind::kDropSlice,        FaultKind::kSpuriousStartcode,
+    FaultKind::kClobberStartcode,
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+/// Parses a kind name ("bitflip", "truncate", ...). False on unknown.
+bool parse_fault_kind(std::string_view name, FaultKind& out);
+
+/// One named, reproducible corruption.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBitFlip;
+  std::uint64_t seed = 1;
+  int count = 1;  // applications of the fault (kTruncate ignores it)
+
+  /// Replay tag, e.g. "bitflip:seed=7:count=3".
+  [[nodiscard]] std::string name() const;
+};
+
+/// One concrete change apply_fault made (byte coordinates of the damage,
+/// in the coordinates of the *input* stream).
+struct FaultEvent {
+  FaultKind kind;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+struct FaultReport {
+  std::vector<FaultEvent> events;
+};
+
+/// Applies `spec` to a copy of `stream` and returns it. Deterministic in
+/// (stream, spec). The preamble (everything up to and including the first
+/// GOP header's payload) is never damaged; a stream too short to have one
+/// is returned unchanged. `report`, when non-null, receives what changed.
+[[nodiscard]] std::vector<std::uint8_t> apply_fault(
+    std::span<const std::uint8_t> stream, const FaultSpec& spec,
+    FaultReport* report = nullptr);
+
+/// Fuzzing schedule: a varied, deterministic FaultSpec for iteration `i`
+/// of a run seeded with `base_seed` (cycles kinds, varies seeds/counts).
+[[nodiscard]] FaultSpec plan_fault(std::uint64_t base_seed, std::uint64_t i);
+
+}  // namespace pmp2::inject

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "bitstream/startcode.h"
 #include "mpeg2/structure_scan.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 
 namespace pmp2::mpeg2 {
@@ -23,6 +25,21 @@ StreamStructure scan_structure(std::span<const std::uint8_t> stream) {
   // Scope check: only 4:2:0 is implemented (the paper's configuration).
   if (!scanner.mpeg1() && out.ext.chroma_format != 1) out.valid = false;
   return out;
+}
+
+std::vector<int> display_ranks(const GopInfo& gop) {
+  const int n = static_cast<int>(gop.pictures.size());
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return gop.pictures[static_cast<std::size_t>(a)].temporal_reference <
+           gop.pictures[static_cast<std::size_t>(b)].temporal_reference;
+  });
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  }
+  return rank;
 }
 
 bool parse_picture_headers(BitReader& br, PictureHeader& ph,
@@ -74,6 +91,13 @@ void conceal_slice(const PictureContext& pic, int slice_row) {
   }
 }
 
+std::uint64_t resync_distance(std::span<const std::uint8_t> stream,
+                              std::uint64_t error_byte) {
+  const std::uint64_t from = std::min<std::uint64_t>(error_byte,
+                                                     stream.size());
+  return find_startcode_prefix(stream, from) - from;
+}
+
 bool decode_picture_slices(std::span<const std::uint8_t> stream,
                            const PictureInfo& info, const PictureContext& pic,
                            WorkMeter& work, const PictureDecodeOptions& opts) {
@@ -95,6 +119,10 @@ bool decode_picture_slices(std::span<const std::uint8_t> stream,
     } else if (opts.conceal_errors) {
       const std::int64_t conceal_begin =
           opts.tracer ? opts.tracer->now_ns() : 0;
+      if (opts.resync) {
+        opts.resync->record(static_cast<std::int64_t>(
+            resync_distance(stream, br.bit_position() / 8)));
+      }
       conceal_slice(pic, slice.row);
       if (opts.concealed) ++*opts.concealed;
       if (opts.tracer) {

@@ -16,6 +16,7 @@
 #include "mpeg2/types.h"
 
 namespace pmp2::obs {
+class Histogram;
 class Tracer;
 }
 
@@ -73,6 +74,16 @@ struct StreamStructure {
 [[nodiscard]] StreamStructure scan_structure(
     std::span<const std::uint8_t> stream);
 
+/// Display rank of each picture of one GOP (decode order in, rank out):
+/// the position of its scanned temporal_reference in the GOP's sorted
+/// temporal_reference list. On a clean closed GOP the references are a
+/// permutation of [0, n) and rank == temporal_reference; on a corrupt GOP
+/// (duplicate, out-of-range or missing references) the ranks still cover
+/// [0, n) exactly once, so a display process fed by ranks always receives
+/// a gap-free index sequence and can terminate. Recovery-mode decoders use
+/// this instead of the raw temporal_reference (docs/ROBUSTNESS.md).
+[[nodiscard]] std::vector<int> display_ranks(const GopInfo& gop);
+
 /// Parses picture_header and (for MPEG-2) picture_coding_extension with
 /// `br` positioned at the picture startcode. For MPEG-1 streams (no
 /// extension follows) an equivalent extension state is synthesized from the
@@ -91,7 +102,17 @@ struct PictureDecodeOptions {
   int picture_id = -1;            // decode-order picture id stamped on spans
   bool conceal_errors = false;    // conceal corrupt slices instead of failing
   int* concealed = nullptr;       // incremented once per concealed slice
+  /// Resync-distance histogram: on each concealed slice, records the bytes
+  /// between the error-detection point and the next true startcode (found
+  /// with the SWAR scanner) where decode resynchronizes. Null = off.
+  obs::Histogram* resync = nullptr;
 };
+
+/// Bytes between the decode-error position `error_byte` and the next true
+/// startcode in `stream` (the SWAR-scan resynchronization point); the
+/// remaining stream length when no startcode follows.
+[[nodiscard]] std::uint64_t resync_distance(
+    std::span<const std::uint8_t> stream, std::uint64_t error_byte);
 
 /// Decodes all slices of one picture sequentially. `pic` must be fully
 /// populated (dst + refs). Returns false on any slice error (unless

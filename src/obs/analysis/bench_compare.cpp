@@ -38,7 +38,8 @@ bool is_metric_field(const std::string& name) {
          contains(name, "pps") || contains(name, "mbps") ||
          contains(name, "rate") || contains(name, "percent") ||
          contains(name, "stall") || contains(name, "miss") ||
-         contains(name, "efficiency") || contains(name, "overhead");
+         contains(name, "efficiency") || contains(name, "overhead") ||
+         contains(name, "ns_per_op");
 }
 
 bool metric_higher_is_better(const std::string& name) {
@@ -112,8 +113,9 @@ void compare_rows(const std::string& tool, const JsonValue& base_row,
     const double worse = d.higher_better ? -d.rel_delta : d.rel_delta;
     const double tol = options.tolerance_for(name);
     if (worse > tol) {
-      d.regression = true;
-      out.regressions.push_back(d);
+      d.regression = !options.advisory_metrics;
+      (options.advisory_metrics ? out.advisories : out.regressions)
+          .push_back(d);
     } else if (options.report_improvements && -worse > tol) {
       out.improvements.push_back(d);
     }
@@ -237,6 +239,14 @@ void write_compare_text(std::ostream& os, const CompareResult& r) {
   for (const MetricDiff& d : r.regressions) {
     std::snprintf(buf, sizeof buf,
                   "REGRESSION %s [%s] %s: %.6g -> %.6g (%+.1f%%, %s better)\n",
+                  d.tool.c_str(), d.row_key.c_str(), d.metric.c_str(),
+                  d.baseline, d.candidate, 100 * d.rel_delta,
+                  d.higher_better ? "higher" : "lower");
+    os << buf;
+  }
+  for (const MetricDiff& d : r.advisories) {
+    std::snprintf(buf, sizeof buf,
+                  "advisory %s [%s] %s: %.6g -> %.6g (%+.1f%%, %s better)\n",
                   d.tool.c_str(), d.row_key.c_str(), d.metric.c_str(),
                   d.baseline, d.candidate, 100 * d.rel_delta,
                   d.higher_better ? "higher" : "lower");

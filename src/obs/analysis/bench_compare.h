@@ -46,6 +46,12 @@ struct CompareOptions {
   std::map<std::string, double> tolerance;
   /// When true, improvements beyond tolerance are also listed (as notes).
   bool report_improvements = false;
+  /// When true, out-of-tolerance metric changes are advisory: listed (in
+  /// CompareResult::advisories) but not counted against passed(). Row and
+  /// report identity stays strict — coverage loss still fails. CI uses this
+  /// for the bench stage, where shared-runner timing noise would otherwise
+  /// make metric tolerances flaky.
+  bool advisory_metrics = false;
 
   [[nodiscard]] double tolerance_for(const std::string& metric) const {
     auto it = tolerance.find(metric);
@@ -71,6 +77,7 @@ struct CompareResult {
   int rows = 0;         // row pairs compared
   int metrics = 0;      // metric values compared
   std::vector<MetricDiff> regressions;
+  std::vector<MetricDiff> advisories;     // only with advisory_metrics
   std::vector<MetricDiff> improvements;   // only when requested
   std::vector<std::string> notes;         // structural mismatches, etc.
   std::vector<std::string> coverage_loss; // baseline rows/reports gone

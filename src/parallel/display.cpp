@@ -1,5 +1,7 @@
 #include "parallel/display.h"
 
+#include <chrono>
+
 namespace pmp2::parallel {
 
 void DisplaySink::push(mpeg2::FramePtr frame) {
@@ -34,6 +36,26 @@ void DisplaySink::set_total(int total_pictures) {
 void DisplaySink::wait_done() {
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return total_known_ && next_ >= total_; });
+}
+
+bool DisplaySink::wait_done_for(std::int64_t timeout_ns) {
+  if (timeout_ns <= 0) {
+    wait_done();
+    return true;
+  }
+  std::unique_lock lock(mutex_);
+  // Progress-based deadline: the clock restarts whenever another picture
+  // is emitted, so a slow-but-advancing run never trips it — only a
+  // pipeline that stopped delivering entirely does.
+  int last_next = next_;
+  for (;;) {
+    if (total_known_ && next_ >= total_) return true;
+    if (done_cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns)) ==
+        std::cv_status::timeout) {
+      if (next_ == last_next) return false;
+    }
+    last_next = next_;
+  }
 }
 
 }  // namespace pmp2::parallel

@@ -43,6 +43,12 @@ class DisplaySink {
   /// Blocks until all pictures have been emitted.
   void wait_done();
 
+  /// Deadline form: returns false if no picture was emitted for
+  /// `timeout_ns` while pictures are still owed — the display-side
+  /// watchdog of the bounded-recovery layer. timeout_ns <= 0 waits
+  /// forever (and returns true).
+  [[nodiscard]] bool wait_done_for(std::int64_t timeout_ns);
+
   /// Final digest over the emitted sequence (valid after wait_done()).
   [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
 

@@ -1,5 +1,6 @@
 #include "parallel/gop_decoder.h"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <thread>
@@ -26,45 +27,120 @@ struct GopTask {
   int decode_base = 0;   // global decode index of this GOP's first picture
 };
 
-/// Per-run observability context shared by the GOP workers.
+/// Per-run observability/recovery context shared by the GOP workers.
 struct GopObs {
   obs::Tracer* tracer = nullptr;
   bool conceal_errors = false;
+  bool quarantine = false;
   std::atomic<int>* concealed = nullptr;
+  std::atomic<int>* concealed_pics = nullptr;
+  std::atomic<int>* quarantined = nullptr;
+  ErrorLog* errors = nullptr;
+  obs::Histogram* h_resync = nullptr;
 };
+
+/// Quarantine fallback for one undecodable picture: synthesize a concealed
+/// frame (copy of the newest reference, mid-gray without one) so the GOP
+/// still delivers its full picture count and sibling GOPs stay untouched.
+mpeg2::FramePtr conceal_whole_picture(const mpeg2::StreamStructure& structure,
+                                      const mpeg2::PictureInfo& info,
+                                      int display_index,
+                                      const mpeg2::FramePtr& ref,
+                                      mpeg2::FramePool& pool) {
+  mpeg2::FramePtr dst = pool.acquire();
+  dst->type = info.type;
+  dst->temporal_reference = info.temporal_reference;
+  dst->display_index = display_index;
+  mpeg2::PictureContext pc;
+  pc.seq = &structure.seq;
+  pc.mb_width = structure.mb_width();
+  pc.mb_height = structure.mb_height();
+  pc.dst = dst.get();
+  pc.fwd_ref = ref ? ref.get() : nullptr;
+  for (int row = 0; row < pc.mb_height; ++row) mpeg2::conceal_slice(pc, row);
+  return dst;
+}
 
 /// Decodes one closed GOP with private reference state. Frames come from
 /// the shared pool; finished pictures go straight to the display sink.
+/// Returns false only when recovery is off (gobs.quarantine clear); with
+/// quarantine every picture is delivered, concealed where undecodable.
 bool decode_gop(std::span<const std::uint8_t> stream,
                 const mpeg2::StreamStructure& structure, const GopTask& task,
                 mpeg2::FramePool& pool, DisplaySink& display,
                 WorkerStats& stats, const GopObs& gobs, int worker) {
   mpeg2::FramePtr fwd_ref, bwd_ref;
   int pic_index = task.decode_base;
-  for (const auto& info : task.info->pictures) {
+  bool damaged = false;
+  std::vector<int> ranks;
+  if (gobs.quarantine) ranks = mpeg2::display_ranks(*task.info);
+  auto quarantine_picture = [&](int i, RecoveryCause cause) {
+    const auto& info = task.info->pictures[static_cast<std::size_t>(i)];
+    mpeg2::FramePtr dst = conceal_whole_picture(
+        structure, info,
+        task.display_base + ranks[static_cast<std::size_t>(i)],
+        bwd_ref ? bwd_ref : fwd_ref, pool);
+    if (gobs.errors) {
+      gobs.errors->add({cause, task.index, pic_index, info.offset});
+    }
+    if (gobs.concealed_pics) {
+      gobs.concealed_pics->fetch_add(1, std::memory_order_relaxed);
+    }
+    damaged = true;
+    if (info.type != mpeg2::PictureType::kB) {
+      fwd_ref = bwd_ref;
+      bwd_ref = dst;
+    }
+    display.push(std::move(dst));
+  };
+  for (int i = 0; i < static_cast<int>(task.info->pictures.size());
+       ++i, ++pic_index) {
+    const auto& info = task.info->pictures[static_cast<std::size_t>(i)];
     pmp2::BitReader br(stream);
     br.seek_bytes(info.offset);
     mpeg2::PictureContext pic;
     pic.seq = &structure.seq;
     pic.mpeg1 = structure.mpeg1;
-    if (!mpeg2::parse_picture_headers(br, pic.header, pic.ext)) return false;
+    if (info.slices.empty()) {
+      // A picture whose every slice startcode was destroyed: nothing to
+      // decode, so the whole frame must be synthesized.
+      if (!gobs.quarantine) return false;
+      quarantine_picture(i, RecoveryCause::kPictureHeader);
+      continue;
+    }
+    if (!mpeg2::parse_picture_headers(br, pic.header, pic.ext)) {
+      if (!gobs.quarantine) return false;
+      quarantine_picture(i, RecoveryCause::kPictureHeader);
+      continue;
+    }
     pic.mb_width = structure.mb_width();
     pic.mb_height = structure.mb_height();
+
+    if (pic.header.type != mpeg2::PictureType::kI) {
+      const mpeg2::FramePtr& past =
+          pic.header.type == mpeg2::PictureType::kP ? bwd_ref : fwd_ref;
+      if (!past || (pic.header.type == mpeg2::PictureType::kB && !bwd_ref)) {
+        if (!gobs.quarantine) return false;  // GOP not closed/self-contained
+        quarantine_picture(i, RecoveryCause::kMissingReference);
+        continue;
+      }
+    }
 
     mpeg2::FramePtr dst = pool.acquire();
     dst->type = pic.header.type;
     dst->temporal_reference = pic.header.temporal_reference;
-    dst->display_index = task.display_base + pic.header.temporal_reference;
+    dst->display_index =
+        gobs.quarantine
+            ? task.display_base + ranks[static_cast<std::size_t>(i)]
+            : task.display_base + pic.header.temporal_reference;
     pic.dst = dst.get();
     pic.dst_id = dst->trace_id();
     if (pic.header.type != mpeg2::PictureType::kI) {
       const mpeg2::FramePtr& past =
           pic.header.type == mpeg2::PictureType::kP ? bwd_ref : fwd_ref;
-      if (!past) return false;  // GOP not closed/self-contained
       pic.fwd_ref = past.get();
       pic.fwd_id = past->trace_id();
       if (pic.header.type == mpeg2::PictureType::kB) {
-        if (!bwd_ref) return false;
         pic.bwd_ref = bwd_ref.get();
         pic.bwd_id = bwd_ref->trace_id();
       }
@@ -74,8 +150,9 @@ bool decode_gop(std::span<const std::uint8_t> stream,
     opts.tracer = gobs.tracer;
     opts.track = worker;
     opts.picture_id = pic_index;
-    opts.conceal_errors = gobs.conceal_errors;
+    opts.conceal_errors = gobs.conceal_errors || gobs.quarantine;
     opts.concealed = &concealed_here;
+    opts.resync = gobs.h_resync;
     {
       const std::int64_t pic_begin =
           gobs.tracer ? gobs.tracer->now_ns() : 0;
@@ -85,17 +162,28 @@ bool decode_gop(std::span<const std::uint8_t> stream,
         gobs.tracer->emit(worker, obs::SpanKind::kPicture, pic_begin,
                           gobs.tracer->now_ns(), pic_index, -1, task.index);
       }
-      if (!ok) return false;
+      if (!ok) return false;  // unreachable when concealing
     }
-    if (concealed_here > 0 && gobs.concealed) {
-      gobs.concealed->fetch_add(concealed_here, std::memory_order_relaxed);
+    if (concealed_here > 0) {
+      if (gobs.concealed) {
+        gobs.concealed->fetch_add(concealed_here, std::memory_order_relaxed);
+      }
+      if (gobs.quarantine) {
+        damaged = true;
+        if (gobs.errors) {
+          gobs.errors->add({RecoveryCause::kSliceError, task.index, pic_index,
+                            info.offset});
+        }
+      }
     }
     if (pic.header.type != mpeg2::PictureType::kB) {
       fwd_ref = bwd_ref;
       bwd_ref = dst;
     }
     display.push(std::move(dst));
-    ++pic_index;
+  }
+  if (damaged && gobs.quarantined) {
+    gobs.quarantined->fetch_add(1, std::memory_order_relaxed);
   }
   return true;
 }
@@ -153,10 +241,20 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   result.workers.resize(static_cast<std::size_t>(config_.workers));
   std::atomic<bool> failed{false};
   std::atomic<int> concealed{0};
+  std::atomic<int> concealed_pics{0};
+  std::atomic<int> quarantined{0};
+  ErrorLog errors;
   GopObs gobs;
   gobs.tracer = tracer;
   gobs.conceal_errors = config_.conceal_errors;
+  gobs.quarantine = config_.quarantine_gops;
   gobs.concealed = &concealed;
+  gobs.concealed_pics = &concealed_pics;
+  gobs.quarantined = &quarantined;
+  gobs.errors = config_.quarantine_gops ? &errors : nullptr;
+  gobs.h_resync = config_.metrics
+                      ? &config_.metrics->histogram("recover.resync_bytes")
+                      : nullptr;
 
   std::vector<std::jthread> workers;
   workers.reserve(static_cast<std::size_t>(config_.workers));
@@ -221,11 +319,30 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
       }
       if (!have) {
         scan_ok = !scanner.failed() && index > 0;
+        if (scanner.failed() && config_.quarantine_gops) {
+          // Bounded recovery: a scan failure mid-stream keeps the scanned
+          // prefix. A partial final GOP still decodes what it indexed.
+          errors.add({RecoveryCause::kScanTruncated, index, -1,
+                      scanner.position()});
+          if (scanner.failed_in_gop() && !gop.pictures.empty()) {
+            const int display_base = total_pictures;
+            total_pictures += static_cast<int>(gop.pictures.size());
+            gops.push_back(std::move(gop));
+            queue.push(
+                GopTask{&gops.back(), index, display_base, display_base});
+          }
+          scan_ok = total_pictures > 0;
+        }
         break;
       }
       if (!gop.closed) {
-        scan_ok = false;  // this decoder requires closed GOPs
-        break;
+        if (!config_.quarantine_gops) {
+          scan_ok = false;  // this decoder requires closed GOPs
+          break;
+        }
+        // Quarantine: enqueue anyway; leading pictures with missing
+        // references become concealed frames inside the worker.
+        errors.add({RecoveryCause::kOpenGop, index, -1, gop.offset});
       }
       const int display_base = total_pictures;
       total_pictures += static_cast<int>(gop.pictures.size());
@@ -252,6 +369,22 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
 
   workers.clear();  // join
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
+  result.concealed_pictures =
+      concealed_pics.load(std::memory_order_relaxed);
+  result.quarantined_gops = quarantined.load(std::memory_order_relaxed);
+  errors.drain(result.errors, result.errors_dropped);
+  auto record_recovery_metrics = [&] {
+    if (!config_.metrics) return;
+    config_.metrics->counter("recover.concealed_slices")
+        .add(result.concealed_slices);
+    config_.metrics->counter("recover.concealed_pictures")
+        .add(result.concealed_pictures);
+    config_.metrics->counter("recover.quarantined_gops")
+        .add(result.quarantined_gops);
+    config_.metrics->counter("recover.errors").add(
+        static_cast<std::int64_t>(result.errors.size()) +
+        result.errors_dropped);
+  };
   if (!scan_ok || failed.load(std::memory_order_relaxed)) {
     // Failed runs still report their timing/memory so harnesses can log
     // something consistent.
@@ -260,9 +393,23 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
       result.peak_frame_bytes = config_.tracker->peak_bytes();
     }
     derive_idle(result);
+    record_recovery_metrics();
     return result;
   }
-  display.wait_done();
+  if (!display.wait_done_for(config_.watchdog_ns)) {
+    // Watchdog: the pipeline stopped delivering pictures. Fail the run
+    // (never hang) and record what fired.
+    result.hung = true;
+    result.errors.push_back(
+        {RecoveryCause::kDisplayTimeout, -1, -1, 0});
+    result.wall_s = total_timer.elapsed_s();
+    if (config_.tracker) {
+      result.peak_frame_bytes = config_.tracker->peak_bytes();
+    }
+    derive_idle(result);
+    record_recovery_metrics();
+    return result;
+  }
 
   result.wall_s = total_timer.elapsed_s();
   result.checksum = display.checksum();
@@ -270,6 +417,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
     result.peak_frame_bytes = config_.tracker->peak_bytes();
   }
   derive_idle(result);
+  record_recovery_metrics();
   result.ok = true;
   return result;
 }

@@ -33,6 +33,16 @@ struct GopDecoderConfig {
   /// aborting, as in the slice decoder; reported in
   /// RunResult::concealed_slices.
   bool conceal_errors = false;
+  /// Bounded recovery (docs/ROBUSTNESS.md): a corrupt GOP is quarantined —
+  /// unparseable or reference-less pictures become concealed frames, the
+  /// damage is logged in RunResult::errors, and every *other* GOP decodes
+  /// bit-exact (workers keep private reference state per GOP, so the blast
+  /// radius of any fault is one GOP). Implies conceal_errors. A truncated
+  /// structure scan keeps the scanned prefix instead of failing the run.
+  bool quarantine_gops = false;
+  /// Watchdog: fail the run (RunResult::hung) instead of blocking forever
+  /// if the display stops receiving pictures for this long. 0 = off.
+  std::int64_t watchdog_ns = 0;
   /// Tracks frame-buffer bytes (for the Fig. 8 memory measurements).
   mpeg2::MemoryTracker* tracker = nullptr;
   /// Optional span tracer: needs `workers + 1` tracks (track w = worker w,

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -26,6 +28,7 @@ constexpr std::int64_t kMinWaitSpanNs = 1'000;
 struct Pic {
   const mpeg2::PictureInfo* info = nullptr;
   int display_index = 0;
+  int gop = -1;            // GOP ordinal (quarantine blast-radius accounting)
   int deps[2] = {-1, -1};  // decode-order indices that must complete first
 
   // Runtime state; scheduling fields are guarded by the coordinator mutex.
@@ -33,6 +36,7 @@ struct Pic {
   mpeg2::FramePtr dst, fwd, bwd;
   bool open = false;
   bool complete = false;
+  bool damaged = false;  // at least one recovery action hit this picture
   int next_slice = 0;
   int remaining = 0;
 };
@@ -49,11 +53,27 @@ class Coordinator {
         pool_(pool),
         display_(display) {}
 
+  /// Bounded recovery (docs/ROBUSTNESS.md). With `quarantine`, a picture
+  /// that cannot open (bad header, missing reference, no slices) becomes a
+  /// whole concealed frame instead of aborting the run; every recovery
+  /// action is logged to `errors`. `watchdog_ns > 0` arms the scheduling
+  /// watchdog: if nothing progresses for that long while work remains, the
+  /// run aborts (hung()) instead of deadlocking on a poisoned entry.
+  void set_recovery(bool quarantine, ErrorLog* errors,
+                    std::atomic<int>* concealed_pics,
+                    std::int64_t watchdog_ns) {
+    quarantine_ = quarantine;
+    errors_ = errors;
+    concealed_pics_ = concealed_pics;
+    watchdog_ns_ = watchdog_ns;
+  }
+
   /// Scan process: appends one GOP's pictures (decode order) and wakes any
   /// workers idling for work. Returns the total picture count so far.
   int append(std::vector<Pic> pics) {
     const std::scoped_lock lock(mutex_);
     for (auto& pic : pics) pics_.push_back(std::move(pic));
+    ++epoch_;
     cv_.notify_all();
     return static_cast<int>(pics_.size());
   }
@@ -64,6 +84,7 @@ class Coordinator {
     const std::scoped_lock lock(mutex_);
     scan_done_ = true;
     if (!ok) aborted_ = true;
+    ++epoch_;
     cv_.notify_all();
   }
 
@@ -85,10 +106,21 @@ class Coordinator {
   bool claim(Claim& out, std::int64_t& sync_ns,
              obs::SpanKind* wait_kind = nullptr) {
     WallTimer timer;
+    std::vector<mpeg2::FramePtr> emit;
     std::unique_lock lock(mutex_);
     for (;;) {
       if (aborted_) break;
       open_eligible_pictures();
+      if (!conceal_ready_.empty()) {
+        // Concealed whole pictures synthesized above: deliver them to the
+        // display without holding the scheduling lock.
+        emit.swap(conceal_ready_);
+        lock.unlock();
+        for (auto& f : emit) display_.push(std::move(f));
+        emit.clear();
+        lock.lock();
+        continue;
+      }
       if (const int index = find_slice_source(); index >= 0) {
         Pic* pic = &pics_[static_cast<std::size_t>(index)];
         out.pic = pic;
@@ -105,7 +137,25 @@ class Coordinator {
         *wait_kind = bound_stall ? obs::SpanKind::kBackpressure
                                  : obs::SpanKind::kBarrierWait;
       }
-      cv_.wait(lock);
+      if (watchdog_ns_ > 0) {
+        // Watchdog: epoch_ ticks on every scheduling event (append, open,
+        // conceal, slice completion, scan end). A full timeout with no
+        // tick means the pipeline is wedged — e.g. a poisoned entry that
+        // can never complete — so fail the run rather than hang.
+        const std::uint64_t before = epoch_;
+        const auto status =
+            cv_.wait_for(lock, std::chrono::nanoseconds(watchdog_ns_));
+        if (status == std::cv_status::timeout && epoch_ == before &&
+            !aborted_) {
+          hung_ = true;
+          aborted_ = true;
+          if (errors_) errors_->add({RecoveryCause::kWatchdog, -1, -1, 0});
+          cv_.notify_all();
+          break;
+        }
+      } else {
+        cv_.wait(lock);
+      }
     }
     sync_ns += timer.elapsed_ns();
     return false;
@@ -114,6 +164,7 @@ class Coordinator {
   /// Reports a finished slice; completes the picture when it was the last.
   void finish_slice(const Claim& claim, bool ok) {
     std::unique_lock lock(mutex_);
+    ++epoch_;
     if (!ok) {
       aborted_ = true;
       cv_.notify_all();
@@ -137,14 +188,81 @@ class Coordinator {
     }
   }
 
+  /// Worker report: a slice of this picture was concealed. Records one
+  /// kSliceError per damaged picture (quarantine accounting).
+  void note_concealed_slice(const Claim& claim) {
+    const std::scoped_lock lock(mutex_);
+    Pic& pic = *claim.pic;
+    if (!pic.damaged) {
+      pic.damaged = true;
+      record_damage_locked(RecoveryCause::kSliceError, pic.gop,
+                           claim.pic_index, pic.info->offset);
+    }
+  }
+
   [[nodiscard]] bool aborted() const {
     const std::scoped_lock lock(mutex_);
     return aborted_;
   }
 
+  [[nodiscard]] bool hung() const {
+    const std::scoped_lock lock(mutex_);
+    return hung_;
+  }
+
+  /// Distinct GOPs with at least one recovery action.
+  [[nodiscard]] int damaged_gop_count() const {
+    const std::scoped_lock lock(mutex_);
+    return static_cast<int>(damaged_gops_.size());
+  }
+
   void set_max_open(int n) { max_open_ = n; }
 
  private:
+  /// Called with the mutex held.
+  void record_damage_locked(RecoveryCause cause, int gop, int picture,
+                            std::uint64_t byte_offset) {
+    if (errors_) errors_->add({cause, gop, picture, byte_offset});
+    if (gop >= 0) damaged_gops_.insert(gop);
+  }
+
+  /// Quarantine fallback for one unopenable picture: synthesize a whole
+  /// concealed frame (copy of the newest reference, mid-gray without one),
+  /// mark the picture complete so dependents can open, and stage the frame
+  /// in conceal_ready_ for claim() to deliver lock-free. Called with the
+  /// mutex held.
+  void conceal_picture_locked(Pic& pic, int index, RecoveryCause cause) {
+    pic.dst = pool_.acquire();
+    pic.dst->type = pic.info->type;
+    pic.dst->temporal_reference = pic.info->temporal_reference;
+    pic.dst->display_index = pic.display_index;
+    mpeg2::PictureContext ctx;
+    ctx.seq = &structure_.seq;
+    ctx.mb_width = structure_.mb_width();
+    ctx.mb_height = structure_.mb_height();
+    ctx.dst = pic.dst.get();
+    ctx.fwd_ref = newest_ref_ ? newest_ref_.get() : nullptr;
+    for (int row = 0; row < ctx.mb_height; ++row) {
+      mpeg2::conceal_slice(ctx, row);
+    }
+    // The scanned type drives the reference chain, as it drove the
+    // dependency edges at append time.
+    if (pic.info->type != mpeg2::PictureType::kB) {
+      older_ref_ = newest_ref_;
+      newest_ref_ = pic.dst;
+    }
+    pic.damaged = true;
+    pic.complete = true;
+    ++completed_;
+    record_damage_locked(cause, pic.gop, index, pic.info->offset);
+    if (concealed_pics_) {
+      concealed_pics_->fetch_add(1, std::memory_order_relaxed);
+    }
+    conceal_ready_.push_back(std::move(pic.dst));
+    ++epoch_;
+    cv_.notify_all();
+  }
+
   /// Opens pictures (in decode order) whose dependencies are satisfied.
   /// Called with the mutex held.
   void open_eligible_pictures() {
@@ -156,17 +274,45 @@ class Coordinator {
           return;  // strict decode-order opening
         }
       }
+      const int index = next_to_open_;
       pmp2::BitReader br(stream_);
       br.seek_bytes(pic.info->offset);
       pic.ctx.seq = &structure_.seq;
       pic.ctx.mpeg1 = structure_.mpeg1;
-      if (!mpeg2::parse_picture_headers(br, pic.ctx.header, pic.ctx.ext)) {
+      // A picture with no indexed slices would never complete (completion
+      // is slice-driven), so it must be concealed or abort the run here.
+      const bool headers_ok =
+          !pic.info->slices.empty() &&
+          mpeg2::parse_picture_headers(br, pic.ctx.header, pic.ctx.ext);
+      if (!headers_ok) {
+        if (quarantine_) {
+          conceal_picture_locked(pic, index, RecoveryCause::kPictureHeader);
+          ++next_to_open_;
+          continue;
+        }
         aborted_ = true;
         cv_.notify_all();
         return;
       }
       pic.ctx.mb_width = structure_.mb_width();
       pic.ctx.mb_height = structure_.mb_height();
+      if (pic.ctx.header.type != mpeg2::PictureType::kI) {
+        const mpeg2::FramePtr& past =
+            pic.ctx.header.type == mpeg2::PictureType::kP ? newest_ref_
+                                                          : older_ref_;
+        if (!past || (pic.ctx.header.type == mpeg2::PictureType::kB &&
+                      !newest_ref_)) {
+          if (quarantine_) {
+            conceal_picture_locked(pic, index,
+                                   RecoveryCause::kMissingReference);
+            ++next_to_open_;
+            continue;
+          }
+          aborted_ = true;
+          cv_.notify_all();
+          return;
+        }
+      }
       pic.dst = pool_.acquire();
       pic.dst->type = pic.ctx.header.type;
       pic.dst->temporal_reference = pic.ctx.header.temporal_reference;
@@ -177,11 +323,6 @@ class Coordinator {
         const mpeg2::FramePtr& past =
             pic.ctx.header.type == mpeg2::PictureType::kP ? newest_ref_
                                                           : older_ref_;
-        if (!past) {
-          aborted_ = true;
-          cv_.notify_all();
-          return;
-        }
         pic.fwd = past;
         pic.ctx.fwd_ref = past.get();
         pic.ctx.fwd_id = past->trace_id();
@@ -199,6 +340,7 @@ class Coordinator {
       pic.open = true;
       ++open_count_;
       ++next_to_open_;
+      ++epoch_;
       cv_.notify_all();
     }
   }
@@ -237,6 +379,17 @@ class Coordinator {
   int completed_ = 0;
   bool scan_done_ = false;
   bool aborted_ = false;
+
+  // Bounded-recovery state (set_recovery).
+  bool quarantine_ = false;
+  std::int64_t watchdog_ns_ = 0;
+  ErrorLog* errors_ = nullptr;
+  std::atomic<int>* concealed_pics_ = nullptr;
+  bool hung_ = false;
+  std::uint64_t epoch_ = 0;  // bumps on every scheduling event (watchdog)
+  std::set<int> damaged_gops_;
+  std::vector<mpeg2::FramePtr> conceal_ready_;  // drained by claim()
+
   mpeg2::FramePtr older_ref_, newest_ref_;
 };
 
@@ -280,17 +433,27 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   coord.set_max_open(config_.policy == SlicePolicy::kSimple
                          ? 1
                          : std::max(1, config_.max_open_pictures));
+  ErrorLog errors;
+  std::atomic<int> concealed_pics{0};
+  coord.set_recovery(config_.quarantine_gops, &errors, &concealed_pics,
+                     config_.watchdog_ns);
+  const bool conceal_slices =
+      config_.conceal_errors || config_.quarantine_gops;
 
   // Resolve metric instruments once; workers then only touch atomics.
   obs::Counter* m_tasks = nullptr;
   obs::Counter* m_concealed = nullptr;
   obs::Histogram* h_task = nullptr;
   obs::Histogram* h_wait = nullptr;
+  obs::Histogram* h_resync = nullptr;
   if (config_.metrics) {
     m_tasks = &config_.metrics->counter("slice.tasks");
     m_concealed = &config_.metrics->counter("slice.concealed");
     h_task = &config_.metrics->histogram("slice.task_ns");
     h_wait = &config_.metrics->histogram("slice.queue_wait_ns");
+    if (conceal_slices) {
+      h_resync = &config_.metrics->histogram("recover.resync_bytes");
+    }
     config_.metrics->counter("decode.bytes")
         .add(static_cast<std::int64_t>(stream.size()));
   }
@@ -336,13 +499,18 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
           }
           if (h_task) h_task->record(task_ns);
           if (m_tasks) m_tasks->add();
-          if (!r.ok && config_.conceal_errors) {
+          if (!r.ok && conceal_slices) {
             // Patch the damaged rows from the forward reference and keep
             // the pipeline running.
             const std::int64_t conceal_begin =
                 tracer ? tracer->now_ns() : 0;
+            if (h_resync) {
+              h_resync->record(static_cast<std::int64_t>(
+                  mpeg2::resync_distance(stream, br.bit_position() / 8)));
+            }
             mpeg2::conceal_slice(claim.pic->ctx, slice_info.row);
             concealed.fetch_add(1, std::memory_order_relaxed);
+            if (config_.quarantine_gops) coord.note_concealed_slice(claim);
             if (tracer) {
               tracer->emit(w, obs::SpanKind::kConceal, conceal_begin,
                            tracer->now_ns(), claim.pic_index, claim.slice);
@@ -368,29 +536,24 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
     int display_base = 0;
     int older = -1, newest = -1;
     int gop_index = 0;
-    for (;;) {
-      if (coord.aborted()) break;
-      WallTimer gop_timer;
-      span_begin = tracer ? tracer->now_ns() : 0;
-      mpeg2::GopInfo gop;
-      const bool have = scanner.next_gop(gop);
-      scan_s += gop_timer.elapsed_s();
-      if (tracer) {
-        tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
-                     tracer->now_ns(), -1, -1, gop_index);
-      }
-      if (!have) {
-        scan_ok = !scanner.failed() && gop_index > 0;
-        break;
-      }
-      gops.push_back(std::move(gop));
-      const mpeg2::GopInfo& g = gops.back();
+    // Appends one (possibly partial) GOP's pictures with decode-order
+    // dependencies. Under quarantine, display indices come from
+    // display_ranks: a gap-free permutation even when the scanned
+    // temporal_references are damaged, so the display always terminates.
+    const auto append_gop = [&](const mpeg2::GopInfo& g) {
       std::vector<Pic> batch;
       batch.reserve(g.pictures.size());
-      for (const auto& info : g.pictures) {
+      std::vector<int> ranks;
+      if (config_.quarantine_gops) ranks = mpeg2::display_ranks(g);
+      for (std::size_t i = 0; i < g.pictures.size(); ++i) {
+        const auto& info = g.pictures[i];
         Pic pic;
         pic.info = &info;
-        pic.display_index = display_base + info.temporal_reference;
+        pic.gop = gop_index;
+        pic.display_index =
+            display_base + (config_.quarantine_gops
+                                ? ranks[i]
+                                : info.temporal_reference);
         const int index = total_pictures + static_cast<int>(batch.size());
         if (config_.policy == SlicePolicy::kSimple) {
           // Barrier at every picture: depend on the predecessor.
@@ -417,6 +580,35 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
       display_base += static_cast<int>(g.pictures.size());
       total_pictures = coord.append(std::move(batch));
       ++gop_index;
+    };
+    for (;;) {
+      if (coord.aborted()) break;
+      WallTimer gop_timer;
+      span_begin = tracer ? tracer->now_ns() : 0;
+      mpeg2::GopInfo gop;
+      const bool have = scanner.next_gop(gop);
+      scan_s += gop_timer.elapsed_s();
+      if (tracer) {
+        tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
+                     tracer->now_ns(), -1, -1, gop_index);
+      }
+      if (!have) {
+        scan_ok = !scanner.failed() && gop_index > 0;
+        if (scanner.failed() && config_.quarantine_gops) {
+          // Bounded recovery: a scan failure mid-stream keeps the scanned
+          // prefix. A partial final GOP still decodes what it indexed.
+          errors.add({RecoveryCause::kScanTruncated, gop_index, -1,
+                      scanner.position()});
+          if (scanner.failed_in_gop() && !gop.pictures.empty()) {
+            gops.push_back(std::move(gop));
+            append_gop(gops.back());
+          }
+          scan_ok = total_pictures > 0;
+        }
+        break;
+      }
+      gops.push_back(std::move(gop));
+      append_gop(gops.back());
     }
   }
   coord.finish_scan(scan_ok);
@@ -429,6 +621,22 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
 
   workers.clear();  // join
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
+  result.concealed_pictures = concealed_pics.load(std::memory_order_relaxed);
+  result.quarantined_gops = coord.damaged_gop_count();
+  result.hung = coord.hung();
+  errors.drain(result.errors, result.errors_dropped);
+  const auto record_recovery_metrics = [&] {
+    if (!config_.metrics) return;
+    config_.metrics->counter("recover.concealed_slices")
+        .add(result.concealed_slices);
+    config_.metrics->counter("recover.concealed_pictures")
+        .add(result.concealed_pictures);
+    config_.metrics->counter("recover.quarantined_gops")
+        .add(result.quarantined_gops);
+    config_.metrics->counter("recover.errors").add(
+        static_cast<std::int64_t>(result.errors.size()) +
+        result.errors_dropped);
+  };
 
   if (coord.aborted()) {
     // Failed runs still report their timing/memory so harnesses can log
@@ -438,9 +646,22 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
       result.peak_frame_bytes = config_.tracker->peak_bytes();
     }
     derive_idle(result);
+    record_recovery_metrics();
     return result;
   }
-  display.wait_done();
+  if (!display.wait_done_for(config_.watchdog_ns)) {
+    // Watchdog: the pipeline stopped delivering pictures. Fail the run
+    // (never hang) and record what fired.
+    result.hung = true;
+    result.errors.push_back({RecoveryCause::kDisplayTimeout, -1, -1, 0});
+    result.wall_s = total_timer.elapsed_s();
+    if (config_.tracker) {
+      result.peak_frame_bytes = config_.tracker->peak_bytes();
+    }
+    derive_idle(result);
+    record_recovery_metrics();
+    return result;
+  }
 
   result.wall_s = total_timer.elapsed_s();
   result.checksum = display.checksum();
@@ -448,6 +669,7 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
     result.peak_frame_bytes = config_.tracker->peak_bytes();
   }
   derive_idle(result);
+  record_recovery_metrics();
   result.ok = true;
   return result;
 }

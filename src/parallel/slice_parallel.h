@@ -48,6 +48,17 @@ struct SliceDecoderConfig {
   /// Conceal corrupt slices (copy from the forward reference) instead of
   /// aborting — keeps real-time playback going through bitstream damage.
   bool conceal_errors = false;
+  /// Bounded recovery (docs/ROBUSTNESS.md): unparseable or reference-less
+  /// pictures become whole concealed frames instead of aborting the run,
+  /// damage is logged per GOP in RunResult::errors, and a truncated
+  /// structure scan keeps the scanned prefix. Implies conceal_errors.
+  /// With closed GOPs every undamaged GOP decodes bit-exact (references
+  /// never cross a closed-GOP boundary).
+  bool quarantine_gops = false;
+  /// Coordinator watchdog: if no scheduling progress happens for this
+  /// long while work is outstanding, the run aborts (RunResult::hung)
+  /// instead of deadlocking on a poisoned task. 0 = off.
+  std::int64_t watchdog_ns = 0;
   mpeg2::MemoryTracker* tracker = nullptr;
   /// Optional span tracer: needs `workers + 1` tracks (track w = worker w,
   /// track `workers` = the scan process). Null = zero-cost no-op.

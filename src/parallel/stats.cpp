@@ -6,6 +6,19 @@
 
 namespace pmp2::parallel {
 
+std::string_view recovery_cause_name(RecoveryCause cause) {
+  switch (cause) {
+    case RecoveryCause::kSliceError: return "slice-error";
+    case RecoveryCause::kPictureHeader: return "picture-header";
+    case RecoveryCause::kMissingReference: return "missing-reference";
+    case RecoveryCause::kOpenGop: return "open-gop";
+    case RecoveryCause::kScanTruncated: return "scan-truncated";
+    case RecoveryCause::kWatchdog: return "watchdog";
+    case RecoveryCause::kDisplayTimeout: return "display-timeout";
+  }
+  return "unknown";
+}
+
 WorkerLoadSummary summarize_load(std::span<const std::int64_t> busy_ns,
                                  std::span<const std::int64_t> sync_ns,
                                  std::span<const std::int64_t> idle_ns,

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "mpeg2/frame.h"
@@ -27,6 +29,57 @@ struct WorkerStats {
   mpeg2::WorkMeter work;
 };
 
+/// Why a recovery action fired (docs/ROBUSTNESS.md's fault model).
+enum class RecoveryCause : std::uint8_t {
+  kSliceError,        // slice syntax error, concealed
+  kPictureHeader,     // picture header/extension unparseable
+  kMissingReference,  // P/B picture with no reference available
+  kOpenGop,           // GOP decoder fed a non-closed GOP
+  kScanTruncated,     // structure scan failed mid-stream; prefix kept
+  kWatchdog,          // coordinator made no progress within the deadline
+  kDisplayTimeout,    // display never received every picture
+};
+
+[[nodiscard]] std::string_view recovery_cause_name(RecoveryCause cause);
+
+/// One bounded-recovery event. Coordinates are decode-order indices; -1
+/// where the dimension does not apply.
+struct ErrorRecord {
+  RecoveryCause cause = RecoveryCause::kSliceError;
+  int gop = -1;
+  int picture = -1;  // decode-order picture index within the stream
+  std::uint64_t byte_offset = 0;
+};
+
+/// Thread-safe, capped error-record collector shared by the workers of one
+/// run. The cap bounds memory on 100%-corrupt input; overflow is counted.
+class ErrorLog {
+ public:
+  static constexpr std::size_t kMaxRecords = 64;
+
+  void add(const ErrorRecord& record) {
+    const std::scoped_lock lock(mutex_);
+    if (records_.size() < kMaxRecords) {
+      records_.push_back(record);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Moves the collected records out (call after the workers joined).
+  void drain(std::vector<ErrorRecord>& records, int& dropped) {
+    const std::scoped_lock lock(mutex_);
+    records = std::move(records_);
+    records_.clear();
+    dropped = dropped_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<ErrorRecord> records_;
+  int dropped_ = 0;
+};
+
 struct RunResult {
   bool ok = false;
   double wall_s = 0.0;      // total decode wall time (excluding nothing)
@@ -36,7 +89,17 @@ struct RunResult {
   std::uint64_t stream_bytes = 0;         // coded bytes decoded
   std::int64_t peak_frame_bytes = 0;  // high-water frame memory
   int concealed_slices = 0;  // slices patched by error concealment
+  int concealed_pictures = 0;  // whole pictures synthesized by quarantine
+  int quarantined_gops = 0;  // distinct GOPs with at least one recovery
+  bool hung = false;  // a watchdog/display deadline fired (run incomplete)
+  std::vector<ErrorRecord> errors;  // capped at ErrorLog::kMaxRecords
+  int errors_dropped = 0;           // records beyond the cap
   std::vector<WorkerStats> workers;
+
+  /// Completed despite damage: ok with recovery events recorded.
+  [[nodiscard]] bool degraded() const {
+    return concealed_slices > 0 || concealed_pictures > 0 || !errors.empty();
+  }
 
   [[nodiscard]] double pictures_per_second() const {
     return wall_s > 0 ? pictures / wall_s : 0.0;

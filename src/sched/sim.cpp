@@ -64,6 +64,37 @@ std::int64_t task_cost(const StreamProfile& profile, const SliceCost& s,
       config.cost_scale);
 }
 
+/// Deterministic corrupt-slice selection for the concealment cost model:
+/// SplitMix64 finalizer over (fault_seed, gop, picture, slice), mapped to
+/// [0, 1) and compared against fault_slice_rate. Identical across both
+/// simulated policies and across runs.
+bool slice_faulted(const SimConfig& config, int gop, int pic, int slice) {
+  if (config.fault_slice_rate <= 0.0) return false;
+  std::uint64_t x = config.fault_seed ^
+                    (static_cast<std::uint64_t>(gop) << 40) ^
+                    (static_cast<std::uint64_t>(pic) << 20) ^
+                    static_cast<std::uint64_t>(slice);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 <
+         config.fault_slice_rate;
+}
+
+/// Slice cost under the fault model: a corrupt slice costs the (scaled)
+/// concealment copy instead of its decode. Bumps `concealed` when faulted.
+std::int64_t faulted_task_cost(const StreamProfile& profile,
+                               const SliceCost& s, const SimConfig& config,
+                               int gop, int pic, int slice, int& concealed) {
+  if (slice_faulted(config, gop, pic, slice)) {
+    ++concealed;
+    return static_cast<std::int64_t>(
+        static_cast<double>(config.conceal_cost_ns) * config.cost_scale);
+  }
+  return task_cost(profile, s, config);
+}
+
 /// Scan-track helper: when the tracer has an extra track beyond the
 /// workers, record the scan process on it (per-GOP kScan spans). Names the
 /// track "scan" so the analyzer classifies it as a process track.
@@ -294,8 +325,10 @@ SimResult simulate_gop(const StreamProfile& profile, const SimConfig& config) {
     for (std::size_t p = 0; p < gop.pictures.size(); ++p) {
       const PictureCost& pic = gop.pictures[p];
       std::int64_t cost = 0;
-      for (const auto& s : pic.slices) {
-        cost += task_cost(profile, s, config);
+      for (std::size_t s = 0; s < pic.slices.size(); ++s) {
+        cost += faulted_task_cost(profile, pic.slices[s], config, task.gop,
+                                  static_cast<int>(p), static_cast<int>(s),
+                                  result.concealed_slices);
       }
       cost = static_cast<std::int64_t>(static_cast<double>(cost) * penalty);
       const std::int64_t alloc = t;
@@ -373,6 +406,8 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
   struct SPic {
     const PictureCost* cost = nullptr;
     int display_index = 0;
+    int gop = 0;         // fault-model hash coordinates
+    int pic_in_gop = 0;
     int deps[2] = {-1, -1};  // scheduling dependencies (policy-specific)
     int refs[2] = {-1, -1};  // actual reference pictures (for memory)
     std::int64_t scan_ready = 0;
@@ -407,6 +442,8 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
         const auto& pc = gop.pictures[p];
         SPic pic;
         pic.cost = &pc;
+        pic.gop = gop_index - 1;  // gop_index already advanced
+        pic.pic_in_gop = static_cast<int>(p);
         pic.display_index = display_base + pc.temporal_reference;
         const int index = static_cast<int>(pics.size());
         scanned += per_pic;
@@ -536,8 +573,9 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
       idle.erase(idle.begin() + static_cast<std::ptrdiff_t>(best));
       SPic& pic = pics[static_cast<std::size_t>(p)];
       const int s = pic.next_slice++;
-      std::int64_t cost = task_cost(
-          profile, pic.cost->slices[static_cast<std::size_t>(s)], config);
+      std::int64_t cost = faulted_task_cost(
+          profile, pic.cost->slices[static_cast<std::size_t>(s)], config,
+          pic.gop, pic.pic_in_gop, s, result.concealed_slices);
       if (s == 0) cost += config.picture_overhead_ns;
       const bool remote =
           config.cluster_size > 0 && cluster_of(w.id) != pic_home(p);

@@ -63,6 +63,19 @@ struct SimConfig {
   /// Maximum pictures concurrently open in the improved slice policy.
   int max_open_pictures = 3;
 
+  // --- Concealment cost model (fault-injection what-if analysis) ---
+  /// Fraction of slices marked corrupt by a deterministic per-slice hash
+  /// keyed on (fault_seed, gop, picture, slice). A corrupt slice's decode
+  /// cost is replaced by conceal_cost_ns — concealment is a row copy, far
+  /// cheaper than entropy decode — so the model answers how degradation
+  /// shifts the speedup/load-balance picture (docs/ROBUSTNESS.md). 0 = off.
+  double fault_slice_rate = 0.0;
+  /// Virtual cost of concealing one corrupt slice (scaled by cost_scale
+  /// like every other task cost).
+  std::int64_t conceal_cost_ns = 2'000;
+  /// Seed for the corrupt-slice selection hash.
+  std::uint64_t fault_seed = 1;
+
   // --- NUMA extension (§7.2) ---
   int cluster_size = 0;         // 0 = centralized memory (UMA)
   double remote_penalty = 1.0;  // cost multiplier for remote-homed tasks
@@ -91,6 +104,7 @@ struct MemSample {
 struct SimResult {
   std::int64_t makespan_ns = 0;  // until the last picture is displayed
   int pictures = 0;
+  int concealed_slices = 0;  // slices the fault model marked corrupt
   std::vector<SimWorkerStats> workers;
   std::vector<MemSample> memory_timeline;  // stream buffer + frame bytes
   std::int64_t peak_memory = 0;

@@ -437,6 +437,7 @@ TEST(BenchCompare, MetricFieldClassification) {
   EXPECT_TRUE(analysis::is_metric_field("wall_s"));
   EXPECT_TRUE(analysis::is_metric_field("stream_bytes"));
   EXPECT_TRUE(analysis::is_metric_field("sync_ratio"));
+  EXPECT_TRUE(analysis::is_metric_field("ns_per_op"));
   EXPECT_FALSE(analysis::is_metric_field("workers"));
   EXPECT_FALSE(analysis::is_metric_field("gop_size"));
   EXPECT_FALSE(analysis::is_metric_field("line_size"));
@@ -495,6 +496,28 @@ TEST(BenchCompare, LowerIsBetterMetricRegressesUpward) {
   ASSERT_FALSE(r.regressions.empty());
   EXPECT_EQ(r.regressions[0].metric, "wall_s");
   EXPECT_FALSE(r.regressions[0].higher_better);
+}
+
+TEST(BenchCompare, AdvisoryMetricsDemoteRegressionsButNotCoverage) {
+  // The CI bench stage's mode: metric deltas are listed but never fail.
+  const obs::JsonValue baseline = parse_report(make_bench_report(100.0, 1.0));
+  const obs::JsonValue worse = parse_report(make_bench_report(50.0, 3.0));
+  analysis::CompareOptions opts;
+  opts.advisory_metrics = true;
+  const analysis::CompareResult r =
+      analysis::compare_reports(baseline, worse, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.regressions.empty());
+  ASSERT_FALSE(r.advisories.empty());
+  EXPECT_TRUE(r.passed());
+  // Identity stays strict: a vanished row still fails in advisory mode.
+  const obs::JsonValue fewer =
+      parse_report(make_bench_report(100.0, 1.0, /*drop_last_row=*/true));
+  const analysis::CompareResult lost =
+      analysis::compare_reports(baseline, fewer, opts);
+  ASSERT_TRUE(lost.ok) << lost.error;
+  EXPECT_FALSE(lost.coverage_loss.empty());
+  EXPECT_FALSE(lost.passed());
 }
 
 TEST(BenchCompare, MissingBaselineRowIsCoverageLoss) {

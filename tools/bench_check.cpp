@@ -65,13 +65,14 @@ int run_compare(const Flags& flags) {
   if (paths.size() != 2) {
     std::cerr << "usage: bench_check BASELINE.json CANDIDATE.json "
                  "[--tolerance=F] [--tolerance-METRIC=F] "
-                 "[--improvements]\n";
+                 "[--improvements] [--advisory-metrics]\n";
     return 1;
   }
   CompareOptions options;
   options.default_tolerance =
       flags.get_double("tolerance", options.default_tolerance);
   options.report_improvements = flags.get_bool("improvements", false);
+  options.advisory_metrics = flags.get_bool("advisory-metrics", false);
   // Per-metric overrides: --tolerance-wall_s=0.3 etc.
   for (const std::string& name : flags.unused()) {
     constexpr const char* kPrefix = "tolerance-";
