@@ -8,6 +8,10 @@
 //                       [--trace-out=trace.json] [--journal-out=run.journal]
 //                       [--trace-decoder=gop|slice-simple|slice-improved]
 //                       [--report-out=report.json] [--metrics] [--analyze]
+//                       [--live-out=live.ndjson] [--live-interval-ms=250]
+//                       [--prom-out=live.prom] [--watchdog-ms=N]
+//                       [--slo=latency_p99_ms=X,min_pics_s=Y,max_stall_ms=Z]
+//                       [--inject-stall-ms=N]
 //
 // --trace-out captures a Chrome trace_event timeline (open in Perfetto /
 // chrome://tracing) of the decoder named by --trace-decoder; --journal-out
@@ -16,6 +20,19 @@
 // (docs/ANALYSIS.md); --report-out writes the table as a structured JSON
 // run report with the counter registry attached; --metrics dumps the
 // registry as text to stdout.
+//
+// --live-out streams one pmp2-live/1 NDJSON snapshot per sampling tick
+// while the parallel decoders run (watch with tools/pmp2_top); --prom-out
+// keeps a Prometheus-style exposition file atomically refreshed; --slo
+// arms in-flight alert rules (raised on stderr as they fire, and recorded
+// under "alerts" in the report). All three parallel decoders publish into
+// one telemetry surface, so the stream covers the whole playback run.
+// --watchdog-ms arms the decoders' hang watchdogs; a hung run exits
+// nonzero with the watchdog's last-known-state evidence on stderr.
+// --inject-stall-ms stalls the GOP decoder's frame consumer once,
+// mid-stream, for N ms — a fault hook to watch the max_stall_ms SLO fire
+// (and clear) on a real pipeline.
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -23,6 +40,8 @@
 #include "mpeg2/decoder.h"
 #include "obs/analysis/analyzer.h"
 #include "obs/analysis/timeline.h"
+#include "obs/live/sampler.h"
+#include "obs/live/telemetry.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
@@ -53,6 +72,21 @@ int main(int argc, char** argv) {
   const std::string report_out = flags.get_string("report-out", "");
   const bool dump_metrics = flags.get_bool("metrics", false);
   const bool analyze_trace = flags.get_bool("analyze", false);
+  const std::string live_out = flags.get_string("live-out", "");
+  const std::string prom_out = flags.get_string("prom-out", "");
+  const std::int64_t live_interval_ms =
+      flags.get_int("live-interval-ms", 250);
+  const std::string slo_text = flags.get_string("slo", "");
+  const std::int64_t watchdog_ms = flags.get_int("watchdog-ms", 0);
+
+  obs::live::SloRules slo;
+  if (!slo_text.empty()) {
+    std::string slo_error;
+    if (!obs::live::SloRules::parse(slo_text, slo, &slo_error)) {
+      std::cerr << "error: bad --slo: " << slo_error << "\n";
+      return 2;
+    }
+  }
 
   std::cout << "Encoding " << spec.pictures << " pictures at " << spec.width
             << "x" << spec.height << "...\n";
@@ -65,6 +99,28 @@ int main(int argc, char** argv) {
     tracer->track(workers).set_name("scan");
   }
   obs::Registry metrics;
+
+  // One telemetry surface shared by all three parallel decoders (they run
+  // back to back on the same worker indices), so --live-out streams the
+  // whole playback run and the final snapshot's picture total matches the
+  // sum over the report's parallel rows.
+  std::unique_ptr<obs::live::LiveTelemetry> live;
+  std::unique_ptr<obs::live::LiveSampler> sampler;
+  if (!live_out.empty() || !prom_out.empty() || slo.any()) {
+    live = std::make_unique<obs::live::LiveTelemetry>(workers);
+    obs::live::LiveSampler::Options opt;
+    opt.interval_ms = live_interval_ms;
+    opt.slo = slo;
+    opt.ndjson_path = live_out;
+    opt.prometheus_path = prom_out;
+    opt.on_alert = [](const obs::live::Alert& alert, bool fired) {
+      std::cerr << "live-alert " << (fired ? "FIRED" : "cleared") << ": "
+                << alert.rule << " value=" << alert.value
+                << " threshold=" << alert.threshold << "\n";
+    };
+    sampler = std::make_unique<obs::live::LiveSampler>(*live, opt);
+    sampler->start();
+  }
 
   Table t({"Decoder", "Workers", "Pictures/s", "Real-time (30/s)?",
            "Sync time %", "Output"});
@@ -102,10 +158,15 @@ int main(int argc, char** argv) {
   }
 
   int divergences = 0;
+  int hangs = 0;
   auto record = [&](const char* name, const parallel::RunResult& r) {
     const auto load = parallel::summarize_load(r);
     const bool bit_exact = r.ok && r.checksum == want;
     if (!bit_exact) ++divergences;
+    if (r.hung) {
+      ++hangs;
+      std::cerr << "error: " << name << " " << r.hang.to_string() << "\n";
+    }
     const double pps = r.pictures_per_second();
     t.add_row({name, std::to_string(workers), Table::fmt(pps, 1),
                pps >= 30 ? "yes" : "no",
@@ -134,16 +195,36 @@ int main(int argc, char** argv) {
     parallel::GopDecoderConfig cfg;
     cfg.workers = workers;
     cfg.tracker = &tracker;
+    cfg.live = live.get();
+    cfg.watchdog_ns = watchdog_ms * 1'000'000;
     if (trace_decoder == "gop") {
       cfg.tracer = tracer.get();
       cfg.metrics = &metrics;
     }
-    record("GOP-parallel", parallel::GopParallelDecoder(cfg).decode(stream));
+    // Stall fault hook: block the display consumer once at the stream's
+    // midpoint. The bounded display queue backs the whole pipeline up, so
+    // progress genuinely stops — the stall SLO must see it in flight.
+    parallel::FrameCallback stall_cb;
+    const std::int64_t inject_stall_ms =
+        flags.get_int("inject-stall-ms", 0);
+    if (inject_stall_ms > 0) {
+      stall_cb = [seen = 0, at = spec.pictures / 2,
+                  inject_stall_ms](mpeg2::FramePtr) mutable {
+        if (++seen == at) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(inject_stall_ms));
+        }
+      };
+    }
+    record("GOP-parallel",
+           parallel::GopParallelDecoder(cfg).decode(stream, stall_cb));
   }
   {
     parallel::SliceDecoderConfig cfg;
     cfg.workers = workers;
     cfg.policy = parallel::SlicePolicy::kSimple;
+    cfg.live = live.get();
+    cfg.watchdog_ns = watchdog_ms * 1'000'000;
     {
       mpeg2::MemoryTracker tracker;
       cfg.tracker = &tracker;
@@ -165,16 +246,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Final tick + alert log before the report is written, so the stream's
+  // closing snapshot and the report agree on the run's totals.
+  if (sampler) {
+    sampler->stop();
+    for (const auto& alert : sampler->alert_log()) {
+      report.add_alert({alert.rule, alert.value, alert.threshold,
+                        alert.fired_at_ns, alert.cleared_at_ns});
+    }
+    report.set_meta("live_snapshots",
+                    static_cast<std::int64_t>(sampler->snapshots()));
+    if (!live_out.empty()) {
+      std::cout << "wrote " << live_out << " (" << sampler->snapshots()
+                << " snapshots); watch with tools/pmp2_top\n";
+    }
+  }
+
   t.print(std::cout);
   std::cout << "\nNote: on a single-core host the threaded decoders cannot"
                " beat the sequential one; see the bench_* harnesses for the"
                " virtual-time multiprocessor results.\n";
 
-  int rc = divergences > 0 ? 1 : 0;
+  int rc = divergences > 0 || hangs > 0 ? 1 : 0;
   if (divergences > 0) {
     std::cerr << "error: " << divergences
               << " decoder(s) failed or diverged from the sequential"
                  " reference\n";
+  }
+  if (hangs > 0) {
+    std::cerr << "error: " << hangs << " decoder run(s) hung (watchdog"
+              << " evidence above)\n";
+  }
+  if (sampler && !sampler->io_ok()) {
+    std::cerr << "error: live telemetry exporter I/O failed\n";
+    rc = 1;
   }
   if (tracer) {
     // Lossy-ring accounting in the run report: total plus per-track drops,

@@ -54,6 +54,7 @@ BENCHES=(
   bench_bitrate_sensitivity
   bench_dash_numa
   bench_interlaced
+  bench_live_overhead
   bench_random_access
   bench_slice_granularity
   bench_svm_page_coherence

@@ -55,14 +55,16 @@ stage_tsan() {
   # Dedicated tree: sanitizer flags poison the cache otherwise. Only the
   # threaded targets matter under TSan; the sim and codec are single-thread.
   # test_fault rides along: quarantine/watchdog recovery exercises the
-  # coordinator's error paths under real thread interleavings.
+  # coordinator's error paths under real thread interleavings. test_live
+  # holds the seqlock data-race-free claim (TelemetryCell writer storm +
+  # sampler thread).
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPMP2_SANITIZE=thread || return 1
   run cmake --build build-tsan -j "$JOBS" \
       --target test_parallel test_parallel_stress test_obs test_fault \
-      || return 1
+      test_live || return 1
   run ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'Parallel|Stress|Tracer|Obs|FaultInjection|GopQuarantine'
+      -R 'Parallel|Stress|Tracer|Obs|FaultInjection|GopQuarantine|TelemetryCell|SlidingWindow|LiveSampler|Exporters'
 }
 
 stage_ubsan() {

@@ -1,0 +1,242 @@
+// LiveSampler: the reader half of the live telemetry subsystem
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+// A sampler thread periodically snapshots every TelemetryCell (seqlock
+// reads — never blocks a decoder), maintains sliding windows of the shared
+// frame-latency histogram (ring of per-tick delta buckets), evaluates SLO
+// rules with trigger/clear hysteresis, and exports each tick as one
+// newline-delimited JSON snapshot (schema "pmp2-live/1") and/or an
+// atomically-replaced Prometheus-style text exposition.
+//
+// The tick core (sample_at) is a deterministic function of the telemetry
+// state and the supplied clock value, so tests drive it with synthetic
+// timestamps and never need the thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/live/telemetry.h"
+#include "obs/metrics.h"
+
+namespace pmp2::obs::live {
+
+/// Sliding-window aggregation over one cumulative histogram: push() a
+/// cumulative snapshot per tick; the ring keeps per-tick deltas stamped
+/// with their tick time, and over() merges the buckets inside a trailing
+/// window. Buckets older than `max_window_ns` expire on push.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::int64_t max_window_ns = 10'000'000'000)
+      : max_window_ns_(max_window_ns) {}
+
+  /// Records the tick at `t_ns`: cumulative histogram state plus the
+  /// cumulative event count whose rate the window reports (pictures).
+  void push(std::int64_t t_ns, const HistogramSnapshot& cumulative,
+            std::int64_t events);
+
+  struct View {
+    HistogramSnapshot hist;     // merged deltas inside the window
+    std::int64_t events = 0;    // events completed inside the window
+    std::int64_t span_ns = 0;   // time actually covered (<= window at start)
+    [[nodiscard]] double events_per_second() const {
+      return span_ns > 0
+                 ? static_cast<double>(events) * 1e9 /
+                       static_cast<double>(span_ns)
+                 : 0.0;
+    }
+  };
+
+  /// Trailing-window view at `now_ns`: merges every bucket whose tick time
+  /// is inside (now - window, now].
+  [[nodiscard]] View over(std::int64_t now_ns,
+                          std::int64_t window_ns) const;
+
+  [[nodiscard]] std::size_t buckets() const { return ring_.size(); }
+
+ private:
+  struct Bucket {
+    std::int64_t t_ns = 0;          // tick time this delta closed at
+    std::int64_t prev_t_ns = 0;     // previous tick (delta covers the gap)
+    HistogramSnapshot delta;
+    std::int64_t events = 0;
+  };
+  std::int64_t max_window_ns_;
+  std::deque<Bucket> ring_;
+  HistogramSnapshot prev_;
+  std::int64_t prev_events_ = 0;
+  std::int64_t prev_t_ns_ = 0;
+  bool have_prev_ = false;
+};
+
+/// SLO rule set evaluated every tick. A rule with threshold 0 is off.
+/// Rules fire after `trigger_ticks` consecutive violating ticks and clear
+/// after `clear_ticks` consecutive healthy ticks (hysteresis, so one noisy
+/// tick neither raises nor silences an alert).
+struct SloRules {
+  double latency_p99_ms = 0;  // ceiling on trailing-1s p99 frame latency
+  double min_pics_s = 0;      // floor on trailing-1s throughput
+  double max_stall_ms = 0;    // ceiling on the progress-stall age
+  int trigger_ticks = 3;
+  int clear_ticks = 3;
+
+  [[nodiscard]] bool any() const {
+    return latency_p99_ms > 0 || min_pics_s > 0 || max_stall_ms > 0;
+  }
+
+  /// Parses "latency_p99_ms=30,min_pics_s=24,max_stall_ms=500" (any
+  /// subset, comma-separated; optional trigger_ticks=/clear_ticks=).
+  /// False + *error on unknown keys or unparseable numbers.
+  static bool parse(std::string_view text, SloRules& out,
+                    std::string* error = nullptr);
+};
+
+/// One alert: a rule that fired (and possibly cleared again).
+struct Alert {
+  std::string rule;            // "latency_p99_ms" | "min_pics_s" | ...
+  double value = 0;            // measured value at the firing tick
+  double threshold = 0;
+  std::int64_t fired_at_ns = 0;
+  std::int64_t cleared_at_ns = -1;  // -1 while active
+  [[nodiscard]] bool active() const { return cleared_at_ns < 0; }
+};
+
+/// Per-worker slice of a snapshot.
+struct WorkerSample {
+  int id = 0;
+  CellSample cell;
+  double utilization = 0;  // busy-time delta / wall delta over this tick
+};
+
+/// One tick's full state — what a NDJSON line serializes.
+struct LiveSnapshot {
+  static constexpr const char* kSchema = "pmp2-live/1";
+  std::uint64_t seq = 0;
+  std::int64_t t_ns = 0;          // telemetry-epoch time of the tick
+  std::int64_t pictures = 0;      // decoded (worker cells + concealed)
+  std::int64_t displayed = 0;     // emitted in display order
+  std::int64_t queue_depth = 0;
+  std::int64_t scan_bytes = 0;
+  double pics_per_s_total = 0;    // pictures / t
+  double pics_per_s_1s = 0;
+  double pics_per_s_10s = 0;
+  double p50_1s_ms = 0, p95_1s_ms = 0, p99_1s_ms = 0;
+  double p50_10s_ms = 0, p95_10s_ms = 0, p99_10s_ms = 0;
+  double p50_total_ms = 0, p95_total_ms = 0, p99_total_ms = 0;
+  double stall_ms = -1;           // age of newest progress (-1 = none yet)
+  std::vector<WorkerSample> workers;
+  std::vector<Alert> alerts;      // alerts active at this tick
+};
+
+class LiveSampler {
+ public:
+  struct Options {
+    std::int64_t interval_ms = 250;
+    std::int64_t window_short_ms = 1'000;
+    std::int64_t window_long_ms = 10'000;
+    SloRules slo;
+    /// NDJSON snapshot stream: one JSON object per line, appended and
+    /// flushed per tick. A fifo works (the open blocks until a reader
+    /// attaches, as fifos do). Empty = no stream.
+    std::string ndjson_path;
+    /// Prometheus-style text exposition, atomically replaced (write to
+    /// path.tmp + rename) every tick. Empty = off.
+    std::string prometheus_path;
+    /// In-process consumers (pmp2_soak progress, tests).
+    std::function<void(const LiveSnapshot&)> on_snapshot;
+    /// `fired` true when the alert raises, false when it clears.
+    std::function<void(const Alert&, bool fired)> on_alert;
+  };
+
+  LiveSampler(LiveTelemetry& telemetry, Options options);
+  ~LiveSampler();  // stop()s if still running
+
+  /// Spawns the sampler thread. No-op if already started.
+  void start();
+
+  /// Stops the thread after one final tick, so short runs still get a
+  /// closing snapshot. Idempotent.
+  void stop();
+
+  /// The deterministic tick core: samples every cell, advances the
+  /// windows, evaluates the SLO rules and runs the exporters/callbacks.
+  /// Called by the thread with the real clock; tests call it directly
+  /// with synthetic, strictly increasing timestamps.
+  LiveSnapshot sample_at(std::int64_t now_ns);
+
+  /// Every alert that ever fired (active and cleared), in firing order.
+  [[nodiscard]] std::vector<Alert> alert_log() const;
+
+  /// Ticks taken so far.
+  [[nodiscard]] std::uint64_t snapshots() const;
+
+  /// True when every exporter write so far succeeded.
+  [[nodiscard]] bool io_ok() const;
+
+ private:
+  struct RuleState {
+    const char* name;
+    int violating = 0;
+    int healthy = 0;
+    int active_index = -1;  // index into alerts_ while active
+  };
+
+  LiveSnapshot build_snapshot(std::int64_t now_ns);
+  void evaluate_rule(RuleState& state, double value, double threshold,
+                     bool violated, std::int64_t now_ns,
+                     std::vector<Alert>& active);
+  void export_snapshot(const LiveSnapshot& snapshot);
+
+  LiveTelemetry& telemetry_;
+  Options options_;
+
+  // Tick state: owned by whichever single context is ticking (the thread,
+  // or a test driving sample_at). Guarded by tick_mutex_ for the alert_log
+  // accessor.
+  mutable std::mutex tick_mutex_;
+  SlidingWindow window_;
+  std::uint64_t seq_ = 0;
+  std::vector<CellSample> prev_cells_;
+  std::int64_t prev_t_ns_ = -1;
+  std::vector<Alert> alerts_;  // full log; active ones referenced by index
+  RuleState latency_state_{"latency_p99_ms"};
+  RuleState throughput_state_{"min_pics_s"};
+  RuleState stall_state_{"max_stall_ms"};
+
+  std::ofstream ndjson_;
+  bool ndjson_opened_ = false;
+  bool io_ok_ = true;
+
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+/// Serializes one snapshot as a single NDJSON line (no trailing newline).
+void write_snapshot_json(const LiveSnapshot& snapshot, std::ostream& os);
+
+/// The Prometheus-style text exposition of one snapshot.
+[[nodiscard]] std::string prometheus_text(const LiveSnapshot& snapshot);
+
+/// Atomic file replace (write `path`.tmp, rename over `path`); false on
+/// I/O failure.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     std::string_view content);
+
+/// Parses one NDJSON line produced by write_snapshot_json back into a
+/// LiveSnapshot. False (+ *error) on parse failure or schema mismatch —
+/// the read half used by pmp2_top and the round-trip tests.
+[[nodiscard]] bool parse_snapshot(std::string_view line, LiveSnapshot& out,
+                                  std::string* error = nullptr);
+
+}  // namespace pmp2::obs::live

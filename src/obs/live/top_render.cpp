@@ -1,0 +1,110 @@
+#include "obs/live/top_render.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pmp2::obs::live {
+
+namespace {
+
+std::string fixed(double v, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", places, v);
+  return buf;
+}
+
+const char* kReset = "\x1b[0m";
+const char* kBold = "\x1b[1m";
+const char* kGreen = "\x1b[32m";
+const char* kYellow = "\x1b[33m";
+const char* kRed = "\x1b[31m";
+
+}  // namespace
+
+std::string utilization_bar(double frac, int width) {
+  if (width <= 0) return {};
+  frac = std::clamp(frac, 0.0, 1.0);
+  const int filled =
+      static_cast<int>(frac * static_cast<double>(width) + 0.5);
+  std::string bar;
+  bar.reserve(static_cast<std::size_t>(width) + 2);
+  bar.push_back('[');
+  bar.append(static_cast<std::size_t>(filled), '#');
+  bar.append(static_cast<std::size_t>(width - filled), '.');
+  bar.push_back(']');
+  return bar;
+}
+
+std::string render_frame(const LiveSnapshot& snapshot,
+                         const TopOptions& options) {
+  std::ostringstream os;
+  const bool ansi = options.ansi;
+  if (ansi) os << "\x1b[H\x1b[2J";  // home + clear
+
+  const double t_s = static_cast<double>(snapshot.t_ns) / 1e9;
+  if (ansi) os << kBold;
+  os << "pmp2_top  t=" << fixed(t_s, 2) << "s  snapshot #" << snapshot.seq
+     << "\n";
+  if (ansi) os << kReset;
+  os << "pictures " << snapshot.pictures << "  displayed "
+     << snapshot.displayed << "  queue " << snapshot.queue_depth
+     << "  scanned " << snapshot.scan_bytes << " B";
+  if (snapshot.stall_ms >= 0) {
+    os << "  progress-age " << fixed(snapshot.stall_ms, 0) << " ms";
+  }
+  os << "\n";
+  os << "pics/s   total " << fixed(snapshot.pics_per_s_total, 1) << "   1s "
+     << fixed(snapshot.pics_per_s_1s, 1) << "   10s "
+     << fixed(snapshot.pics_per_s_10s, 1) << "\n";
+  os << "latency  window      p50       p95       p99   (ms)\n";
+  const struct {
+    const char* label;
+    double p50, p95, p99;
+  } rows[] = {
+      {"1s ", snapshot.p50_1s_ms, snapshot.p95_1s_ms, snapshot.p99_1s_ms},
+      {"10s", snapshot.p50_10s_ms, snapshot.p95_10s_ms, snapshot.p99_10s_ms},
+      {"all", snapshot.p50_total_ms, snapshot.p95_total_ms,
+       snapshot.p99_total_ms},
+  };
+  for (const auto& row : rows) {
+    os << "         " << row.label << "     " << fixed(row.p50, 2) << "  "
+       << fixed(row.p95, 2) << "  " << fixed(row.p99, 2) << "\n";
+  }
+
+  os << "workers\n";
+  // Bar width: frame width minus the fixed "  w%2d  " prefix and the
+  // " 100% 12345p" suffix, clamped to something usable.
+  const int bar_width = std::clamp(options.width - 26, 8, 60);
+  for (const auto& ws : snapshot.workers) {
+    const int pct = static_cast<int>(ws.utilization * 100.0 + 0.5);
+    if (ansi) {
+      os << (ws.utilization >= 0.85   ? kGreen
+             : ws.utilization >= 0.50 ? kYellow
+                                      : kRed);
+    }
+    char head[16];
+    std::snprintf(head, sizeof head, "  w%-3d ", ws.id);
+    os << head << utilization_bar(ws.utilization, bar_width) << " ";
+    char tail[32];
+    std::snprintf(tail, sizeof tail, "%3d%% %lldp", pct,
+                  static_cast<long long>(ws.cell.pictures));
+    os << tail;
+    if (ansi) os << kReset;
+    os << "\n";
+  }
+
+  if (!snapshot.alerts.empty()) {
+    if (ansi) os << kBold << kRed;
+    os << "alerts\n";
+    for (const auto& alert : snapshot.alerts) {
+      os << "  !! " << alert.rule << " value=" << fixed(alert.value, 2)
+         << " threshold=" << fixed(alert.threshold, 2) << " since t="
+         << fixed(static_cast<double>(alert.fired_at_ns) / 1e9, 2) << "s\n";
+    }
+    if (ansi) os << kReset;
+  }
+  return os.str();
+}
+
+}  // namespace pmp2::obs::live

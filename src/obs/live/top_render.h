@@ -1,0 +1,26 @@
+// Rendering for pmp2_top: turns one pmp2-live/1 snapshot into a terminal
+// frame (per-worker utilization bars, window percentiles, queue depth,
+// active alerts). Pure string-out so tests assert on the frame without a
+// terminal, and the tool replays captured streams byte-for-byte the same
+// way it renders live ones.
+#pragma once
+
+#include <string>
+
+#include "obs/live/sampler.h"
+
+namespace pmp2::obs::live {
+
+struct TopOptions {
+  int width = 80;       // full frame width (bars scale to fit)
+  bool ansi = false;    // color + home/clear escape codes
+};
+
+/// An ASCII utilization bar, `width` cells wide, `frac` in [0,1] filled.
+[[nodiscard]] std::string utilization_bar(double frac, int width);
+
+/// One full frame for the snapshot (multi-line, trailing newline).
+[[nodiscard]] std::string render_frame(const LiveSnapshot& snapshot,
+                                       const TopOptions& options = {});
+
+}  // namespace pmp2::obs::live

@@ -10,20 +10,6 @@ namespace pmp2::obs {
 
 namespace {
 
-/// Bucket index: 0 holds value 0, bucket b holds [2^(b-1), 2^b).
-int bucket_of(std::int64_t value) {
-  if (value <= 0) return 0;
-  return std::bit_width(static_cast<std::uint64_t>(value));
-}
-
-std::int64_t bucket_low(int b) {
-  return b <= 0 ? 0 : std::int64_t{1} << (b - 1);
-}
-
-std::int64_t bucket_high(int b) {
-  return b <= 0 ? 1 : std::int64_t{1} << b;
-}
-
 void update_min(std::atomic<std::int64_t>& slot, std::int64_t value) {
   std::int64_t cur = slot.load(std::memory_order_relaxed);
   while (value < cur &&
@@ -39,6 +25,85 @@ void update_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
 }
 
 }  // namespace
+
+int Histogram::bucket_of(std::int64_t value) {
+  if (value <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(value));
+}
+
+std::int64_t Histogram::bucket_low(int b) {
+  return b <= 0 ? 0 : std::int64_t{1} << (b - 1);
+}
+
+std::int64_t Histogram::bucket_high(int b) {
+  return b <= 0 ? 1 : std::int64_t{1} << b;
+}
+
+void HistogramSnapshot::rederive_range() {
+  min = 0;
+  max = 0;
+  if (count <= 0) return;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (buckets[b] > 0) {
+      min = Histogram::bucket_low(b);
+      break;
+    }
+  }
+  for (int b = Histogram::kBuckets - 1; b >= 0; --b) {
+    if (buckets[b] > 0) {
+      max = Histogram::bucket_high(b) - 1;  // inclusive top of the bucket
+      break;
+    }
+  }
+}
+
+void HistogramSnapshot::add(const HistogramSnapshot& other) {
+  for (int b = 0; b < Histogram::kBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+  rederive_range();
+}
+
+void HistogramSnapshot::subtract(const HistogramSnapshot& older) {
+  // Clamped at zero per field: a cumulative histogram only grows, so a
+  // negative delta can only come from a torn concurrent read — clamping
+  // keeps the window sane (off by at most the in-flight samples).
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    buckets[b] = std::max<std::int64_t>(0, buckets[b] - older.buckets[b]);
+  }
+  count = std::max<std::int64_t>(0, count - older.count);
+  sum = std::max<std::int64_t>(0, sum - older.sum);
+  rederive_range();
+}
+
+double HistogramSnapshot::mean() const {
+  return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  double seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const auto in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket <= 0) continue;
+    if (seen + in_bucket >= target) {
+      const double frac = in_bucket > 0 ? (target - seen) / in_bucket : 0.0;
+      const double lo = static_cast<double>(Histogram::bucket_low(b));
+      const double hi = static_cast<double>(Histogram::bucket_high(b));
+      double v = lo + frac * (hi - lo);
+      // Clamp to the observed range: the top/bottom buckets overshoot it.
+      v = std::max(v, static_cast<double>(min));
+      v = std::min(v, static_cast<double>(max));
+      return v;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max);
+}
 
 void Histogram::record(std::int64_t value) {
   if (value < 0) value = 0;
@@ -67,30 +132,20 @@ double Histogram::mean() const {
   return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
 }
 
-double Histogram::percentile(double q) const {
-  const std::int64_t n = count();
-  if (n <= 0) return 0.0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
-  const double target = q * static_cast<double>(n);
-  double seen = 0;
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
   for (int b = 0; b < kBuckets; ++b) {
-    const auto in_bucket = static_cast<double>(
-        buckets_[b].load(std::memory_order_relaxed));
-    if (in_bucket <= 0) continue;
-    if (seen + in_bucket >= target) {
-      const double frac = in_bucket > 0 ? (target - seen) / in_bucket : 0.0;
-      const double lo = static_cast<double>(bucket_low(b));
-      const double hi = static_cast<double>(bucket_high(b));
-      double v = lo + frac * (hi - lo);
-      // Clamp to the observed range: the top/bottom buckets overshoot it.
-      v = std::max(v, static_cast<double>(min()));
-      v = std::min(v, static_cast<double>(max()));
-      return v;
-    }
-    seen += in_bucket;
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
   }
-  return static_cast<double>(max());
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  return s;
+}
+
+double Histogram::percentile(double q) const {
+  return snapshot().percentile(q);
 }
 
 Counter& Registry::counter(const std::string& name) {

@@ -36,6 +36,44 @@ class Counter {
   std::atomic<std::int64_t> value_{0};
 };
 
+class Histogram;
+
+/// Plain-value copy of a Histogram's state, the unit of the live-telemetry
+/// sliding windows (docs/OBSERVABILITY.md): snapshots of one cumulative
+/// histogram taken at successive sample ticks are subtracted into per-tick
+/// deltas and re-added over a trailing window, yielding windowed
+/// percentiles with the same bucket/interpolation semantics as the live
+/// Histogram itself.
+struct HistogramSnapshot {
+  std::int64_t buckets[64] = {};
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  /// Observed range. Exact when captured by Histogram::snapshot(); after
+  /// subtract()/add() it is re-derived from the occupied bucket bounds
+  /// (exact min/max are not subtractable), which keeps percentile()'s
+  /// clamping within one octave of the true range.
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+
+  /// Merges `other` in (window accumulation); range becomes bucket-bound.
+  void add(const HistogramSnapshot& other);
+
+  /// Subtracts an older snapshot of the same histogram, leaving the delta
+  /// recorded between the two; range becomes bucket-bound.
+  void subtract(const HistogramSnapshot& older);
+
+  [[nodiscard]] double mean() const;
+
+  /// Same algorithm and edge behavior as Histogram::percentile (which
+  /// delegates here): bucket scan, linear interpolation, clamp to
+  /// [min, max], empty -> 0.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  /// Recomputes min/max from the lowest/highest occupied bucket bounds.
+  void rederive_range();
+};
+
 /// Log2-bucketed histogram of non-negative int64 samples (nanoseconds,
 /// bytes). 64 power-of-two buckets cover the full range; percentiles
 /// interpolate linearly within a bucket, so they are exact to within one
@@ -44,7 +82,18 @@ class Histogram {
  public:
   static constexpr int kBuckets = 64;
 
+  /// Bucket index: 0 holds value 0, bucket b holds [2^(b-1), 2^b).
+  [[nodiscard]] static int bucket_of(std::int64_t value);
+  [[nodiscard]] static std::int64_t bucket_low(int b);   // inclusive
+  [[nodiscard]] static std::int64_t bucket_high(int b);  // exclusive
+
   void record(std::int64_t value);
+
+  /// Consistent-enough copy for delta windows: each field is read once
+  /// (relaxed), so a snapshot taken while writers are recording may be
+  /// mid-update by a sample or two — the same tolerance every other
+  /// concurrent reader of this class already accepts.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
 
   [[nodiscard]] std::int64_t count() const {
     return count_.load(std::memory_order_relaxed);

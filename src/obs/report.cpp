@@ -47,6 +47,19 @@ void RunReport::write_json(std::ostream& os) const {
     w.end_object();
   }
   w.end_array();
+  if (!alerts_.empty()) {
+    w.key("alerts").begin_array();
+    for (const auto& alert : alerts_) {
+      w.begin_object();
+      w.key("rule").value(alert.rule);
+      w.key("value").value(alert.value);
+      w.key("threshold").value(alert.threshold);
+      w.key("fired_at_ns").value(alert.fired_at_ns);
+      w.key("cleared_at_ns").value(alert.cleared_at_ns);
+      w.end_object();
+    }
+    w.end_array();
+  }
   if (metrics_) {
     w.key("metrics");
     metrics_->append_json(w);

@@ -51,6 +51,16 @@ class ReportValue {
   std::string string_;
 };
 
+/// One SLO alert surfaced into a run report (the post-mortem record of an
+/// in-flight live-telemetry alert; see docs/OBSERVABILITY.md).
+struct ReportAlert {
+  std::string rule;
+  double value = 0;
+  double threshold = 0;
+  std::int64_t fired_at_ns = 0;
+  std::int64_t cleared_at_ns = -1;  // -1 = still active at run end
+};
+
 class RunReport {
  public:
   /// Versioned schema tag written as the "schema" field of every report.
@@ -82,6 +92,16 @@ class RunReport {
   /// Appends a data point; the reference stays valid (deque storage).
   Row& add_row() { return rows_.emplace_back(); }
 
+  /// Records one SLO alert; serialized as a top-level "alerts" array. The
+  /// array is omitted entirely when no alert was recorded, so reports from
+  /// runs without live SLOs stay byte-identical to earlier versions.
+  RunReport& add_alert(ReportAlert alert) {
+    alerts_.push_back(std::move(alert));
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t alerts() const { return alerts_.size(); }
+
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
   /// Serializes the registry under "metrics"; the registry must outlive
@@ -98,6 +118,7 @@ class RunReport {
   std::string description_;
   std::vector<std::pair<std::string, ReportValue>> meta_;
   std::deque<Row> rows_;
+  std::vector<ReportAlert> alerts_;
   const Registry* metrics_ = nullptr;
 };
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/live/telemetry.h"
+
 namespace pmp2::parallel {
 
 void DisplaySink::push(mpeg2::FramePtr frame) {
@@ -15,6 +17,12 @@ void DisplaySink::push(mpeg2::FramePtr frame) {
     pending_.erase(pending_.begin());
     checksum_ = chain_frame_checksum(checksum_, *f);
     ++next_;
+    if (live_) {
+      // mutex_ serializes every writer of the display cell, satisfying
+      // the seqlock's single-logical-writer requirement.
+      obs::live::TelemetryCell::Write w(live_->display());
+      w.add_pictures().set_last_progress_ns(live_->now_ns());
+    }
     // Emit without the lock (the callback may be slow). The emitting_ flag
     // guarantees a single emitter, so callbacks stay in display order.
     lock.unlock();
@@ -36,6 +44,11 @@ void DisplaySink::set_total(int total_pictures) {
 void DisplaySink::wait_done() {
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return total_known_ && next_ >= total_; });
+}
+
+int DisplaySink::emitted() {
+  const std::scoped_lock lock(mutex_);
+  return next_;
 }
 
 bool DisplaySink::wait_done_for(std::int64_t timeout_ns) {

@@ -13,6 +13,10 @@
 #include "mpeg2/frame.h"
 #include "parallel/stats.h"
 
+namespace pmp2::obs::live {
+class LiveTelemetry;
+}
+
 namespace pmp2::parallel {
 
 using FrameCallback = std::function<void(mpeg2::FramePtr)>;
@@ -55,6 +59,13 @@ class DisplaySink {
   /// Maximum number of pictures that were buffered waiting for reordering.
   [[nodiscard]] std::size_t max_buffered() const { return max_buffered_; }
 
+  /// Live telemetry surface: the display cell is bumped per emitted
+  /// picture (writes serialized by this sink's mutex). Null = no cost.
+  void set_live(obs::live::LiveTelemetry* live) { live_ = live; }
+
+  /// Pictures emitted in display order so far (hang evidence).
+  [[nodiscard]] int emitted();
+
  private:
   int total_ = 0;            // guarded by mutex_ until total_known_
   bool total_known_ = false; // guarded by mutex_
@@ -66,6 +77,7 @@ class DisplaySink {
   bool emitting_ = false;                   // guarded by mutex_
   std::uint64_t checksum_ = 0;              // guarded by mutex_
   std::size_t max_buffered_ = 0;            // guarded by mutex_
+  obs::live::LiveTelemetry* live_ = nullptr;
 };
 
 }  // namespace pmp2::parallel

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mpeg2/structure_scan.h"
+#include "obs/live/telemetry.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "parallel/task_queue.h"
@@ -37,6 +38,7 @@ struct GopObs {
   std::atomic<int>* quarantined = nullptr;
   ErrorLog* errors = nullptr;
   obs::Histogram* h_resync = nullptr;
+  obs::live::LiveTelemetry* live = nullptr;
 };
 
 /// Quarantine fallback for one undecodable picture: synthesize a concealed
@@ -92,10 +94,19 @@ bool decode_gop(std::span<const std::uint8_t> stream,
       bwd_ref = dst;
     }
     display.push(std::move(dst));
+    if (gobs.live) {
+      // The synthesized frame still counts as a delivered picture; this
+      // runs on the owning worker thread, so the cell write is safe.
+      obs::live::TelemetryCell::Write lw(gobs.live->worker(worker));
+      lw.add_pictures().add_quarantined().set_last_progress_ns(
+          gobs.live->now_ns());
+    }
   };
   for (int i = 0; i < static_cast<int>(task.info->pictures.size());
        ++i, ++pic_index) {
     const auto& info = task.info->pictures[static_cast<std::size_t>(i)];
+    const std::int64_t live_begin_ns =
+        gobs.live ? gobs.live->now_ns() : 0;
     pmp2::BitReader br(stream);
     br.seek_bytes(info.offset);
     mpeg2::PictureContext pic;
@@ -181,6 +192,15 @@ bool decode_gop(std::span<const std::uint8_t> stream,
       bwd_ref = dst;
     }
     display.push(std::move(dst));
+    if (gobs.live) {
+      const std::int64_t now = gobs.live->now_ns();
+      const std::int64_t latency = now - live_begin_ns;
+      gobs.live->frame_latency().record(latency);
+      obs::live::TelemetryCell::Write lw(gobs.live->worker(worker));
+      lw.add_pictures().set_last_latency_ns(latency).set_last_progress_ns(
+          now);
+      if (concealed_here > 0) lw.add_concealed(concealed_here);
+    }
   }
   if (damaged && gobs.quarantined) {
     gobs.quarantined->fetch_add(1, std::memory_order_relaxed);
@@ -196,6 +216,10 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   result.stream_bytes = stream.size();
   WallTimer total_timer;
   obs::Tracer* const tracer = config_.tracer;
+  obs::live::LiveTelemetry* const live =
+      config_.live && config_.live->workers() >= config_.workers
+          ? config_.live
+          : nullptr;
 
   // --- Scan process, stage 1: the serial preamble (sequence header up to
   // the first GOP header). Everything after it is scanned incrementally,
@@ -222,6 +246,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   structure.valid = true;
 
   DisplaySink display(on_frame);  // picture count known once the scan ends
+  display.set_live(live);
   mpeg2::FramePool pool(structure.seq.horizontal_size,
                         structure.seq.vertical_size, config_.tracker);
   TaskQueue<GopTask> queue(config_.max_queued_gops);
@@ -255,6 +280,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   gobs.h_resync = config_.metrics
                       ? &config_.metrics->histogram("recover.resync_bytes")
                       : nullptr;
+  gobs.live = live;
 
   std::vector<std::jthread> workers;
   workers.reserve(static_cast<std::size_t>(config_.workers));
@@ -274,6 +300,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
           }
         }
         if (!task) break;
+        if (live) live->add_queue_depth(-1);
         if (h_wait) h_wait->record(stats.sync_ns - sync_before);
         const std::int64_t task_begin = tracer ? tracer->now_ns() : 0;
         ThreadCpuTimer cpu;
@@ -293,6 +320,10 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
         ++stats.tasks;
         if (h_task) h_task->record(task_ns);
         if (m_tasks) m_tasks->add();
+        if (live) {
+          obs::live::TelemetryCell::Write lw(live->worker(w));
+          lw.add_tasks().add_busy_ns(task_ns).set_sync_ns(stats.sync_ns);
+        }
       }
     });
   }
@@ -328,6 +359,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
             const int display_base = total_pictures;
             total_pictures += static_cast<int>(gop.pictures.size());
             gops.push_back(std::move(gop));
+            if (live) live->add_queue_depth(1);
             queue.push(
                 GopTask{&gops.back(), index, display_base, display_base});
           }
@@ -347,6 +379,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
       const int display_base = total_pictures;
       total_pictures += static_cast<int>(gop.pictures.size());
       gops.push_back(std::move(gop));
+      if (live) live->add_queue_depth(1);
       const std::int64_t push_begin = tracer ? tracer->now_ns() : 0;
       const std::int64_t blocked_ns =
           queue.push(GopTask{&gops.back(), index, display_base, display_base});
@@ -355,6 +388,13 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
         // this is backpressure charged to the scan track.
         tracer->emit(config_.workers, obs::SpanKind::kBackpressure,
                      push_begin, push_begin + blocked_ns);
+      }
+      if (live) {
+        obs::live::TelemetryCell::Write lw(live->scan());
+        lw.add_tasks()
+            .set_bytes(static_cast<std::int64_t>(scanner.position()))
+            .set_last_progress_ns(live->now_ns());
+        if (blocked_ns > 0) lw.add_backpressure_ns(blocked_ns);
       }
       ++index;
     }
@@ -400,6 +440,10 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
     // Watchdog: the pipeline stopped delivering pictures. Fail the run
     // (never hang) and record what fired.
     result.hung = true;
+    result.hang.where = "display";
+    result.hang.waited_ns = config_.watchdog_ns;
+    result.hang.pictures_delivered = display.emitted();
+    result.hang.pictures_indexed = total_pictures;
     result.errors.push_back(
         {RecoveryCause::kDisplayTimeout, -1, -1, 0});
     result.wall_s = total_timer.elapsed_s();

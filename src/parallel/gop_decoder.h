@@ -22,6 +22,10 @@ class Registry;
 class Tracer;
 }
 
+namespace pmp2::obs::live {
+class LiveTelemetry;
+}
+
 namespace pmp2::parallel {
 
 struct GopDecoderConfig {
@@ -50,6 +54,12 @@ struct GopDecoderConfig {
   obs::Tracer* tracer = nullptr;
   /// Optional counter/histogram registry ("gop.*" instruments).
   obs::Registry* metrics = nullptr;
+  /// Optional live telemetry surface (docs/OBSERVABILITY.md, "Live
+  /// telemetry"): per-worker cells, scan/display cells, queue depth and
+  /// the shared frame-latency histogram, updated in flight. Must be sized
+  /// with at least `workers` worker cells — an undersized instance is
+  /// ignored rather than written out of range. Null = zero cost.
+  obs::live::LiveTelemetry* live = nullptr;
 };
 
 class GopParallelDecoder {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mpeg2/structure_scan.h"
+#include "obs/live/telemetry.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/timer.h"
@@ -39,6 +40,7 @@ struct Pic {
   bool damaged = false;  // at least one recovery action hit this picture
   int next_slice = 0;
   int remaining = 0;
+  std::int64_t open_ns = -1;  // telemetry time the picture opened
 };
 
 /// Shared scheduling state: the coordinator implements the paper's 2-D
@@ -67,6 +69,10 @@ class Coordinator {
     concealed_pics_ = concealed_pics;
     watchdog_ns_ = watchdog_ns;
   }
+
+  /// Live telemetry surface: frame-latency histogram + open-picture depth
+  /// (decoder-validated against the worker count before being passed in).
+  void set_live(obs::live::LiveTelemetry* live) { live_ = live; }
 
   /// Scan process: appends one GOP's pictures (decode order) and wakes any
   /// workers idling for work. Returns the total picture count so far.
@@ -162,7 +168,9 @@ class Coordinator {
   }
 
   /// Reports a finished slice; completes the picture when it was the last.
-  void finish_slice(const Claim& claim, bool ok) {
+  /// `worker` credits the completing worker's telemetry cell (it runs on
+  /// that worker's thread, preserving the cell's single-writer rule).
+  void finish_slice(const Claim& claim, bool ok, int worker = -1) {
     std::unique_lock lock(mutex_);
     ++epoch_;
     if (!ok) {
@@ -175,11 +183,21 @@ class Coordinator {
       pic.complete = true;
       ++completed_;
       mpeg2::FramePtr done = std::move(pic.dst);
+      const std::int64_t open_ns = pic.open_ns;
       pic.fwd.reset();
       pic.bwd.reset();
       --open_count_;
       lock.unlock();
       display_.push(std::move(done));
+      if (live_ && worker >= 0) {
+        const std::int64_t now = live_->now_ns();
+        const std::int64_t latency = open_ns >= 0 ? now - open_ns : 0;
+        live_->frame_latency().record(latency);
+        live_->add_queue_depth(-1);
+        obs::live::TelemetryCell::Write lw(live_->worker(worker));
+        lw.add_pictures().set_last_latency_ns(latency).set_last_progress_ns(
+            now);
+      }
       lock.lock();
       cv_.notify_all();
     } else if (pic.next_slice < static_cast<int>(pic.info->slices.size())) {
@@ -208,6 +226,13 @@ class Coordinator {
   [[nodiscard]] bool hung() const {
     const std::scoped_lock lock(mutex_);
     return hung_;
+  }
+
+  /// Scheduling epoch at this instant (hang evidence: the counter that
+  /// stopped ticking when the watchdog fired).
+  [[nodiscard]] std::uint64_t epoch() const {
+    const std::scoped_lock lock(mutex_);
+    return epoch_;
   }
 
   /// Distinct GOPs with at least one recovery action.
@@ -257,6 +282,13 @@ class Coordinator {
     record_damage_locked(cause, pic.gop, index, pic.info->offset);
     if (concealed_pics_) {
       concealed_pics_->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (live_) {
+      // Synthesized under the scheduling mutex from whichever thread got
+      // here first — no single owning worker, so the whole-picture
+      // concealment goes to the run-wide atomic, not a worker cell.
+      live_->add_concealed_picture();
+      live_->add_queue_depth(-1);
     }
     conceal_ready_.push_back(std::move(pic.dst));
     ++epoch_;
@@ -337,6 +369,7 @@ class Coordinator {
         newest_ref_ = pic.dst;
       }
       pic.remaining = static_cast<int>(pic.info->slices.size());
+      pic.open_ns = live_ ? live_->now_ns() : -1;
       pic.open = true;
       ++open_count_;
       ++next_to_open_;
@@ -387,6 +420,7 @@ class Coordinator {
   std::atomic<int>* concealed_pics_ = nullptr;
   bool hung_ = false;
   std::uint64_t epoch_ = 0;  // bumps on every scheduling event (watchdog)
+  obs::live::LiveTelemetry* live_ = nullptr;
   std::set<int> damaged_gops_;
   std::vector<mpeg2::FramePtr> conceal_ready_;  // drained by claim()
 
@@ -401,6 +435,10 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   result.stream_bytes = stream.size();
   WallTimer total_timer;
   obs::Tracer* const tracer = config_.tracer;
+  obs::live::LiveTelemetry* const live =
+      config_.live && config_.live->workers() >= config_.workers
+          ? config_.live
+          : nullptr;
 
   // --- Scan process, stage 1: the serial preamble (sequence header up to
   // the first GOP header). The GOP/picture/slice index streams in below,
@@ -427,9 +465,11 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   structure.valid = true;
 
   DisplaySink display(on_frame);  // picture count known once the scan ends
+  display.set_live(live);
   mpeg2::FramePool pool(structure.seq.horizontal_size,
                         structure.seq.vertical_size, config_.tracker);
   Coordinator coord(stream, structure, pool, display);
+  coord.set_live(live);
   coord.set_max_open(config_.policy == SlicePolicy::kSimple
                          ? 1
                          : std::max(1, config_.max_open_pictures));
@@ -499,6 +539,7 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
           }
           if (h_task) h_task->record(task_ns);
           if (m_tasks) m_tasks->add();
+          bool concealed_this = false;
           if (!r.ok && conceal_slices) {
             // Patch the damaged rows from the forward reference and keep
             // the pipeline running.
@@ -516,9 +557,15 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
                            tracer->now_ns(), claim.pic_index, claim.slice);
             }
             if (m_concealed) m_concealed->add();
+            concealed_this = true;
             r.ok = true;
           }
-          coord.finish_slice(claim, r.ok);
+          if (live) {
+            obs::live::TelemetryCell::Write lw(live->worker(w));
+            lw.add_tasks().add_busy_ns(task_ns).set_sync_ns(stats.sync_ns);
+            if (concealed_this) lw.add_concealed(1);
+          }
+          coord.finish_slice(claim, r.ok, w);
           if (!r.ok) break;
         }
       });
@@ -578,7 +625,16 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
         batch.push_back(pic);
       }
       display_base += static_cast<int>(g.pictures.size());
+      if (live) {
+        live->add_queue_depth(static_cast<std::int64_t>(g.pictures.size()));
+      }
       total_pictures = coord.append(std::move(batch));
+      if (live) {
+        obs::live::TelemetryCell::Write lw(live->scan());
+        lw.add_tasks()
+            .set_bytes(static_cast<std::int64_t>(scanner.position()))
+            .set_last_progress_ns(live->now_ns());
+      }
       ++gop_index;
     };
     for (;;) {
@@ -624,6 +680,13 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   result.concealed_pictures = concealed_pics.load(std::memory_order_relaxed);
   result.quarantined_gops = coord.damaged_gop_count();
   result.hung = coord.hung();
+  if (result.hung) {
+    result.hang.where = "coordinator";
+    result.hang.waited_ns = config_.watchdog_ns;
+    result.hang.epoch = static_cast<std::int64_t>(coord.epoch());
+    result.hang.pictures_delivered = display.emitted();
+    result.hang.pictures_indexed = total_pictures;
+  }
   errors.drain(result.errors, result.errors_dropped);
   const auto record_recovery_metrics = [&] {
     if (!config_.metrics) return;
@@ -653,6 +716,11 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
     // Watchdog: the pipeline stopped delivering pictures. Fail the run
     // (never hang) and record what fired.
     result.hung = true;
+    result.hang.where = "display";
+    result.hang.waited_ns = config_.watchdog_ns;
+    result.hang.epoch = static_cast<std::int64_t>(coord.epoch());
+    result.hang.pictures_delivered = display.emitted();
+    result.hang.pictures_indexed = total_pictures;
     result.errors.push_back({RecoveryCause::kDisplayTimeout, -1, -1, 0});
     result.wall_s = total_timer.elapsed_s();
     if (config_.tracker) {

@@ -32,6 +32,10 @@ class Registry;
 class Tracer;
 }
 
+namespace pmp2::obs::live {
+class LiveTelemetry;
+}
+
 namespace pmp2::parallel {
 
 enum class SlicePolicy {
@@ -65,6 +69,12 @@ struct SliceDecoderConfig {
   obs::Tracer* tracer = nullptr;
   /// Optional counter/histogram registry ("slice.*" instruments).
   obs::Registry* metrics = nullptr;
+  /// Optional live telemetry surface (docs/OBSERVABILITY.md, "Live
+  /// telemetry"): per-worker cells, scan/display cells, open-picture depth
+  /// and the shared frame-latency histogram, updated in flight. Must be
+  /// sized with at least `workers` worker cells — an undersized instance
+  /// is ignored rather than written out of range. Null = zero cost.
+  obs::live::LiveTelemetry* live = nullptr;
 };
 
 class SliceParallelDecoder {

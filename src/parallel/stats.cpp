@@ -1,10 +1,21 @@
 #include "parallel/stats.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "mpeg2/frame.h"
 
 namespace pmp2::parallel {
+
+std::string HangEvidence::to_string() const {
+  std::ostringstream os;
+  os << "hang: no progress at the " << (where.empty() ? "unknown" : where)
+     << " stage for " << waited_ns / 1'000'000 << " ms; "
+     << pictures_delivered << "/" << pictures_indexed
+     << " pictures delivered";
+  if (epoch >= 0) os << "; scheduling epoch " << epoch;
+  return os.str();
+}
 
 std::string_view recovery_cause_name(RecoveryCause cause) {
   switch (cause) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -80,6 +81,18 @@ class ErrorLog {
   int dropped_ = 0;
 };
 
+/// Last-known pipeline state captured when a watchdog or display deadline
+/// fires (RunResult::hung). The harnesses print this to stderr so a hung
+/// run leaves evidence, not just a nonzero exit code.
+struct HangEvidence {
+  std::string where;           // "display" | "coordinator"
+  std::int64_t waited_ns = 0;  // the deadline that expired
+  std::int64_t epoch = -1;     // coordinator scheduling epoch (slice decoder)
+  int pictures_delivered = 0;  // emitted in display order before the stall
+  int pictures_indexed = 0;    // pictures the scan had indexed by then
+  [[nodiscard]] std::string to_string() const;
+};
+
 struct RunResult {
   bool ok = false;
   double wall_s = 0.0;      // total decode wall time (excluding nothing)
@@ -92,6 +105,7 @@ struct RunResult {
   int concealed_pictures = 0;  // whole pictures synthesized by quarantine
   int quarantined_gops = 0;  // distinct GOPs with at least one recovery
   bool hung = false;  // a watchdog/display deadline fired (run incomplete)
+  HangEvidence hang;  // what the watchdog saw (meaningful only when hung)
   std::vector<ErrorRecord> errors;  // capped at ErrorLog::kMaxRecords
   int errors_dropped = 0;           // records beyond the cap
   std::vector<WorkerStats> workers;

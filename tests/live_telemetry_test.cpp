@@ -1,0 +1,463 @@
+// Live telemetry subsystem tests (docs/OBSERVABILITY.md, "Live
+// telemetry"): seqlock snapshot consistency under a writer storm (this is
+// the test scripts/ci.sh runs under TSan to hold the data-race-free
+// claim), sliding-window percentiles against an offline oracle, bucket
+// expiry at the window boundary, SLO hysteresis driven with synthetic
+// timestamps, and the NDJSON / Prometheus export round-trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/live/sampler.h"
+#include "obs/live/telemetry.h"
+#include "obs/metrics.h"
+
+namespace pmp2::obs::live {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+// ---------------------------------------------------------------------------
+// TelemetryCell seqlock
+
+TEST(TelemetryCell, WriterStormSnapshotsStayConsistent) {
+  // One writer keeps a cross-field invariant inside every Write generation:
+  // tasks = 2*pictures, busy_ns = 3*pictures, last_latency_ns =
+  // 5*pictures. Readers hammering sample() must never observe a snapshot
+  // that breaks it — that is exactly the torn read the seqlock exists to
+  // prevent, and a relaxed-ordering bug here is what the TSan CI stage
+  // catches.
+  TelemetryCell cell;
+  constexpr std::int64_t kWrites = 200'000;
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (std::int64_t i = 1; i <= kWrites; ++i) {
+      TelemetryCell::Write w(cell);
+      w.add_pictures(1)
+          .add_tasks(2)
+          .add_busy_ns(3)
+          .set_last_latency_ns(5 * i)
+          .set_last_progress_ns(7 * i);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<std::int64_t> samples_taken{0};
+  std::atomic<bool> consistent{true};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const CellSample s = cell.sample();
+        if (s.tasks != 2 * s.pictures || s.busy_ns != 3 * s.pictures ||
+            s.last_latency_ns != 5 * s.pictures ||
+            (s.pictures > 0 && s.last_progress_ns != 7 * s.pictures)) {
+          consistent.store(false, std::memory_order_relaxed);
+        }
+        samples_taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_TRUE(consistent.load()) << "torn snapshot observed";
+  EXPECT_GT(samples_taken.load(), 0);
+  const CellSample final = cell.sample();
+  EXPECT_EQ(final.pictures, kWrites);
+  EXPECT_EQ(final.tasks, 2 * kWrites);
+  EXPECT_EQ(final.busy_ns, 3 * kWrites);
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindow
+
+TEST(SlidingWindow, WindowedHistogramMatchesOfflineOracle) {
+  // Feed one cumulative histogram tick by tick, then check the trailing
+  // window against an oracle histogram built offline from exactly the
+  // values recorded inside the window. Bucket contents, count, and sum
+  // must match structurally; percentiles agree to within one octave (the
+  // delta snapshots clamp min/max to bucket bounds, so exact equality is
+  // not promised).
+  Histogram live;
+  SlidingWindow window(10 * kSecond);
+  const std::vector<std::vector<std::int64_t>> per_tick = {
+      {1'000, 2'000},                    // t = 1 s
+      {4'000, 8'000, 16'000},            // t = 2 s
+      {3'000},                           // t = 3 s
+      {700, 900, 1'100, 250'000},        // t = 4 s
+      {5'000, 6'000, 7'000},             // t = 5 s
+  };
+  std::int64_t recorded = 0;
+  for (std::size_t k = 0; k < per_tick.size(); ++k) {
+    for (const std::int64_t v : per_tick[k]) {
+      live.record(v);
+      ++recorded;
+    }
+    window.push(static_cast<std::int64_t>(k + 1) * kSecond,
+                live.snapshot(), recorded);
+  }
+
+  // Trailing 3 s at now = 5 s: ticks with t in (2 s, 5 s] = ticks 3..5.
+  const auto view = window.over(5 * kSecond, 3 * kSecond);
+  Histogram oracle;
+  std::int64_t oracle_events = 0;
+  for (std::size_t k = 2; k < per_tick.size(); ++k) {
+    for (const std::int64_t v : per_tick[k]) {
+      oracle.record(v);
+      ++oracle_events;
+    }
+  }
+  const HistogramSnapshot want = oracle.snapshot();
+  EXPECT_EQ(view.events, oracle_events);
+  EXPECT_EQ(view.hist.count, want.count);
+  EXPECT_EQ(view.hist.sum, want.sum);
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(view.hist.buckets[b], want.buckets[b]) << "bucket " << b;
+  }
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double got = view.hist.percentile(q);
+    const double exact = want.percentile(q);
+    EXPECT_GE(got, exact / 2 - 1) << "q=" << q;
+    EXPECT_LE(got, exact * 2 + 1) << "q=" << q;
+  }
+  // The window covers exactly the last 3 s.
+  EXPECT_EQ(view.span_ns, 3 * kSecond);
+}
+
+TEST(SlidingWindow, TickAtWindowEdgeIsExcluded) {
+  Histogram live;
+  SlidingWindow window(10 * kSecond);
+  std::int64_t events = 0;
+  for (int k = 1; k <= 3; ++k) {
+    live.record(1'000);
+    window.push(k * kSecond, live.snapshot(), ++events);
+  }
+  // window = 2 s at now = 3 s: start = 1 s; the tick stamped exactly 1 s
+  // is outside (t_ns <= start), ticks 2 and 3 are in.
+  const auto two = window.over(3 * kSecond, 2 * kSecond);
+  EXPECT_EQ(two.events, 2);
+  EXPECT_EQ(two.span_ns, 2 * kSecond);
+  // window = 1 s: only the newest tick.
+  const auto one = window.over(3 * kSecond, 1 * kSecond);
+  EXPECT_EQ(one.events, 1);
+  EXPECT_EQ(one.span_ns, 1 * kSecond);
+}
+
+TEST(SlidingWindow, BucketsExpirePastTheLongestWindow) {
+  Histogram live;
+  SlidingWindow window(10 * kSecond);
+  std::int64_t events = 0;
+  for (int k = 1; k <= 30; ++k) {
+    live.record(1'000);
+    window.push(k * kSecond, live.snapshot(), ++events);
+    // A bucket expires once its tick time is a full max-window old, so at
+    // 1 Hz the ring holds at most 10 live ticks (plus the one just
+    // pushed before expiry runs).
+    EXPECT_LE(window.buckets(), 10u) << "after tick " << k;
+  }
+  // The 10 s view still sees every surviving tick's delta.
+  const auto view = window.over(30 * kSecond, 10 * kSecond);
+  EXPECT_EQ(view.events, 10);
+  EXPECT_EQ(view.hist.count, 10);
+}
+
+// ---------------------------------------------------------------------------
+// SloRules parsing
+
+TEST(SloRules, ParsesFullSpecAndRejectsJunk) {
+  SloRules rules;
+  std::string error;
+  ASSERT_TRUE(SloRules::parse(
+      "latency_p99_ms=30,min_pics_s=24,max_stall_ms=500,"
+      "trigger_ticks=2,clear_ticks=4",
+      rules, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(rules.latency_p99_ms, 30);
+  EXPECT_DOUBLE_EQ(rules.min_pics_s, 24);
+  EXPECT_DOUBLE_EQ(rules.max_stall_ms, 500);
+  EXPECT_EQ(rules.trigger_ticks, 2);
+  EXPECT_EQ(rules.clear_ticks, 4);
+  EXPECT_TRUE(rules.any());
+
+  SloRules empty;
+  ASSERT_TRUE(SloRules::parse("", empty, &error));
+  EXPECT_FALSE(empty.any());
+
+  EXPECT_FALSE(SloRules::parse("bogus_rule=1", rules, &error));
+  EXPECT_NE(error.find("bogus_rule"), std::string::npos) << error;
+  EXPECT_FALSE(SloRules::parse("min_pics_s=abc", rules, &error));
+  EXPECT_FALSE(SloRules::parse("min_pics_s", rules, &error));
+}
+
+// ---------------------------------------------------------------------------
+// SLO hysteresis (sample_at with synthetic clocks — no sampler thread)
+
+/// Completes `n` pictures on worker 0 at time `t_ns`, each with the given
+/// frame latency.
+void complete_pictures(LiveTelemetry& telemetry, int n,
+                       std::int64_t latency_ns, std::int64_t t_ns) {
+  TelemetryCell::Write w(telemetry.worker(0));
+  w.add_pictures(n).set_last_latency_ns(latency_ns).set_last_progress_ns(
+      t_ns);
+  for (int i = 0; i < n; ++i) {
+    telemetry.frame_latency().record(latency_ns);
+  }
+}
+
+TEST(LiveSampler, ThroughputAlertFiresAndClearsWithHysteresis) {
+  LiveTelemetry telemetry(1);
+  LiveSampler::Options options;
+  options.slo.min_pics_s = 10;
+  options.slo.trigger_ticks = 2;
+  options.slo.clear_ticks = 2;
+  int fired = 0, cleared = 0;
+  options.on_alert = [&](const Alert&, bool up) {
+    (up ? fired : cleared) += 1;
+  };
+  LiveSampler sampler(telemetry, options);
+
+  // Two healthy ticks at 20 pics/s.
+  complete_pictures(telemetry, 20, 1'000'000, 1 * kSecond);
+  auto s = sampler.sample_at(1 * kSecond);
+  EXPECT_TRUE(s.alerts.empty());
+  complete_pictures(telemetry, 20, 1'000'000, 2 * kSecond);
+  s = sampler.sample_at(2 * kSecond);
+  EXPECT_TRUE(s.alerts.empty());
+
+  // Throughput collapses: first violating tick must NOT fire (trigger=2)…
+  s = sampler.sample_at(3 * kSecond);
+  EXPECT_TRUE(s.alerts.empty());
+  EXPECT_EQ(fired, 0);
+  // …the second one does.
+  s = sampler.sample_at(4 * kSecond);
+  ASSERT_EQ(s.alerts.size(), 1u);
+  EXPECT_EQ(s.alerts[0].rule, "min_pics_s");
+  EXPECT_TRUE(s.alerts[0].active());
+  EXPECT_EQ(s.alerts[0].fired_at_ns, 4 * kSecond);
+  EXPECT_EQ(fired, 1);
+
+  // One healthy tick keeps the alert active (clear=2)…
+  complete_pictures(telemetry, 20, 1'000'000, 5 * kSecond);
+  s = sampler.sample_at(5 * kSecond);
+  ASSERT_EQ(s.alerts.size(), 1u);
+  EXPECT_EQ(cleared, 0);
+  // …the second healthy tick clears it.
+  complete_pictures(telemetry, 20, 1'000'000, 6 * kSecond);
+  s = sampler.sample_at(6 * kSecond);
+  EXPECT_TRUE(s.alerts.empty());
+  EXPECT_EQ(cleared, 1);
+
+  const auto log = sampler.alert_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].rule, "min_pics_s");
+  EXPECT_EQ(log[0].fired_at_ns, 4 * kSecond);
+  EXPECT_EQ(log[0].cleared_at_ns, 6 * kSecond);
+  EXPECT_FALSE(log[0].active());
+}
+
+TEST(LiveSampler, StallAlertNeedsOutstandingWork) {
+  LiveTelemetry telemetry(1);
+  LiveSampler::Options options;
+  options.slo.max_stall_ms = 100;
+  options.slo.trigger_ticks = 1;
+  options.slo.clear_ticks = 1;
+  LiveSampler sampler(telemetry, options);
+
+  // Progress at t=1 s, then silence. With nothing queued and everything
+  // displayed, an old last-progress stamp is a finished run, not a stall.
+  complete_pictures(telemetry, 1, 1'000'000, 1 * kSecond);
+  {
+    TelemetryCell::Write w(telemetry.display());
+    w.add_pictures(1).set_last_progress_ns(1 * kSecond);
+  }
+  auto s = sampler.sample_at(2 * kSecond);
+  EXPECT_GT(s.stall_ms, 100);
+  EXPECT_TRUE(s.alerts.empty()) << "no outstanding work, must not alarm";
+
+  // The same silence with work outstanding IS a stall.
+  telemetry.add_queue_depth(1);
+  s = sampler.sample_at(3 * kSecond);
+  ASSERT_EQ(s.alerts.size(), 1u);
+  EXPECT_EQ(s.alerts[0].rule, "max_stall_ms");
+
+  // Fresh progress clears it.
+  telemetry.add_queue_depth(-1);
+  complete_pictures(telemetry, 1, 1'000'000, 4 * kSecond);
+  s = sampler.sample_at(4 * kSecond);
+  EXPECT_TRUE(s.alerts.empty());
+}
+
+TEST(LiveSampler, LatencyAlertOnlyArmsWithWindowSamples) {
+  LiveTelemetry telemetry(1);
+  LiveSampler::Options options;
+  options.slo.latency_p99_ms = 10;
+  options.slo.trigger_ticks = 1;
+  options.slo.clear_ticks = 1;
+  LiveSampler sampler(telemetry, options);
+
+  // Empty run: p99 = 0, nothing to judge, no alert.
+  auto s = sampler.sample_at(1 * kSecond);
+  EXPECT_TRUE(s.alerts.empty());
+
+  // 50 ms frames blow through a 10 ms ceiling immediately (trigger=1).
+  complete_pictures(telemetry, 5, 50'000'000, 2 * kSecond);
+  s = sampler.sample_at(2 * kSecond);
+  ASSERT_EQ(s.alerts.size(), 1u);
+  EXPECT_EQ(s.alerts[0].rule, "latency_p99_ms");
+  EXPECT_GT(s.alerts[0].value, 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Export round-trips
+
+/// A sampler tick over real-looking telemetry, for the exporters.
+LiveSnapshot sample_fixture(LiveTelemetry& telemetry,
+                            LiveSampler& sampler) {
+  {
+    TelemetryCell::Write w(telemetry.worker(0));
+    w.add_pictures(3).add_tasks(3).add_busy_ns(900'000'000)
+        .set_sync_ns(1'000'000).set_last_latency_ns(20'000'000)
+        .set_last_progress_ns(kSecond - 1'000'000);
+  }
+  {
+    TelemetryCell::Write w(telemetry.worker(1));
+    w.add_pictures(2).add_tasks(2).add_busy_ns(400'000'000)
+        .add_concealed(1).add_quarantined(1);
+  }
+  {
+    TelemetryCell::Write w(telemetry.scan());
+    w.add_tasks(2).set_bytes(123'456).set_last_progress_ns(kSecond / 2);
+  }
+  {
+    TelemetryCell::Write w(telemetry.display());
+    w.add_pictures(4).set_last_progress_ns(kSecond - 2'000'000);
+  }
+  telemetry.add_queue_depth(3);
+  for (const std::int64_t v :
+       {5'000'000, 10'000'000, 20'000'000, 20'000'000, 40'000'000}) {
+    telemetry.frame_latency().record(v);
+  }
+  return sampler.sample_at(kSecond);
+}
+
+TEST(Exporters, NdjsonRoundTripPreservesEveryField) {
+  LiveTelemetry telemetry(2);
+  LiveSampler::Options options;
+  LiveSampler sampler(telemetry, options);
+  const LiveSnapshot snapshot = sample_fixture(telemetry, sampler);
+
+  std::ostringstream os;
+  write_snapshot_json(snapshot, os);
+  LiveSnapshot back;
+  std::string error;
+  ASSERT_TRUE(parse_snapshot(os.str(), back, &error)) << error;
+
+  EXPECT_EQ(back.seq, snapshot.seq);
+  EXPECT_EQ(back.t_ns, snapshot.t_ns);
+  EXPECT_EQ(back.pictures, snapshot.pictures);
+  EXPECT_EQ(back.displayed, snapshot.displayed);
+  EXPECT_EQ(back.queue_depth, snapshot.queue_depth);
+  EXPECT_EQ(back.scan_bytes, snapshot.scan_bytes);
+  EXPECT_DOUBLE_EQ(back.pics_per_s_total, snapshot.pics_per_s_total);
+  EXPECT_DOUBLE_EQ(back.pics_per_s_1s, snapshot.pics_per_s_1s);
+  EXPECT_DOUBLE_EQ(back.p50_1s_ms, snapshot.p50_1s_ms);
+  EXPECT_DOUBLE_EQ(back.p95_10s_ms, snapshot.p95_10s_ms);
+  EXPECT_DOUBLE_EQ(back.p99_total_ms, snapshot.p99_total_ms);
+  EXPECT_DOUBLE_EQ(back.stall_ms, snapshot.stall_ms);
+  ASSERT_EQ(back.workers.size(), snapshot.workers.size());
+  for (std::size_t w = 0; w < back.workers.size(); ++w) {
+    const auto& got = back.workers[w];
+    const auto& want = snapshot.workers[w];
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.cell.pictures, want.cell.pictures);
+    EXPECT_EQ(got.cell.tasks, want.cell.tasks);
+    EXPECT_EQ(got.cell.busy_ns, want.cell.busy_ns);
+    EXPECT_EQ(got.cell.sync_ns, want.cell.sync_ns);
+    EXPECT_EQ(got.cell.concealed, want.cell.concealed);
+    EXPECT_EQ(got.cell.quarantined, want.cell.quarantined);
+    EXPECT_EQ(got.cell.last_latency_ns, want.cell.last_latency_ns);
+    EXPECT_EQ(got.cell.last_progress_ns, want.cell.last_progress_ns);
+    EXPECT_DOUBLE_EQ(got.utilization, want.utilization);
+  }
+  EXPECT_EQ(back.alerts.size(), snapshot.alerts.size());
+}
+
+TEST(Exporters, ParseRejectsForeignSchemaAndJunk) {
+  LiveSnapshot out;
+  std::string error;
+  EXPECT_FALSE(parse_snapshot("{\"schema\":\"pmp2-live/999\"}", out, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  EXPECT_FALSE(parse_snapshot("not json at all", out, &error));
+  EXPECT_FALSE(parse_snapshot("[1,2,3]", out, &error));
+}
+
+TEST(Exporters, PrometheusTextCoversEveryInstrument) {
+  LiveTelemetry telemetry(2);
+  LiveSampler::Options options;
+  options.slo.min_pics_s = 1'000;  // guaranteed violation once armed
+  options.slo.trigger_ticks = 1;
+  options.slo.clear_ticks = 1;
+  LiveSampler sampler(telemetry, options);
+  const LiveSnapshot snapshot = sample_fixture(telemetry, sampler);
+  ASSERT_FALSE(snapshot.alerts.empty());
+
+  const std::string text = prometheus_text(snapshot);
+  for (const char* needle :
+       {"pmp2_live_seq 1", "pmp2_pictures_total ", "pmp2_queue_depth 3",
+        "pmp2_pics_per_second{window=\"1s\"}",
+        "pmp2_frame_latency_ms{window=\"10s\",quantile=\"0.99\"}",
+        "pmp2_worker_utilization{worker=\"1\"}", "pmp2_stall_ms ",
+        "pmp2_alert_active{rule=\"min_pics_s\"} 1"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+
+  const std::string path = ::testing::TempDir() + "pmp2_prom_test.txt";
+  ASSERT_TRUE(write_file_atomic(path, text));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream read_back;
+  read_back << in.rdbuf();
+  EXPECT_EQ(read_back.str(), text);
+  std::remove(path.c_str());
+}
+
+TEST(Exporters, SamplerStreamsNdjsonToFile) {
+  const std::string path = ::testing::TempDir() + "pmp2_live_test.ndjson";
+  LiveTelemetry telemetry(1);
+  LiveSampler::Options options;
+  options.ndjson_path = path;
+  LiveSampler sampler(telemetry, options);
+  complete_pictures(telemetry, 4, 2'000'000, kSecond);
+  sampler.sample_at(1 * kSecond);
+  complete_pictures(telemetry, 4, 2'000'000, 2 * kSecond);
+  sampler.sample_at(2 * kSecond);
+  EXPECT_TRUE(sampler.io_ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int valid = 0;
+  std::int64_t last_pictures = -1;
+  while (std::getline(in, line)) {
+    LiveSnapshot snapshot;
+    std::string error;
+    ASSERT_TRUE(parse_snapshot(line, snapshot, &error)) << error;
+    ++valid;
+    last_pictures = snapshot.pictures;
+  }
+  EXPECT_EQ(valid, 2);
+  EXPECT_EQ(last_pictures, 8);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pmp2::obs::live

@@ -128,6 +128,38 @@ TEST(DisplaySink, ChecksumOrderSensitive) {
   EXPECT_NE(a.checksum(), b.checksum());
 }
 
+TEST(DisplaySink, WatchdogTripsWhenPicturesGoMissing) {
+  // The display watchdog behind RunResult::hung: pictures are owed but
+  // none arrive, so the progress-based deadline returns false instead of
+  // blocking forever.
+  DisplaySink sink(3, {});
+  sink.push(make_frame(0, 0));
+  sink.push(make_frame(1, 1));
+  EXPECT_FALSE(sink.wait_done_for(20'000'000));  // picture 2 never came
+  EXPECT_EQ(sink.emitted(), 2);
+  // A late delivery satisfies a subsequent wait.
+  sink.push(make_frame(2, 2));
+  EXPECT_TRUE(sink.wait_done_for(20'000'000));
+  EXPECT_EQ(sink.emitted(), 3);
+}
+
+TEST(HangEvidence, ToStringCarriesWatchdogState) {
+  // The evidence line parallel_playback / pmp2_soak print on a hung exit.
+  HangEvidence hang;
+  hang.where = "display";
+  hang.waited_ns = 250'000'000;
+  hang.pictures_delivered = 7;
+  hang.pictures_indexed = 13;
+  std::string text = hang.to_string();
+  EXPECT_NE(text.find("display"), std::string::npos) << text;
+  EXPECT_NE(text.find("250 ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("7/13"), std::string::npos) << text;
+  EXPECT_EQ(text.find("epoch"), std::string::npos) << text;
+  hang.epoch = 42;  // the coordinator branch adds its scheduling epoch
+  text = hang.to_string();
+  EXPECT_NE(text.find("scheduling epoch 42"), std::string::npos) << text;
+}
+
 TEST(DisplaySink, ConcurrentPushers) {
   std::atomic<int> emitted{0};
   std::vector<int> order;

@@ -29,12 +29,15 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "inject/degrade.h"
 #include "inject/fault.h"
+#include "obs/live/sampler.h"
+#include "obs/live/telemetry.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "parallel/gop_decoder.h"
@@ -127,6 +130,9 @@ struct DecodeSetup {
   int workers = 4;
   std::int64_t watchdog_ns = 0;
   obs::Registry* metrics = nullptr;
+  // One soak-wide live surface shared by every iteration (same worker
+  // indices each run), so --live-out shows soak progress across streams.
+  obs::live::LiveTelemetry* live = nullptr;
 };
 
 parallel::RunResult decode_gop_mode(std::span<const std::uint8_t> stream,
@@ -137,6 +143,7 @@ parallel::RunResult decode_gop_mode(std::span<const std::uint8_t> stream,
   config.quarantine_gops = recover;
   config.watchdog_ns = setup.watchdog_ns;
   config.metrics = setup.metrics;
+  config.live = setup.live;
   return parallel::GopParallelDecoder(config).decode(stream, cb);
 }
 
@@ -148,6 +155,7 @@ parallel::RunResult decode_slice_mode(std::span<const std::uint8_t> stream,
   config.quarantine_gops = recover;
   config.watchdog_ns = setup.watchdog_ns;
   config.metrics = setup.metrics;
+  config.live = setup.live;
   return parallel::SliceParallelDecoder(config).decode(stream, cb);
 }
 
@@ -159,8 +167,9 @@ bool check_run(const parallel::RunResult& r, SoakStream& stream,
   bool ok = true;
   if (r.hung) {
     std::fprintf(stderr,
-                 "VIOLATION hang: stream=%s fault=%s decoder=%s\n",
-                 stream.name.c_str(), fault.name().c_str(), decoder);
+                 "VIOLATION hang: stream=%s fault=%s decoder=%s (%s)\n",
+                 stream.name.c_str(), fault.name().c_str(), decoder,
+                 r.hang.to_string().c_str());
     ok = false;
   }
   if (!r.ok && !r.hung && r.errors.empty() && r.pictures > 0) {
@@ -198,6 +207,41 @@ int main(int argc, char** argv) {
       flags.get_int("watchdog-ms", 10'000) * std::int64_t{1'000'000};
   obs::Registry metrics;
   setup.metrics = &metrics;
+
+  // Live telemetry: one soak-wide surface shared by every iteration, so a
+  // pmp2_top attached to --live-out follows the whole fuzz run.
+  const std::string live_out = flags.get_string("live-out", "");
+  const std::string prom_out = flags.get_string("prom-out", "");
+  const std::int64_t live_interval_ms =
+      flags.get_int("live-interval-ms", 250);
+  obs::live::SloRules slo;
+  const std::string slo_spec = flags.get_string("slo", "");
+  if (!slo_spec.empty()) {
+    std::string error;
+    if (!obs::live::SloRules::parse(slo_spec, slo, &error)) {
+      std::fprintf(stderr, "pmp2_soak: bad --slo: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  std::unique_ptr<obs::live::LiveTelemetry> live;
+  std::unique_ptr<obs::live::LiveSampler> sampler;
+  if (!live_out.empty() || !prom_out.empty() || slo.any()) {
+    live = std::make_unique<obs::live::LiveTelemetry>(setup.workers);
+    obs::live::LiveSampler::Options live_options;
+    live_options.interval_ms = live_interval_ms;
+    live_options.slo = slo;
+    live_options.ndjson_path = live_out;
+    live_options.prometheus_path = prom_out;
+    live_options.on_alert = [](const obs::live::Alert& alert, bool fired) {
+      std::fprintf(stderr,
+                   "live-alert %s: %s value=%.3f threshold=%.3f\n",
+                   fired ? "FIRED" : "cleared", alert.rule.c_str(),
+                   alert.value, alert.threshold);
+    };
+    sampler = std::make_unique<obs::live::LiveSampler>(*live, live_options);
+    sampler->start();
+    setup.live = live.get();
+  }
 
   std::vector<SoakStream> streams = collect_streams(flags);
   if (streams.empty()) {
@@ -312,11 +356,26 @@ int main(int argc, char** argv) {
   metrics.counter("soak.violations").add(violations);
   metrics.counter("soak.degraded_runs").add(degraded_total);
 
+  if (sampler) sampler->stop();
+
   obs::RunReport report("pmp2_soak", "fault-injection soak over Table 1");
   report.set_meta("seed", static_cast<std::int64_t>(seed));
   report.set_meta("budget_s", budget_s);
   report.set_meta("workers", setup.workers);
   report.set_meta("violations", violations);
+  if (sampler) {
+    report.set_meta("live_snapshots",
+                    static_cast<std::int64_t>(sampler->snapshots()));
+    for (const auto& alert : sampler->alert_log()) {
+      report.add_alert({alert.rule, alert.value, alert.threshold,
+                        alert.fired_at_ns, alert.cleared_at_ns});
+    }
+    if (!live_out.empty()) {
+      std::printf("wrote %s (%llu snapshots); watch with tools/pmp2_top\n",
+                  live_out.c_str(),
+                  static_cast<unsigned long long>(sampler->snapshots()));
+    }
+  }
   for (const auto& s : streams) {
     report.add_row()
         .set("stream", s.name)
@@ -329,5 +388,9 @@ int main(int argc, char** argv) {
   report.attach_metrics(&metrics);
   const int finish_rc = bench::finish(flags, report);
   if (finish_rc != 0) return finish_rc;
+  if (sampler && !sampler->io_ok()) {
+    std::fprintf(stderr, "pmp2_soak: live exporter I/O failed\n");
+    return 1;
+  }
   return violations > 0 ? 1 : 0;
 }

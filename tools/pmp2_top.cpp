@@ -1,0 +1,138 @@
+// pmp2_top: terminal monitor for the live telemetry snapshot stream
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+// Tails an NDJSON file or fifo produced by --live-out (parallel_playback,
+// pmp2_soak) and renders each pmp2-live/1 snapshot as a terminal frame:
+// per-worker utilization bars, trailing-window latency percentiles, queue
+// depth and active alerts. Three modes:
+//
+//   pmp2_top live.ndjson                 follow (tail -f style; default)
+//   pmp2_top --once live.ndjson          render the last snapshot and exit
+//   pmp2_top --replay live.ndjson        render every snapshot in order
+//
+// --replay with --delay-ms=N paces the frames (0 = as fast as possible),
+// which replays a captured run the way it looked live. --ansi enables
+// color and clear-screen framing; plain ASCII otherwise, so output stays
+// pipeable into files and tests.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/live/top_render.h"
+#include "util/flags.h"
+
+namespace {
+
+using pmp2::obs::live::LiveSnapshot;
+using pmp2::obs::live::parse_snapshot;
+using pmp2::obs::live::render_frame;
+using pmp2::obs::live::TopOptions;
+
+int fail(const std::string& message) {
+  std::cerr << "pmp2_top: " << message << "\n";
+  return 2;
+}
+
+/// Renders one line if it parses; malformed/foreign lines are counted and
+/// skipped (a fifo reader can attach mid-line).
+bool render_line(const std::string& line, const TopOptions& options,
+                 int& bad_lines) {
+  if (line.empty()) return false;
+  LiveSnapshot snapshot;
+  std::string error;
+  if (!parse_snapshot(line, snapshot, &error)) {
+    ++bad_lines;
+    return false;
+  }
+  std::cout << render_frame(snapshot, options);
+  std::cout.flush();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmp2::Flags flags(argc, argv);
+  const bool once = flags.get_bool("once", false);
+  const bool replay = flags.get_bool("replay", false);
+  const std::int64_t delay_ms = flags.get_int("delay-ms", 0);
+  TopOptions options;
+  options.ansi = flags.get_bool("ansi", false);
+  options.width = static_cast<int>(flags.get_int("width", 80));
+  const std::int64_t poll_ms = flags.get_int("poll-ms", 100);
+  const std::int64_t idle_timeout_ms = flags.get_int("idle-timeout-ms", 0);
+
+  // The Flags parser binds "--replay FILE" as replay=FILE; accept the path
+  // from either the positionals or a mode flag's captured value.
+  std::string path;
+  if (!flags.positional().empty()) {
+    path = flags.positional().front();
+  } else {
+    for (const char* mode : {"once", "replay"}) {
+      const std::string value = flags.get_string(mode, "");
+      if (value.size() > 1 && value != "true" && value != "false") {
+        path = value;
+        break;
+      }
+    }
+  }
+  if (path.empty()) {
+    return fail(
+        "usage: pmp2_top [--once|--replay] [--ansi] [--delay-ms=N] FILE");
+  }
+  for (const auto& f : flags.unused()) {
+    std::cerr << "pmp2_top: warning: unused flag --" << f << "\n";
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("cannot open '" + path + "'");
+
+  int bad_lines = 0;
+  int rendered = 0;
+  if (once || replay) {
+    std::string line, last;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (once) {
+        last = line;
+        continue;
+      }
+      if (render_line(line, options, bad_lines)) {
+        ++rendered;
+        if (delay_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        }
+      }
+    }
+    if (once && render_line(last, options, bad_lines)) ++rendered;
+  } else {
+    // Follow mode: drain what exists, then poll for growth. A fifo blocks
+    // inside getline instead, which is exactly tail-like behavior.
+    std::string line;
+    std::int64_t idle_ms = 0;
+    for (;;) {
+      if (std::getline(in, line)) {
+        idle_ms = 0;
+        if (render_line(line, options, bad_lines)) ++rendered;
+        continue;
+      }
+      if (in.bad()) break;
+      in.clear();  // EOF for now; wait for the writer to append
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      idle_ms += poll_ms;
+      if (idle_timeout_ms > 0 && idle_ms >= idle_timeout_ms) break;
+    }
+  }
+  if (rendered == 0) {
+    return fail(bad_lines > 0
+                    ? "no schema-valid snapshots in '" + path + "'"
+                    : "no snapshots in '" + path + "'");
+  }
+  if (bad_lines > 0) {
+    std::cerr << "pmp2_top: skipped " << bad_lines << " malformed line(s)\n";
+  }
+  return 0;
+}
