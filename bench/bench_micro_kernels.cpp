@@ -16,6 +16,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
+#include <map>
 #include <set>
 #include <cstring>
 #include <iostream>
@@ -25,6 +27,7 @@
 #include "bitstream/startcode.h"
 #include "mpeg2/dct.h"
 #include "mpeg2/decoder.h"
+#include "mpeg2/kernels/kernels.h"
 #include "mpeg2/motion.h"
 #include "mpeg2/motion_est.h"
 #include "mpeg2/vlc_tables.h"
@@ -841,6 +844,226 @@ void BM_VlcLookupSignedTwoLevel(benchmark::State& state) {
 BENCHMARK(BM_VlcLookupSignedTwoLevel);
 
 // ---------------------------------------------------------------------------
+// Per-backend kernel-table pairs: scalar dispatch table (the PR 2
+// SWAR/scalar kernels) vs each SIMD backend, one registered benchmark per
+// (kernel family, backend). Same interleaved min-of-sweeps discipline as
+// BM_IdctCorpus_Pair, so the ratios survive shared-runner noise; the
+// per-backend geometric mean over all families is the headline number
+// bench_check guards (the AVX2 gate is >= 1.5x).
+// ---------------------------------------------------------------------------
+
+namespace kernels = pmp2::mpeg2::kernels;
+
+/// Interleaved A-B harness: per benchmark iteration run prep_a + timed a,
+/// then prep_b + timed b, keeping each side's minimum sweep time. Emits
+/// before_ns / after_ns counters normalized per op.
+template <typename PA, typename FA, typename PB, typename FB>
+void ab_sweep(benchmark::State& state, double ops_per_sweep, PA&& prep_a,
+              FA&& a, PB&& prep_b, FB&& b) {
+  using clock = std::chrono::steady_clock;
+  double a_min = 0.0;
+  double b_min = 0.0;
+  for (auto _ : state) {
+    prep_a();
+    const auto t0 = clock::now();
+    a();
+    benchmark::ClobberMemory();
+    const auto t1 = clock::now();
+    prep_b();
+    const auto t2 = clock::now();
+    b();
+    benchmark::ClobberMemory();
+    const auto t3 = clock::now();
+    const double da = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    const double db = std::chrono::duration<double, std::nano>(t3 - t2).count();
+    if (a_min == 0.0 || da < a_min) a_min = da;
+    if (b_min == 0.0 || db < b_min) b_min = db;
+  }
+  state.counters["before_ns"] = a_min / ops_per_sweep;
+  state.counters["after_ns"] = b_min / ops_per_sweep;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * ops_per_sweep));
+}
+
+void mc_pair(benchmark::State& state, const kernels::KernelTable* sc,
+             const kernels::KernelTable* kt, bool avg) {
+  Rng rng(5);
+  std::vector<std::uint8_t> ref(64 * 64);
+  for (auto& p : ref) p = static_cast<std::uint8_t>(rng.next_below(256));
+  std::vector<std::uint8_t> dst(64 * 64, 128);
+  // Diagonal half-pel 16x16 luma prediction, the most expensive taps.
+  constexpr int kCalls = 512;
+  const auto run = [&](const kernels::KernelTable* k) {
+    for (int i = 0; i < kCalls; ++i) {
+      k->mc(ref.data() + 65, 64, dst.data() + 65, 64, 16, 16, true, true,
+            avg);
+    }
+    benchmark::DoNotOptimize(dst.data());
+  };
+  ab_sweep(
+      state, kCalls, [] {}, [&] { run(sc); }, [] {}, [&] { run(kt); });
+}
+
+void conceal_pair(benchmark::State& state, const kernels::KernelTable* sc,
+                  const kernels::KernelTable* kt, bool fill) {
+  Rng rng(7);
+  std::vector<std::uint8_t> src(384 * 20);
+  for (auto& p : src) p = static_cast<std::uint8_t>(rng.next_below(256));
+  std::vector<std::uint8_t> dst(384 * 20, 0);
+  // One concealed luma slice row at CIF width: 16 rows x 352 pels.
+  constexpr int kCalls = 512;
+  const auto run = [&](const kernels::KernelTable* k) {
+    for (int i = 0; i < kCalls; ++i) {
+      if (fill) {
+        k->conceal_fill(dst.data(), 384, 128, 352, 16);
+      } else {
+        k->conceal_copy(dst.data(), 384, src.data(), 384, 352, 16);
+      }
+    }
+    benchmark::DoNotOptimize(dst.data());
+  };
+  ab_sweep(
+      state, kCalls, [] {}, [&] { run(sc); }, [] {}, [&] { run(kt); });
+}
+
+void sad16_pair(benchmark::State& state, const kernels::KernelTable* sc,
+                const kernels::KernelTable* kt) {
+  Rng rng(9);
+  std::vector<std::uint8_t> ref(64 * 64), cur(64 * 64);
+  for (auto& p : ref) p = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto& p : cur) p = static_cast<std::uint8_t>(rng.next_below(256));
+  constexpr int kCalls = 512;
+  const auto run = [&](const kernels::KernelTable* k) {
+    int sum = 0;
+    for (int i = 0; i < kCalls; ++i) {
+      sum += k->sad16(ref.data() + 65, 64, cur.data(), 64, true, true);
+    }
+    benchmark::DoNotOptimize(sum);
+  };
+  ab_sweep(
+      state, kCalls, [] {}, [&] { run(sc); }, [] {}, [&] { run(kt); });
+}
+
+void sse_plane_pair(benchmark::State& state, const kernels::KernelTable* sc,
+                    const kernels::KernelTable* kt) {
+  Rng rng(13);
+  std::vector<std::uint8_t> a(352 * 240), b(352 * 240);
+  for (auto& p : a) p = static_cast<std::uint8_t>(rng.next_below(256));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(a[i] + (rng.next_below(7)) - 3);
+  }
+  constexpr int kCalls = 4;
+  const auto run = [&](const kernels::KernelTable* k) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kCalls; ++i) {
+      sum += k->sse_plane(a.data(), 352, b.data(), 352, 352, 240);
+    }
+    benchmark::DoNotOptimize(sum);
+  };
+  ab_sweep(
+      state, kCalls, [] {}, [&] { run(sc); }, [] {}, [&] { run(kt); });
+}
+
+void idct_corpus_pair(benchmark::State& state,
+                      const kernels::KernelTable* sc,
+                      const kernels::KernelTable* kt) {
+  const BlockCorpus& c = block_corpus();
+  const std::size_t n = c.blocks.size();
+  std::vector<Block> scratch(n);
+  benchmark::DoNotOptimize(scratch.data());
+  const auto refresh = [&] {
+    std::memcpy(scratch.data(), c.blocks.data(), n * sizeof(Block));
+  };
+  const auto run = [&](const kernels::KernelTable* k) {
+    for (std::size_t i = 0; i < n; ++i) k->idct(scratch[i], c.sparsity[i]);
+    benchmark::DoNotOptimize(scratch.data());
+  };
+  ab_sweep(
+      state, static_cast<double>(n == 0 ? 1 : n), refresh, [&] { run(sc); },
+      refresh, [&] { run(kt); });
+}
+
+// Dense blocks (every column carries AC energy) exercise the pure vector
+// butterfly with no occupancy shortcut on either side — the corpus pair
+// above measures the blend the decoder actually sees, this pair isolates
+// the vector kernel's win on the blocks it is dispatched to.
+void idct_dense_pair(benchmark::State& state,
+                     const kernels::KernelTable* sc,
+                     const kernels::KernelTable* kt) {
+  constexpr std::size_t kBlocks = 256;
+  std::vector<Block> dense(kBlocks);
+  std::uint32_t rng = 0x2545F491u;
+  for (Block& b : dense) {
+    for (int i = 0; i < 64; ++i) {
+      rng = rng * 1664525u + 1013904223u;
+      // Typical post-quantization coefficient magnitudes, never zero.
+      const int v = 1 + static_cast<int>(rng % 300u);
+      b[i] = static_cast<std::int16_t>((rng & 0x8000u) ? -v : v);
+    }
+  }
+  std::vector<Block> scratch(kBlocks);
+  benchmark::DoNotOptimize(scratch.data());
+  const auto refresh = [&] {
+    std::memcpy(scratch.data(), dense.data(), kBlocks * sizeof(Block));
+  };
+  const auto run = [&](const kernels::KernelTable* k) {
+    for (std::size_t i = 0; i < kBlocks; ++i) {
+      k->idct(scratch[i], BlockSparsity::dense());
+    }
+    benchmark::DoNotOptimize(scratch.data());
+  };
+  ab_sweep(
+      state, static_cast<double>(kBlocks), refresh, [&] { run(sc); }, refresh,
+      [&] { run(kt); });
+}
+
+struct BackendPair {
+  std::string label;    // report row key, e.g. "mc_halfpel_copy_sse2"
+  std::string bench;    // registered benchmark name
+  std::string backend;  // "sse2" / "avx2"
+};
+std::vector<BackendPair> g_backend_pairs;
+
+void register_backend_pairs() {
+  const kernels::KernelTable* sc = &kernels::table(kernels::Backend::kScalar);
+  for (const kernels::Backend b : kernels::available_backends()) {
+    if (b == kernels::Backend::kScalar) continue;
+    const kernels::KernelTable* kt = &kernels::table(b);
+    const std::string bn = kernels::backend_name(b);
+    const auto add = [&](const std::string& family, auto body) {
+      const std::string name = "BM_Kernels_" + family + "_" + bn;
+      g_backend_pairs.push_back({family + "_" + bn, name, bn});
+      benchmark::RegisterBenchmark(name.c_str(), body)
+          ->Unit(benchmark::kMicrosecond);
+    };
+    add("mc_halfpel_copy", [sc, kt](benchmark::State& s) {
+      mc_pair(s, sc, kt, false);
+    });
+    add("mc_halfpel_avg", [sc, kt](benchmark::State& s) {
+      mc_pair(s, sc, kt, true);
+    });
+    add("conceal_copy", [sc, kt](benchmark::State& s) {
+      conceal_pair(s, sc, kt, false);
+    });
+    add("conceal_fill", [sc, kt](benchmark::State& s) {
+      conceal_pair(s, sc, kt, true);
+    });
+    add("sad16_halfpel", [sc, kt](benchmark::State& s) {
+      sad16_pair(s, sc, kt);
+    });
+    add("psnr_sse_plane", [sc, kt](benchmark::State& s) {
+      sse_plane_pair(s, sc, kt);
+    });
+    add("idct_corpus", [sc, kt](benchmark::State& s) {
+      idct_corpus_pair(s, sc, kt);
+    });
+    add("idct_dense", [sc, kt](benchmark::State& s) {
+      idct_dense_pair(s, sc, kt);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Reporting main: console output as usual, plus --report-out=PATH JSON with
 // per-benchmark ns/op and the before/after speedup summary.
 // ---------------------------------------------------------------------------
@@ -909,6 +1132,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
     return 1;
   }
+  register_backend_pairs();
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
@@ -919,6 +1143,8 @@ int main(int argc, char** argv) {
       "bench_micro_kernels",
       "Decode-kernel micro-benchmarks: ns/op per kernel plus before/after "
       "speedups of the optimized hot paths");
+  report.set_meta("kernels_backend", kernels::active().name)
+      .set_meta("cpu_features", kernels::cpu_features());
   std::set<std::string> reported;
   for (const auto& [name, ns] : reporter.results) {
     if (!reported.insert(name).second) continue;
@@ -952,6 +1178,34 @@ int main(int argc, char** argv) {
         .set("ratio", before / after);
     std::cout << "speedup " << p.label << ": " << before / after << "x ("
               << before << " -> " << after << " ns)\n";
+  }
+  // Per-backend kernel-table pairs (before = the scalar dispatch table)
+  // plus each backend's geometric-mean speedup across all kernel families
+  // that ran.
+  std::map<std::string, std::vector<double>> ratios_by_backend;
+  for (const auto& p : g_backend_pairs) {
+    const double before = find_ns(reporter.results, p.bench + "/before_ns");
+    const double after = find_ns(reporter.results, p.bench + "/after_ns");
+    if (before <= 0.0 || after <= 0.0) continue;
+    report.add_row()
+        .set("speedup", p.label)
+        .set("before_ns", before)
+        .set("after_ns", after)
+        .set("ratio", before / after);
+    std::cout << "speedup " << p.label << ": " << before / after << "x ("
+              << before << " -> " << after << " ns)\n";
+    ratios_by_backend[p.backend].push_back(before / after);
+  }
+  for (const auto& [bn, ratios] : ratios_by_backend) {
+    double log_sum = 0.0;
+    for (const double r : ratios) log_sum += std::log(r);
+    const double geomean =
+        std::exp(log_sum / static_cast<double>(ratios.size()));
+    report.add_row()
+        .set("speedup", "geomean_" + bn)
+        .set("ratio", geomean);
+    std::cout << "speedup geomean_" << bn << ": " << geomean << "x over "
+              << ratios.size() << " kernel families\n";
   }
   if (!report.write_file(report_out)) {
     std::cerr << "error: cannot write report to " << report_out << "\n";

@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "mpeg2/kernels/kernels.h"
+
 namespace pmp2::bench {
 
 namespace fs = std::filesystem;
@@ -140,6 +142,28 @@ std::vector<Startcode> seed_scan_all_startcodes(
   return out;
 }
 
+void apply_kernels_flag(const Flags& flags) {
+  const std::string name = flags.get_string("kernels", "");
+  if (name.empty()) return;
+  mpeg2::kernels::Backend b;
+  if (!mpeg2::kernels::parse_backend(name, b)) {
+    std::cerr << "[bench] warning: unknown --kernels=" << name
+              << " (want scalar|sse2|avx2); keeping "
+              << mpeg2::kernels::active().name << "\n";
+    return;
+  }
+  if (!mpeg2::kernels::set_backend(b)) {
+    std::cerr << "[bench] warning: --kernels=" << name
+              << " unavailable on this host; keeping "
+              << mpeg2::kernels::active().name << "\n";
+  }
+}
+
+void set_kernel_identity(obs::RunReport& report) {
+  report.set_meta("kernels_backend", mpeg2::kernels::active().name)
+      .set_meta("cpu_features", mpeg2::kernels::cpu_features());
+}
+
 int finish(const Flags& flags) {
   for (const auto& f : flags.unused()) {
     std::cerr << "[bench] warning: unused flag --" << f << "\n";
@@ -148,7 +172,8 @@ int finish(const Flags& flags) {
   return 0;
 }
 
-int finish(const Flags& flags, const obs::RunReport& report) {
+int finish(const Flags& flags, obs::RunReport& report) {
+  set_kernel_identity(report);
   int rc = 0;
   const std::string path = flags.get_string("report-out", "");
   if (!path.empty()) {

@@ -63,11 +63,24 @@ void print_header(const std::string& title, const std::string& paper_ref);
 void append_load_summary(obs::RunReport::Row& row,
                          const parallel::WorkerLoadSummary& load);
 
+/// Applies the --kernels=scalar|sse2|avx2 flag (same semantics as the
+/// PMP2_KERNELS env override): selects the kernel backend for the rest of
+/// the process. Unknown or unavailable backends warn on stderr and leave
+/// the CPUID-selected table in place.
+void apply_kernels_flag(const Flags& flags);
+
+/// Stamps the run-identity meta fields (`kernels_backend`, `cpu_features`)
+/// on a report, so report consumers can tell runs on different kernel
+/// backends apart (tools/bench_check treats a backend change as an
+/// identity mismatch, not a metric regression).
+void set_kernel_identity(obs::RunReport& report);
+
 /// Warns about unknown flags at the end of main().
 int finish(const Flags& flags);
 
 /// finish() plus the structured JSON run report: when --report-out=PATH was
-/// passed, writes `report` there (errors go to stderr and the exit code).
-int finish(const Flags& flags, const obs::RunReport& report);
+/// passed, stamps the kernel-backend identity meta and writes `report`
+/// there (errors go to stderr and the exit code).
+int finish(const Flags& flags, obs::RunReport& report);
 
 }  // namespace pmp2::bench

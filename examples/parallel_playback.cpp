@@ -38,6 +38,7 @@
 #include <thread>
 
 #include "mpeg2/decoder.h"
+#include "mpeg2/kernels/kernels.h"
 #include "obs/analysis/analyzer.h"
 #include "obs/analysis/timeline.h"
 #include "obs/live/sampler.h"
@@ -78,6 +79,23 @@ int main(int argc, char** argv) {
       flags.get_int("live-interval-ms", 250);
   const std::string slo_text = flags.get_string("slo", "");
   const std::int64_t watchdog_ms = flags.get_int("watchdog-ms", 0);
+
+  // --kernels=scalar|sse2|avx2 forces the kernel backend (same values as
+  // the PMP2_KERNELS env override); the default is the CPUID selection.
+  const std::string kernels_flag = flags.get_string("kernels", "");
+  if (!kernels_flag.empty()) {
+    mpeg2::kernels::Backend kb;
+    if (!mpeg2::kernels::parse_backend(kernels_flag, kb) ||
+        !mpeg2::kernels::set_backend(kb)) {
+      std::cerr << "error: --kernels=" << kernels_flag
+                << " unknown or unavailable (have:";
+      for (const auto b : mpeg2::kernels::available_backends()) {
+        std::cerr << " " << mpeg2::kernels::backend_name(b);
+      }
+      std::cerr << ")\n";
+      return 2;
+    }
+  }
 
   obs::live::SloRules slo;
   if (!slo_text.empty()) {
@@ -130,7 +148,9 @@ int main(int argc, char** argv) {
       .set_meta("height", spec.height)
       .set_meta("pictures", spec.pictures)
       .set_meta("gop_size", spec.gop_size)
-      .set_meta("workers", workers);
+      .set_meta("workers", workers)
+      .set_meta("kernels_backend", mpeg2::kernels::active().name)
+      .set_meta("cpu_features", mpeg2::kernels::cpu_features());
   report.attach_metrics(&metrics);
 
   // Sequential reference.
@@ -156,6 +176,12 @@ int main(int argc, char** argv) {
         .set("pictures_per_second", pps)
         .set("bit_exact", true);
   }
+  // The chained output checksum is the cross-backend identity anchor:
+  // runs under PMP2_KERNELS=scalar, sse2 and avx2 must agree on it to the
+  // byte (the kernel backends are bit-exact, not merely close).
+  report.set_meta("stream_checksum", want);
+  std::cout << "sequential checksum: 0x" << std::hex << want << std::dec
+            << " (kernels: " << mpeg2::kernels::active().name << ")\n";
 
   int divergences = 0;
   int hangs = 0;

@@ -5,9 +5,10 @@
 # fuzzer, the bench regression diff, and a repo hygiene lint. Each stage is
 # independently selectable (docs/CI.md):
 #
-#   scripts/ci.sh             # tier1 + perfsmoke + obs
-#   scripts/ci.sh tier1       # build + full ctest only
-#   scripts/ci.sh perfsmoke   # ctest -L perfsmoke
+#   scripts/ci.sh              # tier1 + perfsmoke + obs
+#   scripts/ci.sh tier1        # build + full ctest only
+#   scripts/ci.sh tier1-scalar # full ctest with PMP2_KERNELS=scalar
+#   scripts/ci.sh perfsmoke    # ctest -L perfsmoke
 #   scripts/ci.sh obs         # ctest -L obs
 #   scripts/ci.sh tsan        # TSan build of the parallel decoder + fault tests
 #   scripts/ci.sh ubsan       # UBSan build of the SWAR scanner fuzz tests
@@ -39,6 +40,27 @@ build_tier1() {
 stage_tier1() {
   build_tier1 || return 1
   run ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+stage_tier1_scalar() {
+  # The full suite again with the kernel dispatch pinned to the scalar
+  # backend: proves no test outcome depends on the host's SIMD selection
+  # (every checksum, PSNR and conceal byte must be backend-invariant).
+  build_tier1 || return 1
+  run env PMP2_KERNELS=scalar \
+      ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+# Kernel backends this host can run. AVX2 is probed (CI runners differ),
+# never assumed; scalar and SSE2 are x86-64 baseline.
+kernel_backends() {
+  local backends="scalar sse2"
+  if grep -qiw avx2 /proc/cpuinfo 2>/dev/null; then
+    backends="$backends avx2"
+  else
+    echo "ci.sh: host lacks AVX2; skipping avx2 kernel runs" >&2
+  fi
+  echo "$backends"
 }
 
 stage_perfsmoke() {
@@ -74,9 +96,20 @@ stage_ubsan() {
   run cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPMP2_SANITIZE=undefined || return 1
   run cmake --build build-ubsan -j "$JOBS" \
-      --target test_startcode_fuzz test_bitstream || return 1
+      --target test_startcode_fuzz test_bitstream test_kernel_equivalence \
+      || return 1
   run ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
-      -R 'StartcodeFuzz|BitReader|BitWriter|Startcode'
+      -R 'StartcodeFuzz|BitReader|BitWriter|Startcode' || return 1
+  # Kernel equivalence + fuzz once per host-supported backend: the SIMD
+  # intrinsics' shifts, widenings and sign tricks must be UBSan-clean for
+  # every dispatch choice, not just the CPUID default.
+  local backend
+  for backend in $(kernel_backends); do
+    run env PMP2_KERNELS="$backend" \
+        ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
+        -R 'IdctEquivalence|FormPredictionEquivalence|BackendEquivalence' \
+        || return 1
+  done
 }
 
 stage_asan() {
@@ -130,6 +163,7 @@ stage_lint() {
 rc=0
 case "$STAGE" in
   tier1)     stage_tier1     || rc=1 ;;
+  tier1-scalar) stage_tier1_scalar || rc=1 ;;
   perfsmoke) stage_perfsmoke || rc=1 ;;
   obs)       stage_obs       || rc=1 ;;
   tsan)      stage_tsan      || rc=1 ;;
@@ -148,6 +182,7 @@ case "$STAGE" in
   all)
     stage_lint || rc=1
     stage_tier1 || rc=1
+    stage_tier1_scalar || rc=1
     run ctest --test-dir build -L perfsmoke --output-on-failure || rc=1
     run ctest --test-dir build -L obs --output-on-failure -j "$JOBS" || rc=1
     stage_tsan || rc=1
@@ -158,7 +193,7 @@ case "$STAGE" in
     ;;
   *)
     echo "ci.sh: unknown stage '$STAGE'" \
-         "(tier1|perfsmoke|obs|tsan|ubsan|asan|soak|bench|lint|all)" >&2
+         "(tier1|tier1-scalar|perfsmoke|obs|tsan|ubsan|asan|soak|bench|lint|all)" >&2
     exit 2 ;;
 esac
 exit "$rc"

@@ -4,22 +4,16 @@
 #include <cmath>
 #include <cstdint>
 
+#include "mpeg2/kernels/kernels.h"
+
 namespace pmp2::inject {
 
 double frame_psnr(const mpeg2::Frame& a, const mpeg2::Frame& b) {
   const int w = std::min(a.width(), b.width());
   const int h = std::min(a.height(), b.height());
   if (w <= 0 || h <= 0) return kPsnrIdentical;
-  std::uint64_t sse = 0;
-  const std::uint8_t* pa = a.plane(0);
-  const std::uint8_t* pb = b.plane(0);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const int d = static_cast<int>(pa[y * a.stride(0) + x]) -
-                    static_cast<int>(pb[y * b.stride(0) + x]);
-      sse += static_cast<std::uint64_t>(d * d);
-    }
-  }
+  const std::uint64_t sse = mpeg2::kernels::active().sse_plane(
+      a.plane(0), a.stride(0), b.plane(0), b.stride(0), w, h);
   if (sse == 0) return kPsnrIdentical;
   const double mse =
       static_cast<double>(sse) / (static_cast<double>(w) * h);

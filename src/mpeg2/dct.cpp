@@ -7,6 +7,9 @@
 #include <cstring>
 #include <numbers>
 
+#include "mpeg2/kernels/backends.h"
+#include "mpeg2/kernels/kernels.h"
+
 namespace pmp2::mpeg2 {
 
 namespace {
@@ -357,37 +360,44 @@ constexpr Pass2AllFn kPass2All[16] = {
 
 }  // namespace
 
-void idct_int(Block& block, BlockSparsity s) {
+namespace kernels::detail {
+
+bool idct_collapse(Block& block, const BlockSparsity& s) {
   // One branch guards both collapse paths: a clear ac_col_mask guarantees
   // rows 1..7 are all zero (clear bits are guarantees), which is the only
   // property either path needs — cheaper than testing dc_only and row_mask
-  // separately on the hot path.
-  if (s.ac_col_mask == 0) {
-    if (s.dc_only) {
-      // Both passes collapse: with only coeffs[0] nonzero every output pel
-      // is descale((dc << kPass1Bits) << kConstBits,
-      // kConstBits + kPass1Bits + 3) = (dc + 4) >> 3, identical to running
-      // the dense transform.
-      const auto v = static_cast<std::int16_t>((block[0] + 4) >> 3);
-      block.fill(v);
-      return;
-    }
-    // All coefficients live in row 0: every pass-1 column is DC-only, so
-    // all eight workspace rows are identical (in[c] << kPass1Bits). Run
-    // pass 2 once and replicate its output row — bit-identical to running
-    // it eight times on identical input.
-    std::int32_t ws[8];
-    for (int col = 0; col < 8; ++col) {
-      ws[col] = static_cast<std::int32_t>(block[col]) << kPass1Bits;
-    }
-    idct_pass2_row<kGroupAll>(ws, block.data());
-    for (int row = 1; row < 8; ++row) {
-      std::memcpy(block.data() + row * 8, block.data(),
-                  8 * sizeof(std::int16_t));
-    }
-    return;
+  // separately on the hot path. Shared by every backend: the SIMD idct
+  // entries call this first, so the occupancy shortcuts stay byte- and
+  // code-identical across backends.
+  if (s.ac_col_mask != 0) return false;
+  if (s.dc_only) {
+    // Both passes collapse: with only coeffs[0] nonzero every output pel
+    // is descale((dc << kPass1Bits) << kConstBits,
+    // kConstBits + kPass1Bits + 3) = (dc + 4) >> 3, identical to running
+    // the dense transform.
+    const auto v = static_cast<std::int16_t>((block[0] + 4) >> 3);
+    block.fill(v);
+    return true;
   }
+  // All coefficients live in row 0: every pass-1 column is DC-only, so
+  // all eight workspace rows are identical (in[c] << kPass1Bits). Run
+  // pass 2 once and replicate its output row — bit-identical to running
+  // it eight times on identical input.
+  std::int32_t ws[8];
+  for (int col = 0; col < 8; ++col) {
+    ws[col] = static_cast<std::int32_t>(block[col]) << kPass1Bits;
+  }
+  idct_pass2_row<kGroupAll>(ws, block.data());
+  for (int row = 1; row < 8; ++row) {
+    std::memcpy(block.data() + row * 8, block.data(),
+                8 * sizeof(std::int16_t));
+  }
+  return true;
+}
 
+unsigned idct_group_of(unsigned mask) { return kGroupOf[mask & 0xffu]; }
+
+void idct_scalar_no_collapse(Block& block, const BlockSparsity& s) {
   // Pair-group dispatch, one table lookup per pass. The dense kernel
   // discovers DC-only columns by reading rows 1..7; here one mask bit per
   // column decides, and the group masks select kernel instantiations with
@@ -402,6 +412,17 @@ void idct_int(Block& block, BlockSparsity s) {
   kPass1All[kGroupOf[s.row_mask]](block, workspace, s.ac_col_mask,
                                   kGroupReadCols[col_group]);
   kPass2All[col_group](workspace, block);
+}
+
+void idct_scalar(Block& block, BlockSparsity s) {
+  if (idct_collapse(block, s)) return;
+  idct_scalar_no_collapse(block, s);
+}
+
+}  // namespace kernels::detail
+
+void idct_int(Block& block, BlockSparsity s) {
+  kernels::active().idct(block, s);
 }
 
 void idct_int(Block& block) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitstream/startcode.h"
+#include "mpeg2/kernels/kernels.h"
 #include "mpeg2/structure_scan.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -74,19 +75,17 @@ bool parse_picture_headers(BitReader& br, PictureHeader& ph,
 
 void conceal_slice(const PictureContext& pic, int slice_row) {
   if (slice_row < 0 || slice_row >= pic.mb_height) return;
+  const kernels::KernelTable& k = kernels::active();
   for (int p = 0; p < 3; ++p) {
     const int rows = p == 0 ? kMacroblockSize : kMacroblockSize / 2;
     const int y0 = slice_row * rows;
     const int stride = pic.dst->stride(p);
-    for (int r = 0; r < rows; ++r) {
-      std::uint8_t* dst = pic.dst->plane(p) + (y0 + r) * stride;
-      if (pic.fwd_ref) {
-        const std::uint8_t* src =
-            pic.fwd_ref->plane(p) + (y0 + r) * stride;
-        std::copy(src, src + stride, dst);
-      } else {
-        std::fill(dst, dst + stride, static_cast<std::uint8_t>(128));
-      }
+    std::uint8_t* dst = pic.dst->plane(p) + y0 * stride;
+    if (pic.fwd_ref) {
+      const std::uint8_t* src = pic.fwd_ref->plane(p) + y0 * stride;
+      k.conceal_copy(dst, stride, src, stride, stride, rows);
+    } else {
+      k.conceal_fill(dst, stride, 128, stride, rows);
     }
   }
 }

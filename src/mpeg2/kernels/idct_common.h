@@ -1,0 +1,39 @@
+// Fixed-point IDCT constants and lane-group masks shared by the SIMD
+// backends. These mirror the seed scalar kernel in dct.cpp (FIX(x) =
+// round(x * 2^13), LLM/AAN-style islow butterfly); the exhaustive
+// equivalence tests pin every backend to the scalar oracle, so the two
+// copies cannot drift without tier-1 failing.
+#pragma once
+
+#include <cstdint>
+
+namespace pmp2::mpeg2::kernels::idct {
+
+inline constexpr int kConstBits = 13;
+inline constexpr int kPass1Bits = 2;
+/// Final pass-2 shift: the +3 is the 1/8 normalization of the 2-D
+/// transform.
+inline constexpr int kFinalBits = kConstBits + kPass1Bits + 3;
+
+inline constexpr std::int32_t kFix_0_298631336 = 2446;
+inline constexpr std::int32_t kFix_0_390180644 = 3196;
+inline constexpr std::int32_t kFix_0_541196100 = 4433;
+inline constexpr std::int32_t kFix_0_765366865 = 6270;
+inline constexpr std::int32_t kFix_0_899976223 = 7373;
+inline constexpr std::int32_t kFix_1_175875602 = 9633;
+inline constexpr std::int32_t kFix_1_501321110 = 12299;
+inline constexpr std::int32_t kFix_1_847759065 = 15137;
+inline constexpr std::int32_t kFix_1_961570560 = 16069;
+inline constexpr std::int32_t kFix_2_053119869 = 16819;
+inline constexpr std::int32_t kFix_2_562915447 = 20995;
+inline constexpr std::int32_t kFix_3_072711026 = 25172;
+
+/// Lane-group masks, identical to dct.cpp: rows/cols {1}, {2,3}, {4,5,6},
+/// {7}; lane 0 (DC) is always live. Lane 7 is its own group because the
+/// §7.4.4 mismatch-control coefficient plants a lone value at position 63.
+inline constexpr unsigned kGroup1 = 1u;
+inline constexpr unsigned kGroup23 = 2u;
+inline constexpr unsigned kGroup456 = 4u;
+inline constexpr unsigned kGroup7 = 8u;
+
+}  // namespace pmp2::mpeg2::kernels::idct

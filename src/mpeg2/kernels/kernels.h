@@ -1,0 +1,118 @@
+// Runtime-dispatched kernel backends for the four hot per-block kernel
+// families: the sparsity-aware IDCT, motion-compensation prediction
+// (half-pel interpolation + bidirectional averaging), concealment fill
+// (copy-conceal and mid-gray synthesis), and the PSNR/SAD accumulation
+// used by frame_psnr and the soak/ME paths.
+//
+// One KernelTable per backend; the active table is chosen once at first
+// use from CPUID, overridable with PMP2_KERNELS=scalar|sse2|avx2 (or a
+// tool's --kernels flag via set_backend). Every backend is bit-exact
+// against the seed-verbatim oracles (tests/kernel_equivalence_test.cpp):
+// switching backends never changes a single output byte, only the time it
+// takes to produce them. The table is plain function pointers so a NEON
+// backend is a drop-in: add Backend::kNeon, a neon.cpp defining its table
+// behind __ARM_NEON, and one entry in the dispatch candidate list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpeg2/types.h"
+
+namespace pmp2::mpeg2::kernels {
+
+enum class Backend {
+  kScalar = 0,  // seed scalar/SWAR kernels (PR 2), always available
+  kSse2 = 1,    // x86-64 baseline vector ISA
+  kAvx2 = 2,    // 256-bit integer SIMD, gated on CPUID
+  // kNeon would slot in here; keep the count in sync.
+};
+inline constexpr int kBackendCount = 3;
+
+/// One backend's kernel entry points. All functions are bit-exact across
+/// backends; see each member for the contract.
+struct KernelTable {
+  const char* name;
+
+  /// Sparsity-aware inverse DCT, the idct_int(Block&, BlockSparsity)
+  /// contract: clear sparsity bits are guarantees of zero coefficients,
+  /// set bits are conservative.
+  void (*idct)(Block& block, BlockSparsity s);
+
+  /// Motion-compensated prediction: src points at the integer-pel origin
+  /// inside the reference plane (vector already applied), hx/hy select the
+  /// half-pel taps, avg blends into dst with (d + p + 1) >> 1 (the
+  /// bidirectional second pass). Reads w+hx columns and h+hy rows.
+  void (*mc)(const std::uint8_t* src, int ref_stride, std::uint8_t* dst,
+             int dst_stride, int w, int h, bool hx, bool hy, bool avg);
+
+  /// Concealment copy: `rows` rows of `width` bytes from src to dst
+  /// (copy-conceal from the forward reference).
+  void (*conceal_copy)(std::uint8_t* dst, int dst_stride,
+                       const std::uint8_t* src, int src_stride, int width,
+                       int rows);
+
+  /// Concealment synthesis: `rows` rows of `width` bytes set to `value`.
+  void (*conceal_fill)(std::uint8_t* dst, int dst_stride, std::uint8_t value,
+                       int width, int rows);
+
+  /// Sum of squared differences over a w x h pel region (PSNR numerator).
+  std::uint64_t (*sse_plane)(const std::uint8_t* a, int stride_a,
+                             const std::uint8_t* b, int stride_b, int w,
+                             int h);
+
+  /// 16x16 SAD between the (optionally half-pel interpolated) reference
+  /// window at `ref` and the current macroblock at `cur`.
+  int (*sad16)(const std::uint8_t* ref, int ref_stride,
+               const std::uint8_t* cur, int cur_stride, bool hx, bool hy);
+};
+
+/// The active table. First call selects: PMP2_KERNELS if set (unknown or
+/// unavailable values warn to stderr and fall through), else the best
+/// CPUID-supported backend. O(1) afterwards (one relaxed atomic load).
+const KernelTable& active();
+
+Backend active_backend();
+
+/// True when `b` is compiled in and the host CPU supports it.
+bool backend_available(Backend b);
+
+/// All available backends, scalar first.
+std::vector<Backend> available_backends();
+
+/// Table for an explicit backend; precondition backend_available(b).
+const KernelTable& table(Backend b);
+
+/// Forces the active backend (tests, bench harnesses, --kernels flags).
+/// Returns false and leaves the selection unchanged if unavailable. Not
+/// intended to race with in-flight decoding.
+bool set_backend(Backend b);
+
+const char* backend_name(Backend b);
+
+/// Parses "scalar" | "sse2" | "avx2" (the PMP2_KERNELS values).
+bool parse_backend(std::string_view name, Backend& out);
+
+/// CPUID feature bits relevant to kernel selection, comma-joined (e.g.
+/// "sse2,ssse3,sse4.1,avx,avx2"); report identity material.
+std::string cpu_features();
+
+/// RAII backend pin: stream generation uses it to force the scalar
+/// backend so cached artifacts can never depend on the host's dispatch
+/// choice (bench_streams/ reuse stays backend-agnostic by construction).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : prev_(active_backend()) {
+    set_backend(b);
+  }
+  ~ScopedBackend() { set_backend(prev_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend prev_;
+};
+
+}  // namespace pmp2::mpeg2::kernels

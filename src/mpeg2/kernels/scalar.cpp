@@ -1,0 +1,80 @@
+// Scalar backend: the seed PR 2 kernels, verbatim. The IDCT and MC entries
+// live next to their machinery (dct.cpp, motion.cpp); the conceal / SSE /
+// SAD loops here are the exact loops the call sites ran before dispatch
+// existed, kept as the oracle "before" half of every backend comparison.
+#include <algorithm>
+#include <cstdint>
+
+#include "mpeg2/kernels/backends.h"
+
+namespace pmp2::mpeg2::kernels::detail {
+
+namespace {
+
+void conceal_copy_scalar(std::uint8_t* dst, int dst_stride,
+                         const std::uint8_t* src, int src_stride, int width,
+                         int rows) {
+  for (int r = 0; r < rows; ++r) {
+    const std::uint8_t* s = src + r * src_stride;
+    std::copy(s, s + width, dst + r * dst_stride);
+  }
+}
+
+void conceal_fill_scalar(std::uint8_t* dst, int dst_stride,
+                         std::uint8_t value, int width, int rows) {
+  for (int r = 0; r < rows; ++r) {
+    std::uint8_t* d = dst + r * dst_stride;
+    std::fill(d, d + width, value);
+  }
+}
+
+std::uint64_t sse_plane_scalar(const std::uint8_t* a, int stride_a,
+                               const std::uint8_t* b, int stride_b, int w,
+                               int h) {
+  std::uint64_t sse = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int d = static_cast<int>(a[y * stride_a + x]) -
+                    static_cast<int>(b[y * stride_b + x]);
+      sse += static_cast<std::uint64_t>(d * d);
+    }
+  }
+  return sse;
+}
+
+int sad16_scalar(const std::uint8_t* ref, int ref_stride,
+                 const std::uint8_t* cur, int cur_stride, bool hx, bool hy) {
+  const int rs = ref_stride;
+  int sad = 0;
+  for (int row = 0; row < 16; ++row) {
+    const std::uint8_t* rr = ref + row * rs;
+    const std::uint8_t* cc = cur + row * cur_stride;
+    for (int col = 0; col < 16; ++col) {
+      int pel;
+      if (!hx && !hy) {
+        pel = rr[col];
+      } else if (hx && !hy) {
+        pel = (rr[col] + rr[col + 1] + 1) >> 1;
+      } else if (!hx && hy) {
+        pel = (rr[col] + rr[col + rs] + 1) >> 1;
+      } else {
+        pel = (rr[col] + rr[col + 1] + rr[col + rs] + rr[col + rs + 1] + 2) >>
+              2;
+      }
+      sad += pel > cc[col] ? pel - cc[col] : cc[col] - pel;
+    }
+  }
+  return sad;
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",           idct_scalar,        mc_scalar,
+    conceal_copy_scalar, conceal_fill_scalar, sse_plane_scalar,
+    sad16_scalar,
+};
+
+}  // namespace
+
+const KernelTable& scalar_table() { return kScalarTable; }
+
+}  // namespace pmp2::mpeg2::kernels::detail

@@ -1,0 +1,145 @@
+// XMM (SSE2-baseline) motion-compensation row helpers, shared by the SSE2
+// backend and by the AVX2 backend's narrow-width paths. Rounding is exact
+// by construction: _mm_avg_epu8 is the standard's (a + b + 1) >> 1, and
+// the diagonal case widens to 16-bit lanes for (a + b + c + d + 2) >> 2
+// (lane sums <= 4*255 + 2, and results <= 255, so the unsigned pack never
+// saturates). Reads never exceed the scalar reference's w+hx columns and
+// h+hy rows.
+#pragma once
+
+#if defined(__x86_64__) || (defined(__i386__) && defined(__SSE2__))
+#define PMP2_KERNELS_X86 1
+
+#include <emmintrin.h>
+
+#include <cstdint>
+
+namespace pmp2::mpeg2::kernels::simd {
+
+inline __m128i xload(const std::uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline __m128i xload8(const std::uint8_t* p) {
+  return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void xstore(std::uint8_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+inline void xstore8(std::uint8_t* p, __m128i v) {
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(p), v);
+}
+
+/// Interpolation mode: bit 0 = half-pel x, bit 1 = half-pel y.
+enum : int { kMcFull = 0, kMcHx = 1, kMcHy = 2, kMcHv = 3 };
+
+/// Sixteen predicted pels for one row.
+template <int Mode>
+inline __m128i mc_pels16(const std::uint8_t* s, int ref_stride) {
+  if constexpr (Mode == kMcFull) {
+    return xload(s);
+  } else if constexpr (Mode == kMcHx) {
+    return _mm_avg_epu8(xload(s), xload(s + 1));
+  } else if constexpr (Mode == kMcHy) {
+    return _mm_avg_epu8(xload(s), xload(s + ref_stride));
+  } else {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i two = _mm_set1_epi16(2);
+    const __m128i a = xload(s);
+    const __m128i a1 = xload(s + 1);
+    const __m128i b = xload(s + ref_stride);
+    const __m128i b1 = xload(s + ref_stride + 1);
+    __m128i lo = _mm_add_epi16(
+        _mm_add_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(a1, zero)),
+        _mm_add_epi16(_mm_unpacklo_epi8(b, zero),
+                      _mm_unpacklo_epi8(b1, zero)));
+    __m128i hi = _mm_add_epi16(
+        _mm_add_epi16(_mm_unpackhi_epi8(a, zero), _mm_unpackhi_epi8(a1, zero)),
+        _mm_add_epi16(_mm_unpackhi_epi8(b, zero),
+                      _mm_unpackhi_epi8(b1, zero)));
+    lo = _mm_srli_epi16(_mm_add_epi16(lo, two), 2);
+    hi = _mm_srli_epi16(_mm_add_epi16(hi, two), 2);
+    return _mm_packus_epi16(lo, hi);
+  }
+}
+
+/// Eight predicted pels for one row (low 64 bits).
+template <int Mode>
+inline __m128i mc_pels8(const std::uint8_t* s, int ref_stride) {
+  if constexpr (Mode == kMcFull) {
+    return xload8(s);
+  } else if constexpr (Mode == kMcHx) {
+    return _mm_avg_epu8(xload8(s), xload8(s + 1));
+  } else if constexpr (Mode == kMcHy) {
+    return _mm_avg_epu8(xload8(s), xload8(s + ref_stride));
+  } else {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i two = _mm_set1_epi16(2);
+    const __m128i a = _mm_unpacklo_epi8(xload8(s), zero);
+    const __m128i a1 = _mm_unpacklo_epi8(xload8(s + 1), zero);
+    const __m128i b = _mm_unpacklo_epi8(xload8(s + ref_stride), zero);
+    const __m128i b1 = _mm_unpacklo_epi8(xload8(s + ref_stride + 1), zero);
+    __m128i sum = _mm_add_epi16(_mm_add_epi16(a, a1), _mm_add_epi16(b, b1));
+    sum = _mm_srli_epi16(_mm_add_epi16(sum, two), 2);
+    return _mm_packus_epi16(sum, sum);
+  }
+}
+
+/// MC over rows for widths that are a multiple of 8; Avg is the
+/// bidirectional (d + p + 1) >> 1 destination blend.
+template <int Mode, bool Avg>
+void mc_rows_xmm(const std::uint8_t* src, int ref_stride, std::uint8_t* dst,
+                 int dst_stride, int w, int h) {
+  for (int r = 0; r < h; ++r) {
+    const std::uint8_t* s = src + r * ref_stride;
+    std::uint8_t* d = dst + r * dst_stride;
+    int c = 0;
+    for (; c + 16 <= w; c += 16) {
+      __m128i p = mc_pels16<Mode>(s + c, ref_stride);
+      if constexpr (Avg) p = _mm_avg_epu8(xload(d + c), p);
+      xstore(d + c, p);
+    }
+    if (c < w) {  // the remaining 8 columns (w % 16 == 8)
+      __m128i p = mc_pels8<Mode>(s + c, ref_stride);
+      if constexpr (Avg) p = _mm_avg_epu8(xload8(d + c), p);
+      xstore8(d + c, p);
+    }
+  }
+}
+
+/// Shared IDCT epilogue: `c[k]` holds output column k as 8 int16 lanes
+/// (lanes = rows); transpose 8x8 int16 and store row-major. XMM so both
+/// the SSE2 and AVX2 backends use the identical network.
+inline void transpose_store_cols16(const __m128i c[8], std::int16_t* out) {
+  const __m128i p0 = _mm_unpacklo_epi16(c[0], c[1]);
+  const __m128i p1 = _mm_unpackhi_epi16(c[0], c[1]);
+  const __m128i p2 = _mm_unpacklo_epi16(c[2], c[3]);
+  const __m128i p3 = _mm_unpackhi_epi16(c[2], c[3]);
+  const __m128i p4 = _mm_unpacklo_epi16(c[4], c[5]);
+  const __m128i p5 = _mm_unpackhi_epi16(c[4], c[5]);
+  const __m128i p6 = _mm_unpacklo_epi16(c[6], c[7]);
+  const __m128i p7 = _mm_unpackhi_epi16(c[6], c[7]);
+  const __m128i q0 = _mm_unpacklo_epi32(p0, p2);
+  const __m128i q1 = _mm_unpackhi_epi32(p0, p2);
+  const __m128i q2 = _mm_unpacklo_epi32(p1, p3);
+  const __m128i q3 = _mm_unpackhi_epi32(p1, p3);
+  const __m128i q4 = _mm_unpacklo_epi32(p4, p6);
+  const __m128i q5 = _mm_unpackhi_epi32(p4, p6);
+  const __m128i q6 = _mm_unpacklo_epi32(p5, p7);
+  const __m128i q7 = _mm_unpackhi_epi32(p5, p7);
+  auto* o16 = reinterpret_cast<__m128i*>(out);
+  _mm_storeu_si128(o16 + 0, _mm_unpacklo_epi64(q0, q4));
+  _mm_storeu_si128(o16 + 1, _mm_unpackhi_epi64(q0, q4));
+  _mm_storeu_si128(o16 + 2, _mm_unpacklo_epi64(q1, q5));
+  _mm_storeu_si128(o16 + 3, _mm_unpackhi_epi64(q1, q5));
+  _mm_storeu_si128(o16 + 4, _mm_unpacklo_epi64(q2, q6));
+  _mm_storeu_si128(o16 + 5, _mm_unpackhi_epi64(q2, q6));
+  _mm_storeu_si128(o16 + 6, _mm_unpacklo_epi64(q3, q7));
+  _mm_storeu_si128(o16 + 7, _mm_unpackhi_epi64(q3, q7));
+}
+
+}  // namespace pmp2::mpeg2::kernels::simd
+
+#endif  // x86

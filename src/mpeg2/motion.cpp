@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "mpeg2/kernels/backends.h"
+#include "mpeg2/kernels/kernels.h"
 #include "mpeg2/vlc_tables.h"
 
 namespace pmp2::mpeg2 {
@@ -275,18 +277,27 @@ void form_prediction_impl(const std::uint8_t* src, int ref_stride,
 
 }  // namespace
 
-void form_prediction(const std::uint8_t* ref, int ref_stride,
-                     std::uint8_t* dst, int dst_stride, int x, int y, int w,
-                     int h, int vx, int vy, McMode mode) {
-  const std::uint8_t* src = ref + (y + (vy >> 1)) * ref_stride + x + (vx >> 1);
-  const bool hx = (vx & 1) != 0;
-  const bool hy = (vy & 1) != 0;
-  if (mode == McMode::kAverage) {
+namespace kernels::detail {
+
+void mc_scalar(const std::uint8_t* src, int ref_stride, std::uint8_t* dst,
+               int dst_stride, int w, int h, bool hx, bool hy, bool avg) {
+  if (avg) {
     form_prediction_impl<true>(src, ref_stride, dst, dst_stride, w, h, hx, hy);
   } else {
     form_prediction_impl<false>(src, ref_stride, dst, dst_stride, w, h, hx,
                                 hy);
   }
+}
+
+}  // namespace kernels::detail
+
+void form_prediction(const std::uint8_t* ref, int ref_stride,
+                     std::uint8_t* dst, int dst_stride, int x, int y, int w,
+                     int h, int vx, int vy, McMode mode) {
+  const std::uint8_t* src = ref + (y + (vy >> 1)) * ref_stride + x + (vx >> 1);
+  kernels::active().mc(src, ref_stride, dst, dst_stride, w, h,
+                       (vx & 1) != 0, (vy & 1) != 0,
+                       mode == McMode::kAverage);
 }
 
 void mc_macroblock(const Frame& ref, int ref_frame_id, Frame& dst,

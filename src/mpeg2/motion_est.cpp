@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "mpeg2/kernels/kernels.h"
 #include "mpeg2/motion.h"
 
 namespace pmp2::mpeg2 {
@@ -29,32 +30,12 @@ int mb_sad(const Frame& ref, const Frame& cur, int mb_x, int mb_y,
   const int y = mb_y * 16;
   const int sx = x + (mv.x >> 1);
   const int sy = y + (mv.y >> 1);
-  const bool hx = (mv.x & 1) != 0;
-  const bool hy = (mv.y & 1) != 0;
   const int rs = ref.y_stride();
   const int cs = cur.y_stride();
   const std::uint8_t* r = ref.y() + sy * rs + sx;
   const std::uint8_t* c = cur.y() + y * cs + x;
-  int sad = 0;
-  for (int row = 0; row < 16; ++row) {
-    const std::uint8_t* rr = r + row * rs;
-    const std::uint8_t* cc = c + row * cs;
-    for (int col = 0; col < 16; ++col) {
-      int pel;
-      if (!hx && !hy) {
-        pel = rr[col];
-      } else if (hx && !hy) {
-        pel = (rr[col] + rr[col + 1] + 1) >> 1;
-      } else if (!hx && hy) {
-        pel = (rr[col] + rr[col + rs] + 1) >> 1;
-      } else {
-        pel = (rr[col] + rr[col + 1] + rr[col + rs] + rr[col + rs + 1] + 2) >>
-              2;
-      }
-      sad += pel > cc[col] ? pel - cc[col] : cc[col] - pel;
-    }
-  }
-  return sad;
+  return kernels::active().sad16(r, rs, c, cs, (mv.x & 1) != 0,
+                                 (mv.y & 1) != 0);
 }
 
 namespace {

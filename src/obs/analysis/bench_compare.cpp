@@ -122,10 +122,30 @@ void compare_rows(const std::string& tool, const JsonValue& base_row,
   }
 }
 
+/// meta.kernels_backend, or "" when the document predates the field.
+std::string kernels_backend_of(const JsonValue& doc) {
+  const JsonValue* meta = doc.find("meta");
+  if (!meta || !meta->is_object()) return "";
+  return meta->get_string("kernels_backend", "");
+}
+
 void compare_one_report(const JsonValue& base, const JsonValue& cand,
                         const CompareOptions& options, CompareResult& out) {
   const std::string tool = base.get_string("tool", "?");
   ++out.reports;
+  // A backend change is an identity mismatch, not a metric regression: the
+  // two runs measured different kernels, so their metric deltas are
+  // meaningless and suppressed. Only enforced when both documents carry
+  // the meta field; pre-dispatch baselines still compare normally.
+  const std::string base_kern = kernels_backend_of(base);
+  const std::string cand_kern = kernels_backend_of(cand);
+  if (!base_kern.empty() && !cand_kern.empty() && base_kern != cand_kern) {
+    out.identity_mismatch.push_back(
+        tool + ": kernels_backend '" + base_kern + "' (baseline) vs '" +
+        cand_kern + "' (candidate); rerun with matching PMP2_KERNELS or "
+        "regenerate the baseline");
+    return;
+  }
   const JsonValue* base_rows = base.find("rows");
   const JsonValue* cand_rows = cand.find("rows");
   if (!base_rows || !base_rows->is_array() || !cand_rows ||
@@ -235,6 +255,9 @@ void write_compare_text(std::ostream& os, const CompareResult& r) {
                 r.reports, r.rows, r.metrics);
   os << buf;
   for (const std::string& n : r.notes) os << "note: " << n << "\n";
+  for (const std::string& m : r.identity_mismatch) {
+    os << "IDENTITY MISMATCH: " << m << "\n";
+  }
   for (const std::string& c : r.coverage_loss) os << "LOST: " << c << "\n";
   for (const MetricDiff& d : r.regressions) {
     std::snprintf(buf, sizeof buf,

@@ -81,9 +81,16 @@ struct CompareResult {
   std::vector<MetricDiff> improvements;   // only when requested
   std::vector<std::string> notes;         // structural mismatches, etc.
   std::vector<std::string> coverage_loss; // baseline rows/reports gone
+  /// Run-identity conflicts (e.g. the two documents were produced on
+  /// different kernel backends): the runs are different experiments, so
+  /// their metric deltas are suppressed and the comparison fails here
+  /// instead. Reports without identity meta (older baselines) compare
+  /// normally.
+  std::vector<std::string> identity_mismatch;
 
   [[nodiscard]] bool passed() const {
-    return ok && regressions.empty() && coverage_loss.empty();
+    return ok && regressions.empty() && coverage_loss.empty() &&
+           identity_mismatch.empty();
   }
 };
 

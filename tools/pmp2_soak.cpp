@@ -195,6 +195,7 @@ bool check_run(const parallel::RunResult& r, SoakStream& stream,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::apply_kernels_flag(flags);  // --kernels=scalar|sse2|avx2
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const double budget_s = parse_budget(flags.get_string("budget", "30s"));
   const auto max_iters = flags.get_int("iters", 0);  // per stream; 0 = inf
