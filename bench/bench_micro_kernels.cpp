@@ -31,6 +31,7 @@
 #include "mpeg2/motion.h"
 #include "mpeg2/motion_est.h"
 #include "mpeg2/vlc_tables.h"
+#include "obs/prof/counters.h"
 #include "obs/report.h"
 #include "streamgen/scene.h"
 #include "streamgen/stream_factory.h"
@@ -853,34 +854,79 @@ BENCHMARK(BM_VlcLookupSignedTwoLevel);
 // ---------------------------------------------------------------------------
 
 namespace kernels = pmp2::mpeg2::kernels;
+namespace prof = pmp2::obs::prof;
+
+/// Per-thread hardware counters for the A/B sweeps, or null when the host
+/// has no usable PMU (the sweep then stays time-only). The reads sit
+/// outside the timed regions, so enabling them never perturbs the ns/op
+/// numbers.
+prof::ThreadCounters* sweep_counters() {
+  static const std::unique_ptr<prof::CounterSource> source =
+      prof::make_counter_source();
+  static const bool hw =
+      (source->mask() & prof::counter_bit(prof::Counter::kCycles)) &&
+      (source->mask() & prof::counter_bit(prof::Counter::kInstructions));
+  static thread_local std::unique_ptr<prof::ThreadCounters> tc =
+      hw ? source->open_thread() : nullptr;
+  return tc.get();
+}
 
 /// Interleaved A-B harness: per benchmark iteration run prep_a + timed a,
 /// then prep_b + timed b, keeping each side's minimum sweep time. Emits
-/// before_ns / after_ns counters normalized per op.
+/// before_ns / after_ns counters normalized per op; on PMU hosts also the
+/// minimum sweep's cycles and instructions per op for both sides.
 template <typename PA, typename FA, typename PB, typename FB>
 void ab_sweep(benchmark::State& state, double ops_per_sweep, PA&& prep_a,
               FA&& a, PB&& prep_b, FB&& b) {
   using clock = std::chrono::steady_clock;
+  prof::ThreadCounters* const ctr = sweep_counters();
   double a_min = 0.0;
   double b_min = 0.0;
+  prof::CounterSample a_ctr, b_ctr;  // counter deltas of the min sweeps
   for (auto _ : state) {
     prep_a();
+    prof::CounterSample c0, c1;
+    if (ctr) ctr->read(&c0);
     const auto t0 = clock::now();
     a();
     benchmark::ClobberMemory();
     const auto t1 = clock::now();
+    if (ctr) ctr->read(&c1);
     prep_b();
+    prof::CounterSample c2, c3;
+    if (ctr) ctr->read(&c2);
     const auto t2 = clock::now();
     b();
     benchmark::ClobberMemory();
     const auto t3 = clock::now();
+    if (ctr) ctr->read(&c3);
     const double da = std::chrono::duration<double, std::nano>(t1 - t0).count();
     const double db = std::chrono::duration<double, std::nano>(t3 - t2).count();
-    if (a_min == 0.0 || da < a_min) a_min = da;
-    if (b_min == 0.0 || db < b_min) b_min = db;
+    if (a_min == 0.0 || da < a_min) {
+      a_min = da;
+      if (ctr) a_ctr = c1.delta_since(c0);
+    }
+    if (b_min == 0.0 || db < b_min) {
+      b_min = db;
+      if (ctr) b_ctr = c3.delta_since(c2);
+    }
   }
   state.counters["before_ns"] = a_min / ops_per_sweep;
   state.counters["after_ns"] = b_min / ops_per_sweep;
+  if (ctr) {
+    state.counters["before_cycles"] =
+        static_cast<double>(a_ctr.get(prof::Counter::kCycles)) /
+        ops_per_sweep;
+    state.counters["before_instructions"] =
+        static_cast<double>(a_ctr.get(prof::Counter::kInstructions)) /
+        ops_per_sweep;
+    state.counters["after_cycles"] =
+        static_cast<double>(b_ctr.get(prof::Counter::kCycles)) /
+        ops_per_sweep;
+    state.counters["after_instructions"] =
+        static_cast<double>(b_ctr.get(prof::Counter::kInstructions)) /
+        ops_per_sweep;
+  }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * ops_per_sweep));
 }
@@ -1143,8 +1189,14 @@ int main(int argc, char** argv) {
       "bench_micro_kernels",
       "Decode-kernel micro-benchmarks: ns/op per kernel plus before/after "
       "speedups of the optimized hot paths");
+  const prof::HostProfile host = prof::probe_host();
   report.set_meta("kernels_backend", kernels::active().name)
-      .set_meta("cpu_features", kernels::cpu_features());
+      .set_meta("cpu_features", kernels::cpu_features())
+      .set_meta("kernel_release", host.kernel_release)
+      .set_meta("perf_event_paranoid",
+                static_cast<std::int64_t>(host.perf_event_paranoid))
+      .set_meta("counter_source", host.source)
+      .set_meta("counters_available", host.hw_available);
   std::set<std::string> reported;
   for (const auto& [name, ns] : reporter.results) {
     if (!reported.insert(name).second) continue;
@@ -1187,11 +1239,28 @@ int main(int argc, char** argv) {
     const double before = find_ns(reporter.results, p.bench + "/before_ns");
     const double after = find_ns(reporter.results, p.bench + "/after_ns");
     if (before <= 0.0 || after <= 0.0) continue;
-    report.add_row()
-        .set("speedup", p.label)
+    auto& row = report.add_row();
+    row.set("speedup", p.label)
         .set("before_ns", before)
         .set("after_ns", after)
         .set("ratio", before / after);
+    // Counter columns (PMU hosts only): cycles and instructions per op for
+    // both sides of the pair, plus the derived IPC. bench_check compares
+    // them only between runs whose counter_source matches.
+    const double bc = find_ns(reporter.results, p.bench + "/before_cycles");
+    const double bi =
+        find_ns(reporter.results, p.bench + "/before_instructions");
+    const double ac = find_ns(reporter.results, p.bench + "/after_cycles");
+    const double ai =
+        find_ns(reporter.results, p.bench + "/after_instructions");
+    if (bc > 0.0 && ac > 0.0) {
+      row.set("cycles_per_op_before", bc)
+          .set("cycles_per_op_after", ac)
+          .set("instructions_per_op_before", bi)
+          .set("instructions_per_op_after", ai);
+      if (bi > 0.0) row.set("ipc_before", bi / bc);
+      if (ai > 0.0) row.set("ipc_after", ai / ac);
+    }
     std::cout << "speedup " << p.label << ": " << before / after << "x ("
               << before << " -> " << after << " ns)\n";
     ratios_by_backend[p.backend].push_back(before / after);

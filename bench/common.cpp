@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "mpeg2/kernels/kernels.h"
+#include "obs/prof/counters.h"
 
 namespace pmp2::bench {
 
@@ -160,8 +161,17 @@ void apply_kernels_flag(const Flags& flags) {
 }
 
 void set_kernel_identity(obs::RunReport& report) {
+  // Probed once: the host's counter capability is identity like the
+  // backend itself — bench_check must not compare counter columns between
+  // a PMU host and a software-fallback host.
+  static const obs::prof::HostProfile host = obs::prof::probe_host();
   report.set_meta("kernels_backend", mpeg2::kernels::active().name)
-      .set_meta("cpu_features", mpeg2::kernels::cpu_features());
+      .set_meta("cpu_features", mpeg2::kernels::cpu_features())
+      .set_meta("kernel_release", host.kernel_release)
+      .set_meta("perf_event_paranoid",
+                static_cast<std::int64_t>(host.perf_event_paranoid))
+      .set_meta("counter_source", host.source)
+      .set_meta("counters_available", host.hw_available);
 }
 
 int finish(const Flags& flags) {

@@ -69,10 +69,13 @@ void append_load_summary(obs::RunReport::Row& row,
 /// the CPUID-selected table in place.
 void apply_kernels_flag(const Flags& flags);
 
-/// Stamps the run-identity meta fields (`kernels_backend`, `cpu_features`)
-/// on a report, so report consumers can tell runs on different kernel
-/// backends apart (tools/bench_check treats a backend change as an
-/// identity mismatch, not a metric regression).
+/// Stamps the run-identity meta fields (`kernels_backend`, `cpu_features`,
+/// plus the host counter profile: `kernel_release`, `perf_event_paranoid`,
+/// `counter_source`, `counters_available`) on a report, so report
+/// consumers can tell runs on different kernel backends or differently
+/// counter-capable hosts apart (tools/bench_check treats a backend change
+/// as an identity mismatch, not a metric regression, and suppresses
+/// counter columns across a counter_source change).
 void set_kernel_identity(obs::RunReport& report);
 
 /// Warns about unknown flags at the end of main().

@@ -12,6 +12,8 @@
 //                       [--prom-out=live.prom] [--watchdog-ms=N]
 //                       [--slo=latency_p99_ms=X,min_pics_s=Y,max_stall_ms=Z]
 //                       [--inject-stall-ms=N]
+//                       [--prof-counters] [--prof-json-out=run.prof.json]
+//                       [--prof-out=run.folded] [--prof-interval-us=997]
 //
 // --trace-out captures a Chrome trace_event timeline (open in Perfetto /
 // chrome://tracing) of the decoder named by --trace-decoder; --journal-out
@@ -32,7 +34,15 @@
 // --inject-stall-ms stalls the GOP decoder's frame consumer once,
 // mid-stream, for N ms — a fault hook to watch the max_stall_ms SLO fire
 // (and clear) on a real pipeline.
+//
+// --prof-counters attributes hardware counters (or the software fallback
+// when perf is unavailable) per pipeline stage and prints the paper-§7
+// ideal-vs-memory-stall split; --prof-json-out writes the pmp2-prof/1
+// summary for pmp2_analyze --prof. --prof-out runs the in-process
+// sampling profiler across the parallel decodes and writes collapsed
+// stacks (flamegraph "folded" format; inspect with tools/pmp2_prof).
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -44,6 +54,8 @@
 #include "obs/live/sampler.h"
 #include "obs/live/telemetry.h"
 #include "obs/metrics.h"
+#include "obs/prof/sampling.h"
+#include "obs/prof/stage_prof.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 #include "parallel/gop_decoder.h"
@@ -79,6 +91,12 @@ int main(int argc, char** argv) {
       flags.get_int("live-interval-ms", 250);
   const std::string slo_text = flags.get_string("slo", "");
   const std::int64_t watchdog_ms = flags.get_int("watchdog-ms", 0);
+  const std::string prof_json_out = flags.get_string("prof-json-out", "");
+  const bool prof_counters =
+      flags.get_bool("prof-counters", false) || !prof_json_out.empty();
+  const std::string prof_out = flags.get_string("prof-out", "");
+  const std::int64_t prof_interval_us =
+      flags.get_int("prof-interval-us", 997);
 
   // --kernels=scalar|sse2|avx2 forces the kernel backend (same values as
   // the PMP2_KERNELS env override); the default is the CPUID selection.
@@ -140,6 +158,29 @@ int main(int argc, char** argv) {
     sampler->start();
   }
 
+  // Host counter capability is identity metadata whether or not profiling
+  // runs: bench_check must never compare counter columns across
+  // differently-capable hosts (docs/OBSERVABILITY.md).
+  const obs::prof::HostProfile host = obs::prof::probe_host();
+
+  // Slot `workers` is the scan process, like tracer track `workers`.
+  std::unique_ptr<obs::prof::StageProfiler> prof;
+  if (prof_counters) {
+    prof = std::make_unique<obs::prof::StageProfiler>(
+        obs::prof::make_counter_source(), workers + 1);
+    if (live) live->set_counter_source(prof->source_name(), prof->mask());
+  }
+
+  obs::prof::SamplingProfiler stack_sampler;
+  if (!prof_out.empty()) {
+    obs::prof::SamplingOptions sopt;
+    sopt.interval_us = static_cast<int>(prof_interval_us);
+    if (!stack_sampler.start(sopt)) {
+      std::cerr << "error: sampling profiler failed to start\n";
+      return 2;
+    }
+  }
+
   Table t({"Decoder", "Workers", "Pictures/s", "Real-time (30/s)?",
            "Sync time %", "Output"});
   obs::RunReport report("parallel_playback",
@@ -150,7 +191,12 @@ int main(int argc, char** argv) {
       .set_meta("gop_size", spec.gop_size)
       .set_meta("workers", workers)
       .set_meta("kernels_backend", mpeg2::kernels::active().name)
-      .set_meta("cpu_features", mpeg2::kernels::cpu_features());
+      .set_meta("cpu_features", mpeg2::kernels::cpu_features())
+      .set_meta("kernel_release", host.kernel_release)
+      .set_meta("perf_event_paranoid",
+                static_cast<std::int64_t>(host.perf_event_paranoid))
+      .set_meta("counter_source", host.source)
+      .set_meta("counters_available", host.hw_available);
   report.attach_metrics(&metrics);
 
   // Sequential reference.
@@ -222,6 +268,7 @@ int main(int argc, char** argv) {
     cfg.workers = workers;
     cfg.tracker = &tracker;
     cfg.live = live.get();
+    cfg.prof = prof.get();
     cfg.watchdog_ns = watchdog_ms * 1'000'000;
     if (trace_decoder == "gop") {
       cfg.tracer = tracer.get();
@@ -250,6 +297,7 @@ int main(int argc, char** argv) {
     cfg.workers = workers;
     cfg.policy = parallel::SlicePolicy::kSimple;
     cfg.live = live.get();
+    cfg.prof = prof.get();
     cfg.watchdog_ns = watchdog_ms * 1'000'000;
     {
       mpeg2::MemoryTracker tracker;
@@ -294,6 +342,44 @@ int main(int argc, char** argv) {
                " virtual-time multiprocessor results.\n";
 
   int rc = divergences > 0 || hangs > 0 ? 1 : 0;
+  if (!prof_out.empty()) {
+    stack_sampler.stop();
+    const obs::prof::CollapsedProfile collapsed = stack_sampler.collapse();
+    std::ofstream os(prof_out, std::ios::out | std::ios::trunc);
+    if (os) {
+      obs::prof::SamplingProfiler::write_collapsed(os, collapsed);
+    }
+    if (os) {
+      std::cout << "wrote " << prof_out << " (" << collapsed.total
+                << " samples, " << collapsed.stacks.size()
+                << " stacks); inspect with tools/pmp2_prof\n";
+      if (collapsed.dropped > 0) {
+        std::cerr << "warning: sampling ring overflow dropped "
+                  << collapsed.dropped << " sample(s)\n";
+      }
+    } else {
+      std::cerr << "error: cannot write profile to " << prof_out << "\n";
+      rc = 1;
+    }
+  }
+  if (prof) {
+    obs::prof::ProfSummary summary = prof->aggregate();
+    summary.kernels_backend = mpeg2::kernels::active().name;
+    std::cout << "\n=== stage counters (" << summary.source << ") ===\n";
+    obs::prof::write_prof_text(std::cout, summary);
+    if (!prof_json_out.empty()) {
+      std::ofstream os(prof_json_out, std::ios::out | std::ios::trunc);
+      if (os) obs::prof::write_prof_json(os, summary);
+      if (os) {
+        std::cout << "wrote " << prof_json_out
+                  << "; decompose with pmp2_analyze --prof\n";
+      } else {
+        std::cerr << "error: cannot write profile to " << prof_json_out
+                  << "\n";
+        rc = 1;
+      }
+    }
+  }
   if (divergences > 0) {
     std::cerr << "error: " << divergences
               << " decoder(s) failed or diverged from the sequential"

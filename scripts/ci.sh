@@ -15,6 +15,7 @@
 #   scripts/ci.sh asan        # ASan build of decoder/concealment/fault tests
 #   scripts/ci.sh soak        # pmp2_soak fault-injection fuzz (small budget)
 #   scripts/ci.sh bench       # quick bench suite diffed vs BENCH_parallel.json
+#   scripts/ci.sh prof        # counter profiling: probe, unit tests, e2e
 #   scripts/ci.sh lint        # repo hygiene (no tracked ignored files)
 #   scripts/ci.sh all         # everything
 #
@@ -92,14 +93,17 @@ stage_tsan() {
 stage_ubsan() {
   # The SWAR scanner does unaligned 8-byte loads (via memcpy, which must
   # stay UBSan-clean) — run the fuzz/oracle tests and the bitstream unit
-  # tests under -fsanitize=undefined to prove it.
+  # tests under -fsanitize=undefined to prove it. test_prof rides along:
+  # the sampling profiler's SIGPROF handler walks and hashes raw return
+  # addresses, exactly the kind of pointer arithmetic UBSan polices.
   run cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPMP2_SANITIZE=undefined || return 1
   run cmake --build build-ubsan -j "$JOBS" \
       --target test_startcode_fuzz test_bitstream test_kernel_equivalence \
-      || return 1
+      test_prof || return 1
   run ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
-      -R 'StartcodeFuzz|BitReader|BitWriter|Startcode' || return 1
+      -R 'StartcodeFuzz|BitReader|BitWriter|Startcode|SamplingProfiler|CollapsedStacks' \
+      || return 1
   # Kernel equivalence + fuzz once per host-supported backend: the SIMD
   # intrinsics' shifts, widenings and sign tricks must be UBSan-clean for
   # every dispatch choice, not just the CPUID default.
@@ -147,6 +151,25 @@ stage_bench() {
       --advisory-metrics --tolerance=0.25
 }
 
+stage_prof() {
+  # Hardware-counter profiling layer (docs/OBSERVABILITY.md "Hardware
+  # profiling"). The attribution math runs on FakeCounterSource, so the
+  # unit tests pass with or without a PMU; the probe just reports which
+  # path (perf vs software fallback) the end-to-end run will exercise.
+  build_tier1 || return 1
+  run build/tools/pmp2_prof --probe || return 1
+  run ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -R 'FakeCounterSource|CounterSample|ProbeHost|SoftwareCounterSource|PerfCounterSource|StageProfiler|StageScope|ProfJson|ProfText|CollapsedStacks|SamplingProfiler|TelemetryCounters|BenchCompareCounters' \
+      || return 1
+  # End-to-end: stage counters + sampling profiler on a real playback run,
+  # in whichever mode the host supports, then assert both outputs parse.
+  run build/examples/parallel_playback --pictures=26 --workers=2 \
+      --prof-counters --prof-json-out=build/ci_prof.json \
+      --prof-out=build/ci_prof.folded || return 1
+  run build/tools/pmp2_prof --check build/ci_prof.folded || return 1
+  run build/tools/pmp2_analyze --prof=build/ci_prof.json || return 1
+}
+
 stage_lint() {
   # Generated artifacts must not creep back under version control: fail if
   # any tracked file matches a .gitignore pattern.
@@ -171,6 +194,7 @@ case "$STAGE" in
   asan)      stage_asan      || rc=1 ;;
   soak)      stage_soak      || rc=1 ;;
   bench)     stage_bench     || rc=1 ;;
+  prof)      stage_prof      || rc=1 ;;
   lint)      stage_lint      || rc=1 ;;
   default)
     stage_tier1 || rc=1
@@ -190,10 +214,11 @@ case "$STAGE" in
     stage_asan || rc=1
     stage_soak || rc=1
     stage_bench || rc=1
+    stage_prof || rc=1
     ;;
   *)
     echo "ci.sh: unknown stage '$STAGE'" \
-         "(tier1|tier1-scalar|perfsmoke|obs|tsan|ubsan|asan|soak|bench|lint|all)" >&2
+         "(tier1|tier1-scalar|perfsmoke|obs|tsan|ubsan|asan|soak|bench|prof|lint|all)" >&2
     exit 2 ;;
 esac
 exit "$rc"

@@ -6,6 +6,7 @@
 #include "mpeg2/kernels/kernels.h"
 #include "mpeg2/structure_scan.h"
 #include "obs/metrics.h"
+#include "obs/prof/stage_prof.h"
 #include "obs/tracer.h"
 
 namespace pmp2::mpeg2 {
@@ -75,6 +76,7 @@ bool parse_picture_headers(BitReader& br, PictureHeader& ph,
 
 void conceal_slice(const PictureContext& pic, int slice_row) {
   if (slice_row < 0 || slice_row >= pic.mb_height) return;
+  obs::prof::StageScope conceal_stage(obs::prof::Stage::kConceal);
   const kernels::KernelTable& k = kernels::active();
   for (int p = 0; p < 3; ++p) {
     const int rows = p == 0 ? kMacroblockSize : kMacroblockSize / 2;

@@ -5,6 +5,7 @@
 #include "mpeg2/dct.h"
 #include "mpeg2/motion.h"
 #include "mpeg2/vlc_tables.h"
+#include "obs/prof/stage_prof.h"
 
 namespace pmp2::mpeg2 {
 
@@ -225,16 +226,23 @@ bool decode_blocks(BitReader& br, const PictureContext& pic, SliceState& st,
     const std::uint64_t coef_before = work.coefficients;
     bool ok;
     BlockSparsity sparsity;
-    if (intra) {
-      ok = BlockDecoder::decode_intra(br, pic, st.qscale_code, luma,
-                                      st.dc_pred[cc], block, work, &sparsity);
-    } else {
-      ok = BlockDecoder::decode_non_intra(br, pic, st.qscale_code, block,
-                                          work, &sparsity);
+    {
+      obs::prof::StageScope vlc_stage(obs::prof::Stage::kVlc);
+      if (intra) {
+        ok = BlockDecoder::decode_intra(br, pic, st.qscale_code, luma,
+                                        st.dc_pred[cc], block, work,
+                                        &sparsity);
+      } else {
+        ok = BlockDecoder::decode_non_intra(br, pic, st.qscale_code, block,
+                                            work, &sparsity);
+      }
     }
     if (!ok) return false;
     const int ncoef = static_cast<int>(work.coefficients - coef_before);
     if (pic.block_observer) pic.block_observer->on_block(block, intra);
+    // Scoped to the rest of the iteration: the transform plus its store
+    // (and the trace emit, null in profiled runs) are one IDCT stage.
+    obs::prof::StageScope idct_stage(obs::prof::Stage::kIdct);
     idct_int(block, sparsity);
     int x, y, plane, stride;
     int line_step = 1;
@@ -320,6 +328,7 @@ bool mv_in_field(const PictureContext& pic, int mb_x, int mb_y,
 [[nodiscard]] bool predict_mb(const PictureContext& pic, int mb_x, int mb_y,
                               const PredictionSpec& spec, WorkMeter& work,
                               TraceSink* sink, int proc) {
+  obs::prof::StageScope mc_stage(obs::prof::Stage::kMc);
   const bool use_fwd = (spec.flags & MbFlags::kMotionForward) != 0;
   const bool use_bwd = (spec.flags & MbFlags::kMotionBackward) != 0;
   if (use_fwd) {

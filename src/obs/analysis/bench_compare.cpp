@@ -39,15 +39,26 @@ bool is_metric_field(const std::string& name) {
          contains(name, "rate") || contains(name, "percent") ||
          contains(name, "stall") || contains(name, "miss") ||
          contains(name, "efficiency") || contains(name, "overhead") ||
-         contains(name, "ns_per_op");
+         contains(name, "per_op") || contains(name, "ipc") ||
+         contains(name, "cycles") || contains(name, "instructions");
 }
 
 bool metric_higher_is_better(const std::string& name) {
+  // Miss/stall figures are lower-better even when the name also says
+  // "rate" (read_miss_rate, stall_frac): check them before the
+  // higher-better substrings.
+  if (contains(name, "miss") || contains(name, "stall")) return false;
   return contains(name, "per_second") || contains(name, "speedup") ||
          contains(name, "utilization") || contains(name, "fps") ||
          contains(name, "pps") || contains(name, "mbps") ||
          contains(name, "rate") || contains(name, "efficiency") ||
-         contains(name, "throughput");
+         contains(name, "throughput") || contains(name, "ipc");
+}
+
+bool is_counter_metric(const std::string& name) {
+  return contains(name, "cycles") || contains(name, "instructions") ||
+         contains(name, "ipc") || contains(name, "cache_refs") ||
+         contains(name, "cache_misses") || contains(name, "stalled");
 }
 
 namespace {
@@ -84,10 +95,12 @@ std::string row_key(const JsonValue& row) {
 
 void compare_rows(const std::string& tool, const JsonValue& base_row,
                   const JsonValue& cand_row, const std::string& key,
-                  const CompareOptions& options, CompareResult& out) {
+                  const CompareOptions& options, bool suppress_counters,
+                  CompareResult& out) {
   ++out.rows;
   for (const auto& [name, base_val] : base_row.members) {
     if (!base_val.is_number() || !is_metric_field(name)) continue;
+    if (suppress_counters && is_counter_metric(name)) continue;
     const JsonValue* cand_val = cand_row.find(name);
     if (!cand_val || !cand_val->is_number()) {
       out.coverage_loss.push_back(tool + " [" + key + "]: metric '" + name +
@@ -129,6 +142,13 @@ std::string kernels_backend_of(const JsonValue& doc) {
   return meta->get_string("kernels_backend", "");
 }
 
+/// meta.counter_source, or "" when the document predates the field.
+std::string counter_source_of(const JsonValue& doc) {
+  const JsonValue* meta = doc.find("meta");
+  if (!meta || !meta->is_object()) return "";
+  return meta->get_string("counter_source", "");
+}
+
 void compare_one_report(const JsonValue& base, const JsonValue& cand,
                         const CompareOptions& options, CompareResult& out) {
   const std::string tool = base.get_string("tool", "?");
@@ -145,6 +165,21 @@ void compare_one_report(const JsonValue& base, const JsonValue& cand,
         cand_kern + "' (candidate); rerun with matching PMP2_KERNELS or "
         "regenerate the baseline");
     return;
+  }
+  // A counter-capability change (perf host vs software-fallback host) is
+  // narrower than a backend change: the time-based metrics still compare
+  // fine, only the hardware-counter columns are meaningless across it.
+  // Suppress those columns with a note instead of failing the report.
+  // Only when both documents carry the field — committed baselines without
+  // counter meta keep comparing everything.
+  const std::string base_src = counter_source_of(base);
+  const std::string cand_src = counter_source_of(cand);
+  const bool suppress_counters =
+      !base_src.empty() && !cand_src.empty() && base_src != cand_src;
+  if (suppress_counters) {
+    out.notes.push_back(
+        tool + ": counter_source '" + base_src + "' (baseline) vs '" +
+        cand_src + "' (candidate); hardware-counter columns not compared");
   }
   const JsonValue* base_rows = base.find("rows");
   const JsonValue* cand_rows = cand.find("rows");
@@ -167,7 +202,8 @@ void compare_one_report(const JsonValue& base, const JsonValue& cand,
                                   "] missing from candidate");
       continue;
     }
-    compare_rows(tool, row, *it->second, key, options, out);
+    compare_rows(tool, row, *it->second, key, options, suppress_counters,
+                 out);
   }
 }
 

@@ -38,6 +38,13 @@ inline constexpr const char* kSuiteSchema = "pmp2-bench-suite/1";
 /// True when a larger value of metric `name` is better. Exposed for tests.
 [[nodiscard]] bool metric_higher_is_better(const std::string& name);
 
+/// True when metric `name` is a hardware-counter column (cycles,
+/// instructions, ipc, cache/stall counters). Counter columns are only
+/// compared between runs whose meta.counter_source matches — a perf host
+/// and a software-fallback host measure different things. Exposed for
+/// tests.
+[[nodiscard]] bool is_counter_metric(const std::string& name);
+
 struct CompareOptions {
   /// Allowed relative change in the "worse" direction before a metric
   /// counts as a regression.

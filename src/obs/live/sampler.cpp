@@ -201,6 +201,11 @@ LiveSnapshot LiveSampler::build_snapshot(std::int64_t now_ns) {
     }
     snapshot.pictures += ws.cell.pictures;
     newest_progress = std::max(newest_progress, ws.cell.last_progress_ns);
+    snapshot.cycles += ws.cell.cycles;
+    snapshot.instructions += ws.cell.instructions;
+    snapshot.cache_refs += ws.cell.cache_refs;
+    snapshot.cache_misses += ws.cell.cache_misses;
+    snapshot.stalled_backend += ws.cell.stalled_backend;
     prev_cells_[static_cast<std::size_t>(w)] = ws.cell;
     snapshot.workers.push_back(std::move(ws));
   }
@@ -238,6 +243,44 @@ LiveSnapshot LiveSampler::build_snapshot(std::int64_t now_ns) {
   snapshot.p50_total_ms = cumulative.percentile(0.50) / 1e6;
   snapshot.p95_total_ms = cumulative.percentile(0.95) / 1e6;
   snapshot.p99_total_ms = cumulative.percentile(0.99) / 1e6;
+
+  // Counter columns. The scan process counts too — its flush lands in the
+  // scan cell, not a worker cell.
+  snapshot.counter_source = telemetry_.counter_source();
+  snapshot.cycles += scan.cycles;
+  snapshot.instructions += scan.instructions;
+  snapshot.cache_refs += scan.cache_refs;
+  snapshot.cache_misses += scan.cache_misses;
+  snapshot.stalled_backend += scan.stalled_backend;
+  if (!snapshot.counter_source.empty()) {
+    const std::int64_t totals[5] = {snapshot.cycles, snapshot.instructions,
+                                    snapshot.cache_refs,
+                                    snapshot.cache_misses,
+                                    snapshot.stalled_backend};
+    CounterTick tick;
+    tick.t_ns = now_ns;
+    for (int i = 0; i < 5; ++i) {
+      tick.d[i] = std::max<std::int64_t>(0, totals[i] - prev_counters_[i]);
+      prev_counters_[i] = totals[i];
+    }
+    counter_ring_.push_back(tick);
+    const std::int64_t window_ns = options_.window_short_ms * 1'000'000;
+    while (!counter_ring_.empty() &&
+           counter_ring_.front().t_ns <= now_ns - window_ns) {
+      counter_ring_.pop_front();
+    }
+    std::int64_t sum[5] = {0, 0, 0, 0, 0};
+    for (const CounterTick& t : counter_ring_) {
+      for (int i = 0; i < 5; ++i) sum[i] += t.d[i];
+    }
+    const auto ratio = [](std::int64_t num, std::int64_t den) {
+      return den > 0 ? static_cast<double>(num) / static_cast<double>(den)
+                     : 0.0;
+    };
+    snapshot.ipc_1s = ratio(sum[1], sum[0]);
+    snapshot.miss_rate_1s = ratio(sum[3], sum[2]);
+    snapshot.stall_frac_1s = ratio(sum[4], sum[0]);
+  }
   prev_t_ns_ = now_ns;
   return snapshot;
 }
@@ -366,6 +409,21 @@ void write_snapshot_json(const LiveSnapshot& snapshot, std::ostream& os) {
   w.end_object();
   w.end_object();
   w.key("stall_ms").value(snapshot.stall_ms);
+  if (!snapshot.counter_source.empty()) {
+    // Additive: absent entirely on runs without a profiler, so old readers
+    // and old NDJSON files are both fine.
+    w.key("counters").begin_object();
+    w.key("source").value(snapshot.counter_source);
+    w.key("cycles").value(snapshot.cycles);
+    w.key("instructions").value(snapshot.instructions);
+    w.key("cache_refs").value(snapshot.cache_refs);
+    w.key("cache_misses").value(snapshot.cache_misses);
+    w.key("stalled_backend").value(snapshot.stalled_backend);
+    w.key("ipc_w1s").value(snapshot.ipc_1s);
+    w.key("miss_rate_w1s").value(snapshot.miss_rate_1s);
+    w.key("stall_frac_w1s").value(snapshot.stall_frac_1s);
+    w.end_object();
+  }
   w.key("workers").begin_array();
   for (const auto& ws : snapshot.workers) {
     w.begin_object();
@@ -381,6 +439,11 @@ void write_snapshot_json(const LiveSnapshot& snapshot, std::ostream& os) {
     w.key("last_latency_ns").value(ws.cell.last_latency_ns);
     w.key("last_progress_ns").value(ws.cell.last_progress_ns);
     w.key("utilization").value(ws.utilization);
+    if (!snapshot.counter_source.empty()) {
+      w.key("cycles").value(ws.cell.cycles);
+      w.key("instructions").value(ws.cell.instructions);
+      w.key("cache_misses").value(ws.cell.cache_misses);
+    }
     w.end_object();
   }
   w.end_array();
@@ -431,6 +494,21 @@ std::string prometheus_text(const LiveSnapshot& snapshot) {
   }
   os << "# TYPE pmp2_stall_ms gauge\n";
   os << "pmp2_stall_ms " << json_double(snapshot.stall_ms) << "\n";
+  if (!snapshot.counter_source.empty()) {
+    os << "# TYPE pmp2_hw_cycles_total counter\n";
+    os << "pmp2_hw_cycles_total{source=\"" << snapshot.counter_source
+       << "\"} " << snapshot.cycles << "\n";
+    os << "pmp2_hw_instructions_total{source=\"" << snapshot.counter_source
+       << "\"} " << snapshot.instructions << "\n";
+    os << "pmp2_hw_cache_misses_total{source=\"" << snapshot.counter_source
+       << "\"} " << snapshot.cache_misses << "\n";
+    os << "# TYPE pmp2_ipc gauge\n";
+    os << "pmp2_ipc{window=\"1s\"} " << json_double(snapshot.ipc_1s) << "\n";
+    os << "pmp2_cache_miss_rate{window=\"1s\"} "
+       << json_double(snapshot.miss_rate_1s) << "\n";
+    os << "pmp2_stall_frac{window=\"1s\"} "
+       << json_double(snapshot.stall_frac_1s) << "\n";
+  }
   os << "# TYPE pmp2_worker_utilization gauge\n";
   for (const auto& ws : snapshot.workers) {
     os << "pmp2_worker_utilization{worker=\"" << ws.id << "\"} "
@@ -509,6 +587,17 @@ bool parse_snapshot(std::string_view line, LiveSnapshot& out,
                       snapshot.p95_total_ms, snapshot.p99_total_ms);
   }
   snapshot.stall_ms = doc.get_double("stall_ms", -1.0);
+  if (const JsonValue* counters = doc.find("counters")) {
+    snapshot.counter_source = counters->get_string("source");
+    snapshot.cycles = counters->get_int("cycles");
+    snapshot.instructions = counters->get_int("instructions");
+    snapshot.cache_refs = counters->get_int("cache_refs");
+    snapshot.cache_misses = counters->get_int("cache_misses");
+    snapshot.stalled_backend = counters->get_int("stalled_backend");
+    snapshot.ipc_1s = counters->get_double("ipc_w1s");
+    snapshot.miss_rate_1s = counters->get_double("miss_rate_w1s");
+    snapshot.stall_frac_1s = counters->get_double("stall_frac_w1s");
+  }
   if (const JsonValue* workers = doc.find("workers");
       workers && workers->is_array()) {
     for (const JsonValue& item : workers->items) {
@@ -524,6 +613,9 @@ bool parse_snapshot(std::string_view line, LiveSnapshot& out,
       ws.cell.quarantined = item.get_int("quarantined");
       ws.cell.last_latency_ns = item.get_int("last_latency_ns");
       ws.cell.last_progress_ns = item.get_int("last_progress_ns", -1);
+      ws.cell.cycles = item.get_int("cycles");
+      ws.cell.instructions = item.get_int("instructions");
+      ws.cell.cache_misses = item.get_int("cache_misses");
       ws.utilization = item.get_double("utilization");
       snapshot.workers.push_back(std::move(ws));
     }

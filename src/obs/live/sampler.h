@@ -132,6 +132,21 @@ struct LiveSnapshot {
   double p50_10s_ms = 0, p95_10s_ms = 0, p99_10s_ms = 0;
   double p50_total_ms = 0, p95_total_ms = 0, p99_total_ms = 0;
   double stall_ms = -1;           // age of newest progress (-1 = none yet)
+  // Hardware counter columns (docs/OBSERVABILITY.md, "Hardware
+  // profiling"): present only when a StageProfiler feeds the telemetry
+  // (counter_source non-empty); cumulative over workers + scan, with
+  // trailing-short-window ratios. Software-source runs have only the
+  // source stamp — consumers must never read the ratios as PMU truth
+  // without checking it.
+  std::string counter_source;     // "" = no profiler attached
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  std::int64_t cache_refs = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t stalled_backend = 0;
+  double ipc_1s = 0;              // instructions/cycles inside the window
+  double miss_rate_1s = 0;        // cache_misses/cache_refs
+  double stall_frac_1s = 0;       // stalled_backend/cycles
   std::vector<WorkerSample> workers;
   std::vector<Alert> alerts;      // alerts active at this tick
 };
@@ -206,6 +221,15 @@ class LiveSampler {
   std::uint64_t seq_ = 0;
   std::vector<CellSample> prev_cells_;
   std::int64_t prev_t_ns_ = -1;
+  // Counter window: per-tick deltas of the summed hardware counters,
+  // expired against the short window so the ipc/miss/stall ratios are
+  // trailing-window figures like pics_per_s_1s.
+  struct CounterTick {
+    std::int64_t t_ns = 0;
+    std::int64_t d[5] = {0, 0, 0, 0, 0};  // cycles..stalled_backend
+  };
+  std::deque<CounterTick> counter_ring_;
+  std::int64_t prev_counters_[5] = {0, 0, 0, 0, 0};
   std::vector<Alert> alerts_;  // full log; active ones referenced by index
   RuleState latency_state_{"latency_p99_ms"};
   RuleState throughput_state_{"min_pics_s"};

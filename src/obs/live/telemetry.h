@@ -27,9 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
 #include "util/timer.h"
 
 namespace pmp2::obs::live {
@@ -47,6 +50,13 @@ struct CellSample {
   std::int64_t quarantined = 0;      // whole pictures synthesized
   std::int64_t last_latency_ns = 0;  // latency of the newest completion
   std::int64_t last_progress_ns = -1;  // when it completed (-1 = never)
+  // Cumulative hardware counters (zero unless a StageProfiler is attached
+  // to the decoder; see LiveTelemetry::counter_mask for which are live).
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  std::int64_t cache_refs = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t stalled_backend = 0;
 };
 
 /// Seqlock-published, cache-line-padded per-worker cell. Single logical
@@ -54,12 +64,22 @@ struct CellSample {
 class alignas(128) TelemetryCell {
  public:
   /// Consistent snapshot: retries while a write generation is open. With
-  /// the single-writer discipline the retry loop is bounded by the
-  /// writer's (tiny) critical section.
+  /// the single-writer discipline the critical section is tiny, but on a
+  /// single-core host the writer can be preempted *inside* it — a pure
+  /// spin then burns the reader's whole quantum before the writer can
+  /// close the generation (the pre-PR-8 writer-storm flake). After a
+  /// short optimistic spin the reader yields between retries.
   [[nodiscard]] CellSample sample() const {
+    int spins = 0;
+    const auto backoff = [&spins] {
+      if (++spins > kSampleSpinLimit) std::this_thread::yield();
+    };
     for (;;) {
       const std::uint64_t before = seq_.load(std::memory_order_acquire);
-      if (before & 1) continue;  // write in progress
+      if (before & 1) {  // write in progress
+        backoff();
+        continue;
+      }
       CellSample out;
       out.pictures = pictures_.load(std::memory_order_relaxed);
       out.tasks = tasks_.load(std::memory_order_relaxed);
@@ -74,8 +94,15 @@ class alignas(128) TelemetryCell {
           last_latency_ns_.load(std::memory_order_relaxed);
       out.last_progress_ns =
           last_progress_ns_.load(std::memory_order_relaxed);
+      out.cycles = cycles_.load(std::memory_order_relaxed);
+      out.instructions = instructions_.load(std::memory_order_relaxed);
+      out.cache_refs = cache_refs_.load(std::memory_order_relaxed);
+      out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+      out.stalled_backend =
+          stalled_backend_.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (seq_.load(std::memory_order_relaxed) == before) return out;
+      backoff();
     }
   }
 
@@ -114,6 +141,21 @@ class alignas(128) TelemetryCell {
     Write& set_last_progress_ns(std::int64_t v) {
       return set(cell_.last_progress_ns_, v);
     }
+    /// Folds a per-task counter delta (WorkerProf::take_task_delta) into
+    /// the cell's cumulative counters.
+    Write& add_counters(const prof::CounterSample& d) {
+      add(cell_.cycles_,
+          static_cast<std::int64_t>(d.get(prof::Counter::kCycles)));
+      add(cell_.instructions_,
+          static_cast<std::int64_t>(d.get(prof::Counter::kInstructions)));
+      add(cell_.cache_refs_,
+          static_cast<std::int64_t>(d.get(prof::Counter::kCacheRefs)));
+      add(cell_.cache_misses_,
+          static_cast<std::int64_t>(d.get(prof::Counter::kCacheMisses)));
+      add(cell_.stalled_backend_,
+          static_cast<std::int64_t>(d.get(prof::Counter::kStalledBackend)));
+      return *this;
+    }
 
    private:
     Write& add(std::atomic<std::int64_t>& f, std::int64_t d) {
@@ -130,6 +172,8 @@ class alignas(128) TelemetryCell {
 
  private:
   friend class Write;
+  /// Optimistic spins before sample() starts yielding between retries.
+  static constexpr int kSampleSpinLimit = 64;
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::int64_t> pictures_{0};
   std::atomic<std::int64_t> tasks_{0};
@@ -141,6 +185,11 @@ class alignas(128) TelemetryCell {
   std::atomic<std::int64_t> quarantined_{0};
   std::atomic<std::int64_t> last_latency_ns_{0};
   std::atomic<std::int64_t> last_progress_ns_{-1};
+  std::atomic<std::int64_t> cycles_{0};
+  std::atomic<std::int64_t> instructions_{0};
+  std::atomic<std::int64_t> cache_refs_{0};
+  std::atomic<std::int64_t> cache_misses_{0};
+  std::atomic<std::int64_t> stalled_backend_{0};
 };
 
 /// The per-run telemetry surface one decoder (or a sequence of decoder
@@ -200,6 +249,19 @@ class LiveTelemetry {
     return queue_depth_.load(std::memory_order_relaxed);
   }
 
+  /// Identity of the counter source feeding the cells' counter columns
+  /// ("" = no profiler attached). Set once by the harness before decode
+  /// threads start; the sampler stamps it into snapshots so consumers
+  /// never misread software-clock numbers as PMU cycles.
+  void set_counter_source(std::string name, unsigned mask) {
+    counter_source_ = std::move(name);
+    counter_mask_ = mask;
+  }
+  [[nodiscard]] const std::string& counter_source() const {
+    return counter_source_;
+  }
+  [[nodiscard]] unsigned counter_mask() const { return counter_mask_; }
+
   /// Whole pictures concealed outside any single worker's ownership (the
   /// slice coordinator synthesizes them under its scheduling mutex, from
   /// whichever thread gets there first).
@@ -213,6 +275,8 @@ class LiveTelemetry {
  private:
   int workers_;
   WallTimer timer_;
+  std::string counter_source_;
+  unsigned counter_mask_ = 0;
   Histogram frame_latency_;
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<std::int64_t> concealed_pictures_{0};

@@ -71,6 +71,19 @@ std::string render_frame(const LiveSnapshot& snapshot,
     os << "         " << row.label << "     " << fixed(row.p50, 2) << "  "
        << fixed(row.p95, 2) << "  " << fixed(row.p99, 2) << "\n";
   }
+  if (!snapshot.counter_source.empty()) {
+    os << "counters " << snapshot.counter_source;
+    if (snapshot.cycles > 0) {
+      // Ratios only mean anything once hardware counters are flowing; a
+      // software source leaves them at zero.
+      os << "  ipc(1s) " << fixed(snapshot.ipc_1s, 2) << "  miss(1s) "
+         << fixed(snapshot.miss_rate_1s * 100.0, 1) << "%  stall(1s) "
+         << fixed(snapshot.stall_frac_1s * 100.0, 1) << "%";
+    } else {
+      os << "  (no hardware counters)";
+    }
+    os << "\n";
+  }
 
   os << "workers\n";
   // Bar width: frame width minus the fixed "  w%2d  " prefix and the

@@ -1,0 +1,338 @@
+#include "obs/prof/counters.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace pmp2::obs::prof {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kCycles:         return "cycles";
+    case Counter::kInstructions:   return "instructions";
+    case Counter::kCacheRefs:      return "cache_refs";
+    case Counter::kCacheMisses:    return "cache_misses";
+    case Counter::kStalledBackend: return "stalled_backend";
+    case Counter::kTaskClockNs:    return "task_clock_ns";
+    case Counter::kCount:          break;
+  }
+  return "?";
+}
+
+CounterSample CounterSample::delta_since(const CounterSample& before) const {
+  CounterSample d;
+  d.mask = mask;
+  for (int i = 0; i < kCounterCount; ++i) {
+    d.v[i] = v[i] >= before.v[i] ? v[i] - before.v[i] : 0;
+  }
+  return d;
+}
+
+void CounterSample::accumulate(const CounterSample& d) {
+  mask |= d.mask;
+  for (int i = 0; i < kCounterCount; ++i) v[i] += d.v[i];
+}
+
+namespace {
+
+/// Monotone ns from the calling thread's CPU clock; the portable
+/// task-clock stand-in every source can provide.
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+#endif
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SoftwareCounterSource
+
+namespace {
+
+class SoftwareThreadCounters final : public ThreadCounters {
+ public:
+  SoftwareThreadCounters() : base_ns_(thread_cpu_ns()) {}
+  bool read(CounterSample* out) override {
+    *out = CounterSample{};
+    out->mask = counter_bit(Counter::kTaskClockNs);
+    const std::uint64_t now = thread_cpu_ns();
+    out->v[static_cast<int>(Counter::kTaskClockNs)] =
+        now >= base_ns_ ? now - base_ns_ : 0;
+    return true;
+  }
+  [[nodiscard]] unsigned mask() const override {
+    return counter_bit(Counter::kTaskClockNs);
+  }
+
+ private:
+  std::uint64_t base_ns_;
+};
+
+}  // namespace
+
+std::unique_ptr<ThreadCounters> SoftwareCounterSource::open_thread() {
+  return std::make_unique<SoftwareThreadCounters>();
+}
+
+// ---------------------------------------------------------------------------
+// FakeCounterSource
+
+namespace {
+class FakeThreadCountersImpl;
+}  // namespace
+
+class FakeThreadCounters final : public ThreadCounters {
+ public:
+  FakeThreadCounters(FakeCounterSource* src, unsigned mask)
+      : src_(src), mask_(mask) {}
+  bool read(CounterSample* out) override {
+    ++reads_;
+    ++src_->total_reads_;
+    *out = CounterSample{};
+    out->mask = mask_;
+    const FakeCounterSource::Steps& s = src_->steps_;
+    const std::uint64_t step[kCounterCount] = {
+        s.cycles, s.instructions, s.cache_refs,
+        s.cache_misses, s.stalled_backend, s.task_clock_ns};
+    for (int i = 0; i < kCounterCount; ++i) {
+      if (mask_ & (1u << i)) out->v[i] = step[i] * reads_;
+    }
+    return true;
+  }
+  [[nodiscard]] unsigned mask() const override { return mask_; }
+
+ private:
+  FakeCounterSource* src_;
+  unsigned mask_;
+  std::uint64_t reads_ = 0;
+};
+
+std::unique_ptr<ThreadCounters> FakeCounterSource::open_thread() {
+  return std::make_unique<FakeThreadCounters>(this, mask_);
+}
+
+// ---------------------------------------------------------------------------
+// PerfCounterSource
+
+#if defined(__linux__)
+
+namespace {
+
+struct HwEvent {
+  Counter counter;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+/// The hardware group, in leader-first order. Cycles leads: if the host
+/// cannot count cycles there is no group worth having.
+constexpr HwEvent kHwEvents[] = {
+    {Counter::kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {Counter::kInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {Counter::kCacheRefs, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {Counter::kCacheMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {Counter::kStalledBackend, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd,
+              std::uint64_t read_format) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // paranoid>=1 hosts reject kernel counting
+  attr.exclude_hv = 1;
+  attr.read_format = read_format;
+  // pid=0, cpu=-1: measure the calling thread wherever it runs.
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0ul));
+}
+
+constexpr std::uint64_t kGroupFormat = PERF_FORMAT_GROUP |
+                                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+
+/// Hardware group + software task clock for one thread. The group is read
+/// with one read(2); multiplexed values are scaled by enabled/running.
+class PerfThreadCounters final : public ThreadCounters {
+ public:
+  /// Opens events for `mask` on the calling thread; returns nullptr when
+  /// the leader fails (host revoked access since probe).
+  static std::unique_ptr<PerfThreadCounters> open(unsigned mask) {
+    auto tc = std::unique_ptr<PerfThreadCounters>(new PerfThreadCounters);
+    for (const HwEvent& e : kHwEvents) {
+      if (!(mask & counter_bit(e.counter))) continue;
+      const int fd =
+          perf_open(e.type, e.config, tc->group_fd_, kGroupFormat);
+      if (fd < 0) {
+        // Leader failure kills the hardware group; member failure just
+        // drops that counter (probe raced a sysctl change).
+        if (tc->group_fd_ < 0) break;
+        continue;
+      }
+      if (tc->group_fd_ < 0) tc->group_fd_ = fd;
+      tc->group_members_.push_back({e.counter, fd});
+      tc->mask_ |= counter_bit(e.counter);
+    }
+    if (mask & counter_bit(Counter::kTaskClockNs)) {
+      tc->clock_fd_ = perf_open(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK,
+                                -1, 0);
+      if (tc->clock_fd_ >= 0) tc->mask_ |= counter_bit(Counter::kTaskClockNs);
+    }
+    if (tc->mask_ == 0) return nullptr;
+    return tc;
+  }
+
+  ~PerfThreadCounters() override {
+    for (const Member& m : group_members_) {
+      if (m.fd != group_fd_) ::close(m.fd);
+    }
+    if (group_fd_ >= 0) ::close(group_fd_);
+    if (clock_fd_ >= 0) ::close(clock_fd_);
+  }
+
+  bool read(CounterSample* out) override {
+    *out = CounterSample{};
+    out->mask = mask_;
+    if (group_fd_ >= 0) {
+      // struct read_format { u64 nr, time_enabled, time_running, values[]; }
+      std::uint64_t buf[3 + 2 * kCounterCount] = {};
+      const ssize_t want = static_cast<ssize_t>(
+          (3 + group_members_.size()) * sizeof(std::uint64_t));
+      if (::read(group_fd_, buf, sizeof buf) < want) return false;
+      const std::uint64_t enabled = buf[1], running = buf[2];
+      const double scale =
+          (running > 0 && enabled > running)
+              ? static_cast<double>(enabled) / static_cast<double>(running)
+              : 1.0;
+      for (std::size_t i = 0; i < group_members_.size() && i < buf[0]; ++i) {
+        const double scaled = static_cast<double>(buf[3 + i]) * scale;
+        out->v[static_cast<int>(group_members_[i].counter)] =
+            static_cast<std::uint64_t>(scaled);
+      }
+    }
+    if (clock_fd_ >= 0) {
+      std::uint64_t ns = 0;
+      if (::read(clock_fd_, &ns, sizeof ns) ==
+          static_cast<ssize_t>(sizeof ns)) {
+        out->v[static_cast<int>(Counter::kTaskClockNs)] = ns;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] unsigned mask() const override { return mask_; }
+
+ private:
+  PerfThreadCounters() = default;
+  struct Member {
+    Counter counter;
+    int fd;
+  };
+  std::vector<Member> group_members_;
+  int group_fd_ = -1;
+  int clock_fd_ = -1;
+  unsigned mask_ = 0;
+};
+
+/// Which events open on this thread right now? Opens and closes a
+/// throwaway group.
+unsigned probe_perf_mask() {
+  unsigned mask = 0;
+  int group_fd = -1;
+  std::vector<int> fds;
+  for (const HwEvent& e : kHwEvents) {
+    const int fd = perf_open(e.type, e.config, group_fd, kGroupFormat);
+    if (fd < 0) {
+      if (group_fd < 0) break;  // no leader, no group
+      continue;
+    }
+    if (group_fd < 0) group_fd = fd;
+    fds.push_back(fd);
+    mask |= counter_bit(e.counter);
+  }
+  const int clock_fd =
+      perf_open(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, -1, 0);
+  if (clock_fd >= 0) {
+    mask |= counter_bit(Counter::kTaskClockNs);
+    ::close(clock_fd);
+  }
+  for (int fd : fds) {
+    if (fd != group_fd) ::close(fd);
+  }
+  if (group_fd >= 0) ::close(group_fd);
+  return mask;
+}
+
+int read_paranoid() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "re");
+  if (!f) return -1;
+  int value = -1;
+  if (std::fscanf(f, "%d", &value) != 1) value = -1;
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+#endif  // __linux__
+
+std::unique_ptr<PerfCounterSource> PerfCounterSource::make() {
+#if defined(__linux__)
+  const unsigned mask = probe_perf_mask();
+  if (mask == 0) return nullptr;
+  return std::unique_ptr<PerfCounterSource>(new PerfCounterSource(mask));
+#else
+  return nullptr;
+#endif
+}
+
+std::unique_ptr<ThreadCounters> PerfCounterSource::open_thread() {
+#if defined(__linux__)
+  return PerfThreadCounters::open(mask_);
+#else
+  return nullptr;
+#endif
+}
+
+HostProfile probe_host() {
+  HostProfile hp;
+#if defined(__linux__)
+  utsname un{};
+  if (uname(&un) == 0) hp.kernel_release = un.release;
+  hp.perf_event_paranoid = read_paranoid();
+  hp.counter_mask = probe_perf_mask();
+  hp.perf_available = hp.counter_mask != 0;
+  hp.hw_available = (hp.counter_mask & counter_bit(Counter::kCycles)) &&
+                    (hp.counter_mask & counter_bit(Counter::kInstructions));
+#endif
+  hp.source = hp.hw_available ? "perf" : "software";
+  return hp;
+}
+
+std::unique_ptr<CounterSource> make_counter_source() {
+  const HostProfile hp = probe_host();
+  if (hp.hw_available) {
+    if (auto perf = PerfCounterSource::make()) return perf;
+  }
+  // Degraded mode: the thread CPU clock needs no kernel support at all,
+  // and is cheaper to read than a perf software event.
+  return std::make_unique<SoftwareCounterSource>();
+}
+
+}  // namespace pmp2::obs::prof

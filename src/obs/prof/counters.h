@@ -1,0 +1,184 @@
+// Hardware/software performance-counter sources (tier 3 of the obs layer).
+//
+// The paper's evaluation hinges on decomposing decode time into ideal
+// compute vs memory-system stalls (§7, TangoLite + pixie). This layer
+// provides the live-hardware equivalent: per-thread counter groups read
+// through a uniform `CounterSource` interface with three implementations:
+//
+//   * PerfCounterSource     — perf_event_open(2) self-monitoring groups
+//                             (cycles, instructions, cache refs/misses,
+//                             stalled-cycles-backend) plus a software
+//                             task-clock; values are multiplex-scaled via
+//                             TIME_ENABLED/TIME_RUNNING.
+//   * SoftwareCounterSource — degraded fallback for PMU-less hosts
+//                             (containers, perf_event_paranoid): only the
+//                             per-thread CPU clock, via
+//                             CLOCK_THREAD_CPUTIME_ID.
+//   * FakeCounterSource     — deterministic synthetic counters so the
+//                             attribution math upstream (stage_prof,
+//                             telemetry windows, analyzer tables) is
+//                             testable in CI containers without a PMU.
+//
+// probe_host() answers, once, "what can this host measure?" — the answer
+// is stamped into report/bench identity metadata so bench_check never
+// compares counter columns across differently-capable hosts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pmp2::obs::prof {
+
+/// The fixed counter set. Indices are stable: they appear in JSON
+/// documents ("pmp2-prof/1") and in telemetry snapshots by name.
+enum class Counter : unsigned {
+  kCycles = 0,          // PERF_COUNT_HW_CPU_CYCLES
+  kInstructions,        // PERF_COUNT_HW_INSTRUCTIONS
+  kCacheRefs,           // PERF_COUNT_HW_CACHE_REFERENCES
+  kCacheMisses,         // PERF_COUNT_HW_CACHE_MISSES
+  kStalledBackend,      // PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+  kTaskClockNs,         // PERF_COUNT_SW_TASK_CLOCK (or thread CPU clock)
+  kCount,
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kCount);
+
+[[nodiscard]] constexpr unsigned counter_bit(Counter c) {
+  return 1u << static_cast<unsigned>(c);
+}
+
+/// All-hardware-counters mask (everything except the task clock).
+inline constexpr unsigned kHardwareMask =
+    counter_bit(Counter::kCycles) | counter_bit(Counter::kInstructions) |
+    counter_bit(Counter::kCacheRefs) | counter_bit(Counter::kCacheMisses) |
+    counter_bit(Counter::kStalledBackend);
+
+/// Stable snake_case name used in JSON and telemetry ("cycles", ...).
+[[nodiscard]] const char* counter_name(Counter c);
+
+/// One cumulative or delta reading. Only counters in `mask` are valid;
+/// the rest read zero.
+struct CounterSample {
+  std::uint64_t v[kCounterCount] = {};
+  unsigned mask = 0;
+
+  [[nodiscard]] std::uint64_t get(Counter c) const {
+    return v[static_cast<int>(c)];
+  }
+  [[nodiscard]] bool has(Counter c) const {
+    return (mask & counter_bit(c)) != 0;
+  }
+  /// this - before, clamped at zero per counter (counters are monotone
+  /// but multiplex scaling can jitter a scaled value backwards by a hair).
+  [[nodiscard]] CounterSample delta_since(const CounterSample& before) const;
+  void accumulate(const CounterSample& d);
+};
+
+/// Per-thread counter handle. Must be read from the thread that opened it
+/// (perf self-monitoring and CLOCK_THREAD_CPUTIME_ID are both
+/// calling-thread scoped).
+class ThreadCounters {
+ public:
+  virtual ~ThreadCounters() = default;
+  /// Cumulative values since open. Returns false on read failure (the
+  /// sample is zeroed); callers treat that as "counters went away".
+  virtual bool read(CounterSample* out) = 0;
+  [[nodiscard]] virtual unsigned mask() const = 0;
+};
+
+/// Factory for per-thread counter handles. One source is shared by every
+/// worker of a run; open_thread() is called on each worker thread.
+class CounterSource {
+ public:
+  virtual ~CounterSource() = default;
+  /// Identity string stamped into reports: "perf", "software", "fake".
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Counters every open_thread() handle will provide.
+  [[nodiscard]] virtual unsigned mask() const = 0;
+  /// Opens counters for the *calling* thread. May return nullptr if the
+  /// host revoked access between probe and bind; callers degrade to
+  /// no-op profiling for that thread.
+  virtual std::unique_ptr<ThreadCounters> open_thread() = 0;
+};
+
+/// perf_event_open-backed source. Construct via make(), which probes each
+/// event on the current thread and keeps only the ones the host grants;
+/// returns nullptr when not even the software task clock opens.
+class PerfCounterSource : public CounterSource {
+ public:
+  [[nodiscard]] static std::unique_ptr<PerfCounterSource> make();
+
+  [[nodiscard]] const char* name() const override { return "perf"; }
+  [[nodiscard]] unsigned mask() const override { return mask_; }
+  std::unique_ptr<ThreadCounters> open_thread() override;
+
+ private:
+  explicit PerfCounterSource(unsigned mask) : mask_(mask) {}
+  unsigned mask_ = 0;
+};
+
+/// Thread CPU clock only; always available.
+class SoftwareCounterSource : public CounterSource {
+ public:
+  [[nodiscard]] const char* name() const override { return "software"; }
+  [[nodiscard]] unsigned mask() const override {
+    return counter_bit(Counter::kTaskClockNs);
+  }
+  std::unique_ptr<ThreadCounters> open_thread() override;
+};
+
+/// Per-counter increments for FakeCounterSource handles.
+struct FakeSteps {
+  std::uint64_t cycles = 1000;
+  std::uint64_t instructions = 800;
+  std::uint64_t cache_refs = 100;
+  std::uint64_t cache_misses = 10;
+  std::uint64_t stalled_backend = 250;
+  std::uint64_t task_clock_ns = 500;
+};
+
+/// Deterministic synthetic counters for tests. Every handle counts its
+/// reads; read number k (1-based) reports value step(c) * k for each
+/// counter c — so the delta between consecutive reads is exactly step(c),
+/// and attribution math has exact expected values.
+class FakeCounterSource : public CounterSource {
+ public:
+  using Steps = FakeSteps;
+  explicit FakeCounterSource(Steps steps = {},
+                             unsigned mask = (1u << kCounterCount) - 1)
+      : steps_(steps), mask_(mask) {}
+
+  [[nodiscard]] const char* name() const override { return "fake"; }
+  [[nodiscard]] unsigned mask() const override { return mask_; }
+  std::unique_ptr<ThreadCounters> open_thread() override;
+  /// Total reads across every handle this source produced (test hook).
+  [[nodiscard]] std::uint64_t total_reads() const { return total_reads_; }
+
+ private:
+  friend class FakeThreadCounters;
+  Steps steps_;
+  unsigned mask_;
+  std::uint64_t total_reads_ = 0;
+};
+
+/// What this host can measure — probed once, stamped into identity
+/// metadata (report meta, bench meta) and used to pick a source.
+struct HostProfile {
+  bool perf_available = false;  // perf_event_open works at all (sw clock)
+  bool hw_available = false;    // cycles + instructions open
+  unsigned counter_mask = 0;    // mask a PerfCounterSource would provide
+  int perf_event_paranoid = -1; // /proc/sys/kernel/perf_event_paranoid
+  std::string kernel_release;   // uname -r
+  std::string source;           // what make_counter_source() will pick
+};
+
+/// Probes perf_event_open (opening and closing short-lived events on the
+/// calling thread). Cheap enough to call freely, but callers cache it.
+[[nodiscard]] HostProfile probe_host();
+
+/// "perf" when hardware counters are available, else "software". Never
+/// returns nullptr.
+[[nodiscard]] std::unique_ptr<CounterSource> make_counter_source();
+
+}  // namespace pmp2::obs::prof

@@ -1,0 +1,251 @@
+#include "obs/prof/sampling.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#endif
+
+namespace pmp2::obs::prof {
+
+#if defined(__linux__)
+
+namespace {
+
+/// Handler-visible state. `active` is the rendezvous: the handler loads
+/// it once and bails on null; stop() clears it before disarming.
+struct HandlerState {
+  void** frames = nullptr;
+  int* depths = nullptr;
+  int max_samples = 0;
+  int max_depth = 0;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+HandlerState g_state;
+std::atomic<HandlerState*> g_active{nullptr};
+std::atomic<bool> g_claimed{false};  // one profiler per process
+struct sigaction g_prev_action;
+
+void sigprof_handler(int) {
+  HandlerState* s = g_active.load(std::memory_order_acquire);
+  if (!s) return;
+  const std::uint64_t idx = s->next.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= static_cast<std::uint64_t>(s->max_samples)) {
+    s->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // backtrace(3) after priming is a frame walk: no allocation, no locks.
+  s->depths[idx] =
+      backtrace(s->frames + idx * static_cast<std::uint64_t>(s->max_depth),
+                s->max_depth);
+}
+
+/// Best-effort symbol for one return address: demangled function name,
+/// else mangled name, else "module+0xoff", else raw hex.
+std::string symbolize(void* pc) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof info);
+  const bool have = dladdr(pc, &info) != 0;
+  if (have && info.dli_sname) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled) {
+      std::string name(demangled);
+      std::free(demangled);
+      // Collapsed format separators are ';' and ' '; flamegraph tools
+      // also treat them as structure inside frames. Scrub.
+      for (char& ch : name) {
+        if (ch == ';' || ch == ' ') ch = '_';
+      }
+      return name;
+    }
+    if (demangled) std::free(demangled);
+    return info.dli_sname;
+  }
+  char buf[32];
+  if (have && info.dli_fname) {
+    std::snprintf(buf, sizeof buf, "+0x%zx",
+                  static_cast<std::size_t>(
+                      reinterpret_cast<std::uintptr_t>(pc) -
+                      reinterpret_cast<std::uintptr_t>(info.dli_fbase)));
+    std::string base = info.dli_fname;
+    const std::size_t slash = base.rfind('/');
+    if (slash != std::string::npos) base.erase(0, slash + 1);
+    return base + buf;
+  }
+  std::snprintf(buf, sizeof buf, "0x%zx",
+                static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(pc)));
+  return buf;
+}
+
+}  // namespace
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+bool SamplingProfiler::start(const SamplingOptions& options) {
+  if (running_) return false;
+  bool expected = false;
+  if (!g_claimed.compare_exchange_strong(expected, true)) return false;
+  options_ = options;
+  if (options_.max_samples < 1) options_.max_samples = 1;
+  if (options_.max_depth < 2) options_.max_depth = 2;
+  if (options_.interval_us < 100) options_.interval_us = 100;
+  frames_.assign(static_cast<std::size_t>(options_.max_samples) *
+                     static_cast<std::size_t>(options_.max_depth),
+                 nullptr);
+  depths_.assign(static_cast<std::size_t>(options_.max_samples), 0);
+
+  // Prime backtrace: its first call dlopens libgcc, which allocates —
+  // fatal inside a signal handler. After one call it is reentrant.
+  void* prime[4];
+  backtrace(prime, 4);
+
+  g_state.frames = frames_.data();
+  g_state.depths = depths_.data();
+  g_state.max_samples = options_.max_samples;
+  g_state.max_depth = options_.max_depth;
+  g_state.next.store(0, std::memory_order_relaxed);
+  g_state.dropped.store(0, std::memory_order_relaxed);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = sigprof_handler;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, &g_prev_action) != 0) {
+    g_claimed.store(false);
+    return false;
+  }
+  g_active.store(&g_state, std::memory_order_release);
+
+  itimerval timer{};
+  timer.it_interval.tv_sec = options_.interval_us / 1000000;
+  timer.it_interval.tv_usec = options_.interval_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_active.store(nullptr, std::memory_order_release);
+    sigaction(SIGPROF, &g_prev_action, nullptr);
+    g_claimed.store(false);
+    return false;
+  }
+  running_ = true;
+  return true;
+}
+
+void SamplingProfiler::stop() {
+  if (!running_) return;
+  itimerval off{};
+  setitimer(ITIMER_PROF, &off, nullptr);
+  g_active.store(nullptr, std::memory_order_release);
+  // A tick already in flight sees null `active` and bails; after the
+  // sigaction below SIGPROF reverts to its previous disposition.
+  sigaction(SIGPROF, &g_prev_action, nullptr);
+  g_claimed.store(false);
+  running_ = false;
+}
+
+CollapsedProfile SamplingProfiler::collapse() const {
+  CollapsedProfile out;
+  const std::uint64_t claimed = g_state.next.load(std::memory_order_relaxed);
+  const std::uint64_t n =
+      claimed < static_cast<std::uint64_t>(options_.max_samples)
+          ? claimed
+          : static_cast<std::uint64_t>(options_.max_samples);
+  out.dropped = g_state.dropped.load(std::memory_order_relaxed);
+  // Symbol cache: decode runs sample the same few hundred pcs thousands
+  // of times.
+  std::map<void*, std::string> symbols;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int depth = depths_[i];
+    if (depth <= 0) continue;  // slot claimed but capture failed
+    void* const* pcs = frames_.data() + i * options_.max_depth;
+    // Root-first; skip the innermost 2 frames (the signal trampoline
+    // and the handler itself are noise in every stack).
+    std::string stack;
+    const int skip = depth > 2 ? 2 : depth - 1;
+    for (int f = depth - 1; f >= skip; --f) {
+      auto it = symbols.find(pcs[f]);
+      if (it == symbols.end()) {
+        it = symbols.emplace(pcs[f], symbolize(pcs[f])).first;
+      }
+      if (!stack.empty()) stack += ';';
+      stack += it->second;
+    }
+    if (stack.empty()) continue;
+    ++out.stacks[stack];
+    ++out.total;
+  }
+  return out;
+}
+
+#else  // !__linux__
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+bool SamplingProfiler::start(const SamplingOptions& options) {
+  options_ = options;
+  return false;
+}
+void SamplingProfiler::stop() { running_ = false; }
+CollapsedProfile SamplingProfiler::collapse() const { return {}; }
+
+#endif  // __linux__
+
+void SamplingProfiler::write_collapsed(std::ostream& os,
+                                       const CollapsedProfile& profile) {
+  // std::map iteration is sorted: deterministic output for diffing.
+  for (const auto& [stack, count] : profile.stacks) {
+    os << stack << " " << count << "\n";
+  }
+}
+
+bool SamplingProfiler::parse_collapsed(const std::string& text,
+                                       CollapsedProfile* out,
+                                       std::string* error) {
+  *out = CollapsedProfile{};
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      if (error) {
+        *error = "line " + std::to_string(lineno) +
+                 ": expected 'stack count'";
+      }
+      return false;
+    }
+    const std::string stack = line.substr(0, space);
+    const std::string count_str = line.substr(space + 1);
+    char* end = nullptr;
+    const unsigned long long count =
+        std::strtoull(count_str.c_str(), &end, 10);
+    if (!end || *end != '\0' || count == 0) {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": bad count '" +
+                 count_str + "'";
+      }
+      return false;
+    }
+    out->stacks[stack] += count;
+    out->total += count;
+  }
+  return true;
+}
+
+}  // namespace pmp2::obs::prof

@@ -1,0 +1,78 @@
+// In-process sampling profiler: SIGPROF-driven stack capture emitting
+// collapsed stacks ("frame;frame;frame count") consumable by standard
+// flamegraph tooling — the live analogue of the paper's pixie/prof
+// instrumented-binary profiles.
+//
+// Capture is split into an async-signal-safe half and an offline half:
+// the SIGPROF handler only claims a preallocated slot with one atomic
+// fetch_add and fills it via backtrace(3) (primed at start() so libgcc
+// is already loaded — its lazy first-call initialization allocates);
+// symbolization (dladdr + __cxa_demangle) and collapsing happen in
+// stop()/collapse() on the calling thread. ITIMER_PROF charges against
+// process CPU time, so samples land on whichever thread is burning CPU
+// — exactly the attribution a decoder profile wants.
+//
+// One profiler may be active per process at a time (the signal handler
+// needs a global); start() fails if another is running.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pmp2::obs::prof {
+
+struct SamplingOptions {
+  int interval_us = 997;    // prime-ish: avoids lockstep with frame cadence
+  int max_samples = 65536;  // slots preallocated at start()
+  int max_depth = 64;       // frames kept per sample
+};
+
+/// Aggregated result: collapsed stack -> sample count.
+struct CollapsedProfile {
+  std::map<std::string, std::uint64_t> stacks;
+  std::uint64_t total = 0;    // samples captured
+  std::uint64_t dropped = 0;  // ticks that found the buffer full
+};
+
+class SamplingProfiler {
+ public:
+  SamplingProfiler() = default;
+  ~SamplingProfiler();
+
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Installs the SIGPROF handler and arms ITIMER_PROF. False when
+  /// another profiler is active or the platform lacks the machinery.
+  bool start(const SamplingOptions& options = {});
+
+  /// Disarms the timer and restores the previous handler. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Symbolizes and collapses everything captured so far. Call after
+  /// stop() (collapsing while sampling would race slot fills).
+  [[nodiscard]] CollapsedProfile collapse() const;
+
+  /// Writes "frame;frame;frame count" lines, deterministically sorted.
+  static void write_collapsed(std::ostream& os,
+                              const CollapsedProfile& profile);
+
+  /// Parses collapsed output (the format pmp2_prof --check validates).
+  /// Accepts blank lines and '#' comments; returns false on any
+  /// malformed line (message in *error).
+  static bool parse_collapsed(const std::string& text, CollapsedProfile* out,
+                              std::string* error);
+
+ private:
+  SamplingOptions options_;
+  std::vector<void*> frames_;   // max_samples * max_depth slots
+  std::vector<int> depths_;     // frames captured per slot
+  bool running_ = false;
+};
+
+}  // namespace pmp2::obs::prof

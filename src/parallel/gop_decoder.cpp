@@ -9,6 +9,7 @@
 #include "mpeg2/structure_scan.h"
 #include "obs/live/telemetry.h"
 #include "obs/metrics.h"
+#include "obs/prof/stage_prof.h"
 #include "obs/tracer.h"
 #include "parallel/task_queue.h"
 #include "util/timer.h"
@@ -245,6 +246,11 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   structure.mpeg1 = scanner.mpeg1();
   structure.valid = true;
 
+  // The scan process runs on this thread: bind the extra profiler slot so
+  // the incremental GOP scan below is counter-attributed to the scan stage.
+  obs::prof::WorkerProf* scan_prof =
+      config_.prof ? config_.prof->bind(config_.workers) : nullptr;
+
   DisplaySink display(on_frame);  // picture count known once the scan ends
   display.set_live(live);
   mpeg2::FramePool pool(structure.seq.horizontal_size,
@@ -287,6 +293,10 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
   for (int w = 0; w < config_.workers; ++w) {
     workers.emplace_back([&, w] {
       WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
+      // Per-thread counters: bind() opens them on this thread and
+      // installs the TLS hook the mpeg2 StageScopes read.
+      obs::prof::WorkerProf* wprof =
+          config_.prof ? config_.prof->bind(w) : nullptr;
       for (;;) {
         const std::int64_t wait_begin = tracer ? tracer->now_ns() : 0;
         const std::int64_t sync_before = stats.sync_ns;
@@ -323,8 +333,10 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
         if (live) {
           obs::live::TelemetryCell::Write lw(live->worker(w));
           lw.add_tasks().add_busy_ns(task_ns).set_sync_ns(stats.sync_ns);
+          if (wprof) lw.add_counters(wprof->take_task_delta());
         }
       }
+      if (wprof) obs::prof::StageProfiler::unbind();
     });
   }
 
@@ -342,7 +354,11 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
       WallTimer gop_timer;
       span_begin = tracer ? tracer->now_ns() : 0;
       mpeg2::GopInfo gop;
-      const bool have = scanner.next_gop(gop);
+      bool have;
+      {
+        obs::prof::StageScope scan_stage(obs::prof::Stage::kScan);
+        have = scanner.next_gop(gop);
+      }
       scan_s += gop_timer.elapsed_s();
       if (tracer) {
         tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
@@ -399,6 +415,13 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
       ++index;
     }
     queue.close();
+  }
+  if (scan_prof) {
+    if (live) {
+      obs::live::TelemetryCell::Write lw(live->scan());
+      lw.add_counters(scan_prof->take_task_delta());
+    }
+    obs::prof::StageProfiler::unbind();
   }
   result.scan_s = scan_s;
   result.pictures = total_pictures;

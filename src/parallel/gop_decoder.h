@@ -26,6 +26,10 @@ namespace pmp2::obs::live {
 class LiveTelemetry;
 }
 
+namespace pmp2::obs::prof {
+class StageProfiler;
+}
+
 namespace pmp2::parallel {
 
 struct GopDecoderConfig {
@@ -60,6 +64,12 @@ struct GopDecoderConfig {
   /// with at least `workers` worker cells — an undersized instance is
   /// ignored rather than written out of range. Null = zero cost.
   obs::live::LiveTelemetry* live = nullptr;
+  /// Optional hardware-counter stage profiler (docs/OBSERVABILITY.md,
+  /// "Hardware profiling"): needs `workers + 1` slots (slot w = worker w,
+  /// slot `workers` = the scan process). Workers bind per-thread counters
+  /// and the mpeg2 core attributes them per stage; per-task counter
+  /// deltas flow into `live` when both are set. Null = zero cost.
+  obs::prof::StageProfiler* prof = nullptr;
 };
 
 class GopParallelDecoder {

@@ -14,6 +14,7 @@
 #include "mpeg2/structure_scan.h"
 #include "obs/live/telemetry.h"
 #include "obs/metrics.h"
+#include "obs/prof/stage_prof.h"
 #include "obs/tracer.h"
 #include "util/timer.h"
 
@@ -464,6 +465,11 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   structure.mpeg1 = scanner.mpeg1();
   structure.valid = true;
 
+  // The scan process runs on this thread: bind the extra profiler slot so
+  // the incremental GOP scan below is counter-attributed to the scan stage.
+  obs::prof::WorkerProf* scan_prof =
+      config_.prof ? config_.prof->bind(config_.workers) : nullptr;
+
   DisplaySink display(on_frame);  // picture count known once the scan ends
   display.set_live(live);
   mpeg2::FramePool pool(structure.seq.horizontal_size,
@@ -506,6 +512,10 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
     for (int w = 0; w < config_.workers; ++w) {
       workers.emplace_back([&, w] {
         WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
+        // Per-thread counters: bind() opens them on this thread and
+        // installs the TLS hook the mpeg2 StageScopes read.
+        obs::prof::WorkerProf* wprof =
+            config_.prof ? config_.prof->bind(w) : nullptr;
         Coordinator::Claim claim;
         for (;;) {
           const std::int64_t wait_begin = tracer ? tracer->now_ns() : 0;
@@ -564,10 +574,12 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
             obs::live::TelemetryCell::Write lw(live->worker(w));
             lw.add_tasks().add_busy_ns(task_ns).set_sync_ns(stats.sync_ns);
             if (concealed_this) lw.add_concealed(1);
+            if (wprof) lw.add_counters(wprof->take_task_delta());
           }
           coord.finish_slice(claim, r.ok, w);
           if (!r.ok) break;
         }
+        if (wprof) obs::prof::StageProfiler::unbind();
       });
     }
   }
@@ -642,7 +654,11 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
       WallTimer gop_timer;
       span_begin = tracer ? tracer->now_ns() : 0;
       mpeg2::GopInfo gop;
-      const bool have = scanner.next_gop(gop);
+      bool have;
+      {
+        obs::prof::StageScope scan_stage(obs::prof::Stage::kScan);
+        have = scanner.next_gop(gop);
+      }
       scan_s += gop_timer.elapsed_s();
       if (tracer) {
         tracer->emit(config_.workers, obs::SpanKind::kScan, span_begin,
@@ -666,6 +682,13 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
       gops.push_back(std::move(gop));
       append_gop(gops.back());
     }
+  }
+  if (scan_prof) {
+    if (live) {
+      obs::live::TelemetryCell::Write lw(live->scan());
+      lw.add_counters(scan_prof->take_task_delta());
+    }
+    obs::prof::StageProfiler::unbind();
   }
   coord.finish_scan(scan_ok);
   display.set_total(total_pictures);

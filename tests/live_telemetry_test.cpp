@@ -55,7 +55,10 @@ TEST(TelemetryCell, WriterStormSnapshotsStayConsistent) {
   std::atomic<bool> consistent{true};
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&] {
-      while (!done.load(std::memory_order_acquire)) {
+      // do-while: on a single-core host the writer may finish before a
+      // reader is first scheduled; each reader still takes one sample so
+      // the samples_taken assertion below cannot race to zero.
+      do {
         const CellSample s = cell.sample();
         if (s.tasks != 2 * s.pictures || s.busy_ns != 3 * s.pictures ||
             s.last_latency_ns != 5 * s.pictures ||
@@ -63,7 +66,7 @@ TEST(TelemetryCell, WriterStormSnapshotsStayConsistent) {
           consistent.store(false, std::memory_order_relaxed);
         }
         samples_taken.fetch_add(1, std::memory_order_relaxed);
-      }
+      } while (!done.load(std::memory_order_acquire));
     });
   }
   writer.join();

@@ -1,0 +1,526 @@
+// Hardware-counter profiling layer (docs/OBSERVABILITY.md, "Hardware
+// profiling"): counter sources, per-stage attribution math, the prof
+// JSON schema, the sampling profiler's collapsed-stack format, the
+// telemetry counter columns and the bench_check counter-capability
+// rules. Everything that needs exact numbers runs on FakeCounterSource,
+// so the suite passes in PMU-less CI containers; the perf-specific
+// tests GTEST_SKIP themselves on hosts that cannot open hardware
+// events.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "obs/analysis/bench_compare.h"
+#include "obs/json_parse.h"
+#include "obs/live/sampler.h"
+#include "obs/live/telemetry.h"
+#include "obs/prof/counters.h"
+#include "obs/prof/sampling.h"
+#include "obs/prof/stage_prof.h"
+#include "obs/report.h"
+
+namespace {
+
+// No blanket `using namespace pmp2::obs`: the metrics Counter class and
+// prof::Counter would collide.
+using namespace pmp2::obs::prof;
+using pmp2::obs::JsonValue;
+using pmp2::obs::json_parse;
+
+// --- Counter sources ------------------------------------------------------
+
+TEST(FakeCounterSource, DeterministicSteps) {
+  FakeCounterSource src;
+  auto tc = src.open_thread();
+  ASSERT_NE(tc, nullptr);
+  CounterSample s1, s2, s3;
+  ASSERT_TRUE(tc->read(&s1));
+  ASSERT_TRUE(tc->read(&s2));
+  ASSERT_TRUE(tc->read(&s3));
+  const FakeSteps steps;
+  EXPECT_EQ(s1.get(Counter::kCycles), steps.cycles);
+  EXPECT_EQ(s2.get(Counter::kCycles), 2 * steps.cycles);
+  EXPECT_EQ(s3.get(Counter::kCycles), 3 * steps.cycles);
+  EXPECT_EQ(s3.get(Counter::kInstructions), 3 * steps.instructions);
+  EXPECT_EQ(s3.get(Counter::kTaskClockNs), 3 * steps.task_clock_ns);
+  EXPECT_EQ(src.total_reads(), 3u);
+  // Deltas between consecutive reads are exactly one step.
+  const CounterSample d = s2.delta_since(s1);
+  EXPECT_EQ(d.get(Counter::kCycles), steps.cycles);
+  EXPECT_EQ(d.get(Counter::kCacheMisses), steps.cache_misses);
+}
+
+TEST(FakeCounterSource, RespectsMask) {
+  FakeCounterSource src({}, counter_bit(Counter::kCycles));
+  auto tc = src.open_thread();
+  ASSERT_NE(tc, nullptr);
+  CounterSample s;
+  ASSERT_TRUE(tc->read(&s));
+  EXPECT_TRUE(s.has(Counter::kCycles));
+  EXPECT_FALSE(s.has(Counter::kInstructions));
+  EXPECT_EQ(s.get(Counter::kInstructions), 0u);
+}
+
+TEST(CounterSample, DeltaClampsAndAccumulates) {
+  CounterSample a, b;
+  a.mask = b.mask = counter_bit(Counter::kCycles);
+  a.v[0] = 100;
+  b.v[0] = 90;  // "went backwards" (multiplex-scaling jitter)
+  const CounterSample d = b.delta_since(a);
+  EXPECT_EQ(d.get(Counter::kCycles), 0u);
+  CounterSample sum;
+  sum.accumulate(d);
+  CounterSample d2 = a.delta_since(b);
+  sum.accumulate(d2);
+  EXPECT_EQ(sum.get(Counter::kCycles), 10u);
+  EXPECT_TRUE(sum.has(Counter::kCycles));
+}
+
+TEST(ProbeHost, SanityAndSourceSelection) {
+  const HostProfile host = probe_host();
+#if defined(__linux__)
+  EXPECT_FALSE(host.kernel_release.empty());
+#endif
+  EXPECT_TRUE(host.source == "perf" || host.source == "software");
+  if (host.hw_available) {
+    EXPECT_TRUE(host.perf_available);
+    EXPECT_EQ(host.source, "perf");
+  } else {
+    EXPECT_EQ(host.source, "software");
+  }
+  auto src = make_counter_source();
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(host.source, src->name());
+}
+
+TEST(SoftwareCounterSource, ThreadClockAdvances) {
+  SoftwareCounterSource src;
+  auto tc = src.open_thread();
+  ASSERT_NE(tc, nullptr);
+  CounterSample before, after;
+  ASSERT_TRUE(tc->read(&before));
+  // Burn actual CPU on this thread; sleep would not move the clock.
+  volatile std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::milliseconds(20)) {
+    sink += 1;
+  }
+  ASSERT_TRUE(tc->read(&after));
+  EXPECT_GT(after.get(Counter::kTaskClockNs),
+            before.get(Counter::kTaskClockNs));
+}
+
+TEST(PerfCounterSource, HardwareCountersMonotone) {
+  const HostProfile host = probe_host();
+  if (!host.hw_available) {
+    GTEST_SKIP() << "no usable PMU on this host (perf_event_paranoid="
+                 << host.perf_event_paranoid << ")";
+  }
+  auto src = PerfCounterSource::make();
+  ASSERT_NE(src, nullptr);
+  auto tc = src->open_thread();
+  ASSERT_NE(tc, nullptr);
+  CounterSample before, after;
+  ASSERT_TRUE(tc->read(&before));
+  volatile std::uint64_t sink = 1;
+  for (int i = 0; i < 2'000'000; ++i) sink = sink * 3 + 1;
+  ASSERT_TRUE(tc->read(&after));
+  const CounterSample d = after.delta_since(before);
+  EXPECT_GT(d.get(Counter::kCycles), 0u);
+  EXPECT_GT(d.get(Counter::kInstructions), 0u);
+}
+
+// --- Stage attribution ----------------------------------------------------
+
+TEST(StageProfiler, AttributesDeltasToTheStageBeingLeft) {
+  StageProfiler prof(std::make_unique<FakeCounterSource>(), 1);
+  WorkerProf* w = prof.bind(0);
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->counting());
+  const FakeSteps steps;
+  {
+    // bind() read the baseline (read #1). Entering the scope reads #2 and
+    // charges one step to kOther; leaving reads #3 and charges one step
+    // to kVlc.
+    StageScope vlc(Stage::kVlc);
+  }
+  EXPECT_EQ(w->stage(Stage::kVlc).counters.get(Counter::kCycles),
+            steps.cycles);
+  EXPECT_EQ(w->stage(Stage::kVlc).enters, 1u);
+  EXPECT_EQ(w->stage(Stage::kOther).counters.get(Counter::kCycles),
+            steps.cycles);
+  EXPECT_EQ(w->stage(Stage::kIdct).counters.get(Counter::kCycles), 0u);
+  StageProfiler::unbind();
+}
+
+TEST(StageProfiler, NestedScopesRestoreThePreviousStage) {
+  StageProfiler prof(std::make_unique<FakeCounterSource>(), 1);
+  WorkerProf* w = prof.bind(0);
+  ASSERT_NE(w, nullptr);
+  const FakeSteps steps;
+  {
+    StageScope vlc(Stage::kVlc);        // read #2: step -> kOther
+    {
+      StageScope idct(Stage::kIdct);    // read #3: step -> kVlc
+    }                                   // read #4: step -> kIdct
+  }                                     // read #5: step -> kVlc
+  EXPECT_EQ(w->stage(Stage::kVlc).counters.get(Counter::kCycles),
+            2 * steps.cycles);
+  EXPECT_EQ(w->stage(Stage::kIdct).counters.get(Counter::kCycles),
+            steps.cycles);
+  EXPECT_EQ(w->stage(Stage::kVlc).enters, 2u);  // entered, then restored
+  EXPECT_EQ(w->stage(Stage::kIdct).enters, 1u);
+  StageProfiler::unbind();
+}
+
+TEST(StageProfiler, TakeTaskDeltaFlushesAndResets) {
+  StageProfiler prof(std::make_unique<FakeCounterSource>(), 1);
+  WorkerProf* w = prof.bind(0);
+  ASSERT_NE(w, nullptr);
+  const FakeSteps steps;
+  {
+    StageScope vlc(Stage::kVlc);  // reads #2, #3
+  }
+  // take flushes with read #4: three charged deltas since bind.
+  const CounterSample task = w->take_task_delta();
+  EXPECT_EQ(task.get(Counter::kCycles), 3 * steps.cycles);
+  EXPECT_EQ(task.get(Counter::kInstructions), 3 * steps.instructions);
+  // The accumulator reset: the next take holds only its own flush read.
+  const CounterSample next = w->take_task_delta();
+  EXPECT_EQ(next.get(Counter::kCycles), steps.cycles);
+  StageProfiler::unbind();
+}
+
+TEST(StageProfiler, AggregatesAcrossWorkerSlots) {
+  StageProfiler prof(std::make_unique<FakeCounterSource>(), 2);
+  const FakeSteps steps;
+  auto work = [&prof](int slot) {
+    ASSERT_NE(prof.bind(slot), nullptr);
+    {
+      StageScope mc(Stage::kMc);
+    }
+    StageProfiler::unbind();
+  };
+  std::thread a(work, 0);
+  a.join();
+  std::thread b(work, 1);
+  b.join();
+  const ProfSummary s = prof.aggregate();
+  EXPECT_EQ(s.source, "fake");
+  EXPECT_EQ(s.workers, 2);
+  EXPECT_EQ(s.stages[static_cast<int>(Stage::kMc)].counters.get(
+                Counter::kCycles),
+            2 * steps.cycles);
+  EXPECT_EQ(s.stages[static_cast<int>(Stage::kMc)].enters, 2u);
+  // total = sum over stages (2 scope deltas per worker).
+  EXPECT_EQ(s.total.get(Counter::kCycles), 4 * steps.cycles);
+  EXPECT_TRUE(s.has_hw());
+}
+
+TEST(StageScope, IsANoOpWithoutABoundProfiler) {
+  ASSERT_EQ(tls_worker_prof, nullptr);
+  StageScope scope(Stage::kIdct);  // must not crash or allocate state
+  SUCCEED();
+}
+
+TEST(StageProfiler, OutOfRangeSlotReturnsNull) {
+  StageProfiler prof(std::make_unique<FakeCounterSource>(), 1);
+  EXPECT_EQ(prof.bind(-1), nullptr);
+  EXPECT_EQ(prof.bind(1), nullptr);
+  EXPECT_EQ(tls_worker_prof, nullptr);
+}
+
+// --- pmp2-prof/1 serialization --------------------------------------------
+
+ProfSummary fake_run_summary() {
+  StageProfiler prof(std::make_unique<FakeCounterSource>(), 1);
+  prof.bind(0);
+  {
+    StageScope vlc(Stage::kVlc);
+    {
+      StageScope idct(Stage::kIdct);
+    }
+  }
+  StageProfiler::unbind();
+  ProfSummary s = prof.aggregate();
+  s.kernels_backend = "scalar";
+  return s;
+}
+
+TEST(ProfJson, RoundTripsExactly) {
+  const ProfSummary a = fake_run_summary();
+  std::ostringstream os;
+  write_prof_json(os, a);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(os.str(), doc, &error)) << error;
+  ProfSummary b;
+  ASSERT_TRUE(parse_prof_json(doc, &b, &error)) << error;
+  EXPECT_EQ(b.source, a.source);
+  EXPECT_EQ(b.mask, a.mask);
+  EXPECT_EQ(b.workers, a.workers);
+  EXPECT_EQ(b.kernels_backend, a.kernels_backend);
+  for (int i = 0; i < kStageCount; ++i) {
+    EXPECT_EQ(b.stages[i].enters, a.stages[i].enters) << "stage " << i;
+    for (int c = 0; c < kCounterCount; ++c) {
+      EXPECT_EQ(b.stages[i].counters.v[c], a.stages[i].counters.v[c])
+          << "stage " << i << " counter " << c;
+    }
+  }
+  EXPECT_EQ(b.total.get(Counter::kCycles), a.total.get(Counter::kCycles));
+}
+
+TEST(ProfJson, RejectsWrongSchema) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(R"({"schema":"pmp2-live/1"})", doc, &error));
+  ProfSummary out;
+  EXPECT_FALSE(parse_prof_json(doc, &out, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(ProfText, HardwareSummaryShowsTheIdealVsStallSplit) {
+  const ProfSummary s = fake_run_summary();
+  std::ostringstream os;
+  write_prof_text(os, s);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("ideal-vs-stall split"), std::string::npos);
+  EXPECT_NE(text.find("vlc"), std::string::npos);
+  EXPECT_NE(text.find("ipc"), std::string::npos);
+}
+
+TEST(ProfText, DegradedSummarySaysCountersUnavailable) {
+  StageProfiler prof(std::make_unique<SoftwareCounterSource>(), 1);
+  std::ostringstream os;
+  write_prof_text(os, prof.aggregate());
+  EXPECT_NE(os.str().find("hardware counters unavailable"),
+            std::string::npos);
+}
+
+// --- Sampling profiler ----------------------------------------------------
+
+TEST(CollapsedStacks, WriteParseRoundTrip) {
+  CollapsedProfile p;
+  p.stacks["main;decode;idct"] = 7;
+  p.stacks["main;scan"] = 3;
+  p.total = 10;
+  std::ostringstream os;
+  SamplingProfiler::write_collapsed(os, p);
+  CollapsedProfile q;
+  std::string error;
+  ASSERT_TRUE(SamplingProfiler::parse_collapsed(os.str(), &q, &error))
+      << error;
+  EXPECT_EQ(q.stacks, p.stacks);
+  EXPECT_EQ(q.total, 10u);
+}
+
+TEST(CollapsedStacks, ParserRejectsMalformedLines) {
+  CollapsedProfile out;
+  std::string error;
+  EXPECT_FALSE(
+      SamplingProfiler::parse_collapsed("main;decode notanumber", &out,
+                                        &error));
+  EXPECT_FALSE(SamplingProfiler::parse_collapsed("nostackcount", &out,
+                                                 &error));
+  // Blank lines and comments are tolerated.
+  EXPECT_TRUE(
+      SamplingProfiler::parse_collapsed("# comment\n\nmain;f 4\n", &out,
+                                        &error))
+      << error;
+  EXPECT_EQ(out.total, 4u);
+}
+
+TEST(SamplingProfiler, CapturesABusyLoopEndToEnd) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "sampling profiler is Linux-only";
+#endif
+  SamplingProfiler profiler;
+  SamplingOptions options;
+  options.interval_us = 500;
+  ASSERT_TRUE(profiler.start(options));
+  EXPECT_TRUE(profiler.running());
+  // ITIMER_PROF fires on consumed CPU time, so spin, don't sleep. Lenient
+  // on totals: shared CI machines can starve the thread.
+  volatile std::uint64_t sink = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::milliseconds(200)) {
+    sink = sink * 2862933555777941757ull + 3037000493ull;
+  }
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  const CollapsedProfile p = profiler.collapse();
+  // Round-trip whatever was captured (possibly empty on a starved host).
+  std::ostringstream os;
+  SamplingProfiler::write_collapsed(os, p);
+  CollapsedProfile q;
+  std::string error;
+  EXPECT_TRUE(SamplingProfiler::parse_collapsed(os.str(), &q, &error))
+      << error;
+  EXPECT_EQ(q.total, p.total);
+}
+
+TEST(SamplingProfiler, SecondStartWhileRunningFails) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "sampling profiler is Linux-only";
+#endif
+  SamplingProfiler a;
+  ASSERT_TRUE(a.start());
+  SamplingProfiler b;
+  EXPECT_FALSE(b.start());  // one profiler per process
+  a.stop();
+  EXPECT_TRUE(b.start());  // claim released
+  b.stop();
+}
+
+// --- Telemetry counter columns --------------------------------------------
+
+TEST(TelemetryCounters, AddCountersFoldsIntoTheCell) {
+  pmp2::obs::live::TelemetryCell cell;
+  CounterSample d;
+  d.mask = kHardwareMask;
+  d.v[static_cast<int>(Counter::kCycles)] = 1000;
+  d.v[static_cast<int>(Counter::kInstructions)] = 800;
+  d.v[static_cast<int>(Counter::kCacheMisses)] = 10;
+  {
+    pmp2::obs::live::TelemetryCell::Write w(cell);
+    w.add_counters(d);
+  }
+  {
+    pmp2::obs::live::TelemetryCell::Write w(cell);
+    w.add_counters(d);
+  }
+  const pmp2::obs::live::CellSample s = cell.sample();
+  EXPECT_EQ(s.cycles, 2000);
+  EXPECT_EQ(s.instructions, 1600);
+  EXPECT_EQ(s.cache_misses, 20);
+}
+
+TEST(TelemetryCounters, SnapshotComputesWindowedRatios) {
+  pmp2::obs::live::LiveTelemetry telemetry(2);
+  telemetry.set_counter_source("fake", kHardwareMask);
+  pmp2::obs::live::LiveSampler::Options options;
+  pmp2::obs::live::LiveSampler sampler(telemetry, options);
+
+  CounterSample d;
+  d.mask = kHardwareMask;
+  d.v[static_cast<int>(Counter::kCycles)] = 1000;
+  d.v[static_cast<int>(Counter::kInstructions)] = 500;
+  d.v[static_cast<int>(Counter::kCacheRefs)] = 100;
+  d.v[static_cast<int>(Counter::kCacheMisses)] = 25;
+  d.v[static_cast<int>(Counter::kStalledBackend)] = 400;
+  {
+    pmp2::obs::live::TelemetryCell::Write w(telemetry.worker(0));
+    w.add_counters(d);
+  }
+  {
+    pmp2::obs::live::TelemetryCell::Write w(telemetry.worker(1));
+    w.add_counters(d);
+  }
+  const auto snap = sampler.sample_at(250'000'000);
+  EXPECT_EQ(snap.counter_source, "fake");
+  EXPECT_EQ(snap.cycles, 2000);
+  EXPECT_EQ(snap.instructions, 1000);
+  EXPECT_DOUBLE_EQ(snap.ipc_1s, 0.5);
+  EXPECT_DOUBLE_EQ(snap.miss_rate_1s, 0.25);
+  EXPECT_DOUBLE_EQ(snap.stall_frac_1s, 0.4);
+
+  // Snapshot JSON round-trips the counter block.
+  std::ostringstream os;
+  pmp2::obs::live::write_snapshot_json(snap, os);
+  pmp2::obs::live::LiveSnapshot back;
+  std::string error;
+  ASSERT_TRUE(pmp2::obs::live::parse_snapshot(os.str(), back, &error))
+      << error;
+  EXPECT_EQ(back.counter_source, "fake");
+  EXPECT_EQ(back.cycles, 2000);
+  EXPECT_DOUBLE_EQ(back.ipc_1s, 0.5);
+  ASSERT_EQ(back.workers.size(), 2u);
+  EXPECT_EQ(back.workers[0].cell.cycles, 1000);
+}
+
+TEST(TelemetryCounters, SnapshotOmitsCountersWithoutAProfiler) {
+  pmp2::obs::live::LiveTelemetry telemetry(1);
+  pmp2::obs::live::LiveSampler::Options options;
+  pmp2::obs::live::LiveSampler sampler(telemetry, options);
+  const auto snap = sampler.sample_at(250'000'000);
+  EXPECT_TRUE(snap.counter_source.empty());
+  std::ostringstream os;
+  pmp2::obs::live::write_snapshot_json(snap, os);
+  EXPECT_EQ(os.str().find("\"counters\""), std::string::npos);
+  pmp2::obs::live::LiveSnapshot back;
+  std::string error;
+  ASSERT_TRUE(pmp2::obs::live::parse_snapshot(os.str(), back, &error))
+      << error;
+  EXPECT_TRUE(back.counter_source.empty());
+}
+
+// --- bench_check counter rules --------------------------------------------
+
+namespace analysis = pmp2::obs::analysis;
+
+TEST(BenchCompareCounters, MissAndStallRatesAreLowerBetter) {
+  EXPECT_FALSE(analysis::metric_higher_is_better("read_miss_rate"));
+  EXPECT_FALSE(analysis::metric_higher_is_better("miss_rate_w1s"));
+  EXPECT_FALSE(analysis::metric_higher_is_better("stall_percent"));
+  EXPECT_FALSE(analysis::metric_higher_is_better("stall_frac_w1s"));
+  // ...while genuine rates stay higher-better.
+  EXPECT_TRUE(
+      analysis::metric_higher_is_better("megabits_per_second_rate"));
+  EXPECT_TRUE(analysis::metric_higher_is_better("ipc_after"));
+}
+
+TEST(BenchCompareCounters, CounterColumnsAreMetricsNotIdentity) {
+  EXPECT_TRUE(analysis::is_metric_field("cycles_per_op_before"));
+  EXPECT_TRUE(analysis::is_metric_field("instructions_per_op_after"));
+  EXPECT_TRUE(analysis::is_metric_field("ipc_before"));
+  EXPECT_TRUE(analysis::is_counter_metric("cycles_per_op_before"));
+  EXPECT_TRUE(analysis::is_counter_metric("ipc_after"));
+  EXPECT_FALSE(analysis::is_counter_metric("ns_per_op"));
+  EXPECT_FALSE(analysis::is_counter_metric("pictures_per_second"));
+}
+
+JsonValue make_counter_report(const char* source, double ns,
+                              double cycles) {
+  pmp2::obs::RunReport r("bench_counters", "counter-capability fixture");
+  r.set_meta("counter_source", source);
+  auto& row = r.add_row();
+  row.set("speedup", "idct_corpus").set("ns_per_op", ns);
+  if (cycles > 0) row.set("cycles_per_op_after", cycles);
+  std::ostringstream os;
+  r.write_json(os);
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(json_parse(os.str(), doc, &error)) << error;
+  return doc;
+}
+
+TEST(BenchCompareCounters, SourceMismatchSuppressesCounterColumnsOnly) {
+  // perf baseline vs software candidate: the cycles column is absent and
+  // wildly different metrics would normally fail — but across a
+  // counter_source change they are suppressed with a note, while the
+  // time columns still compare.
+  const JsonValue base = make_counter_report("perf", 100.0, 5000.0);
+  const JsonValue cand = make_counter_report("software", 100.0, 0.0);
+  const analysis::CompareResult r = analysis::compare_reports(base, cand);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.passed()) << "counter columns must not fail across a "
+                             "capability change";
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes[0].find("counter_source"), std::string::npos);
+
+  // Same capability: a 2x cycles regression is a real regression.
+  const JsonValue worse = make_counter_report("perf", 100.0, 10000.0);
+  const analysis::CompareResult r2 = analysis::compare_reports(base, worse);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_FALSE(r2.passed());
+  ASSERT_FALSE(r2.regressions.empty());
+  EXPECT_EQ(r2.regressions[0].metric, "cycles_per_op_after");
+  EXPECT_FALSE(r2.regressions[0].higher_better);
+}
+
+}  // namespace

@@ -8,6 +8,12 @@
 //   pmp2_analyze RUN.journal
 //   pmp2_analyze RUN.trace.json --json --out=analysis.json
 //   pmp2_analyze RUN.journal --what-if=1,2,4,8,16 --util-buckets=32
+//   pmp2_analyze RUN.journal --prof=RUN.prof.json   # stage counter section
+//   pmp2_analyze --prof=RUN.prof.json               # counters only
+//
+// --prof loads a "pmp2-prof/1" stage-counter summary (parallel_playback
+// --prof-json-out) and appends the per-stage IPC / cache-miss / memory-
+// stall decomposition (paper §7) to the text report.
 //
 // Exit codes: 0 ok, 1 usage, 2 load/analysis failure. A lossy journal
 // (dropped spans) prints a warning but still analyzes.
@@ -16,6 +22,7 @@
 
 #include "obs/analysis/analyzer.h"
 #include "obs/analysis/timeline.h"
+#include "obs/prof/stage_prof.h"
 #include "util/flags.h"
 
 using namespace pmp2;
@@ -24,11 +31,32 @@ using namespace pmp2::obs::analysis;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto paths = flags.positional();
-  if (paths.size() != 1) {
+  const std::string prof_path = flags.get_string("prof", "");
+  if (paths.size() != 1 && !(paths.empty() && !prof_path.empty())) {
     std::cerr << "usage: pmp2_analyze <trace.journal | trace.json> "
                  "[--json] [--out=PATH] [--what-if=N,N,...] "
-                 "[--util-buckets=N]\n";
+                 "[--util-buckets=N] [--prof=PROF.json]\n";
     return 1;
+  }
+
+  obs::prof::ProfSummary prof;
+  bool have_prof = false;
+  if (!prof_path.empty()) {
+    std::string error;
+    if (!obs::prof::load_prof_json(prof_path, &prof, &error)) {
+      std::cerr << "pmp2_analyze: " << prof_path << ": " << error << "\n";
+      return 2;
+    }
+    have_prof = true;
+  }
+
+  if (paths.empty()) {
+    // Counters-only mode: no trace, just the stage decomposition.
+    obs::prof::write_prof_text(std::cout, prof);
+    for (const std::string& f : flags.unused()) {
+      std::cerr << "pmp2_analyze: unknown flag " << f << "\n";
+    }
+    return 0;
   }
 
   const Timeline timeline = load_timeline(paths[0]);
@@ -63,14 +91,30 @@ int main(int argc, char** argv) {
     }
     if (as_json) {
       write_analysis_json(out, analysis);
+      if (have_prof) {
+        std::cerr << "pmp2_analyze: note: --prof section is text-only; the "
+                     "prof file itself is already JSON\n";
+      }
     } else {
       write_analysis_text(out, analysis);
+      if (have_prof) {
+        out << "\n";
+        obs::prof::write_prof_text(out, prof);
+      }
     }
     std::cout << "wrote " << out_path << "\n";
   } else if (as_json) {
     write_analysis_json(std::cout, analysis);
+    if (have_prof) {
+      std::cerr << "pmp2_analyze: note: --prof section is text-only; the "
+                   "prof file itself is already JSON\n";
+    }
   } else {
     write_analysis_text(std::cout, analysis);
+    if (have_prof) {
+      std::cout << "\n";
+      obs::prof::write_prof_text(std::cout, prof);
+    }
   }
 
   for (const std::string& f : flags.unused()) {

@@ -1,0 +1,129 @@
+// pmp2_prof — profiling front door (docs/OBSERVABILITY.md, "Hardware
+// profiling").
+//
+//   pmp2_prof --probe                 # host counter capability report
+//   pmp2_prof --check PROFILE.folded  # validate a collapsed-stack file
+//   pmp2_prof PROFILE.folded          # top stacks table (--top=N)
+//
+// Collapsed-stack files come from parallel_playback --prof-out and are the
+// "folded" format flamegraph tooling consumes: one "frame;frame;frame N"
+// line per unique stack. --check parses strictly and exits 0/1, so CI can
+// assert the sampler's output stays well-formed.
+//
+// Exit codes: 0 ok, 1 usage or failed check, 2 I/O failure.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/prof/counters.h"
+#include "obs/prof/sampling.h"
+#include "util/flags.h"
+
+using namespace pmp2;
+using namespace pmp2::obs::prof;
+
+namespace {
+
+int probe() {
+  const HostProfile host = probe_host();
+  std::cout << "kernel_release      " << host.kernel_release << "\n";
+  std::cout << "perf_event_paranoid " << host.perf_event_paranoid << "\n";
+  std::cout << "perf_available      " << (host.perf_available ? "yes" : "no")
+            << "\n";
+  std::cout << "hw_available        " << (host.hw_available ? "yes" : "no")
+            << "\n";
+  std::cout << "counter_source      " << host.source << "\n";
+  std::cout << "counters            ";
+  bool first = true;
+  for (int i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (!(host.counter_mask & counter_bit(c))) continue;
+    if (!first) std::cout << " ";
+    std::cout << counter_name(c);
+    first = false;
+  }
+  if (first) std::cout << "(none)";
+  std::cout << "\n";
+  return 0;
+}
+
+bool load_collapsed(const std::string& path, CollapsedProfile& out,
+                    std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return SamplingProfiler::parse_collapsed(text.str(), &out, &error);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto paths = flags.positional();
+
+  if (flags.get_bool("probe", false)) return probe();
+
+  const std::string check_path = flags.get_string("check", "");
+  if (!check_path.empty()) {
+    CollapsedProfile profile;
+    std::string error;
+    if (!load_collapsed(check_path, profile, error)) {
+      std::cerr << "pmp2_prof: " << error << "\n";
+      return 1;
+    }
+    std::cout << check_path << ": ok (" << profile.stacks.size()
+              << " stacks, " << profile.total << " samples";
+    if (profile.dropped > 0) std::cout << ", " << profile.dropped
+                                       << " dropped";
+    std::cout << ")\n";
+    return 0;
+  }
+
+  if (paths.size() != 1) {
+    std::cerr << "usage: pmp2_prof [--probe] [--check FILE.folded] "
+                 "[FILE.folded [--top=N]]\n";
+    return 1;
+  }
+
+  CollapsedProfile profile;
+  std::string error;
+  if (!load_collapsed(paths[0], profile, error)) {
+    std::cerr << "pmp2_prof: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, std::uint64_t>> rows(
+      profile.stacks.begin(), profile.stacks.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  const int top = std::max(1, static_cast<int>(flags.get_int("top", 20)));
+  if (rows.size() > static_cast<std::size_t>(top)) {
+    rows.resize(static_cast<std::size_t>(top));
+  }
+
+  std::cout << "samples " << profile.total << "  unique stacks "
+            << profile.stacks.size() << "\n";
+  for (const auto& [stack, count] : rows) {
+    const double pct =
+        profile.total > 0
+            ? 100.0 * static_cast<double>(count) /
+                  static_cast<double>(profile.total)
+            : 0.0;
+    char head[32];
+    std::snprintf(head, sizeof head, "%8llu %5.1f%%  ",
+                  static_cast<unsigned long long>(count), pct);
+    std::cout << head << stack << "\n";
+  }
+
+  for (const std::string& f : flags.unused()) {
+    std::cerr << "pmp2_prof: unknown flag " << f << "\n";
+  }
+  return 0;
+}
