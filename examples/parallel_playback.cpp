@@ -1,12 +1,15 @@
 // Real-time playback scenario (the paper's motivating application): decode
-// a stream with the sequential decoder, the GOP-parallel decoder and both
-// slice-parallel decoders, report pictures/sec against the 30 pics/s
-// real-time bar, and verify all four outputs are bit-identical. Exits
-// nonzero if any decode fails or diverges from the sequential reference.
+// a stream with the sequential decoder, the GOP-parallel decoder, both
+// slice-parallel decoders and the adaptive hybrid, report pictures/sec
+// against the 30 pics/s real-time bar, and verify all five outputs are
+// bit-identical. Exits nonzero if any decode fails or diverges from the
+// sequential reference.
 //
 //   ./parallel_playback [--width=352 --pictures=52 --gop=13 --workers=N]
+//                       [--stream=in.m2v]
 //                       [--trace-out=trace.json] [--journal-out=run.journal]
-//                       [--trace-decoder=gop|slice-simple|slice-improved]
+//                       [--trace-decoder=gop|slice-simple|slice-improved
+//                                       |adaptive]
 //                       [--report-out=report.json] [--metrics] [--analyze]
 //                       [--live-out=live.ndjson] [--live-interval-ms=250]
 //                       [--prom-out=live.prom] [--watchdog-ms=N]
@@ -41,12 +44,17 @@
 // summary for pmp2_analyze --prof. --prof-out runs the in-process
 // sampling profiler across the parallel decodes and writes collapsed
 // stacks (flamegraph "folded" format; inspect with tools/pmp2_prof).
+// --stream=in.m2v plays a file-backed elementary stream (memory-mapped;
+// read fallback) instead of encoding a synthetic one.
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <thread>
+#include <vector>
 
+#include "io/mapped_file.h"
 #include "mpeg2/decoder.h"
 #include "mpeg2/kernels/kernels.h"
 #include "obs/analysis/analyzer.h"
@@ -58,6 +66,7 @@
 #include "obs/prof/stage_prof.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
+#include "parallel/adaptive/adaptive_decoder.h"
 #include "parallel/gop_decoder.h"
 #include "parallel/slice_parallel.h"
 #include "streamgen/stream_factory.h"
@@ -124,9 +133,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "Encoding " << spec.pictures << " pictures at " << spec.width
-            << "x" << spec.height << "...\n";
-  const auto stream = streamgen::generate_stream(spec);
+  const std::string stream_path = flags.get_string("stream", "");
+  io::MappedFile stream_file;
+  std::vector<std::uint8_t> generated;
+  std::span<const std::uint8_t> stream;
+  if (!stream_path.empty()) {
+    if (!stream_file.open(stream_path) || stream_file.size() == 0) {
+      std::cerr << "error: cannot read --stream=" << stream_path << "\n";
+      return 2;
+    }
+    stream = stream_file.bytes();
+    const auto structure = mpeg2::scan_structure(stream);
+    if (!structure.valid) {
+      std::cerr << "error: not an MPEG elementary stream: " << stream_path
+                << "\n";
+      return 2;
+    }
+    spec.width = structure.seq.horizontal_size;
+    spec.height = structure.seq.vertical_size;
+    std::cout << (stream_file.mapped() ? "Mapped " : "Read ")
+              << stream.size() << " bytes from " << stream_path << " ("
+              << spec.width << "x" << spec.height << ")...\n";
+  } else {
+    std::cout << "Encoding " << spec.pictures << " pictures at "
+              << spec.width << "x" << spec.height << "...\n";
+    generated = streamgen::generate_stream(spec);
+    stream = generated;
+  }
 
   // Track `workers` is the scan process; tracks [0, workers) are workers.
   std::unique_ptr<obs::Tracer> tracer;
@@ -214,6 +247,10 @@ int main(int argc, char** argv) {
       std::cerr << "sequential decode failed\n";
       return 1;
     }
+    if (!stream_path.empty()) {
+      spec.pictures = frames;  // file-backed runs learn the count here
+      report.set_meta("pictures", frames);
+    }
     t.add_row({"sequential", "1", Table::fmt(pps, 1),
                pps >= 30 ? "yes" : "no", "-", "reference"});
     report.add_row()
@@ -231,7 +268,8 @@ int main(int argc, char** argv) {
 
   int divergences = 0;
   int hangs = 0;
-  auto record = [&](const char* name, const parallel::RunResult& r) {
+  auto record = [&](const char* name,
+                    const parallel::RunResult& r) -> obs::RunReport::Row& {
     const auto load = parallel::summarize_load(r);
     const bool bit_exact = r.ok && r.checksum == want;
     if (!bit_exact) ++divergences;
@@ -260,6 +298,7 @@ int main(int argc, char** argv) {
         .set("imbalance", load.imbalance)
         .set("sync_ratio", load.sync_ratio)
         .set("utilization", load.utilization);
+    return row;
   };
 
   {
@@ -318,6 +357,36 @@ int main(int argc, char** argv) {
       record("slice (improved)",
              parallel::SliceParallelDecoder(cfg).decode(stream));
     }
+  }
+  {
+    mpeg2::MemoryTracker tracker;
+    parallel::AdaptiveDecoderConfig cfg;
+    cfg.workers = workers;
+    cfg.tracker = &tracker;
+    cfg.live = live.get();
+    cfg.prof = prof.get();
+    cfg.watchdog_ns = watchdog_ms * 1'000'000;
+    if (trace_decoder == "adaptive") {
+      cfg.tracer = tracer.get();
+      cfg.metrics = &metrics;
+    }
+    const auto r = parallel::AdaptiveDecoder(cfg).decode(stream);
+    record("adaptive", r)
+        .set("gop_mode_gops", r.gop_mode_gops)
+        .set("exploded_gops", r.exploded_gops)
+        .set("stolen_tasks", static_cast<std::int64_t>(r.stolen_tasks))
+        .set("pool_hits", static_cast<std::int64_t>(r.pool_hits))
+        .set("pool_misses", static_cast<std::int64_t>(r.pool_misses));
+    const std::uint64_t pool_total = r.pool_hits + r.pool_misses;
+    std::cout << "adaptive dispatch: " << r.gop_mode_gops
+              << " whole GOP(s), " << r.exploded_gops << " exploded, "
+              << r.stolen_tasks << " stolen task(s), pool hit rate "
+              << (pool_total > 0
+                      ? Table::fmt(100.0 * static_cast<double>(r.pool_hits) /
+                                       static_cast<double>(pool_total),
+                                   1)
+                      : "-")
+              << "%\n";
   }
 
   // Final tick + alert log before the report is written, so the stream's

@@ -6,9 +6,12 @@
 //   ./transcode frame  in.m2v out.ppm [--index=0]   export one picture
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "io/image.h"
+#include "io/mapped_file.h"
 #include "io/program_stream.h"
 #include "io/y4m.h"
 #include "mpeg2/decoder.h"
@@ -20,11 +23,6 @@
 using namespace pmp2;
 
 namespace {
-
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  return {std::istreambuf_iterator<char>(in), {}};
-}
 
 int cmd_encode(const std::string& in_path, const std::string& out_path,
                const Flags& flags) {
@@ -66,7 +64,15 @@ int cmd_encode(const std::string& in_path, const std::string& out_path,
 
 int cmd_decode(const std::string& in_path, const std::string& out_path,
                const Flags& flags) {
-  auto stream = read_file(in_path);
+  io::MappedFile file;
+  if (!file.open(in_path)) {
+    std::cerr << "cannot read " << in_path << "\n";
+    return 1;
+  }
+  // Elementary streams decode straight out of the mapping; only the
+  // program-stream container needs a demuxed copy.
+  std::span<const std::uint8_t> stream = file.bytes();
+  std::vector<std::uint8_t> demux_video;
   if (io::looks_like_program_stream(stream)) {
     auto demuxed = io::ps_demux(stream);
     if (!demuxed.ok) {
@@ -74,7 +80,8 @@ int cmd_decode(const std::string& in_path, const std::string& out_path,
       return 1;
     }
     std::cout << "demuxed " << demuxed.pes_packets << " PES packets\n";
-    stream = std::move(demuxed.video);
+    demux_video = std::move(demuxed.video);
+    stream = demux_video;
   }
   const auto structure = mpeg2::scan_structure(stream);
   if (!structure.valid) {
@@ -117,7 +124,12 @@ int cmd_demo(const std::string& out_path, const Flags& flags) {
 
 int cmd_frame(const std::string& in_path, const std::string& out_path,
               const Flags& flags) {
-  const auto stream = read_file(in_path);
+  io::MappedFile file;
+  if (!file.open(in_path)) {
+    std::cerr << "cannot read " << in_path << "\n";
+    return 1;
+  }
+  const std::span<const std::uint8_t> stream = file.bytes();
   const int index = static_cast<int>(flags.get_int("index", 0));
   mpeg2::Decoder dec;
   mpeg2::FramePtr wanted;

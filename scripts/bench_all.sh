@@ -36,6 +36,7 @@ trap 'rm -rf "$REPORT_DIR"' EXIT
 # are warnings-only where a binary does not consume them.
 BENCHES=(
   bench_micro_kernels
+  bench_adaptive
   bench_table1_streams
   bench_table2_scan_rate
   bench_table3_gop_maxfps

@@ -80,14 +80,19 @@ stage_tsan() {
   # test_fault rides along: quarantine/watchdog recovery exercises the
   # coordinator's error paths under real thread interleavings. test_live
   # holds the seqlock data-race-free claim (TelemetryCell writer storm +
-  # sampler thread).
+  # sampler thread). test_adaptive covers the hybrid scheduler's
+  # work-stealing paths (deque pops, steals, exploded-picture handoffs)
+  # under real contention — the threaded AdaptiveDecoder/AdaptiveStress
+  # suites only; the 16-stream checksum matrix is stream-content
+  # coverage that tier-1 already runs and would dominate this stage's
+  # wall time under TSan.
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPMP2_SANITIZE=thread || return 1
   run cmake --build build-tsan -j "$JOBS" \
       --target test_parallel test_parallel_stress test_obs test_fault \
-      test_live || return 1
+      test_live test_adaptive || return 1
   run ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'Parallel|Stress|Tracer|Obs|FaultInjection|GopQuarantine|TelemetryCell|SlidingWindow|LiveSampler|Exporters'
+      -R 'Parallel|Stress|Tracer|Obs|FaultInjection|GopQuarantine|TelemetryCell|SlidingWindow|LiveSampler|Exporters|AdaptiveDecoder|AdaptiveStress|StealOrder'
 }
 
 stage_ubsan() {

@@ -1,0 +1,110 @@
+#include "io/mapped_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PMP2_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pmp2::io {
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      empty_ok_(other.empty_ok_),
+      fallback_(std::move(other.fallback_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.empty_ok_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    empty_ok_ = other.empty_ok_;
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    other.empty_ok_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::close() {
+#if PMP2_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  empty_ok_ = false;
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+}
+
+bool MappedFile::open(const std::string& path) {
+  close();
+#if PMP2_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      if (st.st_size == 0) {
+        ::close(fd);
+        empty_ok_ = true;
+        return true;
+      }
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        ::close(fd);  // the mapping keeps the file alive
+        data_ = static_cast<const std::uint8_t*>(map);
+        size_ = static_cast<std::size_t>(st.st_size);
+        mapped_ = true;
+        return true;
+      }
+    }
+    ::close(fd);
+    // Fall through: not a regular file or mmap refused — read it instead.
+  } else {
+    return false;
+  }
+#endif
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    fallback_.insert(fallback_.end(), buf, buf + n);
+  }
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) {
+    fallback_.clear();
+    return false;
+  }
+  if (fallback_.empty()) {
+    empty_ok_ = true;
+    return true;
+  }
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+  return true;
+}
+
+}  // namespace pmp2::io

@@ -1,0 +1,55 @@
+// Read-only file mapping for elementary-stream inputs. A decoded stream is
+// touched once per pass (the scan) plus once per coded byte (the workers),
+// so mmap beats read-into-vector: no up-front copy, no 2x resident cost
+// while the copy is in flight, and the page cache is shared across the
+// soak/playback processes that open the same stream repeatedly.
+//
+// Falls back to an ordinary read() into owned memory when mmap is
+// unavailable (non-POSIX builds, /proc-style pseudo-files that report zero
+// size, or an mmap failure at runtime), so callers never need a second
+// code path: `data()` is valid either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmp2::io {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens and maps `path` read-only. Returns false (and stays invalid)
+  /// when the file cannot be opened or read; an mmap failure alone is not
+  /// an error — the contents are read into owned memory instead.
+  [[nodiscard]] bool open(const std::string& path);
+
+  /// Unmaps/frees; the object can be reused with open().
+  void close();
+
+  [[nodiscard]] bool valid() const { return data_ != nullptr || empty_ok_; }
+  [[nodiscard]] bool mapped() const { return mapped_; }
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {data_, size_};
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;   // true: data_ is an mmap; false: owned by fallback_
+  bool empty_ok_ = false; // open() succeeded on a zero-byte file
+  std::vector<std::uint8_t> fallback_;
+};
+
+}  // namespace pmp2::io

@@ -92,6 +92,50 @@ void conceal_slice(const PictureContext& pic, int slice_row) {
   }
 }
 
+void conceal_mb_run(const PictureContext& pic, int row, int col0, int col1) {
+  obs::prof::StageScope conceal_stage(obs::prof::Stage::kConceal);
+  const kernels::KernelTable& k = kernels::active();
+  for (int p = 0; p < 3; ++p) {
+    const int rows = p == 0 ? kMacroblockSize : kMacroblockSize / 2;
+    const int mb_cols = rows;  // macroblocks are square in every plane
+    const int y0 = row * rows;
+    const int x0 = col0 * mb_cols;
+    const int width = (col1 - col0 + 1) * mb_cols;
+    const int stride = pic.dst->stride(p);
+    std::uint8_t* dst = pic.dst->plane(p) + y0 * stride + x0;
+    if (pic.fwd_ref) {
+      const std::uint8_t* src = pic.fwd_ref->plane(p) + y0 * stride + x0;
+      k.conceal_copy(dst, stride, src, stride, width, rows);
+    } else {
+      k.conceal_fill(dst, stride, 128, width, rows);
+    }
+  }
+}
+
+int conceal_coverage_gaps(const PictureContext& pic,
+                          const std::vector<bool>& covered) {
+  int runs = 0;
+  for (int row = 0; row < pic.mb_height; ++row) {
+    const std::size_t base =
+        static_cast<std::size_t>(row) * static_cast<std::size_t>(pic.mb_width);
+    for (int col = 0; col < pic.mb_width;) {
+      if (covered[base + static_cast<std::size_t>(col)]) {
+        ++col;
+        continue;
+      }
+      int end = col;
+      while (end + 1 < pic.mb_width &&
+             !covered[base + static_cast<std::size_t>(end) + 1]) {
+        ++end;
+      }
+      conceal_mb_run(pic, row, col, end);
+      ++runs;
+      col = end + 1;
+    }
+  }
+  return runs;
+}
+
 std::uint64_t resync_distance(std::span<const std::uint8_t> stream,
                               std::uint64_t error_byte) {
   const std::uint64_t from = std::min<std::uint64_t>(error_byte,
@@ -102,6 +146,19 @@ std::uint64_t resync_distance(std::span<const std::uint8_t> stream,
 bool decode_picture_slices(std::span<const std::uint8_t> stream,
                            const PictureInfo& info, const PictureContext& pic,
                            WorkMeter& work, const PictureDecodeOptions& opts) {
+  // Macroblock-granular coverage for conceal_coverage_gaps: a damaged
+  // picture must decode to the same bytes in every decoder and every run.
+  std::vector<bool> covered;
+  if (opts.conceal_errors) {
+    covered.assign(static_cast<std::size_t>(pic.mb_width * pic.mb_height),
+                   false);
+  }
+  const auto cover_row = [&](int row) {
+    if (row < 0 || row >= pic.mb_height) return;
+    std::fill_n(covered.begin() +
+                    static_cast<std::ptrdiff_t>(row) * pic.mb_width,
+                pic.mb_width, true);
+  };
   int slice_ordinal = 0;
   for (const auto& slice : info.slices) {
     BitReader br(stream);
@@ -117,6 +174,11 @@ bool decode_picture_slices(std::span<const std::uint8_t> stream,
     }
     if (r.ok) {
       work += r.work;
+      if (!covered.empty() && r.first_mb >= 0) {
+        for (int a = r.first_mb; a <= r.last_mb; ++a) {
+          covered[static_cast<std::size_t>(a)] = true;
+        }
+      }
     } else if (opts.conceal_errors) {
       const std::int64_t conceal_begin =
           opts.tracer ? opts.tracer->now_ns() : 0;
@@ -125,6 +187,7 @@ bool decode_picture_slices(std::span<const std::uint8_t> stream,
             resync_distance(stream, br.bit_position() / 8)));
       }
       conceal_slice(pic, slice.row);
+      cover_row(slice.row);
       if (opts.concealed) ++*opts.concealed;
       if (opts.tracer) {
         opts.tracer->emit(opts.track, obs::SpanKind::kConceal, conceal_begin,
@@ -135,6 +198,10 @@ bool decode_picture_slices(std::span<const std::uint8_t> stream,
       return false;
     }
     ++slice_ordinal;
+  }
+  if (!covered.empty()) {
+    const int runs = conceal_coverage_gaps(pic, covered);
+    if (opts.concealed) *opts.concealed += runs;
   }
   return true;
 }

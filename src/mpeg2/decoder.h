@@ -133,6 +133,21 @@ bool decode_picture_slices(std::span<const std::uint8_t> stream,
 /// none), the standard temporal-concealment fallback for a corrupt slice.
 void conceal_slice(const PictureContext& pic, int slice_row);
 
+/// Conceals macroblock columns [col0, col1] of one macroblock row: the
+/// same temporal-concealment policy as conceal_slice, restricted to the
+/// columns no slice covered.
+void conceal_mb_run(const PictureContext& pic, int row, int col0, int col1);
+
+/// Conceals every macroblock whose bit in `covered` (mb_width * mb_height,
+/// raster order) is false. Damaged streams can leave macroblocks no slice
+/// writes — a destroyed startcode loses a whole slice, a spurious one can
+/// truncate a slice mid-row and still parse "ok" — and those pels would
+/// otherwise keep whatever bytes the recycled pool frame held: output that
+/// depends on pool history, not on the stream. Returns the number of
+/// concealed runs (contiguous per-row gaps).
+int conceal_coverage_gaps(const PictureContext& pic,
+                          const std::vector<bool>& covered);
+
 /// A decoded stream in display order.
 struct DecodedStream {
   std::vector<FramePtr> frames;  // display order

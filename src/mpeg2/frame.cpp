@@ -45,6 +45,9 @@ FramePtr FramePool::acquire() {
     if (!impl_->free.empty()) {
       frame = std::move(impl_->free.back());
       impl_->free.pop_back();
+      ++impl_->hits;
+    } else {
+      ++impl_->misses;
     }
   }
   if (!frame) {
@@ -64,9 +67,41 @@ FramePtr FramePool::acquire() {
                   });
 }
 
+void FramePool::reserve(std::size_t count) {
+  // Allocate outside the lock; the pool is typically cold when called.
+  std::vector<std::unique_ptr<Frame>> fresh;
+  {
+    const std::scoped_lock lock(impl_->mutex);
+    if (impl_->free.size() >= count) return;
+    fresh.reserve(count - impl_->free.size());
+  }
+  for (;;) {
+    {
+      const std::scoped_lock lock(impl_->mutex);
+      while (!fresh.empty() && impl_->free.size() < count) {
+        impl_->free.push_back(std::move(fresh.back()));
+        fresh.pop_back();
+      }
+      if (impl_->free.size() >= count) return;
+    }
+    fresh.push_back(std::make_unique<Frame>(impl_->width, impl_->height,
+                                            impl_->tracker));
+  }
+}
+
 std::size_t FramePool::idle_count() const {
   const std::scoped_lock lock(impl_->mutex);
   return impl_->free.size();
+}
+
+std::uint64_t FramePool::hits() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->hits;
+}
+
+std::uint64_t FramePool::misses() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->misses;
 }
 
 double psnr_y(const Frame& a, const Frame& b) {

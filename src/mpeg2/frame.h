@@ -124,8 +124,19 @@ class FramePool {
   /// Returns a frame (recycled or new) whose pels are unspecified.
   [[nodiscard]] FramePtr acquire();
 
+  /// Warm-allocates until the free list holds at least `count` frames, so
+  /// the first pictures of a run are not charged an allocation on the
+  /// decode path (first-picture latency). Counts as neither hit nor miss.
+  void reserve(std::size_t count);
+
   /// Frames currently in the free list (for tests).
   [[nodiscard]] std::size_t idle_count() const;
+
+  /// acquire() calls satisfied from the free list / forced to allocate.
+  /// hits / (hits + misses) is the pool hit rate the decoders report
+  /// through the obs counter registry.
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
 
  private:
   struct Impl {
@@ -134,6 +145,8 @@ class FramePool {
     MemoryTracker* tracker;
     std::mutex mutex;
     std::vector<std::unique_ptr<Frame>> free;  // guarded by mutex
+    std::uint64_t hits = 0;                    // guarded by mutex
+    std::uint64_t misses = 0;                  // guarded by mutex
   };
   std::shared_ptr<Impl> impl_;
 };

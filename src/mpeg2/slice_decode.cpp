@@ -474,6 +474,7 @@ SliceResult decode_slice(BitReader& br, int slice_row,
     if (mb_address < 0 || mb_address >= pic.mb_width * pic.mb_height) {
       return res;
     }
+    if (res.first_mb < 0) res.first_mb = mb_address;
     const int mb_x = mb_address % pic.mb_width;
     const int mb_y = mb_address / pic.mb_width;
 
@@ -566,6 +567,7 @@ SliceResult decode_slice(BitReader& br, int slice_row,
     }
     ++res.macroblocks;
     ++res.work.macroblocks;
+    res.last_mb = mb_address;
   }
 
   br.byte_align();

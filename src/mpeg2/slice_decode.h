@@ -80,6 +80,12 @@ class BlockDecoder {
 struct SliceResult {
   bool ok = false;
   int macroblocks = 0;  // decoded + skipped
+  // Absolute macroblock addresses written by this slice (inclusive,
+  // contiguous: skipped MBs between coded ones are reconstructed too).
+  // -1 when the slice wrote nothing. Error-recovery uses this to conceal
+  // exactly the macroblocks no slice covered.
+  int first_mb = -1;
+  int last_mb = -1;
   WorkMeter work;
 };
 

@@ -1,5 +1,7 @@
 #include "parallel/gop_decoder.h"
 
+#include "parallel/gop_work.h"
+
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -21,193 +23,6 @@ namespace {
 /// Sync waits shorter than this are not worth a trace span; they still
 /// count toward sync_ns.
 constexpr std::int64_t kMinWaitSpanNs = 1'000;
-
-struct GopTask {
-  const mpeg2::GopInfo* info = nullptr;
-  int index = 0;         // GOP ordinal within the stream
-  int display_base = 0;  // global display index of this GOP's first picture
-  int decode_base = 0;   // global decode index of this GOP's first picture
-};
-
-/// Per-run observability/recovery context shared by the GOP workers.
-struct GopObs {
-  obs::Tracer* tracer = nullptr;
-  bool conceal_errors = false;
-  bool quarantine = false;
-  std::atomic<int>* concealed = nullptr;
-  std::atomic<int>* concealed_pics = nullptr;
-  std::atomic<int>* quarantined = nullptr;
-  ErrorLog* errors = nullptr;
-  obs::Histogram* h_resync = nullptr;
-  obs::live::LiveTelemetry* live = nullptr;
-};
-
-/// Quarantine fallback for one undecodable picture: synthesize a concealed
-/// frame (copy of the newest reference, mid-gray without one) so the GOP
-/// still delivers its full picture count and sibling GOPs stay untouched.
-mpeg2::FramePtr conceal_whole_picture(const mpeg2::StreamStructure& structure,
-                                      const mpeg2::PictureInfo& info,
-                                      int display_index,
-                                      const mpeg2::FramePtr& ref,
-                                      mpeg2::FramePool& pool) {
-  mpeg2::FramePtr dst = pool.acquire();
-  dst->type = info.type;
-  dst->temporal_reference = info.temporal_reference;
-  dst->display_index = display_index;
-  mpeg2::PictureContext pc;
-  pc.seq = &structure.seq;
-  pc.mb_width = structure.mb_width();
-  pc.mb_height = structure.mb_height();
-  pc.dst = dst.get();
-  pc.fwd_ref = ref ? ref.get() : nullptr;
-  for (int row = 0; row < pc.mb_height; ++row) mpeg2::conceal_slice(pc, row);
-  return dst;
-}
-
-/// Decodes one closed GOP with private reference state. Frames come from
-/// the shared pool; finished pictures go straight to the display sink.
-/// Returns false only when recovery is off (gobs.quarantine clear); with
-/// quarantine every picture is delivered, concealed where undecodable.
-bool decode_gop(std::span<const std::uint8_t> stream,
-                const mpeg2::StreamStructure& structure, const GopTask& task,
-                mpeg2::FramePool& pool, DisplaySink& display,
-                WorkerStats& stats, const GopObs& gobs, int worker) {
-  mpeg2::FramePtr fwd_ref, bwd_ref;
-  int pic_index = task.decode_base;
-  bool damaged = false;
-  std::vector<int> ranks;
-  if (gobs.quarantine) ranks = mpeg2::display_ranks(*task.info);
-  auto quarantine_picture = [&](int i, RecoveryCause cause) {
-    const auto& info = task.info->pictures[static_cast<std::size_t>(i)];
-    mpeg2::FramePtr dst = conceal_whole_picture(
-        structure, info,
-        task.display_base + ranks[static_cast<std::size_t>(i)],
-        bwd_ref ? bwd_ref : fwd_ref, pool);
-    if (gobs.errors) {
-      gobs.errors->add({cause, task.index, pic_index, info.offset});
-    }
-    if (gobs.concealed_pics) {
-      gobs.concealed_pics->fetch_add(1, std::memory_order_relaxed);
-    }
-    damaged = true;
-    if (info.type != mpeg2::PictureType::kB) {
-      fwd_ref = bwd_ref;
-      bwd_ref = dst;
-    }
-    display.push(std::move(dst));
-    if (gobs.live) {
-      // The synthesized frame still counts as a delivered picture; this
-      // runs on the owning worker thread, so the cell write is safe.
-      obs::live::TelemetryCell::Write lw(gobs.live->worker(worker));
-      lw.add_pictures().add_quarantined().set_last_progress_ns(
-          gobs.live->now_ns());
-    }
-  };
-  for (int i = 0; i < static_cast<int>(task.info->pictures.size());
-       ++i, ++pic_index) {
-    const auto& info = task.info->pictures[static_cast<std::size_t>(i)];
-    const std::int64_t live_begin_ns =
-        gobs.live ? gobs.live->now_ns() : 0;
-    pmp2::BitReader br(stream);
-    br.seek_bytes(info.offset);
-    mpeg2::PictureContext pic;
-    pic.seq = &structure.seq;
-    pic.mpeg1 = structure.mpeg1;
-    if (info.slices.empty()) {
-      // A picture whose every slice startcode was destroyed: nothing to
-      // decode, so the whole frame must be synthesized.
-      if (!gobs.quarantine) return false;
-      quarantine_picture(i, RecoveryCause::kPictureHeader);
-      continue;
-    }
-    if (!mpeg2::parse_picture_headers(br, pic.header, pic.ext)) {
-      if (!gobs.quarantine) return false;
-      quarantine_picture(i, RecoveryCause::kPictureHeader);
-      continue;
-    }
-    pic.mb_width = structure.mb_width();
-    pic.mb_height = structure.mb_height();
-
-    if (pic.header.type != mpeg2::PictureType::kI) {
-      const mpeg2::FramePtr& past =
-          pic.header.type == mpeg2::PictureType::kP ? bwd_ref : fwd_ref;
-      if (!past || (pic.header.type == mpeg2::PictureType::kB && !bwd_ref)) {
-        if (!gobs.quarantine) return false;  // GOP not closed/self-contained
-        quarantine_picture(i, RecoveryCause::kMissingReference);
-        continue;
-      }
-    }
-
-    mpeg2::FramePtr dst = pool.acquire();
-    dst->type = pic.header.type;
-    dst->temporal_reference = pic.header.temporal_reference;
-    dst->display_index =
-        gobs.quarantine
-            ? task.display_base + ranks[static_cast<std::size_t>(i)]
-            : task.display_base + pic.header.temporal_reference;
-    pic.dst = dst.get();
-    pic.dst_id = dst->trace_id();
-    if (pic.header.type != mpeg2::PictureType::kI) {
-      const mpeg2::FramePtr& past =
-          pic.header.type == mpeg2::PictureType::kP ? bwd_ref : fwd_ref;
-      pic.fwd_ref = past.get();
-      pic.fwd_id = past->trace_id();
-      if (pic.header.type == mpeg2::PictureType::kB) {
-        pic.bwd_ref = bwd_ref.get();
-        pic.bwd_id = bwd_ref->trace_id();
-      }
-    }
-    int concealed_here = 0;
-    mpeg2::PictureDecodeOptions opts;
-    opts.tracer = gobs.tracer;
-    opts.track = worker;
-    opts.picture_id = pic_index;
-    opts.conceal_errors = gobs.conceal_errors || gobs.quarantine;
-    opts.concealed = &concealed_here;
-    opts.resync = gobs.h_resync;
-    {
-      const std::int64_t pic_begin =
-          gobs.tracer ? gobs.tracer->now_ns() : 0;
-      const bool ok =
-          mpeg2::decode_picture_slices(stream, info, pic, stats.work, opts);
-      if (gobs.tracer) {
-        gobs.tracer->emit(worker, obs::SpanKind::kPicture, pic_begin,
-                          gobs.tracer->now_ns(), pic_index, -1, task.index);
-      }
-      if (!ok) return false;  // unreachable when concealing
-    }
-    if (concealed_here > 0) {
-      if (gobs.concealed) {
-        gobs.concealed->fetch_add(concealed_here, std::memory_order_relaxed);
-      }
-      if (gobs.quarantine) {
-        damaged = true;
-        if (gobs.errors) {
-          gobs.errors->add({RecoveryCause::kSliceError, task.index, pic_index,
-                            info.offset});
-        }
-      }
-    }
-    if (pic.header.type != mpeg2::PictureType::kB) {
-      fwd_ref = bwd_ref;
-      bwd_ref = dst;
-    }
-    display.push(std::move(dst));
-    if (gobs.live) {
-      const std::int64_t now = gobs.live->now_ns();
-      const std::int64_t latency = now - live_begin_ns;
-      gobs.live->frame_latency().record(latency);
-      obs::live::TelemetryCell::Write lw(gobs.live->worker(worker));
-      lw.add_pictures().set_last_latency_ns(latency).set_last_progress_ns(
-          now);
-      if (concealed_here > 0) lw.add_concealed(concealed_here);
-    }
-  }
-  if (damaged && gobs.quarantined) {
-    gobs.quarantined->fetch_add(1, std::memory_order_relaxed);
-  }
-  return true;
-}
 
 }  // namespace
 

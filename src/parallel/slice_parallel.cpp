@@ -42,6 +42,9 @@ struct Pic {
   int next_slice = 0;
   int remaining = 0;
   std::int64_t open_ns = -1;  // telemetry time the picture opened
+  // Conceal mode: macroblocks written so far (raster order), consumed by
+  // conceal_coverage_gaps when the last slice completes.
+  std::vector<bool> covered;
 };
 
 /// Shared scheduling state: the coordinator implements the paper's 2-D
@@ -69,6 +72,14 @@ class Coordinator {
     errors_ = errors;
     concealed_pics_ = concealed_pics;
     watchdog_ns_ = watchdog_ns;
+  }
+
+  /// Conceal mode: track per-picture macroblock coverage so completion can
+  /// conceal the gaps no slice wrote (stale pool bytes otherwise). The
+  /// counter receives one increment per concealed gap run.
+  void set_conceal(bool on, std::atomic<int>* concealed_slices) {
+    conceal_ = on;
+    concealed_slices_ = concealed_slices;
   }
 
   /// Live telemetry surface: frame-latency histogram + open-picture depth
@@ -171,7 +182,8 @@ class Coordinator {
   /// Reports a finished slice; completes the picture when it was the last.
   /// `worker` credits the completing worker's telemetry cell (it runs on
   /// that worker's thread, preserving the cell's single-writer rule).
-  void finish_slice(const Claim& claim, bool ok, int worker = -1) {
+  void finish_slice(const Claim& claim, bool ok, int worker = -1,
+                    int first_mb = -1, int last_mb = -1) {
     std::unique_lock lock(mutex_);
     ++epoch_;
     if (!ok) {
@@ -180,7 +192,32 @@ class Coordinator {
       return;
     }
     Pic& pic = *claim.pic;
+    if (!pic.covered.empty() && first_mb >= 0) {
+      const int hi =
+          std::min(last_mb, static_cast<int>(pic.covered.size()) - 1);
+      for (int a = std::max(first_mb, 0); a <= hi; ++a) {
+        pic.covered[static_cast<std::size_t>(a)] = true;
+      }
+    }
     if (--pic.remaining == 0) {
+      if (!pic.covered.empty()) {
+        // All slices are claimed and the picture is not yet complete, so
+        // no other worker can touch it: safe to drop the lock for the
+        // pixel work. References are still pinned by pic.fwd / pic.bwd.
+        lock.unlock();
+        const int runs = mpeg2::conceal_coverage_gaps(pic.ctx, pic.covered);
+        lock.lock();
+        if (runs > 0) {
+          if (concealed_slices_) {
+            concealed_slices_->fetch_add(runs, std::memory_order_relaxed);
+          }
+          if (!pic.damaged) {
+            pic.damaged = true;
+            record_damage_locked(RecoveryCause::kSliceError, pic.gop,
+                                 claim.pic_index, pic.info->offset);
+          }
+        }
+      }
       pic.complete = true;
       ++completed_;
       mpeg2::FramePtr done = std::move(pic.dst);
@@ -329,6 +366,11 @@ class Coordinator {
       }
       pic.ctx.mb_width = structure_.mb_width();
       pic.ctx.mb_height = structure_.mb_height();
+      if (conceal_) {
+        pic.covered.assign(static_cast<std::size_t>(pic.ctx.mb_width) *
+                               static_cast<std::size_t>(pic.ctx.mb_height),
+                           false);
+      }
       if (pic.ctx.header.type != mpeg2::PictureType::kI) {
         const mpeg2::FramePtr& past =
             pic.ctx.header.type == mpeg2::PictureType::kP ? newest_ref_
@@ -414,8 +456,10 @@ class Coordinator {
   bool scan_done_ = false;
   bool aborted_ = false;
 
-  // Bounded-recovery state (set_recovery).
+  // Bounded-recovery state (set_recovery / set_conceal).
   bool quarantine_ = false;
+  bool conceal_ = false;
+  std::atomic<int>* concealed_slices_ = nullptr;
   std::int64_t watchdog_ns_ = 0;
   ErrorLog* errors_ = nullptr;
   std::atomic<int>* concealed_pics_ = nullptr;
@@ -474,11 +518,16 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   display.set_live(live);
   mpeg2::FramePool pool(structure.seq.horizontal_size,
                         structure.seq.vertical_size, config_.tracker);
+  const int max_open = config_.policy == SlicePolicy::kSimple
+                           ? 1
+                           : std::max(1, config_.max_open_pictures);
+  // Warm allocation: at most max_open pictures are in flight, plus slack
+  // for frames awaiting display reorder; reserving them here keeps frame
+  // allocation off the decode path (the pool hit rate proves it).
+  pool.reserve(static_cast<std::size_t>(max_open) + 2);
   Coordinator coord(stream, structure, pool, display);
   coord.set_live(live);
-  coord.set_max_open(config_.policy == SlicePolicy::kSimple
-                         ? 1
-                         : std::max(1, config_.max_open_pictures));
+  coord.set_max_open(max_open);
   ErrorLog errors;
   std::atomic<int> concealed_pics{0};
   coord.set_recovery(config_.quarantine_gops, &errors, &concealed_pics,
@@ -506,6 +555,7 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
 
   result.workers.resize(static_cast<std::size_t>(config_.workers));
   std::atomic<int> concealed{0};
+  coord.set_conceal(conceal_slices, &concealed);
   std::vector<std::jthread> workers;
   {
     workers.reserve(static_cast<std::size_t>(config_.workers));
@@ -569,6 +619,9 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
             if (m_concealed) m_concealed->add();
             concealed_this = true;
             r.ok = true;
+            // The whole row was just concealed: report it as covered.
+            r.first_mb = slice_info.row * claim.pic->ctx.mb_width;
+            r.last_mb = r.first_mb + claim.pic->ctx.mb_width - 1;
           }
           if (live) {
             obs::live::TelemetryCell::Write lw(live->worker(w));
@@ -576,7 +629,7 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
             if (concealed_this) lw.add_concealed(1);
             if (wprof) lw.add_counters(wprof->take_task_delta());
           }
-          coord.finish_slice(claim, r.ok, w);
+          coord.finish_slice(claim, r.ok, w, r.first_mb, r.last_mb);
           if (!r.ok) break;
         }
         if (wprof) obs::prof::StageProfiler::unbind();
@@ -711,8 +764,14 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
     result.hang.pictures_indexed = total_pictures;
   }
   errors.drain(result.errors, result.errors_dropped);
+  result.pool_hits = pool.hits();
+  result.pool_misses = pool.misses();
   const auto record_recovery_metrics = [&] {
     if (!config_.metrics) return;
+    config_.metrics->counter("slice.pool_hits")
+        .add(static_cast<std::int64_t>(result.pool_hits));
+    config_.metrics->counter("slice.pool_misses")
+        .add(static_cast<std::int64_t>(result.pool_misses));
     config_.metrics->counter("recover.concealed_slices")
         .add(result.concealed_slices);
     config_.metrics->counter("recover.concealed_pictures")

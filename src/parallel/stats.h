@@ -27,6 +27,11 @@ struct WorkerStats {
   std::int64_t idle_ns = 0;     // run wall time minus compute minus sync
                                 // (derived once the run finishes)
   std::uint64_t tasks = 0;      // GOPs or slices completed
+  // Work-stealing attribution (adaptive decoder): tasks this worker
+  // executed that another worker owned, and the compute time they took —
+  // the "where did stolen work land" answer per worker.
+  std::uint64_t stolen_tasks = 0;
+  std::int64_t stolen_ns = 0;
   mpeg2::WorkMeter work;
 };
 
@@ -109,6 +114,16 @@ struct RunResult {
   std::vector<ErrorRecord> errors;  // capped at ErrorLog::kMaxRecords
   int errors_dropped = 0;           // records beyond the cap
   std::vector<WorkerStats> workers;
+
+  // Adaptive-granularity accounting (adaptive decoder only; zero
+  // elsewhere): how the dispatch policy split the stream, and how much
+  // work moved between workers.
+  int gop_mode_gops = 0;       // GOPs decoded whole (throughput mode)
+  int exploded_gops = 0;       // GOPs exploded into slice batches
+  std::uint64_t stolen_tasks = 0;  // sum over workers of stolen_tasks
+  // Frame-pool effectiveness (reserve() warm-allocation paths).
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
 
   /// Completed despite damage: ok with recovery events recorded.
   [[nodiscard]] bool degraded() const {

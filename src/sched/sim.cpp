@@ -7,30 +7,20 @@
 #include <queue>
 
 #include "obs/tracer.h"
+#include "sched/sim_internal.h"
 
 namespace pmp2::sched {
 
+using detail::display_times;
+using detail::faulted_task_cost;
+using detail::fill_latencies;
+using detail::kInf;
+using detail::picture_arrivals;
+using detail::scan_rate;
+using detail::scan_ready_ns;
+using detail::ScanTrack;
+
 namespace {
-
-constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
-
-/// Builds the display-order emission times from per-picture completion
-/// times: picture i displays when complete and all earlier pictures have
-/// displayed (optionally paced at the frame rate).
-std::vector<std::int64_t> display_times(
-    const std::vector<std::int64_t>& completion_by_display,
-    const SimConfig& config, double frame_rate) {
-  std::vector<std::int64_t> out(completion_by_display.size());
-  const auto period = static_cast<std::int64_t>(1e9 / frame_rate);
-  std::int64_t prev = -period;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    std::int64_t t = std::max(completion_by_display[i], prev);
-    if (config.paced_display) t = std::max(t, prev + period);
-    out[i] = t;
-    prev = t;
-  }
-  return out;
-}
 
 /// Turns (time, delta) events into a sampled timeline plus peak.
 void build_timeline(std::vector<std::pair<std::int64_t, std::int64_t>> events,
@@ -47,93 +37,6 @@ void build_timeline(std::vector<std::pair<std::int64_t, std::int64_t>> events,
     result.memory_timeline.push_back({events[i].first, bytes});
     result.peak_memory = std::max(result.peak_memory, bytes);
   }
-}
-
-double scan_rate(const StreamProfile& profile, const SimConfig& config) {
-  if (config.scan_bytes_per_ns > 0) return config.scan_bytes_per_ns;
-  if (profile.scan_ns <= 0) return 1e9;  // effectively instant
-  // The scan processor slows down with the workers (cost_scale).
-  return static_cast<double>(profile.stream_bytes) /
-         (static_cast<double>(profile.scan_ns) * config.cost_scale);
-}
-
-std::int64_t task_cost(const StreamProfile& profile, const SliceCost& s,
-                       const SimConfig& config) {
-  return static_cast<std::int64_t>(
-      static_cast<double>(profile.slice_cost_ns(s, config.measured_costs)) *
-      config.cost_scale);
-}
-
-/// Deterministic corrupt-slice selection for the concealment cost model:
-/// SplitMix64 finalizer over (fault_seed, gop, picture, slice), mapped to
-/// [0, 1) and compared against fault_slice_rate. Identical across both
-/// simulated policies and across runs.
-bool slice_faulted(const SimConfig& config, int gop, int pic, int slice) {
-  if (config.fault_slice_rate <= 0.0) return false;
-  std::uint64_t x = config.fault_seed ^
-                    (static_cast<std::uint64_t>(gop) << 40) ^
-                    (static_cast<std::uint64_t>(pic) << 20) ^
-                    static_cast<std::uint64_t>(slice);
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return static_cast<double>(x >> 11) * 0x1.0p-53 <
-         config.fault_slice_rate;
-}
-
-/// Slice cost under the fault model: a corrupt slice costs the (scaled)
-/// concealment copy instead of its decode. Bumps `concealed` when faulted.
-std::int64_t faulted_task_cost(const StreamProfile& profile,
-                               const SliceCost& s, const SimConfig& config,
-                               int gop, int pic, int slice, int& concealed) {
-  if (slice_faulted(config, gop, pic, slice)) {
-    ++concealed;
-    return static_cast<std::int64_t>(
-        static_cast<double>(config.conceal_cost_ns) * config.cost_scale);
-  }
-  return task_cost(profile, s, config);
-}
-
-/// Scan-track helper: when the tracer has an extra track beyond the
-/// workers, record the scan process on it (per-GOP kScan spans). Names the
-/// track "scan" so the analyzer classifies it as a process track.
-class ScanTrack {
- public:
-  ScanTrack(const SimConfig& config) : config_(config) {
-    if (config.tracer && config.model_scan &&
-        config.tracer->tracks() > config.workers) {
-      track_ = config.workers;
-      if (config.tracer->track(track_).name().empty()) {
-        config.tracer->track(track_).set_name("scan");
-      }
-    }
-  }
-
-  /// Records the scan of one GOP ending at virtual time `scan_end`.
-  void gop_scanned(int gop, std::int64_t scan_end) {
-    if (track_ >= 0 && scan_end > prev_end_) {
-      config_.tracer->emit(track_, obs::SpanKind::kScan, prev_end_, scan_end,
-                           -1, -1, gop);
-      prev_end_ = scan_end;
-    }
-  }
-
- private:
-  const SimConfig& config_;
-  int track_ = -1;
-  std::int64_t prev_end_ = 0;
-};
-
-/// Ready time of bytes scanned so far: streaming tasks become ready as
-/// scanned; the upfront front-end holds everything until the scan finishes.
-std::int64_t scan_ready_ns(const StreamProfile& profile,
-                           const SimConfig& config, double rate,
-                           std::uint64_t scanned) {
-  if (!config.model_scan) return 0;
-  const std::uint64_t bytes =
-      config.upfront_scan ? profile.stream_bytes : scanned;
-  return static_cast<std::int64_t>(static_cast<double>(bytes) / rate);
 }
 
 }  // namespace
@@ -169,6 +72,23 @@ double SimResult::sync_ratio() const {
     }
   }
   return counted > 0 ? sum / counted : 0.0;
+}
+
+std::int64_t SimResult::latency_percentile(double q) const {
+  if (frame_latency_ns.empty()) return 0;
+  std::vector<std::int64_t> sorted = frame_latency_ns;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  // Linear interpolation between order statistics (the "linear" definition
+  // used by numpy.percentile): rank in [0, n-1].
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<std::int64_t>(
+      static_cast<double>(sorted[lo]) +
+      frac * static_cast<double>(sorted[hi] - sorted[lo]));
 }
 
 parallel::WorkerLoadSummary SimResult::load_summary() const {
@@ -369,6 +289,7 @@ SimResult simulate_gop(const StreamProfile& profile, const SimConfig& config) {
   const auto displays =
       display_times(completion_by_display, config, profile.frame_rate);
   result.makespan_ns = displays.empty() ? 0 : displays.back();
+  fill_latencies(displays, picture_arrivals(profile, config, rate), result);
 
   // A worker owns its GOP's frame buffers for the whole task (the paper's
   // decoder allocates per-GOP; Fig. 8 shows memory linear in workers x GOP
@@ -425,15 +346,14 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
     ScanTrack scan_track(config);
     int display_base = 0;
     int older = -1, newest = -1;
-    std::uint64_t scanned = 0;
     std::uint64_t gop_scanned = 0;
     int gop_index = 0;
     for (const auto& gop : profile.gops) {
-      // Scan position advances GOP by GOP; pictures within a GOP become
-      // available in proportion to their share of its bytes (approximate:
-      // equal shares).
-      const std::uint64_t per_pic =
-          gop.pictures.empty() ? 0 : gop.stream_bytes / gop.pictures.size();
+      // Admission is per-GOP, matching the real slice decoder: the scan
+      // appends a GOP's pictures only once next_gop() has walked the whole
+      // GOP, so every picture of GOP g becomes available at g's scan-end
+      // time. (The latency objective's *arrival* stays per-picture — see
+      // picture_arrivals — so latencies include this admission delay.)
       gop_scanned += gop.stream_bytes;
       scan_track.gop_scanned(gop_index,
                              static_cast<std::int64_t>(gop_scanned / rate));
@@ -446,8 +366,7 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
         pic.pic_in_gop = static_cast<int>(p);
         pic.display_index = display_base + pc.temporal_reference;
         const int index = static_cast<int>(pics.size());
-        scanned += per_pic;
-        pic.scan_ready = scan_ready_ns(profile, config, rate, scanned);
+        pic.scan_ready = scan_ready_ns(profile, config, rate, gop_scanned);
         switch (pc.type) {
           case mpeg2::PictureType::kI:
             break;
@@ -649,6 +568,7 @@ SimResult simulate_slice(const StreamProfile& profile, const SimConfig& config,
   const auto displays =
       display_times(completion_by_display, config, profile.frame_rate);
   result.makespan_ns = displays.empty() ? 0 : displays.back();
+  fill_latencies(displays, picture_arrivals(profile, config, rate), result);
 
   for (int i = 0; i < n; ++i) {
     const SPic& pic = pics[static_cast<std::size_t>(i)];

@@ -94,6 +94,7 @@ struct SimWorkerStats {
   std::int64_t sync_ns = 0;  // simulated waiting (queue empty, barrier)
   int tasks = 0;
   int remote_tasks = 0;  // NUMA: tasks executed away from their home
+  int stolen_tasks = 0;  // adaptive: tasks run for another worker's deque
 };
 
 struct MemSample {
@@ -110,10 +111,27 @@ struct SimResult {
   std::int64_t peak_memory = 0;
   std::int64_t peak_stream_bytes = 0;  // scan-ahead buffer alone (scan(t))
 
+  /// Frame-latency objective (the second axis of the bi-criteria Pareto
+  /// sweeps next to makespan): per picture, display time minus arrival,
+  /// where arrival is the virtual time the picture's bytes finished
+  /// scanning. Indexed by display order. Meaningful for paced sweeps
+  /// (scan_bytes_per_ns set to the stream's real-time byte rate); in
+  /// unpaced runs the scan outruns decode and latency degenerates to
+  /// queueing + decode time.
+  std::vector<std::int64_t> frame_latency_ns;
+
+  // Adaptive-granularity accounting (simulate_adaptive only).
+  int gop_mode_gops = 0;   // GOPs run whole (throughput mode)
+  int exploded_gops = 0;   // GOPs exploded into slice tasks (latency mode)
+  int stolen_tasks = 0;    // sum over workers of stolen_tasks
+
   [[nodiscard]] double pictures_per_second() const {
     return makespan_ns > 0 ? pictures * 1e9 / static_cast<double>(makespan_ns)
                            : 0.0;
   }
+  /// Percentile (q in [0, 100]) over frame_latency_ns with linear
+  /// interpolation between order statistics; 0 when no latencies recorded.
+  [[nodiscard]] std::int64_t latency_percentile(double q) const;
   [[nodiscard]] std::int64_t min_busy_ns() const;
   [[nodiscard]] std::int64_t max_busy_ns() const;
   [[nodiscard]] double avg_busy_ns() const;

@@ -1,0 +1,170 @@
+// Shared internals of the virtual-time simulators (sim.cpp, adaptive.cpp):
+// cost/fault models, scan pacing, display-order emission and the
+// frame-latency objective. One definition each so the three simulated
+// policies (GOP, slice, adaptive) price work and time identically — the
+// Pareto comparisons in bench_adaptive are only meaningful if the policies
+// differ in scheduling alone.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/tracer.h"
+#include "sched/profile.h"
+#include "sched/sim.h"
+
+namespace pmp2::sched::detail {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Builds the display-order emission times from per-picture completion
+/// times: picture i displays when complete and all earlier pictures have
+/// displayed (optionally paced at the frame rate).
+inline std::vector<std::int64_t> display_times(
+    const std::vector<std::int64_t>& completion_by_display,
+    const SimConfig& config, double frame_rate) {
+  std::vector<std::int64_t> out(completion_by_display.size());
+  const auto period = static_cast<std::int64_t>(1e9 / frame_rate);
+  std::int64_t prev = -period;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::int64_t t = std::max(completion_by_display[i], prev);
+    if (config.paced_display) t = std::max(t, prev + period);
+    out[i] = t;
+    prev = t;
+  }
+  return out;
+}
+
+inline double scan_rate(const StreamProfile& profile,
+                        const SimConfig& config) {
+  if (config.scan_bytes_per_ns > 0) return config.scan_bytes_per_ns;
+  if (profile.scan_ns <= 0) return 1e9;  // effectively instant
+  // The scan processor slows down with the workers (cost_scale).
+  return static_cast<double>(profile.stream_bytes) /
+         (static_cast<double>(profile.scan_ns) * config.cost_scale);
+}
+
+inline std::int64_t task_cost(const StreamProfile& profile,
+                              const SliceCost& s, const SimConfig& config) {
+  return static_cast<std::int64_t>(
+      static_cast<double>(profile.slice_cost_ns(s, config.measured_costs)) *
+      config.cost_scale);
+}
+
+/// Deterministic corrupt-slice selection for the concealment cost model:
+/// SplitMix64 finalizer over (fault_seed, gop, picture, slice), mapped to
+/// [0, 1) and compared against fault_slice_rate. Identical across all
+/// simulated policies and across runs.
+inline bool slice_faulted(const SimConfig& config, int gop, int pic,
+                          int slice) {
+  if (config.fault_slice_rate <= 0.0) return false;
+  std::uint64_t x = config.fault_seed ^
+                    (static_cast<std::uint64_t>(gop) << 40) ^
+                    (static_cast<std::uint64_t>(pic) << 20) ^
+                    static_cast<std::uint64_t>(slice);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < config.fault_slice_rate;
+}
+
+/// Slice cost under the fault model: a corrupt slice costs the (scaled)
+/// concealment copy instead of its decode. Bumps `concealed` when faulted.
+inline std::int64_t faulted_task_cost(const StreamProfile& profile,
+                                      const SliceCost& s,
+                                      const SimConfig& config, int gop,
+                                      int pic, int slice, int& concealed) {
+  if (slice_faulted(config, gop, pic, slice)) {
+    ++concealed;
+    return static_cast<std::int64_t>(
+        static_cast<double>(config.conceal_cost_ns) * config.cost_scale);
+  }
+  return task_cost(profile, s, config);
+}
+
+/// Scan-track helper: when the tracer has an extra track beyond the
+/// workers, record the scan process on it (per-GOP kScan spans). Names the
+/// track "scan" so the analyzer classifies it as a process track.
+class ScanTrack {
+ public:
+  explicit ScanTrack(const SimConfig& config) : config_(config) {
+    if (config.tracer && config.model_scan &&
+        config.tracer->tracks() > config.workers) {
+      track_ = config.workers;
+      if (config.tracer->track(track_).name().empty()) {
+        config.tracer->track(track_).set_name("scan");
+      }
+    }
+  }
+
+  /// Records the scan of one GOP ending at virtual time `scan_end`.
+  void gop_scanned(int gop, std::int64_t scan_end) {
+    if (track_ >= 0 && scan_end > prev_end_) {
+      config_.tracer->emit(track_, obs::SpanKind::kScan, prev_end_, scan_end,
+                           -1, -1, gop);
+      prev_end_ = scan_end;
+    }
+  }
+
+ private:
+  const SimConfig& config_;
+  int track_ = -1;
+  std::int64_t prev_end_ = 0;
+};
+
+/// Ready time of bytes scanned so far: streaming tasks become ready as
+/// scanned; the upfront front-end holds everything until the scan finishes.
+inline std::int64_t scan_ready_ns(const StreamProfile& profile,
+                                  const SimConfig& config, double rate,
+                                  std::uint64_t scanned) {
+  if (!config.model_scan) return 0;
+  const std::uint64_t bytes =
+      config.upfront_scan ? profile.stream_bytes : scanned;
+  return static_cast<std::int64_t>(static_cast<double>(bytes) / rate);
+}
+
+/// Per-picture arrival times for the frame-latency objective, indexed by
+/// display order: pictures within a GOP arrive in proportion to their
+/// share of its bytes (approximate: equal shares). This is when a
+/// picture's bytes pass the scan head — deliberately finer than the
+/// per-GOP admission every simulated policy (and every real decoder)
+/// uses, so latencies include the GOP-boundary admission delay. Every
+/// simulated policy uses this one definition of "arrival" so latencies
+/// are comparable.
+inline std::vector<std::int64_t> picture_arrivals(
+    const StreamProfile& profile, const SimConfig& config, double rate) {
+  std::vector<std::int64_t> out;
+  std::uint64_t scanned = 0;
+  int display_base = 0;
+  for (const auto& gop : profile.gops) {
+    const std::uint64_t per_pic =
+        gop.pictures.empty() ? 0 : gop.stream_bytes / gop.pictures.size();
+    const int base = display_base;
+    display_base += static_cast<int>(gop.pictures.size());
+    out.resize(static_cast<std::size_t>(display_base), 0);
+    for (const auto& pc : gop.pictures) {
+      scanned += per_pic;
+      out[static_cast<std::size_t>(base + pc.temporal_reference)] =
+          scan_ready_ns(profile, config, rate, scanned);
+    }
+  }
+  return out;
+}
+
+/// Fills the frame-latency objective: per display slot, display minus
+/// arrival, clamped at zero (an instant decode can display a frame at its
+/// arrival instant).
+inline void fill_latencies(const std::vector<std::int64_t>& displays,
+                           const std::vector<std::int64_t>& arrival_by_display,
+                           SimResult& result) {
+  result.frame_latency_ns.resize(displays.size());
+  for (std::size_t i = 0; i < displays.size(); ++i) {
+    result.frame_latency_ns[i] =
+        std::max<std::int64_t>(0, displays[i] - arrival_by_display[i]);
+  }
+}
+
+}  // namespace pmp2::sched::detail

@@ -1,0 +1,127 @@
+// MappedFile: zero-copy stream input (mmap with a buffered-read fallback).
+// The contract under test: bytes() returns exactly the file's contents for
+// regular files of any size (including zero), open() reports failure for
+// missing paths, reopening replaces the previous mapping, and the mapping
+// survives moves.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/mapped_file.h"
+
+namespace pmp2::io {
+namespace {
+
+/// Unique-ish temp path per test; removed by the fixture.
+class MappedFileTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const char* tag) {
+    std::string path = ::testing::TempDir() + "pmp2_mapped_" + tag + "_" +
+                       std::to_string(::getpid()) + ".bin";
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+TEST_F(MappedFileTest, BytesMatchFileContents) {
+  std::vector<std::uint8_t> data(100'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const auto path = temp_path("contents");
+  write_file(path, data);
+
+  MappedFile file;
+  ASSERT_TRUE(file.open(path));
+  EXPECT_TRUE(file.valid());
+  ASSERT_EQ(file.size(), data.size());
+  const auto bytes = file.bytes();
+  ASSERT_EQ(bytes.size(), data.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(bytes.begin(), bytes.end()), data);
+}
+
+TEST_F(MappedFileTest, MissingFileFailsToOpen) {
+  MappedFile file;
+  EXPECT_FALSE(file.open(temp_path("missing")));
+  EXPECT_FALSE(file.valid());
+  EXPECT_EQ(file.size(), 0u);
+}
+
+TEST_F(MappedFileTest, EmptyFileIsValidWithZeroBytes) {
+  const auto path = temp_path("empty");
+  write_file(path, {});
+  MappedFile file;
+  ASSERT_TRUE(file.open(path));
+  EXPECT_TRUE(file.valid());
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_TRUE(file.bytes().empty());
+}
+
+TEST_F(MappedFileTest, ReopenReplacesPreviousMapping) {
+  const auto a = temp_path("first");
+  const auto b = temp_path("second");
+  write_file(a, {1, 2, 3});
+  write_file(b, {9, 8, 7, 6});
+  MappedFile file;
+  ASSERT_TRUE(file.open(a));
+  ASSERT_TRUE(file.open(b));
+  ASSERT_EQ(file.size(), 4u);
+  EXPECT_EQ(file.bytes()[0], 9);
+}
+
+TEST_F(MappedFileTest, MoveTransfersOwnership) {
+  const auto path = temp_path("move");
+  write_file(path, {42, 43, 44});
+  MappedFile a;
+  ASSERT_TRUE(a.open(path));
+  MappedFile b = std::move(a);
+  ASSERT_TRUE(b.valid());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.bytes()[0], 42);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): asserting it
+
+  MappedFile c;
+  c = std::move(b);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.bytes()[2], 44);
+}
+
+TEST_F(MappedFileTest, LargeFileStreamsAllBytes) {
+  // Larger than the fallback path's 64 KiB buffer so both the mmap path
+  // and the chunked-read path cover multiple chunks.
+  std::vector<std::uint8_t> data(1 << 19);  // 512 KiB
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>((i >> 3) ^ i);
+  }
+  const auto path = temp_path("large");
+  write_file(path, data);
+  MappedFile file;
+  ASSERT_TRUE(file.open(path));
+  ASSERT_EQ(file.size(), data.size());
+  const auto bytes = file.bytes();
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), data.begin()));
+}
+
+}  // namespace
+}  // namespace pmp2::io

@@ -1,11 +1,12 @@
 // pmp2_soak — fault-injection soak harness (docs/ROBUSTNESS.md).
 //
 // Fuzzes the Table-1 stream matrix through the deterministic bitstream
-// corruptor (src/inject) and decodes every corrupted stream with BOTH
-// parallel decoders in bounded-recovery mode (GOP quarantine + watchdog).
-// The run is budgeted by wall time and/or iteration count and exits
-// nonzero on any crash, hang, or invariant violation — the CI gate that
-// corrupt input degrades decode quality, never decode liveness.
+// corruptor (src/inject) and decodes every corrupted stream with all three
+// parallel decoders (GOP, slice, adaptive) in bounded-recovery mode (GOP
+// quarantine + watchdog). The run is budgeted by wall time and/or
+// iteration count and exits nonzero on any crash, hang, or invariant
+// violation — the CI gate that corrupt input degrades decode quality,
+// never decode liveness.
 //
 //   pmp2_soak --streams bench_streams --budget 60s --seed 1
 //   pmp2_soak --budget 10s --iters 2 --psnr --report-out soak.json
@@ -20,9 +21,16 @@
 //   * no hang: both decoders terminate and RunResult::hung stays false
 //     (the coordinator/display watchdogs convert a would-be deadlock into
 //     a failed run, which IS a violation — recovery must not need them);
-//   * clean baseline: the uncorrupted stream decodes ok on both decoders
-//     with identical checksums (checked once per stream);
+//   * clean baseline: the uncorrupted stream decodes ok on all three
+//     decoders with identical checksums (checked once per stream);
+//   * dispatch equivalence: whenever both succeed on a corrupt stream, the
+//     adaptive decoder's output is byte-identical to the GOP decoder's —
+//     the hybrid dispatch (whole vs exploded, stolen or not) must never
+//     change a single output byte, faults included;
 //   * a failed corrupt run must say why (error records or zero pictures).
+//
+// File-backed streams (--streams) are memory-mapped, so repeated passes
+// over a large matrix share page cache instead of re-reading copies.
 //
 // Exit codes: 0 clean, 1 violations, 2 operational failure (no streams).
 #include <algorithm>
@@ -36,10 +44,12 @@
 #include "bench/common.h"
 #include "inject/degrade.h"
 #include "inject/fault.h"
+#include "io/mapped_file.h"
 #include "obs/live/sampler.h"
 #include "obs/live/telemetry.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "parallel/adaptive/adaptive_decoder.h"
 #include "parallel/gop_decoder.h"
 #include "parallel/slice_parallel.h"
 #include "util/flags.h"
@@ -52,8 +62,14 @@ namespace {
 
 struct SoakStream {
   std::string name;
-  std::vector<std::uint8_t> data;
+  io::MappedFile file;              // file-backed streams (mmap)
+  std::vector<std::uint8_t> data;   // generated streams
   std::uint64_t clean_checksum = 0;
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return file.size() > 0 ? file.bytes()
+                           : std::span<const std::uint8_t>(data);
+  }
   // Per-stream tallies.
   int iterations = 0;
   int ok_runs = 0;
@@ -104,11 +120,9 @@ std::vector<SoakStream> collect_streams(const Flags& flags) {
     for (const auto& path : files) {
       SoakStream s;
       s.name = path.filename().string();
-      std::ifstream in(path, std::ios::binary);
-      s.data.resize(static_cast<std::size_t>(fs::file_size(path)));
-      in.read(reinterpret_cast<char*>(s.data.data()),
-              static_cast<std::streamsize>(s.data.size()));
-      if (in) out.push_back(std::move(s));
+      if (s.file.open(path.string()) && s.file.size() > 0) {
+        out.push_back(std::move(s));
+      }
     }
   }
   if (!out.empty()) return out;
@@ -157,6 +171,18 @@ parallel::RunResult decode_slice_mode(std::span<const std::uint8_t> stream,
   config.metrics = setup.metrics;
   config.live = setup.live;
   return parallel::SliceParallelDecoder(config).decode(stream, cb);
+}
+
+parallel::RunResult decode_adaptive_mode(
+    std::span<const std::uint8_t> stream, const DecodeSetup& setup,
+    bool recover, const parallel::FrameCallback& cb = {}) {
+  parallel::AdaptiveDecoderConfig config;
+  config.workers = setup.workers;
+  config.quarantine_gops = recover;
+  config.watchdog_ns = setup.watchdog_ns;
+  config.metrics = setup.metrics;
+  config.live = setup.live;
+  return parallel::AdaptiveDecoder(config).decode(stream, cb);
 }
 
 /// One corrupt decode, invariant-checked. Returns true when no invariant
@@ -260,20 +286,24 @@ int main(int argc, char** argv) {
   // bit-exactly, or the baseline itself is broken.
   std::erase_if(streams, [&](SoakStream& s) {
     mpeg2::Decoder reference;
-    if (!reference.decode(s.data).ok) {
+    if (!reference.decode(s.bytes()).ok) {
       std::fprintf(stderr, "pmp2_soak: skipping undecodable %s\n",
                    s.name.c_str());
       return true;
     }
-    const auto gop = decode_gop_mode(s.data, setup, false);
-    const auto slice = decode_slice_mode(s.data, setup, false);
-    if (!gop.ok || !slice.ok || gop.checksum != slice.checksum) {
+    const auto gop = decode_gop_mode(s.bytes(), setup, false);
+    const auto slice = decode_slice_mode(s.bytes(), setup, false);
+    const auto adaptive = decode_adaptive_mode(s.bytes(), setup, false);
+    if (!gop.ok || !slice.ok || !adaptive.ok ||
+        gop.checksum != slice.checksum ||
+        gop.checksum != adaptive.checksum) {
       std::fprintf(stderr,
                    "VIOLATION clean baseline: stream=%s gop_ok=%d "
-                   "slice_ok=%d checksums %llx/%llx\n",
-                   s.name.c_str(), gop.ok, slice.ok,
+                   "slice_ok=%d adaptive_ok=%d checksums %llx/%llx/%llx\n",
+                   s.name.c_str(), gop.ok, slice.ok, adaptive.ok,
                    static_cast<unsigned long long>(gop.checksum),
-                   static_cast<unsigned long long>(slice.checksum));
+                   static_cast<unsigned long long>(slice.checksum),
+                   static_cast<unsigned long long>(adaptive.checksum));
       ++violations;
     }
     s.clean_checksum = gop.checksum;
@@ -299,10 +329,10 @@ int main(int argc, char** argv) {
         break;
       }
       const inject::FaultSpec fault = inject::plan_fault(seed, fault_index++);
-      const auto corrupt = inject::apply_fault(s.data, fault);
+      const auto corrupt = inject::apply_fault(s.bytes(), fault);
       if (verbose) {
         std::printf("  [%s] %s (%zu -> %zu bytes)\n", s.name.c_str(),
-                    fault.name().c_str(), s.data.size(), corrupt.size());
+                    fault.name().c_str(), s.bytes().size(), corrupt.size());
       }
       std::vector<mpeg2::FramePtr> frames;
       const parallel::FrameCallback keep =
@@ -315,7 +345,7 @@ int main(int argc, char** argv) {
       if (psnr && gop.ok) {
         // Degradation vs the clean decode of the same stream.
         mpeg2::Decoder clean;
-        const auto reference = clean.decode(s.data);
+        const auto reference = clean.decode(s.bytes());
         const std::size_t n =
             std::min(frames.size(), reference.frames.size());
         for (std::size_t i = 0; i < n; ++i) {
@@ -324,6 +354,19 @@ int main(int argc, char** argv) {
       }
       const auto slice = decode_slice_mode(corrupt, setup, true);
       if (!check_run(slice, s, fault, "slice")) ++violations;
+      const auto adaptive = decode_adaptive_mode(corrupt, setup, true);
+      if (!check_run(adaptive, s, fault, "adaptive")) ++violations;
+      if (adaptive.ok && gop.ok && adaptive.checksum != gop.checksum) {
+        // Hybrid dispatch must be invisible in the output, faults and all.
+        std::fprintf(stderr,
+                     "VIOLATION dispatch equivalence: stream=%s fault=%s "
+                     "adaptive %llx != gop %llx\n",
+                     s.name.c_str(), fault.name().c_str(),
+                     static_cast<unsigned long long>(adaptive.checksum),
+                     static_cast<unsigned long long>(gop.checksum));
+        ++s.violations;
+        ++violations;
+      }
       ++s.iterations;
       ++total_iterations;
       metrics.counter("soak.iterations").add();
@@ -344,7 +387,7 @@ int main(int argc, char** argv) {
     degraded_total += s.degraded_runs;
   }
   std::printf("\n%lld iterations in %.1fs, %d violations\n",
-              static_cast<long long>(2 * total_iterations),
+              static_cast<long long>(3 * total_iterations),
               timer.elapsed_s(), violations);
   if (psnr && psnr_acc.frames() > 0) {
     std::printf("psnr vs clean: mean %.1f dB, min %.1f dB over %d frames "
