@@ -37,6 +37,7 @@ trap 'rm -rf "$REPORT_DIR"' EXIT
 BENCHES=(
   bench_micro_kernels
   bench_adaptive
+  bench_serve
   bench_table1_streams
   bench_table2_scan_rate
   bench_table3_gop_maxfps

@@ -14,6 +14,7 @@
 #   scripts/ci.sh ubsan       # UBSan build of the SWAR scanner fuzz tests
 #   scripts/ci.sh asan        # ASan build of decoder/concealment/fault tests
 #   scripts/ci.sh soak        # pmp2_soak fault-injection fuzz (small budget)
+#   scripts/ci.sh serve       # DecodeServer gate: loadgen smoke + isolation soak
 #   scripts/ci.sh bench       # quick bench suite diffed vs BENCH_parallel.json
 #   scripts/ci.sh prof        # counter profiling: probe, unit tests, e2e
 #   scripts/ci.sh lint        # repo hygiene (no tracked ignored files)
@@ -23,7 +24,8 @@
 # build-asan/ (sanitizer jobs poison the object cache otherwise).
 #
 # Knobs: CI_JOBS (parallelism), CI_SOAK_BUDGET (soak stage time budget,
-# default 20s).
+# default 20s), CI_SERVE_BUDGET (serve stage per-run wall budget in
+# seconds, default 120).
 set -u -o pipefail
 
 STAGE="${1:-default}"
@@ -85,14 +87,17 @@ stage_tsan() {
   # under real contention — the threaded AdaptiveDecoder/AdaptiveStress
   # suites only; the 16-stream checksum matrix is stream-content
   # coverage that tier-1 already runs and would dominate this stage's
-  # wall time under TSan.
+  # wall time under TSan. test_serve's Server/ServerLifecycle suites put
+  # the DecodeServer's session lifecycle (concurrent open, decode,
+  # cancel, teardown over one shared pool) under the same lens; the
+  # single-threaded Admission/Fairness math stays in tier-1.
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPMP2_SANITIZE=thread || return 1
   run cmake --build build-tsan -j "$JOBS" \
       --target test_parallel test_parallel_stress test_obs test_fault \
-      test_live test_adaptive || return 1
+      test_live test_adaptive test_serve || return 1
   run ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'Parallel|Stress|Tracer|Obs|FaultInjection|GopQuarantine|TelemetryCell|SlidingWindow|LiveSampler|Exporters|AdaptiveDecoder|AdaptiveStress|StealOrder'
+      -R 'Parallel|Stress|Tracer|Obs|FaultInjection|GopQuarantine|TelemetryCell|SlidingWindow|LiveSampler|Exporters|AdaptiveDecoder|AdaptiveStress|StealOrder|Server'
 }
 
 stage_ubsan() {
@@ -141,6 +146,36 @@ stage_soak() {
   run build/tools/pmp2_soak --streams bench_streams \
       --budget "${CI_SOAK_BUDGET:-20s}" --seed 1 \
       --report-out=build/soak_report.json
+}
+
+stage_serve() {
+  # Multi-stream serving gate (docs/SERVING.md). The serve-labeled unit
+  # tests (admission math, fairness sim, backpressure, cancel/teardown
+  # leak proofs) run first, then two loadgen runs over the Table 1 stream
+  # set, each bounded by CI_SERVE_BUDGET seconds of wall clock so a wedged
+  # server fails the stage instead of hanging the runner:
+  #   1. smoke: 8 concurrent sessions through one shared 4-worker pool;
+  #      the report must be a schema-valid pmp2-bench-report/1 document
+  #      (proved by merging it through bench_check).
+  #   2. isolation soak: 12 sessions with sessions 2 and 5 corrupted;
+  #      --verify-isolation asserts every clean session's checksum is
+  #      byte-identical to a solo run of the same stream, and the loadgen
+  #      itself asserts every frame pool drained (idle == misses).
+  build_tier1 || return 1
+  local budget="${CI_SERVE_BUDGET:-120}"
+  run ctest --test-dir build --output-on-failure -L serve -j "$JOBS" \
+      || return 1
+  run timeout "$budget" build/tools/pmp2_loadgen --streams bench_streams \
+      --sessions 8 --workers 4 \
+      --report-out=build/serve_smoke.json || return 1
+  run build/tools/bench_check --merge --out=build/serve_smoke_suite.json \
+      build/serve_smoke.json || return 1
+  run timeout "$budget" build/tools/pmp2_loadgen --streams bench_streams \
+      --sessions 12 --workers 4 --corrupt 2,5 --fault-seed 3 \
+      --verify-isolation \
+      --report-out=build/serve_isolation.json || return 1
+  run build/tools/bench_check --merge \
+      --out=build/serve_isolation_suite.json build/serve_isolation.json
 }
 
 stage_bench() {
@@ -198,6 +233,7 @@ case "$STAGE" in
   ubsan)     stage_ubsan     || rc=1 ;;
   asan)      stage_asan      || rc=1 ;;
   soak)      stage_soak      || rc=1 ;;
+  serve)     stage_serve     || rc=1 ;;
   bench)     stage_bench     || rc=1 ;;
   prof)      stage_prof      || rc=1 ;;
   lint)      stage_lint      || rc=1 ;;
@@ -218,12 +254,13 @@ case "$STAGE" in
     stage_ubsan || rc=1
     stage_asan || rc=1
     stage_soak || rc=1
+    stage_serve || rc=1
     stage_bench || rc=1
     stage_prof || rc=1
     ;;
   *)
     echo "ci.sh: unknown stage '$STAGE'" \
-         "(tier1|tier1-scalar|perfsmoke|obs|tsan|ubsan|asan|soak|bench|prof|lint|all)" >&2
+         "(tier1|tier1-scalar|perfsmoke|obs|tsan|ubsan|asan|soak|serve|bench|prof|lint|all)" >&2
     exit 2 ;;
 esac
 exit "$rc"

@@ -1,0 +1,50 @@
+#include "obs/live/session_set.h"
+
+namespace pmp2::obs::live {
+
+SessionSurface& SessionSurfaces::open(int id, const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  for (auto& s : surfaces_) {
+    if (s.id == id) return s;
+  }
+  return surfaces_.emplace_back(name, id, workers_);
+}
+
+SessionSurface* SessionSurfaces::find(int id) {
+  const std::scoped_lock lock(mutex_);
+  for (auto& s : surfaces_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+void SessionSurfaces::each(
+    const std::function<void(const SessionSurface&)>& fn) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& s : surfaces_) fn(s);
+}
+
+std::size_t SessionSurfaces::size() const {
+  const std::scoped_lock lock(mutex_);
+  return surfaces_.size();
+}
+
+SessionSummary SessionSurfaces::summarize(const SessionSurface& surface) {
+  SessionSummary out;
+  out.name = surface.name;
+  out.id = surface.id;
+  for (int w = 0; w < surface.live.workers(); ++w) {
+    const CellSample c = surface.live.worker(w).sample();
+    out.pictures += c.pictures;
+    out.busy_ns += c.busy_ns;
+    out.concealed += c.concealed;
+    out.quarantined += c.quarantined;
+  }
+  const HistogramSnapshot lat = surface.queue_latency.snapshot();
+  out.latency_p50_ns = lat.percentile(0.50);
+  out.latency_p95_ns = lat.percentile(0.95);
+  out.latency_p99_ns = lat.percentile(0.99);
+  return out;
+}
+
+}  // namespace pmp2::obs::live

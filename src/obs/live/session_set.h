@@ -1,0 +1,87 @@
+// Per-session telemetry surfaces (docs/SERVING.md, docs/OBSERVABILITY.md).
+//
+// The single-run obs layer assumes one LiveTelemetry per process-lifetime
+// decode. A DecodeServer multiplexes N sessions over one worker pool, and
+// isolation has an observability half: each session's pictures, latency
+// histogram and recovery counters must be attributable to *that* session,
+// or a corrupt neighbor's concealments pollute everyone's dashboards.
+//
+// SessionSurfaces is the registry the server keeps: one LiveTelemetry per
+// open session (deque-backed, so surface addresses stay stable while
+// workers write them), keyed by the serve-layer session id, plus a
+// serve-side frame-latency histogram per session (queue-inclusive latency:
+// GOP enqueue to display emission — a superset of the decode-only latency
+// the per-worker cells carry). Closed sessions keep their surface until
+// the registry is destroyed: post-run reporting reads them after teardown.
+//
+// Thread-safety: open() and each() serialize on one mutex; the returned
+// surfaces follow LiveTelemetry's own rules (seqlock cells, relaxed
+// scalars), so workers never take the registry mutex on the decode path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "obs/live/telemetry.h"
+#include "obs/metrics.h"
+
+namespace pmp2::obs::live {
+
+/// One session's surfaces: the standard LiveTelemetry (per-worker cells
+/// shared with the decode core) plus the serve-level latency histogram.
+struct SessionSurface {
+  std::string name;
+  int id = 0;
+  LiveTelemetry live;
+  Histogram queue_latency;  // enqueue -> display emission, nanoseconds
+
+  SessionSurface(std::string n, int session_id, int workers)
+      : name(std::move(n)), id(session_id), live(workers) {}
+};
+
+/// Summary of one surface, for reports and monitors.
+struct SessionSummary {
+  std::string name;
+  int id = 0;
+  std::int64_t pictures = 0;     // sum of worker-cell picture counts
+  std::int64_t busy_ns = 0;      // sum of worker-cell busy time
+  std::int64_t concealed = 0;    // concealed slices
+  std::int64_t quarantined = 0;  // whole pictures synthesized
+  double latency_p50_ns = 0.0;   // queue-inclusive percentiles
+  double latency_p95_ns = 0.0;
+  double latency_p99_ns = 0.0;
+};
+
+class SessionSurfaces {
+ public:
+  /// `workers` sizes every session's per-worker cells (the shared pool
+  /// width — cells are per pool worker, not per session thread).
+  explicit SessionSurfaces(int workers) : workers_(workers) {}
+
+  /// Opens (or returns) the surface for session `id`. Stable address for
+  /// the registry's lifetime.
+  SessionSurface& open(int id, const std::string& name);
+
+  /// Surface for an already-open id; nullptr when unknown.
+  [[nodiscard]] SessionSurface* find(int id);
+
+  /// Visits every surface in open order.
+  void each(const std::function<void(const SessionSurface&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot-summarizes one surface (percentiles from the serve-level
+  /// histogram; totals from the per-worker cells).
+  [[nodiscard]] static SessionSummary summarize(
+      const SessionSurface& surface);
+
+ private:
+  const int workers_;
+  mutable std::mutex mutex_;
+  std::deque<SessionSurface> surfaces_;  // stable addresses
+};
+
+}  // namespace pmp2::obs::live

@@ -16,6 +16,7 @@
 #include "obs/prof/stage_prof.h"
 #include "obs/tracer.h"
 #include "parallel/gop_work.h"
+#include "parallel/worker_pool.h"
 #include "sched/adaptive.h"
 #include "util/timer.h"
 
@@ -473,10 +474,9 @@ RunResult AdaptiveDecoder::decode(std::span<const std::uint8_t> stream,
                             config_.quarantine_gops ? &errors : nullptr,
                             &quarantined);
 
-  std::vector<std::jthread> workers;
-  workers.reserve(static_cast<std::size_t>(config_.workers));
-  for (int w = 0; w < config_.workers; ++w) {
-    workers.emplace_back([&, w] {
+  // Thread ownership lives in WorkerPool (the src/serve extraction); the
+  // claim loop below is unchanged from the jthread-vector days.
+  WorkerPool worker_pool(config_.workers, [&](int w) {
       WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
       obs::prof::WorkerProf* wprof =
           config_.prof ? config_.prof->bind(w) : nullptr;
@@ -555,8 +555,7 @@ RunResult AdaptiveDecoder::decode(std::span<const std::uint8_t> stream,
         }
       }
       if (wprof) obs::prof::StageProfiler::unbind();
-    });
-  }
+  });
 
   // --- Scan process, stage 2: stream GOPs into the coordinator's deques.
   bool scan_ok = true;
@@ -637,7 +636,7 @@ RunResult AdaptiveDecoder::decode(std::span<const std::uint8_t> stream,
     config_.metrics->counter("decode.pictures").add(total_pictures);
   }
 
-  workers.clear();  // join
+  worker_pool.join();
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
   result.concealed_pictures = concealed_pics.load(std::memory_order_relaxed);
   result.quarantined_gops = quarantined.load(std::memory_order_relaxed);

@@ -14,6 +14,7 @@
 #include "obs/prof/stage_prof.h"
 #include "obs/tracer.h"
 #include "parallel/task_queue.h"
+#include "parallel/worker_pool.h"
 #include "util/timer.h"
 
 namespace pmp2::parallel {
@@ -103,10 +104,9 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
                       : nullptr;
   gobs.live = live;
 
-  std::vector<std::jthread> workers;
-  workers.reserve(static_cast<std::size_t>(config_.workers));
-  for (int w = 0; w < config_.workers; ++w) {
-    workers.emplace_back([&, w] {
+  // Thread ownership lives in WorkerPool (the src/serve extraction); the
+  // claim loop below is unchanged from the jthread-vector days.
+  WorkerPool worker_pool(config_.workers, [&](int w) {
       WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
       // Per-thread counters: bind() opens them on this thread and
       // installs the TLS hook the mpeg2 StageScopes read.
@@ -152,8 +152,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
         }
       }
       if (wprof) obs::prof::StageProfiler::unbind();
-    });
-  }
+  });
 
   // --- Scan process, stage 2: stream GOPs in and enqueue each task the
   // moment its boundary is known, so workers decode while the scan is
@@ -245,7 +244,7 @@ RunResult GopParallelDecoder::decode(std::span<const std::uint8_t> stream,
     config_.metrics->counter("decode.pictures").add(total_pictures);
   }
 
-  workers.clear();  // join
+  worker_pool.join();
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
   result.concealed_pictures =
       concealed_pics.load(std::memory_order_relaxed);

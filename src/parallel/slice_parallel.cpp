@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/prof/stage_prof.h"
 #include "obs/tracer.h"
+#include "parallel/worker_pool.h"
 #include "util/timer.h"
 
 namespace pmp2::parallel {
@@ -556,11 +557,9 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
   result.workers.resize(static_cast<std::size_t>(config_.workers));
   std::atomic<int> concealed{0};
   coord.set_conceal(conceal_slices, &concealed);
-  std::vector<std::jthread> workers;
-  {
-    workers.reserve(static_cast<std::size_t>(config_.workers));
-    for (int w = 0; w < config_.workers; ++w) {
-      workers.emplace_back([&, w] {
+  // Thread ownership lives in WorkerPool (the src/serve extraction); the
+  // claim loop below is unchanged from the jthread-vector days.
+  WorkerPool worker_pool(config_.workers, [&](int w) {
         WorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
         // Per-thread counters: bind() opens them on this thread and
         // installs the TLS hook the mpeg2 StageScopes read.
@@ -633,9 +632,7 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
           if (!r.ok) break;
         }
         if (wprof) obs::prof::StageProfiler::unbind();
-      });
-    }
-  }
+  });
 
   // --- Scan process, stage 2: stream GOPs in and append their pictures
   // (with decode-order dependencies) as each boundary is found, so the
@@ -751,7 +748,7 @@ RunResult SliceParallelDecoder::decode(std::span<const std::uint8_t> stream,
     config_.metrics->counter("decode.pictures").add(total_pictures);
   }
 
-  workers.clear();  // join
+  worker_pool.join();
   result.concealed_slices = concealed.load(std::memory_order_relaxed);
   result.concealed_pictures = concealed_pics.load(std::memory_order_relaxed);
   result.quarantined_gops = coord.damaged_gop_count();

@@ -1,0 +1,14 @@
+#include "parallel/worker_pool.h"
+
+namespace pmp2::parallel {
+
+void WorkerPool::start(int workers, WorkerBody body) {
+  threads_.reserve(static_cast<std::size_t>(workers > 0 ? workers : 0));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([body, w] { body(w); });
+  }
+}
+
+void WorkerPool::join() { threads_.clear(); }
+
+}  // namespace pmp2::parallel

@@ -1,0 +1,56 @@
+// Worker-thread ownership, extracted from the parallel decoders.
+//
+// Every decoder in src/parallel used to spawn and join its own
+// std::jthread vector, which welded worker lifetime to run lifetime — fine
+// for a one-shot decode, wrong for a serving layer where one pool outlives
+// many sessions (src/serve). WorkerPool is that extraction: it owns the
+// threads and nothing else. The work loop stays with the caller (each
+// decoder's claim loop is its scheduling policy), so converting a decoder
+// is purely a change of thread ownership — the loop body, stats wiring and
+// coordinator protocol are untouched, which is what keeps the conversion
+// bit-exact by construction.
+//
+// Lifetime: join() (or the destructor) blocks until every worker body
+// returned. The pool never injects a stop signal of its own — the body's
+// coordinator is responsible for terminating its loop (scan end, abort,
+// watchdog), exactly as before the extraction.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pmp2::parallel {
+
+class WorkerPool {
+ public:
+  /// Body of one worker: called once per thread with the worker index
+  /// [0, workers); the thread exits when it returns.
+  using WorkerBody = std::function<void(int worker)>;
+
+  WorkerPool() = default;
+
+  /// Spawns `workers` threads immediately, each running `body(w)`.
+  WorkerPool(int workers, WorkerBody body) { start(workers, std::move(body)); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawns the threads (idle pool only — join() any previous generation
+  /// first).
+  void start(int workers, WorkerBody body);
+
+  /// Blocks until every worker body returned, then releases the threads.
+  /// Idempotent; called by the destructor.
+  void join();
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  ~WorkerPool() { join(); }
+
+ private:
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace pmp2::parallel

@@ -1,0 +1,75 @@
+// Cross-session fair scheduling policy for the multi-stream DecodeServer
+// (src/serve, docs/SERVING.md).
+//
+// The server multiplexes N decode sessions over one shared worker pool.
+// When a worker frees up, *which session's* work it claims decides whether
+// a heavy 704x480 session can starve a 176x120 one. The policy here is
+// weighted min-service ("start-time fair queueing" without the virtual
+// clock): every session accumulates the CPU time the pool has spent on it,
+// and a free worker always serves the runnable session with the least
+// normalized service (served_ns / weight). Over any interval in which a
+// set of sessions stays runnable, their service converges to the ratio of
+// their weights — the max-min fairness property the simulate_fair_service
+// harness (and tests/serve_test.cpp) validates in virtual time before the
+// real server relies on it.
+//
+// Header-only pure arithmetic, like sched::should_explode: the real server
+// and the validation sim share this exact code, so the sim's fairness
+// bounds are statements about the shipped scheduler.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pmp2::sched {
+
+/// One session as the fairness policy sees it.
+struct FairShare {
+  double weight = 1.0;              // relative share (admission may scale it)
+  std::int64_t served_ns = 0;       // pool CPU time spent on this session
+  bool runnable = false;            // has claimable work right now
+};
+
+/// Normalized service: the quantity the policy equalizes. A non-positive
+/// weight is clamped to a minimal share so a misconfigured session starves
+/// rather than divides by zero.
+[[nodiscard]] inline double normalized_service(const FairShare& s) {
+  const double w = s.weight > 0 ? s.weight : 1e-9;
+  return static_cast<double>(s.served_ns) / w;
+}
+
+/// Index of the runnable session with the least normalized service; ties
+/// break toward the lowest index (deterministic). -1 when nothing is
+/// runnable.
+[[nodiscard]] inline int pick_session(std::span<const FairShare> sessions) {
+  int best = -1;
+  double best_service = 0.0;
+  for (int i = 0; i < static_cast<int>(sessions.size()); ++i) {
+    const FairShare& s = sessions[static_cast<std::size_t>(i)];
+    if (!s.runnable) continue;
+    const double service = normalized_service(s);
+    if (best < 0 || service < best_service) {
+      best = i;
+      best_service = service;
+    }
+  }
+  return best;
+}
+
+/// Virtual-time validation harness for pick_session (no threads, no
+/// clock): `workers` identical workers repeatedly claim fixed-cost tasks
+/// from always-runnable sessions until `total_tasks` tasks ran. Returns
+/// per-session served_ns. With every session runnable throughout, the
+/// result must match the weight ratios to within one task's cost — the
+/// bound tests/serve_test.cpp asserts.
+struct FairSimResult {
+  std::vector<std::int64_t> served_ns;
+  std::vector<std::int64_t> tasks;
+};
+
+[[nodiscard]] FairSimResult simulate_fair_service(
+    std::span<const double> weights, std::span<const std::int64_t> task_cost_ns,
+    int workers, int total_tasks);
+
+}  // namespace pmp2::sched

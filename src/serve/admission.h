@@ -1,0 +1,134 @@
+// Admission control for the multi-stream DecodeServer (docs/SERVING.md).
+//
+// Before a session touches the worker pool, its stream is characterized
+// from the preamble alone — sequence header bit rate, VBV buffer size,
+// frame rate, and resolution — the MPEG-2 bandwidth-characterization
+// angle (PAPERS.md): those four numbers bound the decode work the stream
+// can demand per second, so the server can admit by *predicted* load
+// instead of discovering an overload after it already missed deadlines.
+//
+// The load model is deliberately simple and fully deterministic (unit
+// tests pin it exactly):
+//
+//   mb_per_s     = ceil(w/16) * ceil(h/16) * frame_rate
+//   burst_rate   = bit_rate + vbv_bits * frame_rate / kVbvAmortPictures
+//   load         = mb_per_s * (kPelCostShare
+//                              + kBitCostShare * bits_per_mb / kRefBitsPerMb)
+//
+// mb_per_s is the pel-proportional half of decode cost (IDCT, MC,
+// reconstruction run per macroblock regardless of coded size); the coded
+// bits per macroblock scale the VLC half. burst_rate, not the nominal
+// rate, feeds bits_per_mb: a stream may legally drain its whole VBV
+// buffer in a short window, so admission must budget for the burst a
+// compliant encoder can emit, amortized over kVbvAmortPictures pictures.
+//
+// Capacity is expressed in the same load units. The AdmissionController
+// never blocks: decide() is pure bookkeeping under the caller's lock, and
+// the server maps kQueue to its FIFO wait list.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace pmp2::serve {
+
+/// Load-model constants (documented above; tests pin the arithmetic).
+inline constexpr double kPelCostShare = 0.6;
+inline constexpr double kBitCostShare = 0.4;
+inline constexpr double kRefBitsPerMb = 512.0;
+inline constexpr int kVbvAmortPictures = 30;
+/// Default per-worker capacity in load units: one worker sustains roughly
+/// a 704x480@30 stream at 5 Mb/s (~39.6k mb/s at its coded density) with
+/// ~25% headroom. Hosts that know better pass an explicit capacity.
+inline constexpr double kDefaultWorkerCapacity = 50'000.0;
+
+/// What the preamble scan learned about one stream.
+struct StreamLoadProfile {
+  bool valid = false;        // preamble parsed (invalid streams are rejected)
+  int width = 0;
+  int height = 0;
+  int mb_width = 0;
+  int mb_height = 0;
+  double frame_rate = 0.0;          // pictures/sec from the sequence header
+  std::int64_t bit_rate = 0;        // nominal bits/sec
+  std::int64_t vbv_bits = 0;        // VBV buffer size in bits (16 kbit units)
+  double burst_bits_per_s = 0.0;    // bit_rate + VBV drain amortization
+  double mb_per_s = 0.0;            // macroblocks/sec at the header rate
+  double bits_per_mb = 0.0;         // burst bits per macroblock
+  double predicted_load = 0.0;      // admission units (model above)
+};
+
+/// Characterizes `stream` from its preamble only (sequence header +
+/// extensions up to the first GOP header) — O(preamble bytes), no decode.
+/// `valid` is false when no sequence header parses, and predicted_load is
+/// then 0.
+[[nodiscard]] StreamLoadProfile characterize_stream(
+    std::span<const std::uint8_t> stream);
+
+enum class AdmissionDecision : std::uint8_t {
+  kAdmit,   // capacity available: start now
+  kQueue,   // over capacity but queueable: wait for a session to finish
+  kReject,  // invalid stream, or over capacity with queueing disabled/full
+};
+
+[[nodiscard]] std::string_view admission_decision_name(AdmissionDecision d);
+
+/// Capacity bookkeeping for one server. Not thread-safe by itself — the
+/// server calls it under its scheduling mutex.
+class AdmissionController {
+ public:
+  struct Config {
+    double capacity = 0.0;    // total load units (<=0: workers * default)
+    int max_sessions = 0;     // concurrently running sessions (0 = no cap)
+    int max_queued = 0;       // sessions allowed to wait (0 = reject instead)
+  };
+
+  AdmissionController(const Config& config, int workers)
+      : config_(config),
+        capacity_(config.capacity > 0
+                      ? config.capacity
+                      : kDefaultWorkerCapacity * (workers > 0 ? workers : 1)) {
+  }
+
+  /// Decision for a new stream with profile `p`. Does not change state —
+  /// the server commits with admit()/enqueue() after it acted on the
+  /// decision.
+  [[nodiscard]] AdmissionDecision decide(const StreamLoadProfile& p) const;
+
+  /// Commits an admitted session's load.
+  void admit(const StreamLoadProfile& p) {
+    admitted_load_ += p.predicted_load;
+    ++running_;
+  }
+  /// Releases a finished/cancelled session's load.
+  void release(const StreamLoadProfile& p) {
+    admitted_load_ -= p.predicted_load;
+    if (admitted_load_ < 0) admitted_load_ = 0;
+    --running_;
+  }
+  void enqueue() { ++queued_; }
+  void dequeue() { --queued_; }
+
+  /// True when `p` would fit right now (the admit() half of decide()).
+  [[nodiscard]] bool fits(const StreamLoadProfile& p) const {
+    if (config_.max_sessions > 0 && running_ >= config_.max_sessions) {
+      return false;
+    }
+    return admitted_load_ + p.predicted_load <= capacity_;
+  }
+
+  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] double admitted_load() const { return admitted_load_; }
+  [[nodiscard]] int running() const { return running_; }
+  [[nodiscard]] int queued() const { return queued_; }
+
+ private:
+  Config config_;
+  double capacity_;
+  double admitted_load_ = 0.0;
+  int running_ = 0;
+  int queued_ = 0;
+};
+
+}  // namespace pmp2::serve

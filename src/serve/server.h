@@ -1,0 +1,161 @@
+// DecodeServer: N concurrent MPEG-2 decode sessions multiplexed over one
+// shared worker pool (ROADMAP item 1, docs/SERVING.md).
+//
+// Every decoder before this PR was one-shot: threads, buffers and lifetime
+// all owned by a single decode() call. The server inverts that — one
+// long-lived parallel::WorkerPool serves many sessions, each of which
+// keeps the isolation-relevant state private:
+//
+//   * its own StructureScanner/StreamDemux producer thread (scan overlap
+//     per session, bounded GOP queue with backpressure),
+//   * its own FramePool and DisplaySink (frames and reordering never cross
+//     sessions),
+//   * its own quarantine/concealment state and ErrorLog (a corrupt
+//     session's recovery is invisible to its neighbors — the isolation
+//     guarantee the serve CI stage proves by checksum),
+//   * its own obs::live::SessionSurface (per-session telemetry cells and
+//     the queue-inclusive frame-latency histogram).
+//
+// Shared across sessions: the worker pool, the admission controller
+// (bitrate/VBV predicted-load bookkeeping, serve/admission.h), the
+// sched::pick_session fairness policy (weighted min-service), and the
+// PR 9 adaptive dispatcher — should_explode() sees the queue depth summed
+// over *all* sessions and one cross-session CostEwma, so a shallow global
+// pipeline explodes GOPs for latency exactly as the single-stream
+// adaptive decoder does.
+//
+// Teardown is graceful in both directions: wait() drains a session to its
+// natural end; cancel() stops scheduling new work mid-GOP, lets in-flight
+// tasks finish, and releases every pooled frame (SessionResult's pool
+// counters let tests assert idle == misses — nothing leaked). A watchdog
+// epoch spanning all sessions converts a wedged pipeline into per-session
+// hung failures instead of a stuck server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/live/session_set.h"
+#include "obs/metrics.h"
+#include "parallel/stats.h"
+#include "serve/admission.h"
+
+namespace pmp2::serve {
+
+using SessionId = int;
+
+enum class SessionState : std::uint8_t {
+  kQueued,     // admitted to the wait list, not yet running
+  kRunning,    // producer scanning / workers decoding
+  kFinished,   // completed (possibly degraded); result valid
+  kCancelled,  // cancel() before completion; result valid
+  kFailed,     // decode/scan failure with recovery off, or hung
+  kRejected,   // admission refused (invalid stream or over capacity)
+};
+
+[[nodiscard]] std::string_view session_state_name(SessionState s);
+
+struct SessionConfig {
+  std::string name;          // report/telemetry label ("" = "session-<id>")
+  double weight = 1.0;       // fair-share weight (sched::FairShare)
+  /// GOP tasks queued unstarted before the session's producer blocks
+  /// (per-session backpressure; 0 = unbounded).
+  std::size_t max_queued_gops = 4;
+  /// Bounded recovery exactly as the single-stream decoders define it
+  /// (docs/ROBUSTNESS.md): conceal + quarantine, blast radius one GOP.
+  bool quarantine_gops = true;
+};
+
+/// Terminal snapshot of one session. Valid once the session reached a
+/// terminal state (wait() returns it).
+struct SessionResult {
+  SessionState state = SessionState::kQueued;
+  bool ok = false;         // kFinished and the stream decoded
+  bool hung = false;       // watchdog/display deadline fired
+  std::uint64_t checksum = 0;  // display-order digest (== solo-run value)
+  int pictures = 0;            // pictures indexed by the scan
+  int pictures_delivered = 0;  // emitted in display order
+  double wall_s = 0.0;         // running time (admission to terminal)
+  double queued_s = 0.0;       // time spent waiting for admission
+  int concealed_slices = 0;
+  int concealed_pictures = 0;
+  int quarantined_gops = 0;
+  int gop_mode_gops = 0;   // adaptive dispatch split for this session
+  int exploded_gops = 0;
+  std::int64_t served_ns = 0;  // pool CPU time charged (fairness ledger)
+  // Frame-pool accounting at teardown: idle == misses proves every frame
+  // the session ever allocated was returned before the pool died.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_idle = 0;
+  StreamLoadProfile profile;   // what admission predicted
+  obs::HistogramSnapshot latency;  // queue-inclusive frame latency (ns)
+  std::vector<parallel::ErrorRecord> errors;
+  int errors_dropped = 0;
+
+  [[nodiscard]] double pics_per_s() const {
+    return wall_s > 0 ? pictures_delivered / wall_s : 0.0;
+  }
+};
+
+struct ServerConfig {
+  int workers = 4;
+  AdmissionController::Config admission;  // capacity/max_sessions/max_queued
+  /// Watchdog over the cross-session scheduling epoch and each session's
+  /// display: a full period with pending work and no progress fails the
+  /// affected sessions (never the server). 0 = off.
+  std::int64_t watchdog_ns = 0;
+  /// Adaptive dispatch knobs (sched::AdaptivePolicy); queue depth is
+  /// summed across sessions.
+  int depth_threshold = 0;
+  double cost_factor = 2.0;
+};
+
+class DecodeServer {
+ public:
+  explicit DecodeServer(const ServerConfig& config);
+  ~DecodeServer();  // cancels whatever still runs, then stops the pool
+
+  DecodeServer(const DecodeServer&) = delete;
+  DecodeServer& operator=(const DecodeServer&) = delete;
+
+  /// Admission + session creation. `stream` must stay valid until the
+  /// session reaches a terminal state (the server never copies it).
+  /// Rejected submissions still return an id whose result says why.
+  SessionId submit(std::span<const std::uint8_t> stream,
+                   SessionConfig config);
+
+  [[nodiscard]] SessionState state(SessionId id) const;
+
+  /// Admission decision recorded at submit() time.
+  [[nodiscard]] AdmissionDecision decision(SessionId id) const;
+
+  /// Requests cancellation: queued sessions leave the wait list, running
+  /// sessions stop scheduling new GOPs (in-flight tasks finish). False if
+  /// the session was already terminal. wait() still returns the result.
+  bool cancel(SessionId id);
+
+  /// Blocks until the session is terminal; returns its result.
+  SessionResult wait(SessionId id);
+
+  /// Blocks until every submitted session is terminal.
+  void drain();
+
+  /// Per-session telemetry surfaces (live cells + latency histograms).
+  [[nodiscard]] obs::live::SessionSurfaces& surfaces();
+
+  /// Pool-wide load summary over the shared workers (busy/sync/idle).
+  [[nodiscard]] parallel::WorkerLoadSummary load_summary() const;
+
+  [[nodiscard]] const AdmissionController& admission() const;
+  [[nodiscard]] int workers() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pmp2::serve
