@@ -5,23 +5,39 @@ namespace pmp2::obs::live {
 SessionSurface& SessionSurfaces::open(int id, const std::string& name) {
   const std::scoped_lock lock(mutex_);
   for (auto& s : surfaces_) {
-    if (s.id == id) return s;
+    if (s->id == id) return *s;
   }
-  return surfaces_.emplace_back(name, id, workers_);
+  surfaces_.push_back(std::make_unique<SessionSurface>(name, id, workers_));
+  return *surfaces_.back();
 }
 
 SessionSurface* SessionSurfaces::find(int id) {
   const std::scoped_lock lock(mutex_);
   for (auto& s : surfaces_) {
-    if (s.id == id) return &s;
+    if (s->id == id) return s.get();
   }
   return nullptr;
+}
+
+bool SessionSurfaces::close(int id) {
+  std::unique_ptr<SessionSurface> victim;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (auto it = surfaces_.begin(); it != surfaces_.end(); ++it) {
+      if ((*it)->id == id) {
+        victim = std::move(*it);
+        surfaces_.erase(it);
+        break;
+      }
+    }
+  }
+  return victim != nullptr;  // destroyed outside the registry lock
 }
 
 void SessionSurfaces::each(
     const std::function<void(const SessionSurface&)>& fn) const {
   const std::scoped_lock lock(mutex_);
-  for (const auto& s : surfaces_) fn(s);
+  for (const auto& s : surfaces_) fn(*s);
 }
 
 std::size_t SessionSurfaces::size() const {

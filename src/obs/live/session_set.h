@@ -11,8 +11,10 @@
 // workers write them), keyed by the serve-layer session id, plus a
 // serve-side frame-latency histogram per session (queue-inclusive latency:
 // GOP enqueue to display emission — a superset of the decode-only latency
-// the per-worker cells carry). Closed sessions keep their surface until
-// the registry is destroyed: post-run reporting reads them after teardown.
+// the per-worker cells carry). Terminal sessions keep their surface so
+// post-run reporting can read them after teardown, until close() releases
+// it (DecodeServer::forget) — a long-lived server would otherwise retain
+// a surface for every session ever submitted.
 //
 // Thread-safety: open() and each() serialize on one mutex; the returned
 // surfaces follow LiveTelemetry's own rules (seqlock cells, relaxed
@@ -22,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -68,6 +71,11 @@ class SessionSurfaces {
   /// Surface for an already-open id; nullptr when unknown.
   [[nodiscard]] SessionSurface* find(int id);
 
+  /// Releases the surface for `id` (invalidating pointers to it); false
+  /// when unknown. Callers must guarantee no writer still holds the
+  /// surface — the server only closes after the session is terminal.
+  bool close(int id);
+
   /// Visits every surface in open order.
   void each(const std::function<void(const SessionSurface&)>& fn) const;
 
@@ -81,7 +89,9 @@ class SessionSurfaces {
  private:
   const int workers_;
   mutable std::mutex mutex_;
-  std::deque<SessionSurface> surfaces_;  // stable addresses
+  // Owned indirectly so close() can erase one entry without disturbing
+  // the addresses workers hold for the others.
+  std::deque<std::unique_ptr<SessionSurface>> surfaces_;
 };
 
 }  // namespace pmp2::obs::live

@@ -39,6 +39,31 @@ struct FairShare {
   return static_cast<double>(s.served_ns) / w;
 }
 
+/// Virtual start for a session arriving while others already run (the
+/// start-time half of start-time fair queueing): the arrival's served_ns
+/// ledger is seeded to `weight` times the minimum normalized service over
+/// the currently running sessions, so it competes from "now" rather than
+/// from zero history. Without this, a session arriving into a long-lived
+/// server holds the minimum normalized service until its lifetime total
+/// catches up with neighbors that have run for minutes — every free
+/// worker serves the newcomer and the veterans starve. Returns 0 when
+/// nothing runs (an empty server has no "now" to catch up to).
+[[nodiscard]] inline std::int64_t virtual_start(
+    double weight, std::span<const FairShare> running) {
+  bool any = false;
+  double min_norm = 0.0;
+  for (const FairShare& s : running) {
+    const double n = normalized_service(s);
+    if (!any || n < min_norm) {
+      min_norm = n;
+      any = true;
+    }
+  }
+  if (!any || min_norm <= 0.0) return 0;
+  const double w = weight > 0 ? weight : 1e-9;
+  return static_cast<std::int64_t>(min_norm * w);
+}
+
 /// Index of the runnable session with the least normalized service; ties
 /// break toward the lowest index (deterministic). -1 when nothing is
 /// runnable.

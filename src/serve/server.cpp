@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "mpeg2/structure_scan.h"
@@ -45,10 +46,15 @@ struct GopEntry {
 
 struct Session;
 
-/// What one cross-session claim hands a worker.
+/// What one cross-session claim hands a worker. `gop` is resolved while
+/// the server mutex is held: entries live in a std::deque whose *element*
+/// addresses are stable, but re-indexing the deque unlocked would race
+/// the producer's concurrent push_back on the deque's internal block map
+/// — workers must go through this pointer, never s.entries[entry].
 struct Claim {
   enum class Kind { kWholeGop, kPicture } kind = Kind::kWholeGop;
   Session* session = nullptr;
+  GopEntry* gop = nullptr;
   int entry = -1;
   int pic = -1;
   bool popped_gop = false;
@@ -93,6 +99,10 @@ struct Session {
   bool hung = false;
   int total_pictures = 0;
   std::int64_t served_ns = 0;
+  /// Fairness ledger seed at admission (sched::virtual_start): subtracted
+  /// back out when reporting, so SessionResult::served_ns stays pure pool
+  /// CPU time.
+  std::int64_t virtual_start_ns = 0;
 
   std::int64_t submit_ns = 0;
   std::int64_t start_ns = -1;
@@ -166,7 +176,7 @@ struct DecodeServer::Impl {
     {
       const std::scoped_lock lock(mutex_);
       for (auto& s : sessions_) {
-        if (!s->terminal()) request_cancel_locked(*s);
+        if (s && !s->terminal()) request_cancel_locked(*s);
       }
     }
     drain();
@@ -231,17 +241,42 @@ struct DecodeServer::Impl {
 
   SessionResult wait(SessionId id) {
     std::unique_lock lock(mutex_);
-    Session* s = find_locked(id);
-    if (!s) return {};
-    cv_.wait(lock, [&] { return s->result_ready; });
-    return s->result;
+    // Re-resolve inside the predicate: a concurrent forget() may free the
+    // Session between a notify and this thread reacquiring the lock.
+    Session* s = nullptr;
+    cv_.wait(lock, [&] {
+      s = find_locked(id);
+      return !s || s->result_ready;
+    });
+    if (s) return s->result;
+    SessionResult stub;
+    const auto it = forgotten_.find(id);
+    if (it != forgotten_.end()) stub.state = it->second.state;
+    return stub;
+  }
+
+  bool forget(SessionId id) {
+    std::unique_ptr<Session> victim;
+    {
+      const std::scoped_lock lock(mutex_);
+      Session* s = find_locked(id);
+      if (!s || !s->result_ready) return false;
+      forgotten_.emplace(id, Tombstone{s->state, s->decision});
+      victim = std::move(sessions_[static_cast<std::size_t>(id)]);
+    }
+    // The producer is already past finalize (result_ready), so destroying
+    // the Session outside the lock joins an exiting thread. The surface
+    // goes last: nothing references it once the Session is gone.
+    victim.reset();
+    surfaces_.close(id);
+    return true;
   }
 
   void drain() {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [&] {
       for (const auto& s : sessions_) {
-        if (!s->result_ready) return false;
+        if (s && !s->result_ready) return false;  // forgotten => was ready
       }
       return true;
     });
@@ -249,14 +284,18 @@ struct DecodeServer::Impl {
 
   SessionState state(SessionId id) const {
     const std::scoped_lock lock(mutex_);
-    const Session* s = find_locked(id);
-    return s ? s->state : SessionState::kRejected;
+    if (const Session* s = find_locked(id)) return s->state;
+    const auto it = forgotten_.find(id);
+    return it != forgotten_.end() ? it->second.state
+                                  : SessionState::kRejected;
   }
 
   AdmissionDecision decision(SessionId id) const {
     const std::scoped_lock lock(mutex_);
-    const Session* s = find_locked(id);
-    return s ? s->decision : AdmissionDecision::kReject;
+    if (const Session* s = find_locked(id)) return s->decision;
+    const auto it = forgotten_.find(id);
+    return it != forgotten_.end() ? it->second.decision
+                                  : AdmissionDecision::kReject;
   }
 
   parallel::WorkerLoadSummary load_summary() const {
@@ -284,6 +323,20 @@ struct DecodeServer::Impl {
   }
 
   void start_session_locked(Session& s) {
+    // Start-time fair queueing: seed the arrival's service ledger at the
+    // running sessions' minimum, so it competes from "now" instead of
+    // monopolizing the pool until its lifetime total catches up.
+    shares_.clear();
+    for (const auto& other : sessions_) {
+      if (!other || other.get() == &s) continue;
+      if (other->state != SessionState::kRunning) continue;
+      sched::FairShare share;
+      share.weight = other->cfg.weight;
+      share.served_ns = other->served_ns;
+      shares_.push_back(share);
+    }
+    s.virtual_start_ns = sched::virtual_start(s.cfg.weight, shares_);
+    s.served_ns = s.virtual_start_ns;
     s.state = SessionState::kRunning;
     s.start_ns = timer_.elapsed_ns();
     s.surface = &surfaces_.open(s.id, s.cfg.name);
@@ -517,18 +570,20 @@ struct DecodeServer::Impl {
             lock, std::chrono::nanoseconds(config_.watchdog_ns));
         if (status == std::cv_status::timeout && epoch_ == before &&
             !stop_ && pending_work_locked()) {
-          // No scheduling progress for a full period with work pending:
-          // fail the wedged sessions, never the server.
+          // No *scheduling* progress for a full period with work pending.
+          // That alone is not a wedge: one legitimately long in-flight
+          // decode with every other worker idle has exactly this
+          // signature while still landing pictures. Fail only the
+          // sessions watchdog_wedged condemns — claimable-but-unclaimed
+          // work, or in-flight claims whose telemetry went silent for a
+          // full period — never the server.
           for (auto& s : sessions_) {
-            if (s->pending_work()) {
-              s->hung = true;
-              s->errors.add(
-                  {parallel::RecoveryCause::kWatchdog, -1, -1, 0});
-              purge_session_queue_locked(*s);
-            }
+            if (!s || !session_wedged_locked(*s)) continue;
+            s->hung = true;
+            s->errors.add(
+                {parallel::RecoveryCause::kWatchdog, -1, -1, 0});
+            purge_session_queue_locked(*s);  // bumps epoch_, notifies
           }
-          ++epoch_;
-          cv_.notify_all();
         }
       } else {
         cv_.wait(lock);
@@ -540,9 +595,28 @@ struct DecodeServer::Impl {
 
   [[nodiscard]] bool pending_work_locked() const {
     for (const auto& s : sessions_) {
-      if (s->pending_work()) return true;
+      if (s && s->pending_work()) return true;
     }
     return false;
+  }
+
+  /// The session-level half of the watchdog: feeds watchdog_wedged the
+  /// newest last_progress_ns across the session's telemetry cells (the
+  /// workers land one per picture even inside a whole-GOP decode, the
+  /// display one per emission).
+  [[nodiscard]] bool session_wedged_locked(const Session& s) const {
+    if (!s.pending_work()) return false;
+    if (s.in_flight == 0 || !s.surface) {
+      return watchdog_wedged(true, s.in_flight, 0, 0, config_.watchdog_ns);
+    }
+    const auto& live = s.surface->live;
+    std::int64_t last = live.scan().sample().last_progress_ns;
+    for (int w = 0; w < live.workers(); ++w) {
+      last = std::max(last, live.worker(w).sample().last_progress_ns);
+    }
+    last = std::max(last, live.display().sample().last_progress_ns);
+    return watchdog_wedged(true, s.in_flight, live.now_ns(), last,
+                           config_.watchdog_ns);
   }
 
   /// Fair pick, then intra-session dispatch: ready exploded pictures
@@ -553,10 +627,12 @@ struct DecodeServer::Impl {
   bool try_claim_locked(Claim& out) {
     shares_.clear();
     for (const auto& s : sessions_) {
-      sched::FairShare share;
-      share.weight = s->cfg.weight;
-      share.served_ns = s->served_ns;
-      share.runnable = s->runnable() && has_claimable_locked(*s);
+      sched::FairShare share;  // forgotten slots stay non-runnable so the
+      if (s) {                 // picked index still maps into sessions_
+        share.weight = s->cfg.weight;
+        share.served_ns = s->served_ns;
+        share.runnable = s->runnable() && has_claimable_locked(*s);
+      }
       shares_.push_back(share);
     }
     const int idx = sched::pick_session(shares_);
@@ -613,6 +689,7 @@ struct DecodeServer::Impl {
     e.state[static_cast<std::size_t>(i)] = 1;
     out.kind = Claim::Kind::kPicture;
     out.session = &s;
+    out.gop = &e;
     out.entry = g;
     out.pic = i;
     out.popped_gop = popped;
@@ -651,6 +728,7 @@ struct DecodeServer::Impl {
       ++s.gop_mode_gops;
       out.kind = Claim::Kind::kWholeGop;
       out.session = &s;
+      out.gop = &e;
       out.entry = g;
       out.pic = -1;
       out.popped_gop = true;
@@ -702,8 +780,7 @@ struct DecodeServer::Impl {
     if (!ok) {
       abort_session_locked(s);
     } else {
-      const GopEntry& e = s.entries[static_cast<std::size_t>(claim.entry)];
-      ewma_.observe(task_ns, e.bytes);
+      ewma_.observe(task_ns, claim.gop->bytes);
       ++s.completed_gops;
     }
     cv_.notify_all();
@@ -720,7 +797,7 @@ struct DecodeServer::Impl {
       cv_.notify_all();
       return;
     }
-    GopEntry& e = s.entries[static_cast<std::size_t>(claim.entry)];
+    GopEntry& e = *claim.gop;
     e.frames[static_cast<std::size_t>(claim.pic)] = std::move(frame);
     e.state[static_cast<std::size_t>(claim.pic)] = 2;
     e.cost_ns += task_ns;
@@ -752,7 +829,7 @@ struct DecodeServer::Impl {
     r.pictures = s.total_pictures;
     r.pictures_delivered = s.display ? s.display->emitted() : 0;
     r.hung = s.hung;
-    r.served_ns = s.served_ns;
+    r.served_ns = s.served_ns - s.virtual_start_ns;
     r.gop_mode_gops = s.gop_mode_gops;
     r.exploded_gops = s.exploded_gops;
     r.concealed_slices = s.concealed.load(std::memory_order_relaxed);
@@ -822,18 +899,23 @@ struct DecodeServer::Impl {
       if (!this->claim(claim, w)) break;
       Session& s = *claim.session;
       ThreadCpuTimer cpu;
+      // claim.gop was resolved under mutex_; never re-index s.entries
+      // here — the producer may be push_back-ing the deque concurrently.
+      // finish_* must stay the worker's LAST touch of the session: once
+      // in_flight drops, the producer can finalize and a client's
+      // forget() can free the Session and its surface.
       if (claim.kind == Claim::Kind::kWholeGop) {
-        const GopEntry& e = s.entries[static_cast<std::size_t>(claim.entry)];
+        const GopEntry& e = *claim.gop;
         const parallel::GopTask task{&e.info, e.index, e.display_base,
                                      e.display_base};
         const bool ok = parallel::decode_gop(s.stream, s.structure, task,
                                              *s.pool, *s.display, stats,
                                              s.gobs, w);
         const std::int64_t task_ns = cpu.elapsed_ns();
-        finish_whole(claim, task_ns, ok);
         note_task(stats, s, w, task_ns);
+        finish_whole(claim, task_ns, ok);
       } else {
-        const GopEntry& e = s.entries[static_cast<std::size_t>(claim.entry)];
+        const GopEntry& e = *claim.gop;
         const auto& info =
             e.info.pictures[static_cast<std::size_t>(claim.pic)];
         parallel::PictureOutcome out = parallel::decode_one_picture(
@@ -852,8 +934,8 @@ struct DecodeServer::Impl {
         // back in the free list by then.
         claim.fwd.reset();
         claim.bwd.reset();
-        finish_picture(claim, std::move(out.frame), task_ns, damaged, ok);
         note_task(stats, s, w, task_ns);
+        finish_picture(claim, std::move(out.frame), task_ns, damaged, ok);
       }
     }
   }
@@ -861,9 +943,10 @@ struct DecodeServer::Impl {
   void note_task(parallel::WorkerStats& stats, Session& s, int w,
                  std::int64_t task_ns) {
     {
-      // load_summary() reads these under mutex_ — and it can run the
-      // moment wait() returns, which the finish_* call above may have
-      // unblocked before this accounting lands.
+      // load_summary() reads these under mutex_ from other threads.
+      // note_task runs BEFORE finish_* settles the claim, so by the time
+      // wait() can return, this accounting (and the surface write below)
+      // has already landed — which is also what makes forget() safe.
       const std::scoped_lock lock(mutex_);
       stats.compute_ns += task_ns;
       ++stats.tasks;
@@ -881,7 +964,14 @@ struct DecodeServer::Impl {
   obs::live::SessionSurfaces surfaces_;
   sched::AdaptivePolicy policy_;
   sched::CostEwma ewma_;  // cross-session cost signal
+  /// Indexed by SessionId; forget() nulls a slot (ids are never reused)
+  /// and leaves a tombstone so state()/decision() keep answering.
+  struct Tombstone {
+    SessionState state;
+    AdmissionDecision decision;
+  };
   std::deque<std::unique_ptr<Session>> sessions_;
+  std::unordered_map<SessionId, Tombstone> forgotten_;
   std::deque<SessionId> wait_list_;
   std::vector<sched::FairShare> shares_;  // scratch for try_claim
   std::vector<parallel::WorkerStats> worker_stats_;
@@ -912,6 +1002,8 @@ AdmissionDecision DecodeServer::decision(SessionId id) const {
 bool DecodeServer::cancel(SessionId id) { return impl_->cancel(id); }
 
 SessionResult DecodeServer::wait(SessionId id) { return impl_->wait(id); }
+
+bool DecodeServer::forget(SessionId id) { return impl_->forget(id); }
 
 void DecodeServer::drain() { impl_->drain(); }
 

@@ -29,7 +29,11 @@
 // tasks finish, and releases every pooled frame (SessionResult's pool
 // counters let tests assert idle == misses — nothing leaked). A watchdog
 // epoch spanning all sessions converts a wedged pipeline into per-session
-// hung failures instead of a stuck server.
+// hung failures instead of a stuck server (watchdog_wedged below defines
+// "wedged" — a long in-flight decode that keeps landing pictures is
+// progress, not a wedge). Terminal sessions are retained until forget()
+// releases them, so a long-lived server can bound its memory to the
+// live set.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +61,28 @@ enum class SessionState : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view session_state_name(SessionState s);
+
+/// Pure watchdog verdict for one session, evaluated only after a full
+/// period in which the cross-session scheduling epoch never moved while
+/// work was pending. With the epoch static, a session whose remaining
+/// work is claimable (or blocked on dependencies) with no claims
+/// outstanding is wedged: an idle worker sat through the whole period
+/// without claiming it. A session with in-flight claims is judged by its
+/// telemetry instead — one legitimately long whole-GOP decode keeps
+/// landing pictures (last_progress_ns advances) even though the epoch
+/// does not, and must not be failed. `now_ns` and `last_progress_ns` are
+/// on the session surface's telemetry epoch; a session that never
+/// progressed (-1) is measured from that epoch's origin.
+[[nodiscard]] constexpr bool watchdog_wedged(bool pending_work,
+                                             int in_flight,
+                                             std::int64_t now_ns,
+                                             std::int64_t last_progress_ns,
+                                             std::int64_t watchdog_ns) {
+  if (!pending_work) return false;
+  if (in_flight == 0) return true;
+  const std::int64_t last = last_progress_ns < 0 ? 0 : last_progress_ns;
+  return now_ns - last >= watchdog_ns;
+}
 
 struct SessionConfig {
   std::string name;          // report/telemetry label ("" = "session-<id>")
@@ -140,6 +166,18 @@ class DecodeServer {
 
   /// Blocks until the session is terminal; returns its result.
   SessionResult wait(SessionId id);
+
+  /// Releases everything the server retains for a terminal session —
+  /// the Session object (result, error log, latency bookkeeping) and its
+  /// telemetry surface — so a long-lived server's memory tracks the live
+  /// set instead of every session ever submitted. Returns false if the
+  /// session is unknown, not yet terminal, or already forgotten. After
+  /// forget(), state() and decision() still answer from a tombstone, but
+  /// wait() returns only a stub carrying the terminal state, and any
+  /// SessionSurface pointer obtained from surfaces() for this id is
+  /// invalid. Sessions that are never forgotten are retained for the
+  /// server's lifetime.
+  bool forget(SessionId id);
 
   /// Blocks until every submitted session is terminal.
   void drain();

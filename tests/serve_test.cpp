@@ -201,6 +201,34 @@ TEST(Fairness, SimConvergesToWeightRatios) {
   EXPECT_NEAR(r.served_ns[2] / total, 0.25, 0.01);
 }
 
+TEST(Fairness, VirtualStartSeedsArrivalsAtRunningMinimum) {
+  // Start-time fair queueing: an arrival's ledger starts at weight times
+  // the minimum normalized service of the running set, not at zero.
+  std::vector<sched::FairShare> running(2);
+  running[0] = {1.0, 4000, true};
+  running[1] = {2.0, 6000, true};  // normalized 3000 — the running minimum
+  EXPECT_EQ(sched::virtual_start(1.0, running), 3000);
+  EXPECT_EQ(sched::virtual_start(2.0, running), 6000);  // weight-scaled
+  // Empty server: nothing to catch up to, start from zero.
+  EXPECT_EQ(sched::virtual_start(1.0, {}), 0);
+}
+
+TEST(Fairness, VirtualStartPreventsLateArrivalStarvation) {
+  // A veteran with minutes of accumulated service vs a fresh arrival:
+  // unseeded, the newcomer wins every pick until its lifetime total
+  // catches up; seeded, they alternate from the moment it arrives.
+  std::vector<sched::FairShare> s(1);
+  s[0] = {1.0, 300'000'000'000, true};  // 5 minutes of service
+  sched::FairShare arrival{1.0, 0, true};
+  arrival.served_ns = sched::virtual_start(arrival.weight, s);
+  s.push_back(arrival);
+  EXPECT_EQ(sched::pick_session(s), 0);  // tie breaks to the veteran
+  s[0].served_ns += 1000;                // veteran runs one task...
+  EXPECT_EQ(sched::pick_session(s), 1);  // ...then the arrival runs one
+  s[1].served_ns += 1000;
+  EXPECT_EQ(sched::pick_session(s), 0);  // alternation, not monopoly
+}
+
 TEST(Fairness, SimUnevenCostsStillTrackWeights) {
   // Different task costs per session must not break the weight shares:
   // min-service scheduling equalizes *time*, not task counts.
@@ -378,6 +406,75 @@ TEST(Server, CancelQueuedSessionNeverStarts) {
   EXPECT_TRUE(server.wait(running).ok);
 }
 
+TEST(Server, WatchdogVerdictSparesProgressingInFlightWork) {
+  // The claim-side watchdog only consults this verdict after a full
+  // epoch-static period with pending work. A single long in-flight task
+  // that keeps landing pictures must not be condemned; claimable work an
+  // idle worker sat through the whole period without claiming must be.
+  constexpr std::int64_t wd = 1'000'000;
+  // No pending work: never wedged, whatever the clocks say.
+  EXPECT_FALSE(serve::watchdog_wedged(false, 0, 10 * wd, -1, wd));
+  // Pending work, no claims outstanding: claimable-but-unclaimed (or
+  // dependency-blocked with nothing running to unblock it) — wedged.
+  EXPECT_TRUE(serve::watchdog_wedged(true, 0, 10 * wd, -1, wd));
+  // One in-flight task that emitted a picture half a period ago: progress.
+  EXPECT_FALSE(serve::watchdog_wedged(true, 1, 10 * wd, 10 * wd - wd / 2, wd));
+  // In-flight but telemetry-silent for a full period: wedged.
+  EXPECT_TRUE(serve::watchdog_wedged(true, 1, 10 * wd, 9 * wd, wd));
+  // Never progressed (-1): measured from the telemetry epoch's origin.
+  EXPECT_FALSE(serve::watchdog_wedged(true, 1, wd / 2, -1, wd));
+  EXPECT_TRUE(serve::watchdog_wedged(true, 1, wd, -1, wd));
+}
+
+TEST(Server, ForgetReleasesTerminalSessions) {
+  // A long-lived server must not retain every session ever submitted:
+  // forget() frees a terminal session's state and telemetry surface,
+  // leaving a tombstone for state()/decision().
+  const auto stream = make_stream(176, 120, 13, 13);
+  ServerConfig config;
+  config.workers = 2;
+  DecodeServer server(config);
+  const auto id = server.submit(stream, {});
+  const SessionResult r = server.wait(id);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(server.surfaces().size(), 1u);
+  EXPECT_TRUE(server.forget(id));
+  EXPECT_FALSE(server.forget(id));  // already forgotten
+  EXPECT_EQ(server.surfaces().size(), 0u) << "surface retained";
+  // Tombstone answers survive the release; wait() degrades to a stub.
+  EXPECT_EQ(server.state(id), SessionState::kFinished);
+  EXPECT_EQ(server.decision(id), AdmissionDecision::kAdmit);
+  EXPECT_EQ(server.wait(id).state, SessionState::kFinished);
+  EXPECT_FALSE(server.cancel(id));
+  EXPECT_FALSE(server.forget(id + 99));  // unknown id
+  // The pool keeps serving: ids never recycle, results stay solo-exact.
+  const auto id2 = server.submit(stream, {});
+  EXPECT_GT(id2, id);
+  EXPECT_TRUE(server.wait(id2).ok);
+}
+
+TEST(Server, ForgetRefusesNonTerminalSessions) {
+  // An admission-queued session is deterministically non-terminal: it
+  // cannot be forgotten until it runs (or is cancelled) and finishes.
+  const auto stream = make_stream(176, 120, 13, 13);
+  const auto p = serve::characterize_stream(stream);
+  ASSERT_TRUE(p.valid);
+  ServerConfig config;
+  config.workers = 2;
+  config.admission.capacity = p.predicted_load * 1.5;
+  config.admission.max_queued = 4;
+  DecodeServer server(config);
+  const auto running = server.submit(stream, {});
+  const auto waiting = server.submit(stream, {});
+  if (server.decision(waiting) == AdmissionDecision::kQueue &&
+      server.state(waiting) == SessionState::kQueued) {
+    EXPECT_FALSE(server.forget(waiting));
+  }
+  EXPECT_TRUE(server.wait(running).ok);
+  EXPECT_TRUE(server.wait(waiting).ok);
+  EXPECT_TRUE(server.forget(waiting));
+}
+
 TEST(Server, DestructorDrainsCleanly) {
   // Destroying the server with sessions still running must cancel and
   // join without hanging or crashing (graceful teardown).
@@ -431,6 +528,9 @@ TEST(ServerLifecycle, ConcurrentOpenDecodeCancelTeardown) {
         }
         EXPECT_FALSE(r.hung);
         EXPECT_EQ(r.pool_idle, r.pool_misses);
+        // Half the threads release their sessions immediately, racing
+        // forget() against the scheduler and other clients' submits.
+        if (t % 2 == 1) EXPECT_TRUE(server.forget(id));
       }
     });
   }
